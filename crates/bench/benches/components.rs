@@ -1,0 +1,164 @@
+//! Criterion micro-benchmarks for the per-packet / per-tick hot paths.
+//!
+//! These gate performance regressions of the library itself: the
+//! simulation spends its time in RTP (de)serialisation, feedback
+//! construction/parsing, CC updates, jitter-buffer operations and LTE
+//! channel steps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bytes::Bytes;
+use rpav_gcc::{GccConfig, SendSideBwe};
+use rpav_lte::{Environment, NetworkProfile, Operator, RadioModel};
+use rpav_rtp::jitter::{JitterBuffer, JitterConfig};
+use rpav_rtp::packet::RtpPacket;
+use rpav_rtp::rfc8888::Rfc8888Builder;
+use rpav_rtp::twcc::TwccRecorder;
+use rpav_scream::{ScreamConfig, ScreamSender};
+use rpav_sim::{RngSet, SimDuration, SimTime};
+use rpav_uav::Position;
+use rpav_video::{Encoder, EncoderConfig, SourceVideo};
+
+fn rtp_packet(seq: u16) -> RtpPacket {
+    RtpPacket {
+        marker: seq % 8 == 7,
+        payload_type: 96,
+        sequence: seq,
+        timestamp: seq as u32 * 3_000,
+        ssrc: 2,
+        transport_seq: Some(seq),
+        payload: Bytes::from(vec![0xAB; 1_175]),
+    }
+}
+
+fn bench_rtp_wire(c: &mut Criterion) {
+    let pkt = rtp_packet(42);
+    let wire = pkt.serialize();
+    c.bench_function("rtp_serialize", |b| b.iter(|| black_box(&pkt).serialize()));
+    c.bench_function("rtp_parse", |b| {
+        b.iter(|| RtpPacket::parse(black_box(wire.clone())).unwrap())
+    });
+}
+
+fn bench_feedback(c: &mut Criterion) {
+    c.bench_function("twcc_build_and_parse_100pkts", |b| {
+        b.iter(|| {
+            let mut rec = TwccRecorder::new();
+            for i in 0..100u16 {
+                rec.on_packet(i, SimTime::from_micros(i as u64 * 400));
+            }
+            let fb = rec.build_feedback().unwrap();
+            rpav_rtp::twcc::TwccFeedback::parse(fb.serialize()).unwrap()
+        })
+    });
+    c.bench_function("rfc8888_build_and_parse_span256", |b| {
+        b.iter(|| {
+            let mut builder = Rfc8888Builder::new(256);
+            for i in 0..300u16 {
+                builder.on_packet(i, SimTime::from_micros(i as u64 * 400));
+            }
+            let fb = builder.build(SimTime::from_millis(200)).unwrap();
+            rpav_rtp::rfc8888::Rfc8888Packet::parse(fb.serialize()).unwrap()
+        })
+    });
+}
+
+fn bench_cc_updates(c: &mut Criterion) {
+    c.bench_function("gcc_feedback_round", |b| {
+        let mut bwe = SendSideBwe::new(GccConfig::default());
+        let mut rec = TwccRecorder::new();
+        let mut seq = 0u16;
+        let mut t = SimTime::from_secs(1);
+        b.iter(|| {
+            for _ in 0..20 {
+                bwe.on_packet_sent(seq, t, 1_200);
+                rec.on_packet(seq, t + SimDuration::from_millis(40));
+                seq = seq.wrapping_add(1);
+                t = t + SimDuration::from_micros(500);
+            }
+            if let Some(fb) = rec.build_feedback() {
+                bwe.on_feedback(&fb, t);
+            }
+            black_box(bwe.target_bitrate_bps())
+        })
+    });
+    c.bench_function("scream_feedback_round", |b| {
+        let mut s = ScreamSender::new(ScreamConfig::default());
+        let mut builder = Rfc8888Builder::new(256);
+        let mut seq = 0u16;
+        let mut t = SimTime::from_secs(1);
+        b.iter(|| {
+            s.enqueue(
+                t,
+                (0..8)
+                    .map(|_| {
+                        let p = rtp_packet(seq);
+                        seq = seq.wrapping_add(1);
+                        p
+                    })
+                    .collect(),
+            );
+            while let Some(p) = s.poll_transmit(t) {
+                builder.on_packet(p.sequence, t + SimDuration::from_millis(30));
+            }
+            t = t + SimDuration::from_millis(10);
+            if let Some(fb) = builder.build(t) {
+                s.on_feedback(&fb, t);
+            }
+            black_box(s.target_bitrate_bps())
+        })
+    });
+}
+
+fn bench_jitter(c: &mut Criterion) {
+    c.bench_function("jitter_push_pop_100", |b| {
+        b.iter(|| {
+            let mut jb = JitterBuffer::new(JitterConfig::default());
+            let t0 = SimTime::from_secs(1);
+            for i in 0..100u16 {
+                jb.push(t0 + SimDuration::from_millis(i as u64), rtp_packet(i));
+            }
+            let mut n = 0;
+            while jb.pop_due(t0 + SimDuration::from_secs(10)).is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_lte(c: &mut Criterion) {
+    c.bench_function("lte_radio_step_urban", |b| {
+        let profile = NetworkProfile::new(Environment::Urban, Operator::P1);
+        let mut model = RadioModel::new(&profile, &RngSet::new(1), 0);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t = t + SimDuration::from_millis(100);
+            let pos = Position::new((t.as_millis() % 200_000) as f64 / 1_000.0, 0.0, 60.0);
+            black_box(model.step(t, &pos))
+        })
+    });
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    c.bench_function("encoder_frame", |b| {
+        let mut enc = Encoder::new(EncoderConfig::default(), SourceVideo::new(1), 8e6);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t = t + SimDuration::from_micros(33_334);
+            black_box(enc.poll(t))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rtp_wire,
+    bench_feedback,
+    bench_cc_updates,
+    bench_jitter,
+    bench_lte,
+    bench_encoder
+);
+criterion_main!(benches);

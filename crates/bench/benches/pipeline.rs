@@ -1,0 +1,42 @@
+//! Criterion benchmark of the full measurement pipeline: how much wall
+//! time one short flight takes per workload. This is the number that
+//! bounds campaign sizes (the paper pooled ≈130 runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rpav_core::prelude::*;
+use rpav_sim::SimDuration;
+
+fn short_config(cc: CcMode) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(
+        Environment::Rural,
+        Operator::P1,
+        Mobility::Air,
+        cc,
+        0xBE7C,
+        0,
+    );
+    cfg.hold = SimDuration::from_secs(1);
+    cfg
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_flight");
+    g.sample_size(10);
+    g.bench_function("static_rural", |b| {
+        b.iter(|| {
+            black_box(Simulation::new(short_config(CcMode::paper_static(Environment::Rural))).run())
+        })
+    });
+    g.bench_function("gcc_rural", |b| {
+        b.iter(|| black_box(Simulation::new(short_config(CcMode::Gcc)).run()))
+    });
+    g.bench_function("scream_rural", |b| {
+        b.iter(|| black_box(Simulation::new(short_config(CcMode::paper_scream())).run()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Shared machinery for the figure-regenerator binaries.
+//!
+//! Each paper figure has a binary (`cargo run -p rpav-bench --release --bin
+//! figNN_*`) that runs the required campaigns and prints the figure's
+//! series as labelled text tables — the same rows/series the paper plots.
+//! `RPAV_RUNS` controls the number of runs pooled per configuration
+//! (default 3; the paper pooled ≈130 runs — raise it for smoother tails).
+
+use rpav_core::prelude::*;
+use rpav_core::stats::{self, BoxSummary};
+
+/// Number of runs per configuration (env `RPAV_RUNS`, default 3).
+pub fn runs_per_config() -> u64 {
+    std::env::var("RPAV_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Master seed for all figures (env `RPAV_SEED`, default the campaign
+/// constant).
+pub fn master_seed() -> u64 {
+    std::env::var("RPAV_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x1AC_2022)
+}
+
+/// Run one paper-default campaign.
+pub fn campaign(env: Environment, op: Operator, mobility: Mobility, cc: CcMode) -> CampaignResult {
+    let cfg = ExperimentConfig::paper(env, op, mobility, cc, master_seed(), 0);
+    run_campaign(cfg, runs_per_config())
+}
+
+/// The three §3.2 workloads for an environment.
+pub fn paper_ccs(env: Environment) -> [CcMode; 3] {
+    [
+        CcMode::paper_static(env),
+        CcMode::paper_scream(),
+        CcMode::Gcc,
+    ]
+}
+
+/// Print a figure banner.
+pub fn banner(figure: &str, caption: &str) {
+    println!("=== {figure} — {caption}");
+    println!(
+        "    ({} run(s)/config, seed {:#x}; set RPAV_RUNS/RPAV_SEED to change)",
+        runs_per_config(),
+        master_seed()
+    );
+}
+
+/// Print one boxplot row.
+pub fn print_box(label: &str, values: &[f64]) {
+    match stats::box_summary(values) {
+        Some(s) => println!("{}", s.row(label)),
+        None => println!("{label:<28} (no samples)"),
+    }
+}
+
+/// Print a CDF as `x p` pairs under a label.
+pub fn print_cdf(label: &str, values: &[f64], grid: &[f64]) {
+    println!("-- CDF {label} (n={}):", values.len());
+    for (x, p) in stats::cdf_at(values, grid) {
+        println!("   {x:>10.2} {p:>8.4}");
+    }
+}
+
+/// Compact CDF print: only the crossings of interesting probabilities.
+pub fn print_cdf_quantiles(label: &str, values: &[f64]) {
+    if values.is_empty() {
+        println!("{label:<28} (no samples)");
+        return;
+    }
+    let qs = [0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+    let row: Vec<String> = qs
+        .iter()
+        .map(|q| format!("p{:<2.0}={:>9.2}", q * 100.0, stats::quantile(values, *q)))
+        .collect();
+    println!("{label:<28} {}", row.join(" "));
+}
+
+/// Boxplot summary accessor (re-exported for binaries).
+pub fn summary(values: &[f64]) -> Option<BoxSummary> {
+    stats::box_summary(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knobs_have_defaults() {
+        assert!(runs_per_config() >= 1);
+        assert!(master_seed() != 0);
+    }
+
+    #[test]
+    fn paper_ccs_cover_all_methods() {
+        let ccs = paper_ccs(Environment::Urban);
+        assert_eq!(ccs[0].name(), "Static");
+        assert_eq!(ccs[1].name(), "SCReAM");
+        assert_eq!(ccs[2].name(), "GCC");
+    }
+}

@@ -1,0 +1,31 @@
+//! Calibration diagnostic: Fig. 9 before/after-HO latency ratios on a
+//! short urban static campaign.
+use rpav_core::prelude::*;
+use rpav_core::stats;
+use rpav_sim::SimDuration;
+fn main() {
+    let mut before = vec![];
+    let mut after = vec![];
+    for seed in 0..4 {
+        let mut cfg = ExperimentConfig::paper(
+            Environment::Urban,
+            Operator::P1,
+            Mobility::Air,
+            CcMode::paper_static(Environment::Urban),
+            100 + seed,
+            0,
+        );
+        cfg.hold = SimDuration::from_secs(1);
+        let m = Simulation::new(cfg).run();
+        let (b, a) = m.ho_latency_ratios();
+        before.extend(b);
+        after.extend(a);
+    }
+    println!(
+        "before mean {:.1} (n={}), after mean {:.1} (n={})",
+        stats::mean(&before),
+        before.len(),
+        stats::mean(&after),
+        after.len()
+    );
+}

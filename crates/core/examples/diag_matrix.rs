@@ -1,0 +1,18 @@
+//! Quick matrix: 3 CC × 2 env headline stats, 2 runs each.
+use rpav_core::prelude::*;
+use rpav_core::summary::HeadlineStats;
+
+fn main() {
+    println!("{}", HeadlineStats::header());
+    for env in [Environment::Urban, Environment::Rural] {
+        for cc in [
+            CcMode::paper_static(env),
+            CcMode::paper_scream(),
+            CcMode::Gcc,
+        ] {
+            let cfg = ExperimentConfig::paper(env, Operator::P1, Mobility::Air, cc, 0xABCD, 0);
+            let campaign = run_campaign(cfg, 2);
+            println!("{}", HeadlineStats::from_campaign(&campaign).row());
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Calibration diagnostic: SCReAM pipeline health (set RPAV_DEBUG=1 for a
+//! per-second cwnd/queue/target trace).
+use rpav_core::prelude::*;
+use rpav_sim::SimDuration;
+
+fn main() {
+    let mut cfg = ExperimentConfig::paper(
+        Environment::Urban,
+        Operator::P1,
+        Mobility::Air,
+        CcMode::paper_scream(),
+        0xABCD,
+        0,
+    );
+    cfg.hold = SimDuration::from_secs(1);
+    let m = Simulation::new(cfg).run();
+    println!(
+        "goodput={:.1}Mbps PER={:.4} stalls/min={:.1}",
+        m.goodput_bps() / 1e6,
+        m.per(),
+        m.stalls_per_minute()
+    );
+    println!(
+        "sender_discarded={} span_skipped={}",
+        m.sender_discarded, m.span_skipped
+    );
+    println!("media sent={} recv={}", m.media_sent, m.media_received);
+    let owd = m.owd_ms();
+    println!(
+        "owd p50={:.0} p90={:.0}",
+        rpav_core::stats::quantile(&owd, 0.5),
+        rpav_core::stats::quantile(&owd, 0.9)
+    );
+    let skipped = m.frames.iter().filter(|f| !f.displayed).count();
+    println!("frames total={} skipped={}", m.frames.len(), skipped);
+}

@@ -1,0 +1,60 @@
+//! Calibration diagnostic: static-25-Mbps urban flight — capacity sag
+//! fractions, OWD quantiles, playback compliance.
+use rpav_core::prelude::*;
+use rpav_sim::SimDuration;
+
+fn main() {
+    let mut cfg = ExperimentConfig::paper(
+        Environment::Urban,
+        Operator::P1,
+        Mobility::Air,
+        CcMode::paper_static(Environment::Urban),
+        0xC0FFEE,
+        0,
+    );
+    cfg.hold = SimDuration::from_secs(1);
+    let m = Simulation::new(cfg).run();
+    let caps: Vec<f64> = m.radio.iter().map(|r| r.capacity_bps / 1e6).collect();
+    let below = caps.iter().filter(|c| **c < 25.0).count() as f64 / caps.len() as f64;
+    // longest below-25 episode
+    let mut longest = 0;
+    let mut cur = 0;
+    for c in &caps {
+        if *c < 25.0 {
+            cur += 1;
+            longest = longest.max(cur);
+        } else {
+            cur = 0;
+        }
+    }
+    let owd = m.owd_ms();
+    let q = |p: f64| rpav_core::stats::quantile(&owd, p);
+    println!(
+        "PER={:.4} goodput={:.1}Mbps frac_cap_below25={:.2} longest_ep={}ms",
+        m.per(),
+        m.goodput_bps() / 1e6,
+        below,
+        longest * 100
+    );
+    println!(
+        "owd p50={:.0} p90={:.0} p99={:.0} max={:.0}",
+        q(0.5),
+        q(0.9),
+        q(0.99),
+        q(1.0)
+    );
+    println!(
+        "playback<300 {:.2}; stalls/min {:.2}; HOs {}",
+        m.playback_within(300.0),
+        m.stalls_per_minute(),
+        m.handovers.len()
+    );
+    let mut caps_sorted = caps.clone();
+    caps_sorted.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "cap p5={:.1} p25={:.1} p50={:.1}",
+        caps_sorted[caps.len() / 20],
+        caps_sorted[caps.len() / 4],
+        caps_sorted[caps.len() / 2]
+    );
+}

@@ -1,0 +1,65 @@
+//! `rpav-core` — the measurement pipeline of *Analyzing Real-time Video
+//! Delivery over Cellular Networks for Remote Piloting Aerial Vehicles*
+//! (IMC '22), rebuilt as a deterministic simulation study.
+//!
+//! The crate wires the substrates together and extracts every metric the
+//! paper reports:
+//!
+//! * [`scenario`] — experiment axes (environment × operator × mobility ×
+//!   CC) with the paper's default parameters.
+//! * [`pipeline`] — the sender/receiver wiring ([`Simulation`]).
+//! * [`metrics`] — per-run records and derived series (goodput, OWD, HET,
+//!   FPS, playback latency, SSIM, stalls, HO-latency ratios).
+//! * [`stats`] — quantiles, boxplot summaries, CDFs.
+//! * [`runner`] — campaign execution across repeated runs.
+//! * [`ping`] — the cross-traffic-free RTT workload of Fig. 13.
+//! * [`dataset`] — CSV export in the shape of the paper's released dataset.
+//! * [`multipath`] — the paper's future-work multipath experiment
+//!   (redundant transmission over both operators).
+//! * [`trace`] — Fig. 8-style time-series export (CSV).
+//! * [`summary`] — the in-text headline statistics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rpav_core::prelude::*;
+//!
+//! let mut cfg = ExperimentConfig::paper(
+//!     Environment::Rural,
+//!     Operator::P1,
+//!     Mobility::Air,
+//!     CcMode::Gcc,
+//!     42,   // seed
+//!     0,    // run index
+//! );
+//! cfg.hold = rpav_sim::SimDuration::from_secs(1); // shorten for the doctest
+//! let metrics = Simulation::new(cfg).run();
+//! assert!(metrics.goodput_bps() > 1e6);
+//! assert!(metrics.per() < 0.05);
+//! ```
+
+pub mod dataset;
+pub mod metrics;
+pub mod multipath;
+pub mod ping;
+pub mod pipeline;
+pub mod runner;
+pub mod scenario;
+pub mod stats;
+pub mod summary;
+pub mod trace;
+
+pub use metrics::RunMetrics;
+pub use pipeline::Simulation;
+pub use runner::{run_campaign, CampaignResult};
+pub use scenario::{CcMode, ExperimentConfig, Mobility};
+
+/// Convenient glob import for examples and benches.
+pub mod prelude {
+    pub use crate::metrics::RunMetrics;
+    pub use crate::pipeline::Simulation;
+    pub use crate::runner::{run_campaign, CampaignResult};
+    pub use crate::scenario::{CcMode, ExperimentConfig, Mobility};
+    pub use crate::stats;
+    pub use rpav_lte::{Environment, Operator};
+}

@@ -1,0 +1,361 @@
+//! Per-run measurement records — the analog of the paper's tcpdump + CC
+//! logs + received-video analysis, already joined.
+
+use rpav_lte::HandoverKind;
+use rpav_sim::{SimDuration, SimTime};
+
+use crate::stats;
+
+/// One handover occurrence.
+#[derive(Clone, Copy, Debug)]
+pub struct HandoverRecord {
+    /// Execution start (RRCConnectionReconfiguration).
+    pub at: SimTime,
+    /// Handover execution time.
+    pub het: SimDuration,
+    /// Trigger type.
+    pub kind: HandoverKind,
+    /// Source cell.
+    pub from: u32,
+    /// Target cell.
+    pub to: u32,
+}
+
+/// One radio-tick snapshot (100 ms cadence, like the modem's reporting).
+#[derive(Clone, Copy, Debug)]
+pub struct RadioTraceRow {
+    /// Timestamp.
+    pub t: SimTime,
+    /// UAV altitude (m).
+    pub altitude_m: f64,
+    /// Available uplink capacity (bit/s).
+    pub capacity_bps: f64,
+    /// Serving-cell RSRP (dBm).
+    pub rsrp_dbm: f64,
+    /// Serving-cell SINR (dB).
+    pub sinr_db: f64,
+    /// Whether a handover was executing.
+    pub in_handover: bool,
+}
+
+/// One played (or skipped) frame.
+#[derive(Clone, Copy, Debug)]
+pub struct FrameRecord {
+    /// Frame number.
+    pub number: u64,
+    /// Display (or skip) instant.
+    pub display_at: SimTime,
+    /// Playback latency (ms); `None` for skipped frames.
+    pub latency_ms: Option<f64>,
+    /// SSIM (0 for skipped frames).
+    pub ssim: f64,
+    /// Whether it was actually displayed.
+    pub displayed: bool,
+}
+
+/// Everything one run produces.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// Run duration.
+    pub duration: SimDuration,
+    /// Media packets offered to the network.
+    pub media_sent: u64,
+    /// Media packets delivered to the receiver.
+    pub media_received: u64,
+    /// Media payload bytes delivered.
+    pub media_received_bytes: u64,
+    /// One-way delay samples of delivered media packets: (arrival, ms).
+    pub owd: Vec<(SimTime, f64)>,
+    /// Handover events.
+    pub handovers: Vec<HandoverRecord>,
+    /// Radio snapshots.
+    pub radio: Vec<RadioTraceRow>,
+    /// Frame-level playback records.
+    pub frames: Vec<FrameRecord>,
+    /// Player stall count (inter-frame gap > 300 ms).
+    pub stalls: u64,
+    /// Packets the sender-side CC discarded before transmission (SCReAM
+    /// queue breaker).
+    pub sender_discarded: u64,
+    /// SCReAM false losses from the bounded ack span.
+    pub span_skipped: u64,
+    /// Distinct serving cells seen.
+    pub distinct_cells: usize,
+}
+
+impl RunMetrics {
+    /// Packet error rate of the media stream.
+    pub fn per(&self) -> f64 {
+        if self.media_sent == 0 {
+            return 0.0;
+        }
+        1.0 - self.media_received as f64 / self.media_sent as f64
+    }
+
+    /// Mean goodput over the run (payload bits delivered / duration).
+    pub fn goodput_bps(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.media_received_bytes as f64 * 8.0 / secs
+    }
+
+    /// Goodput over sliding windows: `(window_end, bps)` series.
+    pub fn goodput_timeline(&self, window: SimDuration) -> Vec<(SimTime, f64)> {
+        // Recover per-window byte counts from the OWD sample arrival times
+        // weighted by mean packet size (samples are per delivered packet).
+        if self.owd.is_empty() || self.media_received == 0 {
+            return Vec::new();
+        }
+        let mean_pkt = self.media_received_bytes as f64 / self.media_received as f64;
+        let mut out = Vec::new();
+        let end = self.owd.last().unwrap().0;
+        let mut t = self.owd.first().unwrap().0 + window;
+        let mut idx = 0usize;
+        while t <= end {
+            let start = t - window;
+            while idx < self.owd.len() && self.owd[idx].0 < start {
+                idx += 1;
+            }
+            let count = self.owd[idx..].iter().take_while(|(a, _)| *a <= t).count();
+            out.push((t, count as f64 * mean_pkt * 8.0 / window.as_secs_f64()));
+            t += window;
+        }
+        out
+    }
+
+    /// Handover frequency (events per second of run time).
+    pub fn ho_frequency(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.handovers.len() as f64 / secs
+    }
+
+    /// HET samples in milliseconds.
+    pub fn het_ms(&self) -> Vec<f64> {
+        self.handovers
+            .iter()
+            .map(|h| h.het.as_millis_f64())
+            .collect()
+    }
+
+    /// One-way latency samples in milliseconds.
+    pub fn owd_ms(&self) -> Vec<f64> {
+        self.owd.iter().map(|(_, ms)| *ms).collect()
+    }
+
+    /// Playback-latency samples (displayed frames only), ms.
+    pub fn playback_latency_ms(&self) -> Vec<f64> {
+        self.frames.iter().filter_map(|f| f.latency_ms).collect()
+    }
+
+    /// SSIM samples (0 entries for skipped frames included, §4.2.3).
+    pub fn ssim_samples(&self) -> Vec<f64> {
+        self.frames.iter().map(|f| f.ssim).collect()
+    }
+
+    /// FPS over sliding 1 s windows.
+    pub fn fps_timeline(&self) -> Vec<(SimTime, f64)> {
+        let displayed: Vec<SimTime> = self
+            .frames
+            .iter()
+            .filter(|f| f.displayed)
+            .map(|f| f.display_at)
+            .collect();
+        if displayed.is_empty() {
+            return Vec::new();
+        }
+        let window = SimDuration::from_secs(1);
+        let mut out = Vec::new();
+        let end = *displayed.last().unwrap();
+        let mut t = displayed[0] + window;
+        let mut idx = 0usize;
+        while t <= end {
+            let start = t - window;
+            while idx < displayed.len() && displayed[idx] < start {
+                idx += 1;
+            }
+            let count = displayed[idx..].iter().take_while(|d| **d <= t).count();
+            out.push((t, count as f64));
+            t += SimDuration::from_millis(500);
+        }
+        out
+    }
+
+    /// Stall rate per minute (the §4.2.1 headline metric).
+    pub fn stalls_per_minute(&self) -> f64 {
+        let mins = self.duration.as_secs_f64() / 60.0;
+        if mins <= 0.0 {
+            return 0.0;
+        }
+        self.stalls as f64 / mins
+    }
+
+    /// Max/min one-way-latency ratios in the 1 s windows before and after
+    /// each handover (Fig. 9). Returns `(before_ratios, after_ratios)`.
+    pub fn ho_latency_ratios(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut before = Vec::new();
+        let mut after = Vec::new();
+        let w = SimDuration::from_secs(1);
+        for ho in &self.handovers {
+            let b: Vec<f64> = self
+                .owd
+                .iter()
+                .filter(|(t, _)| *t >= ho.at - w && *t < ho.at)
+                .map(|(_, ms)| *ms)
+                .collect();
+            let a: Vec<f64> = self
+                .owd
+                .iter()
+                .filter(|(t, _)| *t > ho.at && *t <= ho.at + w)
+                .map(|(_, ms)| *ms)
+                .collect();
+            if b.len() >= 2 {
+                let max = b.iter().cloned().fold(f64::MIN, f64::max);
+                let min = b.iter().cloned().fold(f64::MAX, f64::min);
+                if min > 0.0 {
+                    before.push(max / min);
+                }
+            }
+            if a.len() >= 2 {
+                let max = a.iter().cloned().fold(f64::MIN, f64::max);
+                let min = a.iter().cloned().fold(f64::MAX, f64::min);
+                if min > 0.0 {
+                    after.push(max / min);
+                }
+            }
+        }
+        (before, after)
+    }
+
+    /// Fraction of time playback latency was at or below the RP threshold.
+    pub fn playback_within(&self, threshold_ms: f64) -> f64 {
+        stats::fraction_at_or_below(&self.playback_latency_ms(), threshold_ms)
+    }
+
+    /// Ping-pong handovers: a handover back to the cell just left, within
+    /// `window` (the §5 discussion: "avoid unnecessary ping-pong HOs …
+    /// that we also observed in our rural measurements").
+    pub fn ping_pong_count(&self, window: SimDuration) -> usize {
+        self.handovers
+            .windows(2)
+            .filter(|w| w[1].to == w[0].from && w[1].at.saturating_since(w[0].at) <= window)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn sample_metrics() -> RunMetrics {
+        RunMetrics {
+            duration: SimDuration::from_secs(60),
+            media_sent: 1_000,
+            media_received: 990,
+            media_received_bytes: 990 * 1_200,
+            owd: (0..990)
+                .map(|i| (t(i * 60), 40.0 + (i % 10) as f64))
+                .collect(),
+            handovers: vec![HandoverRecord {
+                at: t(30_000),
+                het: SimDuration::from_millis(30),
+                kind: HandoverKind::A3,
+                from: 1,
+                to: 2,
+            }],
+            frames: (0..1_800)
+                .map(|i| FrameRecord {
+                    number: i,
+                    display_at: t(i * 33),
+                    latency_ms: Some(180.0 + (i % 30) as f64),
+                    ssim: 0.9,
+                    displayed: true,
+                })
+                .collect(),
+            stalls: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn per_and_goodput() {
+        let m = sample_metrics();
+        assert!((m.per() - 0.01).abs() < 1e-12);
+        let expected = 990.0 * 1_200.0 * 8.0 / 60.0;
+        assert!((m.goodput_bps() - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn ho_frequency_and_het() {
+        let m = sample_metrics();
+        assert!((m.ho_frequency() - 1.0 / 60.0).abs() < 1e-12);
+        assert_eq!(m.het_ms(), vec![30.0]);
+    }
+
+    #[test]
+    fn stalls_per_minute() {
+        let m = sample_metrics();
+        assert!((m.stalls_per_minute() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn playback_within_threshold() {
+        let m = sample_metrics();
+        assert_eq!(m.playback_within(300.0), 1.0);
+        assert_eq!(m.playback_within(100.0), 0.0);
+    }
+
+    #[test]
+    fn ho_latency_ratio_windows() {
+        let mut m = sample_metrics();
+        // Inject a latency spike just before the handover at 30 s.
+        m.owd.push((t(29_500), 400.0));
+        m.owd.sort_by_key(|(t, _)| *t);
+        let (before, after) = m.ho_latency_ratios();
+        assert_eq!(before.len(), 1);
+        assert_eq!(after.len(), 1);
+        assert!(before[0] > 8.0, "before ratio {}", before[0]);
+        assert!(after[0] < 2.0, "after ratio {}", after[0]);
+    }
+
+    #[test]
+    fn fps_timeline_counts_displayed_frames() {
+        let m = sample_metrics();
+        let fps = m.fps_timeline();
+        assert!(!fps.is_empty());
+        // ~30 FPS everywhere (frames every 33 ms).
+        for (_, f) in &fps {
+            assert!((*f - 30.0).abs() <= 2.0, "fps {f}");
+        }
+    }
+
+    #[test]
+    fn goodput_timeline_matches_mean() {
+        let m = sample_metrics();
+        let tl = m.goodput_timeline(SimDuration::from_secs(5));
+        assert!(!tl.is_empty());
+        let avg = tl.iter().map(|(_, b)| *b).sum::<f64>() / tl.len() as f64;
+        // Packets every 60 ms of 1 200 B → 160 kbps.
+        assert!((avg - 160_000.0).abs() < 16_000.0, "avg {avg}");
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = RunMetrics::default();
+        assert_eq!(m.per(), 0.0);
+        assert_eq!(m.goodput_bps(), 0.0);
+        assert_eq!(m.ho_frequency(), 0.0);
+        assert!(m.goodput_timeline(SimDuration::from_secs(1)).is_empty());
+        assert!(m.fps_timeline().is_empty());
+        let (b, a) = m.ho_latency_ratios();
+        assert!(b.is_empty() && a.is_empty());
+    }
+}

@@ -1,0 +1,616 @@
+//! The end-to-end measurement pipeline: one UAV (or motorbike) node
+//! streaming adaptive RTP video over the simulated LTE access + WAN to the
+//! remote-pilot server, with CC feedback flowing back.
+//!
+//! ```text
+//!       sender (UAV payload)                 receiver (AWS server)
+//! source ─► encoder ─► packetizer ─► CC ──► LTE uplink ─► WAN ──► RTCP recorders
+//!    ▲                                │                        ─► jitter buffer
+//!    └── target bitrate ◄── feedback ◄┴─ WAN ◄─ LTE downlink ◄── feedback timer
+//!                                                 jitter buffer ─► depacketizer
+//!                                                   ─► SSIM ─► player ─► metrics
+//! ```
+//!
+//! Everything advances on a 1 ms driver tick; radio state updates every
+//! 100 ms (the modem cadence). One [`Simulation::run`] is one measurement
+//! run of the campaign.
+
+use std::collections::VecDeque;
+
+use rpav_gcc::{GccConfig, SendSideBwe};
+use rpav_lte::{NetworkProfile, RadioModel};
+use rpav_netem::{FaultConfig, GilbertElliott, Packet, PacketKind, Path};
+use rpav_rtp::jitter::{JitterBuffer, JitterConfig};
+use rpav_rtp::packet::RtpPacket;
+use rpav_rtp::packetize::{Depacketizer, Packetizer};
+use rpav_rtp::rfc8888::{Rfc8888Builder, Rfc8888Packet};
+use rpav_rtp::twcc::{TwccFeedback, TwccRecorder};
+use rpav_scream::{ScreamConfig, ScreamSender};
+use rpav_sim::{RngSet, SimDuration, SimRng, SimTime};
+use rpav_uav::{profiles as uav_profiles, FlightPlan, Position};
+use rpav_video::player::DecodedFrame;
+use rpav_video::{quality, Encoder, EncoderConfig, Player, PlayerConfig, SourceVideo};
+
+use crate::metrics::{FrameRecord, HandoverRecord, RadioTraceRow, RunMetrics};
+use crate::scenario::{CcMode, ExperimentConfig, Mobility};
+
+/// Driver tick.
+const TICK: SimDuration = SimDuration::from_millis(1);
+/// TWCC feedback interval (GCC).
+const TWCC_INTERVAL: SimDuration = SimDuration::from_millis(50);
+/// RFC 8888 feedback interval (SCReAM library default, §4.2.1: 10 ms).
+const CCFB_INTERVAL: SimDuration = SimDuration::from_millis(10);
+/// Extra time after the plan ends for in-flight media to play out.
+const DRAIN: SimDuration = SimDuration::from_secs(3);
+/// eNodeB uplink buffer: deep enough that congestion becomes delay, not
+/// loss (bufferbloat, §4.1).
+const UPLINK_QUEUE_BYTES: usize = 6_000_000;
+/// Baseline bursty loss process tuned to the paper's measured PER of
+/// 0.06–0.07 % with consecutive drops (§4.1): rare events (≈0.2 /s at
+/// 25 Mbps), ≈8 packets lost per event.
+fn baseline_loss() -> GilbertElliott {
+    GilbertElliott::new(0.000_08, 0.12, 0.0, 0.8)
+}
+
+enum CcState {
+    Static,
+    Gcc {
+        bwe: SendSideBwe,
+        queue: VecDeque<RtpPacket>,
+        budget_bytes: f64,
+        last_refill: SimTime,
+    },
+    Scream {
+        sender: ScreamSender,
+    },
+}
+
+/// One full measurement run.
+pub struct Simulation {
+    config: ExperimentConfig,
+    plan: FlightPlan,
+    radio: RadioModel,
+    uplink: Path,
+    downlink: Path,
+    extra_loss_prob: f64,
+    extra_loss_rng: SimRng,
+    source: SourceVideo,
+    encoder: Encoder,
+    packetizer: Packetizer,
+    cc: CcState,
+    pending_frames: VecDeque<rpav_video::EncodedFrame>,
+    // Receiver state.
+    jitter: JitterBuffer,
+    depack: Depacketizer,
+    player: Player,
+    twcc_rec: TwccRecorder,
+    ccfb: Rfc8888Builder,
+    ref_intact: bool,
+    last_frame_to_player: Option<u64>,
+    // Bookkeeping.
+    next_radio: SimTime,
+    next_feedback: SimTime,
+    netem_seq: u64,
+    metrics: RunMetrics,
+}
+
+impl Simulation {
+    /// Assemble a run from its configuration.
+    pub fn new(config: ExperimentConfig) -> Self {
+        let rngs = RngSet::new(config.seed);
+        let mut profile = NetworkProfile::new(config.environment, config.operator);
+        if let Some(h) = config.hysteresis_override_db {
+            profile.handover.hysteresis_db = h;
+        }
+        if let Some(ttt) = config.ttt_override_ms {
+            profile.handover.time_to_trigger = SimDuration::from_millis(ttt);
+        }
+        let radio = RadioModel::new(&profile, &rngs, config.run_index);
+        let plan = match config.mobility {
+            Mobility::Air => uav_profiles::paper_flight(Position::ground(0.0, 0.0), config.hold),
+            Mobility::Ground => uav_profiles::ground_run(
+                Position::ground(0.0, 0.0),
+                config.ground_sweeps,
+                config.hold,
+            ),
+        };
+
+        // Both directions: fault injector (bursty PER) → bottleneck → WAN.
+        // Radio propagation ≈ 5 ms; WAN ≈ 12.5 ms → lowest RTT ≈ 35 ms
+        // (§3.1).
+        let uplink = Path::new(
+            FaultConfig {
+                burst: baseline_loss(),
+                ..Default::default()
+            },
+            rngs.stream_indexed("pipe.ul.fault", config.run_index),
+            10e6, // re-rated on the first radio tick
+            SimDuration::from_millis(5),
+            UPLINK_QUEUE_BYTES,
+            SimDuration::from_millis(12),
+            SimDuration::from_micros(600),
+            rngs.stream_indexed("pipe.ul.wan", config.run_index),
+        );
+        let downlink = Path::new(
+            FaultConfig {
+                burst: baseline_loss(),
+                ..Default::default()
+            },
+            rngs.stream_indexed("pipe.dl.fault", config.run_index),
+            150e6,
+            SimDuration::from_millis(5),
+            UPLINK_QUEUE_BYTES,
+            SimDuration::from_millis(12),
+            SimDuration::from_micros(600),
+            rngs.stream_indexed("pipe.dl.wan", config.run_index),
+        );
+
+        let source = SourceVideo::new(config.seed ^ 0x5EED);
+        let (start_bitrate, with_twcc, cc) = match config.cc {
+            CcMode::Static { bitrate_bps } => (bitrate_bps, false, CcState::Static),
+            CcMode::Gcc => (
+                2e6,
+                true,
+                CcState::Gcc {
+                    bwe: SendSideBwe::new(GccConfig::default()),
+                    queue: VecDeque::new(),
+                    budget_bytes: 0.0,
+                    last_refill: SimTime::ZERO,
+                },
+            ),
+            CcMode::Scream { .. } => (
+                2e6,
+                false,
+                CcState::Scream {
+                    sender: ScreamSender::new(ScreamConfig::default()),
+                },
+            ),
+        };
+        let ack_span = match config.cc {
+            CcMode::Scream { ack_span } => ack_span,
+            _ => 64,
+        };
+        let encoder = Encoder::new(EncoderConfig::default(), source, start_bitrate);
+
+        Simulation {
+            config,
+            plan,
+            radio,
+            uplink,
+            downlink,
+            extra_loss_prob: 0.0,
+            extra_loss_rng: rngs.stream_indexed("pipe.extraloss", config.run_index),
+            source,
+            encoder,
+            packetizer: Packetizer::new(0x2, with_twcc),
+            cc,
+            pending_frames: VecDeque::new(),
+            jitter: JitterBuffer::new(JitterConfig {
+                drop_on_latency: config.drop_on_latency,
+                target: config
+                    .jitter_target_override_ms
+                    .map(SimDuration::from_millis)
+                    .unwrap_or(JitterConfig::default().target),
+            }),
+            depack: Depacketizer::new(),
+            player: Player::new(PlayerConfig::default()),
+            twcc_rec: TwccRecorder::new(),
+            ccfb: Rfc8888Builder::new(ack_span),
+            ref_intact: true,
+            last_frame_to_player: None,
+            next_radio: SimTime::ZERO,
+            next_feedback: SimTime::ZERO,
+            netem_seq: 0,
+            metrics: RunMetrics::default(),
+        }
+    }
+
+    /// Execute the run to completion and return its metrics.
+    pub fn run(mut self) -> RunMetrics {
+        let flight_end = SimTime::ZERO + self.plan.duration();
+        let end = flight_end + DRAIN;
+        let mut t = SimTime::ZERO;
+        while t < end {
+            self.step(t, flight_end);
+            t += TICK;
+        }
+        self.metrics.duration = self.plan.duration();
+        let pstats = self.player.stats();
+        self.metrics.stalls = pstats.stalls;
+        self.metrics.distinct_cells = self.radio.distinct_cells();
+        if let CcState::Scream { sender } = &self.cc {
+            self.metrics.sender_discarded = sender.stats().queue_discarded;
+            self.metrics.span_skipped = sender.stats().span_skipped;
+        }
+        self.metrics
+    }
+
+    fn step(&mut self, now: SimTime, flight_end: SimTime) {
+        // 1. Radio tick: re-rate links, register handovers.
+        if now >= self.next_radio {
+            self.next_radio = now + self.radio.tick();
+            let pos = self.plan.position_at(now);
+            let sample = self.radio.step(now, &pos);
+            self.uplink
+                .set_rate_bps(now, sample.uplink_capacity_bps.max(50e3));
+            self.downlink
+                .set_rate_bps(now, sample.downlink_capacity_bps.max(50e3));
+            self.uplink.set_extra_delay(sample.retx_delay);
+            self.downlink.set_extra_delay(sample.retx_delay);
+            if let Some(ho) = sample.handover {
+                self.uplink.pause_until(now, ho.complete_at);
+                self.downlink.pause_until(now, ho.complete_at);
+                self.metrics.handovers.push(HandoverRecord {
+                    at: ho.at,
+                    het: ho.het(),
+                    kind: ho.kind,
+                    from: ho.from.0,
+                    to: ho.to.0,
+                });
+            }
+            self.extra_loss_prob = sample.extra_loss_prob;
+            if std::env::var_os("RPAV_DEBUG").is_some() && now.as_millis() % 1_000 == 0 {
+                if let CcState::Scream { sender } = &self.cc {
+                    eprintln!(
+                        "t={:>6.1}s target={:>5.1}Mbps cwnd={:>7.0} inflight={:>6} q={:>6} qdel={:>5.1}ms netq={:>5.1}ms disc={} span={} loss_ev={}",
+                        now.as_secs_f64(),
+                        sender.target_bitrate_bps() / 1e6,
+                        sender.cwnd_bytes(),
+                        sender.bytes_in_flight(),
+                        sender.rtp_queue_bytes(),
+                        sender.rtp_queue_delay().as_millis_f64(),
+                        sender.network_queue_delay().as_millis_f64(),
+                        sender.stats().queue_discarded,
+                        sender.stats().span_skipped,
+                        sender.stats().loss_events,
+                    );
+                }
+            }
+            self.metrics.radio.push(RadioTraceRow {
+                t: now,
+                altitude_m: pos.z,
+                capacity_bps: sample.uplink_capacity_bps,
+                rsrp_dbm: sample.rsrp_dbm,
+                sinr_db: sample.sinr_db,
+                in_handover: sample.in_handover,
+            });
+        }
+
+        // 2. Encoder: produce frames while the flight lasts.
+        if now < flight_end {
+            while let Some(frame) = self.encoder.poll(now) {
+                self.pending_frames.push_back(frame);
+            }
+        }
+        while let Some(front) = self.pending_frames.front() {
+            if front.ready_at > now {
+                break;
+            }
+            let frame = self.pending_frames.pop_front().unwrap();
+            let packets = self
+                .packetizer
+                .packetize(frame.meta, frame.meta.encode_time);
+            match &mut self.cc {
+                CcState::Static => {
+                    for p in packets {
+                        Self::send_media(
+                            &mut self.uplink,
+                            &mut self.netem_seq,
+                            &mut self.metrics,
+                            &mut self.extra_loss_rng,
+                            self.extra_loss_prob,
+                            None,
+                            now,
+                            p,
+                        );
+                    }
+                }
+                CcState::Gcc { queue, .. } => queue.extend(packets),
+                CcState::Scream { sender } => sender.enqueue(now, packets),
+            }
+        }
+
+        // 3. CC-gated transmission.
+        match &mut self.cc {
+            CcState::Static => {}
+            CcState::Gcc {
+                bwe,
+                queue,
+                budget_bytes,
+                last_refill,
+            } => {
+                // Token-bucket pacer at 1.5× the target rate.
+                let dt = now.saturating_since(*last_refill).as_secs_f64();
+                *last_refill = now;
+                let rate = bwe.target_bitrate_bps() * 1.5;
+                *budget_bytes = (*budget_bytes + rate * dt / 8.0).min(60_000.0);
+                while let Some(front) = queue.front() {
+                    let size = front.wire_size();
+                    if *budget_bytes < size as f64 {
+                        break;
+                    }
+                    *budget_bytes -= size as f64;
+                    let p = queue.pop_front().unwrap();
+                    if let Some(ts) = p.transport_seq {
+                        bwe.on_packet_sent(ts, now, p.wire_size());
+                    }
+                    Self::send_media(
+                        &mut self.uplink,
+                        &mut self.netem_seq,
+                        &mut self.metrics,
+                        &mut self.extra_loss_rng,
+                        self.extra_loss_prob,
+                        None,
+                        now,
+                        p,
+                    );
+                }
+            }
+            CcState::Scream { sender } => {
+                while let Some(p) = sender.poll_transmit(now) {
+                    Self::send_media(
+                        &mut self.uplink,
+                        &mut self.netem_seq,
+                        &mut self.metrics,
+                        &mut self.extra_loss_rng,
+                        self.extra_loss_prob,
+                        None,
+                        now,
+                        p,
+                    );
+                }
+            }
+        }
+
+        // 4. Uplink arrivals at the server.
+        while let Some(pkt) = self.uplink.poll(now) {
+            if pkt.corrupted {
+                continue; // checksum failure == loss
+            }
+            let Some(rtp) = RtpPacket::parse(pkt.payload.clone()) else {
+                continue;
+            };
+            let owd_ms = now.saturating_since(pkt.sent_at).as_millis_f64();
+            self.metrics.owd.push((now, owd_ms));
+            self.metrics.media_received += 1;
+            self.metrics.media_received_bytes += rtp.payload.len() as u64;
+            match &self.cc {
+                CcState::Gcc { .. } => {
+                    if let Some(ts) = rtp.transport_seq {
+                        self.twcc_rec.on_packet(ts, now);
+                    }
+                }
+                CcState::Scream { .. } => {
+                    self.ccfb.on_packet(rtp.sequence, now);
+                }
+                CcState::Static => {}
+            }
+            self.jitter.push(now, rtp);
+        }
+
+        // 5. Receiver feedback timers.
+        if now >= self.next_feedback {
+            match &self.cc {
+                CcState::Static => {
+                    self.next_feedback = SimTime::MAX; // no feedback stream
+                }
+                CcState::Gcc { .. } => {
+                    self.next_feedback = now + TWCC_INTERVAL;
+                    if let Some(fb) = self.twcc_rec.build_feedback() {
+                        let wire = fb.serialize();
+                        self.netem_seq += 1;
+                        self.downlink.enqueue(
+                            now,
+                            Packet::new(self.netem_seq, wire, PacketKind::Feedback, now),
+                        );
+                    }
+                }
+                CcState::Scream { .. } => {
+                    self.next_feedback = now + CCFB_INTERVAL;
+                    if let Some(fb) = self.ccfb.build(now) {
+                        let wire = fb.serialize();
+                        self.netem_seq += 1;
+                        self.downlink.enqueue(
+                            now,
+                            Packet::new(self.netem_seq, wire, PacketKind::Feedback, now),
+                        );
+                    }
+                }
+            }
+        }
+
+        // 6. Feedback arrivals at the sender.
+        while let Some(pkt) = self.downlink.poll(now) {
+            if pkt.corrupted {
+                continue;
+            }
+            match &mut self.cc {
+                CcState::Static => {}
+                CcState::Gcc { bwe, .. } => {
+                    if let Some(fb) = TwccFeedback::parse(pkt.payload.clone()) {
+                        bwe.on_feedback(&fb, now);
+                        self.encoder.set_target_bitrate(bwe.target_bitrate_bps());
+                    }
+                }
+                CcState::Scream { sender } => {
+                    if let Some(fb) = Rfc8888Packet::parse(pkt.payload.clone()) {
+                        sender.on_feedback(&fb, now);
+                        self.encoder.set_target_bitrate(sender.target_bitrate_bps());
+                    }
+                }
+            }
+        }
+
+        // 7. Jitter buffer → depacketizer → SSIM → player.
+        while let Some((playout, rtp)) = self.jitter.pop_due(now) {
+            self.depack.push(&rtp, playout);
+        }
+        if let Some(highest) = self.depack.highest_frame() {
+            let flush_before = highest.saturating_sub(2);
+            for frame in self.depack.drain(flush_before) {
+                let n = frame.meta.frame_number;
+                // A gap in delivered frame numbers means a frame vanished
+                // entirely: the decoder's reference chain is broken.
+                if let Some(last) = self.last_frame_to_player {
+                    if n > last + 1 {
+                        self.ref_intact = false;
+                    }
+                }
+                self.last_frame_to_player = Some(n);
+                let complete = frame.is_complete();
+                let ssim = quality::frame_ssim(
+                    &self.source,
+                    n,
+                    frame.meta.frame_bytes,
+                    frame.received_fraction(),
+                    self.ref_intact,
+                );
+                // Reference recovers at the next intact keyframe.
+                if complete && frame.meta.keyframe {
+                    self.ref_intact = true;
+                } else if !complete {
+                    self.ref_intact = false;
+                }
+                self.player.push(DecodedFrame {
+                    frame_number: n,
+                    encode_time: frame.meta.encode_time,
+                    ssim,
+                });
+            }
+        }
+        for ev in self.player.poll(now) {
+            self.metrics.frames.push(FrameRecord {
+                number: ev.frame_number,
+                display_at: ev.display_time,
+                latency_ms: ev.latency.map(|l| l.as_millis_f64()),
+                ssim: ev.ssim,
+                displayed: ev.displayed,
+            });
+        }
+    }
+
+    /// Offer one media packet to the uplink, applying the altitude loss.
+    #[allow(clippy::too_many_arguments)]
+    fn send_media(
+        uplink: &mut Path,
+        netem_seq: &mut u64,
+        metrics: &mut RunMetrics,
+        extra_loss_rng: &mut SimRng,
+        extra_loss_prob: f64,
+        _unused: Option<()>,
+        now: SimTime,
+        rtp: RtpPacket,
+    ) {
+        metrics.media_sent += 1;
+        if extra_loss_rng.chance(extra_loss_prob) {
+            return; // high-altitude loss event (§4.2.1)
+        }
+        *netem_seq += 1;
+        let wire = rtp.serialize();
+        uplink.enqueue(now, Packet::new(*netem_seq, wire, PacketKind::Media, now));
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpav_lte::{Environment, Operator};
+
+    fn quick(cc: CcMode, env: Environment, mobility: Mobility) -> RunMetrics {
+        let mut cfg = ExperimentConfig::paper(env, Operator::P1, mobility, cc, 0xC0FFEE, 0);
+        // Shorter holds to keep unit-test runtime low.
+        cfg.hold = SimDuration::from_secs(1);
+        cfg.ground_sweeps = 1;
+        Simulation::new(cfg).run()
+    }
+
+    #[test]
+    fn static_urban_flight_delivers_high_quality_video() {
+        let m = quick(
+            CcMode::paper_static(Environment::Urban),
+            Environment::Urban,
+            Mobility::Air,
+        );
+        // Goodput close to the 25 Mbps static rate.
+        assert!(
+            m.goodput_bps() > 15e6,
+            "goodput {:.1} Mbps",
+            m.goodput_bps() / 1e6
+        );
+        // Loss is tiny (bufferbloat, not drops).
+        assert!(m.per() < 0.02, "PER {}", m.per());
+        // Playback happened, mostly at high SSIM.
+        assert!(m.frames.len() > 1_000, "{} frames", m.frames.len());
+        let ssim = m.ssim_samples();
+        let good = ssim.iter().filter(|s| **s > 0.8).count() as f64 / ssim.len() as f64;
+        assert!(good > 0.7, "only {good:.2} of frames above 0.8 SSIM");
+    }
+
+    #[test]
+    fn gcc_adapts_in_rural() {
+        let m = quick(CcMode::Gcc, Environment::Rural, Mobility::Air);
+        // GCC should find a rate in the rural capacity neighbourhood
+        // (≈8–12 Mbps) — well above its 2 Mbps start, well below 25.
+        let g = m.goodput_bps();
+        assert!((3e6..15e6).contains(&g), "goodput {:.1} Mbps", g / 1e6);
+        assert!(m.per() < 0.05);
+        // One-way latency mostly double-digit ms.
+        let owd = m.owd_ms();
+        let median = crate::stats::quantile(&owd, 0.5);
+        assert!((15.0..150.0).contains(&median), "median OWD {median} ms");
+    }
+
+    #[test]
+    fn scream_runs_and_discards_on_congestion() {
+        let m = quick(CcMode::paper_scream(), Environment::Rural, Mobility::Air);
+        let g = m.goodput_bps();
+        assert!((2e6..16e6).contains(&g), "goodput {:.1} Mbps", g / 1e6);
+        assert!(m.frames.len() > 1_000);
+    }
+
+    #[test]
+    fn playback_latency_mostly_within_threshold() {
+        let m = quick(
+            CcMode::paper_static(Environment::Urban),
+            Environment::Urban,
+            Mobility::Air,
+        );
+        let frac = m.playback_within(300.0);
+        assert!(
+            frac > 0.5,
+            "only {frac:.2} of playback below 300 ms (expected well above half)"
+        );
+        // And latencies are ≥ the structural floor (≈ one-way + jitter
+        // buffer ≈ 170 ms at minimum... allow decoder slack).
+        let lat = m.playback_latency_ms();
+        let p5 = crate::stats::quantile(&lat, 0.05);
+        assert!(p5 > 100.0, "p5 playback latency {p5} ms is implausibly low");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_metrics() {
+        let run = || quick(CcMode::Gcc, Environment::Rural, Mobility::Air);
+        let a = run();
+        let b = run();
+        assert_eq!(a.media_sent, b.media_sent);
+        assert_eq!(a.media_received, b.media_received);
+        assert_eq!(a.handovers.len(), b.handovers.len());
+        assert_eq!(a.frames.len(), b.frames.len());
+    }
+
+    #[test]
+    fn ground_run_executes() {
+        let m = quick(
+            CcMode::paper_static(Environment::Urban),
+            Environment::Urban,
+            Mobility::Ground,
+        );
+        assert!(m.media_sent > 0);
+        assert!(m.frames.len() > 100);
+    }
+}

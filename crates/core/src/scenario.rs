@@ -1,0 +1,180 @@
+//! Experiment configuration: the campaign's independent variables.
+
+use rpav_lte::{Environment, Operator};
+use rpav_sim::SimDuration;
+
+/// Whether the node flies the paper trajectory or rides the motorbike.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mobility {
+    /// The Fig. 11 flight: 40/80/120 m steps with 200 m leaps.
+    Air,
+    /// The ground baseline: sweeps along the leap track with long holds.
+    Ground,
+}
+
+impl Mobility {
+    /// Display name matching the paper's figures ("Air" / "Grd").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mobility::Air => "Air",
+            Mobility::Ground => "Grd",
+        }
+    }
+}
+
+/// The three §3.2 video workloads.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CcMode {
+    /// Constant bitrate at the per-environment "support-able" maximum.
+    Static {
+        /// Fixed encoder bitrate.
+        bitrate_bps: f64,
+    },
+    /// Google Congestion Control with transport-wide feedback.
+    Gcc,
+    /// SCReAM with RFC 8888 feedback.
+    Scream {
+        /// Ack-span per feedback packet: 64 stock, 256 = the paper's
+        /// mitigation (§4.2.1).
+        ack_span: usize,
+    },
+}
+
+impl CcMode {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CcMode::Static { .. } => "Static",
+            CcMode::Gcc => "GCC",
+            CcMode::Scream { .. } => "SCReAM",
+        }
+    }
+
+    /// The paper's static bitrate choice per environment (§3.2): 25 Mbps
+    /// urban, 8 Mbps rural, from trial runs.
+    pub fn paper_static(environment: Environment) -> CcMode {
+        CcMode::Static {
+            bitrate_bps: match environment {
+                Environment::Urban => 25e6,
+                Environment::Rural => 8e6,
+            },
+        }
+    }
+
+    /// SCReAM as the paper ran it (span already raised to 256, §4.2.1).
+    pub fn paper_scream() -> CcMode {
+        CcMode::Scream { ack_span: 256 }
+    }
+}
+
+/// One measurement run.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// Urban or rural flight area.
+    pub environment: Environment,
+    /// Operator (P1 default, P2 in App. A.3).
+    pub operator: Operator,
+    /// Air or ground.
+    pub mobility: Mobility,
+    /// Video workload.
+    pub cc: CcMode,
+    /// Master seed (campaign identity).
+    pub seed: u64,
+    /// Run index within the campaign (decorrelates channel randomness).
+    pub run_index: u64,
+    /// Hover time between flight legs.
+    pub hold: SimDuration,
+    /// Ground-run sweep count.
+    pub ground_sweeps: usize,
+    /// Jitter-buffer `drop-on-latency` mode (App. A.4 ablation).
+    pub drop_on_latency: bool,
+    /// Override the A3 hysteresis (dB) — the §5 mobility-parameter sweep.
+    pub hysteresis_override_db: Option<f64>,
+    /// Override the A3 time-to-trigger (ms) — same sweep.
+    pub ttt_override_ms: Option<u64>,
+    /// Override the receiver jitter-buffer target (ms) — §4.2 "the RTP
+    /// jitter buffer size can be adjusted to reduce playback latency".
+    pub jitter_target_override_ms: Option<u64>,
+}
+
+impl ExperimentConfig {
+    /// Paper-default configuration for the given axes.
+    pub fn paper(
+        environment: Environment,
+        operator: Operator,
+        mobility: Mobility,
+        cc: CcMode,
+        seed: u64,
+        run_index: u64,
+    ) -> Self {
+        ExperimentConfig {
+            environment,
+            operator,
+            mobility,
+            cc,
+            seed,
+            run_index,
+            hold: match mobility {
+                Mobility::Air => SimDuration::from_secs(5),
+                Mobility::Ground => SimDuration::from_secs(45),
+            },
+            ground_sweeps: 3,
+            drop_on_latency: false,
+            hysteresis_override_db: None,
+            ttt_override_ms: None,
+            jitter_target_override_ms: None,
+        }
+    }
+
+    /// A short label for result tables.
+    pub fn label(&self) -> String {
+        format!(
+            "{}-{}-{}-{}",
+            self.cc.name(),
+            self.environment.name(),
+            self.operator.name(),
+            self.mobility.name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_static_bitrates() {
+        match CcMode::paper_static(Environment::Urban) {
+            CcMode::Static { bitrate_bps } => assert_eq!(bitrate_bps, 25e6),
+            _ => panic!(),
+        }
+        match CcMode::paper_static(Environment::Rural) {
+            CcMode::Static { bitrate_bps } => assert_eq!(bitrate_bps, 8e6),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn labels_read_like_the_figures() {
+        let c = ExperimentConfig::paper(
+            Environment::Rural,
+            Operator::P1,
+            Mobility::Air,
+            CcMode::Gcc,
+            1,
+            0,
+        );
+        assert_eq!(c.label(), "GCC-Rural-P1-Air");
+        assert_eq!(c.hold, SimDuration::from_secs(5));
+        let g = ExperimentConfig::paper(
+            Environment::Urban,
+            Operator::P2,
+            Mobility::Ground,
+            CcMode::paper_scream(),
+            1,
+            0,
+        );
+        assert_eq!(g.label(), "SCReAM-Urban-P2-Grd");
+        assert_eq!(g.hold, SimDuration::from_secs(45));
+    }
+}

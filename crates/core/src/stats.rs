@@ -1,0 +1,209 @@
+//! Statistics used by every figure: quantiles, CDFs, boxplot summaries.
+
+/// Five-number boxplot summary plus the mean (the paper's boxplots mark the
+/// mean with a purple triangle).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoxSummary {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+/// Linear-interpolation quantile of `sorted` (must be ascending), `q` in
+/// [0, 1].
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Quantile of an unsorted slice (copies and sorts).
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    assert!(!v.is_empty(), "quantile of empty slice");
+    v.sort_by(|a, b| a.total_cmp(b));
+    quantile_sorted(&v, q)
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Fraction of samples `<= threshold` — the "X % of the time below Y"
+/// statements throughout the paper.
+pub fn fraction_at_or_below(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().filter(|v| **v <= threshold).count() as f64 / values.len() as f64
+}
+
+/// Fraction of samples strictly `< threshold` (the SSIM "< 0.5" criterion).
+pub fn fraction_below_strict(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().filter(|v| **v < threshold).count() as f64 / values.len() as f64
+}
+
+/// Build a boxplot summary.
+pub fn box_summary(values: &[f64]) -> Option<BoxSummary> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.total_cmp(b));
+    Some(BoxSummary {
+        min: v[0],
+        q1: quantile_sorted(&v, 0.25),
+        median: quantile_sorted(&v, 0.5),
+        q3: quantile_sorted(&v, 0.75),
+        max: v[v.len() - 1],
+        mean: mean(&v),
+        n: v.len(),
+    })
+}
+
+/// Empirical CDF evaluated at the given grid points: returns
+/// `(x, P[X <= x])` pairs — what the paper's CDF figures plot.
+pub fn cdf_at(values: &[f64], grid: &[f64]) -> Vec<(f64, f64)> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    v.sort_by(|a, b| a.total_cmp(b));
+    grid.iter()
+        .map(|x| {
+            let count = v.partition_point(|s| *s <= *x);
+            (*x, count as f64 / v.len().max(1) as f64)
+        })
+        .collect()
+}
+
+/// A log-spaced grid from `lo` to `hi` with `n` points (for latency CDFs
+/// plotted on log axes, Figs. 5/13).
+pub fn log_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && n >= 2);
+    (0..n)
+        .map(|i| lo * (hi / lo).powf(i as f64 / (n - 1) as f64))
+        .collect()
+}
+
+/// A linear grid from `lo` to `hi` with `n` points.
+pub fn lin_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2);
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+impl BoxSummary {
+    /// Render as the textual row the figure binaries print.
+    pub fn row(&self, label: &str) -> String {
+        format!(
+            "{label:<28} min={:>9.3} q1={:>9.3} med={:>9.3} q3={:>9.3} max={:>9.3} mean={:>9.3} (n={})",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantiles_of_known_sequence() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 100.0);
+        assert!((quantile(&v, 0.5) - 50.5).abs() < 1e-9);
+        assert!((quantile(&v, 0.25) - 25.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn box_summary_basics() {
+        let s = box_summary(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.n, 5);
+        assert!(box_summary(&[]).is_none());
+        assert!(box_summary(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn cdf_reaches_one() {
+        let v = vec![1.0, 2.0, 3.0];
+        let cdf = cdf_at(&v, &[0.5, 1.0, 2.5, 3.0, 10.0]);
+        assert_eq!(cdf[0].1, 0.0);
+        assert!((cdf[1].1 - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cdf[2].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf[3].1, 1.0);
+        assert_eq!(cdf[4].1, 1.0);
+    }
+
+    #[test]
+    fn fraction_below() {
+        let v = vec![100.0, 200.0, 300.0, 400.0];
+        assert_eq!(fraction_at_or_below(&v, 300.0), 0.75);
+        assert_eq!(fraction_at_or_below(&v, 50.0), 0.0);
+        assert!(fraction_at_or_below(&[], 1.0).is_nan());
+    }
+
+    #[test]
+    fn grids() {
+        let g = log_grid(10.0, 1000.0, 3);
+        assert!((g[0] - 10.0).abs() < 1e-9);
+        assert!((g[1] - 100.0).abs() < 1e-6);
+        assert!((g[2] - 1000.0).abs() < 1e-6);
+        let l = lin_grid(0.0, 10.0, 6);
+        assert_eq!(l, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantile_monotone(mut v in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            v.sort_by(|a, b| a.total_cmp(b));
+            let mut last = f64::NEG_INFINITY;
+            for i in 0..=10 {
+                let q = quantile_sorted(&v, i as f64 / 10.0);
+                prop_assert!(q >= last);
+                last = q;
+            }
+        }
+
+        #[test]
+        fn prop_cdf_monotone(v in proptest::collection::vec(0f64..1e3, 1..100)) {
+            let grid = lin_grid(0.0, 1e3, 50);
+            let cdf = cdf_at(&v, &grid);
+            let mut last = 0.0;
+            for (_, p) in cdf {
+                prop_assert!(p >= last);
+                prop_assert!((0.0..=1.0).contains(&p));
+                last = p;
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Headline statistics — the numbers quoted in the paper's running text.
+
+use crate::runner::CampaignResult;
+use crate::stats;
+
+/// The in-text statistics for one configuration.
+#[derive(Clone, Debug)]
+pub struct HeadlineStats {
+    /// Configuration label.
+    pub label: String,
+    /// Mean goodput (Mbps).
+    pub goodput_mbps: f64,
+    /// Stall events per minute (§4.2.1: 0.11 / 0.89 / 1.37).
+    pub stalls_per_minute: f64,
+    /// Fraction of playback latency ≤ 300 ms (§4.2.2).
+    pub playback_within_300ms: f64,
+    /// Fraction of SSIM samples < 0.5 (§4.2.3: 0.37–19.09 %).
+    pub ssim_below_half: f64,
+    /// Fraction of FPS windows at ≥ 29 FPS.
+    pub fps_at_30: f64,
+    /// Packet error rate (§4.1: 0.06–0.07 %).
+    pub per: f64,
+    /// Mean handover frequency (HO/s).
+    pub ho_per_second: f64,
+    /// Median one-way latency (ms).
+    pub owd_median_ms: f64,
+    /// 99th-percentile one-way latency (ms).
+    pub owd_p99_ms: f64,
+}
+
+impl HeadlineStats {
+    /// Compute the headline stats of a campaign.
+    pub fn from_campaign(c: &CampaignResult) -> Self {
+        let playback = c.playback_latency_ms();
+        let ssim = c.ssim();
+        let fps = c.fps_samples();
+        let owd = c.owd_ms();
+        HeadlineStats {
+            label: c.label.clone(),
+            goodput_mbps: stats::mean(
+                &c.runs
+                    .iter()
+                    .map(|r| r.goodput_bps() / 1e6)
+                    .collect::<Vec<f64>>(),
+            ),
+            stalls_per_minute: c.stalls_per_minute(),
+            playback_within_300ms: stats::fraction_at_or_below(&playback, 300.0),
+            ssim_below_half: stats::fraction_below_strict(&ssim, 0.5),
+            fps_at_30: 1.0 - stats::fraction_at_or_below(&fps, 29.0),
+            per: c.per(),
+            ho_per_second: stats::mean(&c.ho_frequencies()),
+            owd_median_ms: if owd.is_empty() {
+                f64::NAN
+            } else {
+                stats::quantile(&owd, 0.5)
+            },
+            owd_p99_ms: if owd.is_empty() {
+                f64::NAN
+            } else {
+                stats::quantile(&owd, 0.99)
+            },
+        }
+    }
+
+    /// Render one table row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<24} {:>8.1} {:>10.2} {:>10.1} {:>9.2} {:>8.1} {:>8.3} {:>7.3} {:>8.1} {:>8.1}",
+            self.label,
+            self.goodput_mbps,
+            self.stalls_per_minute,
+            self.playback_within_300ms * 100.0,
+            self.ssim_below_half * 100.0,
+            self.fps_at_30 * 100.0,
+            self.per * 100.0,
+            self.ho_per_second,
+            self.owd_median_ms,
+            self.owd_p99_ms,
+        )
+    }
+
+    /// Table header matching [`HeadlineStats::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<24} {:>8} {:>10} {:>10} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8}",
+            "configuration",
+            "Mbps",
+            "stalls/mn",
+            "<300ms %",
+            "ssim<.5%",
+            "30fps %",
+            "PER %",
+            "HO/s",
+            "owd p50",
+            "owd p99",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RunMetrics;
+    use rpav_sim::SimDuration;
+
+    #[test]
+    fn headline_from_synthetic_campaign() {
+        let mut run = RunMetrics {
+            duration: SimDuration::from_secs(60),
+            media_sent: 10_000,
+            media_received: 9_993,
+            media_received_bytes: 9_993 * 1_200,
+            stalls: 1,
+            ..Default::default()
+        };
+        run.owd = (0..9_993)
+            .map(|i| (rpav_sim::SimTime::from_millis(i * 6), 50.0))
+            .collect();
+        run.frames = (0..1_800)
+            .map(|i| crate::metrics::FrameRecord {
+                number: i,
+                display_at: rpav_sim::SimTime::from_millis(i * 33),
+                latency_ms: Some(if i % 10 == 0 { 400.0 } else { 200.0 }),
+                ssim: if i % 20 == 0 { 0.4 } else { 0.9 },
+                displayed: true,
+            })
+            .collect();
+        let campaign = crate::runner::CampaignResult {
+            label: "synthetic".into(),
+            runs: vec![run],
+        };
+        let h = HeadlineStats::from_campaign(&campaign);
+        assert!((h.playback_within_300ms - 0.9).abs() < 0.01);
+        assert!((h.ssim_below_half - 0.05).abs() < 0.01);
+        assert!((h.stalls_per_minute - 1.0).abs() < 1e-9);
+        assert!((h.per - 0.0007).abs() < 1e-4);
+        assert_eq!(h.owd_median_ms, 50.0);
+        // Rows render without panicking and align with the header.
+        assert!(!h.row().is_empty());
+        assert!(!HeadlineStats::header().is_empty());
+    }
+}

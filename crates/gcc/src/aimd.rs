@@ -1,0 +1,237 @@
+//! AIMD rate controller — the delay-based rate state machine.
+//!
+//! Maps detector verdicts to rate actions (Carlucci et al. §3.3):
+//!
+//! | signal      | state transition        |
+//! |-------------|-------------------------|
+//! | Overusing   | → Decrease (then Hold)  |
+//! | Underusing  | → Hold                  |
+//! | Normal      | → Increase              |
+//!
+//! Increase is multiplicative (≈8 %/s) far from the last known congestion
+//! point and additive (one packet per response time) near it; decrease is
+//! `β × acked_bitrate` with β = 0.85.
+
+use rpav_sim::{SimDuration, SimTime};
+
+use crate::detector::BandwidthUsage;
+
+/// Rate-control state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RateControlState {
+    /// Grow the target.
+    Increase,
+    /// Keep the target (queues draining).
+    Hold,
+    /// Shrink below the measured delivery rate.
+    Decrease,
+}
+
+/// Multiplicative-decrease factor β.
+pub const BETA: f64 = 0.85;
+/// Multiplicative increase per second far from convergence.
+pub const INCREASE_PER_SECOND: f64 = 0.08;
+/// Assumed feedback response time for additive increase.
+pub const RESPONSE_TIME: SimDuration = SimDuration::from_millis(200);
+
+/// The AIMD controller.
+#[derive(Debug)]
+pub struct AimdRateControl {
+    state: RateControlState,
+    target_bps: f64,
+    min_bps: f64,
+    max_bps: f64,
+    /// EWMA of the acked bitrate at decrease instants (the congestion
+    /// point) and its variance, for the near-convergence test.
+    avg_max_bps: Option<f64>,
+    var_max: f64,
+    last_update: Option<SimTime>,
+}
+
+impl AimdRateControl {
+    /// Create a controller starting at `start_bps`.
+    pub fn new(start_bps: f64, min_bps: f64, max_bps: f64) -> Self {
+        AimdRateControl {
+            state: RateControlState::Increase,
+            target_bps: start_bps.clamp(min_bps, max_bps),
+            min_bps,
+            max_bps,
+            avg_max_bps: None,
+            var_max: 0.4,
+            last_update: None,
+        }
+    }
+
+    /// Current target bitrate.
+    pub fn target_bps(&self) -> f64 {
+        self.target_bps
+    }
+
+    /// Current state.
+    pub fn state(&self) -> RateControlState {
+        self.state
+    }
+
+    /// Feed a detector verdict and the currently measured acked bitrate.
+    /// Returns the new target.
+    pub fn update(
+        &mut self,
+        now: SimTime,
+        usage: BandwidthUsage,
+        acked_bps: f64,
+        avg_packet_bits: f64,
+    ) -> f64 {
+        // State transitions.
+        self.state = match (usage, self.state) {
+            (BandwidthUsage::Overusing, _) => RateControlState::Decrease,
+            (BandwidthUsage::Underusing, _) => RateControlState::Hold,
+            (BandwidthUsage::Normal, RateControlState::Decrease) => RateControlState::Hold,
+            (BandwidthUsage::Normal, _) => RateControlState::Increase,
+        };
+
+        let dt = self
+            .last_update
+            .map(|l| now.saturating_since(l))
+            .unwrap_or(SimDuration::ZERO)
+            .min(SimDuration::from_secs(1));
+        self.last_update = Some(now);
+
+        match self.state {
+            RateControlState::Increase => {
+                let near_convergence = match self.avg_max_bps {
+                    None => false,
+                    Some(avg) => {
+                        // libwebrtc computes the deviation in kbps:
+                        // σ_kbps = sqrt(var · avg_kbps).
+                        let sigma_bps = (self.var_max * (avg / 1e3)).sqrt().max(0.1) * 1e3;
+                        acked_bps > avg - 3.0 * sigma_bps && acked_bps < avg + 3.0 * sigma_bps
+                    }
+                };
+                if near_convergence {
+                    // Additive: one packet per response time.
+                    let per_sec = avg_packet_bits / RESPONSE_TIME.as_secs_f64();
+                    self.target_bps += per_sec * dt.as_secs_f64();
+                } else {
+                    let eta = (1.0 + INCREASE_PER_SECOND).powf(dt.as_secs_f64());
+                    self.target_bps *= eta;
+                }
+                // Never run far ahead of what the path demonstrably
+                // delivers.
+                if acked_bps > 0.0 {
+                    self.target_bps = self.target_bps.min(1.5 * acked_bps + 10_000.0);
+                }
+            }
+            RateControlState::Decrease => {
+                let basis = if acked_bps > 0.0 {
+                    acked_bps
+                } else {
+                    self.target_bps
+                };
+                self.target_bps = BETA * basis;
+                // Update the congestion-point statistics.
+                match &mut self.avg_max_bps {
+                    None => self.avg_max_bps = Some(basis),
+                    Some(avg) => {
+                        let norm = (basis - *avg) / avg.max(1.0);
+                        self.var_max = 0.95 * self.var_max + 0.05 * norm * norm;
+                        *avg += 0.05 * (basis - *avg);
+                    }
+                }
+                // Decrease is one-shot: drop to Hold until the next verdict.
+                self.state = RateControlState::Hold;
+            }
+            RateControlState::Hold => {}
+        }
+        self.target_bps = self.target_bps.clamp(self.min_bps, self.max_bps);
+        self.target_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    const PKT_BITS: f64 = 1_200.0 * 8.0;
+
+    #[test]
+    fn grows_multiplicatively_without_congestion() {
+        let mut c = AimdRateControl::new(2e6, 100e3, 50e6);
+        let mut now = 0;
+        for _ in 0..100 {
+            now += 100;
+            // Acked tracks target (no bottleneck).
+            let acked = c.target_bps();
+            c.update(t(now), BandwidthUsage::Normal, acked, PKT_BITS);
+        }
+        // 10 s at 8 %/s ≈ ×2.1.
+        assert!(c.target_bps() > 4e6, "target {:.1e}", c.target_bps());
+    }
+
+    #[test]
+    fn overuse_decreases_below_acked() {
+        let mut c = AimdRateControl::new(10e6, 100e3, 50e6);
+        c.update(t(0), BandwidthUsage::Overusing, 8e6, PKT_BITS);
+        assert!((c.target_bps() - 0.85 * 8e6).abs() < 1.0);
+        assert_eq!(c.state(), RateControlState::Hold);
+    }
+
+    #[test]
+    fn underuse_holds() {
+        let mut c = AimdRateControl::new(10e6, 100e3, 50e6);
+        let before = c.target_bps();
+        c.update(t(0), BandwidthUsage::Underusing, 9e6, PKT_BITS);
+        assert_eq!(c.target_bps(), before);
+        assert_eq!(c.state(), RateControlState::Hold);
+    }
+
+    #[test]
+    fn additive_increase_near_convergence() {
+        let mut c = AimdRateControl::new(10e6, 100e3, 50e6);
+        // Establish a congestion point at ≈8 Mbps.
+        c.update(t(0), BandwidthUsage::Overusing, 8e6, PKT_BITS);
+        // Recover in Normal near the congestion point: growth should be
+        // additive (slow), not multiplicative.
+        let mut now = 0;
+        for _ in 0..10 {
+            now += 100;
+            c.update(t(now), BandwidthUsage::Normal, 7.9e6, PKT_BITS);
+        }
+        // Additive: ~48 kbps per second → 1 s of updates adds ≤ 100 kbps.
+        let target = c.target_bps();
+        assert!(
+            target < 0.85 * 8e6 + 200_000.0,
+            "target {target:.1e} grew too fast near convergence"
+        );
+    }
+
+    #[test]
+    fn target_capped_by_acked_rate() {
+        let mut c = AimdRateControl::new(10e6, 100e3, 50e6);
+        // Path only delivers 2 Mbps; target must not run away.
+        let mut now = 0;
+        for _ in 0..100 {
+            now += 100;
+            c.update(t(now), BandwidthUsage::Normal, 2e6, PKT_BITS);
+        }
+        assert!(c.target_bps() <= 1.5 * 2e6 + 10_001.0);
+    }
+
+    #[test]
+    fn respects_min_max_bounds() {
+        let mut c = AimdRateControl::new(5e6, 1e6, 8e6);
+        for i in 0..50 {
+            c.update(t(i * 100), BandwidthUsage::Overusing, 0.5e6, PKT_BITS);
+        }
+        assert!(c.target_bps() >= 1e6);
+        let mut c = AimdRateControl::new(5e6, 1e6, 8e6);
+        for i in 0..200 {
+            let acked = c.target_bps();
+            c.update(t(i * 100), BandwidthUsage::Normal, acked, PKT_BITS);
+        }
+        assert!(c.target_bps() <= 8e6);
+    }
+}

@@ -1,0 +1,154 @@
+//! Inter-arrival grouping: packets sent in a burst are treated as one
+//! group; the estimator works on inter-*group* deltas, which filters out
+//! self-inflicted burst jitter.
+
+use rpav_sim::{SimDuration, SimTime};
+
+/// Packets sent within this span belong to one group (libwebrtc: 5 ms).
+pub const BURST_DELTA: SimDuration = SimDuration::from_millis(5);
+
+/// A (send time, arrival time) pair for one acked packet.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketTiming {
+    /// When the sender put the packet on the wire.
+    pub send_time: SimTime,
+    /// When the receiver reported it arrived.
+    pub arrival_time: SimTime,
+    /// Payload size in bytes.
+    pub size: usize,
+}
+
+/// One completed group delta pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroupDelta {
+    /// Send-time difference between this group and the previous (ms).
+    pub send_delta_ms: f64,
+    /// Arrival-time difference between this group and the previous (ms).
+    pub arrival_delta_ms: f64,
+    /// Arrival time of the newer group (for regression x-axis).
+    pub arrival_time: SimTime,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Group {
+    first_send: SimTime,
+    last_send: SimTime,
+    last_arrival: SimTime,
+}
+
+/// Stateful grouper: feed acked packets in send order, get group deltas.
+#[derive(Debug, Default)]
+pub struct InterArrival {
+    current: Option<Group>,
+    previous: Option<Group>,
+}
+
+impl InterArrival {
+    /// Create an empty grouper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one acked packet (in send-time order). Returns a delta when a
+    /// group completes.
+    pub fn on_packet(&mut self, timing: PacketTiming) -> Option<GroupDelta> {
+        let mut out = None;
+        match &mut self.current {
+            None => {
+                self.current = Some(Group {
+                    first_send: timing.send_time,
+                    last_send: timing.send_time,
+                    last_arrival: timing.arrival_time,
+                });
+            }
+            Some(g) => {
+                let belongs = timing.send_time.saturating_since(g.first_send) <= BURST_DELTA;
+                if belongs {
+                    g.last_send = g.last_send.max(timing.send_time);
+                    g.last_arrival = g.last_arrival.max(timing.arrival_time);
+                } else {
+                    // Current group completes.
+                    if let Some(prev) = self.previous {
+                        let send_delta_ms =
+                            g.last_send.saturating_since(prev.last_send).as_millis_f64();
+                        let arrival_delta_ms = g.last_arrival.as_micros() as f64 / 1e3
+                            - prev.last_arrival.as_micros() as f64 / 1e3;
+                        out = Some(GroupDelta {
+                            send_delta_ms,
+                            arrival_delta_ms,
+                            arrival_time: g.last_arrival,
+                        });
+                    }
+                    self.previous = self.current;
+                    self.current = Some(Group {
+                        first_send: timing.send_time,
+                        last_send: timing.send_time,
+                        last_arrival: timing.arrival_time,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn pkt(send_ms: u64, arrival_ms: u64) -> PacketTiming {
+        PacketTiming {
+            send_time: t(send_ms),
+            arrival_time: t(arrival_ms),
+            size: 1200,
+        }
+    }
+
+    #[test]
+    fn groups_bursts_together() {
+        let mut ia = InterArrival::new();
+        // Burst 1 at 0-4 ms, burst 2 at 20 ms, burst 3 at 40 ms.
+        assert!(ia.on_packet(pkt(0, 50)).is_none());
+        assert!(ia.on_packet(pkt(2, 51)).is_none());
+        assert!(ia.on_packet(pkt(4, 52)).is_none());
+        // New group: completes burst 1, but no previous → no delta yet.
+        assert!(ia.on_packet(pkt(20, 70)).is_none());
+        // Third group: delta between burst 1 and burst 2.
+        let d = ia.on_packet(pkt(40, 90)).unwrap();
+        assert_eq!(d.send_delta_ms, 16.0); // 20 - 4
+        assert_eq!(d.arrival_delta_ms, 18.0); // 70 - 52
+    }
+
+    #[test]
+    fn steady_stream_has_zero_delay_gradient() {
+        let mut ia = InterArrival::new();
+        let mut deltas = Vec::new();
+        for i in 0..50 {
+            if let Some(d) = ia.on_packet(pkt(i * 10, 100 + i * 10)) {
+                deltas.push(d);
+            }
+        }
+        assert!(!deltas.is_empty());
+        for d in deltas {
+            assert_eq!(d.send_delta_ms, d.arrival_delta_ms);
+        }
+    }
+
+    #[test]
+    fn queue_buildup_shows_positive_gradient() {
+        let mut ia = InterArrival::new();
+        let mut gradients = Vec::new();
+        for i in 0..50u64 {
+            // Arrival spacing grows: queue building.
+            let arrival = 100 + i * 10 + i * i / 10;
+            if let Some(d) = ia.on_packet(pkt(i * 10, arrival)) {
+                gradients.push(d.arrival_delta_ms - d.send_delta_ms);
+            }
+        }
+        assert!(gradients.iter().skip(5).all(|g| *g > 0.0));
+    }
+}

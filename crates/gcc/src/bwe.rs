@@ -1,0 +1,349 @@
+//! The assembled send-side bandwidth estimator.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use rpav_rtp::packet::unwrap_seq;
+use rpav_rtp::twcc::TwccFeedback;
+use rpav_sim::{SimDuration, SimTime};
+
+use crate::aimd::AimdRateControl;
+use crate::arrival::{InterArrival, PacketTiming};
+use crate::detector::OveruseDetector;
+use crate::loss::LossController;
+use crate::trendline::TrendlineEstimator;
+
+/// Configuration of the estimator.
+#[derive(Clone, Copy, Debug)]
+pub struct GccConfig {
+    /// Initial target (the paper's pipeline starts near the bottom of the
+    /// 2–25 Mbps encoder range).
+    pub start_bitrate_bps: f64,
+    /// Floor.
+    pub min_bitrate_bps: f64,
+    /// Ceiling (25 Mbps — the top encoder operating point, §3.2).
+    pub max_bitrate_bps: f64,
+}
+
+impl Default for GccConfig {
+    fn default() -> Self {
+        GccConfig {
+            start_bitrate_bps: 2e6,
+            min_bitrate_bps: 300e3,
+            max_bitrate_bps: 25e6,
+        }
+    }
+}
+
+/// Sliding-window throughput meter over acked packets.
+#[derive(Debug, Default)]
+struct AckedBitrate {
+    samples: VecDeque<(SimTime, usize)>,
+}
+
+/// Acked-bitrate window length.
+const ACKED_WINDOW: SimDuration = SimDuration::from_millis(800);
+
+impl AckedBitrate {
+    fn on_acked(&mut self, arrival: SimTime, size: usize) {
+        self.samples.push_back((arrival, size));
+        let cutoff = arrival - ACKED_WINDOW;
+        while let Some((t, _)) = self.samples.front() {
+            if *t < cutoff {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn bitrate_bps(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let first = self.samples.front().unwrap().0;
+        let last = self.samples.back().unwrap().0;
+        let span = last.saturating_since(first).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let bits: usize = self.samples.iter().map(|(_, s)| s * 8).sum();
+        bits as f64 / span
+    }
+
+    fn avg_packet_bits(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 1_200.0 * 8.0;
+        }
+        let bits: usize = self.samples.iter().map(|(_, s)| s * 8).sum();
+        bits as f64 / self.samples.len() as f64
+    }
+}
+
+/// Send-side GCC bandwidth estimator.
+#[derive(Debug)]
+pub struct SendSideBwe {
+    config: GccConfig,
+    /// Outstanding sent packets keyed by unwrapped transport sequence.
+    sent: BTreeMap<u64, (SimTime, usize)>,
+    last_sent_unwrapped: Option<u64>,
+    last_fb_unwrapped: Option<u64>,
+    inter_arrival: InterArrival,
+    trendline: TrendlineEstimator,
+    detector: OveruseDetector,
+    aimd: AimdRateControl,
+    loss: LossController,
+    acked: AckedBitrate,
+}
+
+impl SendSideBwe {
+    /// Create an estimator.
+    pub fn new(config: GccConfig) -> Self {
+        SendSideBwe {
+            config,
+            sent: BTreeMap::new(),
+            last_sent_unwrapped: None,
+            last_fb_unwrapped: None,
+            inter_arrival: InterArrival::new(),
+            trendline: TrendlineEstimator::new(),
+            detector: OveruseDetector::new(),
+            aimd: AimdRateControl::new(
+                config.start_bitrate_bps,
+                config.min_bitrate_bps,
+                config.max_bitrate_bps,
+            ),
+            loss: LossController::new(
+                config.start_bitrate_bps,
+                config.min_bitrate_bps,
+                config.max_bitrate_bps,
+            ),
+            acked: AckedBitrate::default(),
+        }
+    }
+
+    /// Record a media packet put on the wire.
+    pub fn on_packet_sent(&mut self, transport_seq: u16, now: SimTime, size: usize) {
+        let unwrapped = match self.last_sent_unwrapped {
+            None => transport_seq as u64,
+            Some(prev) => unwrap_seq(prev, transport_seq),
+        };
+        self.last_sent_unwrapped =
+            Some(self.last_sent_unwrapped.unwrap_or(unwrapped).max(unwrapped));
+        self.sent.insert(unwrapped, (now, size));
+        // GC: drop history older than 10 s (feedback will never come).
+        let cutoff = now - SimDuration::from_secs(10);
+        while let Some((&k, &(t, _))) = self.sent.iter().next() {
+            if t < cutoff {
+                self.sent.remove(&k);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Process one transport-wide feedback packet.
+    pub fn on_feedback(&mut self, feedback: &TwccFeedback, now: SimTime) {
+        let base_unwrapped = match self.last_fb_unwrapped {
+            None => feedback.base_seq as u64,
+            Some(prev) => unwrap_seq(prev, feedback.base_seq),
+        };
+        self.last_fb_unwrapped = Some(
+            self.last_fb_unwrapped
+                .unwrap_or(base_unwrapped)
+                .max(base_unwrapped + feedback.arrivals.len() as u64),
+        );
+
+        let mut lost = 0usize;
+        let mut total = 0usize;
+        let mut last_state = self.detector.state();
+        for (i, arrival) in feedback.arrivals.iter().enumerate() {
+            let seq = base_unwrapped + i as u64;
+            let Some(&(send_time, size)) = self.sent.get(&seq) else {
+                continue;
+            };
+            total += 1;
+            match feedback.arrival_time(i) {
+                None => {
+                    let _ = arrival;
+                    lost += 1;
+                }
+                Some(arrival_time) => {
+                    self.acked.on_acked(arrival_time, size);
+                    if let Some(delta) = self.inter_arrival.on_packet(PacketTiming {
+                        send_time,
+                        arrival_time,
+                        size,
+                    }) {
+                        let trend = self.trendline.update(&delta);
+                        last_state = self.detector.update(delta.arrival_time, trend);
+                    }
+                }
+            }
+            self.sent.remove(&seq);
+        }
+
+        let acked_bps = self.acked.bitrate_bps();
+        self.aimd
+            .update(now, last_state, acked_bps, self.acked.avg_packet_bits());
+        self.loss.on_feedback(now, lost, total);
+    }
+
+    /// The current combined target bitrate: the binding arm wins.
+    pub fn target_bitrate_bps(&self) -> f64 {
+        self.aimd
+            .target_bps()
+            .min(self.loss.rate_bps())
+            .clamp(self.config.min_bitrate_bps, self.config.max_bitrate_bps)
+    }
+
+    /// Delay-arm target (diagnostics).
+    pub fn delay_based_bps(&self) -> f64 {
+        self.aimd.target_bps()
+    }
+
+    /// Loss-arm target (diagnostics).
+    pub fn loss_based_bps(&self) -> f64 {
+        self.loss.rate_bps()
+    }
+
+    /// Measured delivery rate over the acked window.
+    pub fn acked_bitrate_bps(&self) -> f64 {
+        self.acked.bitrate_bps()
+    }
+
+    /// Smoothed loss fraction seen in feedback.
+    pub fn loss_fraction(&self) -> f64 {
+        self.loss.loss_fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpav_rtp::twcc::TwccRecorder;
+
+    /// Drive the estimator through a perfect link: every packet arrives
+    /// `base_delay` after sending, feedback every 50 ms.
+    fn run_clean_link(bwe: &mut SendSideBwe, seconds: u64, rate_limit_bps: f64) -> Vec<f64> {
+        let mut rec = TwccRecorder::new();
+        let mut targets = Vec::new();
+        let mut seq: u16 = 0;
+        let mut queue_us: i64 = 0; // bottleneck queue in µs of serialisation
+        let base_delay = SimDuration::from_millis(40);
+        let tick = SimDuration::from_millis(5);
+        let mut t = SimTime::from_secs(1);
+        let end = t + SimDuration::from_secs(seconds);
+        let mut last_fb = t;
+        let mut last_drain = t;
+        while t < end {
+            // Send at the current target, 1200 B packets.
+            let target = bwe.target_bitrate_bps();
+            let bytes_per_tick = target * tick.as_secs_f64() / 8.0;
+            let pkts = (bytes_per_tick / 1_200.0).round() as usize;
+            // Bottleneck: queue drains at rate_limit.
+            let drain_us = t.saturating_since(last_drain).as_micros() as i64;
+            last_drain = t;
+            queue_us -= drain_us;
+            queue_us = queue_us.max(0);
+            for _ in 0..pkts {
+                let ser_us = (1_200.0 * 8.0 / rate_limit_bps * 1e6) as i64;
+                queue_us += ser_us;
+                let arrival = t + base_delay + SimDuration::from_micros(queue_us as u64);
+                bwe.on_packet_sent(seq, t, 1_200);
+                rec.on_packet(seq, arrival);
+                seq = seq.wrapping_add(1);
+            }
+            if t.saturating_since(last_fb) >= SimDuration::from_millis(50) {
+                last_fb = t;
+                if let Some(fb) = rec.build_feedback() {
+                    bwe.on_feedback(&fb, t);
+                }
+            }
+            targets.push(bwe.target_bitrate_bps());
+            t = t + tick;
+        }
+        targets
+    }
+
+    #[test]
+    fn ramps_up_on_uncongested_link() {
+        let mut bwe = SendSideBwe::new(GccConfig::default());
+        let targets = run_clean_link(&mut bwe, 20, 100e6);
+        let last = *targets.last().unwrap();
+        assert!(
+            last > 6e6,
+            "after 20 s on a clean link the target should grow well past start, got {last:.2e}"
+        );
+        // Monotone-ish growth: no collapse.
+        assert!(targets.iter().all(|t| *t >= 1e6));
+    }
+
+    #[test]
+    fn converges_near_bottleneck_without_runaway() {
+        let mut bwe = SendSideBwe::new(GccConfig::default());
+        let targets = run_clean_link(&mut bwe, 40, 8e6);
+        // Average of the last 10 s should sit in the bottleneck's
+        // neighbourhood — neither runaway (queuing) nor collapse.
+        let tail = &targets[targets.len() - 2_000..];
+        let avg = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!(
+            (4e6..11e6).contains(&avg),
+            "tail average {avg:.2e} not near the 8 Mbps bottleneck"
+        );
+    }
+
+    #[test]
+    fn heavy_loss_engages_loss_arm() {
+        let mut bwe = SendSideBwe::new(GccConfig::default());
+        let mut rec = TwccRecorder::new();
+        let mut t = SimTime::from_secs(1);
+        let mut seq: u16 = 0;
+        for round in 0..100 {
+            for i in 0..20 {
+                bwe.on_packet_sent(seq, t, 1_200);
+                // 30 % loss.
+                if (seq as usize + i) % 10 >= 3 {
+                    rec.on_packet(seq, t + SimDuration::from_millis(40));
+                }
+                seq = seq.wrapping_add(1);
+                t = t + SimDuration::from_millis(2);
+            }
+            if let Some(fb) = rec.build_feedback() {
+                bwe.on_feedback(&fb, t);
+            }
+            let _ = round;
+        }
+        assert!(bwe.loss_fraction() > 0.15, "loss {}", bwe.loss_fraction());
+        assert!(
+            bwe.loss_based_bps() < 3e6,
+            "loss arm should bind: {:.2e}",
+            bwe.loss_based_bps()
+        );
+        assert!(bwe.target_bitrate_bps() <= bwe.loss_based_bps());
+    }
+
+    #[test]
+    fn acked_bitrate_tracks_delivery() {
+        let mut acked = AckedBitrate::default();
+        // 1200 B every 1 ms = 9.6 Mbps.
+        for i in 0..500 {
+            acked.on_acked(SimTime::from_millis(i), 1_200);
+        }
+        let est = acked.bitrate_bps();
+        assert!((est - 9.6e6).abs() < 0.5e6, "estimate {est:.2e}");
+        assert_eq!(acked.avg_packet_bits(), 9_600.0);
+    }
+
+    #[test]
+    fn target_stays_within_bounds() {
+        let cfg = GccConfig {
+            start_bitrate_bps: 2e6,
+            min_bitrate_bps: 1e6,
+            max_bitrate_bps: 10e6,
+        };
+        let mut bwe = SendSideBwe::new(cfg);
+        let targets = run_clean_link(&mut bwe, 60, 100e6);
+        assert!(targets.iter().all(|t| (1e6..=10e6).contains(t)));
+        // Should saturate at the ceiling on a clean 100 Mbps link.
+        assert!(*targets.last().unwrap() >= 9.9e6);
+    }
+}

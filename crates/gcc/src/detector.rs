@@ -1,0 +1,189 @@
+//! Over-use detector with adaptive threshold.
+//!
+//! Compares the modified trend against a threshold γ that adapts (Carlucci
+//! et al. §3.2): γ grows quickly when the trend is outside (k_u) and decays
+//! slowly back (k_d), clamped to [6, 600] ms — this prevents starvation
+//! against concurrent TCP flows while keeping sensitivity. Over-use is only
+//! signalled after it persists (≥ 10 ms and a non-decreasing trend).
+
+use rpav_sim::{SimDuration, SimTime};
+
+/// Detector verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BandwidthUsage {
+    /// Queues stable.
+    Normal,
+    /// Queuing delay increasing — reduce the rate.
+    Overusing,
+    /// Queues draining — hold and let them empty.
+    Underusing,
+}
+
+/// Gain when |trend| exceeds the threshold (fast rise).
+pub const K_UP: f64 = 0.0087;
+/// Gain when |trend| is inside the threshold (slow decay).
+pub const K_DOWN: f64 = 0.039;
+/// Initial threshold (ms).
+pub const INITIAL_THRESHOLD: f64 = 12.5;
+/// Threshold clamp range (ms).
+pub const THRESHOLD_RANGE: (f64, f64) = (6.0, 600.0);
+/// Over-use must persist this long before it is signalled.
+pub const OVERUSE_TIME: SimDuration = SimDuration::from_millis(10);
+
+/// The detector.
+#[derive(Debug)]
+pub struct OveruseDetector {
+    threshold: f64,
+    state: BandwidthUsage,
+    overusing_since: Option<SimTime>,
+    prev_trend: f64,
+    last_update: Option<SimTime>,
+}
+
+impl Default for OveruseDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OveruseDetector {
+    /// Create a detector in the `Normal` state.
+    pub fn new() -> Self {
+        OveruseDetector {
+            threshold: INITIAL_THRESHOLD,
+            state: BandwidthUsage::Normal,
+            overusing_since: None,
+            prev_trend: 0.0,
+            last_update: None,
+        }
+    }
+
+    /// Current adaptive threshold (ms).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BandwidthUsage {
+        self.state
+    }
+
+    /// Feed the modified trend at time `now`; returns the (possibly new)
+    /// state.
+    pub fn update(&mut self, now: SimTime, modified_trend: f64) -> BandwidthUsage {
+        if modified_trend > self.threshold {
+            let since = *self.overusing_since.get_or_insert(now);
+            let sustained = now.saturating_since(since) >= OVERUSE_TIME;
+            if sustained && modified_trend >= self.prev_trend {
+                self.state = BandwidthUsage::Overusing;
+            }
+        } else if modified_trend < -self.threshold {
+            self.overusing_since = None;
+            self.state = BandwidthUsage::Underusing;
+        } else {
+            self.overusing_since = None;
+            self.state = BandwidthUsage::Normal;
+        }
+        self.adapt_threshold(now, modified_trend);
+        self.prev_trend = modified_trend;
+        self.state
+    }
+
+    fn adapt_threshold(&mut self, now: SimTime, modified_trend: f64) {
+        let dt_ms = match self.last_update {
+            None => 0.0,
+            // Clamp: long gaps would otherwise blow the threshold around.
+            Some(last) => now.saturating_since(last).as_millis_f64().min(100.0),
+        };
+        self.last_update = Some(now);
+        let abs = modified_trend.abs();
+        // Ignore spikes far above the threshold (libwebrtc: 15 ms margin)
+        // so a single outlier doesn't desensitise the detector.
+        if abs > self.threshold + 15.0 {
+            return;
+        }
+        let k = if abs < self.threshold { K_DOWN } else { K_UP };
+        self.threshold += k * (abs - self.threshold) * dt_ms;
+        self.threshold = self.threshold.clamp(THRESHOLD_RANGE.0, THRESHOLD_RANGE.1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn stays_normal_on_flat_trend() {
+        let mut d = OveruseDetector::new();
+        for i in 0..100 {
+            assert_eq!(d.update(t(i * 10), 0.0), BandwidthUsage::Normal);
+        }
+    }
+
+    #[test]
+    fn sustained_positive_trend_overuses() {
+        let mut d = OveruseDetector::new();
+        let mut state = BandwidthUsage::Normal;
+        for i in 0..20 {
+            state = d.update(t(i * 10), 20.0);
+        }
+        assert_eq!(state, BandwidthUsage::Overusing);
+    }
+
+    #[test]
+    fn single_spike_does_not_overuse() {
+        let mut d = OveruseDetector::new();
+        d.update(t(0), 0.0);
+        // One spike, then back to normal: the 10 ms persistence gate keeps
+        // the state Normal (the spike lasts one sample at the same time).
+        let s = d.update(t(10), 50.0);
+        assert_ne!(s, BandwidthUsage::Overusing);
+        assert_eq!(d.update(t(20), 0.0), BandwidthUsage::Normal);
+    }
+
+    #[test]
+    fn negative_trend_underuses() {
+        let mut d = OveruseDetector::new();
+        let s = d.update(t(0), -30.0);
+        assert_eq!(s, BandwidthUsage::Underusing);
+    }
+
+    #[test]
+    fn threshold_adapts_up_under_sustained_pressure() {
+        let mut d = OveruseDetector::new();
+        let initial = d.threshold();
+        // Trend slightly above threshold for a while: γ rises.
+        for i in 0..200 {
+            d.update(t(i * 10), initial + 5.0);
+        }
+        assert!(d.threshold() > initial);
+        assert!(d.threshold() <= THRESHOLD_RANGE.1);
+    }
+
+    #[test]
+    fn threshold_decays_back_to_quiet_levels() {
+        let mut d = OveruseDetector::new();
+        for i in 0..200 {
+            d.update(t(i * 10), 14.0);
+        }
+        let raised = d.threshold();
+        for i in 200..2000 {
+            d.update(t(i * 10), 0.0);
+        }
+        assert!(d.threshold() < raised);
+        assert!(d.threshold() >= THRESHOLD_RANGE.0);
+    }
+
+    #[test]
+    fn huge_outlier_does_not_move_threshold() {
+        let mut d = OveruseDetector::new();
+        d.update(t(0), 0.0);
+        let before = d.threshold();
+        d.update(t(10), 500.0); // way above threshold + 15
+        assert_eq!(d.threshold(), before);
+    }
+}

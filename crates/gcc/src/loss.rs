@@ -1,0 +1,149 @@
+//! Loss-based controller — the second arm of GCC.
+//!
+//! From Carlucci et al. §4: every rate-update interval, with smoothed loss
+//! fraction `p`:
+//!
+//! * `p > 10 %` → multiplicative decrease `A ← A·(1 − 0.5 p)`;
+//! * `p < 2 %`  → gentle probe `A ← 1.05·A`;
+//! * otherwise hold.
+//!
+//! Over cellular links loss is rare (deep buffers), so in this study the
+//! loss arm mostly rides above the delay arm — exactly why the paper's
+//! bitrate drops are delay-driven.
+
+use rpav_sim::{SimDuration, SimTime};
+
+/// Minimum spacing between rate updates.
+pub const UPDATE_INTERVAL: SimDuration = SimDuration::from_millis(1_000);
+/// Upper loss bound for probing.
+pub const LOW_LOSS: f64 = 0.02;
+/// Lower loss bound for decreasing.
+pub const HIGH_LOSS: f64 = 0.10;
+
+/// The controller.
+#[derive(Debug)]
+pub struct LossController {
+    rate_bps: f64,
+    min_bps: f64,
+    max_bps: f64,
+    /// Exponentially smoothed loss fraction.
+    smoothed_loss: f64,
+    last_update: Option<SimTime>,
+}
+
+impl LossController {
+    /// Create a controller; starts above the delay arm so it only binds
+    /// under real loss.
+    pub fn new(start_bps: f64, min_bps: f64, max_bps: f64) -> Self {
+        LossController {
+            rate_bps: (start_bps * 1.5).clamp(min_bps, max_bps),
+            min_bps,
+            max_bps,
+            smoothed_loss: 0.0,
+            last_update: None,
+        }
+    }
+
+    /// Current loss-arm rate.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// Smoothed loss fraction.
+    pub fn loss_fraction(&self) -> f64 {
+        self.smoothed_loss
+    }
+
+    /// Report feedback-window loss statistics.
+    pub fn on_feedback(&mut self, now: SimTime, lost: usize, total: usize) {
+        if total > 0 {
+            let p = lost as f64 / total as f64;
+            self.smoothed_loss = 0.7 * self.smoothed_loss + 0.3 * p;
+        }
+        let due = match self.last_update {
+            None => true,
+            Some(last) => now.saturating_since(last) >= UPDATE_INTERVAL,
+        };
+        if !due {
+            return;
+        }
+        self.last_update = Some(now);
+        let p = self.smoothed_loss;
+        if p > HIGH_LOSS {
+            self.rate_bps *= 1.0 - 0.5 * p;
+        } else if p < LOW_LOSS {
+            self.rate_bps *= 1.05;
+        }
+        self.rate_bps = self.rate_bps.clamp(self.min_bps, self.max_bps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn probes_up_when_loss_is_low() {
+        let mut c = LossController::new(10e6, 1e6, 50e6);
+        let start = c.rate_bps();
+        for i in 0..10 {
+            c.on_feedback(t(i), 0, 100);
+        }
+        assert!(c.rate_bps() > start);
+    }
+
+    #[test]
+    fn decreases_under_heavy_loss() {
+        let mut c = LossController::new(10e6, 1e6, 50e6);
+        let start = c.rate_bps();
+        for i in 0..10 {
+            c.on_feedback(t(i), 30, 100);
+        }
+        assert!(c.rate_bps() < start * 0.6);
+        assert!(c.loss_fraction() > 0.25);
+    }
+
+    #[test]
+    fn holds_in_the_dead_band() {
+        let mut c = LossController::new(10e6, 1e6, 50e6);
+        // Prime smoothed loss into (2 %, 10 %).
+        for i in 0..20 {
+            c.on_feedback(t(i), 5, 100);
+        }
+        let rate = c.rate_bps();
+        for i in 20..30 {
+            c.on_feedback(t(i), 5, 100);
+        }
+        assert_eq!(c.rate_bps(), rate);
+    }
+
+    #[test]
+    fn rate_updates_throttled_to_interval() {
+        let mut c = LossController::new(10e6, 1e6, 50e6);
+        let start = c.rate_bps();
+        // Many feedbacks within one interval: at most one probe applied
+        // (the first one, timer unset).
+        for i in 0..50 {
+            c.on_feedback(SimTime::from_millis(i * 10), 0, 100);
+        }
+        assert!(c.rate_bps() <= start * 1.05 + 1.0);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut c = LossController::new(10e6, 5e6, 12e6);
+        for i in 0..100 {
+            c.on_feedback(t(i), 90, 100);
+        }
+        assert!(c.rate_bps() >= 5e6);
+        let mut c = LossController::new(10e6, 5e6, 12e6);
+        for i in 0..100 {
+            c.on_feedback(t(i), 0, 100);
+        }
+        assert!(c.rate_bps() <= 12e6);
+    }
+}

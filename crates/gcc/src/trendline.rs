@@ -1,0 +1,187 @@
+//! Trendline estimator: the delay-gradient filter of modern GCC.
+//!
+//! The original design used a Kalman filter on the one-way delay gradient
+//! (Carlucci et al. §3); libwebrtc later replaced it with an equivalent
+//! linear-regression "trendline" filter, which is what we implement: an
+//! exponentially smoothed accumulated delay is regressed against arrival
+//! time over a sliding window; the slope estimates the queuing-delay
+//! growth rate.
+
+use std::collections::VecDeque;
+
+use rpav_sim::SimTime;
+
+use crate::arrival::GroupDelta;
+
+/// Window size in group samples (libwebrtc default 20).
+pub const WINDOW: usize = 20;
+/// Exponential smoothing coefficient (libwebrtc default 0.9).
+pub const SMOOTHING: f64 = 0.9;
+/// Gain applied to the raw slope before threshold comparison.
+pub const THRESHOLD_GAIN: f64 = 4.0;
+/// Cap on the sample count used to scale the modified trend.
+pub const MAX_DELTAS: u32 = 60;
+
+/// The estimator.
+#[derive(Debug)]
+pub struct TrendlineEstimator {
+    acc_delay_ms: f64,
+    smoothed_delay_ms: f64,
+    history: VecDeque<(f64, f64)>, // (arrival time ms, smoothed delay ms)
+    first_arrival: Option<SimTime>,
+    num_deltas: u32,
+    trend: f64,
+}
+
+impl Default for TrendlineEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrendlineEstimator {
+    /// Create an empty estimator.
+    pub fn new() -> Self {
+        TrendlineEstimator {
+            acc_delay_ms: 0.0,
+            smoothed_delay_ms: 0.0,
+            history: VecDeque::with_capacity(WINDOW),
+            first_arrival: None,
+            num_deltas: 0,
+            trend: 0.0,
+        }
+    }
+
+    /// Feed one group delta; returns the updated *modified trend* — the
+    /// quantity compared against the adaptive threshold.
+    pub fn update(&mut self, delta: &GroupDelta) -> f64 {
+        let delay_variation = delta.arrival_delta_ms - delta.send_delta_ms;
+        self.num_deltas = (self.num_deltas + 1).min(MAX_DELTAS);
+        self.acc_delay_ms += delay_variation;
+        self.smoothed_delay_ms =
+            SMOOTHING * self.smoothed_delay_ms + (1.0 - SMOOTHING) * self.acc_delay_ms;
+
+        let first = *self.first_arrival.get_or_insert(delta.arrival_time);
+        let x_ms = delta.arrival_time.saturating_since(first).as_millis_f64();
+        self.history.push_back((x_ms, self.smoothed_delay_ms));
+        if self.history.len() > WINDOW {
+            self.history.pop_front();
+        }
+        if self.history.len() >= 2 {
+            if let Some(slope) = linear_fit_slope(self.history.iter().copied()) {
+                self.trend = slope;
+            }
+        }
+        self.modified_trend()
+    }
+
+    /// Raw regression slope (ms of delay per ms of time).
+    pub fn trend(&self) -> f64 {
+        self.trend
+    }
+
+    /// Slope scaled by sample count and gain, as compared to the detector
+    /// threshold.
+    pub fn modified_trend(&self) -> f64 {
+        self.trend * self.num_deltas.min(MAX_DELTAS) as f64 * THRESHOLD_GAIN
+    }
+
+    /// Number of deltas consumed (saturating at [`MAX_DELTAS`]).
+    pub fn num_deltas(&self) -> u32 {
+        self.num_deltas
+    }
+}
+
+/// Ordinary least squares slope of `(x, y)` points; `None` if degenerate.
+fn linear_fit_slope(points: impl Iterator<Item = (f64, f64)> + Clone) -> Option<f64> {
+    let n = points.clone().count() as f64;
+    if n < 2.0 {
+        return None;
+    }
+    let sum_x: f64 = points.clone().map(|(x, _)| x).sum();
+    let sum_y: f64 = points.clone().map(|(_, y)| y).sum();
+    let mean_x = sum_x / n;
+    let mean_y = sum_y / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in points {
+        num += (x - mean_x) * (y - mean_y);
+        den += (x - mean_x) * (x - mean_x);
+    }
+    if den.abs() < f64::EPSILON {
+        None
+    } else {
+        Some(num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpav_sim::SimTime;
+
+    fn delta(i: u64, send_ms: f64, arrival_ms: f64) -> GroupDelta {
+        GroupDelta {
+            send_delta_ms: send_ms,
+            arrival_delta_ms: arrival_ms,
+            arrival_time: SimTime::from_millis(100 + i * 10),
+        }
+    }
+
+    #[test]
+    fn flat_delay_has_zero_trend() {
+        let mut e = TrendlineEstimator::new();
+        let mut last = 0.0;
+        for i in 0..40 {
+            last = e.update(&delta(i, 10.0, 10.0));
+        }
+        assert!(last.abs() < 1e-9, "trend {last}");
+    }
+
+    #[test]
+    fn growing_delay_has_positive_trend() {
+        let mut e = TrendlineEstimator::new();
+        let mut last = 0.0;
+        for i in 0..40 {
+            // Every group arrives 2 ms later than sent spacing: queue grows.
+            last = e.update(&delta(i, 10.0, 12.0));
+        }
+        assert!(last > 6.0, "modified trend {last} should exceed threshold");
+        assert!(e.trend() > 0.0);
+    }
+
+    #[test]
+    fn draining_queue_has_negative_trend() {
+        let mut e = TrendlineEstimator::new();
+        // Build up then drain.
+        for i in 0..20 {
+            e.update(&delta(i, 10.0, 12.0));
+        }
+        let mut last = 0.0;
+        for i in 20..60 {
+            last = e.update(&delta(i, 10.0, 7.0));
+        }
+        assert!(last < -6.0, "modified trend {last}");
+    }
+
+    #[test]
+    fn modified_trend_scales_with_sample_count() {
+        let mut e = TrendlineEstimator::new();
+        e.update(&delta(0, 10.0, 12.0));
+        let early = e.modified_trend().abs();
+        for i in 1..70 {
+            e.update(&delta(i, 10.0, 12.0));
+        }
+        assert!(e.num_deltas() == MAX_DELTAS);
+        assert!(e.modified_trend().abs() > early);
+    }
+
+    #[test]
+    fn slope_fit_is_exact_on_a_line() {
+        let pts = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0));
+        assert!((linear_fit_slope(pts).unwrap() - 3.0).abs() < 1e-12);
+        // Degenerate: single x.
+        let same = (0..5).map(|_| (1.0, 2.0));
+        assert!(linear_fit_slope(same).is_none());
+    }
+}

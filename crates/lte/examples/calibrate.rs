@@ -1,0 +1,60 @@
+//! Diagnostic: print HO rates and capacity per profile for calibration.
+use rpav_lte::{Environment, NetworkProfile, Operator, RadioModel};
+use rpav_sim::{RngSet, SimDuration, SimTime};
+use rpav_uav::{profiles, Position};
+
+fn run(env: Environment, op: Operator, aerial: bool, seeds: u64) {
+    let profile = NetworkProfile::new(env, op);
+    let mut rates = vec![];
+    let mut caps = vec![];
+    let mut sinrs = vec![];
+    for seed in 0..seeds {
+        let rngs = RngSet::new(1000 + seed);
+        let mut model = RadioModel::new(&profile, &rngs, seed);
+        let plan = if aerial {
+            profiles::paper_flight(Position::ground(0.0, 0.0), SimDuration::from_secs(5))
+        } else {
+            profiles::ground_run(Position::ground(0.0, 0.0), 3, SimDuration::from_secs(45))
+        };
+        let mut t = SimTime::ZERO;
+        let end = SimTime::ZERO + plan.duration();
+        let mut hos = 0u64;
+        let mut capsum = 0.0;
+        let mut n = 0u64;
+        while t < end {
+            let s = model.step(t, &plan.position_at(t));
+            if s.handover.is_some() {
+                hos += 1;
+            }
+            capsum += s.uplink_capacity_bps;
+            sinrs.push(s.sinr_db);
+            n += 1;
+            t = t + model.tick();
+        }
+        rates.push(hos as f64 / plan.duration().as_secs_f64());
+        caps.push(capsum / n as f64 / 1e6);
+    }
+    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+    sinrs.sort_by(|a, b| a.total_cmp(b));
+    let med_sinr = sinrs[sinrs.len() / 2];
+    println!(
+        "{:?} {:?} {}: HO/s={:.3} cap={:.1}Mbps medSINR={:.1}dB",
+        env,
+        op,
+        if aerial { "air" } else { "grd" },
+        mean(&rates),
+        mean(&caps),
+        med_sinr
+    );
+}
+
+fn main() {
+    for (env, op) in [
+        (Environment::Urban, Operator::P1),
+        (Environment::Rural, Operator::P1),
+        (Environment::Rural, Operator::P2),
+    ] {
+        run(env, op, true, 4);
+        run(env, op, false, 4);
+    }
+}

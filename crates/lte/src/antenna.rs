@@ -1,0 +1,164 @@
+//! 3GPP-style sector antenna pattern with down-tilt and side lobes.
+//!
+//! The pattern follows TR 36.814 §A.2.1.1 (the standard macro model):
+//!
+//! * horizontal: `A_h(φ) = -min(12 (φ/φ3dB)², A_m)` with `φ3dB = 65°`,
+//!   `A_m = 30 dB`;
+//! * vertical:  `A_v(θ) = -min(12 ((θ-θtilt)/θ3dB)², SLA_v)` with
+//!   `θ3dB = 10°`, `SLA_v = 20 dB`;
+//! * combined:  `A(φ,θ) = -min(-(A_h + A_v), A_m)`.
+//!
+//! On top of the flat side-lobe floor we add a deterministic angular ripple
+//! in the vertical side-lobe region. Real antennas have structured side
+//! lobes, not a flat floor; for an aerial UE served through them this
+//! ripple is what makes the received signal fluctuate as the UAV moves —
+//! the driver of the extra aerial handovers the paper reports (§4.1:
+//! "the UAV can enter the side-lobe coverage area of the antennas, which
+//! can contribute to the link fluctuations").
+
+/// Horizontal 3 dB beamwidth (degrees).
+pub const PHI_3DB: f64 = 65.0;
+/// Maximum horizontal attenuation (dB).
+pub const A_MAX: f64 = 30.0;
+/// Vertical 3 dB beamwidth (degrees).
+pub const THETA_3DB: f64 = 10.0;
+/// Vertical side-lobe attenuation floor (dB).
+pub const SLA_V: f64 = 20.0;
+/// Boresight gain of a macro sector antenna (dBi).
+pub const BORESIGHT_GAIN_DBI: f64 = 15.0;
+/// Peak-to-peak amplitude of the side-lobe ripple (dB).
+pub const SIDELOBE_RIPPLE_DB: f64 = 10.0;
+/// Angular period of the side-lobe ripple (degrees).
+pub const SIDELOBE_RIPPLE_PERIOD_DEG: f64 = 5.0;
+
+/// Horizontal pattern attenuation (dB ≥ 0) at azimuth offset `phi_deg` from
+/// boresight.
+pub fn horizontal_attenuation_db(phi_deg: f64) -> f64 {
+    // Wrap to [-180, 180).
+    let phi = wrap_deg(phi_deg);
+    (12.0 * (phi / PHI_3DB).powi(2)).min(A_MAX)
+}
+
+/// Vertical pattern attenuation (dB ≥ 0) at elevation `theta_deg`
+/// (positive above the horizon) for an antenna tilted `downtilt_deg` below
+/// the horizon. Includes the structured side-lobe ripple outside the main
+/// lobe.
+pub fn vertical_attenuation_db(theta_deg: f64, downtilt_deg: f64) -> f64 {
+    vertical_attenuation_with_phase_db(theta_deg, downtilt_deg, 0.0)
+}
+
+/// Like [`vertical_attenuation_db`] with an explicit ripple phase
+/// (radians). Each physical antenna has its own side-lobe structure, so the
+/// radio model passes a per-cell phase — interleaved side-lobe peaks are
+/// what makes the aerial cell ranking churn as the UAV moves.
+pub fn vertical_attenuation_with_phase_db(
+    theta_deg: f64,
+    downtilt_deg: f64,
+    phase_rad: f64,
+) -> f64 {
+    // The main lobe points at -downtilt; offset is measured from it.
+    let off = theta_deg + downtilt_deg;
+    let quad = 12.0 * (off / THETA_3DB).powi(2);
+    if quad < SLA_V {
+        quad
+    } else {
+        // Side-lobe region: floor plus deterministic angular ripple.
+        let ripple = 0.5
+            * SIDELOBE_RIPPLE_DB
+            * (std::f64::consts::TAU * off / SIDELOBE_RIPPLE_PERIOD_DEG + phase_rad).sin();
+        SLA_V + 0.5 * SIDELOBE_RIPPLE_DB + ripple
+    }
+}
+
+/// Total antenna gain (dBi, can be negative) towards (`phi_deg` from
+/// boresight azimuth, `theta_deg` elevation) for the given down-tilt.
+pub fn gain_dbi(phi_deg: f64, theta_deg: f64, downtilt_deg: f64) -> f64 {
+    gain_with_phase_dbi(phi_deg, theta_deg, downtilt_deg, 0.0)
+}
+
+/// [`gain_dbi`] with a per-antenna side-lobe ripple phase (radians).
+pub fn gain_with_phase_dbi(phi_deg: f64, theta_deg: f64, downtilt_deg: f64, phase_rad: f64) -> f64 {
+    let att = (horizontal_attenuation_db(phi_deg)
+        + vertical_attenuation_with_phase_db(theta_deg, downtilt_deg, phase_rad))
+    .min(A_MAX);
+    BORESIGHT_GAIN_DBI - att
+}
+
+fn wrap_deg(mut a: f64) -> f64 {
+    while a >= 180.0 {
+        a -= 360.0;
+    }
+    while a < -180.0 {
+        a += 360.0;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boresight_has_full_gain() {
+        // Ground user on boresight at the tilt elevation.
+        let g = gain_dbi(0.0, -8.0, 8.0);
+        assert!((g - BORESIGHT_GAIN_DBI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn horizontal_rolloff_is_symmetric_and_capped() {
+        assert_eq!(horizontal_attenuation_db(0.0), 0.0);
+        let a = horizontal_attenuation_db(32.5);
+        assert!((a - 3.0).abs() < 1e-9, "65° beamwidth → 3 dB at ±32.5°");
+        assert_eq!(
+            horizontal_attenuation_db(45.0),
+            horizontal_attenuation_db(-45.0)
+        );
+        assert_eq!(horizontal_attenuation_db(180.0), A_MAX);
+        // Wrapping: 350° == -10°.
+        assert!((horizontal_attenuation_db(350.0) - horizontal_attenuation_db(-10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vertical_mainlobe_vs_sidelobe() {
+        // At the tilt angle: no attenuation.
+        assert_eq!(vertical_attenuation_db(-8.0, 8.0), 0.0);
+        // 5° off: inside the main lobe, quadratic.
+        let a = vertical_attenuation_db(-3.0, 8.0);
+        assert!((a - 3.0).abs() < 1e-9);
+        // High above (aerial UE): side-lobe region, attenuation ≥ SLA_V.
+        let up = vertical_attenuation_db(45.0, 8.0);
+        assert!(up >= SLA_V, "side lobe attenuation {up}");
+        assert!(up <= SLA_V + SIDELOBE_RIPPLE_DB + 1e-9);
+    }
+
+    #[test]
+    fn sidelobe_ripple_varies_with_angle() {
+        // Two nearby elevations in the side-lobe region should see
+        // different attenuation (the ripple that drives aerial
+        // fluctuations).
+        let a = vertical_attenuation_db(40.0, 8.0);
+        let b = vertical_attenuation_db(42.0, 8.0);
+        assert!((a - b).abs() > 0.5, "ripple too flat: {a} vs {b}");
+    }
+
+    #[test]
+    fn total_gain_bounded() {
+        for phi in [-180.0, -90.0, 0.0, 45.0, 170.0] {
+            for theta in [-30.0, -8.0, 0.0, 20.0, 80.0] {
+                let g = gain_dbi(phi, theta, 8.0);
+                assert!(g <= BORESIGHT_GAIN_DBI + 1e-9);
+                assert!(g >= BORESIGHT_GAIN_DBI - A_MAX - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn aerial_ue_sees_less_gain_than_ground_ue() {
+        // Same horizontal offset; ground UE near tilt elevation vs aerial
+        // UE high above.
+        let ground = gain_dbi(10.0, -6.0, 8.0);
+        let aerial = gain_dbi(10.0, 50.0, 8.0);
+        assert!(ground > aerial + 10.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Fault injection: loss (i.i.d. and bursty), duplication, corruption.
+//!
+//! Mirrors the fault-injection switches the smoltcp examples expose
+//! (`--drop-chance`, `--corrupt-chance`, …) so scenarios can degrade a path
+//! in controlled ways. The LTE simulator uses the Gilbert–Elliott component
+//! for the paper's observation that "most of the observed packet drops
+//! occurred consecutively" (§4.1) at an overall PER of 0.06–0.07 %.
+
+use rpav_sim::SimRng;
+
+use crate::packet::Packet;
+
+/// Two-state Gilbert–Elliott burst-loss process.
+///
+/// In the Good state packets are lost with `p_loss_good` (usually 0); in the
+/// Bad state with `p_loss_bad` (usually ≈1, producing consecutive drops).
+/// Transitions are evaluated per packet.
+#[derive(Clone, Debug)]
+pub struct GilbertElliott {
+    /// P(Good → Bad) per packet.
+    pub p_good_to_bad: f64,
+    /// P(Bad → Good) per packet.
+    pub p_bad_to_good: f64,
+    /// Loss probability while Good.
+    pub p_loss_good: f64,
+    /// Loss probability while Bad.
+    pub p_loss_bad: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// Create a process starting in the Good state.
+    pub fn new(p_good_to_bad: f64, p_bad_to_good: f64, p_loss_good: f64, p_loss_bad: f64) -> Self {
+        GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good,
+            p_loss_good,
+            p_loss_bad,
+            in_bad: false,
+        }
+    }
+
+    /// A disabled process that never loses anything.
+    pub fn off() -> Self {
+        GilbertElliott::new(0.0, 1.0, 0.0, 0.0)
+    }
+
+    /// Steady-state average loss rate of the process.
+    pub fn mean_loss_rate(&self) -> f64 {
+        let denom = self.p_good_to_bad + self.p_bad_to_good;
+        if denom <= 0.0 {
+            return self.p_loss_good;
+        }
+        let pi_bad = self.p_good_to_bad / denom;
+        pi_bad * self.p_loss_bad + (1.0 - pi_bad) * self.p_loss_good
+    }
+
+    /// Advance one packet; returns `true` if that packet is lost.
+    pub fn step(&mut self, rng: &mut SimRng) -> bool {
+        if self.in_bad {
+            if rng.chance(self.p_bad_to_good) {
+                self.in_bad = false;
+            }
+        } else if rng.chance(self.p_good_to_bad) {
+            self.in_bad = true;
+        }
+        let p = if self.in_bad {
+            self.p_loss_bad
+        } else {
+            self.p_loss_good
+        };
+        rng.chance(p)
+    }
+}
+
+/// Configuration of a [`FaultInjector`].
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Independent per-packet drop probability.
+    pub drop_chance: f64,
+    /// Per-packet duplication probability.
+    pub duplicate_chance: f64,
+    /// Per-packet payload-corruption probability (receivers discard
+    /// corrupted packets after checksum validation, so this is deferred
+    /// loss).
+    pub corrupt_chance: f64,
+    /// Burst-loss process layered on top of `drop_chance`.
+    pub burst: GilbertElliott,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_chance: 0.0,
+            duplicate_chance: 0.0,
+            corrupt_chance: 0.0,
+            burst: GilbertElliott::off(),
+        }
+    }
+}
+
+/// Outcome of offering one packet to the injector.
+#[derive(Debug)]
+pub enum FaultOutcome {
+    /// Deliver the packet (possibly marked corrupted).
+    Pass(Packet),
+    /// Deliver the packet twice.
+    Duplicate(Packet, Packet),
+    /// The packet is gone.
+    Drop,
+}
+
+/// Applies a [`FaultConfig`] to a packet stream.
+#[derive(Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: SimRng,
+    dropped: u64,
+    duplicated: u64,
+    corrupted: u64,
+    passed: u64,
+}
+
+impl FaultInjector {
+    /// Create an injector with its own random stream.
+    pub fn new(config: FaultConfig, rng: SimRng) -> Self {
+        FaultInjector {
+            config,
+            rng,
+            dropped: 0,
+            duplicated: 0,
+            corrupted: 0,
+            passed: 0,
+        }
+    }
+
+    /// A no-op injector.
+    pub fn transparent(rng: SimRng) -> Self {
+        FaultInjector::new(FaultConfig::default(), rng)
+    }
+
+    /// Offer one packet.
+    pub fn offer(&mut self, mut packet: Packet) -> FaultOutcome {
+        if self.rng.chance(self.config.drop_chance) || self.config.burst.step(&mut self.rng) {
+            self.dropped += 1;
+            return FaultOutcome::Drop;
+        }
+        if self.rng.chance(self.config.corrupt_chance) {
+            packet.corrupted = true;
+            self.corrupted += 1;
+        }
+        if self.rng.chance(self.config.duplicate_chance) {
+            self.duplicated += 1;
+            let copy = packet.clone();
+            self.passed += 2;
+            return FaultOutcome::Duplicate(packet, copy);
+        }
+        self.passed += 1;
+        FaultOutcome::Pass(packet)
+    }
+
+    /// (passed, dropped, duplicated, corrupted) counters.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (self.dropped, self.duplicated, self.corrupted, self.passed)
+    }
+
+    /// Observed drop fraction so far.
+    pub fn drop_rate(&self) -> f64 {
+        let total = self.dropped + self.passed;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, PacketKind};
+    use bytes::Bytes;
+    use rpav_sim::{RngSet, SimTime};
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::new(
+            seq,
+            Bytes::from_static(&[0u8; 64]),
+            PacketKind::Media,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn transparent_passes_everything() {
+        let mut inj = FaultInjector::transparent(RngSet::new(1).stream("f"));
+        for i in 0..1000 {
+            match inj.offer(pkt(i)) {
+                FaultOutcome::Pass(p) => assert!(!p.corrupted),
+                _ => panic!("transparent injector must pass"),
+            }
+        }
+        assert_eq!(inj.drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn iid_drop_rate_matches_config() {
+        let cfg = FaultConfig {
+            drop_chance: 0.2,
+            ..Default::default()
+        };
+        let mut inj = FaultInjector::new(cfg, RngSet::new(2).stream("f"));
+        let n = 50_000;
+        for i in 0..n {
+            let _ = inj.offer(pkt(i));
+        }
+        assert!((inj.drop_rate() - 0.2).abs() < 0.01, "{}", inj.drop_rate());
+    }
+
+    #[test]
+    fn gilbert_elliott_produces_bursts() {
+        // Rare bad state with certain loss inside it.
+        let mut ge = GilbertElliott::new(0.001, 0.3, 0.0, 1.0);
+        let mut rng = RngSet::new(3).stream("ge");
+        let mut losses = Vec::new();
+        for i in 0..200_000u64 {
+            if ge.step(&mut rng) {
+                losses.push(i);
+            }
+        }
+        assert!(!losses.is_empty());
+        // Count how many losses are adjacent to another loss: in a bursty
+        // process the majority are.
+        let adjacent = losses.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(
+            adjacent as f64 >= 0.4 * losses.len() as f64,
+            "losses were not bursty: {adjacent}/{}",
+            losses.len()
+        );
+        // Mean loss rate should be near the analytic steady state.
+        let expected = ge.mean_loss_rate();
+        let observed = losses.len() as f64 / 200_000.0;
+        assert!((observed - expected).abs() < expected * 0.3);
+    }
+
+    #[test]
+    fn duplication_emits_two() {
+        let cfg = FaultConfig {
+            duplicate_chance: 1.0,
+            ..Default::default()
+        };
+        let mut inj = FaultInjector::new(cfg, RngSet::new(4).stream("f"));
+        match inj.offer(pkt(7)) {
+            FaultOutcome::Duplicate(a, b) => {
+                assert_eq!(a.seq, 7);
+                assert_eq!(b.seq, 7);
+            }
+            _ => panic!("expected duplicate"),
+        }
+    }
+
+    #[test]
+    fn corruption_marks_packet() {
+        let cfg = FaultConfig {
+            corrupt_chance: 1.0,
+            ..Default::default()
+        };
+        let mut inj = FaultInjector::new(cfg, RngSet::new(5).stream("f"));
+        match inj.offer(pkt(1)) {
+            FaultOutcome::Pass(p) => assert!(p.corrupted),
+            _ => panic!("expected pass"),
+        }
+    }
+
+    #[test]
+    fn mean_loss_rate_analytics() {
+        let ge = GilbertElliott::new(0.01, 0.99, 0.0, 1.0);
+        let pi_bad = 0.01 / (0.01 + 0.99);
+        assert!((ge.mean_loss_rate() - pi_bad).abs() < 1e-12);
+        assert_eq!(GilbertElliott::off().mean_loss_rate(), 0.0);
+    }
+}

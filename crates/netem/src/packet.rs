@@ -1,0 +1,83 @@
+//! The packet type moved through every emulated stage.
+
+use bytes::Bytes;
+use rpav_sim::SimTime;
+
+/// Classification of a packet for accounting and tracing.
+///
+/// The emulation treats all kinds identically (bytes are bytes); the kinds
+/// exist so the metric collectors can attribute loss and latency to the
+/// media stream vs. the RTCP feedback stream, as the paper does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// RTP media (video) packet.
+    Media,
+    /// RTCP feedback packet (transport-wide CC or RFC 8888).
+    Feedback,
+    /// Active-measurement probe (the Fig. 13 ICMP-like echo workload).
+    Probe,
+}
+
+/// A packet in flight through the emulated network.
+///
+/// `payload` carries the real serialised upper-layer bytes (RTP/RTCP wire
+/// format); `size` is the on-the-wire size including lower-layer overhead,
+/// which is what serialisation delay and queue occupancy are computed from.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Globally unique (per direction) transport-level sequence number.
+    pub seq: u64,
+    /// On-the-wire size in bytes, including IP/UDP overhead.
+    pub size: usize,
+    /// Serialised upper-layer payload.
+    pub payload: Bytes,
+    /// What this packet carries (for accounting only).
+    pub kind: PacketKind,
+    /// When the original sender handed the packet to the network.
+    pub sent_at: SimTime,
+    /// Set by the fault injector when a corruption fault fires; receivers
+    /// treat corrupted packets as lost after checksum validation.
+    pub corrupted: bool,
+}
+
+/// IP + UDP header overhead added to every payload, in bytes.
+pub const IP_UDP_OVERHEAD: usize = 20 + 8;
+
+impl Packet {
+    /// Build a media/feedback/probe packet around `payload`, adding IP/UDP
+    /// overhead to the wire size.
+    pub fn new(seq: u64, payload: Bytes, kind: PacketKind, sent_at: SimTime) -> Self {
+        let size = payload.len() + IP_UDP_OVERHEAD;
+        Packet {
+            seq,
+            size,
+            payload,
+            kind,
+            sent_at,
+            corrupted: false,
+        }
+    }
+
+    /// Wire size in bits (for serialisation-delay math).
+    pub fn size_bits(&self) -> u64 {
+        self.size as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_adds_ip_udp_overhead() {
+        let p = Packet::new(
+            1,
+            Bytes::from_static(&[0u8; 1200]),
+            PacketKind::Media,
+            SimTime::ZERO,
+        );
+        assert_eq!(p.size, 1200 + IP_UDP_OVERHEAD);
+        assert_eq!(p.size_bits(), (1200 + IP_UDP_OVERHEAD) as u64 * 8);
+        assert!(!p.corrupted);
+    }
+}

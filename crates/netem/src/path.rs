@@ -1,0 +1,223 @@
+//! A multi-stage unidirectional path.
+//!
+//! [`Path`] composes a fault injector, a bottleneck link and a delay pipe
+//! into the canonical "access link + WAN" shape used for both directions of
+//! the measurement pipeline:
+//!
+//! ```text
+//! sender ──► FaultInjector ──► BottleneckLink (radio) ──► DelayPipe (WAN) ──► receiver
+//! ```
+//!
+//! The owner drives the composition: `enqueue` at the entry, then `poll` in
+//! a loop at each simulation step; internally packets cascade between stages
+//! at their due times.
+
+use rpav_sim::{SimDuration, SimRng, SimTime};
+
+use crate::fault::{FaultConfig, FaultInjector, FaultOutcome};
+use crate::link::{BottleneckLink, DelayPipe};
+use crate::packet::Packet;
+use crate::queue::QueueStats;
+
+/// Fault injector + bottleneck + WAN pipe, in series.
+#[derive(Debug)]
+pub struct Path {
+    faults: FaultInjector,
+    pub(crate) bottleneck: BottleneckLink,
+    wan: DelayPipe,
+}
+
+impl Path {
+    /// Assemble a path.
+    ///
+    /// * `faults` — impairment applied before the bottleneck.
+    /// * `bottleneck_rate_bps`, `bottleneck_delay`, `queue_bytes` — the
+    ///   rate-limited access stage.
+    /// * `wan_delay`, `wan_jitter` — the wired leg.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        fault_config: FaultConfig,
+        fault_rng: SimRng,
+        bottleneck_rate_bps: f64,
+        bottleneck_delay: SimDuration,
+        queue_bytes: usize,
+        wan_delay: SimDuration,
+        wan_jitter: SimDuration,
+        wan_rng: SimRng,
+    ) -> Self {
+        Path {
+            faults: FaultInjector::new(fault_config, fault_rng),
+            bottleneck: BottleneckLink::new(
+                bottleneck_rate_bps,
+                bottleneck_delay,
+                queue_bytes,
+                usize::MAX,
+            ),
+            wan: DelayPipe::new(wan_delay, wan_jitter, wan_rng),
+        }
+    }
+
+    /// Offer a packet at the path entry. Returns `false` if it was dropped
+    /// immediately (fault or full queue).
+    pub fn enqueue(&mut self, now: SimTime, packet: Packet) -> bool {
+        match self.faults.offer(packet) {
+            FaultOutcome::Drop => false,
+            FaultOutcome::Pass(p) => self.bottleneck.enqueue(now, p),
+            FaultOutcome::Duplicate(a, b) => {
+                let ra = self.bottleneck.enqueue(now, a);
+                let rb = self.bottleneck.enqueue(now, b);
+                ra || rb
+            }
+        }
+    }
+
+    /// Drain one packet that has fully traversed the path, if due.
+    pub fn poll(&mut self, now: SimTime) -> Option<Packet> {
+        // Cascade: bottleneck output feeds the WAN pipe at the instant each
+        // packet actually exited the bottleneck, not at the poll time.
+        while let Some((exit, p)) = self.bottleneck.poll_with_time(now) {
+            self.wan.enqueue(exit, p);
+        }
+        self.wan.poll(now)
+    }
+
+    /// The earliest instant `poll` could make progress.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        match (self.bottleneck.next_wake(), self.wan.next_wake()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// Re-rate the bottleneck (radio capacity changed).
+    pub fn set_rate_bps(&mut self, now: SimTime, rate_bps: f64) {
+        self.bottleneck.set_rate_bps(now, rate_bps);
+    }
+
+    /// Stall the bottleneck serialiser (handover execution).
+    pub fn pause_until(&mut self, now: SimTime, until: SimTime) {
+        self.bottleneck.pause_until(now, until);
+    }
+
+    /// Set the extra per-packet air-interface delay (retransmissions).
+    pub fn set_extra_delay(&mut self, extra: SimDuration) {
+        self.bottleneck.set_extra_prop(extra);
+    }
+
+    /// Bottleneck queue depth in bytes.
+    pub fn queued_bytes(&self) -> usize {
+        self.bottleneck.queued_bytes()
+    }
+
+    /// Bottleneck queue counters.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.bottleneck.queue_stats()
+    }
+
+    /// Injector counters: (dropped, duplicated, corrupted, passed).
+    pub fn fault_counters(&self) -> (u64, u64, u64, u64) {
+        self.faults.counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, PacketKind, IP_UDP_OVERHEAD};
+    use bytes::Bytes;
+    use rpav_sim::RngSet;
+
+    fn pkt(seq: u64, now: SimTime) -> Packet {
+        Packet::new(
+            seq,
+            Bytes::from(vec![0u8; 1000 - IP_UDP_OVERHEAD]),
+            PacketKind::Media,
+            now,
+        )
+    }
+
+    fn quiet_path() -> Path {
+        let rngs = RngSet::new(11);
+        Path::new(
+            FaultConfig::default(),
+            rngs.stream("fault"),
+            8_000_000.0,
+            SimDuration::from_millis(5),
+            usize::MAX,
+            SimDuration::from_millis(12),
+            SimDuration::ZERO,
+            rngs.stream("wan"),
+        )
+    }
+
+    #[test]
+    fn end_to_end_delay_is_sum_of_stages() {
+        let mut path = quiet_path();
+        let t0 = SimTime::from_secs(1);
+        path.enqueue(t0, pkt(0, t0));
+        // 1 ms serialisation + 5 ms radio prop + 12 ms WAN = 18 ms.
+        let expected = t0 + SimDuration::from_millis(18);
+        assert!(path.poll(expected - SimDuration::from_micros(1)).is_none());
+        assert_eq!(path.poll(expected).unwrap().seq, 0);
+    }
+
+    #[test]
+    fn all_packets_eventually_arrive_in_order() {
+        let mut path = quiet_path();
+        let t0 = SimTime::ZERO;
+        for i in 0..100 {
+            path.enqueue(t0 + SimDuration::from_millis(i), pkt(i, t0));
+        }
+        let mut seen = 0u64;
+        let mut t = t0;
+        let horizon = SimTime::from_secs(10);
+        while t < horizon && seen < 100 {
+            while let Some(p) = path.poll(t) {
+                assert_eq!(p.seq, seen);
+                seen += 1;
+            }
+            t = path
+                .next_wake()
+                .unwrap_or(horizon)
+                .max(t + SimDuration::from_micros(1));
+        }
+        assert_eq!(seen, 100);
+    }
+
+    #[test]
+    fn full_drop_path_delivers_nothing() {
+        let rngs = RngSet::new(13);
+        let mut path = Path::new(
+            FaultConfig {
+                drop_chance: 1.0,
+                ..Default::default()
+            },
+            rngs.stream("fault"),
+            8_000_000.0,
+            SimDuration::ZERO,
+            usize::MAX,
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            rngs.stream("wan"),
+        );
+        let t0 = SimTime::ZERO;
+        for i in 0..10 {
+            assert!(!path.enqueue(t0, pkt(i, t0)));
+        }
+        assert!(path.poll(SimTime::from_secs(60)).is_none());
+        assert_eq!(path.fault_counters().0, 10);
+    }
+
+    #[test]
+    fn pause_propagates_to_bottleneck() {
+        let mut path = quiet_path();
+        let t0 = SimTime::from_secs(1);
+        path.pause_until(t0, t0 + SimDuration::from_secs(1));
+        path.enqueue(t0, pkt(0, t0));
+        // Nothing before the pause lifts + 18 ms of pipeline.
+        assert!(path.poll(t0 + SimDuration::from_millis(1000)).is_none());
+        assert!(path.poll(t0 + SimDuration::from_millis(1018)).is_some());
+    }
+}

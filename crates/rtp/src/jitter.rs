@@ -1,0 +1,313 @@
+//! Receiver-side RTP jitter buffer.
+//!
+//! Models GStreamer's `rtpjitterbuffer` as configured in the paper's
+//! pipeline (§3.2): packets are held for a 150 ms target to cushion the
+//! variable arrival rate and restore ordering, then released on a playout
+//! clock derived from the RTP media timestamps.
+//!
+//! The `drop_on_latency` switch reproduces the Appendix A.4 discussion: in
+//! the stock configuration a late packet is still delivered (playback
+//! latency grows); with `drop-on-latency` enabled packets older than the
+//! target are discarded so the pilot always sees the freshest frame.
+
+use std::collections::BTreeMap;
+
+use rpav_sim::{SimDuration, SimTime};
+
+use crate::packet::{unwrap_seq, RtpPacket, VIDEO_CLOCK_HZ};
+
+/// Jitter buffer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct JitterConfig {
+    /// Target hold time — the paper uses 150 ms.
+    pub target: SimDuration,
+    /// Drop packets that are already past their playout time instead of
+    /// delivering them late (App. A.4).
+    pub drop_on_latency: bool,
+}
+
+impl Default for JitterConfig {
+    fn default() -> Self {
+        JitterConfig {
+            target: SimDuration::from_millis(150),
+            drop_on_latency: false,
+        }
+    }
+}
+
+/// Counters for analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JitterStats {
+    /// Packets accepted.
+    pub pushed: u64,
+    /// Packets delivered to the decoder.
+    pub delivered: u64,
+    /// Packets that arrived after their playout time.
+    pub late: u64,
+    /// Late packets discarded (only in `drop_on_latency` mode).
+    pub dropped_late: u64,
+    /// Duplicates discarded.
+    pub duplicates: u64,
+}
+
+/// The buffer itself.
+#[derive(Debug)]
+pub struct JitterBuffer {
+    config: JitterConfig,
+    /// Media timestamp ↔ wall-clock anchor from the first packet.
+    base: Option<(u32, SimTime)>,
+    /// Buffered packets keyed by (playout time, unwrapped seq).
+    queue: BTreeMap<(SimTime, u64), RtpPacket>,
+    last_unwrapped: Option<u64>,
+    /// Highest unwrapped seq delivered (duplicate detection watermark).
+    delivered_max: Option<u64>,
+    stats: JitterStats,
+}
+
+impl JitterBuffer {
+    /// Create an empty buffer.
+    pub fn new(config: JitterConfig) -> Self {
+        JitterBuffer {
+            config,
+            base: None,
+            queue: BTreeMap::new(),
+            last_unwrapped: None,
+            delivered_max: None,
+            stats: JitterStats::default(),
+        }
+    }
+
+    /// The configured target hold time.
+    pub fn target(&self) -> SimDuration {
+        self.config.target
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> JitterStats {
+        self.stats
+    }
+
+    /// Packets currently buffered.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Media-timestamp-derived playout time for `packet`.
+    fn playout_time(&mut self, packet: &RtpPacket, now: SimTime) -> SimTime {
+        let (ts0, t0) = *self.base.get_or_insert((packet.timestamp, now));
+        // Wrapping difference in 90 kHz ticks (handles u32 wrap; reordered
+        // packets give small negative values).
+        let dt_ticks = packet.timestamp.wrapping_sub(ts0) as i32 as i64;
+        let dt_us = dt_ticks * 1_000_000 / VIDEO_CLOCK_HZ as i64;
+        let media_time = if dt_us >= 0 {
+            t0 + SimDuration::from_micros(dt_us as u64)
+        } else {
+            t0 - SimDuration::from_micros((-dt_us) as u64)
+        };
+        media_time + self.config.target
+    }
+
+    /// Offer an arriving packet.
+    pub fn push(&mut self, now: SimTime, packet: RtpPacket) {
+        let unwrapped = match self.last_unwrapped {
+            None => packet.sequence as u64,
+            Some(prev) => unwrap_seq(prev, packet.sequence),
+        };
+        self.last_unwrapped = Some(self.last_unwrapped.unwrap_or(unwrapped).max(unwrapped));
+
+        // Duplicate detection: already buffered, or at-or-below the
+        // delivery watermark.
+        if self.queue.keys().any(|(_, s)| *s == unwrapped)
+            || self.delivered_max.map(|d| unwrapped <= d).unwrap_or(false)
+        {
+            self.stats.duplicates += 1;
+            return;
+        }
+
+        self.stats.pushed += 1;
+        let playout = self.playout_time(&packet, now);
+        if playout <= now {
+            self.stats.late += 1;
+            if self.config.drop_on_latency {
+                self.stats.dropped_late += 1;
+                return;
+            }
+            // Deliver as soon as possible, keeping order.
+            self.queue.insert((now, unwrapped), packet);
+        } else {
+            self.queue.insert((playout, unwrapped), packet);
+        }
+    }
+
+    /// Pop the next packet whose playout time has arrived.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, RtpPacket)> {
+        let (&(playout, unwrapped), _) = self.queue.iter().next()?;
+        if playout > now {
+            return None;
+        }
+        let packet = self.queue.remove(&(playout, unwrapped)).unwrap();
+        self.stats.delivered += 1;
+        self.delivered_max = Some(
+            self.delivered_max
+                .map(|d| d.max(unwrapped))
+                .unwrap_or(unwrapped),
+        );
+        Some((playout, packet))
+    }
+
+    /// Earliest pending playout instant.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        self.queue.keys().next().map(|(t, _)| *t)
+    }
+
+    /// Discard everything buffered (e.g. on stream reset). Returns count.
+    pub fn clear(&mut self) -> usize {
+        let n = self.queue.len();
+        self.queue.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn pkt(seq: u16, ts_ms: u64) -> RtpPacket {
+        RtpPacket {
+            marker: false,
+            payload_type: 96,
+            sequence: seq,
+            timestamp: (ts_ms * (VIDEO_CLOCK_HZ as u64 / 1_000)) as u32,
+            ssrc: 1,
+            transport_seq: None,
+            payload: Bytes::from_static(b"x"),
+        }
+    }
+
+    #[test]
+    fn holds_packets_for_target() {
+        let mut jb = JitterBuffer::new(JitterConfig::default());
+        let t0 = SimTime::from_secs(1);
+        jb.push(t0, pkt(0, 0));
+        assert!(jb.pop_due(t0).is_none());
+        assert!(jb.pop_due(t0 + SimDuration::from_millis(149)).is_none());
+        let (playout, p) = jb.pop_due(t0 + SimDuration::from_millis(150)).unwrap();
+        assert_eq!(p.sequence, 0);
+        assert_eq!(playout, t0 + SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn restores_order_of_jittered_arrivals() {
+        let mut jb = JitterBuffer::new(JitterConfig::default());
+        let t0 = SimTime::from_secs(1);
+        // Packet 1 (media time 33 ms) arrives before packet 0.
+        jb.push(t0 + SimDuration::from_millis(40), pkt(1, 33));
+        jb.push(t0 + SimDuration::from_millis(45), pkt(0, 0));
+        // Base anchors at first arrival: packet 1 plays at t0+40+150,
+        // packet 0 (33 ms earlier in media time) at t0+40+150-33.
+        let late = t0 + SimDuration::from_secs(1);
+        let first = jb.pop_due(late).unwrap().1;
+        let second = jb.pop_due(late).unwrap().1;
+        assert_eq!(first.sequence, 0);
+        assert_eq!(second.sequence, 1);
+    }
+
+    #[test]
+    fn late_packet_delivered_immediately_by_default() {
+        let mut jb = JitterBuffer::new(JitterConfig::default());
+        let t0 = SimTime::from_secs(1);
+        jb.push(t0, pkt(0, 0));
+        // Media time 33 ms, but arrives 400 ms later: playout (t0+183ms)
+        // already passed.
+        let late_arrival = t0 + SimDuration::from_millis(400);
+        jb.push(late_arrival, pkt(1, 33));
+        assert_eq!(jb.stats().late, 1);
+        // Delivered at its arrival time, not dropped.
+        // First pop the on-time packet 0 (due at t0+150).
+        assert_eq!(jb.pop_due(late_arrival).unwrap().1.sequence, 0);
+        let (when, p) = jb.pop_due(late_arrival).unwrap();
+        assert_eq!(p.sequence, 1);
+        assert_eq!(when, late_arrival);
+        assert_eq!(jb.stats().dropped_late, 0);
+    }
+
+    #[test]
+    fn drop_on_latency_discards_late_packets() {
+        let mut jb = JitterBuffer::new(JitterConfig {
+            drop_on_latency: true,
+            ..Default::default()
+        });
+        let t0 = SimTime::from_secs(1);
+        jb.push(t0, pkt(0, 0));
+        jb.push(t0 + SimDuration::from_millis(400), pkt(1, 33));
+        assert_eq!(jb.stats().dropped_late, 1);
+        assert_eq!(
+            jb.pop_due(t0 + SimDuration::from_secs(1))
+                .unwrap()
+                .1
+                .sequence,
+            0
+        );
+        assert!(jb.pop_due(t0 + SimDuration::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn duplicates_are_discarded() {
+        let mut jb = JitterBuffer::new(JitterConfig::default());
+        let t0 = SimTime::from_secs(1);
+        jb.push(t0, pkt(0, 0));
+        jb.push(t0, pkt(0, 0));
+        assert_eq!(jb.stats().duplicates, 1);
+        let far = t0 + SimDuration::from_secs(1);
+        assert!(jb.pop_due(far).is_some());
+        assert!(jb.pop_due(far).is_none());
+        // A duplicate of a delivered packet is also rejected.
+        jb.push(far, pkt(0, 0));
+        assert_eq!(jb.stats().duplicates, 2);
+        assert!(jb.pop_due(far + SimDuration::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn playout_clock_follows_media_timestamps() {
+        let mut jb = JitterBuffer::new(JitterConfig::default());
+        let t0 = SimTime::from_secs(5);
+        // 30 FPS: frames every 33 ms, arriving with small jitter.
+        for i in 0..10u16 {
+            let arrival = t0 + SimDuration::from_millis(i as u64 * 33 + (i as u64 % 3));
+            jb.push(arrival, pkt(i, i as u64 * 33));
+        }
+        let mut expected = t0 + SimDuration::from_millis(150);
+        for i in 0..10u16 {
+            let (when, p) = jb.pop_due(SimTime::from_secs(60)).unwrap();
+            assert_eq!(p.sequence, i);
+            assert_eq!(when, expected);
+            expected = expected + SimDuration::from_millis(33);
+        }
+    }
+
+    #[test]
+    fn next_wake_reports_earliest_playout() {
+        let mut jb = JitterBuffer::new(JitterConfig::default());
+        assert!(jb.next_wake().is_none());
+        let t0 = SimTime::from_secs(1);
+        jb.push(t0, pkt(0, 0));
+        assert_eq!(jb.next_wake(), Some(t0 + SimDuration::from_millis(150)));
+    }
+
+    #[test]
+    fn clear_empties_buffer() {
+        let mut jb = JitterBuffer::new(JitterConfig::default());
+        let t0 = SimTime::ZERO;
+        for i in 0..4 {
+            jb.push(t0, pkt(i, i as u64 * 33));
+        }
+        assert_eq!(jb.clear(), 4);
+        assert!(jb.is_empty());
+    }
+}

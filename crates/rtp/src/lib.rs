@@ -1,0 +1,36 @@
+//! RTP/RTCP stack for the real-time video pipeline.
+//!
+//! The paper's workload is RTP-over-UDP video with two congestion-control
+//! feedback dialects (§3.2): GCC consumes the transport-wide congestion
+//! control RTCP extension (draft-holmer-rmcat-transport-wide-cc), SCReAM
+//! consumes RFC 8888 congestion control feedback. Both are implemented here
+//! with **real wire formats** — packets serialise to bytes and are parsed
+//! back by the receiver — because the paper's SCReAM finding (§4.2.1)
+//! hinges on a wire-level detail: an RTCP feedback packet can only
+//! acknowledge a bounded span of RTP packets, and at high bitrates a
+//! 64-packet span leaves packets unacknowledged.
+//!
+//! Modules:
+//!
+//! * [`packet`] — RFC 3550 RTP header with the transport-wide sequence
+//!   number extension; serialise/parse.
+//! * [`twcc`] — transport-wide feedback RTCP packet (status chunks +
+//!   receive deltas) and the receiver-side recorder that builds them.
+//! * [`rfc8888`] — RFC 8888 congestion control feedback blocks with a
+//!   configurable per-packet report span.
+//! * [`packetize`] — frame → RTP packets and back, with loss detection.
+//! * [`jitter`] — the receiver jitter buffer (150 ms default, matching the
+//!   pipeline in §3.2), including the `drop-on-latency` mode discussed in
+//!   Appendix A.4.
+
+pub mod jitter;
+pub mod packet;
+pub mod packetize;
+pub mod rfc8888;
+pub mod twcc;
+
+pub use jitter::{JitterBuffer, JitterConfig};
+pub use packet::RtpPacket;
+pub use packetize::{Depacketizer, FrameMeta, Packetizer, ReassembledFrame};
+pub use rfc8888::{Rfc8888Builder, Rfc8888Packet, Rfc8888Report};
+pub use twcc::{TwccFeedback, TwccRecorder};

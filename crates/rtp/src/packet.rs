@@ -1,0 +1,251 @@
+//! RFC 3550 RTP packets with the transport-wide sequence extension.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// RTP clock rate used for video (RFC 3551: 90 kHz).
+pub const VIDEO_CLOCK_HZ: u32 = 90_000;
+
+/// RFC 5285 one-byte-header extension id carrying the 16-bit transport-wide
+/// sequence number (as registered by draft-holmer-rmcat-transport-wide-cc).
+pub const TWCC_EXT_ID: u8 = 5;
+
+/// A parsed RTP packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RtpPacket {
+    /// Marker bit — set on the last packet of a video frame.
+    pub marker: bool,
+    /// Payload type (96 = dynamic H.264 here).
+    pub payload_type: u8,
+    /// Media sequence number (per SSRC).
+    pub sequence: u16,
+    /// Media timestamp (90 kHz video clock).
+    pub timestamp: u32,
+    /// Synchronisation source.
+    pub ssrc: u32,
+    /// Transport-wide sequence number, if the extension is present.
+    pub transport_seq: Option<u16>,
+    /// Media payload.
+    pub payload: Bytes,
+}
+
+impl RtpPacket {
+    /// Serialised size in bytes.
+    pub fn wire_size(&self) -> usize {
+        let mut n = 12 + self.payload.len();
+        if self.transport_seq.is_some() {
+            // 4 (extension header) + 1 (one-byte ext header) + 2 (seq) +
+            // 1 padding to a 32-bit boundary.
+            n += 8;
+        }
+        n
+    }
+
+    /// Serialise to wire format.
+    pub fn serialize(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.wire_size());
+        let has_ext = self.transport_seq.is_some();
+        let v_p_x_cc: u8 = (2 << 6) | ((has_ext as u8) << 4);
+        b.put_u8(v_p_x_cc);
+        b.put_u8(((self.marker as u8) << 7) | (self.payload_type & 0x7f));
+        b.put_u16(self.sequence);
+        b.put_u32(self.timestamp);
+        b.put_u32(self.ssrc);
+        if let Some(tw) = self.transport_seq {
+            // RFC 5285 one-byte header: profile 0xBEDE, length in words.
+            b.put_u16(0xBEDE);
+            b.put_u16(1); // one 32-bit word of extension data
+            b.put_u8((TWCC_EXT_ID << 4) | 1); // id + (len - 1 = 1 → 2 bytes)
+            b.put_u16(tw);
+            b.put_u8(0); // padding to word boundary
+        }
+        b.extend_from_slice(&self.payload);
+        b.freeze()
+    }
+
+    /// Parse from wire format. Returns `None` on malformed input.
+    pub fn parse(mut data: Bytes) -> Option<RtpPacket> {
+        if data.len() < 12 {
+            return None;
+        }
+        let b0 = data.get_u8();
+        if b0 >> 6 != 2 {
+            return None; // not RTP v2
+        }
+        let has_ext = (b0 >> 4) & 1 == 1;
+        let cc = (b0 & 0x0f) as usize;
+        let b1 = data.get_u8();
+        let marker = b1 >> 7 == 1;
+        let payload_type = b1 & 0x7f;
+        let sequence = data.get_u16();
+        let timestamp = data.get_u32();
+        let ssrc = data.get_u32();
+        // Skip CSRCs.
+        if data.len() < cc * 4 {
+            return None;
+        }
+        data.advance(cc * 4);
+        let mut transport_seq = None;
+        if has_ext {
+            if data.len() < 4 {
+                return None;
+            }
+            let profile = data.get_u16();
+            let words = data.get_u16() as usize;
+            if data.len() < words * 4 {
+                return None;
+            }
+            let mut ext = data.split_to(words * 4);
+            if profile == 0xBEDE {
+                // Walk one-byte-header elements.
+                while !ext.is_empty() {
+                    let h = ext.get_u8();
+                    if h == 0 {
+                        continue; // padding
+                    }
+                    let id = h >> 4;
+                    let len = (h & 0x0f) as usize + 1;
+                    if ext.len() < len {
+                        break;
+                    }
+                    if id == TWCC_EXT_ID && len == 2 {
+                        transport_seq = Some(ext.get_u16());
+                    } else {
+                        ext.advance(len);
+                    }
+                }
+            }
+        }
+        Some(RtpPacket {
+            marker,
+            payload_type,
+            sequence,
+            timestamp,
+            ssrc,
+            transport_seq,
+            payload: data,
+        })
+    }
+}
+
+/// Compare two u16 sequence numbers with wrap-around (RFC 3550 §A.1):
+/// returns `true` if `a` is newer than `b`.
+pub fn seq_newer(a: u16, b: u16) -> bool {
+    a != b && a.wrapping_sub(b) < 0x8000
+}
+
+/// Unwrap a u16 sequence number into a monotonically growing u64 given the
+/// previous unwrapped value.
+pub fn unwrap_seq(prev_unwrapped: u64, seq: u16) -> u64 {
+    let prev_low = (prev_unwrapped & 0xffff) as u16;
+    let delta = seq.wrapping_sub(prev_low);
+    if delta < 0x8000 {
+        prev_unwrapped + delta as u64
+    } else {
+        // Backwards (reordered) packet.
+        prev_unwrapped.saturating_sub(prev_low.wrapping_sub(seq) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample(transport_seq: Option<u16>) -> RtpPacket {
+        RtpPacket {
+            marker: true,
+            payload_type: 96,
+            sequence: 4711,
+            timestamp: 900_000,
+            ssrc: 0xDEADBEEF,
+            transport_seq,
+            payload: Bytes::from_static(b"frame-data"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_without_extension() {
+        let p = sample(None);
+        let parsed = RtpPacket::parse(p.serialize()).unwrap();
+        assert_eq!(parsed, p);
+        assert_eq!(p.serialize().len(), p.wire_size());
+    }
+
+    #[test]
+    fn roundtrip_with_twcc_extension() {
+        let p = sample(Some(65_000));
+        let wire = p.serialize();
+        assert_eq!(wire.len(), p.wire_size());
+        let parsed = RtpPacket::parse(wire).unwrap();
+        assert_eq!(parsed, p);
+        assert_eq!(parsed.transport_seq, Some(65_000));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(RtpPacket::parse(Bytes::from_static(b"short")).is_none());
+        // Version 0.
+        let mut bad = vec![0u8; 12];
+        bad[0] = 0x00;
+        assert!(RtpPacket::parse(Bytes::from(bad)).is_none());
+    }
+
+    #[test]
+    fn seq_comparison_wraps() {
+        assert!(seq_newer(1, 0));
+        assert!(seq_newer(0, 65_535)); // wrap
+        assert!(!seq_newer(65_535, 0));
+        assert!(!seq_newer(5, 5));
+    }
+
+    #[test]
+    fn unwrap_seq_monotone_across_wrap() {
+        let mut u = 65_530u64;
+        for seq in [65_531u16, 65_535, 3, 10] {
+            u = unwrap_seq(u, seq);
+        }
+        assert_eq!(u, 65_546);
+    }
+
+    #[test]
+    fn unwrap_seq_handles_reorder() {
+        let u = unwrap_seq(100, 98);
+        assert_eq!(u, 98);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            marker in any::<bool>(),
+            pt in 0u8..128,
+            seq in any::<u16>(),
+            ts in any::<u32>(),
+            ssrc in any::<u32>(),
+            tw in proptest::option::of(any::<u16>()),
+            payload in proptest::collection::vec(any::<u8>(), 0..1500),
+        ) {
+            let p = RtpPacket {
+                marker,
+                payload_type: pt,
+                sequence: seq,
+                timestamp: ts,
+                ssrc,
+                transport_seq: tw,
+                payload: Bytes::from(payload),
+            };
+            let parsed = RtpPacket::parse(p.serialize()).unwrap();
+            prop_assert_eq!(parsed, p);
+        }
+
+        #[test]
+        fn prop_unwrap_tracks_true_counter(start in 0u64..1_000_000, steps in proptest::collection::vec(0u16..100, 1..200)) {
+            let mut truth = start;
+            let mut unwrapped = start;
+            for d in steps {
+                truth += d as u64;
+                unwrapped = unwrap_seq(unwrapped, (truth & 0xffff) as u16);
+                prop_assert_eq!(unwrapped, truth);
+            }
+        }
+    }
+}

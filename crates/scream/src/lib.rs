@@ -1,0 +1,25 @@
+//! SCReAM — Self-Clocked Rate Adaptation for Multimedia.
+//!
+//! Implements the congestion control of Johansson (CSWS '14 / RFC 8298) as
+//! shipped in the Ericsson Research library the paper used (§3.2):
+//!
+//! * a **congestion window** in bytes gates transmission: a packet may only
+//!   leave when `bytes_in_flight + size ≤ cwnd` (self-clocking);
+//! * the window grows while the estimated **queue delay** stays below its
+//!   target and shrinks when the queue builds or packets are lost;
+//! * the **media target bitrate** ramps linearly while uncongested
+//!   (≈1 Mbps/s — the paper measures ≈25 s to reach 25 Mbps, §4.2.1) and
+//!   scales down on congestion;
+//! * the sender-side **RTP queue is discarded** whenever its drain time
+//!   exceeds 100 ms (§4.2.1) — which instantly jumps the receiver's highest
+//!   sequence number;
+//! * feedback is RFC 8888 with a **bounded ack span**
+//!   (`rpav-rtp::rfc8888`): packets that slide out of the span unacked are
+//!   declared lost — the false-loss pathology the paper analyses, and the
+//!   `ablation_ackspan` experiment reproduces with spans 64 vs 256.
+
+pub mod owd;
+pub mod sender;
+
+pub use owd::OwdTracker;
+pub use sender::{ScreamConfig, ScreamSender, ScreamStats};

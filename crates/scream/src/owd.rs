@@ -1,0 +1,125 @@
+//! One-way-delay base tracking.
+//!
+//! SCReAM estimates the network *queue* delay as the current one-way delay
+//! minus the lowest one-way delay seen over a sliding window (the
+//! propagation baseline). A windowed minimum (rather than an all-time one)
+//! lets the estimator adapt when the path changes — e.g. after a handover
+//! to a cell with different backhaul latency.
+
+use std::collections::VecDeque;
+
+use rpav_sim::{SimDuration, SimTime};
+
+/// Sliding-window minimum tracker for one-way delays.
+#[derive(Debug)]
+pub struct OwdTracker {
+    window: SimDuration,
+    /// Monotonic deque of (observation time, owd) with increasing owd.
+    min_deque: VecDeque<(SimTime, SimDuration)>,
+    last: Option<SimDuration>,
+}
+
+impl OwdTracker {
+    /// Create a tracker with the given baseline window (RFC 8298 suggests
+    /// tens of seconds).
+    pub fn new(window: SimDuration) -> Self {
+        OwdTracker {
+            window,
+            min_deque: VecDeque::new(),
+            last: None,
+        }
+    }
+
+    /// Record a one-way delay observation at `now`.
+    pub fn observe(&mut self, now: SimTime, owd: SimDuration) {
+        self.last = Some(owd);
+        // Evict expired minima.
+        let cutoff = now - self.window;
+        while let Some((t, _)) = self.min_deque.front() {
+            if *t < cutoff {
+                self.min_deque.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Maintain monotonicity.
+        while let Some((_, v)) = self.min_deque.back() {
+            if *v >= owd {
+                self.min_deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.min_deque.push_back((now, owd));
+    }
+
+    /// Baseline (windowed minimum) one-way delay.
+    pub fn base(&self) -> Option<SimDuration> {
+        self.min_deque.front().map(|(_, v)| *v)
+    }
+
+    /// Most recent observation.
+    pub fn last(&self) -> Option<SimDuration> {
+        self.last
+    }
+
+    /// Estimated queue delay: last observation minus baseline.
+    pub fn queue_delay(&self) -> SimDuration {
+        match (self.last, self.base()) {
+            (Some(l), Some(b)) => l.saturating_sub(b),
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn d(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn queue_delay_is_excess_over_minimum() {
+        let mut o = OwdTracker::new(SimDuration::from_secs(10));
+        o.observe(t(0), d(50));
+        o.observe(t(100), d(55));
+        o.observe(t(200), d(80));
+        assert_eq!(o.base(), Some(d(50)));
+        assert_eq!(o.queue_delay(), d(30));
+    }
+
+    #[test]
+    fn baseline_updates_when_lower_seen() {
+        let mut o = OwdTracker::new(SimDuration::from_secs(10));
+        o.observe(t(0), d(50));
+        o.observe(t(100), d(40));
+        assert_eq!(o.base(), Some(d(40)));
+        assert_eq!(o.queue_delay(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn baseline_expires_after_window() {
+        let mut o = OwdTracker::new(SimDuration::from_secs(1));
+        o.observe(t(0), d(30));
+        // Path changed: OWD now 60 ms. After the window passes, the old
+        // 30 ms baseline must age out.
+        for i in 1..30 {
+            o.observe(t(i * 100), d(60));
+        }
+        assert_eq!(o.base(), Some(d(60)));
+        assert_eq!(o.queue_delay(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn empty_tracker_reports_zero() {
+        let o = OwdTracker::new(SimDuration::from_secs(1));
+        assert_eq!(o.base(), None);
+        assert_eq!(o.queue_delay(), SimDuration::ZERO);
+    }
+}

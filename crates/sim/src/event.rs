@@ -1,0 +1,215 @@
+//! Deterministic timed event queue.
+//!
+//! A thin wrapper around [`std::collections::BinaryHeap`] that orders events
+//! by their firing time and breaks ties by insertion order (FIFO). The FIFO
+//! tie-break is what makes whole-simulation runs reproducible: two events
+//! scheduled for the same instant always pop in the order they were pushed,
+//! independent of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, within one
+        // instant, the first-scheduled) entry is "greatest".
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of `(SimTime, E)` events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next", &self.peek_time())
+            .finish()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Remove and return the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Remove and return the earliest event only if it fires at or before
+    /// `now`. This is the main driver primitive: components call it in a
+    /// loop to drain everything due at the current instant.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(20), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "early");
+        q.schedule(SimTime::from_millis(20), "late");
+        assert_eq!(q.pop_due(SimTime::from_millis(5)), None);
+        assert_eq!(
+            q.pop_due(SimTime::from_millis(10)),
+            Some((SimTime::from_millis(10), "early"))
+        );
+        assert_eq!(q.pop_due(SimTime::from_millis(15)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            q.pop_due(SimTime::from_millis(25)),
+            Some((SimTime::from_millis(20), "late"))
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(2), ());
+        q.schedule(SimTime::from_secs(1), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 1);
+        q.schedule(SimTime::ZERO, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    proptest! {
+        /// Popping must always yield a non-decreasing time sequence, and
+        /// within equal times the original insertion order.
+        #[test]
+        fn prop_pop_order_is_total(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(t), i);
+            }
+            let mut last_time = SimTime::ZERO;
+            let mut last_seq_at_time: Option<usize> = None;
+            let mut popped = 0usize;
+            while let Some((t, idx)) = q.pop() {
+                prop_assert!(t >= last_time);
+                if t == last_time {
+                    if let Some(prev) = last_seq_at_time {
+                        prop_assert!(idx > prev, "FIFO violated at equal timestamps");
+                    }
+                } else {
+                    last_seq_at_time = None;
+                }
+                last_time = t;
+                last_seq_at_time = Some(idx);
+                popped += 1;
+            }
+            prop_assert_eq!(popped, times.len());
+        }
+    }
+}

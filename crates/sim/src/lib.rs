@@ -1,0 +1,38 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This crate provides the foundation every other `rpav` crate builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — virtual time with microsecond
+//!   resolution. Library code never reads the wall clock; all timing flows
+//!   from the simulation loop.
+//! * [`EventQueue`] — a deterministic priority queue of timed events with
+//!   FIFO tie-breaking for events scheduled at the same instant.
+//! * [`RngSet`] / [`SimRng`] — reproducible random-number streams derived
+//!   from a single master seed. Each subsystem draws from its own named
+//!   stream so that adding a component (or reordering draws inside one)
+//!   never perturbs the randomness observed by another.
+//!
+//! The design follows the event-driven, poll-based idiom of `smoltcp`:
+//! components are plain structs advanced by explicit calls carrying the
+//! current [`SimTime`]; there is no global state and no async executor, so
+//! every simulation run is bit-reproducible from its seed.
+//!
+//! # Example
+//!
+//! ```
+//! use rpav_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::from_millis(10), "b");
+//! q.schedule(SimTime::from_millis(5), "a");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::from_millis(5), "a"));
+//! ```
+
+pub mod event;
+pub mod rng;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::{RngSet, SimRng};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,230 @@
+//! Reproducible random-number streams.
+//!
+//! Every run of a simulation is parameterised by a single master seed.
+//! Components obtain their own [`SimRng`] via [`RngSet::stream`], keyed by a
+//! stable name such as `"lte.shadowing"` or `"video.encoder"`. Each name
+//! maps to an independent PCG stream, so:
+//!
+//! * adding, removing, or reordering components does not change the draws
+//!   any other component sees;
+//! * the same `(master_seed, name)` pair always produces the same sequence,
+//!   across platforms and across `rand` upgrades (PCG is specified, the
+//!   default `StdRng` is not).
+
+use rand::{Rng, RngExt, SeedableRng};
+use rand_distr::Distribution;
+use rand_pcg::Pcg64Mcg;
+
+/// A deterministic random stream (newtype over `Pcg64Mcg`).
+#[derive(Clone, Debug)]
+pub struct SimRng(Pcg64Mcg);
+
+impl SimRng {
+    /// Seed a stream directly. Prefer [`RngSet::stream`] in simulations so
+    /// streams stay decoupled.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng(Pcg64Mcg::seed_from_u64(seed))
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.0.random::<f64>()
+    }
+
+    /// Uniform value in `[lo, hi)`. `lo` must be `< hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        self.0.random_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)`. `lo` must be `< hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        self.0.random_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.0.random_bool(p)
+        }
+    }
+
+    /// Standard-normal draw.
+    pub fn std_normal(&mut self) -> f64 {
+        rand_distr::StandardNormal.sample(&mut self.0)
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    ///
+    /// `sigma` must be finite and non-negative.
+    pub fn normal(&mut self, mean: f64, sigma: f64) -> f64 {
+        mean + sigma * self.std_normal()
+    }
+
+    /// Log-normal draw parameterised by the underlying normal's `mu`/`sigma`.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.std_normal()).exp()
+    }
+
+    /// Exponential draw with the given mean (`mean > 0`).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u: f64 = self.0.random_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Sample an arbitrary `rand_distr` distribution.
+    pub fn sample<T, D: Distribution<T>>(&mut self, dist: &D) -> T {
+        dist.sample(&mut self.0)
+    }
+
+    /// Access the inner `rand::Rng` for APIs that need it (e.g. shuffles).
+    pub fn inner(&mut self) -> &mut impl Rng {
+        &mut self.0
+    }
+}
+
+/// A factory of independent named [`SimRng`] streams.
+#[derive(Clone, Copy, Debug)]
+pub struct RngSet {
+    master_seed: u64,
+}
+
+impl RngSet {
+    /// Create a stream factory from a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        RngSet { master_seed }
+    }
+
+    /// The master seed this set was built from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Derive the stream named `name`. The same `(seed, name)` always yields
+    /// an identical stream; distinct names yield independent streams.
+    pub fn stream(&self, name: &str) -> SimRng {
+        SimRng::seed_from_u64(splitmix64(self.master_seed ^ fnv1a(name)))
+    }
+
+    /// Derive a stream for the `index`-th instance of a replicated component
+    /// (e.g. one stream per flight run).
+    pub fn stream_indexed(&self, name: &str, index: u64) -> SimRng {
+        SimRng::seed_from_u64(splitmix64(
+            self.master_seed ^ fnv1a(name) ^ splitmix64(index.wrapping_add(0x9E37)),
+        ))
+    }
+}
+
+/// FNV-1a over the UTF-8 bytes of `s`.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// SplitMix64 finaliser — decorrelates structurally similar seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let set = RngSet::new(42);
+        let a: Vec<f64> = {
+            let mut r = set.stream("x");
+            (0..16).map(|_| r.uniform()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = set.stream("x");
+            (0..16).map(|_| r.uniform()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_names_are_independent() {
+        let set = RngSet::new(42);
+        let mut a = set.stream("x");
+        let mut b = set.stream("y");
+        let va: Vec<f64> = (0..16).map(|_| a.uniform()).collect();
+        let vb: Vec<f64> = (0..16).map(|_| b.uniform()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn indexed_streams_differ() {
+        let set = RngSet::new(7);
+        let mut a = set.stream_indexed("flight", 0);
+        let mut b = set.stream_indexed("flight", 1);
+        assert_ne!(a.uniform(), b.uniform());
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        let mut a = RngSet::new(1).stream("x");
+        let mut b = RngSet::new(2).stream("x");
+        assert_ne!(a.uniform(), b.uniform());
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut r = RngSet::new(3).stream("u");
+        for _ in 0..10_000 {
+            let v = r.uniform();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = RngSet::new(3).stream("c");
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut r = RngSet::new(11).stream("n");
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var was {var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_sane() {
+        let mut r = RngSet::new(13).stream("e");
+        let n = 50_000;
+        let mean = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean was {mean}");
+        // All draws are positive.
+        let mut r2 = RngSet::new(13).stream("e");
+        assert!((0..1000).all(|_| r2.exponential(0.001) > 0.0));
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = RngSet::new(17).stream("ln");
+        assert!((0..1000).all(|_| r.log_normal(0.0, 2.0) > 0.0));
+    }
+}

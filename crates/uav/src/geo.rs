@@ -1,0 +1,152 @@
+//! Local east/north/up geometry.
+//!
+//! All positions live in a flat local frame centred on the take-off pad:
+//! `x` east, `y` north, `z` up, in metres. At the ≤1.5 km scale of the
+//! paper's flight areas a flat-earth approximation is exact to centimetres,
+//! so no geodesy is needed.
+
+use std::ops::{Add, Mul, Sub};
+
+/// A point in the local ENU frame (metres).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Position {
+    /// East (m).
+    pub x: f64,
+    /// North (m).
+    pub y: f64,
+    /// Altitude above ground (m).
+    pub z: f64,
+}
+
+/// A velocity vector (m/s per component).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Velocity {
+    /// East rate (m/s).
+    pub x: f64,
+    /// North rate (m/s).
+    pub y: f64,
+    /// Climb rate (m/s).
+    pub z: f64,
+}
+
+impl Position {
+    /// Construct a position.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Position { x, y, z }
+    }
+
+    /// A position on the ground (z = 0).
+    pub const fn ground(x: f64, y: f64) -> Self {
+        Position { x, y, z: 0.0 }
+    }
+
+    /// Straight-line 3D distance to `other` (m).
+    pub fn distance(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Horizontal (ground-plane) distance to `other` (m).
+    pub fn horizontal_distance(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Elevation angle from `self` up to `other`, in degrees. Positive when
+    /// `other` is above `self`; ±90° straight up/down.
+    pub fn elevation_deg_to(&self, other: &Position) -> f64 {
+        let h = self.horizontal_distance(other);
+        let dz = other.z - self.z;
+        dz.atan2(h).to_degrees()
+    }
+}
+
+impl Velocity {
+    /// Construct a velocity.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Velocity { x, y, z }
+    }
+
+    /// 3D speed (m/s).
+    pub fn speed(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Horizontal speed (m/s).
+    pub fn horizontal_speed(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Horizontal speed expressed in km/h (the unit the paper reports).
+    pub fn horizontal_kmph(&self) -> f64 {
+        self.horizontal_speed() * 3.6
+    }
+}
+
+impl Sub for Position {
+    type Output = Velocity;
+    /// Displacement per unit "time" — used for finite differencing.
+    fn sub(self, rhs: Position) -> Velocity {
+        Velocity::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Add<Velocity> for Position {
+    type Output = Position;
+    fn add(self, rhs: Velocity) -> Position {
+        Position::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Mul<f64> for Velocity {
+    type Output = Velocity;
+    fn mul(self, k: f64) -> Velocity {
+        Velocity::new(self.x * k, self.y * k, self.z * k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Position::new(0.0, 0.0, 0.0);
+        let b = Position::new(3.0, 4.0, 12.0);
+        assert!((a.distance(&b) - 13.0).abs() < 1e-12);
+        assert!((a.horizontal_distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elevation_angles() {
+        let ground = Position::ground(0.0, 0.0);
+        let above = Position::new(0.0, 0.0, 100.0);
+        assert!((ground.elevation_deg_to(&above) - 90.0).abs() < 1e-9);
+        let level = Position::new(100.0, 0.0, 0.0);
+        assert!(ground.elevation_deg_to(&level).abs() < 1e-9);
+        let diag = Position::new(100.0, 0.0, 100.0);
+        assert!((ground.elevation_deg_to(&diag) - 45.0).abs() < 1e-9);
+        // Looking down.
+        assert!((above.elevation_deg_to(&ground) + 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_conversions() {
+        let v = Velocity::new(3.0, 4.0, 0.0);
+        assert!((v.speed() - 5.0).abs() < 1e-12);
+        assert!((v.horizontal_kmph() - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let p = Position::new(1.0, 2.0, 3.0);
+        let v = Velocity::new(0.5, -1.0, 2.0);
+        let q = p + v * 2.0;
+        assert_eq!(q, Position::new(2.0, 0.0, 7.0));
+        let d = q - p;
+        assert_eq!(d, Velocity::new(1.0, -2.0, 4.0));
+    }
+}

@@ -1,0 +1,23 @@
+//! UAV and ground-vehicle mobility models.
+//!
+//! The paper's measurement campaign (§3.1, Appendix A.2) flew a fixed
+//! trajectory per flight: vertical lift-off to 40 m, a ≈200 m horizontal
+//! leap, the same at 80 m and 120 m, then a straight descent — ≈6 minutes of
+//! air time, median ground speed 13 km/h, maximum 60 km/h. Ground baselines
+//! were collected with a motorbike moving at comparable horizontal speeds.
+//!
+//! This crate provides:
+//!
+//! * [`Position`] / [`Velocity`] — a local east/north/up frame in metres.
+//! * [`FlightPlan`] — piecewise-linear waypoint kinematics with per-leg
+//!   speeds and hover/hold segments, sampled at any [`rpav_sim::SimTime`].
+//! * [`profiles`] — builders for the paper's aerial trajectory
+//!   ([`profiles::paper_flight`]) and the motorbike ground run
+//!   ([`profiles::ground_run`]).
+
+pub mod geo;
+pub mod plan;
+pub mod profiles;
+
+pub use geo::{Position, Velocity};
+pub use plan::{FlightPlan, Leg};

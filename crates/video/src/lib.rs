@@ -1,0 +1,28 @@
+//! Video pipeline substrate.
+//!
+//! Substitutes the physical half of the paper's GStreamer pipeline (§3.2)
+//! with models that interact with the network stack at the same interfaces:
+//!
+//! * [`source`] — the "source video": a deterministic per-frame complexity
+//!   process standing in for the pre-recorded clip "with considerable
+//!   detail and motion".
+//! * [`encoder`] — an x264-like rate-controlled encoder: 30 FPS, GOP
+//!   structure, per-frame sizes tracking the target bitrate through a
+//!   virtual buffer, as the VideoLAN x264 CBR mode does.
+//! * [`quality`] — the SSIM model: encode quality as a saturating function
+//!   of bits-per-pixel over complexity, degraded by packet loss artifacts;
+//!   unplayed frames score 0, as in the paper's methodology (§4.2.3).
+//! * [`player`] — the playback model: frames display on a 30 FPS clock,
+//!   the rate proactively slows when the buffer runs low and speeds up to
+//!   shed accumulated latency (the GStreamer behaviour described in
+//!   App. A.4), stalls are inter-frame gaps > 300 ms (§3.2).
+
+pub mod encoder;
+pub mod player;
+pub mod quality;
+pub mod source;
+
+pub use encoder::{EncodedFrame, Encoder, EncoderConfig};
+pub use player::{PlayedFrame, Player, PlayerConfig, PlayerStats};
+pub use quality::{decoded_ssim, encode_ssim};
+pub use source::SourceVideo;

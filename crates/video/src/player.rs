@@ -1,0 +1,424 @@
+//! The playback model.
+//!
+//! Receives decoded frames (out of the jitter buffer + depacketizer) and
+//! displays them on a 30 FPS clock with the adaptive behaviour the paper
+//! describes for its GStreamer sink (App. A.4):
+//!
+//! * when the frame buffer runs low the playback rate **slows down
+//!   proactively** to avoid running dry;
+//! * once delayed frames arrive, playback **speeds up** to shed the
+//!   accumulated playback latency;
+//! * a frame that never arrives is skipped after a patience window and
+//!   recorded with SSIM 0 (§4.2.3: "0 if the frame was not played");
+//! * a *stall* is an inter-displayed-frame gap above 300 ms (§3.2).
+
+use std::collections::BTreeMap;
+
+use rpav_sim::{SimDuration, SimTime};
+
+use crate::source::FRAME_INTERVAL_US;
+
+/// A frame handed to the player by the receive pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct DecodedFrame {
+    /// Frame number (from the QR-code-equivalent metadata).
+    pub frame_number: u64,
+    /// Encoder timestamp (from the barcode-equivalent metadata).
+    pub encode_time: SimTime,
+    /// SSIM of the decoded frame against the source.
+    pub ssim: f64,
+}
+
+/// A display event.
+#[derive(Clone, Copy, Debug)]
+pub struct PlayedFrame {
+    /// Frame number.
+    pub frame_number: u64,
+    /// When it was displayed (or when the player gave up, for skips).
+    pub display_time: SimTime,
+    /// Playback latency: display − encode. `None` for skipped frames.
+    pub latency: Option<SimDuration>,
+    /// SSIM shown to the pilot (0 for skipped frames).
+    pub ssim: f64,
+    /// False if the frame was skipped rather than displayed.
+    pub displayed: bool,
+}
+
+/// Player tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct PlayerConfig {
+    /// Buffer depth (in media time) below which playback slows.
+    pub low_watermark: SimDuration,
+    /// Accumulated playback latency above which playback speeds up.
+    pub catch_up_latency: SimDuration,
+    /// Slow-down factor when the buffer runs low.
+    pub slow_rate: f64,
+    /// Speed-up factor while shedding latency.
+    pub fast_rate: f64,
+    /// How long past its due time the player waits for a missing frame
+    /// before skipping it.
+    pub skip_patience: SimDuration,
+    /// Inter-frame gap counted as a stall (the RP latency requirement).
+    pub stall_threshold: SimDuration,
+}
+
+impl Default for PlayerConfig {
+    fn default() -> Self {
+        PlayerConfig {
+            low_watermark: SimDuration::from_millis(40),
+            catch_up_latency: SimDuration::from_millis(250),
+            slow_rate: 0.6,
+            fast_rate: 1.35,
+            skip_patience: SimDuration::from_millis(150),
+            stall_threshold: SimDuration::from_millis(300),
+        }
+    }
+}
+
+/// Aggregate playback statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlayerStats {
+    /// Frames displayed.
+    pub displayed: u64,
+    /// Frames skipped (never arrived in time).
+    pub skipped: u64,
+    /// Stall events (inter-frame gap > threshold).
+    pub stalls: u64,
+    /// Total wall time spent above the stall threshold.
+    pub stalled_time: SimDuration,
+}
+
+/// The player.
+#[derive(Debug)]
+pub struct Player {
+    config: PlayerConfig,
+    buffer: BTreeMap<u64, DecodedFrame>,
+    /// Next frame number the pilot expects to see.
+    next_frame: u64,
+    /// When the next display slot opens.
+    next_display: Option<SimTime>,
+    /// Time the current head-of-line wait started (for skip patience).
+    waiting_since: Option<SimTime>,
+    last_display: Option<SimTime>,
+    /// Latency of the most recently displayed frame.
+    current_latency: SimDuration,
+    stats: PlayerStats,
+}
+
+impl Player {
+    /// Create an idle player.
+    pub fn new(config: PlayerConfig) -> Self {
+        Player {
+            config,
+            buffer: BTreeMap::new(),
+            next_frame: 0,
+            next_display: None,
+            waiting_since: None,
+            last_display: None,
+            current_latency: SimDuration::ZERO,
+            stats: PlayerStats::default(),
+        }
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> PlayerStats {
+        self.stats
+    }
+
+    /// Frames queued and not yet displayed.
+    pub fn buffered_frames(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Buffered media time ahead of the playhead.
+    pub fn buffer_depth(&self) -> SimDuration {
+        let buffered_ahead = self
+            .buffer
+            .keys()
+            .next_back()
+            .map(|last| last.saturating_sub(self.next_frame) + 1)
+            .unwrap_or(0);
+        SimDuration::from_micros(buffered_ahead * FRAME_INTERVAL_US)
+    }
+
+    /// Hand a decoded frame to the player.
+    pub fn push(&mut self, frame: DecodedFrame) {
+        if frame.frame_number < self.next_frame {
+            // Arrived after we already skipped past it: too late, ignore
+            // (the skip was already recorded).
+            return;
+        }
+        self.buffer.insert(frame.frame_number, frame);
+    }
+
+    /// Current playback rate given buffer state and accumulated latency.
+    fn playback_rate(&self) -> f64 {
+        if self.buffer_depth() < self.config.low_watermark {
+            // Buffer running dry: slow down proactively.
+            self.config.slow_rate
+        } else if self.current_latency > self.config.catch_up_latency {
+            // Plenty buffered and we are far behind live: speed up.
+            self.config.fast_rate
+        } else {
+            1.0
+        }
+    }
+
+    /// Advance the playout clock; returns all display/skip events due by
+    /// `now`.
+    pub fn poll(&mut self, now: SimTime) -> Vec<PlayedFrame> {
+        let mut out = Vec::new();
+        loop {
+            // Is a display slot open?
+            let due = match self.next_display {
+                None => now, // first frame plays as soon as available
+                Some(t) => t,
+            };
+            if due > now {
+                break;
+            }
+            match self.buffer.remove(&self.next_frame) {
+                Some(frame) => {
+                    // Display at the scheduled slot (or now if we were
+                    // waiting on this frame).
+                    let display_at = due.max(self.last_display.unwrap_or(due));
+                    let latency = now.max(display_at).saturating_since(frame.encode_time);
+                    self.record_gap(display_at);
+                    out.push(PlayedFrame {
+                        frame_number: frame.frame_number,
+                        display_time: display_at,
+                        latency: Some(latency),
+                        ssim: frame.ssim,
+                        displayed: true,
+                    });
+                    self.stats.displayed += 1;
+                    self.current_latency = latency;
+                    self.last_display = Some(display_at);
+                    self.next_frame += 1;
+                    self.waiting_since = None;
+                    let interval = SimDuration::from_micros(
+                        (FRAME_INTERVAL_US as f64 / self.playback_rate()) as u64,
+                    );
+                    self.next_display = Some(display_at + interval);
+                }
+                None => {
+                    // Head-of-line frame missing: the display slot cannot
+                    // accumulate in the past while the player is starved —
+                    // otherwise the eventual display would be backdated and
+                    // the freeze invisible to the gap statistics.
+                    self.next_display = Some(now);
+                    // Wait up to the patience window, then skip.
+                    let since = *self.waiting_since.get_or_insert(now);
+                    let next_available = self.buffer.keys().next().copied();
+                    if now.saturating_since(since) >= self.config.skip_patience {
+                        if let Some(next) = next_available {
+                            // Patience exhausted: jump over the whole gap
+                            // to the next frame that actually arrived (a
+                            // sender-side queue discard drops a batch; the
+                            // pilot sees one skip, not one per frame).
+                            while self.next_frame < next {
+                                out.push(PlayedFrame {
+                                    frame_number: self.next_frame,
+                                    display_time: now,
+                                    latency: None,
+                                    ssim: 0.0,
+                                    displayed: false,
+                                });
+                                self.stats.skipped += 1;
+                                self.next_frame += 1;
+                            }
+                            self.waiting_since = None;
+                            // Keep the display slot: the next buffered
+                            // frame can go out in it.
+                            continue;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    fn record_gap(&mut self, display_at: SimTime) {
+        if let Some(last) = self.last_display {
+            let gap = display_at.saturating_since(last);
+            if gap > self.config.stall_threshold {
+                self.stats.stalls += 1;
+                self.stats.stalled_time += gap - self.config.stall_threshold;
+            }
+        }
+    }
+
+    /// Earliest instant `poll` could emit something.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        self.next_display
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(n: u64) -> DecodedFrame {
+        DecodedFrame {
+            frame_number: n,
+            encode_time: SimTime::from_micros(n * FRAME_INTERVAL_US),
+            ssim: 0.95,
+        }
+    }
+
+    /// Feed frames with a constant network delay and play them out.
+    fn steady_run(delay_ms: u64, n_frames: u64) -> (Vec<PlayedFrame>, PlayerStats) {
+        let mut p = Player::new(PlayerConfig::default());
+        let mut events = Vec::new();
+        let mut t = SimTime::ZERO;
+        let end = SimTime::from_micros(n_frames * FRAME_INTERVAL_US) + SimDuration::from_secs(2);
+        let mut delivered = 0;
+        while t < end {
+            while delivered < n_frames
+                && SimTime::from_micros(delivered * FRAME_INTERVAL_US)
+                    + SimDuration::from_millis(delay_ms)
+                    <= t
+            {
+                p.push(frame(delivered));
+                delivered += 1;
+            }
+            events.extend(p.poll(t));
+            t = t + SimDuration::from_millis(1);
+        }
+        (events, p.stats())
+    }
+
+    #[test]
+    fn steady_stream_plays_everything_at_30fps() {
+        let (events, stats) = steady_run(50, 150);
+        assert_eq!(stats.displayed, 150);
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(stats.stalls, 0);
+        // Inter-frame display gaps settle at ~33 ms.
+        let gaps: Vec<u64> = events
+            .windows(2)
+            .map(|w| {
+                w[1].display_time
+                    .saturating_since(w[0].display_time)
+                    .as_millis()
+            })
+            .collect();
+        let steady = &gaps[30..gaps.len() - 1];
+        assert!(
+            steady.iter().all(|g| (25..=50).contains(g)),
+            "gaps {steady:?}"
+        );
+    }
+
+    #[test]
+    fn playback_latency_tracks_delivery_delay() {
+        let (events, _) = steady_run(80, 150);
+        let lat: Vec<u64> = events
+            .iter()
+            .skip(30)
+            .filter_map(|e| e.latency.map(|l| l.as_millis()))
+            .collect();
+        // Delay 80 ms + at most ~1 frame of slotting.
+        assert!(
+            lat.iter().all(|l| (79..200).contains(l)),
+            "latencies {lat:?}"
+        );
+    }
+
+    #[test]
+    fn gap_in_delivery_causes_stall_and_catchup() {
+        let mut p = Player::new(PlayerConfig::default());
+        let mut events = Vec::new();
+        let mut t = SimTime::ZERO;
+        // Frames 0..30 delivered promptly; everything from frame 30 on is
+        // stuck behind an outage until t = 2 s, when the queue drains as a
+        // burst (post-handover behaviour) and delivery turns prompt again.
+        let end = SimTime::from_secs(5);
+        while t < end {
+            for n in 0..90u64 {
+                let prompt =
+                    SimTime::from_micros(n * FRAME_INTERVAL_US) + SimDuration::from_millis(20);
+                let deliver = if n >= 30 {
+                    prompt.max(SimTime::from_secs(2))
+                } else {
+                    prompt
+                };
+                if deliver <= t && deliver > t - SimDuration::from_millis(1) {
+                    p.push(frame(n));
+                }
+            }
+            events.extend(p.poll(t));
+            t = t + SimDuration::from_millis(1);
+        }
+        let stats = p.stats();
+        assert!(stats.stalls >= 1, "no stall recorded");
+        // All 90 frames eventually displayed (delivered late, not lost).
+        assert_eq!(stats.displayed + stats.skipped, 90);
+        // Latency rises during the outage then comes back down (catch-up).
+        let lat: Vec<u64> = events
+            .iter()
+            .filter_map(|e| e.latency.map(|l| l.as_millis()))
+            .collect();
+        let peak = *lat.iter().max().unwrap();
+        let final_lat = *lat.last().unwrap();
+        assert!(peak >= 500, "peak latency {peak}");
+        // The fast-rate playout sheds ≈8 ms of latency per frame; with the
+        // 45 prompt frames after the outage it recovers ≈350 ms.
+        assert!(
+            final_lat + 250 < peak,
+            "no catch-up: final {final_lat} peak {peak}"
+        );
+    }
+
+    #[test]
+    fn missing_frame_is_skipped_with_zero_ssim() {
+        let mut p = Player::new(PlayerConfig::default());
+        let mut events = Vec::new();
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(4) {
+            for n in 0..60 {
+                if n == 10 {
+                    continue; // frame 10 never arrives
+                }
+                let deliver =
+                    SimTime::from_micros(n * FRAME_INTERVAL_US) + SimDuration::from_millis(20);
+                if deliver <= t && deliver > t - SimDuration::from_millis(1) {
+                    p.push(frame(n));
+                }
+            }
+            events.extend(p.poll(t));
+            t = t + SimDuration::from_millis(1);
+        }
+        let stats = p.stats();
+        assert_eq!(stats.skipped, 1);
+        assert_eq!(stats.displayed, 59);
+        let skip = events.iter().find(|e| !e.displayed).unwrap();
+        assert_eq!(skip.frame_number, 10);
+        assert_eq!(skip.ssim, 0.0);
+        assert!(skip.latency.is_none());
+        // Late copy of a skipped frame is ignored.
+        p.push(frame(10));
+        assert_eq!(p.buffered_frames(), 0);
+    }
+
+    #[test]
+    fn slows_down_when_buffer_runs_low() {
+        let p = Player::new(PlayerConfig::default());
+        assert_eq!(p.playback_rate(), PlayerConfig::default().slow_rate);
+    }
+
+    #[test]
+    fn buffer_depth_counts_media_time() {
+        let mut p = Player::new(PlayerConfig::default());
+        for n in 0..6 {
+            p.push(frame(n));
+        }
+        assert_eq!(p.buffered_frames(), 6);
+        assert_eq!(
+            p.buffer_depth(),
+            SimDuration::from_micros(6 * FRAME_INTERVAL_US)
+        );
+    }
+}

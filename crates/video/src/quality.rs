@@ -1,0 +1,137 @@
+//! SSIM quality model.
+//!
+//! The paper computes SSIM by comparing each received frame with the source
+//! frame (§4.2.3). Our model expresses the same two degradation paths:
+//!
+//! 1. **Encoding**: quality saturates with bits-per-pixel, discounted by
+//!    scene complexity. Calibrated against the paper's operating points:
+//!    25 Mbps full-HD ≈ 0.93–0.97, 8 Mbps ≈ 0.85–0.93, collapsing towards
+//!    ≈0.5 below ≈1 Mbps.
+//! 2. **Loss artifacts**: missing packets corrupt slices and propagate
+//!    until the next IDR, so SSIM falls sharply and super-linearly with the
+//!    missing fraction.
+//!
+//! A frame that is never played scores 0, matching the paper's convention.
+
+use crate::source::{SourceVideo, PIXELS};
+
+/// Encode-time SSIM for a frame of `frame_bytes` at the given complexity.
+pub fn encode_ssim(frame_bytes: u32, complexity: f64) -> f64 {
+    // Bits per pixel normalised by complexity: busy scenes need more bits
+    // for the same quality.
+    let bpp = (frame_bytes as f64 * 8.0) / PIXELS as f64 / complexity.max(0.1);
+    // Two-component saturating response fitted to the paper's operating
+    // points (25 Mbps → bpp ≈ 0.40 → ≈0.96; 8 Mbps → bpp ≈ 0.13 → ≈0.89;
+    // 2 Mbps → bpp ≈ 0.03 → ≈0.75): a slow compression-artifact term and a
+    // fast starvation term that only bites at very low rates.
+    let q = 1.0 - 0.154 * (-bpp / 0.298).exp() - 0.25 * (-bpp / 0.04).exp();
+    q.clamp(0.0, 1.0)
+}
+
+/// SSIM of a *decoded* frame given its encode quality and the fraction of
+/// its packets that arrived. `prev_ref_intact` is false when the reference
+/// frame this P frame predicts from was itself damaged (error propagation).
+pub fn decoded_ssim(encode_ssim: f64, received_fraction: f64, prev_ref_intact: bool) -> f64 {
+    if received_fraction <= 0.0 {
+        return 0.0;
+    }
+    let mut q = encode_ssim;
+    if received_fraction < 1.0 {
+        // Slice loss: quality collapses super-linearly — half a frame
+        // missing is far worse than half the quality.
+        q *= received_fraction.powi(3) * 0.55;
+    }
+    if !prev_ref_intact {
+        // Artifacts propagated from a damaged reference frame render the
+        // picture unusable until the next intact IDR (§4.2.3: "video
+        // quality is impaired by artifacts caused by packet losses").
+        q *= 0.35;
+    }
+    q.clamp(0.0, 1.0)
+}
+
+/// Convenience: full-chain SSIM for frame `n` of `source` encoded to
+/// `frame_bytes`, with `received_fraction` of its packets delivered.
+pub fn frame_ssim(
+    source: &SourceVideo,
+    frame_number: u64,
+    frame_bytes: u32,
+    received_fraction: f64,
+    prev_ref_intact: bool,
+) -> f64 {
+    let enc = encode_ssim(frame_bytes, source.complexity(frame_number));
+    decoded_ssim(enc, received_fraction, prev_ref_intact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FPS;
+
+    fn bytes_at(bps: f64) -> u32 {
+        (bps / 8.0 / FPS as f64) as u32
+    }
+
+    #[test]
+    fn calibration_points_match_paper_ranges() {
+        // §4.2.3: urban (≈20–25 Mbps) SSIM stays above ≈0.9 for 90 % of
+        // the time; rural (≈8 Mbps) around ≈0.8+.
+        let q25 = encode_ssim(bytes_at(25e6), 1.0);
+        assert!((0.92..=0.99).contains(&q25), "25 Mbps → {q25}");
+        let q8 = encode_ssim(bytes_at(8e6), 1.0);
+        assert!((0.82..=0.95).contains(&q8), "8 Mbps → {q8}");
+        let q2 = encode_ssim(bytes_at(2e6), 1.0);
+        assert!((0.55..=0.85).contains(&q2), "2 Mbps → {q2}");
+        assert!(q25 > q8 && q8 > q2);
+    }
+
+    #[test]
+    fn monotone_in_bitrate() {
+        let mut prev = 0.0;
+        for mbps in 1..40 {
+            let q = encode_ssim(bytes_at(mbps as f64 * 1e6), 1.0);
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn complexity_costs_quality() {
+        let calm = encode_ssim(bytes_at(8e6), 0.6);
+        let busy = encode_ssim(bytes_at(8e6), 1.5);
+        assert!(calm > busy);
+    }
+
+    #[test]
+    fn loss_collapses_quality_below_threshold() {
+        let enc = encode_ssim(bytes_at(25e6), 1.0);
+        // Even a 10 % hole drives SSIM below the paper's 0.5 usability
+        // threshold — matching "video quality impaired by artifacts".
+        let holed = decoded_ssim(enc, 0.9, true);
+        assert!(holed < 0.5, "10% loss → {holed}");
+        assert!(decoded_ssim(enc, 0.0, true) == 0.0);
+        // Intact frame unaffected.
+        assert_eq!(decoded_ssim(enc, 1.0, true), enc);
+    }
+
+    #[test]
+    fn reference_damage_propagates() {
+        let enc = encode_ssim(bytes_at(8e6), 1.0);
+        let clean = decoded_ssim(enc, 1.0, true);
+        let propagated = decoded_ssim(enc, 1.0, false);
+        assert!(propagated < clean);
+        assert!(propagated > 0.0);
+    }
+
+    #[test]
+    fn always_in_unit_interval() {
+        for bytes in [0u32, 100, 10_000, 1_000_000, u32::MAX / 8] {
+            for frac in [0.0, 0.3, 0.99, 1.0] {
+                for intact in [true, false] {
+                    let q = decoded_ssim(encode_ssim(bytes, 1.0), frac, intact);
+                    assert!((0.0..=1.0).contains(&q));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The deterministic "source video".
+//!
+//! The campaign streamed a pre-recorded full-HD clip with "considerable
+//! detail and motion" (§3.2) so that repeated runs were comparable. We keep
+//! that property by modelling the clip as a deterministic per-frame
+//! *complexity* series: a smooth multi-sine motion profile plus scene cuts.
+//! Complexity multiplies encoded frame sizes (busy scenes cost bits) and
+//! divides achievable quality at a given bitrate.
+
+/// Frame rate of the source (§3.2: 30 FPS).
+pub const FPS: u32 = 30;
+/// Source resolution (§3.2: full HD).
+pub const WIDTH: u32 = 1920;
+/// Source resolution (§3.2: full HD).
+pub const HEIGHT: u32 = 1080;
+/// Pixels per frame.
+pub const PIXELS: u64 = (WIDTH as u64) * (HEIGHT as u64);
+/// Frame interval in microseconds.
+pub const FRAME_INTERVAL_US: u64 = 1_000_000 / FPS as u64;
+
+/// Scene length in frames (a cut every 8 s re-rolls the complexity level).
+const SCENE_LEN: u64 = 240;
+
+/// The source video handle. Cheap, copyable, deterministic: both the
+/// sender's encoder and the offline SSIM analysis can hold one and agree
+/// on every frame, like the paper's frame-by-frame comparison against the
+/// source file.
+#[derive(Clone, Copy, Debug)]
+pub struct SourceVideo {
+    seed: u64,
+}
+
+impl SourceVideo {
+    /// Create the clip identified by `seed`.
+    pub fn new(seed: u64) -> Self {
+        SourceVideo { seed }
+    }
+
+    /// Per-frame complexity in ≈[0.5, 1.6]: 1.0 is an average scene.
+    pub fn complexity(&self, frame: u64) -> f64 {
+        // Per-scene base level from a hash.
+        let scene = frame / SCENE_LEN;
+        let base = 0.7 + 0.6 * hash_unit(self.seed ^ scene.wrapping_mul(0x9E37_79B9));
+        // Smooth in-scene motion: two incommensurate sines.
+        let t = frame as f64 / FPS as f64;
+        let motion = 0.18 * (t * 1.3).sin() + 0.12 * (t * 0.37 + 1.0).sin();
+        (base + motion).clamp(0.5, 1.6)
+    }
+
+    /// Whether this frame starts a scene (forces an IDR frame).
+    pub fn is_scene_cut(&self, frame: u64) -> bool {
+        frame % SCENE_LEN == 0
+    }
+}
+
+/// Map a u64 to [0, 1) deterministically (splitmix finaliser).
+fn hash_unit(mut z: u64) -> f64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complexity_is_deterministic() {
+        let a = SourceVideo::new(7);
+        let b = SourceVideo::new(7);
+        for f in 0..1_000 {
+            assert_eq!(a.complexity(f), b.complexity(f));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SourceVideo::new(1);
+        let b = SourceVideo::new(2);
+        let same = (0..100)
+            .filter(|f| a.complexity(*f) == b.complexity(*f))
+            .count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn complexity_is_bounded_and_varied() {
+        let v = SourceVideo::new(42);
+        let vals: Vec<f64> = (0..10_000).map(|f| v.complexity(f)).collect();
+        assert!(vals.iter().all(|c| (0.5..=1.6).contains(c)));
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((0.8..1.25).contains(&mean), "mean complexity {mean}");
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max - min > 0.3, "not enough variety: {min}..{max}");
+    }
+
+    #[test]
+    fn complexity_is_smooth_within_scenes() {
+        let v = SourceVideo::new(42);
+        for f in 1..SCENE_LEN {
+            let step = (v.complexity(f) - v.complexity(f - 1)).abs();
+            assert!(step < 0.05, "jump of {step} at frame {f}");
+        }
+    }
+
+    #[test]
+    fn scene_cuts_every_eight_seconds() {
+        let v = SourceVideo::new(42);
+        assert!(v.is_scene_cut(0));
+        assert!(v.is_scene_cut(SCENE_LEN));
+        assert!(!v.is_scene_cut(1));
+        assert!(!v.is_scene_cut(SCENE_LEN - 1));
+    }
+}

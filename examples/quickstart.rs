@@ -1,0 +1,67 @@
+//! Quickstart: fly one simulated measurement run and print what the remote
+//! pilot experienced.
+//!
+//! ```sh
+//! cargo run -p rpav-examples --release --bin quickstart
+//! ```
+
+use rpav_core::prelude::*;
+use rpav_core::stats;
+
+fn main() {
+    // One GCC flight in the rural area, operator P1 — the scenario where
+    // adaptive streaming earns its keep (paper §4.2).
+    let config = ExperimentConfig::paper(
+        Environment::Rural,
+        Operator::P1,
+        Mobility::Air,
+        CcMode::Gcc,
+        /* seed */ 7,
+        /* run  */ 0,
+    );
+    println!("flying: {} (≈6 simulated minutes)...", config.label());
+    let m = Simulation::new(config).run();
+
+    println!("\n== link ==");
+    println!("  goodput            {:>8.1} Mbps", m.goodput_bps() / 1e6);
+    println!("  packet error rate  {:>8.3} %", m.per() * 100.0);
+    println!(
+        "  one-way delay      {:>8.1} ms median, {:.1} ms p99",
+        stats::quantile(&m.owd_ms(), 0.5),
+        stats::quantile(&m.owd_ms(), 0.99)
+    );
+    println!(
+        "  handovers          {:>8} ({:.3}/s, {} cells visited)",
+        m.handovers.len(),
+        m.ho_frequency(),
+        m.distinct_cells
+    );
+
+    println!("\n== video ==");
+    let lat = m.playback_latency_ms();
+    println!(
+        "  playback latency   {:>8.0} ms median; within the 300 ms RP budget {:.1}% of the time",
+        stats::quantile(&lat, 0.5),
+        m.playback_within(300.0) * 100.0
+    );
+    let ssim = m.ssim_samples();
+    println!(
+        "  frame quality      {:>8.2} median SSIM; unusable (<0.5) {:.2}% of frames",
+        stats::quantile(&ssim, 0.5),
+        stats::fraction_below_strict(&ssim, 0.5) * 100.0
+    );
+    println!(
+        "  smoothness         {:>8.2} stalls/min over {} displayed frames",
+        m.stalls_per_minute(),
+        m.frames.iter().filter(|f| f.displayed).count()
+    );
+
+    println!(
+        "\nverdict: {}",
+        if m.playback_within(300.0) > 0.8 && m.stalls_per_minute() < 1.0 {
+            "remote piloting would have been possible on this flight"
+        } else {
+            "this flight would have challenged the remote pilot"
+        }
+    );
+}

@@ -1,0 +1,75 @@
+//! Appendix A.3 in miniature: does switching rural operator help?
+//!
+//! Compares P1 (sparse rural grid) against P2 (denser grid, more capacity,
+//! more handovers) for all three workloads, and prints which operator a
+//! drone fleet should pick per criterion.
+//!
+//! ```sh
+//! cargo run -p rpav-examples --release --bin rural_operator_shootout
+//! ```
+
+use rpav_core::prelude::*;
+use rpav_core::stats;
+
+struct Row {
+    cc: &'static str,
+    op: &'static str,
+    goodput_mbps: f64,
+    within_300: f64,
+    ssim_low: f64,
+    ho_per_s: f64,
+}
+
+fn main() {
+    println!("rural shootout, aerial, 2 runs per cell\n");
+    let mut rows = Vec::new();
+    for cc in [
+        CcMode::paper_static(Environment::Rural),
+        CcMode::paper_scream(),
+        CcMode::Gcc,
+    ] {
+        for op in [Operator::P1, Operator::P2] {
+            let cfg = ExperimentConfig::paper(Environment::Rural, op, Mobility::Air, cc, 0x5400, 0);
+            let c = run_campaign(cfg, 2);
+            rows.push(Row {
+                cc: cc.name(),
+                op: op.name(),
+                goodput_mbps: stats::mean(
+                    &c.runs
+                        .iter()
+                        .map(|r| r.goodput_bps() / 1e6)
+                        .collect::<Vec<_>>(),
+                ),
+                within_300: stats::fraction_at_or_below(&c.playback_latency_ms(), 300.0),
+                ssim_low: stats::fraction_below_strict(&c.ssim(), 0.5),
+                ho_per_s: stats::mean(&c.ho_frequencies()),
+            });
+        }
+    }
+
+    println!(
+        "{:<8} {:<4} {:>9} {:>10} {:>10} {:>8}",
+        "method", "op", "Mbps", "<300ms %", "ssim<.5 %", "HO/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:<4} {:>9.1} {:>10.1} {:>10.2} {:>8.3}",
+            r.cc,
+            r.op,
+            r.goodput_mbps,
+            r.within_300 * 100.0,
+            r.ssim_low * 100.0,
+            r.ho_per_s
+        );
+    }
+
+    let p1: Vec<&Row> = rows.iter().filter(|r| r.op == "P1").collect();
+    let p2: Vec<&Row> = rows.iter().filter(|r| r.op == "P2").collect();
+    let avg = |v: &[&Row], f: fn(&Row) -> f64| v.iter().map(|r| f(r)).sum::<f64>() / v.len() as f64;
+    println!(
+        "\nP2 offers {:.1}x the goodput but {:.1}x the handover rate (paper App. A.3: \
+         denser deployment wins on capacity and quality, not automatically on latency)",
+        avg(&p2, |r| r.goodput_mbps) / avg(&p1, |r| r.goodput_mbps),
+        avg(&p2, |r| r.ho_per_s) / avg(&p1, |r| r.ho_per_s).max(1e-9),
+    );
+}

@@ -1,0 +1,5 @@
+//! Host crate for the cross-crate integration tests in `tests/`.
+//!
+//! The actual tests live in this package's `tests/` directory:
+//! `paper_claims.rs` (end-to-end shape claims), `wire_interop.rs`
+//! (serialisation seams), `ackspan_ablation.rs` (§4.2.1).
