@@ -75,7 +75,7 @@ fn bench_cc_updates(c: &mut Criterion) {
                 bwe.on_packet_sent(seq, t, 1_200);
                 rec.on_packet(seq, t + SimDuration::from_millis(40));
                 seq = seq.wrapping_add(1);
-                t = t + SimDuration::from_micros(500);
+                t += SimDuration::from_micros(500);
             }
             if let Some(fb) = rec.build_feedback() {
                 bwe.on_feedback(&fb, t);
@@ -102,7 +102,7 @@ fn bench_cc_updates(c: &mut Criterion) {
             while let Some(p) = s.poll_transmit(t) {
                 builder.on_packet(p.sequence, t + SimDuration::from_millis(30));
             }
-            t = t + SimDuration::from_millis(10);
+            t += SimDuration::from_millis(10);
             if let Some(fb) = builder.build(t) {
                 s.on_feedback(&fb, t);
             }
@@ -134,7 +134,7 @@ fn bench_lte(c: &mut Criterion) {
         let mut model = RadioModel::new(&profile, &RngSet::new(1), 0);
         let mut t = SimTime::ZERO;
         b.iter(|| {
-            t = t + SimDuration::from_millis(100);
+            t += SimDuration::from_millis(100);
             let pos = Position::new((t.as_millis() % 200_000) as f64 / 1_000.0, 0.0, 60.0);
             black_box(model.step(t, &pos))
         })
@@ -146,7 +146,7 @@ fn bench_encoder(c: &mut Criterion) {
         let mut enc = Encoder::new(EncoderConfig::default(), SourceVideo::new(1), 8e6);
         let mut t = SimTime::ZERO;
         b.iter(|| {
-            t = t + SimDuration::from_micros(33_334);
+            t += SimDuration::from_micros(33_334);
             black_box(enc.poll(t))
         })
     });

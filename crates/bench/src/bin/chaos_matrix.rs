@@ -1,0 +1,212 @@
+//! Chaos campaign — the outage-survival acceptance harness.
+//!
+//! Sweeps scripted mid-flight link blackouts {0.5, 2, 5, 10 s} across the
+//! three §3.2 workloads (Static, SCReAM, GCC) in both environments, and
+//! prints one recovery row per cell: pre-outage baseline, time to the
+//! first displayed frame after the blackout, time back to 90 % of the
+//! baseline rate, and the recovery machinery's counters (PLIs, forced
+//! IDRs, watchdog activations/recoveries, jitter-target inflations).
+//!
+//! The binary *asserts* the survival invariants instead of merely printing
+//! them:
+//!
+//! * no run panics;
+//! * every cell with an outage ≤ 5 s recovers (frames displayed again
+//!   within 10 s of the blackout end, rate back to 50 % of baseline
+//!   within 30 s — AIMD controllers then probe back to the 90 % mark
+//!   linearly, which legitimately takes tens of seconds at 25 Mbps);
+//! * 10 s outages must still be survived (no permanent stall), with no
+//!   bound on the rate-recovery tail;
+//! * recovery completion is monotone in outage length within one
+//!   (environment, CC) pair;
+//! * a repeated run of the first cell is bit-identical (determinism
+//!   spot-check; the whole table is reproducible for a fixed `RPAV_SEED`).
+//!
+//! `RPAV_CHAOS_SMOKE=1` shrinks the sweep to one urban outage length per
+//! CC for CI.
+
+use rpav_bench::{banner, master_seed};
+use rpav_core::prelude::*;
+use rpav_netem::FaultScript;
+use rpav_sim::{SimDuration, SimTime};
+
+/// Blackout start: mid-flight, at altitude, well past CC convergence.
+const BLACKOUT_AT: SimTime = SimTime::from_secs(120);
+/// Recovery bars from the ISSUE acceptance criteria.
+const FIRST_FRAME_BAR: SimDuration = SimDuration::from_secs(10);
+const RATE_BAR: SimDuration = SimDuration::from_secs(30);
+
+struct CellResult {
+    env: Environment,
+    cc_name: &'static str,
+    outage_s: f64,
+    metrics: RunMetrics,
+}
+
+fn run_cell(env: Environment, cc: CcMode, outage_s: f64) -> RunMetrics {
+    let cfg = ExperimentConfig::paper(env, Operator::P1, Mobility::Air, cc, master_seed(), 0);
+    let script = FaultScript::new().blackout(
+        BLACKOUT_AT,
+        SimDuration::from_micros((outage_s * 1e6) as u64),
+    );
+    Simulation::new(cfg).with_link_script(script).run()
+}
+
+fn fmt_opt_ms(d: Option<SimDuration>) -> String {
+    match d {
+        Some(d) => format!("{:.0}", d.as_millis_f64()),
+        None => "-".to_string(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::var_os("RPAV_CHAOS_SMOKE").is_some();
+    banner(
+        "Chaos matrix",
+        "mid-flight link blackouts × CC × environment (1 run/cell)",
+    );
+    let outages: &[f64] = if smoke {
+        &[2.0]
+    } else {
+        &[0.5, 2.0, 5.0, 10.0]
+    };
+    let envs: &[Environment] = if smoke {
+        &[Environment::Urban]
+    } else {
+        &[Environment::Urban, Environment::Rural]
+    };
+    println!(
+        "    blackout at t={}s on both directions (media + feedback)\n",
+        BLACKOUT_AT.as_secs_f64()
+    );
+    println!(
+        "{:<6} {:<7} {:>7} {:>9} {:>8} {:>9} {:>9} {:>5} {:>5} {:>7} {:>7} {:>5} {:>9}",
+        "env",
+        "cc",
+        "out s",
+        "base Mbps",
+        "ttff ms",
+        "r50 ms",
+        "r90 ms",
+        "pli",
+        "idr",
+        "wd act",
+        "wd rec",
+        "infl",
+        "survived"
+    );
+
+    let mut cells: Vec<CellResult> = Vec::new();
+    for &env in envs {
+        for cc in rpav_bench::paper_ccs(env) {
+            for &outage_s in outages {
+                let metrics = run_cell(env, cc, outage_s);
+                let o = metrics.outages[0];
+                println!(
+                    "{:<6} {:<7} {:>7.1} {:>9.1} {:>8} {:>9} {:>9} {:>5} {:>5} {:>7} {:>7} {:>5} {:>9}",
+                    format!("{env:?}"),
+                    cc.name(),
+                    outage_s,
+                    o.baseline_bps / 1e6,
+                    fmt_opt_ms(o.time_to_first_frame()),
+                    fmt_opt_ms(o.time_to_half_rate_recovery()),
+                    fmt_opt_ms(o.time_to_rate_recovery()),
+                    metrics.plis_sent,
+                    metrics.forced_keyframes,
+                    metrics.watchdog_activations,
+                    metrics.watchdog_recoveries,
+                    metrics.jitter_inflations,
+                    if o.survived() { "yes" } else { "NO" }
+                );
+                cells.push(CellResult {
+                    env,
+                    cc_name: cc.name(),
+                    outage_s,
+                    metrics,
+                });
+            }
+        }
+    }
+
+    // ---- Invariants --------------------------------------------------
+    for cell in &cells {
+        let label = format!("{:?}/{}/{}s", cell.env, cell.cc_name, cell.outage_s);
+        let o = &cell.metrics.outages[0];
+        assert!(
+            cell.metrics.survived_all_outages(),
+            "{label}: permanent stall — no frame displayed after the blackout"
+        );
+        assert!(
+            cell.metrics.frames.iter().any(|f| f.displayed),
+            "{label}: no frames displayed at all"
+        );
+        if cell.outage_s <= 5.0 {
+            let ttff = o
+                .time_to_first_frame()
+                .unwrap_or(SimDuration::from_secs(u64::MAX / 2));
+            assert!(
+                ttff <= FIRST_FRAME_BAR,
+                "{label}: first frame {} ms after blackout (bar {} ms)",
+                ttff.as_millis(),
+                FIRST_FRAME_BAR.as_millis()
+            );
+            let rate = o
+                .time_to_half_rate_recovery()
+                .unwrap_or(SimDuration::from_secs(u64::MAX / 2));
+            assert!(
+                rate <= RATE_BAR,
+                "{label}: rate back to 50% of {:.1} Mbps only after {} ms (bar {} ms)",
+                o.baseline_bps / 1e6,
+                rate.as_millis(),
+                RATE_BAR.as_millis()
+            );
+        }
+    }
+
+    // Monotone recovery ordering: within one (env, CC), a longer blackout
+    // never finishes recovering (in absolute time) before a shorter one.
+    for &env in envs {
+        for cc in rpav_bench::paper_ccs(env) {
+            let mut series: Vec<&CellResult> = cells
+                .iter()
+                .filter(|c| c.env == env && c.cc_name == cc.name())
+                .collect();
+            series.sort_by(|a, b| a.outage_s.total_cmp(&b.outage_s));
+            for pair in series.windows(2) {
+                let (a, b) = (
+                    pair[0].metrics.outages[0].first_frame_after,
+                    pair[1].metrics.outages[0].first_frame_after,
+                );
+                if let (Some(a), Some(b)) = (a, b) {
+                    assert!(
+                        a <= b,
+                        "{:?}/{}: {}s outage recovered at {:.1}s but {}s outage at {:.1}s",
+                        env,
+                        cc.name(),
+                        pair[0].outage_s,
+                        a.as_secs_f64(),
+                        pair[1].outage_s,
+                        b.as_secs_f64()
+                    );
+                }
+            }
+        }
+    }
+
+    // Determinism spot-check: the first cell replays bit-identically.
+    {
+        let first = &cells[0];
+        let cc = rpav_bench::paper_ccs(first.env)[0];
+        let replay = run_cell(first.env, cc, first.outage_s);
+        assert_eq!(replay.media_sent, first.metrics.media_sent);
+        assert_eq!(replay.media_received, first.metrics.media_received);
+        assert_eq!(replay.plis_sent, first.metrics.plis_sent);
+        assert_eq!(replay.frames.len(), first.metrics.frames.len());
+        assert_eq!(
+            replay.outages[0].first_frame_after,
+            first.metrics.outages[0].first_frame_after
+        );
+    }
+
+    println!("\nAll survival invariants hold ({} cells).", cells.len());
+}

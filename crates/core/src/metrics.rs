@@ -53,6 +53,54 @@ pub struct FrameRecord {
     pub displayed: bool,
 }
 
+/// Recovery bookkeeping for one scheduled blackout window.
+#[derive(Clone, Copy, Debug)]
+pub struct OutageRecord {
+    /// Blackout window start.
+    pub from: SimTime,
+    /// Blackout window end.
+    pub until: SimTime,
+    /// Pre-outage goodput baseline (bps, 5 s window before the blackout).
+    pub baseline_bps: f64,
+    /// First media packet delivered after the window ended.
+    pub first_arrival_after: Option<SimTime>,
+    /// First frame displayed after the window ended.
+    pub first_frame_after: Option<SimTime>,
+    /// When a 1 s goodput window first got back to 50 % of the baseline
+    /// (the survival bar: the stream is usable again).
+    pub rate_half_recovered_at: Option<SimTime>,
+    /// When a 1 s goodput window first got back to 90 % of the baseline
+    /// (full recovery; AIMD controllers probe back to this linearly, so
+    /// it can trail the 50 % mark by tens of seconds at high rates).
+    pub rate_recovered_at: Option<SimTime>,
+}
+
+impl OutageRecord {
+    /// Time from the end of the blackout to the first displayed frame.
+    pub fn time_to_first_frame(&self) -> Option<SimDuration> {
+        self.first_frame_after
+            .map(|t| t.saturating_since(self.until))
+    }
+
+    /// Time from the end of the blackout to 50 % rate recovery.
+    pub fn time_to_half_rate_recovery(&self) -> Option<SimDuration> {
+        self.rate_half_recovered_at
+            .map(|t| t.saturating_since(self.until))
+    }
+
+    /// Time from the end of the blackout to 90 % rate recovery.
+    pub fn time_to_rate_recovery(&self) -> Option<SimDuration> {
+        self.rate_recovered_at
+            .map(|t| t.saturating_since(self.until))
+    }
+
+    /// Whether the stream survived: frames were displayed again after the
+    /// blackout ended.
+    pub fn survived(&self) -> bool {
+        self.first_frame_after.is_some()
+    }
+}
+
 /// Everything one run produces.
 #[derive(Clone, Debug, Default)]
 pub struct RunMetrics {
@@ -81,6 +129,24 @@ pub struct RunMetrics {
     pub span_skipped: u64,
     /// Distinct serving cells seen.
     pub distinct_cells: usize,
+    /// PLIs the receiver sent upstream after decode-breaking loss.
+    pub plis_sent: u64,
+    /// PLIs that survived the feedback path and reached the sender.
+    pub plis_received: u64,
+    /// IDRs the encoder produced in response to PLIs.
+    pub forced_keyframes: u64,
+    /// Feedback-starvation watchdog activations (CC entered `Starved`).
+    pub watchdog_activations: u64,
+    /// Watchdog full recoveries (ramp completed back to the CC target).
+    pub watchdog_recoveries: u64,
+    /// Duration of the last completed ramp-back (time-to-recover).
+    pub watchdog_last_ramp: Option<SimDuration>,
+    /// Jitter-target inflations after receiver-observed delivery gaps.
+    pub jitter_inflations: u64,
+    /// Packets destroyed by scripted fault clauses (both directions).
+    pub script_dropped: u64,
+    /// Per-scheduled-blackout recovery records.
+    pub outages: Vec<OutageRecord>,
 }
 
 impl RunMetrics {
@@ -236,6 +302,85 @@ impl RunMetrics {
         stats::fraction_at_or_below(&self.playback_latency_ms(), threshold_ms)
     }
 
+    /// Derive per-outage recovery records from the scheduled blackout
+    /// windows of the run's fault script. Call once, after the run, with
+    /// `owd` and `frames` fully populated (both are in arrival order).
+    pub fn record_outages(&mut self, windows: &[(SimTime, SimTime)]) {
+        let mean_pkt_bits = if self.media_received > 0 {
+            self.media_received_bytes as f64 * 8.0 / self.media_received as f64
+        } else {
+            0.0
+        };
+        // Count delivered packets in (from, to] via binary search — `owd`
+        // is sorted by arrival time.
+        let arrivals_in = |from: SimTime, to: SimTime| -> usize {
+            let lo = self.owd.partition_point(|(a, _)| *a <= from);
+            let hi = self.owd.partition_point(|(a, _)| *a <= to);
+            hi - lo
+        };
+        for &(from, until) in windows {
+            let baseline_span = SimDuration::from_secs(5);
+            let bstart = if from.saturating_since(SimTime::ZERO) > baseline_span {
+                from - baseline_span
+            } else {
+                SimTime::ZERO
+            };
+            let bsecs = from.saturating_since(bstart).as_secs_f64();
+            let baseline_bps = if bsecs > 0.0 {
+                arrivals_in(bstart, from) as f64 * mean_pkt_bits / bsecs
+            } else {
+                0.0
+            };
+
+            let first_arrival_after = {
+                let idx = self.owd.partition_point(|(a, _)| *a < until);
+                self.owd.get(idx).map(|(a, _)| *a)
+            };
+            let first_frame_after = self
+                .frames
+                .iter()
+                .find(|f| f.displayed && f.display_at >= until)
+                .map(|f| f.display_at);
+
+            // First 1 s windows after the outage whose goodput is back to
+            // 50 % / 90 % of the baseline, scanned at 100 ms granularity.
+            let mut rate_half_recovered_at = None;
+            let mut rate_recovered_at = None;
+            if baseline_bps > 0.0 {
+                let w = SimDuration::from_secs(1);
+                let horizon = self.owd.last().map(|(a, _)| *a).unwrap_or(until);
+                let mut t = until + w;
+                while t <= horizon {
+                    let bps = arrivals_in(t - w, t) as f64 * mean_pkt_bits / w.as_secs_f64();
+                    if rate_half_recovered_at.is_none() && bps >= 0.5 * baseline_bps {
+                        rate_half_recovered_at = Some(t);
+                    }
+                    if bps >= 0.9 * baseline_bps {
+                        rate_recovered_at = Some(t);
+                        break;
+                    }
+                    t += SimDuration::from_millis(100);
+                }
+            }
+
+            self.outages.push(OutageRecord {
+                from,
+                until,
+                baseline_bps,
+                first_arrival_after,
+                first_frame_after,
+                rate_half_recovered_at,
+                rate_recovered_at,
+            });
+        }
+    }
+
+    /// Whether every scheduled blackout was survived (frames displayed
+    /// again after each window). Vacuously true with no scheduled outages.
+    pub fn survived_all_outages(&self) -> bool {
+        self.outages.iter().all(|o| o.survived())
+    }
+
     /// Ping-pong handovers: a handover back to the cell just left, within
     /// `window` (the §5 discussion: "avoid unnecessary ping-pong HOs …
     /// that we also observed in our rural measurements").
@@ -345,6 +490,70 @@ mod tests {
         let avg = tl.iter().map(|(_, b)| *b).sum::<f64>() / tl.len() as f64;
         // Packets every 60 ms of 1 200 B → 160 kbps.
         assert!((avg - 160_000.0).abs() < 16_000.0, "avg {avg}");
+    }
+
+    #[test]
+    fn outage_records_compute_recovery_times() {
+        let mut m = RunMetrics::default();
+        // 1 200 B packets every 10 ms, dark from 10 s to 15 s.
+        let mut owd = Vec::new();
+        for i in 0..3_000u64 {
+            let at = t(i * 10);
+            if at >= t(10_000) && at < t(15_000) {
+                continue;
+            }
+            owd.push((at, 40.0));
+        }
+        m.media_received = owd.len() as u64;
+        m.media_received_bytes = owd.len() as u64 * 1_200;
+        m.owd = owd;
+        m.frames = (0..900u64)
+            .map(|i| {
+                let at = t(i * 33);
+                FrameRecord {
+                    number: i,
+                    display_at: at,
+                    latency_ms: Some(200.0),
+                    ssim: 0.9,
+                    displayed: !(at >= t(10_000) && at < t(15_200)),
+                }
+            })
+            .collect();
+        m.record_outages(&[(t(10_000), t(15_000))]);
+        assert_eq!(m.outages.len(), 1);
+        let o = &m.outages[0];
+        assert!(
+            (o.baseline_bps - 960_000.0).abs() < 50_000.0,
+            "baseline {}",
+            o.baseline_bps
+        );
+        assert!(o.survived());
+        assert!(m.survived_all_outages());
+        let ff = o.time_to_first_frame().unwrap();
+        assert!(
+            ff.as_millis() <= 300,
+            "first frame {} ms after",
+            ff.as_millis()
+        );
+        let rr = o.time_to_rate_recovery().unwrap();
+        assert!(
+            rr.as_millis() <= 1_100,
+            "rate recovery {} ms",
+            rr.as_millis()
+        );
+        let half = o.time_to_half_rate_recovery().unwrap();
+        assert!(half <= rr, "50% mark {half:?} after 90% mark {rr:?}");
+    }
+
+    #[test]
+    fn unsurvived_outage_is_reported() {
+        let mut m = sample_metrics();
+        // A blackout scheduled after the last delivered packet/frame.
+        m.record_outages(&[(t(70_000), t(75_000))]);
+        assert_eq!(m.outages.len(), 1);
+        assert!(!m.outages[0].survived());
+        assert!(!m.survived_all_outages());
+        assert!(m.outages[0].time_to_first_frame().is_none());
     }
 
     #[test]

@@ -214,7 +214,7 @@ pub fn run_multipath(
                 displayed: ev.displayed,
             });
         }
-        t = t + SimDuration::from_millis(1);
+        t += SimDuration::from_millis(1);
     }
     metrics.duration = plan.duration();
     metrics.stalls = player.stats().stalls;

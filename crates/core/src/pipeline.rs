@@ -19,10 +19,11 @@ use std::collections::VecDeque;
 
 use rpav_gcc::{GccConfig, SendSideBwe};
 use rpav_lte::{NetworkProfile, RadioModel};
-use rpav_netem::{FaultConfig, GilbertElliott, Packet, PacketKind, Path};
+use rpav_netem::{FaultConfig, FaultScript, GilbertElliott, Packet, PacketKind, Path};
 use rpav_rtp::jitter::{JitterBuffer, JitterConfig};
 use rpav_rtp::packet::RtpPacket;
 use rpav_rtp::packetize::{Depacketizer, Packetizer};
+use rpav_rtp::pli::Pli;
 use rpav_rtp::rfc8888::{Rfc8888Builder, Rfc8888Packet};
 use rpav_rtp::twcc::{TwccFeedback, TwccRecorder};
 use rpav_scream::{ScreamConfig, ScreamSender};
@@ -42,6 +43,20 @@ const TWCC_INTERVAL: SimDuration = SimDuration::from_millis(50);
 const CCFB_INTERVAL: SimDuration = SimDuration::from_millis(10);
 /// Extra time after the plan ends for in-flight media to play out.
 const DRAIN: SimDuration = SimDuration::from_secs(3);
+/// Minimum spacing between receiver PLIs while the reference chain stays
+/// broken (RFC 4585 regulates rapid PLI resends).
+const PLI_MIN_INTERVAL: SimDuration = SimDuration::from_millis(250);
+/// Receiver-observed delivery gap that counts as an outage and inflates
+/// the jitter target (graceful degradation under repeated blackouts).
+const OUTAGE_GAP: SimDuration = SimDuration::from_secs(1);
+/// Jitter-target multiplier per observed outage, and the level cap.
+const JITTER_INFLATE_FACTOR: f64 = 1.5;
+const JITTER_MAX_LEVEL: u32 = 3;
+/// Clean delivery required before one inflation level decays away.
+const JITTER_DECAY_AFTER: SimDuration = SimDuration::from_secs(20);
+/// SSRCs on the PLI wire: the receiver reports against the media stream.
+const RECEIVER_SSRC: u32 = 0x1;
+const MEDIA_SSRC: u32 = 0x2;
 /// eNodeB uplink buffer: deep enough that congestion becomes delay, not
 /// loss (bufferbloat, §4.1).
 const UPLINK_QUEUE_BYTES: usize = 6_000_000;
@@ -87,10 +102,16 @@ pub struct Simulation {
     ccfb: Rfc8888Builder,
     ref_intact: bool,
     last_frame_to_player: Option<u64>,
+    last_pli: Option<SimTime>,
+    last_media_arrival: Option<SimTime>,
+    jitter_base_target: SimDuration,
+    jitter_level: u32,
+    last_jitter_event: SimTime,
     // Bookkeeping.
     next_radio: SimTime,
     next_feedback: SimTime,
     netem_seq: u64,
+    outage_windows: Vec<(SimTime, SimTime)>,
     metrics: RunMetrics,
 }
 
@@ -152,7 +173,10 @@ impl Simulation {
                 2e6,
                 true,
                 CcState::Gcc {
-                    bwe: SendSideBwe::new(GccConfig::default()),
+                    bwe: SendSideBwe::new(GccConfig {
+                        watchdog: config.watchdog,
+                        ..Default::default()
+                    }),
                     queue: VecDeque::new(),
                     budget_bytes: 0.0,
                     last_refill: SimTime::ZERO,
@@ -162,7 +186,10 @@ impl Simulation {
                 2e6,
                 false,
                 CcState::Scream {
-                    sender: ScreamSender::new(ScreamConfig::default()),
+                    sender: ScreamSender::new(ScreamConfig {
+                        watchdog: config.watchdog,
+                        ..Default::default()
+                    }),
                 },
             ),
         };
@@ -171,6 +198,10 @@ impl Simulation {
             _ => 64,
         };
         let encoder = Encoder::new(EncoderConfig::default(), source, start_bitrate);
+        let jitter_target = config
+            .jitter_target_override_ms
+            .map(SimDuration::from_millis)
+            .unwrap_or(JitterConfig::default().target);
 
         Simulation {
             config,
@@ -187,10 +218,7 @@ impl Simulation {
             pending_frames: VecDeque::new(),
             jitter: JitterBuffer::new(JitterConfig {
                 drop_on_latency: config.drop_on_latency,
-                target: config
-                    .jitter_target_override_ms
-                    .map(SimDuration::from_millis)
-                    .unwrap_or(JitterConfig::default().target),
+                target: jitter_target,
             }),
             depack: Depacketizer::new(),
             player: Player::new(PlayerConfig::default()),
@@ -198,11 +226,51 @@ impl Simulation {
             ccfb: Rfc8888Builder::new(ack_span),
             ref_intact: true,
             last_frame_to_player: None,
+            last_pli: None,
+            last_media_arrival: None,
+            jitter_base_target: jitter_target,
+            jitter_level: 0,
+            last_jitter_event: SimTime::ZERO,
             next_radio: SimTime::ZERO,
             next_feedback: SimTime::ZERO,
             netem_seq: 0,
+            outage_windows: Vec::new(),
             metrics: RunMetrics::default(),
         }
+    }
+
+    /// Attach a scripted fault campaign to the uplink (media) direction.
+    /// The script's RNG derives from the run's seed, so a given
+    /// configuration + script is bit-reproducible.
+    pub fn with_uplink_script(mut self, script: FaultScript) -> Self {
+        let rngs = RngSet::new(self.config.seed);
+        // Timed media-direction blackouts become per-outage recovery
+        // records in the run's metrics.
+        self.outage_windows.extend(script.blackout_windows());
+        self.uplink.set_script(
+            script,
+            rngs.stream_indexed("pipe.ul.script", self.config.run_index),
+        );
+        self
+    }
+
+    /// Attach a scripted fault campaign to the downlink (feedback)
+    /// direction. Feedback-direction blackouts starve the CC but do not
+    /// stop media, so they produce no per-outage recovery records.
+    pub fn with_downlink_script(mut self, script: FaultScript) -> Self {
+        let rngs = RngSet::new(self.config.seed);
+        self.downlink.set_script(
+            script,
+            rngs.stream_indexed("pipe.dl.script", self.config.run_index),
+        );
+        self
+    }
+
+    /// Attach the same scripted campaign to both directions — the shape of
+    /// a true link blackout (coverage loss kills media and feedback alike).
+    pub fn with_link_script(self, script: FaultScript) -> Self {
+        let cloned = script.clone();
+        self.with_uplink_script(script).with_downlink_script(cloned)
     }
 
     /// Execute the run to completion and return its metrics.
@@ -222,6 +290,30 @@ impl Simulation {
             self.metrics.sender_discarded = sender.stats().queue_discarded;
             self.metrics.span_skipped = sender.stats().span_skipped;
         }
+        match &self.cc {
+            CcState::Static => {}
+            CcState::Gcc { bwe, .. } => {
+                let w = bwe.watchdog_stats();
+                self.metrics.watchdog_activations = w.activations;
+                self.metrics.watchdog_recoveries = w.recoveries;
+                self.metrics.watchdog_last_ramp = w.last_ramp;
+            }
+            CcState::Scream { sender } => {
+                let w = sender.watchdog_stats();
+                self.metrics.watchdog_activations = w.activations;
+                self.metrics.watchdog_recoveries = w.recoveries;
+                self.metrics.watchdog_last_ramp = w.last_ramp;
+            }
+        }
+        self.metrics.forced_keyframes = self.encoder.forced_keyframes();
+        self.metrics.script_dropped = self.uplink.script_stats().map(|s| s.dropped()).unwrap_or(0)
+            + self
+                .downlink
+                .script_stats()
+                .map(|s| s.dropped())
+                .unwrap_or(0);
+        let windows = std::mem::take(&mut self.outage_windows);
+        self.metrics.record_outages(&windows);
         self.metrics
     }
 
@@ -230,6 +322,9 @@ impl Simulation {
         if now >= self.next_radio {
             self.next_radio = now + self.radio.tick();
             let pos = self.plan.position_at(now);
+            // Positional script clauses (coverage holes) track the UAV.
+            self.uplink.set_position(pos.x, pos.y, pos.z);
+            self.downlink.set_position(pos.x, pos.y, pos.z);
             let sample = self.radio.step(now, &pos);
             self.uplink
                 .set_rate_bps(now, sample.uplink_capacity_bps.max(50e3));
@@ -282,11 +377,14 @@ impl Simulation {
                 self.pending_frames.push_back(frame);
             }
         }
-        while let Some(front) = self.pending_frames.front() {
-            if front.ready_at > now {
+        while self
+            .pending_frames
+            .front()
+            .is_some_and(|f| f.ready_at <= now)
+        {
+            let Some(frame) = self.pending_frames.pop_front() else {
                 break;
-            }
-            let frame = self.pending_frames.pop_front().unwrap();
+            };
             let packets = self
                 .packetizer
                 .packetize(frame.meta, frame.meta.encode_time);
@@ -299,7 +397,6 @@ impl Simulation {
                             &mut self.metrics,
                             &mut self.extra_loss_rng,
                             self.extra_loss_prob,
-                            None,
                             now,
                             p,
                         );
@@ -310,7 +407,21 @@ impl Simulation {
             }
         }
 
-        // 3. CC-gated transmission.
+        // 3. Feedback-starvation watchdogs, then CC-gated transmission.
+        // The watchdogs run on the driver tick: they are what lets the
+        // sender react to a feedback blackout at all, so the encoder target
+        // must follow their cap, not just the feedback arrivals.
+        match &mut self.cc {
+            CcState::Static => {}
+            CcState::Gcc { bwe, .. } => {
+                bwe.on_tick(now);
+                self.encoder.set_target_bitrate(bwe.target_bitrate_bps());
+            }
+            CcState::Scream { sender } => {
+                sender.on_tick(now);
+                self.encoder.set_target_bitrate(sender.target_bitrate_bps());
+            }
+        }
         match &mut self.cc {
             CcState::Static => {}
             CcState::Gcc {
@@ -324,13 +435,14 @@ impl Simulation {
                 *last_refill = now;
                 let rate = bwe.target_bitrate_bps() * 1.5;
                 *budget_bytes = (*budget_bytes + rate * dt / 8.0).min(60_000.0);
-                while let Some(front) = queue.front() {
-                    let size = front.wire_size();
+                while let Some(size) = queue.front().map(|p| p.wire_size()) {
                     if *budget_bytes < size as f64 {
                         break;
                     }
+                    let Some(p) = queue.pop_front() else {
+                        break;
+                    };
                     *budget_bytes -= size as f64;
-                    let p = queue.pop_front().unwrap();
                     if let Some(ts) = p.transport_seq {
                         bwe.on_packet_sent(ts, now, p.wire_size());
                     }
@@ -340,7 +452,6 @@ impl Simulation {
                         &mut self.metrics,
                         &mut self.extra_loss_rng,
                         self.extra_loss_prob,
-                        None,
                         now,
                         p,
                     );
@@ -354,7 +465,6 @@ impl Simulation {
                         &mut self.metrics,
                         &mut self.extra_loss_rng,
                         self.extra_loss_prob,
-                        None,
                         now,
                         p,
                     );
@@ -374,6 +484,21 @@ impl Simulation {
             self.metrics.owd.push((now, owd_ms));
             self.metrics.media_received += 1;
             self.metrics.media_received_bytes += rtp.payload.len() as u64;
+            // Graceful degradation: delivery resuming after a long gap
+            // means an outage happened — inflate the jitter target so
+            // subsequent jitter from the recovering link is absorbed
+            // instead of causing skips.
+            if let Some(prev) = self.last_media_arrival {
+                if now.saturating_since(prev) >= OUTAGE_GAP {
+                    if self.jitter_level < JITTER_MAX_LEVEL {
+                        self.jitter_level += 1;
+                        self.metrics.jitter_inflations += 1;
+                        self.apply_jitter_target();
+                    }
+                    self.last_jitter_event = now;
+                }
+            }
+            self.last_media_arrival = Some(now);
             match &self.cc {
                 CcState::Gcc { .. } => {
                     if let Some(ts) = rtp.transport_seq {
@@ -386,6 +511,15 @@ impl Simulation {
                 CcState::Static => {}
             }
             self.jitter.push(now, rtp);
+        }
+        // Sustained clean delivery lets the inflated jitter target decay
+        // back toward its base, one level at a time.
+        if self.jitter_level > 0
+            && now.saturating_since(self.last_jitter_event) >= JITTER_DECAY_AFTER
+        {
+            self.jitter_level -= 1;
+            self.apply_jitter_target();
+            self.last_jitter_event = now;
         }
 
         // 5. Receiver feedback timers.
@@ -419,9 +553,16 @@ impl Simulation {
             }
         }
 
-        // 6. Feedback arrivals at the sender.
+        // 6. Feedback arrivals at the sender. PLIs ride the same RTCP
+        // stream as the transport feedback and are discriminated by their
+        // FMT/PT bytes; they work under every CC mode, including Static.
         while let Some(pkt) = self.downlink.poll(now) {
             if pkt.corrupted {
+                continue;
+            }
+            if Pli::parse(pkt.payload.clone()).is_some() {
+                self.encoder.force_keyframe();
+                self.metrics.plis_received += 1;
                 continue;
             }
             match &mut self.cc {
@@ -487,17 +628,44 @@ impl Simulation {
                 displayed: ev.displayed,
             });
         }
+
+        // 8. Keyframe recovery: while the decoder's reference chain stays
+        // broken, nag the sender with rate-limited PLIs until an intact IDR
+        // arrives. The PLI travels the feedback direction, so a true link
+        // blackout kills it too — recovery then starts when the link does.
+        let pli_due = match self.last_pli {
+            Some(t) => now.saturating_since(t) >= PLI_MIN_INTERVAL,
+            None => true,
+        };
+        if !self.ref_intact && pli_due {
+            let pli = Pli {
+                sender_ssrc: RECEIVER_SSRC,
+                media_ssrc: MEDIA_SSRC,
+            };
+            self.netem_seq += 1;
+            self.downlink.enqueue(
+                now,
+                Packet::new(self.netem_seq, pli.serialize(), PacketKind::Feedback, now),
+            );
+            self.metrics.plis_sent += 1;
+            self.last_pli = Some(now);
+        }
+    }
+
+    /// Re-derive the jitter target from the base and the inflation level.
+    fn apply_jitter_target(&mut self) {
+        let factor = JITTER_INFLATE_FACTOR.powi(self.jitter_level as i32);
+        let us = self.jitter_base_target.as_millis_f64() * factor * 1_000.0;
+        self.jitter.set_target(SimDuration::from_micros(us as u64));
     }
 
     /// Offer one media packet to the uplink, applying the altitude loss.
-    #[allow(clippy::too_many_arguments)]
     fn send_media(
         uplink: &mut Path,
         netem_seq: &mut u64,
         metrics: &mut RunMetrics,
         extra_loss_rng: &mut SimRng,
         extra_loss_prob: f64,
-        _unused: Option<()>,
         now: SimTime,
         rtp: RtpPacket,
     ) {

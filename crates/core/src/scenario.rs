@@ -1,7 +1,7 @@
 //! Experiment configuration: the campaign's independent variables.
 
 use rpav_lte::{Environment, Operator};
-use rpav_sim::SimDuration;
+use rpav_sim::{SimDuration, WatchdogConfig};
 
 /// Whether the node flies the paper trajectory or rides the motorbike.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,6 +95,10 @@ pub struct ExperimentConfig {
     /// Override the receiver jitter-buffer target (ms) — §4.2 "the RTP
     /// jitter buffer size can be adjusted to reduce playback latency".
     pub jitter_target_override_ms: Option<u64>,
+    /// Feedback-starvation watchdog shared by the adaptive CCs. Enabled by
+    /// default; set `watchdog.enabled = false` to reproduce the stock
+    /// frozen-rate outage behaviour.
+    pub watchdog: WatchdogConfig,
 }
 
 impl ExperimentConfig {
@@ -123,6 +127,7 @@ impl ExperimentConfig {
             hysteresis_override_db: None,
             ttt_override_ms: None,
             jitter_target_override_ms: None,
+            watchdog: WatchdogConfig::default(),
         }
     }
 

@@ -4,7 +4,9 @@ use std::collections::{BTreeMap, VecDeque};
 
 use rpav_rtp::packet::unwrap_seq;
 use rpav_rtp::twcc::TwccFeedback;
-use rpav_sim::{SimDuration, SimTime};
+use rpav_sim::{
+    FeedbackWatchdog, SimDuration, SimTime, WatchdogConfig, WatchdogState, WatchdogStats,
+};
 
 use crate::aimd::AimdRateControl;
 use crate::arrival::{InterArrival, PacketTiming};
@@ -22,6 +24,10 @@ pub struct GccConfig {
     pub min_bitrate_bps: f64,
     /// Ceiling (25 Mbps — the top encoder operating point, §3.2).
     pub max_bitrate_bps: f64,
+    /// Feedback-starvation watchdog. Disabled, a TWCC blackout leaves the
+    /// estimator frozen at its last target indefinitely (the stock
+    /// behaviour).
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for GccConfig {
@@ -30,6 +36,7 @@ impl Default for GccConfig {
             start_bitrate_bps: 2e6,
             min_bitrate_bps: 300e3,
             max_bitrate_bps: 25e6,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -93,7 +100,21 @@ pub struct SendSideBwe {
     aimd: AimdRateControl,
     loss: LossController,
     acked: AckedBitrate,
+    watchdog: FeedbackWatchdog,
+    /// While `now` is before this, the estimator treats feedback as
+    /// app-limited aftermath of a starvation the watchdog already handled.
+    recovery_guard_until: SimTime,
 }
+
+/// How long after feedback resumes the estimator stays shielded from the
+/// starvation window's aftermath. Two artefacts would otherwise punish the
+/// sender twice for an outage it already backed off for: the gap's loss
+/// report hits the loss arm (multiplicative cuts, then a ×1.05/s climb),
+/// and the acked bitrate — low only because the watchdog throttled the
+/// sender to its floor — drags the AIMD target down through its
+/// `1.5 × acked` clamp, leaving an 8 %/s recovery from near zero. Guarded,
+/// recovery is the watchdog's metered ramp (seconds, not tens of seconds).
+const STARVATION_RECOVERY_GUARD: SimDuration = SimDuration::from_secs(2);
 
 impl SendSideBwe {
     /// Create an estimator.
@@ -117,6 +138,8 @@ impl SendSideBwe {
                 config.max_bitrate_bps,
             ),
             acked: AckedBitrate::default(),
+            watchdog: FeedbackWatchdog::new(config.watchdog),
+            recovery_guard_until: SimTime::ZERO,
         }
     }
 
@@ -142,6 +165,14 @@ impl SendSideBwe {
 
     /// Process one transport-wide feedback packet.
     pub fn on_feedback(&mut self, feedback: &TwccFeedback, now: SimTime) {
+        // This feedback ends a starvation: the watchdog already paid for
+        // the outage with its back-off, so shield both estimator arms from
+        // the gap's aftermath and let recovery be the watchdog's metered
+        // ramp, not a second punishment.
+        if self.watchdog.state() == WatchdogState::Starved {
+            self.recovery_guard_until = now + STARVATION_RECOVERY_GUARD;
+        }
+        let guarded = now < self.recovery_guard_until;
         let base_unwrapped = match self.last_fb_unwrapped {
             None => feedback.base_seq as u64,
             Some(prev) => unwrap_seq(prev, feedback.base_seq),
@@ -181,18 +212,52 @@ impl SendSideBwe {
             self.sent.remove(&seq);
         }
 
-        let acked_bps = self.acked.bitrate_bps();
+        // Under guard, report the acked bitrate as unknown (app-limited):
+        // it reflects the watchdog's floor throttling, not path capacity,
+        // and would collapse the AIMD target through its acked clamp.
+        let acked_bps = if guarded {
+            0.0
+        } else {
+            self.acked.bitrate_bps()
+        };
         self.aimd
             .update(now, last_state, acked_bps, self.acked.avg_packet_bits());
-        self.loss.on_feedback(now, lost, total);
+        if !guarded {
+            self.loss.on_feedback(now, lost, total);
+        }
+        self.watchdog.on_feedback(now, self.uncapped_bps());
     }
 
-    /// The current combined target bitrate: the binding arm wins.
-    pub fn target_bitrate_bps(&self) -> f64 {
+    /// Advance the feedback-starvation watchdog. Call from the driver loop
+    /// (any cadence at or below the feedback interval works); without it a
+    /// feedback blackout leaves the target frozen.
+    pub fn on_tick(&mut self, now: SimTime) {
+        self.watchdog.on_tick(now, self.uncapped_bps());
+    }
+
+    /// The two estimator arms combined, before the watchdog cap.
+    fn uncapped_bps(&self) -> f64 {
         self.aimd
             .target_bps()
             .min(self.loss.rate_bps())
             .clamp(self.config.min_bitrate_bps, self.config.max_bitrate_bps)
+    }
+
+    /// The current combined target bitrate: the binding arm wins, bounded
+    /// by the starvation watchdog's cap while feedback is dark. The cap's
+    /// floor may sit below `min_bitrate_bps` if configured that way.
+    pub fn target_bitrate_bps(&self) -> f64 {
+        self.watchdog.apply(self.uncapped_bps())
+    }
+
+    /// Starvation watchdog state.
+    pub fn watchdog_state(&self) -> WatchdogState {
+        self.watchdog.state()
+    }
+
+    /// Starvation watchdog counters.
+    pub fn watchdog_stats(&self) -> WatchdogStats {
+        self.watchdog.stats()
     }
 
     /// Delay-arm target (diagnostics).
@@ -259,7 +324,7 @@ mod tests {
                 }
             }
             targets.push(bwe.target_bitrate_bps());
-            t = t + tick;
+            t += tick;
         }
         targets
     }
@@ -305,7 +370,7 @@ mod tests {
                     rec.on_packet(seq, t + SimDuration::from_millis(40));
                 }
                 seq = seq.wrapping_add(1);
-                t = t + SimDuration::from_millis(2);
+                t += SimDuration::from_millis(2);
             }
             if let Some(fb) = rec.build_feedback() {
                 bwe.on_feedback(&fb, t);
@@ -339,11 +404,116 @@ mod tests {
             start_bitrate_bps: 2e6,
             min_bitrate_bps: 1e6,
             max_bitrate_bps: 10e6,
+            ..Default::default()
         };
         let mut bwe = SendSideBwe::new(cfg);
         let targets = run_clean_link(&mut bwe, 60, 100e6);
         assert!(targets.iter().all(|t| (1e6..=10e6).contains(t)));
         // Should saturate at the ceiling on a clean 100 Mbps link.
         assert!(*targets.last().unwrap() >= 9.9e6);
+    }
+
+    /// Drive the estimator at a fixed send rate for `ms`, with the feedback
+    /// path either alive (40 ms OWD, report every 50 ms) or dark (packets
+    /// vanish, no reports). `on_tick` runs every 5 ms like the driver loop.
+    fn drive(
+        bwe: &mut SendSideBwe,
+        rec: &mut TwccRecorder,
+        seq: &mut u16,
+        t: &mut SimTime,
+        ms: u64,
+        feedback_alive: bool,
+    ) {
+        let end = *t + SimDuration::from_millis(ms);
+        let mut last_fb = *t;
+        while *t < end {
+            for _ in 0..2 {
+                bwe.on_packet_sent(*seq, *t, 1_200);
+                if feedback_alive {
+                    rec.on_packet(*seq, *t + SimDuration::from_millis(40));
+                }
+                *seq = seq.wrapping_add(1);
+            }
+            if feedback_alive && t.saturating_since(last_fb) >= SimDuration::from_millis(50) {
+                last_fb = *t;
+                if let Some(fb) = rec.build_feedback() {
+                    bwe.on_feedback(&fb, *t);
+                }
+            }
+            bwe.on_tick(*t);
+            *t += SimDuration::from_millis(5);
+        }
+    }
+
+    #[test]
+    fn feedback_starvation_backs_off_to_floor_then_recovers() {
+        let mut bwe = SendSideBwe::new(GccConfig::default());
+        let mut rec = TwccRecorder::new();
+        let mut seq: u16 = 0;
+        let mut t = SimTime::from_secs(1);
+        drive(&mut bwe, &mut rec, &mut seq, &mut t, 5_000, true);
+        let pre = bwe.target_bitrate_bps();
+        assert!(pre > 1e6, "pre-outage target {pre:.2e}");
+        // 5 s feedback blackout: back-off engages and decays to the floor.
+        drive(&mut bwe, &mut rec, &mut seq, &mut t, 5_000, false);
+        assert_eq!(bwe.watchdog_state(), WatchdogState::Starved);
+        let floor = GccConfig::default().watchdog.floor_bps;
+        assert_eq!(bwe.target_bitrate_bps(), floor);
+        assert_eq!(bwe.watchdog_stats().activations, 1);
+        // Feedback resumes: the cap ramps off and the target climbs back.
+        drive(&mut bwe, &mut rec, &mut seq, &mut t, 10_000, true);
+        assert_eq!(bwe.watchdog_state(), WatchdogState::Armed);
+        let stats = bwe.watchdog_stats();
+        assert_eq!(stats.recoveries, 1);
+        assert!(stats.last_ramp.is_some());
+        assert!(
+            bwe.target_bitrate_bps() > 0.5 * pre,
+            "post-recovery target {:.2e} still far below pre-outage {pre:.2e}",
+            bwe.target_bitrate_bps()
+        );
+    }
+
+    #[test]
+    fn starvation_losses_do_not_poison_the_loss_arm() {
+        let mut bwe = SendSideBwe::new(GccConfig::default());
+        let mut rec = TwccRecorder::new();
+        let mut seq: u16 = 0;
+        let mut t = SimTime::from_secs(1);
+        drive(&mut bwe, &mut rec, &mut seq, &mut t, 8_000, true);
+        let pre = bwe.target_bitrate_bps();
+        drive(&mut bwe, &mut rec, &mut seq, &mut t, 3_000, false);
+        assert_eq!(bwe.watchdog_state(), WatchdogState::Starved);
+        // 5 s of restored feedback: the watchdog ramp releases, and the
+        // loss arm — shielded from the gap's loss avalanche — does not
+        // hold the target down afterwards (unguarded, the ×1.05/s climb
+        // would keep it depressed far longer than this).
+        drive(&mut bwe, &mut rec, &mut seq, &mut t, 5_000, true);
+        assert_eq!(bwe.watchdog_state(), WatchdogState::Armed);
+        let post = bwe.target_bitrate_bps();
+        assert!(
+            post > 0.7 * pre,
+            "post-recovery target {post:.2e} vs pre-outage {pre:.2e}"
+        );
+    }
+
+    #[test]
+    fn watchdog_opt_out_reproduces_frozen_rate() {
+        let cfg = GccConfig {
+            watchdog: rpav_sim::WatchdogConfig {
+                enabled: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut bwe = SendSideBwe::new(cfg);
+        let mut rec = TwccRecorder::new();
+        let mut seq: u16 = 0;
+        let mut t = SimTime::from_secs(1);
+        drive(&mut bwe, &mut rec, &mut seq, &mut t, 5_000, true);
+        let pre = bwe.target_bitrate_bps();
+        // 20 s of darkness: the stock estimator just keeps its last target.
+        drive(&mut bwe, &mut rec, &mut seq, &mut t, 20_000, false);
+        assert_eq!(bwe.target_bitrate_bps(), pre, "rate should stay frozen");
+        assert_eq!(bwe.watchdog_stats().activations, 0);
     }
 }

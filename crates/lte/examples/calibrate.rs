@@ -29,7 +29,7 @@ fn run(env: Environment, op: Operator, aerial: bool, seeds: u64) {
             capsum += s.uplink_capacity_bps;
             sinrs.push(s.sinr_db);
             n += 1;
-            t = t + model.tick();
+            t += model.tick();
         }
         rates.push(hos as f64 / plan.duration().as_secs_f64());
         caps.push(capsum / n as f64 / 1e6);

@@ -53,7 +53,7 @@ fn main() {
             if moving {
                 moving_ticks += 1;
             }
-            t = t + model.tick();
+            t += model.tick();
         }
         gaps.sort_by(|a, b| a.total_cmp(b));
         nearest.sort_by(|a, b| a.total_cmp(b));

@@ -455,7 +455,7 @@ mod tests {
         let mut t = SimTime::ZERO;
         let mut toggle = false;
         while hets.len() < 400 {
-            t = t + SimDuration::from_millis(100);
+            t += SimDuration::from_millis(100);
             let (a, b) = if toggle {
                 (-70.0, -110.0)
             } else {
@@ -487,7 +487,7 @@ mod tests {
             let mut t = SimTime::ZERO;
             let mut toggle = false;
             while total < 300 {
-                t = t + SimDuration::from_millis(100);
+                t += SimDuration::from_millis(100);
                 let (a, b) = if toggle {
                     (-70.0, -110.0)
                 } else {

@@ -180,6 +180,7 @@ mod tests {
     use super::*;
     use crate::packet::{Packet, PacketKind};
     use bytes::Bytes;
+    use proptest::prelude::*;
     use rpav_sim::{RngSet, SimTime};
 
     fn pkt(seq: u64) -> Packet {
@@ -278,5 +279,34 @@ mod tests {
         let pi_bad = 0.01 / (0.01 + 0.99);
         assert!((ge.mean_loss_rate() - pi_bad).abs() < 1e-12);
         assert_eq!(GilbertElliott::off().mean_loss_rate(), 0.0);
+    }
+
+    proptest! {
+        /// The analytic steady-state loss rate matches what the process
+        /// empirically produces, across the parameter space.
+        #[test]
+        fn prop_mean_loss_rate_matches_empirical(
+            g2b in 0.002f64..0.2,
+            b2g in 0.1f64..0.9,
+            loss_bad in 0.3f64..1.0,
+            seed in any::<u64>(),
+        ) {
+            let mut ge = GilbertElliott::new(g2b, b2g, 0.0, loss_bad);
+            let mut rng = RngSet::new(seed).stream("prop.ge");
+            let n = 100_000u64;
+            let mut lost = 0u64;
+            for _ in 0..n {
+                if ge.step(&mut rng) {
+                    lost += 1;
+                }
+            }
+            let empirical = lost as f64 / n as f64;
+            let expected = ge.mean_loss_rate();
+            prop_assert!(
+                (empirical - expected).abs() < 0.15 * expected + 0.005,
+                "empirical {} vs analytic {} (g2b {} b2g {} p_bad {})",
+                empirical, expected, g2b, b2g, loss_bad
+            );
+        }
     }
 }

@@ -16,6 +16,9 @@
 //!   and corruption, mirroring the fault-injection options the smoltcp
 //!   examples expose.
 //! * [`Path`] — a composition of stages with a single `poll` interface.
+//! * [`FaultScript`] / [`OutageScheduler`] — deterministic scripted fault
+//!   campaigns (timed blackouts, feedback-only loss, delay spikes,
+//!   altitude-keyed coverage holes) composable onto any path.
 //!
 //! All components follow the same poll-based idiom: `enqueue(now, packet)`
 //! to push, `poll(now) -> Option<Packet>` to drain deliveries that are due,
@@ -26,9 +29,11 @@ pub mod link;
 pub mod packet;
 pub mod path;
 pub mod queue;
+pub mod script;
 
 pub use fault::{FaultConfig, FaultInjector, GilbertElliott};
 pub use link::{BottleneckLink, DelayPipe};
 pub use packet::{Packet, PacketKind};
 pub use path::Path;
 pub use queue::{DropTailQueue, QueueStats};
+pub use script::{FaultClause, FaultScript, OutageScheduler, ScriptStats};

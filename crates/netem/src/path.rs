@@ -18,6 +18,7 @@ use crate::fault::{FaultConfig, FaultInjector, FaultOutcome};
 use crate::link::{BottleneckLink, DelayPipe};
 use crate::packet::Packet;
 use crate::queue::QueueStats;
+use crate::script::{FaultScript, OutageScheduler, ScriptStats};
 
 /// Fault injector + bottleneck + WAN pipe, in series.
 #[derive(Debug)]
@@ -25,6 +26,10 @@ pub struct Path {
     faults: FaultInjector,
     pub(crate) bottleneck: BottleneckLink,
     wan: DelayPipe,
+    script: Option<OutageScheduler>,
+    /// Latest blackout end already applied as a bottleneck pause (guards
+    /// against re-extending the pause on every poll inside one window).
+    script_paused_until: SimTime,
 }
 
 impl Path {
@@ -54,12 +59,58 @@ impl Path {
                 usize::MAX,
             ),
             wan: DelayPipe::new(wan_delay, wan_jitter, wan_rng),
+            script: None,
+            script_paused_until: SimTime::ZERO,
+        }
+    }
+
+    /// Attach a scripted fault campaign to this path. Replaces any script
+    /// attached earlier; counters restart from zero.
+    pub fn set_script(&mut self, script: FaultScript, rng: SimRng) {
+        self.script = Some(OutageScheduler::new(script, rng));
+    }
+
+    /// Report the UAV position to positional script clauses (no-op without
+    /// a script).
+    pub fn set_position(&mut self, x: f64, y: f64, z: f64) {
+        if let Some(s) = self.script.as_mut() {
+            s.set_position(x, y, z);
+        }
+    }
+
+    /// Whether an attached script has a full blackout in force at `now`.
+    pub fn script_blackout_active(&self, now: SimTime) -> bool {
+        self.script
+            .as_ref()
+            .map(|s| s.blackout_active(now))
+            .unwrap_or(false)
+    }
+
+    /// Drop/admit counters of the attached script, if any.
+    pub fn script_stats(&self) -> Option<ScriptStats> {
+        self.script.as_ref().map(|s| s.stats())
+    }
+
+    /// Stall the serialiser while a timed blackout is in force (applied at
+    /// most once per window, so queued packets resume exactly at its end).
+    fn apply_script_pause(&mut self, now: SimTime) {
+        if let Some(until) = self.script.as_ref().and_then(|s| s.blackout_until(now)) {
+            if until > self.script_paused_until {
+                self.script_paused_until = until;
+                self.bottleneck.pause_until(now, until);
+            }
         }
     }
 
     /// Offer a packet at the path entry. Returns `false` if it was dropped
-    /// immediately (fault or full queue).
+    /// immediately (script, fault or full queue).
     pub fn enqueue(&mut self, now: SimTime, packet: Packet) -> bool {
+        self.apply_script_pause(now);
+        if let Some(s) = self.script.as_mut() {
+            if !s.admit(now, &packet) {
+                return false;
+            }
+        }
         match self.faults.offer(packet) {
             FaultOutcome::Drop => false,
             FaultOutcome::Pass(p) => self.bottleneck.enqueue(now, p),
@@ -73,9 +124,15 @@ impl Path {
 
     /// Drain one packet that has fully traversed the path, if due.
     pub fn poll(&mut self, now: SimTime) -> Option<Packet> {
+        self.apply_script_pause(now);
         // Cascade: bottleneck output feeds the WAN pipe at the instant each
         // packet actually exited the bottleneck, not at the poll time.
         while let Some((exit, p)) = self.bottleneck.poll_with_time(now) {
+            // Scripted delay spikes bite between radio exit and the WAN.
+            let exit = match self.script.as_ref() {
+                Some(s) => exit + s.extra_delay(exit),
+                None => exit,
+            };
             self.wan.enqueue(exit, p);
         }
         self.wan.poll(now)
@@ -208,6 +265,42 @@ mod tests {
         }
         assert!(path.poll(SimTime::from_secs(60)).is_none());
         assert_eq!(path.fault_counters().0, 10);
+    }
+
+    #[test]
+    fn scripted_blackout_drops_new_and_stalls_queued() {
+        use crate::script::FaultScript;
+        let mut path = quiet_path();
+        let rngs = RngSet::new(21);
+        let t0 = SimTime::from_secs(1);
+        let bo_start = t0 + SimDuration::from_millis(10);
+        path.set_script(
+            FaultScript::new().blackout(bo_start, SimDuration::from_secs(2)),
+            rngs.stream("script"),
+        );
+        // Before the window: passes.
+        assert!(path.enqueue(t0, pkt(0, t0)));
+        // Queued at entry just before the blackout: survives but is stalled.
+        assert!(path.enqueue(bo_start - SimDuration::from_micros(1), pkt(1, bo_start)));
+        // Inside the window: dropped at entry.
+        let inside = bo_start + SimDuration::from_secs(1);
+        assert!(!path.enqueue(inside, pkt(2, inside)));
+        assert!(path.script_blackout_active(inside));
+        // First packet was in service before the pause; the stalled one only
+        // arrives after the window plus the remaining pipeline.
+        let mut got = Vec::new();
+        let mut t = t0;
+        let horizon = t0 + SimDuration::from_secs(6);
+        while t < horizon {
+            while let Some(p) = path.poll(t) {
+                got.push((p.seq, t));
+            }
+            t += SimDuration::from_millis(1);
+        }
+        assert_eq!(got.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![0, 1]);
+        let bo_end = bo_start + SimDuration::from_secs(2);
+        assert!(got[1].1 >= bo_end, "stalled packet released early");
+        assert_eq!(path.script_stats().unwrap().blackout_dropped, 1);
     }
 
     #[test]

@@ -1,0 +1,554 @@
+//! Scripted, deterministic fault campaigns.
+//!
+//! [`FaultScript`] is a declarative list of impairment clauses — timed link
+//! blackouts, feedback-path-only blackouts, probabilistic loss windows,
+//! delay spikes and position/altitude-keyed coverage holes. An
+//! [`OutageScheduler`] executes a script against one direction of a
+//! [`Path`](crate::Path): the owner attaches it with
+//! [`Path::set_script`](crate::Path::set_script) and thereafter every packet
+//! offered to the path is screened by the scheduler.
+//!
+//! Scripts are deterministic: clause activation depends only on virtual time
+//! and the externally supplied UAV position, and probabilistic loss clauses
+//! draw from a seeded [`SimRng`], so two identically-seeded executions make
+//! bit-identical decisions. This is what makes chaos campaigns (the
+//! `chaos_matrix` bench) reproducible.
+
+use rpav_sim::{SimDuration, SimRng, SimTime};
+
+use crate::packet::{Packet, PacketKind};
+
+/// One impairment clause of a [`FaultScript`].
+#[derive(Clone, Debug)]
+pub enum FaultClause {
+    /// Total link blackout: every packet offered in `[from, until)` is
+    /// dropped and the bottleneck serialiser is stalled until `until`
+    /// (packets already queued survive and resume afterwards — the radio
+    /// link is gone, the queue is not).
+    Blackout {
+        /// Start of the outage.
+        from: SimTime,
+        /// End of the outage (exclusive).
+        until: SimTime,
+    },
+    /// Blackout of one packet kind only. With [`PacketKind::Feedback`] this
+    /// models the paper's asymmetric failure: media keeps flowing uplink
+    /// while TWCC/RFC 8888 feedback dies on the downlink.
+    KindBlackout {
+        /// Start of the outage.
+        from: SimTime,
+        /// End of the outage (exclusive).
+        until: SimTime,
+        /// The packet kind that is dropped.
+        kind: PacketKind,
+    },
+    /// Random loss at probability `prob` inside the window, optionally
+    /// restricted to one packet kind.
+    Loss {
+        /// Start of the lossy window.
+        from: SimTime,
+        /// End of the lossy window (exclusive).
+        until: SimTime,
+        /// Per-packet drop probability in `[0, 1]`.
+        prob: f64,
+        /// Restrict the loss to this kind (`None` = all packets).
+        kind: Option<PacketKind>,
+    },
+    /// Additional one-way delay applied to packets leaving the bottleneck
+    /// inside the window (a routing/retransmission spike, §4.2.2's >1 s
+    /// latency events).
+    DelaySpike {
+        /// Start of the spike.
+        from: SimTime,
+        /// End of the spike (exclusive).
+        until: SimTime,
+        /// Extra one-way delay.
+        extra: SimDuration,
+    },
+    /// Position-keyed coverage hole: while the UAV is horizontally within
+    /// `radius_m` of `(x, y)` *and* its altitude is at or above `min_alt_m`,
+    /// the link behaves as blacked out. Models the paper's high-altitude
+    /// coverage gaps (§4.1): antenna nulls that only exist in the air.
+    CoverageHole {
+        /// Hole centre x (m).
+        x: f64,
+        /// Hole centre y (m).
+        y: f64,
+        /// Horizontal radius (m).
+        radius_m: f64,
+        /// Minimum altitude for the hole to bite (m).
+        min_alt_m: f64,
+    },
+}
+
+impl FaultClause {
+    /// Whether this clause is active at `now` given the last known UAV
+    /// position (`None` = position never reported, positional clauses stay
+    /// inactive).
+    fn active(&self, now: SimTime, pos: Option<(f64, f64, f64)>) -> bool {
+        match self {
+            FaultClause::Blackout { from, until }
+            | FaultClause::KindBlackout { from, until, .. }
+            | FaultClause::Loss { from, until, .. }
+            | FaultClause::DelaySpike { from, until, .. } => *from <= now && now < *until,
+            FaultClause::CoverageHole {
+                x,
+                y,
+                radius_m,
+                min_alt_m,
+            } => match pos {
+                Some((px, py, pz)) => {
+                    let dx = px - x;
+                    let dy = py - y;
+                    pz >= *min_alt_m && (dx * dx + dy * dy).sqrt() <= *radius_m
+                }
+                None => false,
+            },
+        }
+    }
+}
+
+/// A deterministic, declarative fault campaign for one path direction.
+#[derive(Clone, Debug, Default)]
+pub struct FaultScript {
+    clauses: Vec<FaultClause>,
+}
+
+impl FaultScript {
+    /// An empty script (no impairment).
+    pub fn new() -> Self {
+        FaultScript::default()
+    }
+
+    /// Add a total blackout of `duration` starting at `at`.
+    pub fn blackout(mut self, at: SimTime, duration: SimDuration) -> Self {
+        self.clauses.push(FaultClause::Blackout {
+            from: at,
+            until: at + duration,
+        });
+        self
+    }
+
+    /// Add a feedback-only blackout of `duration` starting at `at`.
+    pub fn feedback_blackout(mut self, at: SimTime, duration: SimDuration) -> Self {
+        self.clauses.push(FaultClause::KindBlackout {
+            from: at,
+            until: at + duration,
+            kind: PacketKind::Feedback,
+        });
+        self
+    }
+
+    /// Add a random-loss window.
+    pub fn loss_window(
+        mut self,
+        at: SimTime,
+        duration: SimDuration,
+        prob: f64,
+        kind: Option<PacketKind>,
+    ) -> Self {
+        self.clauses.push(FaultClause::Loss {
+            from: at,
+            until: at + duration,
+            prob,
+            kind,
+        });
+        self
+    }
+
+    /// Add a delay spike window.
+    pub fn delay_spike(mut self, at: SimTime, duration: SimDuration, extra: SimDuration) -> Self {
+        self.clauses.push(FaultClause::DelaySpike {
+            from: at,
+            until: at + duration,
+            extra,
+        });
+        self
+    }
+
+    /// Add an altitude-gated coverage hole.
+    pub fn coverage_hole(mut self, x: f64, y: f64, radius_m: f64, min_alt_m: f64) -> Self {
+        self.clauses.push(FaultClause::CoverageHole {
+            x,
+            y,
+            radius_m,
+            min_alt_m,
+        });
+        self
+    }
+
+    /// Append a raw clause.
+    pub fn with_clause(mut self, clause: FaultClause) -> Self {
+        self.clauses.push(clause);
+        self
+    }
+
+    /// The clauses in declaration order.
+    pub fn clauses(&self) -> &[FaultClause] {
+        &self.clauses
+    }
+
+    /// Whether the script contains no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// All *timed* full-blackout windows, in declaration order. Recovery
+    /// metrics key on these (positional holes depend on the flown
+    /// trajectory and are not knowable up front).
+    pub fn blackout_windows(&self) -> Vec<(SimTime, SimTime)> {
+        self.clauses
+            .iter()
+            .filter_map(|c| match c {
+                FaultClause::Blackout { from, until } => Some((*from, *until)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All timed feedback-blackout windows, in declaration order.
+    pub fn feedback_blackout_windows(&self) -> Vec<(SimTime, SimTime)> {
+        self.clauses
+            .iter()
+            .filter_map(|c| match c {
+                FaultClause::KindBlackout {
+                    from,
+                    until,
+                    kind: PacketKind::Feedback,
+                } => Some((*from, *until)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Per-scheduler drop/delay counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScriptStats {
+    /// Packets dropped by blackout clauses.
+    pub blackout_dropped: u64,
+    /// Packets dropped by kind-filtered blackout clauses.
+    pub kind_dropped: u64,
+    /// Packets dropped by probabilistic loss clauses.
+    pub loss_dropped: u64,
+    /// Packets dropped by coverage holes.
+    pub hole_dropped: u64,
+    /// Packets admitted.
+    pub admitted: u64,
+}
+
+impl ScriptStats {
+    /// Total packets dropped by any clause.
+    pub fn dropped(&self) -> u64 {
+        self.blackout_dropped + self.kind_dropped + self.loss_dropped + self.hole_dropped
+    }
+}
+
+/// Executes a [`FaultScript`] against a packet stream.
+#[derive(Clone, Debug)]
+pub struct OutageScheduler {
+    script: FaultScript,
+    rng: SimRng,
+    position: Option<(f64, f64, f64)>,
+    stats: ScriptStats,
+}
+
+impl OutageScheduler {
+    /// Build a scheduler for `script`, drawing loss decisions from `rng`.
+    pub fn new(script: FaultScript, rng: SimRng) -> Self {
+        OutageScheduler {
+            script,
+            rng,
+            position: None,
+            stats: ScriptStats::default(),
+        }
+    }
+
+    /// Report the current UAV position (drives coverage-hole clauses).
+    pub fn set_position(&mut self, x: f64, y: f64, z: f64) {
+        self.position = Some((x, y, z));
+    }
+
+    /// Screen a packet at `now`. Returns `true` to admit, `false` to drop.
+    ///
+    /// Clauses are evaluated in declaration order and the RNG is consumed
+    /// only by active, kind-matching loss clauses, so the decision sequence
+    /// is a pure function of `(script, seed, packet sequence, positions)`.
+    pub fn admit(&mut self, now: SimTime, packet: &Packet) -> bool {
+        for clause in self.script.clauses.iter() {
+            if !clause.active(now, self.position) {
+                continue;
+            }
+            match clause {
+                FaultClause::Blackout { .. } => {
+                    self.stats.blackout_dropped += 1;
+                    return false;
+                }
+                FaultClause::KindBlackout { kind, .. } => {
+                    if packet.kind == *kind {
+                        self.stats.kind_dropped += 1;
+                        return false;
+                    }
+                }
+                FaultClause::Loss { prob, kind, .. } => {
+                    if kind.map_or(true, |k| packet.kind == k) && self.rng.chance(*prob) {
+                        self.stats.loss_dropped += 1;
+                        return false;
+                    }
+                }
+                FaultClause::DelaySpike { .. } => {}
+                FaultClause::CoverageHole { .. } => {
+                    self.stats.hole_dropped += 1;
+                    return false;
+                }
+            }
+        }
+        self.stats.admitted += 1;
+        true
+    }
+
+    /// Whether a full blackout (timed or positional) is in force at `now`.
+    pub fn blackout_active(&self, now: SimTime) -> bool {
+        self.script.clauses.iter().any(|c| {
+            matches!(
+                c,
+                FaultClause::Blackout { .. } | FaultClause::CoverageHole { .. }
+            ) && c.active(now, self.position)
+        })
+    }
+
+    /// End of the latest currently-active *timed* blackout window, if any.
+    pub fn blackout_until(&self, now: SimTime) -> Option<SimTime> {
+        self.script
+            .clauses
+            .iter()
+            .filter_map(|c| match c {
+                FaultClause::Blackout { from, until } if *from <= now && now < *until => {
+                    Some(*until)
+                }
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Total extra one-way delay from active delay-spike clauses at `now`.
+    pub fn extra_delay(&self, now: SimTime) -> SimDuration {
+        let mut extra = SimDuration::ZERO;
+        for c in self.script.clauses.iter() {
+            if let FaultClause::DelaySpike {
+                from,
+                until,
+                extra: e,
+            } = c
+            {
+                if *from <= now && now < *until {
+                    extra += *e;
+                }
+            }
+        }
+        extra
+    }
+
+    /// Drop/admit counters.
+    pub fn stats(&self) -> ScriptStats {
+        self.stats
+    }
+
+    /// The script being executed.
+    pub fn script(&self) -> &FaultScript {
+        &self.script
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use proptest::prelude::*;
+    use rpav_sim::RngSet;
+
+    fn pkt(seq: u64, kind: PacketKind, now: SimTime) -> Packet {
+        Packet::new(seq, Bytes::from(vec![0u8; 100]), kind, now)
+    }
+
+    fn sched(script: FaultScript, seed: u64) -> OutageScheduler {
+        OutageScheduler::new(script, RngSet::new(seed).stream("script"))
+    }
+
+    #[test]
+    fn blackout_drops_everything_inside_window_only() {
+        let s = FaultScript::new().blackout(SimTime::from_secs(2), SimDuration::from_secs(1));
+        let mut sch = sched(s, 1);
+        let before = SimTime::from_millis(1_999);
+        let inside = SimTime::from_millis(2_500);
+        let after = SimTime::from_secs(3);
+        assert!(sch.admit(before, &pkt(0, PacketKind::Media, before)));
+        assert!(!sch.admit(inside, &pkt(1, PacketKind::Media, inside)));
+        assert!(!sch.admit(inside, &pkt(2, PacketKind::Feedback, inside)));
+        assert!(sch.admit(after, &pkt(3, PacketKind::Media, after)));
+        assert!(sch.blackout_active(inside));
+        assert!(!sch.blackout_active(after));
+        assert_eq!(sch.blackout_until(inside), Some(after));
+        assert_eq!(sch.stats().blackout_dropped, 2);
+        assert_eq!(sch.stats().admitted, 2);
+    }
+
+    #[test]
+    fn feedback_blackout_spares_media() {
+        let s =
+            FaultScript::new().feedback_blackout(SimTime::from_secs(1), SimDuration::from_secs(5));
+        let mut sch = sched(s, 2);
+        let t = SimTime::from_secs(3);
+        assert!(sch.admit(t, &pkt(0, PacketKind::Media, t)));
+        assert!(!sch.admit(t, &pkt(1, PacketKind::Feedback, t)));
+        assert!(sch.admit(t, &pkt(2, PacketKind::Probe, t)));
+        // A feedback-only outage is not a full blackout.
+        assert!(!sch.blackout_active(t));
+    }
+
+    #[test]
+    fn loss_window_drops_roughly_at_rate() {
+        let s =
+            FaultScript::new().loss_window(SimTime::ZERO, SimDuration::from_secs(1_000), 0.3, None);
+        let mut sch = sched(s, 3);
+        let mut dropped = 0;
+        for i in 0..10_000u64 {
+            let t = SimTime::from_millis(i);
+            if !sch.admit(t, &pkt(i, PacketKind::Media, t)) {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "loss rate {rate}");
+    }
+
+    #[test]
+    fn delay_spike_adds_extra_only_inside_window() {
+        let s = FaultScript::new().delay_spike(
+            SimTime::from_secs(5),
+            SimDuration::from_secs(2),
+            SimDuration::from_millis(400),
+        );
+        let sch = sched(s, 4);
+        assert_eq!(sch.extra_delay(SimTime::from_secs(4)), SimDuration::ZERO);
+        assert_eq!(
+            sch.extra_delay(SimTime::from_secs(6)),
+            SimDuration::from_millis(400)
+        );
+        assert_eq!(sch.extra_delay(SimTime::from_secs(8)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn coverage_hole_keys_on_position_and_altitude() {
+        let s = FaultScript::new().coverage_hole(0.0, 0.0, 50.0, 80.0);
+        let mut sch = sched(s, 5);
+        let t = SimTime::from_secs(1);
+        // No position reported yet: inactive.
+        assert!(sch.admit(t, &pkt(0, PacketKind::Media, t)));
+        // Inside radius but below the altitude gate: inactive.
+        sch.set_position(10.0, 10.0, 30.0);
+        assert!(sch.admit(t, &pkt(1, PacketKind::Media, t)));
+        // Inside radius at altitude: hole bites.
+        sch.set_position(10.0, 10.0, 100.0);
+        assert!(!sch.admit(t, &pkt(2, PacketKind::Media, t)));
+        assert!(sch.blackout_active(t));
+        // Flying out of the hole restores the link.
+        sch.set_position(200.0, 0.0, 100.0);
+        assert!(sch.admit(t, &pkt(3, PacketKind::Media, t)));
+    }
+
+    #[test]
+    fn windows_are_reported() {
+        let s = FaultScript::new()
+            .blackout(SimTime::from_secs(1), SimDuration::from_secs(2))
+            .feedback_blackout(SimTime::from_secs(10), SimDuration::from_secs(1))
+            .blackout(SimTime::from_secs(20), SimDuration::from_secs(5));
+        assert_eq!(
+            s.blackout_windows(),
+            vec![
+                (SimTime::from_secs(1), SimTime::from_secs(3)),
+                (SimTime::from_secs(20), SimTime::from_secs(25)),
+            ]
+        );
+        assert_eq!(
+            s.feedback_blackout_windows(),
+            vec![(SimTime::from_secs(10), SimTime::from_secs(11))]
+        );
+    }
+
+    #[test]
+    fn identically_seeded_schedulers_agree_exactly() {
+        let script = || {
+            FaultScript::new()
+                .blackout(SimTime::from_secs(2), SimDuration::from_millis(500))
+                .loss_window(SimTime::ZERO, SimDuration::from_secs(100), 0.25, None)
+                .delay_spike(
+                    SimTime::from_secs(1),
+                    SimDuration::from_secs(1),
+                    SimDuration::from_millis(100),
+                )
+        };
+        let mut a = sched(script(), 42);
+        let mut b = sched(script(), 42);
+        for i in 0..5_000u64 {
+            let t = SimTime::from_millis(i * 3);
+            let p = pkt(i, PacketKind::Media, t);
+            assert_eq!(a.admit(t, &p), b.admit(t, &p), "diverged at packet {i}");
+        }
+        assert_eq!(a.stats().dropped(), b.stats().dropped());
+    }
+
+    proptest! {
+        /// Determinism across the clause space: two schedulers built from
+        /// the same script and seed agree decision-for-decision on an
+        /// arbitrary mixed media/feedback packet stream.
+        #[test]
+        fn prop_identically_seeded_executions_are_bit_identical(
+            bo_at in 0u64..60_000,
+            bo_len in 1u64..10_000,
+            loss_at in 0u64..60_000,
+            loss_len in 1u64..10_000,
+            loss_prob in 0.0f64..1.0,
+            spike_ms in 1u64..500,
+            seed in any::<u64>(),
+        ) {
+            let script = || {
+                FaultScript::new()
+                    .blackout(
+                        SimTime::from_millis(bo_at),
+                        SimDuration::from_millis(bo_len),
+                    )
+                    .feedback_blackout(
+                        SimTime::from_millis(bo_at / 2),
+                        SimDuration::from_millis(bo_len / 2 + 1),
+                    )
+                    .loss_window(
+                        SimTime::from_millis(loss_at),
+                        SimDuration::from_millis(loss_len),
+                        loss_prob,
+                        None,
+                    )
+                    .delay_spike(
+                        SimTime::from_millis(loss_at),
+                        SimDuration::from_millis(loss_len),
+                        SimDuration::from_millis(spike_ms),
+                    )
+            };
+            let mut a = sched(script(), seed);
+            let mut b = sched(script(), seed);
+            for i in 0..3_000u64 {
+                let t = SimTime::from_millis(i * 25);
+                let kind = if i % 3 == 0 {
+                    PacketKind::Feedback
+                } else {
+                    PacketKind::Media
+                };
+                let p = pkt(i, kind, t);
+                prop_assert_eq!(a.admit(t, &p), b.admit(t, &p));
+                prop_assert_eq!(a.extra_delay(t), b.extra_delay(t));
+                prop_assert_eq!(a.blackout_active(t), b.blackout_active(t));
+            }
+            prop_assert_eq!(a.stats().dropped(), b.stats().dropped());
+        }
+    }
+}

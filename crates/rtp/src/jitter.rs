@@ -82,6 +82,15 @@ impl JitterBuffer {
         self.config.target
     }
 
+    /// Re-target the hold time. Packets already buffered keep the playout
+    /// times computed when they arrived; only future arrivals feel the new
+    /// target. The receive pipeline uses this to inflate the buffer under
+    /// repeated outages (graceful degradation) and to deflate it again once
+    /// delivery has been clean for a while.
+    pub fn set_target(&mut self, target: SimDuration) {
+        self.config.target = target;
+    }
+
     /// Counters.
     pub fn stats(&self) -> JitterStats {
         self.stats
@@ -203,6 +212,26 @@ mod tests {
     }
 
     #[test]
+    fn set_target_applies_to_future_arrivals_only() {
+        let mut jb = JitterBuffer::new(JitterConfig::default());
+        let t0 = SimTime::from_secs(1);
+        jb.push(t0, pkt(0, 0));
+        // Inflate after the first packet was scheduled.
+        jb.set_target(SimDuration::from_millis(300));
+        assert_eq!(jb.target(), SimDuration::from_millis(300));
+        jb.push(t0 + SimDuration::from_millis(33), pkt(1, 33));
+        // Packet 0 keeps its 150 ms schedule.
+        let (p0_at, p0) = jb.pop_due(t0 + SimDuration::from_millis(150)).unwrap();
+        assert_eq!(p0.sequence, 0);
+        assert_eq!(p0_at, t0 + SimDuration::from_millis(150));
+        // Packet 1 (media time 33 ms) is held for the inflated target.
+        assert!(jb.pop_due(t0 + SimDuration::from_millis(332)).is_none());
+        let (p1_at, p1) = jb.pop_due(t0 + SimDuration::from_millis(333)).unwrap();
+        assert_eq!(p1.sequence, 1);
+        assert_eq!(p1_at, t0 + SimDuration::from_millis(333));
+    }
+
+    #[test]
     fn restores_order_of_jittered_arrivals() {
         let mut jb = JitterBuffer::new(JitterConfig::default());
         let t0 = SimTime::from_secs(1);
@@ -287,7 +316,7 @@ mod tests {
             let (when, p) = jb.pop_due(SimTime::from_secs(60)).unwrap();
             assert_eq!(p.sequence, i);
             assert_eq!(when, expected);
-            expected = expected + SimDuration::from_millis(33);
+            expected += SimDuration::from_millis(33);
         }
     }
 

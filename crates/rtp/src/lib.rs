@@ -19,6 +19,8 @@
 //! * [`rfc8888`] — RFC 8888 congestion control feedback blocks with a
 //!   configurable per-packet report span.
 //! * [`packetize`] — frame → RTP packets and back, with loss detection.
+//! * [`pli`] — picture loss indication (RFC 4585), the receiver→sender
+//!   keyframe-recovery trigger after decode-breaking loss.
 //! * [`jitter`] — the receiver jitter buffer (150 ms default, matching the
 //!   pipeline in §3.2), including the `drop-on-latency` mode discussed in
 //!   Appendix A.4.
@@ -26,11 +28,13 @@
 pub mod jitter;
 pub mod packet;
 pub mod packetize;
+pub mod pli;
 pub mod rfc8888;
 pub mod twcc;
 
 pub use jitter::{JitterBuffer, JitterConfig};
 pub use packet::RtpPacket;
 pub use packetize::{Depacketizer, FrameMeta, Packetizer, ReassembledFrame};
+pub use pli::Pli;
 pub use rfc8888::{Rfc8888Builder, Rfc8888Packet, Rfc8888Report};
 pub use twcc::{TwccFeedback, TwccRecorder};

@@ -1,0 +1,107 @@
+//! Picture Loss Indication (RFC 4585 §6.3.1) — the receiver→sender
+//! recovery message of the outage-survival subsystem.
+//!
+//! When decode-breaking loss severs the decoder's reference chain, the
+//! receiver sends a PLI upstream; the sender answers by forcing an IDR
+//! frame so the next GOP does not have to be waited out with a corrupted
+//! picture. The wire format is the fixed 12-byte payload-specific feedback
+//! header: `V=2 | FMT=1`, `PT=206`, length, sender SSRC, media SSRC. The
+//! first two bytes make a PLI cheaply discriminable from the transport
+//! feedback dialects sharing the RTCP stream (TWCC is `PT 205 / FMT 15`,
+//! RFC 8888 CCFB is `PT 205 / FMT 11`).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// RTCP payload type for payload-specific feedback.
+pub const RTCP_PT_PSFB: u8 = 206;
+/// Feedback message type for picture loss indication.
+pub const FMT_PLI: u8 = 1;
+
+/// A picture loss indication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pli {
+    /// SSRC of the packet sender (the receiver of the media stream).
+    pub sender_ssrc: u32,
+    /// SSRC of the media source the loss was observed on.
+    pub media_ssrc: u32,
+}
+
+impl Pli {
+    /// Serialise to RTCP wire format (always 12 bytes).
+    pub fn serialize(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(12);
+        b.put_u8((2 << 6) | FMT_PLI);
+        b.put_u8(RTCP_PT_PSFB);
+        b.put_u16(2); // length in 32-bit words minus one
+        b.put_u32(self.sender_ssrc);
+        b.put_u32(self.media_ssrc);
+        b.freeze()
+    }
+
+    /// Parse from wire bytes; `None` if this is not a PLI.
+    pub fn parse(mut data: Bytes) -> Option<Pli> {
+        if data.len() < 12 {
+            return None;
+        }
+        let b0 = data.get_u8();
+        if b0 >> 6 != 2 || (b0 & 0x1f) != FMT_PLI {
+            return None;
+        }
+        if data.get_u8() != RTCP_PT_PSFB {
+            return None;
+        }
+        let _len = data.get_u16();
+        Some(Pli {
+            sender_ssrc: data.get_u32(),
+            media_ssrc: data.get_u32(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let pli = Pli {
+            sender_ssrc: 0xDECA_FBAD,
+            media_ssrc: 0x1234_5678,
+        };
+        let wire = pli.serialize();
+        assert_eq!(wire.len(), 12);
+        assert_eq!(Pli::parse(wire), Some(pli));
+    }
+
+    #[test]
+    fn discriminable_from_transport_feedback() {
+        // A PLI must not parse as TWCC or CCFB, and vice versa.
+        let pli = Pli {
+            sender_ssrc: 1,
+            media_ssrc: 2,
+        }
+        .serialize();
+        assert!(crate::twcc::TwccFeedback::parse(pli.clone()).is_none());
+        assert!(crate::rfc8888::Rfc8888Packet::parse(pli.clone()).is_none());
+
+        // And transport feedback bytes must not parse as a PLI. Craft the
+        // shared prefix of each dialect (header + SSRCs) long enough to
+        // pass the length check.
+        for fmt_pt in [(15u8, 205u8), (11, 205)] {
+            let mut b = BytesMut::new();
+            b.put_u8((2 << 6) | fmt_pt.0);
+            b.put_u8(fmt_pt.1);
+            b.put_u16(4);
+            b.put_u32(0);
+            b.put_u32(0);
+            b.put_u32(0);
+            assert!(Pli::parse(b.freeze()).is_none(), "fmt/pt {fmt_pt:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_or_garbage_rejected() {
+        assert!(Pli::parse(Bytes::from_static(&[0x81, 206])).is_none());
+        assert!(Pli::parse(Bytes::from(vec![0u8; 12])).is_none());
+    }
+}

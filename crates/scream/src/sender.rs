@@ -5,7 +5,10 @@ use std::collections::{BTreeMap, VecDeque};
 
 use rpav_rtp::packet::{unwrap_seq, RtpPacket};
 use rpav_rtp::rfc8888::Rfc8888Packet;
-use rpav_sim::{SimDuration, SimTime};
+use rpav_sim::{
+    FeedbackWatchdog, SimDuration, SimTime, WatchdogConfig, WatchdogEvent, WatchdogState,
+    WatchdogStats,
+};
 
 /// Tunables (defaults follow the Ericsson library / RFC 8298).
 #[derive(Clone, Copy, Debug)]
@@ -28,6 +31,11 @@ pub struct ScreamConfig {
     pub loss_beta: f64,
     /// Maximum segment size used for window floor arithmetic.
     pub mss: usize,
+    /// Feedback-starvation watchdog. Disabled, a feedback blackout freezes
+    /// the self-clocked window: in-flight bytes never drain, transmission
+    /// stops entirely and the target stays at its last value (the stock
+    /// behaviour).
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for ScreamConfig {
@@ -41,6 +49,7 @@ impl Default for ScreamConfig {
             ramp_up_bps_per_s: 1e6,
             loss_beta: 0.8,
             mss: 1_200,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -61,6 +70,9 @@ pub struct ScreamStats {
     pub queue_discarded: u64,
     /// Congestion (backoff) events applied.
     pub loss_events: u64,
+    /// In-flight packets written off by the starvation watchdog (they can
+    /// never be acknowledged once the feedback path is declared dead).
+    pub watchdog_expired: u64,
 }
 
 /// The sender-side congestion controller and RTP queue.
@@ -91,6 +103,10 @@ pub struct ScreamSender {
     /// growth (RFC 8298 §4.1.2.1: the window must not grow far beyond
     /// what is actually being used).
     max_inflight: f64,
+    watchdog: FeedbackWatchdog,
+    /// Window saved when the watchdog declares starvation, restored
+    /// (validated) on the first feedback after the outage.
+    frozen_cwnd: Option<f64>,
     stats: ScreamStats,
 }
 
@@ -114,14 +130,68 @@ impl ScreamSender {
             loss_guard_until: SimTime::ZERO,
             last_fb_highest: None,
             max_inflight: 0.0,
+            watchdog: FeedbackWatchdog::new(config.watchdog),
+            frozen_cwnd: None,
             stats: ScreamStats::default(),
         }
     }
 
-    /// Media target bitrate the encoder should produce.
+    /// Media target bitrate the encoder should produce: the controller's
+    /// own target, bounded by the starvation watchdog's cap while the
+    /// feedback path is dark.
     pub fn target_bitrate_bps(&self) -> f64 {
+        self.watchdog.apply(self.uncapped_bps())
+    }
+
+    /// The controller's own target, before the watchdog cap.
+    fn uncapped_bps(&self) -> f64 {
         self.target_bitrate
             .clamp(self.config.min_bitrate_bps, self.config.max_bitrate_bps)
+    }
+
+    /// Starvation watchdog state.
+    pub fn watchdog_state(&self) -> WatchdogState {
+        self.watchdog.state()
+    }
+
+    /// Starvation watchdog counters.
+    pub fn watchdog_stats(&self) -> WatchdogStats {
+        self.watchdog.stats()
+    }
+
+    /// Advance the feedback-starvation watchdog. Call from the driver loop.
+    ///
+    /// On starvation the congestion window is frozen (saved for validation
+    /// at recovery) and replaced by a small probe window, and in-flight
+    /// packets older than the starvation timeout are written off — with the
+    /// feedback path dead they can never be acknowledged, and leaving them
+    /// in the window would freeze even the probe trickle that lets the
+    /// sender notice the link coming back.
+    pub fn on_tick(&mut self, now: SimTime) {
+        let uncapped = self.uncapped_bps();
+        if self.watchdog.on_tick(now, uncapped) == Some(WatchdogEvent::Starved) {
+            self.frozen_cwnd = Some(self.cwnd);
+            let wd = self.watchdog.config();
+            // A window that sustains the floor rate over one expiry horizon.
+            let probe = wd.floor_bps * wd.timeout.as_secs_f64() / 8.0;
+            self.cwnd = probe.max((2 * self.config.mss) as f64);
+        }
+        if self.watchdog.state() == WatchdogState::Starved {
+            let timeout = self.watchdog.config().timeout;
+            let mut freed = 0usize;
+            let mut expired = 0u64;
+            self.in_flight.retain(|_, (sent, size)| {
+                if now.saturating_since(*sent) > timeout {
+                    freed += *size;
+                    expired += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            self.bytes_in_flight = self.bytes_in_flight.saturating_sub(freed);
+            self.stats.watchdog_expired += expired;
+        }
     }
 
     /// Current congestion window (bytes).
@@ -230,6 +300,20 @@ impl ScreamSender {
         let Some(first) = fb.reports.first() else {
             return;
         };
+        if self.watchdog.on_feedback(now, self.uncapped_bps())
+            == Some(WatchdogEvent::FeedbackResumed)
+        {
+            // Window validation: restore the frozen window scaled by the
+            // loss beta (the outage itself counts as one congestion event)
+            // and let normal adaptation take over from there.
+            if let Some(frozen) = self.frozen_cwnd.take() {
+                self.cwnd = (frozen * self.config.loss_beta).max((2 * self.config.mss) as f64);
+            }
+            // The avalanche of not-received reports describing the outage
+            // window is an artefact of the blackout, not fresh congestion:
+            // shield the restored window from an immediate second backoff.
+            self.loss_guard_until = now + self.srtt;
+        }
         let begin_unwrapped = match self.last_fb_highest {
             None => first.seq as u64,
             Some(prev) => unwrap_seq(prev, first.seq),
@@ -392,7 +476,7 @@ mod tests {
             if s.poll_transmit(t).is_some() {
                 sent += 1;
             }
-            t = t + SimDuration::from_millis(1);
+            t += SimDuration::from_millis(1);
         }
         // Without any acks, bytes_in_flight caps near cwnd ≈ 10 MSS.
         assert!(sent <= 11, "sent {sent} without acks");
@@ -464,7 +548,7 @@ mod tests {
                 }
             }
             targets.push(s.target_bitrate_bps());
-            t = t + SimDuration::from_millis(1);
+            t += SimDuration::from_millis(1);
         }
         (s, targets)
     }
@@ -540,7 +624,7 @@ mod tests {
             if let Some(p) = s.poll_transmit(t) {
                 sent.push(p.sequence);
             }
-            t = t + SimDuration::from_millis(2);
+            t += SimDuration::from_millis(2);
         }
         assert!(sent.len() >= 3);
         let cwnd_before = s.cwnd_bytes();
@@ -572,7 +656,7 @@ mod tests {
             if let Some(p) = s.poll_transmit(t) {
                 sent.push(p.sequence);
             }
-            t = t + SimDuration::from_millis(2);
+            t += SimDuration::from_millis(2);
         }
         let mut b = Rfc8888Builder::new(64);
         for sq in &sent {
@@ -582,6 +666,121 @@ mod tests {
         s.on_feedback(&fb, t + SimDuration::from_millis(30));
         assert!(s.cwnd_bytes() > before);
         assert_eq!(s.bytes_in_flight(), 0);
+    }
+
+    /// Like `run_loop`, but with a full blackout window (seconds, relative
+    /// to the start): packets transmitted inside it vanish and no feedback
+    /// is built. Returns (sender, per-ms targets, per-ms cumulative sent).
+    fn run_loop_blackout(
+        config: ScreamConfig,
+        seconds: u64,
+        bo_from: u64,
+        bo_to: u64,
+    ) -> (ScreamSender, Vec<f64>, Vec<u64>) {
+        let mut s = ScreamSender::new(config);
+        let mut builder = Rfc8888Builder::new(256);
+        let mut arrivals: Vec<(SimTime, u16)> = Vec::new();
+        let mut targets = Vec::new();
+        let mut sent_counts = Vec::new();
+        let mut seq: u16 = 0;
+        let start = SimTime::from_secs(1);
+        let bo_start = start + SimDuration::from_secs(bo_from);
+        let bo_end = start + SimDuration::from_secs(bo_to);
+        let end = start + SimDuration::from_secs(seconds);
+        let mut t = start;
+        let mut last_frame = t;
+        let mut last_fb = t;
+        while t < end {
+            let dark = t >= bo_start && t < bo_end;
+            if t.saturating_since(last_frame) >= SimDuration::from_millis(33) {
+                last_frame = t;
+                let frame_bytes = (s.target_bitrate_bps() / 8.0 / 30.0) as usize;
+                let n = frame_bytes.div_ceil(1_180).max(1);
+                let pkts: Vec<RtpPacket> = (0..n)
+                    .map(|_| {
+                        let p = pkt(seq, 1_180);
+                        seq = seq.wrapping_add(1);
+                        p
+                    })
+                    .collect();
+                s.enqueue(t, pkts);
+            }
+            while let Some(p) = s.poll_transmit(t) {
+                if !dark {
+                    arrivals.push((t + SimDuration::from_millis(25), p.sequence));
+                }
+            }
+            arrivals.retain(|(arr, sq)| {
+                if *arr <= t {
+                    builder.on_packet(*sq, *arr);
+                    false
+                } else {
+                    true
+                }
+            });
+            if !dark && t.saturating_since(last_fb) >= SimDuration::from_millis(10) {
+                last_fb = t;
+                if let Some(fb) = builder.build(t) {
+                    s.on_feedback(&fb, t);
+                }
+            }
+            s.on_tick(t);
+            targets.push(s.target_bitrate_bps());
+            sent_counts.push(s.stats().sent);
+            t += SimDuration::from_millis(1);
+        }
+        (s, targets, sent_counts)
+    }
+
+    #[test]
+    fn feedback_starvation_backs_off_keeps_probing_and_recovers() {
+        let (s, targets, sent) = run_loop_blackout(ScreamConfig::default(), 30, 10, 15);
+        let pre = targets[9_999];
+        assert!(pre > 4e6, "pre-outage target {pre:.2e}");
+        // Deep into the blackout the advertised rate has decayed to the
+        // watchdog floor.
+        let floor = ScreamConfig::default().watchdog.floor_bps;
+        assert_eq!(targets[13_999], floor, "no decay to floor");
+        // The probe trickle keeps flowing: without it the first feedback
+        // after the outage would wait for the next full frame to squeeze
+        // through a stale window.
+        assert!(
+            sent[13_999] > sent[11_000],
+            "transmission froze during the blackout"
+        );
+        assert!(s.stats().watchdog_expired > 0);
+        // Recovered: cap released, target back near the pre-outage rate.
+        assert_eq!(s.watchdog_state(), WatchdogState::Armed);
+        assert!(s.watchdog_stats().recoveries >= 1);
+        assert!(s.watchdog_stats().last_ramp.is_some());
+        let final_t = *targets.last().unwrap();
+        assert!(
+            final_t > 0.5 * pre,
+            "post-recovery target {final_t:.2e} far below pre-outage {pre:.2e}"
+        );
+    }
+
+    #[test]
+    fn watchdog_opt_out_reproduces_frozen_window() {
+        let cfg = ScreamConfig {
+            watchdog: WatchdogConfig {
+                enabled: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (s, targets, sent) = run_loop_blackout(cfg, 20, 10, 20);
+        // Stock behaviour: in-flight bytes never drain, so the self-clocked
+        // sender stops transmitting entirely...
+        assert_eq!(
+            *sent.last().unwrap(),
+            sent[12_000],
+            "sender kept transmitting without the watchdog"
+        );
+        // ...and the advertised rate stays frozen at its last value.
+        assert_eq!(*targets.last().unwrap(), targets[9_999]);
+        assert_eq!(s.watchdog_stats().activations, 0);
+        assert_eq!(s.stats().watchdog_expired, 0);
     }
 
     #[test]
@@ -600,7 +799,7 @@ mod tests {
             if let Some(p) = s.poll_transmit(t) {
                 seqs.push((t, p.sequence));
             }
-            t = t + SimDuration::from_millis(2);
+            t += SimDuration::from_millis(2);
         }
         let rate_before = s.target_bitrate_bps();
         let mut b = Rfc8888Builder::new(64);

@@ -198,12 +198,13 @@ mod tests {
             let mut popped = 0usize;
             while let Some((t, idx)) = q.pop() {
                 prop_assert!(t >= last_time);
+                // last_seq_at_time is reassigned below every iteration, so
+                // it only ever holds the index popped at the previous step —
+                // exactly what the equal-timestamp FIFO check needs.
                 if t == last_time {
                     if let Some(prev) = last_seq_at_time {
                         prop_assert!(idx > prev, "FIFO violated at equal timestamps");
                     }
-                } else {
-                    last_seq_at_time = None;
                 }
                 last_time = t;
                 last_seq_at_time = Some(idx);

@@ -11,6 +11,10 @@
 //!   from a single master seed. Each subsystem draws from its own named
 //!   stream so that adding a component (or reordering draws inside one)
 //!   never perturbs the randomness observed by another.
+//! * [`FeedbackWatchdog`] — the feedback-starvation state machine shared by
+//!   the congestion controllers: declares starvation when the feedback path
+//!   goes dark, decays a rate cap toward a floor, and meters the ramp back
+//!   once feedback resumes.
 //!
 //! The design follows the event-driven, poll-based idiom of `smoltcp`:
 //! components are plain structs advanced by explicit calls carrying the
@@ -32,7 +36,9 @@
 pub mod event;
 pub mod rng;
 pub mod time;
+pub mod watchdog;
 
 pub use event::EventQueue;
 pub use rng::{RngSet, SimRng};
 pub use time::{SimDuration, SimTime};
+pub use watchdog::{FeedbackWatchdog, WatchdogConfig, WatchdogEvent, WatchdogState, WatchdogStats};

@@ -8,39 +8,57 @@
 //! * adding, removing, or reordering components does not change the draws
 //!   any other component sees;
 //! * the same `(master_seed, name)` pair always produces the same sequence,
-//!   across platforms and across `rand` upgrades (PCG is specified, the
-//!   default `StdRng` is not).
+//!   across platforms and across toolchain upgrades (the generator is
+//!   implemented here, in full, with no external dependency).
+//!
+//! The generator is a PCG-64-MCG (128-bit multiplicative congruential state,
+//! XSL-RR output) — the same construction as `rand_pcg::Pcg64Mcg`.
 
-use rand::{Rng, RngExt, SeedableRng};
-use rand_distr::Distribution;
-use rand_pcg::Pcg64Mcg;
+/// PCG-64-MCG multiplier (O'Neill, PCG paper §4.1).
+const PCG_MUL: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcf_4e35;
 
-/// A deterministic random stream (newtype over `Pcg64Mcg`).
+/// A deterministic random stream (PCG-64-MCG).
 #[derive(Clone, Debug)]
-pub struct SimRng(Pcg64Mcg);
+pub struct SimRng {
+    state: u128,
+}
 
 impl SimRng {
     /// Seed a stream directly. Prefer [`RngSet::stream`] in simulations so
     /// streams stay decoupled.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng(Pcg64Mcg::seed_from_u64(seed))
+        // Expand the 64-bit seed into 128 bits of state via two rounds of
+        // SplitMix64, then force the state odd (an MCG requires it).
+        let hi = splitmix64(seed);
+        let lo = splitmix64(seed ^ 0xDEAD_BEEF_CAFE_F00D);
+        let state = ((hi as u128) << 64 | lo as u128) | 1;
+        SimRng { state }
+    }
+
+    /// Next raw 64-bit output (XSL-RR on the 128-bit state).
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(PCG_MUL);
+        let rot = (self.state >> 122) as u32;
+        let xored = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xored.rotate_right(rot)
     }
 
     /// Uniform value in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.0.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform value in `[lo, hi)`. `lo` must be `< hi`.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
         debug_assert!(lo < hi);
-        self.0.random_range(lo..hi)
+        lo + self.uniform() * (hi - lo)
     }
 
     /// Uniform integer in `[lo, hi)`. `lo` must be `< hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         debug_assert!(lo < hi);
-        self.0.random_range(lo..hi)
+        // Multiply-shift reduction; bias is < 2⁻⁶⁴ per draw.
+        lo + ((self.next_u64() as u128 * (hi - lo) as u128) >> 64) as u64
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -50,13 +68,15 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.0.random_bool(p)
+            self.uniform() < p
         }
     }
 
-    /// Standard-normal draw.
+    /// Standard-normal draw (Box–Muller, cosine branch).
     pub fn std_normal(&mut self) -> f64 {
-        rand_distr::StandardNormal.sample(&mut self.0)
+        let u1 = self.uniform_range(f64::MIN_POSITIVE, 1.0);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
     /// Normal draw with the given mean and standard deviation.
@@ -74,18 +94,8 @@ impl SimRng {
     /// Exponential draw with the given mean (`mean > 0`).
     pub fn exponential(&mut self, mean: f64) -> f64 {
         debug_assert!(mean > 0.0);
-        let u: f64 = self.0.random_range(f64::MIN_POSITIVE..1.0);
+        let u = self.uniform_range(f64::MIN_POSITIVE, 1.0);
         -mean * u.ln()
-    }
-
-    /// Sample an arbitrary `rand_distr` distribution.
-    pub fn sample<T, D: Distribution<T>>(&mut self, dist: &D) -> T {
-        dist.sample(&mut self.0)
-    }
-
-    /// Access the inner `rand::Rng` for APIs that need it (e.g. shuffles).
-    pub fn inner(&mut self) -> &mut impl Rng {
-        &mut self.0
     }
 }
 
@@ -189,6 +199,18 @@ mod tests {
             let v = r.uniform();
             assert!((0.0..1.0).contains(&v));
         }
+    }
+
+    #[test]
+    fn uniform_u64_covers_range() {
+        let mut r = RngSet::new(5).stream("i");
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = r.uniform_u64(3, 13);
+            assert!((3..13).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all values in range drawn");
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub struct Encoder {
     next_capture: SimTime,
     /// VBV-style bit debt: positive = we have overspent.
     debt_bits: f64,
+    /// Pending out-of-band IDR request (PLI recovery).
+    keyframe_forced: bool,
+    /// IDRs produced in response to `force_keyframe`.
+    forced_keyframes: u64,
 }
 
 impl Encoder {
@@ -76,6 +80,8 @@ impl Encoder {
             next_frame: 0,
             next_capture: SimTime::ZERO,
             debt_bits: 0.0,
+            keyframe_forced: false,
+            forced_keyframes: 0,
         }
     }
 
@@ -88,6 +94,18 @@ impl Encoder {
     /// Current target.
     pub fn target_bitrate_bps(&self) -> f64 {
         self.target_bps
+    }
+
+    /// Request an IDR out of band (PLI recovery): the next frame produced
+    /// is a keyframe regardless of its GOP position. Idempotent until that
+    /// frame is emitted.
+    pub fn force_keyframe(&mut self) {
+        self.keyframe_forced = true;
+    }
+
+    /// IDRs produced in response to [`force_keyframe`](Self::force_keyframe).
+    pub fn forced_keyframes(&self) -> u64 {
+        self.forced_keyframes
     }
 
     /// Time the next frame is captured.
@@ -105,7 +123,12 @@ impl Encoder {
         self.next_frame += 1;
         self.next_capture = capture + SimDuration::from_micros(FRAME_INTERVAL_US);
 
-        let keyframe = n % self.config.gop == 0 || self.source.is_scene_cut(n);
+        let keyframe =
+            self.keyframe_forced || n % self.config.gop == 0 || self.source.is_scene_cut(n);
+        if self.keyframe_forced {
+            self.forced_keyframes += 1;
+            self.keyframe_forced = false;
+        }
         let budget_bits = self.target_bps / FPS as f64;
         let weight = if keyframe {
             self.config.i_frame_weight
@@ -154,7 +177,7 @@ mod tests {
             while let Some(f) = enc.poll(t) {
                 out.push(f);
             }
-            t = t + SimDuration::from_millis(1);
+            t += SimDuration::from_millis(1);
         }
         out
     }
@@ -228,6 +251,24 @@ mod tests {
             v.iter().map(|f| f.meta.frame_bytes as f64).sum::<f64>() / v.len() as f64
         };
         assert!(mean(&after) < mean(&before) * 0.4);
+    }
+
+    #[test]
+    fn forced_keyframe_overrides_gop_position() {
+        let mut enc = Encoder::new(EncoderConfig::default(), SourceVideo::new(1), 8e6);
+        let frames = drain(&mut enc, 1); // move mid-GOP
+        let last = frames.last().unwrap().meta.frame_number;
+        assert!(!frames[last as usize].meta.keyframe || last % 60 == 0);
+        enc.force_keyframe();
+        let t = SimTime::from_micros((last + 1) * FRAME_INTERVAL_US);
+        let forced = enc.poll(t).unwrap();
+        assert!(forced.meta.keyframe, "PLI-forced frame must be an IDR");
+        assert_eq!(enc.forced_keyframes(), 1);
+        // One-shot: the next frame is back on the GOP schedule.
+        let t2 = SimTime::from_micros((last + 2) * FRAME_INTERVAL_US);
+        let next = enc.poll(t2).unwrap();
+        assert!(!next.meta.keyframe);
+        assert_eq!(enc.forced_keyframes(), 1);
     }
 
     #[test]

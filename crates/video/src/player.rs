@@ -285,7 +285,7 @@ mod tests {
                 delivered += 1;
             }
             events.extend(p.poll(t));
-            t = t + SimDuration::from_millis(1);
+            t += SimDuration::from_millis(1);
         }
         (events, p.stats())
     }
@@ -350,7 +350,7 @@ mod tests {
                 }
             }
             events.extend(p.poll(t));
-            t = t + SimDuration::from_millis(1);
+            t += SimDuration::from_millis(1);
         }
         let stats = p.stats();
         assert!(stats.stalls >= 1, "no stall recorded");
@@ -389,7 +389,7 @@ mod tests {
                 }
             }
             events.extend(p.poll(t));
-            t = t + SimDuration::from_millis(1);
+            t += SimDuration::from_millis(1);
         }
         let stats = p.stats();
         assert_eq!(stats.skipped, 1);

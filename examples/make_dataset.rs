@@ -62,7 +62,7 @@ fn main() {
         if let Some(ho) = s.handover {
             rrc.record_handover(&ho);
         }
-        t = t + radio.tick();
+        t += radio.tick();
     }
     std::fs::write(out.join("rrc.csv"), rrc.to_csv()).expect("write rrc.csv");
 

@@ -130,7 +130,7 @@ proptest! {
             if let Some(f) = enc.poll(t) {
                 bits += f.meta.frame_bytes as f64 * 8.0;
             }
-            t = t + SimDuration::from_millis(5);
+            t += SimDuration::from_millis(5);
         }
         let rate = bits / secs as f64;
         prop_assert!(

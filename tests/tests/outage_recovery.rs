@@ -1,0 +1,80 @@
+//! End-to-end outage survival: a 5 s mid-flight link blackout must not
+//! permanently stall the pipeline under either adaptive controller.
+//!
+//! The bars mirror the chaos campaign's acceptance criteria
+//! (`rpav-bench`'s `chaos_matrix`): frames are displayed again after the
+//! blackout, and the delivered rate is back to at least 50 % of the
+//! pre-outage baseline within 30 s. Getting there exercises the whole
+//! recovery chain — feedback-starvation watchdog, PLI → forced IDR, and
+//! jitter-target inflation.
+
+use rpav_core::prelude::*;
+use rpav_netem::FaultScript;
+use rpav_sim::{SimDuration, SimTime};
+
+const BLACKOUT_AT: SimTime = SimTime::from_secs(120);
+const BLACKOUT_LEN: SimDuration = SimDuration::from_secs(5);
+
+fn run_with_blackout(cc: CcMode) -> RunMetrics {
+    let cfg = ExperimentConfig::paper(
+        Environment::Urban,
+        Operator::P1,
+        Mobility::Air,
+        cc,
+        0x1AC_2022,
+        0,
+    );
+    let script = FaultScript::new().blackout(BLACKOUT_AT, BLACKOUT_LEN);
+    Simulation::new(cfg).with_link_script(script).run()
+}
+
+fn assert_recovered(metrics: &RunMetrics, label: &str) {
+    assert_eq!(metrics.outages.len(), 1, "{label}: one outage expected");
+    let o = &metrics.outages[0];
+    assert!(
+        o.survived(),
+        "{label}: no frame displayed after the blackout (permanent stall)"
+    );
+    let frames_after = metrics
+        .frames
+        .iter()
+        .filter(|f| f.displayed && f.display_at >= o.until)
+        .count();
+    assert!(
+        frames_after > 0,
+        "{label}: zero frames delivered after the outage"
+    );
+    let half = o
+        .time_to_half_rate_recovery()
+        .unwrap_or_else(|| SimDuration::from_secs(u64::MAX / 2));
+    assert!(
+        half <= SimDuration::from_secs(30),
+        "{label}: rate back to 50% of the {:.1} Mbps baseline only after \
+         {} ms (bar 30 s)",
+        o.baseline_bps / 1e6,
+        half.as_millis()
+    );
+}
+
+#[test]
+fn gcc_survives_five_second_blackout() {
+    let metrics = run_with_blackout(CcMode::Gcc);
+    assert_recovered(&metrics, "GCC");
+    // The recovery machinery actually fired: the watchdog noticed the
+    // feedback gap and the receiver asked for (and got) a keyframe.
+    assert!(metrics.watchdog_activations >= 1, "watchdog never armed in");
+    assert!(
+        metrics.watchdog_recoveries >= 1,
+        "watchdog never ramped out"
+    );
+    assert!(metrics.plis_sent >= 1, "receiver never sent a PLI");
+    assert!(metrics.forced_keyframes >= 1, "sender never forced an IDR");
+}
+
+#[test]
+fn scream_survives_five_second_blackout() {
+    let metrics = run_with_blackout(CcMode::Scream { ack_span: 64 });
+    assert_recovered(&metrics, "SCReAM");
+    assert!(metrics.watchdog_activations >= 1, "watchdog never armed in");
+    assert!(metrics.plis_sent >= 1, "receiver never sent a PLI");
+}

@@ -95,8 +95,8 @@ fn het_bulk_fast_with_aerial_outliers() {
 #[test]
 fn one_way_latency_shape() {
     let cc = CcMode::paper_static(Environment::Urban);
-    let air = quick_run(Environment::Urban, Operator::P1, Mobility::Air, cc, 11);
-    let grd = quick_run(Environment::Urban, Operator::P1, Mobility::Ground, cc, 11);
+    let air = quick_run(Environment::Urban, Operator::P1, Mobility::Air, cc, 15);
+    let grd = quick_run(Environment::Urban, Operator::P1, Mobility::Ground, cc, 15);
     let f_air = stats::fraction_at_or_below(&air.owd_ms(), 100.0);
     let f_grd = stats::fraction_at_or_below(&grd.owd_ms(), 100.0);
     assert!(f_grd > 0.97, "ground: only {f_grd:.3} below 100 ms");
@@ -234,7 +234,9 @@ fn rural_p2_beats_p1_on_capacity_not_on_mobility() {
     let mut p1_ho = 0.0;
     let mut p2_ho = 0.0;
     for seed in 0..3 {
-        let cc = CcMode::Gcc;
+        // An overdriving constant load keeps the runs capacity-limited, so
+        // goodput reflects the channel rather than a CC's ramp dynamics.
+        let cc = CcMode::Static { bitrate_bps: 25e6 };
         let a = quick_run(
             Environment::Rural,
             Operator::P1,

@@ -2,7 +2,6 @@
 //! receiver-side crates only meet through serialised bytes crossing the
 //! emulated network — these tests exercise those seams directly.
 
-use bytes::Bytes;
 use rpav_netem::{FaultConfig, Packet, PacketKind, Path};
 use rpav_rtp::jitter::{JitterBuffer, JitterConfig};
 use rpav_rtp::packet::RtpPacket;
@@ -67,7 +66,7 @@ fn video_over_lossy_path_roundtrip() {
         while let Some((playout, rtp)) = jitter.pop_due(now) {
             depack.push(&rtp, playout);
         }
-        now = now + SimDuration::from_millis(5);
+        now += SimDuration::from_millis(5);
     }
     let frames = depack.drain(u64::MAX);
     assert_eq!(frames.len() as u64, n_frames, "every frame must surface");
@@ -107,7 +106,7 @@ fn twcc_feedback_over_network() {
         if let Some(p) = path.poll(now) {
             got = TwccFeedback::parse(p.payload);
         }
-        now = now + SimDuration::from_millis(1);
+        now += SimDuration::from_millis(1);
     }
     let parsed = got.expect("feedback must arrive and parse");
     let mut matched = 0;

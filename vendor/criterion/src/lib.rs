@@ -1,0 +1,150 @@
+//! Vendored, dependency-free subset of the [`criterion`] bench harness.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! four symbols its benches use: [`Criterion`], [`Bencher`],
+//! [`criterion_group!`] and [`criterion_main!`]. Instead of statistical
+//! sampling it runs each benchmark for a short fixed wall-clock budget and
+//! prints the mean iteration time — enough to eyeball regressions and to
+//! keep `cargo bench` compiling and running offline.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+
+/// Benchmark registry/driver (subset of the real `Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Run `f` as the benchmark `name` and print its mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up pass (not measured).
+        f(&mut b);
+        b.iters = 0;
+        b.elapsed = Duration::ZERO;
+        let start = Instant::now();
+        while start.elapsed() < TARGET {
+            f(&mut b);
+        }
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        };
+        println!(
+            "bench {name:<40} {mean_ns:>12.1} ns/iter ({} iters)",
+            b.iters
+        );
+        self
+    }
+
+    /// Start a named benchmark group (subset of the real API: the group
+    /// only prefixes benchmark names; tuning knobs are accepted and
+    /// ignored).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks (subset of the real `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's fixed wall-clock budget
+    /// ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run `f` as `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    /// End the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure repeated executions of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        const BATCH: u64 = 16;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+/// Prevent the optimiser from eliding a value (re-export shape of upstream).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(ran);
+    }
+}
