@@ -39,12 +39,14 @@ pub struct DatasetRun<'a> {
 pub fn runs_csv(runs: &[DatasetRun<'_>]) -> String {
     let mut out = String::from(
         "run,label,environment,operator,mobility,cc,seed,duration_s,\
-         goodput_mbps,per,ho_count,stalls,distinct_cells\n",
+         goodput_mbps,per,ho_count,stalls,distinct_cells,repair,\
+         malformed,duplicates,late,nacks_sent,rtx_sent,rtx_recovered,\
+         rtx_late,repair_efficiency\n",
     );
     for (i, r) in runs.iter().enumerate() {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{:.1},{:.3},{:.6},{},{},{}",
+            "{},{},{},{},{},{},{},{:.1},{:.3},{:.6},{},{},{},{},{},{},{},{},{},{},{},{:.4}",
             i,
             r.config.label(),
             r.config.environment.name(),
@@ -58,6 +60,15 @@ pub fn runs_csv(runs: &[DatasetRun<'_>]) -> String {
             r.metrics.handovers.len(),
             r.metrics.stalls,
             r.metrics.distinct_cells,
+            r.config.repair as u8,
+            r.metrics.malformed_packets + r.metrics.malformed_payloads,
+            r.metrics.duplicate_packets,
+            r.metrics.late_packets,
+            r.metrics.nacks_sent,
+            r.metrics.rtx_sent,
+            r.metrics.rtx_recovered,
+            r.metrics.rtx_late,
+            r.metrics.repair_efficiency(),
         );
     }
     out
@@ -194,6 +205,15 @@ mod tests {
             ],
             stalls: 1,
             distinct_cells: 3,
+            malformed_packets: 4,
+            malformed_payloads: 1,
+            duplicate_packets: 2,
+            late_packets: 3,
+            nacks_sent: 10,
+            nack_seqs_requested: 20,
+            rtx_sent: 18,
+            rtx_recovered: 15,
+            rtx_late: 2,
             ..Default::default()
         };
         (cfg, m)
@@ -210,6 +230,19 @@ mod tests {
         assert!(r.starts_with("run,label"));
         assert_eq!(r.lines().count(), 2);
         assert!(r.contains("GCC-Urban-P1-Air"));
+        // Repair columns serialize: header names plus the sample's
+        // counter values — malformed merges wire (4) and payload (1)
+        // damage, and efficiency is recovered/requested = 15/20.
+        assert!(r.contains("repair,malformed,duplicates,late,nacks_sent"));
+        assert!(r.contains(",rtx_late,repair_efficiency"));
+        assert!(
+            r.lines()
+                .nth(1)
+                .unwrap()
+                .ends_with(",0,5,2,3,10,18,15,2,0.7500"),
+            "repair columns wrong: {}",
+            r.lines().nth(1).unwrap()
+        );
 
         let h = handovers_csv(&runs);
         assert_eq!(h.lines().count(), 2);

@@ -122,6 +122,11 @@ pub struct RunMetrics {
     pub frames: Vec<FrameRecord>,
     /// Player stall count (inter-frame gap > 300 ms).
     pub stalls: u64,
+    /// Total wall time the player spent above the stall threshold.
+    pub stalled_time: SimDuration,
+    /// Frames that arrived after the player had skipped past them —
+    /// delivered late (a repair that lost its race), not lost.
+    pub frames_late_discarded: u64,
     /// Packets the sender-side CC discarded before transmission (SCReAM
     /// queue breaker).
     pub sender_discarded: u64,
@@ -147,6 +152,39 @@ pub struct RunMetrics {
     pub script_dropped: u64,
     /// Per-scheduled-blackout recovery records.
     pub outages: Vec<OutageRecord>,
+    /// Wire packets whose payload failed to parse (typed `ParseError` from
+    /// any RTP/RTCP parser, either direction).
+    pub malformed_packets: u64,
+    /// Media packets that arrived with the corruption flag set (bits were
+    /// really flipped in flight; the parsers decide whether they survive).
+    pub corrupted_arrivals: u64,
+    /// Duplicate media packets discarded by the jitter buffer.
+    pub duplicate_packets: u64,
+    /// Media packets that arrived after the playout deadline had passed.
+    pub late_packets: u64,
+    /// Depacketizer-level malformed payloads (parsed RTP, broken `Meta`).
+    pub malformed_payloads: u64,
+    /// NACK feedback packets the receiver sent.
+    pub nacks_sent: u64,
+    /// Distinct sequence numbers requested across all NACKs (retries
+    /// re-count, as on the wire).
+    pub nack_seqs_requested: u64,
+    /// Missing packets recovered by retransmission in time for playout.
+    pub rtx_recovered: u64,
+    /// Retransmissions that arrived after the loss was already abandoned —
+    /// wasted repair bytes.
+    pub rtx_late: u64,
+    /// Missing packets abandoned (retries exhausted or playout deadline
+    /// unreachable); these escalate to the PLI path.
+    pub nack_abandoned: u64,
+    /// Retransmission packets the sender emitted.
+    pub rtx_sent: u64,
+    /// Wire bytes spent on retransmissions.
+    pub rtx_bytes: u64,
+    /// NACKed sequences dropped because the repair token bucket was empty.
+    pub rtx_budget_exhausted: u64,
+    /// NACKed sequences no longer in the sender's retransmission history.
+    pub rtx_not_in_history: u64,
 }
 
 impl RunMetrics {
@@ -249,6 +287,15 @@ impl RunMetrics {
             t += SimDuration::from_millis(500);
         }
         out
+    }
+
+    /// Fraction of NACK-requested sequences recovered in time for playout
+    /// (the repair-efficiency headline; 0 when repair never fired).
+    pub fn repair_efficiency(&self) -> f64 {
+        if self.nack_seqs_requested == 0 {
+            return 0.0;
+        }
+        self.rtx_recovered as f64 / self.nack_seqs_requested as f64
     }
 
     /// Stall rate per minute (the §4.2.1 headline metric).

@@ -158,9 +158,10 @@ pub fn run_multipath(
         for leg in [&mut primary, &mut secondary] {
             while let Some(pkt) = leg.path.poll(t) {
                 if pkt.corrupted {
-                    continue;
+                    metrics.corrupted_arrivals += 1;
                 }
-                let Some(rtp) = RtpPacket::parse(pkt.payload.clone()) else {
+                let Ok(rtp) = RtpPacket::parse(pkt.payload.clone()) else {
+                    metrics.malformed_packets += 1;
                     continue;
                 };
                 if seen.insert(rtp.sequence as u64 | ((rtp.timestamp as u64) << 16)) {
@@ -218,6 +219,8 @@ pub fn run_multipath(
     }
     metrics.duration = plan.duration();
     metrics.stalls = player.stats().stalls;
+    metrics.stalled_time = player.stats().stalled_time;
+    metrics.frames_late_discarded = player.stats().late_discarded;
     metrics.distinct_cells = primary.radio.distinct_cells();
     metrics
 }

@@ -19,12 +19,16 @@ use std::collections::VecDeque;
 
 use rpav_gcc::{GccConfig, SendSideBwe};
 use rpav_lte::{NetworkProfile, RadioModel};
-use rpav_netem::{FaultConfig, FaultScript, GilbertElliott, Packet, PacketKind, Path};
+use rpav_netem::{
+    FaultConfig, FaultScript, GilbertElliott, Packet, PacketKind, Path, ReorderConfig,
+};
 use rpav_rtp::jitter::{JitterBuffer, JitterConfig};
+use rpav_rtp::nack::{Arrival, Nack, NackConfig, NackGenerator};
 use rpav_rtp::packet::RtpPacket;
 use rpav_rtp::packetize::{Depacketizer, Packetizer};
 use rpav_rtp::pli::Pli;
 use rpav_rtp::rfc8888::{Rfc8888Builder, Rfc8888Packet};
+use rpav_rtp::rtx::{RtxConfig, RtxSender};
 use rpav_rtp::twcc::{TwccFeedback, TwccRecorder};
 use rpav_scream::{ScreamConfig, ScreamSender};
 use rpav_sim::{RngSet, SimDuration, SimRng, SimTime};
@@ -80,6 +84,18 @@ enum CcState {
     },
 }
 
+/// Disjoint borrows of the sender-side state [`Simulation::send_media`]
+/// needs — callers split these from `self` so the CC state can stay
+/// mutably borrowed across the send loop.
+struct MediaTx<'a> {
+    uplink: &'a mut Path,
+    netem_seq: &'a mut u64,
+    metrics: &'a mut RunMetrics,
+    extra_loss_rng: &'a mut SimRng,
+    /// RTX history to record into; `None` when repair is disabled.
+    rtx: Option<&'a mut RtxSender>,
+}
+
 /// One full measurement run.
 pub struct Simulation {
     config: ExperimentConfig,
@@ -94,9 +110,11 @@ pub struct Simulation {
     packetizer: Packetizer,
     cc: CcState,
     pending_frames: VecDeque<rpav_video::EncodedFrame>,
+    rtx: RtxSender,
     // Receiver state.
     jitter: JitterBuffer,
     depack: Depacketizer,
+    nack_gen: NackGenerator,
     player: Player,
     twcc_rec: TwccRecorder,
     ccfb: Rfc8888Builder,
@@ -216,11 +234,16 @@ impl Simulation {
             packetizer: Packetizer::new(0x2, with_twcc),
             cc,
             pending_frames: VecDeque::new(),
+            rtx: RtxSender::new(RtxConfig::default()),
             jitter: JitterBuffer::new(JitterConfig {
                 drop_on_latency: config.drop_on_latency,
                 target: jitter_target,
             }),
             depack: Depacketizer::new(),
+            nack_gen: NackGenerator::new(NackConfig {
+                playout_budget: jitter_target,
+                ..Default::default()
+            }),
             player: Player::new(PlayerConfig::default()),
             twcc_rec: TwccRecorder::new(),
             ccfb: Rfc8888Builder::new(ack_span),
@@ -247,6 +270,15 @@ impl Simulation {
         // Timed media-direction blackouts become per-outage recovery
         // records in the run's metrics.
         self.outage_windows.extend(script.blackout_windows());
+        // Reorder windows retune an exit-side stage that must exist first;
+        // attach a transparent one only when the script needs it so runs
+        // without reorder clauses stay bit-identical.
+        if script.has_reorder() {
+            self.uplink.set_reorder(
+                ReorderConfig::default(),
+                rngs.stream_indexed("pipe.ul.reorder", self.config.run_index),
+            );
+        }
         self.uplink.set_script(
             script,
             rngs.stream_indexed("pipe.ul.script", self.config.run_index),
@@ -259,6 +291,12 @@ impl Simulation {
     /// stop media, so they produce no per-outage recovery records.
     pub fn with_downlink_script(mut self, script: FaultScript) -> Self {
         let rngs = RngSet::new(self.config.seed);
+        if script.has_reorder() {
+            self.downlink.set_reorder(
+                ReorderConfig::default(),
+                rngs.stream_indexed("pipe.dl.reorder", self.config.run_index),
+            );
+        }
         self.downlink.set_script(
             script,
             rngs.stream_indexed("pipe.dl.script", self.config.run_index),
@@ -285,6 +323,8 @@ impl Simulation {
         self.metrics.duration = self.plan.duration();
         let pstats = self.player.stats();
         self.metrics.stalls = pstats.stalls;
+        self.metrics.stalled_time = pstats.stalled_time;
+        self.metrics.frames_late_discarded = pstats.late_discarded;
         self.metrics.distinct_cells = self.radio.distinct_cells();
         if let CcState::Scream { sender } = &self.cc {
             self.metrics.sender_discarded = sender.stats().queue_discarded;
@@ -306,6 +346,21 @@ impl Simulation {
             }
         }
         self.metrics.forced_keyframes = self.encoder.forced_keyframes();
+        let js = self.jitter.stats();
+        self.metrics.duplicate_packets += js.duplicates;
+        self.metrics.late_packets += js.dropped_late;
+        self.metrics.malformed_payloads = self.depack.malformed_payloads();
+        let ns = self.nack_gen.stats();
+        self.metrics.nacks_sent = ns.nacks_sent;
+        self.metrics.nack_seqs_requested = ns.seqs_requested;
+        self.metrics.rtx_recovered = ns.recovered;
+        self.metrics.rtx_late = ns.late_recovered;
+        self.metrics.nack_abandoned = ns.abandoned;
+        let rs = self.rtx.stats();
+        self.metrics.rtx_sent = rs.retransmitted;
+        self.metrics.rtx_bytes = rs.bytes_retransmitted;
+        self.metrics.rtx_budget_exhausted = rs.budget_exhausted;
+        self.metrics.rtx_not_in_history = rs.not_in_history;
         self.metrics.script_dropped = self.uplink.script_stats().map(|s| s.dropped()).unwrap_or(0)
             + self
                 .downlink
@@ -392,10 +447,17 @@ impl Simulation {
                 CcState::Static => {
                     for p in packets {
                         Self::send_media(
-                            &mut self.uplink,
-                            &mut self.netem_seq,
-                            &mut self.metrics,
-                            &mut self.extra_loss_rng,
+                            MediaTx {
+                                uplink: &mut self.uplink,
+                                netem_seq: &mut self.netem_seq,
+                                metrics: &mut self.metrics,
+                                extra_loss_rng: &mut self.extra_loss_rng,
+                                rtx: if self.config.repair {
+                                    Some(&mut self.rtx)
+                                } else {
+                                    None
+                                },
+                            },
                             self.extra_loss_prob,
                             now,
                             p,
@@ -447,10 +509,17 @@ impl Simulation {
                         bwe.on_packet_sent(ts, now, p.wire_size());
                     }
                     Self::send_media(
-                        &mut self.uplink,
-                        &mut self.netem_seq,
-                        &mut self.metrics,
-                        &mut self.extra_loss_rng,
+                        MediaTx {
+                            uplink: &mut self.uplink,
+                            netem_seq: &mut self.netem_seq,
+                            metrics: &mut self.metrics,
+                            extra_loss_rng: &mut self.extra_loss_rng,
+                            rtx: if self.config.repair {
+                                Some(&mut self.rtx)
+                            } else {
+                                None
+                            },
+                        },
                         self.extra_loss_prob,
                         now,
                         p,
@@ -460,10 +529,17 @@ impl Simulation {
             CcState::Scream { sender } => {
                 while let Some(p) = sender.poll_transmit(now) {
                     Self::send_media(
-                        &mut self.uplink,
-                        &mut self.netem_seq,
-                        &mut self.metrics,
-                        &mut self.extra_loss_rng,
+                        MediaTx {
+                            uplink: &mut self.uplink,
+                            netem_seq: &mut self.netem_seq,
+                            metrics: &mut self.metrics,
+                            extra_loss_rng: &mut self.extra_loss_rng,
+                            rtx: if self.config.repair {
+                                Some(&mut self.rtx)
+                            } else {
+                                None
+                            },
+                        },
                         self.extra_loss_prob,
                         now,
                         p,
@@ -472,15 +548,50 @@ impl Simulation {
             }
         }
 
-        // 4. Uplink arrivals at the server.
+        // 3b. Sender-side repair budget: the RTX token bucket refills at a
+        // fraction of whatever the CC currently targets, so repair can
+        // never starve fresh media.
+        if self.config.repair {
+            let target_bps = match &self.cc {
+                CcState::Static => match self.config.cc {
+                    CcMode::Static { bitrate_bps } => bitrate_bps,
+                    _ => 0.0,
+                },
+                CcState::Gcc { bwe, .. } => bwe.target_bitrate_bps(),
+                CcState::Scream { sender } => sender.target_bitrate_bps(),
+            };
+            self.rtx.refill(now, target_bps);
+        }
+
+        // 4. Uplink arrivals at the server. Corrupted packets are not
+        // silently dropped: the damaged bytes go to the hardened parsers,
+        // which either reject them (counted as malformed) or survive the
+        // flip — exactly what a real receiver without UDP checksums sees.
         while let Some(pkt) = self.uplink.poll(now) {
             if pkt.corrupted {
-                continue; // checksum failure == loss
+                self.metrics.corrupted_arrivals += 1;
             }
-            let Some(rtp) = RtpPacket::parse(pkt.payload.clone()) else {
-                continue;
+            let rtp = match RtpPacket::parse(pkt.payload.clone()) {
+                Ok(rtp) => rtp,
+                Err(_) => {
+                    self.metrics.malformed_packets += 1;
+                    continue;
+                }
             };
             let owd_ms = now.saturating_since(pkt.sent_at).as_millis_f64();
+            // Classify against the gap tracker before any accounting: a
+            // duplicate delivery (network dup, or an RTX racing its
+            // reordered original) must not count as received media twice.
+            match self.nack_gen.on_packet(now, rtp.sequence) {
+                Arrival::Stale => {
+                    self.metrics.duplicate_packets += 1;
+                    continue;
+                }
+                Arrival::Late => self.metrics.late_packets += 1,
+                Arrival::InOrder | Arrival::Reordered | Arrival::Recovered => {}
+            }
+            self.nack_gen
+                .set_rtt_hint(SimDuration::from_micros((owd_ms * 2_000.0) as u64));
             self.metrics.owd.push((now, owd_ms));
             self.metrics.media_received += 1;
             self.metrics.media_received_bytes += rtp.payload.len() as u64;
@@ -521,6 +632,19 @@ impl Simulation {
             self.apply_jitter_target();
             self.last_jitter_event = now;
         }
+        // 4b. Receiver-side repair: emit the next debounced NACK batch.
+        // The generator abandons anything whose playout deadline a
+        // round trip can no longer beat; those losses escalate to the
+        // reference-break → PLI path below.
+        if self.config.repair {
+            if let Some(nack) = self.nack_gen.poll(now) {
+                self.netem_seq += 1;
+                self.downlink.enqueue(
+                    now,
+                    Packet::new(self.netem_seq, nack.serialize(), PacketKind::Feedback, now),
+                );
+            }
+        }
 
         // 5. Receiver feedback timers.
         if now >= self.next_feedback {
@@ -558,27 +682,46 @@ impl Simulation {
         // FMT/PT bytes; they work under every CC mode, including Static.
         while let Some(pkt) = self.downlink.poll(now) {
             if pkt.corrupted {
-                continue;
+                self.metrics.corrupted_arrivals += 1;
             }
-            if Pli::parse(pkt.payload.clone()).is_some() {
+            if Pli::parse(pkt.payload.clone()).is_ok() {
                 self.encoder.force_keyframe();
                 self.metrics.plis_received += 1;
                 continue;
             }
+            if let Ok(nack) = Nack::parse(pkt.payload.clone()) {
+                // Retransmit verbatim from the history ring, within the
+                // repair budget. RTX rides the media direction but is not
+                // fresh media: it is neither re-counted as sent nor given
+                // a transport-wide sequence, so CC feedback ignores it.
+                if self.config.repair {
+                    for p in self.rtx.on_nack(&nack) {
+                        self.netem_seq += 1;
+                        let wire = p.serialize();
+                        self.uplink.enqueue(
+                            now,
+                            Packet::new(self.netem_seq, wire, PacketKind::Media, now),
+                        );
+                    }
+                }
+                continue;
+            }
             match &mut self.cc {
-                CcState::Static => {}
-                CcState::Gcc { bwe, .. } => {
-                    if let Some(fb) = TwccFeedback::parse(pkt.payload.clone()) {
+                CcState::Static => self.metrics.malformed_packets += 1,
+                CcState::Gcc { bwe, .. } => match TwccFeedback::parse(pkt.payload.clone()) {
+                    Ok(fb) => {
                         bwe.on_feedback(&fb, now);
                         self.encoder.set_target_bitrate(bwe.target_bitrate_bps());
                     }
-                }
-                CcState::Scream { sender } => {
-                    if let Some(fb) = Rfc8888Packet::parse(pkt.payload.clone()) {
+                    Err(_) => self.metrics.malformed_packets += 1,
+                },
+                CcState::Scream { sender } => match Rfc8888Packet::parse(pkt.payload.clone()) {
+                    Ok(fb) => {
                         sender.on_feedback(&fb, now);
                         self.encoder.set_target_bitrate(sender.target_bitrate_bps());
                     }
-                }
+                    Err(_) => self.metrics.malformed_packets += 1,
+                },
             }
         }
 
@@ -653,29 +796,34 @@ impl Simulation {
     }
 
     /// Re-derive the jitter target from the base and the inflation level.
+    /// The NACK generator's playout budget tracks it: an inflated buffer
+    /// buys retransmissions more time to make their deadline.
     fn apply_jitter_target(&mut self) {
         let factor = JITTER_INFLATE_FACTOR.powi(self.jitter_level as i32);
         let us = self.jitter_base_target.as_millis_f64() * factor * 1_000.0;
-        self.jitter.set_target(SimDuration::from_micros(us as u64));
+        let target = SimDuration::from_micros(us as u64);
+        self.jitter.set_target(target);
+        self.nack_gen.set_playout_budget(target);
     }
 
     /// Offer one media packet to the uplink, applying the altitude loss.
-    fn send_media(
-        uplink: &mut Path,
-        netem_seq: &mut u64,
-        metrics: &mut RunMetrics,
-        extra_loss_rng: &mut SimRng,
-        extra_loss_prob: f64,
-        now: SimTime,
-        rtp: RtpPacket,
-    ) {
-        metrics.media_sent += 1;
-        if extra_loss_rng.chance(extra_loss_prob) {
+    /// With repair enabled the packet enters the RTX history ring *before*
+    /// the loss draw — retransmission exists precisely for packets the
+    /// network ate.
+    fn send_media(tx: MediaTx<'_>, extra_loss_prob: f64, now: SimTime, rtp: RtpPacket) {
+        tx.metrics.media_sent += 1;
+        if let Some(rtx) = tx.rtx {
+            rtx.record(&rtp);
+        }
+        if tx.extra_loss_rng.chance(extra_loss_prob) {
             return; // high-altitude loss event (§4.2.1)
         }
-        *netem_seq += 1;
+        *tx.netem_seq += 1;
         let wire = rtp.serialize();
-        uplink.enqueue(now, Packet::new(*netem_seq, wire, PacketKind::Media, now));
+        tx.uplink.enqueue(
+            now,
+            Packet::new(*tx.netem_seq, wire, PacketKind::Media, now),
+        );
     }
 
     /// Access the configuration.

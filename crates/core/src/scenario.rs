@@ -99,6 +99,10 @@ pub struct ExperimentConfig {
     /// default; set `watchdog.enabled = false` to reproduce the stock
     /// frozen-rate outage behaviour.
     pub watchdog: WatchdogConfig,
+    /// NACK/RTX loss repair (RFC 4585 generic NACK + RFC 4588-style
+    /// retransmission). Off by default — the paper's stack had no repair,
+    /// so the baseline stays bit-identical; the repair benches flip it on.
+    pub repair: bool,
 }
 
 impl ExperimentConfig {
@@ -128,6 +132,7 @@ impl ExperimentConfig {
             ttt_override_ms: None,
             jitter_target_override_ms: None,
             watchdog: WatchdogConfig::default(),
+            repair: false,
         }
     }
 

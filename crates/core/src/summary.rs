@@ -26,6 +26,24 @@ pub struct HeadlineStats {
     pub owd_median_ms: f64,
     /// 99th-percentile one-way latency (ms).
     pub owd_p99_ms: f64,
+    /// Wire-damage tally pooled over the campaign: packets that failed to
+    /// parse plus payloads whose metadata header was rejected.
+    pub malformed: u64,
+    /// Duplicate arrivals discarded (netem duplication or a lost RTX race).
+    pub duplicates: u64,
+    /// Packets that arrived after the receiver had given up on them —
+    /// reordered beyond the NACK track window or an RTX past its playout
+    /// deadline.
+    pub late: u64,
+    /// NACK feedback messages sent across the campaign.
+    pub nacks_sent: u64,
+    /// Lost packets recovered by retransmission in time for playout.
+    pub rtx_recovered: u64,
+    /// Wasted retransmissions: RTX that arrived past the playout deadline.
+    pub rtx_wasted: u64,
+    /// Pooled repair efficiency: recovered / requested sequence numbers
+    /// (0.0 when repair was off — nothing was ever requested).
+    pub repair_efficiency: f64,
 }
 
 impl HeadlineStats {
@@ -59,13 +77,32 @@ impl HeadlineStats {
             } else {
                 stats::quantile(&owd, 0.99)
             },
+            malformed: c
+                .runs
+                .iter()
+                .map(|r| r.malformed_packets + r.malformed_payloads)
+                .sum(),
+            duplicates: c.runs.iter().map(|r| r.duplicate_packets).sum(),
+            late: c.runs.iter().map(|r| r.late_packets).sum(),
+            nacks_sent: c.runs.iter().map(|r| r.nacks_sent).sum(),
+            rtx_recovered: c.runs.iter().map(|r| r.rtx_recovered).sum(),
+            rtx_wasted: c.runs.iter().map(|r| r.rtx_late).sum(),
+            repair_efficiency: {
+                let requested: u64 = c.runs.iter().map(|r| r.nack_seqs_requested).sum();
+                let recovered: u64 = c.runs.iter().map(|r| r.rtx_recovered).sum();
+                if requested == 0 {
+                    0.0
+                } else {
+                    recovered as f64 / requested as f64
+                }
+            },
         }
     }
 
     /// Render one table row.
     pub fn row(&self) -> String {
         format!(
-            "{:<24} {:>8.1} {:>10.2} {:>10.1} {:>9.2} {:>8.1} {:>8.3} {:>7.3} {:>8.1} {:>8.1}",
+            "{:<24} {:>8.1} {:>10.2} {:>10.1} {:>9.2} {:>8.1} {:>8.3} {:>7.3} {:>8.1} {:>8.1} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>5.2}",
             self.label,
             self.goodput_mbps,
             self.stalls_per_minute,
@@ -76,13 +113,20 @@ impl HeadlineStats {
             self.ho_per_second,
             self.owd_median_ms,
             self.owd_p99_ms,
+            self.malformed,
+            self.duplicates,
+            self.late,
+            self.nacks_sent,
+            self.rtx_recovered,
+            self.rtx_wasted,
+            self.repair_efficiency,
         )
     }
 
     /// Table header matching [`HeadlineStats::row`].
     pub fn header() -> String {
         format!(
-            "{:<24} {:>8} {:>10} {:>10} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8}",
+            "{:<24} {:>8} {:>10} {:>10} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>5}",
             "configuration",
             "Mbps",
             "stalls/mn",
@@ -93,6 +137,13 @@ impl HeadlineStats {
             "HO/s",
             "owd p50",
             "owd p99",
+            "malf",
+            "dup",
+            "late",
+            "nacks",
+            "rec",
+            "waste",
+            "eff",
         )
     }
 }
@@ -138,5 +189,65 @@ mod tests {
         // Rows render without panicking and align with the header.
         assert!(!h.row().is_empty());
         assert!(!HeadlineStats::header().is_empty());
+    }
+
+    #[test]
+    fn repair_counters_pool_and_serialize() {
+        let mk = |scale: u64| RunMetrics {
+            duration: SimDuration::from_secs(60),
+            media_sent: 1_000,
+            media_received: 990,
+            malformed_packets: 3 * scale,
+            malformed_payloads: scale,
+            duplicate_packets: 5 * scale,
+            late_packets: 2 * scale,
+            nacks_sent: 40 * scale,
+            nack_seqs_requested: 100 * scale,
+            rtx_recovered: 80 * scale,
+            rtx_late: 7 * scale,
+            ..Default::default()
+        };
+        let campaign = crate::runner::CampaignResult {
+            label: "repair".into(),
+            runs: vec![mk(1), mk(2)],
+        };
+        let h = HeadlineStats::from_campaign(&campaign);
+        // Pooling sums across runs; malformed merges wire and payload
+        // damage.
+        assert_eq!(h.malformed, 12);
+        assert_eq!(h.duplicates, 15);
+        assert_eq!(h.late, 6);
+        assert_eq!(h.nacks_sent, 120);
+        assert_eq!(h.rtx_recovered, 240);
+        assert_eq!(h.rtx_wasted, 21);
+        assert!((h.repair_efficiency - 0.8).abs() < 1e-9);
+        // The serialized row carries every repair column and aligns with
+        // the header.
+        let row = h.row();
+        for needle in ["12", "15", "120", "240", "21", "0.80"] {
+            assert!(row.contains(needle), "row missing {needle}: {row}");
+        }
+        for col in ["malf", "dup", "late", "nacks", "rec", "waste", "eff"] {
+            assert!(
+                HeadlineStats::header().contains(col),
+                "header missing {col}"
+            );
+        }
+    }
+
+    #[test]
+    fn repair_efficiency_zero_when_repair_off() {
+        let campaign = crate::runner::CampaignResult {
+            label: "off".into(),
+            runs: vec![RunMetrics {
+                duration: SimDuration::from_secs(60),
+                media_sent: 1_000,
+                media_received: 990,
+                ..Default::default()
+            }],
+        };
+        let h = HeadlineStats::from_campaign(&campaign);
+        assert_eq!(h.repair_efficiency, 0.0);
+        assert_eq!(h.nacks_sent, 0);
     }
 }

@@ -6,9 +6,30 @@
 //! for the paper's observation that "most of the observed packet drops
 //! occurred consecutively" (§4.1) at an overall PER of 0.06–0.07 %.
 
+use bytes::Bytes;
 use rpav_sim::SimRng;
 
 use crate::packet::Packet;
+
+/// Flip 1–3 random bits of the payload and mark the packet corrupted.
+///
+/// Used by the [`FaultInjector`] and by scripted corruption windows; the
+/// RNG is consumed **only** when a corruption fault actually fires, so
+/// configs with `corrupt_chance == 0` leave the random stream untouched.
+pub fn corrupt_payload(packet: &mut Packet, rng: &mut SimRng) {
+    packet.corrupted = true;
+    if packet.payload.is_empty() {
+        return;
+    }
+    let mut bytes = packet.payload.to_vec();
+    let flips = rng.uniform_u64(1, 4);
+    for _ in 0..flips {
+        let pos = rng.uniform_u64(0, bytes.len() as u64) as usize;
+        let bit = rng.uniform_u64(0, 8) as u32;
+        bytes[pos] ^= 1u8 << bit;
+    }
+    packet.payload = Bytes::from(bytes);
+}
 
 /// Two-state Gilbert–Elliott burst-loss process.
 ///
@@ -80,9 +101,11 @@ pub struct FaultConfig {
     pub drop_chance: f64,
     /// Per-packet duplication probability.
     pub duplicate_chance: f64,
-    /// Per-packet payload-corruption probability (receivers discard
-    /// corrupted packets after checksum validation, so this is deferred
-    /// loss).
+    /// Per-packet payload-corruption probability. A firing corruption
+    /// fault flips real payload bits (see [`corrupt_payload`]) and sets
+    /// the packet's `corrupted` flag; what happens next is the receiver's
+    /// choice — model a UDP checksum (drop) or feed the damaged bytes to
+    /// the hardened wire parsers and count the fallout.
     pub corrupt_chance: f64,
     /// Burst-loss process layered on top of `drop_chance`.
     pub burst: GilbertElliott,
@@ -146,7 +169,7 @@ impl FaultInjector {
             return FaultOutcome::Drop;
         }
         if self.rng.chance(self.config.corrupt_chance) {
-            packet.corrupted = true;
+            corrupt_payload(&mut packet, &mut self.rng);
             self.corrupted += 1;
         }
         if self.rng.chance(self.config.duplicate_chance) {

@@ -11,14 +11,19 @@
 //! * [`BottleneckLink`] — serialisation at a (time-varying) bit-rate
 //!   followed by propagation delay. The LTE air interface drives the rate
 //!   from SINR; the WAN leg uses a fixed high rate.
-//! * [`DelayPipe`] — pure delay with optional jitter, FIFO-preserving.
+//! * [`DelayPipe`] — pure delay with optional jitter; FIFO-preserving by
+//!   default, with an explicit [`DeliveryOrder`] switch for routes that
+//!   deliver as scheduled.
 //! * [`FaultInjector`] — i.i.d. and Gilbert–Elliott burst loss, duplication
-//!   and corruption, mirroring the fault-injection options the smoltcp
-//!   examples expose.
+//!   and payload bit-corruption, mirroring the fault-injection options the
+//!   smoltcp examples expose.
+//! * [`ReorderStage`] — bounded-displacement packet reordering, composable
+//!   onto a path exit and scriptable via reorder windows.
 //! * [`Path`] — a composition of stages with a single `poll` interface.
 //! * [`FaultScript`] / [`OutageScheduler`] — deterministic scripted fault
 //!   campaigns (timed blackouts, feedback-only loss, delay spikes,
-//!   altitude-keyed coverage holes) composable onto any path.
+//!   duplication/corruption/reorder windows, altitude-keyed coverage
+//!   holes) composable onto any path.
 //!
 //! All components follow the same poll-based idiom: `enqueue(now, packet)`
 //! to push, `poll(now) -> Option<Packet>` to drain deliveries that are due,
@@ -29,11 +34,13 @@ pub mod link;
 pub mod packet;
 pub mod path;
 pub mod queue;
+pub mod reorder;
 pub mod script;
 
-pub use fault::{FaultConfig, FaultInjector, GilbertElliott};
-pub use link::{BottleneckLink, DelayPipe};
+pub use fault::{corrupt_payload, FaultConfig, FaultInjector, GilbertElliott};
+pub use link::{BottleneckLink, DelayPipe, DeliveryOrder};
 pub use packet::{Packet, PacketKind};
 pub use path::Path;
 pub use queue::{DropTailQueue, QueueStats};
+pub use reorder::{ReorderConfig, ReorderStage, ReorderStats};
 pub use script::{FaultClause, FaultScript, OutageScheduler, ScriptStats};

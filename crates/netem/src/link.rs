@@ -5,6 +5,27 @@ use rpav_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use crate::packet::Packet;
 use crate::queue::{DropTailQueue, QueueStats};
 
+/// Whether a delay stage preserves FIFO order or delivers packets at
+/// whatever instant its jitter draw schedules them.
+///
+/// The cellular radio leg is modelled in-order (`InOrder`): LTE RLC-AM
+/// reassembles and delivers in sequence, so radio-side jitter manifests as
+/// delay, never as reordering. The wired WAN leg defaults to `InOrder` too
+/// (the paper's single-path EPC→AWS route gave no evidence of reordering),
+/// but multi-homed or load-balanced routes do reorder — set `AsScheduled`
+/// to let jitter draws invert packet order, or use a
+/// [`ReorderStage`](crate::reorder::ReorderStage) for explicit bounded
+/// displacement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryOrder {
+    /// Delivery times are clamped to a monotonic floor: a packet never
+    /// overtakes one enqueued before it.
+    InOrder,
+    /// Delivery happens exactly when the jitter draw says; shrinking
+    /// delays let later packets overtake earlier ones.
+    AsScheduled,
+}
+
 /// A store-and-forward link: packets wait in a drop-tail queue, serialise at
 /// the link rate, then propagate for a fixed delay.
 ///
@@ -26,8 +47,12 @@ pub struct BottleneckLink {
     paused_until: SimTime,
     /// Extra per-packet propagation (e.g. HARQ retransmissions); settable.
     extra_prop: SimDuration,
-    /// FIFO floor on delivery times (a shrinking extra delay must not
-    /// reorder packets — RLC delivers in order).
+    /// FIFO floor on delivery times. The bottleneck models the radio leg,
+    /// where RLC-AM delivers strictly in order, so this stage is
+    /// unconditionally [`DeliveryOrder::InOrder`]: a shrinking extra delay
+    /// must not reorder packets. Reordering is modelled explicitly —
+    /// downstream — via [`DelayPipe::with_order`] or a
+    /// [`ReorderStage`](crate::reorder::ReorderStage), never here.
     last_delivery: SimTime,
     /// Instant the serialiser last became idle; the next packet starts at
     /// `max(free_at, paused_until)` so the link is work-conserving in
@@ -229,30 +254,52 @@ impl BottleneckLink {
     }
 }
 
-/// A FIFO-preserving delay stage with optional jitter: models the wired WAN
-/// leg between the PGW and the AWS server (§3.1: ≈1 000 km, lowest RTT
-/// ≈35 ms including the radio leg).
+/// A delay stage with optional jitter: models the wired WAN leg between
+/// the PGW and the AWS server (§3.1: ≈1 000 km, lowest RTT ≈35 ms
+/// including the radio leg). Whether jitter may reorder packets is an
+/// explicit [`DeliveryOrder`] choice; [`DelayPipe::new`] keeps the
+/// historical FIFO-preserving behaviour.
 #[derive(Debug)]
 pub struct DelayPipe {
     base_delay: SimDuration,
     jitter_sigma: SimDuration,
     rng: SimRng,
     out: EventQueue<Packet>,
-    /// Monotonic floor on delivery times so jitter never reorders.
+    /// FIFO floor on delivery times, applied only when `ordering` is
+    /// [`DeliveryOrder::InOrder`].
     last_delivery: SimTime,
+    ordering: DeliveryOrder,
 }
 
 impl DelayPipe {
-    /// Create a pipe adding `base_delay` plus `N(0, jitter_sigma)` of jitter
-    /// (truncated below at zero extra delay) to every packet.
+    /// Create a FIFO-preserving pipe adding `base_delay` plus
+    /// `N(0, jitter_sigma)` of jitter (truncated below at half the base
+    /// delay) to every packet. Equivalent to
+    /// [`with_order`](Self::with_order) + [`DeliveryOrder::InOrder`].
     pub fn new(base_delay: SimDuration, jitter_sigma: SimDuration, rng: SimRng) -> Self {
+        DelayPipe::with_order(base_delay, jitter_sigma, rng, DeliveryOrder::InOrder)
+    }
+
+    /// Create a pipe with an explicit delivery-order policy.
+    pub fn with_order(
+        base_delay: SimDuration,
+        jitter_sigma: SimDuration,
+        rng: SimRng,
+        ordering: DeliveryOrder,
+    ) -> Self {
         DelayPipe {
             base_delay,
             jitter_sigma,
             rng,
             out: EventQueue::new(),
             last_delivery: SimTime::ZERO,
+            ordering,
         }
+    }
+
+    /// The pipe's delivery-order policy.
+    pub fn ordering(&self) -> DeliveryOrder {
+        self.ordering
     }
 
     /// Push a packet into the pipe.
@@ -265,8 +312,10 @@ impl DelayPipe {
         let delay_s =
             (self.base_delay.as_secs_f64() + jitter).max(self.base_delay.as_secs_f64() * 0.5);
         let mut deliver = now + SimDuration::from_secs_f64(delay_s);
-        // FIFO: never deliver before a previously enqueued packet.
-        deliver = deliver.max(self.last_delivery);
+        if self.ordering == DeliveryOrder::InOrder {
+            // FIFO: never deliver before a previously enqueued packet.
+            deliver = deliver.max(self.last_delivery);
+        }
         self.last_delivery = deliver;
         self.out.schedule(deliver, packet);
     }
@@ -428,6 +477,60 @@ mod tests {
             got += 1;
         }
         assert_eq!(got, 200);
+    }
+
+    #[test]
+    fn delay_pipe_as_scheduled_can_reorder() {
+        // Same traffic through both policies: the FIFO pipe never inverts
+        // sequence numbers, the as-scheduled pipe (with σ comparable to
+        // the inter-arrival gap) must produce at least one inversion.
+        let mk = |order| {
+            DelayPipe::with_order(
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(5),
+                RngSet::new(9).stream("pipe"),
+                order,
+            )
+        };
+        let mut inversions = [0usize; 2];
+        for (slot, order) in [DeliveryOrder::InOrder, DeliveryOrder::AsScheduled]
+            .into_iter()
+            .enumerate()
+        {
+            let mut pipe = mk(order);
+            for i in 0..200 {
+                pipe.enqueue(
+                    SimTime::ZERO + SimDuration::from_micros(i * 100),
+                    pkt(i, 100),
+                );
+            }
+            let mut last = 0u64;
+            let mut got = 0;
+            while let Some(p) = pipe.poll(SimTime::from_secs(10)) {
+                if p.seq < last {
+                    inversions[slot] += 1;
+                }
+                last = last.max(p.seq);
+                got += 1;
+            }
+            // Both policies conserve packets; only ordering differs.
+            assert_eq!(got, 200);
+        }
+        assert_eq!(inversions[0], 0, "InOrder pipe must stay FIFO");
+        assert!(
+            inversions[1] > 0,
+            "AsScheduled pipe with large jitter must reorder"
+        );
+    }
+
+    #[test]
+    fn delay_pipe_default_constructor_is_in_order() {
+        let pipe = DelayPipe::new(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(5),
+            RngSet::new(1).stream("p"),
+        );
+        assert_eq!(pipe.ordering(), DeliveryOrder::InOrder);
     }
 
     #[test]

@@ -35,8 +35,10 @@ pub struct Packet {
     pub kind: PacketKind,
     /// When the original sender handed the packet to the network.
     pub sent_at: SimTime,
-    /// Set by the fault injector when a corruption fault fires; receivers
-    /// treat corrupted packets as lost after checksum validation.
+    /// Set when a corruption fault fired on this packet; its `payload`
+    /// really had bits flipped (see `fault::corrupt_payload`). Receivers
+    /// decide what that means: drop it as a UDP-checksum failure, or feed
+    /// the damaged bytes to the wire parsers and count the `ParseError`s.
     pub corrupted: bool,
 }
 

@@ -11,6 +11,12 @@
 //! The owner drives the composition: `enqueue` at the entry, then `poll` in
 //! a loop at each simulation step; internally packets cascade between stages
 //! at their due times.
+//!
+//! An optional exit-side [`ReorderStage`] (attached with
+//! [`Path::set_reorder`]) sits after the WAN pipe and models routes that
+//! deliver out of order; scripted reorder windows retune it on the fly.
+
+use std::collections::VecDeque;
 
 use rpav_sim::{SimDuration, SimRng, SimTime};
 
@@ -18,9 +24,11 @@ use crate::fault::{FaultConfig, FaultInjector, FaultOutcome};
 use crate::link::{BottleneckLink, DelayPipe};
 use crate::packet::Packet;
 use crate::queue::QueueStats;
+use crate::reorder::{ReorderConfig, ReorderStage, ReorderStats};
 use crate::script::{FaultScript, OutageScheduler, ScriptStats};
 
-/// Fault injector + bottleneck + WAN pipe, in series.
+/// Fault injector + bottleneck + WAN pipe (+ optional reorder stage), in
+/// series.
 #[derive(Debug)]
 pub struct Path {
     faults: FaultInjector,
@@ -30,6 +38,11 @@ pub struct Path {
     /// Latest blackout end already applied as a bottleneck pause (guards
     /// against re-extending the pause on every poll inside one window).
     script_paused_until: SimTime,
+    /// Exit-side reordering, if attached.
+    reorder: Option<ReorderStage>,
+    /// Packets past every stage, awaiting hand-off to the caller (the
+    /// reorder stage can release several per poll).
+    ready: VecDeque<Packet>,
 }
 
 impl Path {
@@ -61,6 +74,8 @@ impl Path {
             wan: DelayPipe::new(wan_delay, wan_jitter, wan_rng),
             script: None,
             script_paused_until: SimTime::ZERO,
+            reorder: None,
+            ready: VecDeque::new(),
         }
     }
 
@@ -68,6 +83,18 @@ impl Path {
     /// attached earlier; counters restart from zero.
     pub fn set_script(&mut self, script: FaultScript, rng: SimRng) {
         self.script = Some(OutageScheduler::new(script, rng));
+    }
+
+    /// Attach an exit-side reorder stage. With `config.chance == 0` the
+    /// stage is transparent (and drawless) until a scripted reorder window
+    /// activates it.
+    pub fn set_reorder(&mut self, config: ReorderConfig, rng: SimRng) {
+        self.reorder = Some(ReorderStage::new(config, rng));
+    }
+
+    /// Counters of the attached reorder stage, if any.
+    pub fn reorder_stats(&self) -> Option<ReorderStats> {
+        self.reorder.as_ref().map(|r| r.stats())
     }
 
     /// Report the UAV position to positional script clauses (no-op without
@@ -104,13 +131,28 @@ impl Path {
 
     /// Offer a packet at the path entry. Returns `false` if it was dropped
     /// immediately (script, fault or full queue).
-    pub fn enqueue(&mut self, now: SimTime, packet: Packet) -> bool {
+    pub fn enqueue(&mut self, now: SimTime, mut packet: Packet) -> bool {
         self.apply_script_pause(now);
+        let mut scripted_copy = None;
         if let Some(s) = self.script.as_mut() {
             if !s.admit(now, &packet) {
                 return false;
             }
+            // Scripted duplication/corruption windows bite after
+            // admission; a duplicate traverses the fault injector as its
+            // own packet, exactly like an injector-produced one.
+            if s.impair(now, &mut packet) {
+                scripted_copy = Some(packet.clone());
+            }
         }
+        let delivered = self.offer_to_faults(now, packet);
+        match scripted_copy {
+            Some(copy) => self.offer_to_faults(now, copy) || delivered,
+            None => delivered,
+        }
+    }
+
+    fn offer_to_faults(&mut self, now: SimTime, packet: Packet) -> bool {
         match self.faults.offer(packet) {
             FaultOutcome::Drop => false,
             FaultOutcome::Pass(p) => self.bottleneck.enqueue(now, p),
@@ -125,6 +167,13 @@ impl Path {
     /// Drain one packet that has fully traversed the path, if due.
     pub fn poll(&mut self, now: SimTime) -> Option<Packet> {
         self.apply_script_pause(now);
+        // Scripted reorder windows retune the exit stage.
+        if let (Some(r), Some(s)) = (self.reorder.as_mut(), self.script.as_ref()) {
+            match s.reorder_params(now) {
+                Some((prob, disp)) => r.set_window(prob, disp),
+                None => r.clear_window(),
+            }
+        }
         // Cascade: bottleneck output feeds the WAN pipe at the instant each
         // packet actually exited the bottleneck, not at the poll time.
         while let Some((exit, p)) = self.bottleneck.poll_with_time(now) {
@@ -135,17 +184,30 @@ impl Path {
             };
             self.wan.enqueue(exit, p);
         }
-        self.wan.poll(now)
+        loop {
+            if let Some(p) = self.ready.pop_front() {
+                return Some(p);
+            }
+            let Some(p) = self.wan.poll(now) else { break };
+            match self.reorder.as_mut() {
+                Some(r) => self.ready.extend(r.offer(now, p)),
+                None => return Some(p),
+            }
+        }
+        // Quiet wire: time-based release of held packets.
+        if let Some(r) = self.reorder.as_mut() {
+            self.ready.extend(r.flush_due(now));
+        }
+        self.ready.pop_front()
     }
 
     /// The earliest instant `poll` could make progress.
     pub fn next_wake(&self) -> Option<SimTime> {
-        match (self.bottleneck.next_wake(), self.wan.next_wake()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (Some(a), None) => Some(a),
-            (None, Some(b)) => Some(b),
-            (None, None) => None,
-        }
+        let held = self.reorder.as_ref().and_then(|r| r.next_release());
+        [self.bottleneck.next_wake(), self.wan.next_wake(), held]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Re-rate the bottleneck (radio capacity changed).
@@ -301,6 +363,77 @@ mod tests {
         let bo_end = bo_start + SimDuration::from_secs(2);
         assert!(got[1].1 >= bo_end, "stalled packet released early");
         assert_eq!(path.script_stats().unwrap().blackout_dropped, 1);
+    }
+
+    #[test]
+    fn reorder_stage_inverts_order_but_conserves_packets() {
+        use crate::reorder::ReorderConfig;
+        let mut path = quiet_path();
+        path.set_reorder(
+            ReorderConfig {
+                chance: 0.3,
+                max_displacement: 4,
+                max_hold: SimDuration::from_millis(50),
+            },
+            RngSet::new(31).stream("reorder"),
+        );
+        let t0 = SimTime::ZERO;
+        for i in 0..300 {
+            path.enqueue(t0 + SimDuration::from_millis(i), pkt(i, t0));
+        }
+        let mut got = Vec::new();
+        let mut t = t0;
+        let horizon = SimTime::from_secs(10);
+        while t < horizon {
+            while let Some(p) = path.poll(t) {
+                got.push(p.seq);
+            }
+            t = path
+                .next_wake()
+                .unwrap_or(horizon)
+                .max(t + SimDuration::from_micros(1));
+        }
+        assert_eq!(got.len(), 300, "reordering must not lose packets");
+        let inversions = got.windows(2).filter(|w| w[1] < w[0]).count();
+        assert!(inversions > 0, "30% hold chance must reorder something");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scripted_duplicate_and_corrupt_windows_apply() {
+        use crate::script::FaultScript;
+        let mut path = quiet_path();
+        let rngs = RngSet::new(41);
+        let t0 = SimTime::ZERO;
+        path.set_script(
+            FaultScript::new()
+                .duplicate_window(t0, SimDuration::from_secs(1), 1.0, None)
+                .corrupt_window(SimTime::from_secs(2), SimDuration::from_secs(1), 1.0, None),
+            rngs.stream("script"),
+        );
+        // Inside the duplication window: two copies arrive.
+        path.enqueue(t0, pkt(0, t0));
+        // Inside the corruption window: one damaged copy arrives.
+        let t_corrupt = SimTime::from_millis(2_500);
+        path.enqueue(t_corrupt, pkt(1, t_corrupt));
+        let mut got = Vec::new();
+        let mut t = t0;
+        while t < SimTime::from_secs(5) {
+            while let Some(p) = path.poll(t) {
+                got.push(p);
+            }
+            t += SimDuration::from_millis(1);
+        }
+        let zeros = got.iter().filter(|p| p.seq == 0).count();
+        assert_eq!(zeros, 2, "duplication window must emit two copies");
+        let ones: Vec<_> = got.iter().filter(|p| p.seq == 1).collect();
+        assert_eq!(ones.len(), 1);
+        assert!(ones[0].corrupted, "corruption window must damage payload");
+        let stats = path.script_stats().unwrap();
+        assert_eq!(stats.duplicated, 1);
+        assert_eq!(stats.corrupted, 1);
     }
 
     #[test]

@@ -65,6 +65,47 @@ pub enum FaultClause {
         /// Extra one-way delay.
         extra: SimDuration,
     },
+    /// Probabilistic packet duplication inside the window, optionally
+    /// restricted to one packet kind. Models the duplicate delivery that
+    /// RLC-AM re-establishment and tunnel rehoming produce.
+    Duplicate {
+        /// Start of the window.
+        from: SimTime,
+        /// End of the window (exclusive).
+        until: SimTime,
+        /// Per-packet duplication probability in `[0, 1]`.
+        prob: f64,
+        /// Restrict to this kind (`None` = all packets).
+        kind: Option<PacketKind>,
+    },
+    /// Probabilistic payload bit-corruption inside the window, optionally
+    /// restricted to one packet kind. A firing clause flips real payload
+    /// bits (see [`corrupt_payload`](crate::fault::corrupt_payload)), so
+    /// the receiver's wire parsers face genuinely hostile bytes.
+    Corrupt {
+        /// Start of the window.
+        from: SimTime,
+        /// End of the window (exclusive).
+        until: SimTime,
+        /// Per-packet corruption probability in `[0, 1]`.
+        prob: f64,
+        /// Restrict to this kind (`None` = all packets).
+        kind: Option<PacketKind>,
+    },
+    /// Packet reordering inside the window: while active, the path's
+    /// [`ReorderStage`](crate::reorder::ReorderStage) runs with this
+    /// hold probability and displacement bound instead of its base
+    /// configuration.
+    Reorder {
+        /// Start of the window.
+        from: SimTime,
+        /// End of the window (exclusive).
+        until: SimTime,
+        /// Per-packet hold probability in `[0, 1]`.
+        prob: f64,
+        /// Bound on how many later packets may overtake a held one.
+        max_displacement: u64,
+    },
     /// Position-keyed coverage hole: while the UAV is horizontally within
     /// `radius_m` of `(x, y)` *and* its altitude is at or above `min_alt_m`,
     /// the link behaves as blacked out. Models the paper's high-altitude
@@ -90,7 +131,10 @@ impl FaultClause {
             FaultClause::Blackout { from, until }
             | FaultClause::KindBlackout { from, until, .. }
             | FaultClause::Loss { from, until, .. }
-            | FaultClause::DelaySpike { from, until, .. } => *from <= now && now < *until,
+            | FaultClause::DelaySpike { from, until, .. }
+            | FaultClause::Duplicate { from, until, .. }
+            | FaultClause::Corrupt { from, until, .. }
+            | FaultClause::Reorder { from, until, .. } => *from <= now && now < *until,
             FaultClause::CoverageHole {
                 x,
                 y,
@@ -166,6 +210,57 @@ impl FaultScript {
         self
     }
 
+    /// Add a duplication window.
+    pub fn duplicate_window(
+        mut self,
+        at: SimTime,
+        duration: SimDuration,
+        prob: f64,
+        kind: Option<PacketKind>,
+    ) -> Self {
+        self.clauses.push(FaultClause::Duplicate {
+            from: at,
+            until: at + duration,
+            prob,
+            kind,
+        });
+        self
+    }
+
+    /// Add a payload bit-corruption window.
+    pub fn corrupt_window(
+        mut self,
+        at: SimTime,
+        duration: SimDuration,
+        prob: f64,
+        kind: Option<PacketKind>,
+    ) -> Self {
+        self.clauses.push(FaultClause::Corrupt {
+            from: at,
+            until: at + duration,
+            prob,
+            kind,
+        });
+        self
+    }
+
+    /// Add a reordering window.
+    pub fn reorder_window(
+        mut self,
+        at: SimTime,
+        duration: SimDuration,
+        prob: f64,
+        max_displacement: u64,
+    ) -> Self {
+        self.clauses.push(FaultClause::Reorder {
+            from: at,
+            until: at + duration,
+            prob,
+            max_displacement,
+        });
+        self
+    }
+
     /// Add an altitude-gated coverage hole.
     pub fn coverage_hole(mut self, x: f64, y: f64, radius_m: f64, min_alt_m: f64) -> Self {
         self.clauses.push(FaultClause::CoverageHole {
@@ -191,6 +286,17 @@ impl FaultScript {
     /// Whether the script contains no clauses.
     pub fn is_empty(&self) -> bool {
         self.clauses.is_empty()
+    }
+
+    /// Whether any reorder window is scripted. Hosts that own the
+    /// [`Path`](crate::Path) use this to decide whether an exit-side
+    /// [`ReorderStage`](crate::reorder::ReorderStage) must be attached —
+    /// the scheduler only *retunes* an existing stage, it cannot create
+    /// one.
+    pub fn has_reorder(&self) -> bool {
+        self.clauses
+            .iter()
+            .any(|c| matches!(c, FaultClause::Reorder { .. }))
     }
 
     /// All *timed* full-blackout windows, in declaration order. Recovery
@@ -233,6 +339,10 @@ pub struct ScriptStats {
     pub loss_dropped: u64,
     /// Packets dropped by coverage holes.
     pub hole_dropped: u64,
+    /// Packets duplicated by scripted duplication windows.
+    pub duplicated: u64,
+    /// Packets bit-corrupted by scripted corruption windows.
+    pub corrupted: u64,
     /// Packets admitted.
     pub admitted: u64,
 }
@@ -296,7 +406,13 @@ impl OutageScheduler {
                         return false;
                     }
                 }
-                FaultClause::DelaySpike { .. } => {}
+                // Non-screening clauses: handled by `impair` (which runs
+                // after admission) and `reorder_params`, never here — the
+                // admit-time RNG consumption order is a stability contract.
+                FaultClause::DelaySpike { .. }
+                | FaultClause::Duplicate { .. }
+                | FaultClause::Corrupt { .. }
+                | FaultClause::Reorder { .. } => {}
                 FaultClause::CoverageHole { .. } => {
                     self.stats.hole_dropped += 1;
                     return false;
@@ -305,6 +421,53 @@ impl OutageScheduler {
         }
         self.stats.admitted += 1;
         true
+    }
+
+    /// Apply scripted duplication/corruption windows to an admitted
+    /// packet, in place. Returns `true` if the packet should additionally
+    /// be delivered twice.
+    ///
+    /// Same determinism contract as [`admit`](Self::admit): clauses are
+    /// evaluated in declaration order and the RNG is consumed only by
+    /// active, kind-matching duplicate/corrupt clauses.
+    pub fn impair(&mut self, now: SimTime, packet: &mut Packet) -> bool {
+        let mut duplicate = false;
+        for clause in self.script.clauses.iter() {
+            if !clause.active(now, self.position) {
+                continue;
+            }
+            match clause {
+                FaultClause::Duplicate { prob, kind, .. }
+                    if kind.map_or(true, |k| packet.kind == k) && self.rng.chance(*prob) =>
+                {
+                    duplicate = true;
+                    self.stats.duplicated += 1;
+                }
+                FaultClause::Corrupt { prob, kind, .. }
+                    if kind.map_or(true, |k| packet.kind == k) && self.rng.chance(*prob) =>
+                {
+                    crate::fault::corrupt_payload(packet, &mut self.rng);
+                    self.stats.corrupted += 1;
+                }
+                _ => {}
+            }
+        }
+        duplicate
+    }
+
+    /// Hold probability and displacement bound of the active reorder
+    /// window at `now` (`None` when no reorder window is active; the
+    /// first active clause in declaration order wins).
+    pub fn reorder_params(&self, now: SimTime) -> Option<(f64, u64)> {
+        self.script.clauses.iter().find_map(|c| match c {
+            FaultClause::Reorder {
+                from,
+                until,
+                prob,
+                max_displacement,
+            } if *from <= now && now < *until => Some((*prob, *max_displacement)),
+            _ => None,
+        })
     }
 
     /// Whether a full blackout (timed or positional) is in force at `now`.
@@ -474,6 +637,77 @@ mod tests {
             s.feedback_blackout_windows(),
             vec![(SimTime::from_secs(10), SimTime::from_secs(11))]
         );
+    }
+
+    #[test]
+    fn duplicate_window_fires_inside_only() {
+        let s = FaultScript::new().duplicate_window(
+            SimTime::from_secs(1),
+            SimDuration::from_secs(1),
+            1.0,
+            Some(PacketKind::Media),
+        );
+        let mut sch = sched(s, 6);
+        let outside = SimTime::from_millis(500);
+        let inside = SimTime::from_millis(1_500);
+        let mut p = pkt(0, PacketKind::Media, outside);
+        assert!(!sch.impair(outside, &mut p));
+        let mut p = pkt(1, PacketKind::Media, inside);
+        assert!(sch.impair(inside, &mut p));
+        // Kind filter: feedback is spared.
+        let mut p = pkt(2, PacketKind::Feedback, inside);
+        assert!(!sch.impair(inside, &mut p));
+        assert_eq!(sch.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn corrupt_window_flips_payload_bits() {
+        let s =
+            FaultScript::new().corrupt_window(SimTime::ZERO, SimDuration::from_secs(10), 1.0, None);
+        let mut sch = sched(s, 7);
+        let t = SimTime::from_secs(1);
+        let mut p = pkt(0, PacketKind::Media, t);
+        let original = p.payload.clone();
+        sch.impair(t, &mut p);
+        assert!(p.corrupted);
+        assert_ne!(p.payload, original, "corruption must damage real bytes");
+        assert_eq!(p.payload.len(), original.len());
+        assert_eq!(sch.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn reorder_params_reported_inside_window() {
+        let s = FaultScript::new().reorder_window(
+            SimTime::from_secs(2),
+            SimDuration::from_secs(3),
+            0.25,
+            6,
+        );
+        let sch = sched(s, 8);
+        assert_eq!(sch.reorder_params(SimTime::from_secs(1)), None);
+        assert_eq!(sch.reorder_params(SimTime::from_secs(3)), Some((0.25, 6)));
+        assert_eq!(sch.reorder_params(SimTime::from_secs(5)), None);
+    }
+
+    #[test]
+    fn impair_is_deterministic_across_identically_seeded_schedulers() {
+        let script = || {
+            FaultScript::new()
+                .duplicate_window(SimTime::ZERO, SimDuration::from_secs(100), 0.3, None)
+                .corrupt_window(SimTime::ZERO, SimDuration::from_secs(100), 0.3, None)
+        };
+        let mut a = sched(script(), 99);
+        let mut b = sched(script(), 99);
+        for i in 0..2_000u64 {
+            let t = SimTime::from_millis(i * 7);
+            let mut pa = pkt(i, PacketKind::Media, t);
+            let mut pb = pkt(i, PacketKind::Media, t);
+            assert_eq!(a.impair(t, &mut pa), b.impair(t, &mut pb));
+            assert_eq!(pa.corrupted, pb.corrupted);
+            assert_eq!(pa.payload, pb.payload, "bit-flips diverged at {i}");
+        }
+        assert_eq!(a.stats().duplicated, b.stats().duplicated);
+        assert_eq!(a.stats().corrupted, b.stats().corrupted);
     }
 
     #[test]

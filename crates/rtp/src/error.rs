@@ -1,0 +1,81 @@
+//! Typed parse errors for every wire format in the crate.
+//!
+//! All parsers are **total functions**: any byte string maps to either a
+//! value or a [`ParseError`] — never a panic. The error distinguishes the
+//! cheap structural causes so per-path counters in the pipeline can tell a
+//! truncated packet (bit-corruption on the wire) from a packet of the
+//! wrong dialect (normal RTCP demultiplexing).
+
+use core::fmt;
+
+/// Why a byte string failed to parse as a given wire format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Fewer bytes than the format's structure requires.
+    Truncated {
+        /// Bytes the parser needed to make progress.
+        needed: usize,
+        /// Bytes actually available at that point.
+        have: usize,
+    },
+    /// The RTP/RTCP version field is not 2.
+    BadVersion {
+        /// The version that was found.
+        version: u8,
+    },
+    /// Structurally valid RTCP, but not the packet type / FMT this parser
+    /// handles (normal demultiplexing outcome, not wire damage).
+    WrongPacketType {
+        /// The format the parser was looking for.
+        expected: &'static str,
+    },
+    /// An internal structural inconsistency (bad length word, count that
+    /// the payload cannot satisfy, …).
+    Malformed {
+        /// Human-readable cause.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { needed, have } => {
+                write!(f, "truncated: needed {needed} bytes, have {have}")
+            }
+            ParseError::BadVersion { version } => {
+                write!(f, "bad protocol version {version} (expected 2)")
+            }
+            ParseError::WrongPacketType { expected } => {
+                write!(f, "not a {expected} packet")
+            }
+            ParseError::Malformed { reason } => write!(f, "malformed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: [(ParseError, &str); 4] = [
+            (
+                ParseError::Truncated {
+                    needed: 12,
+                    have: 3,
+                },
+                "truncated",
+            ),
+            (ParseError::BadVersion { version: 0 }, "version 0"),
+            (ParseError::WrongPacketType { expected: "PLI" }, "PLI"),
+            (ParseError::Malformed { reason: "x" }, "malformed"),
+        ];
+        for (e, frag) in cases {
+            assert!(e.to_string().contains(frag), "{e}");
+        }
+    }
+}

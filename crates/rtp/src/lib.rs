@@ -21,20 +21,32 @@
 //! * [`packetize`] — frame → RTP packets and back, with loss detection.
 //! * [`pli`] — picture loss indication (RFC 4585), the receiver→sender
 //!   keyframe-recovery trigger after decode-breaking loss.
+//! * [`nack`] — RFC 4585 generic NACK wire format and the receiver-side
+//!   gap detector / deadline-aware NACK scheduler.
+//! * [`rtx`] — RFC 4588-style retransmission: sender history ring plus a
+//!   token-bucket repair budget charged against the CC target rate.
 //! * [`jitter`] — the receiver jitter buffer (150 ms default, matching the
 //!   pipeline in §3.2), including the `drop-on-latency` mode discussed in
 //!   Appendix A.4.
+//! * [`error`] — the typed [`ParseError`] every wire parser returns; all
+//!   parsers are total functions over arbitrary bytes.
 
+pub mod error;
 pub mod jitter;
+pub mod nack;
 pub mod packet;
 pub mod packetize;
 pub mod pli;
 pub mod rfc8888;
+pub mod rtx;
 pub mod twcc;
 
+pub use error::ParseError;
 pub use jitter::{JitterBuffer, JitterConfig};
+pub use nack::{Nack, NackConfig, NackGenerator, NackStats};
 pub use packet::RtpPacket;
 pub use packetize::{Depacketizer, FrameMeta, Packetizer, ReassembledFrame};
 pub use pli::Pli;
 pub use rfc8888::{Rfc8888Builder, Rfc8888Packet, Rfc8888Report};
+pub use rtx::{RtxConfig, RtxSender, RtxStats};
 pub use twcc::{TwccFeedback, TwccRecorder};

@@ -2,6 +2,8 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::error::ParseError;
+
 /// RTP clock rate used for video (RFC 3551: 90 kHz).
 pub const VIDEO_CLOCK_HZ: u32 = 90_000;
 
@@ -62,14 +64,18 @@ impl RtpPacket {
         b.freeze()
     }
 
-    /// Parse from wire format. Returns `None` on malformed input.
-    pub fn parse(mut data: Bytes) -> Option<RtpPacket> {
+    /// Parse from wire format. Total: any byte string yields either a
+    /// packet or a typed [`ParseError`], never a panic.
+    pub fn parse(mut data: Bytes) -> Result<RtpPacket, ParseError> {
         if data.len() < 12 {
-            return None;
+            return Err(ParseError::Truncated {
+                needed: 12,
+                have: data.len(),
+            });
         }
         let b0 = data.get_u8();
         if b0 >> 6 != 2 {
-            return None; // not RTP v2
+            return Err(ParseError::BadVersion { version: b0 >> 6 });
         }
         let has_ext = (b0 >> 4) & 1 == 1;
         let cc = (b0 & 0x0f) as usize;
@@ -81,18 +87,27 @@ impl RtpPacket {
         let ssrc = data.get_u32();
         // Skip CSRCs.
         if data.len() < cc * 4 {
-            return None;
+            return Err(ParseError::Truncated {
+                needed: cc * 4,
+                have: data.len(),
+            });
         }
         data.advance(cc * 4);
         let mut transport_seq = None;
         if has_ext {
             if data.len() < 4 {
-                return None;
+                return Err(ParseError::Truncated {
+                    needed: 4,
+                    have: data.len(),
+                });
             }
             let profile = data.get_u16();
             let words = data.get_u16() as usize;
             if data.len() < words * 4 {
-                return None;
+                return Err(ParseError::Truncated {
+                    needed: words * 4,
+                    have: data.len(),
+                });
             }
             let mut ext = data.split_to(words * 4);
             if profile == 0xBEDE {
@@ -115,7 +130,7 @@ impl RtpPacket {
                 }
             }
         }
-        Some(RtpPacket {
+        Ok(RtpPacket {
             marker,
             payload_type,
             sequence,
@@ -183,11 +198,20 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(RtpPacket::parse(Bytes::from_static(b"short")).is_none());
+        assert_eq!(
+            RtpPacket::parse(Bytes::from_static(b"short")),
+            Err(crate::ParseError::Truncated {
+                needed: 12,
+                have: 5
+            })
+        );
         // Version 0.
         let mut bad = vec![0u8; 12];
         bad[0] = 0x00;
-        assert!(RtpPacket::parse(Bytes::from(bad)).is_none());
+        assert_eq!(
+            RtpPacket::parse(Bytes::from(bad)),
+            Err(crate::ParseError::BadVersion { version: 0 })
+        );
     }
 
     #[test]

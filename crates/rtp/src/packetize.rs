@@ -10,6 +10,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rpav_sim::SimTime;
 use std::collections::BTreeMap;
 
+use crate::error::ParseError;
 use crate::packet::{unwrap_seq, RtpPacket, VIDEO_CLOCK_HZ};
 
 /// Ground-truth metadata embedded in every packet of a frame.
@@ -29,6 +30,11 @@ pub struct FrameMeta {
 /// flags(1) + frame_bytes(4) + frag_index(2) + frag_count(2).
 pub const META_LEN: usize = 25;
 
+/// Largest forward frame-number jump the depacketizer accepts relative to
+/// the stream's observed progression (~2 minutes of 30 fps video). Beyond
+/// it a decoded header is treated as a bit-corruption survivor.
+pub const MAX_FRAME_JUMP: u64 = 4_096;
+
 /// Maximum RTP payload per packet (typical 1200 B media payload budget,
 /// leaving room for RTP/UDP/IP overhead within a 1500 B MTU).
 pub const MAX_PAYLOAD: usize = 1_200;
@@ -46,9 +52,15 @@ fn encode_meta(meta: &FrameMeta, frag_index: u16, frag_count: u16, fill: usize) 
     b.freeze()
 }
 
-fn decode_meta(mut payload: Bytes) -> Option<(FrameMeta, u16, u16)> {
+/// Decode the per-packet metadata header from an RTP payload. Total: any
+/// byte string yields a value or a typed [`ParseError`] — public so the
+/// fuzz suite can hammer it directly.
+pub fn decode_meta(mut payload: Bytes) -> Result<(FrameMeta, u16, u16), ParseError> {
     if payload.len() < META_LEN {
-        return None;
+        return Err(ParseError::Truncated {
+            needed: META_LEN,
+            have: payload.len(),
+        });
     }
     let frame_number = payload.get_u64();
     let encode_time = SimTime::from_micros(payload.get_u64());
@@ -56,7 +68,17 @@ fn decode_meta(mut payload: Bytes) -> Option<(FrameMeta, u16, u16)> {
     let frame_bytes = payload.get_u32();
     let frag_index = payload.get_u16();
     let frag_count = payload.get_u16();
-    Some((
+    if frag_count == 0 {
+        return Err(ParseError::Malformed {
+            reason: "zero fragment count",
+        });
+    }
+    if frag_index >= frag_count {
+        return Err(ParseError::Malformed {
+            reason: "fragment index beyond count",
+        });
+    }
+    Ok((
         FrameMeta {
             frame_number,
             encode_time,
@@ -162,6 +184,9 @@ pub struct Depacketizer {
     last_seq_unwrapped: Option<u64>,
     /// Count of media-level sequence gaps observed (lost packets).
     lost_packets: u64,
+    /// Packets whose payload failed to decode as frame metadata
+    /// (bit-corruption survivors, truncation).
+    malformed_payloads: u64,
     /// Highest frame number ever drained.
     highest_drained: Option<u64>,
 }
@@ -175,6 +200,11 @@ impl Depacketizer {
     /// Total media packets observed as lost (sequence gaps).
     pub fn lost_packets(&self) -> u64 {
         self.lost_packets
+    }
+
+    /// Packets dropped because their payload metadata failed to decode.
+    pub fn malformed_payloads(&self) -> u64 {
+        self.malformed_payloads
     }
 
     /// Feed one packet from the jitter buffer; `arrival` is its delivery
@@ -192,9 +222,25 @@ impl Depacketizer {
         }
         self.last_seq_unwrapped = Some(self.last_seq_unwrapped.unwrap_or(unwrapped).max(unwrapped));
 
-        let Some((meta, _idx, count)) = decode_meta(packet.payload.clone()) else {
+        let Ok((meta, _idx, count)) = decode_meta(packet.payload.clone()) else {
+            self.malformed_payloads += 1;
             return;
         };
+        // Plausibility gate: a header that decoded but names a frame far
+        // outside the stream's progression is a bit-corruption survivor
+        // (frame numbers advance at ~30/s; a jump of thousands within one
+        // jitter-buffer window is wire damage, not video). Letting it
+        // through would wedge the reassembly map and the player buffer on
+        // a frame number that never completes.
+        let anchor = self
+            .highest_drained
+            .or_else(|| self.pending.keys().next().copied());
+        if let Some(anchor) = anchor {
+            if meta.frame_number > anchor.saturating_add(MAX_FRAME_JUMP) {
+                self.malformed_payloads += 1;
+                return;
+            }
+        }
         let entry = self
             .pending
             .entry(meta.frame_number)
@@ -274,6 +320,38 @@ mod tests {
             assert_eq!(pkt.sequence, i as u16);
             assert_eq!(pkt.transport_seq, Some(i as u16));
         }
+    }
+
+    #[test]
+    fn implausible_frame_jump_counts_as_malformed() {
+        let mut p = Packetizer::new(7, false);
+        let mut d = Depacketizer::new();
+        for pkt in p.packetize(meta(0, 500), SimTime::ZERO) {
+            d.push(&pkt, SimTime::ZERO);
+        }
+        assert_eq!(d.pending_frames(), 1);
+        // A bit-corruption survivor: decodes fine but names a frame
+        // absurdly far ahead of the stream.
+        let mut q = Packetizer::new(7, false);
+        let bogus = q.packetize(
+            FrameMeta {
+                frame_number: 1 << 50,
+                encode_time: SimTime::ZERO,
+                keyframe: false,
+                frame_bytes: 500,
+            },
+            SimTime::ZERO,
+        );
+        for pkt in &bogus {
+            d.push(pkt, SimTime::ZERO);
+        }
+        assert_eq!(d.malformed_payloads(), bogus.len() as u64);
+        assert_eq!(d.pending_frames(), 1, "bogus frame entered the map");
+        // A plausible next frame still passes.
+        for pkt in p.packetize(meta(1, 500), SimTime::ZERO) {
+            d.push(&pkt, SimTime::ZERO);
+        }
+        assert_eq!(d.pending_frames(), 2);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::error::ParseError;
+
 /// RTCP payload type for payload-specific feedback.
 pub const RTCP_PT_PSFB: u8 = 206;
 /// Feedback message type for picture loss indication.
@@ -38,20 +40,28 @@ impl Pli {
         b.freeze()
     }
 
-    /// Parse from wire bytes; `None` if this is not a PLI.
-    pub fn parse(mut data: Bytes) -> Option<Pli> {
+    /// Parse from wire bytes. Total: returns a typed [`ParseError`] when
+    /// the bytes are not a PLI (truncated, wrong version, or another RTCP
+    /// dialect), never panics.
+    pub fn parse(mut data: Bytes) -> Result<Pli, ParseError> {
         if data.len() < 12 {
-            return None;
+            return Err(ParseError::Truncated {
+                needed: 12,
+                have: data.len(),
+            });
         }
         let b0 = data.get_u8();
-        if b0 >> 6 != 2 || (b0 & 0x1f) != FMT_PLI {
-            return None;
+        if b0 >> 6 != 2 {
+            return Err(ParseError::BadVersion { version: b0 >> 6 });
+        }
+        if (b0 & 0x1f) != FMT_PLI {
+            return Err(ParseError::WrongPacketType { expected: "PLI" });
         }
         if data.get_u8() != RTCP_PT_PSFB {
-            return None;
+            return Err(ParseError::WrongPacketType { expected: "PLI" });
         }
         let _len = data.get_u16();
-        Some(Pli {
+        Ok(Pli {
             sender_ssrc: data.get_u32(),
             media_ssrc: data.get_u32(),
         })
@@ -70,24 +80,26 @@ mod tests {
         };
         let wire = pli.serialize();
         assert_eq!(wire.len(), 12);
-        assert_eq!(Pli::parse(wire), Some(pli));
+        assert_eq!(Pli::parse(wire), Ok(pli));
     }
 
     #[test]
     fn discriminable_from_transport_feedback() {
-        // A PLI must not parse as TWCC or CCFB, and vice versa.
+        // A PLI must not parse as TWCC, CCFB or NACK, and vice versa.
         let pli = Pli {
             sender_ssrc: 1,
             media_ssrc: 2,
         }
         .serialize();
-        assert!(crate::twcc::TwccFeedback::parse(pli.clone()).is_none());
-        assert!(crate::rfc8888::Rfc8888Packet::parse(pli.clone()).is_none());
+        assert!(crate::twcc::TwccFeedback::parse(pli.clone()).is_err());
+        assert!(crate::rfc8888::Rfc8888Packet::parse(pli.clone()).is_err());
+        assert!(crate::nack::Nack::parse(pli.clone()).is_err());
 
         // And transport feedback bytes must not parse as a PLI. Craft the
         // shared prefix of each dialect (header + SSRCs) long enough to
-        // pass the length check.
-        for fmt_pt in [(15u8, 205u8), (11, 205)] {
+        // pass the length check: TWCC (15/205), CCFB (11/205), generic
+        // NACK (1/205 — same FMT as PLI, different PT).
+        for fmt_pt in [(15u8, 205u8), (11, 205), (1, 205)] {
             let mut b = BytesMut::new();
             b.put_u8((2 << 6) | fmt_pt.0);
             b.put_u8(fmt_pt.1);
@@ -95,13 +107,13 @@ mod tests {
             b.put_u32(0);
             b.put_u32(0);
             b.put_u32(0);
-            assert!(Pli::parse(b.freeze()).is_none(), "fmt/pt {fmt_pt:?}");
+            assert!(Pli::parse(b.freeze()).is_err(), "fmt/pt {fmt_pt:?}");
         }
     }
 
     #[test]
     fn truncated_or_garbage_rejected() {
-        assert!(Pli::parse(Bytes::from_static(&[0x81, 206])).is_none());
-        assert!(Pli::parse(Bytes::from(vec![0u8; 12])).is_none());
+        assert!(Pli::parse(Bytes::from_static(&[0x81, 206])).is_err());
+        assert!(Pli::parse(Bytes::from(vec![0u8; 12])).is_err());
     }
 }

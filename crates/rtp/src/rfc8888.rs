@@ -20,6 +20,7 @@ use std::collections::BTreeMap;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rpav_sim::{SimDuration, SimTime};
 
+use crate::error::ParseError;
 use crate::packet::unwrap_seq;
 
 /// RTCP payload type for transport-layer feedback.
@@ -98,25 +99,36 @@ impl Rfc8888Packet {
         b.freeze()
     }
 
-    /// Parse from RTCP wire format.
-    pub fn parse(mut data: Bytes) -> Option<Rfc8888Packet> {
+    /// Parse from RTCP wire format. Total: returns a typed [`ParseError`]
+    /// on anything that is not a well-formed CCFB packet.
+    pub fn parse(mut data: Bytes) -> Result<Rfc8888Packet, ParseError> {
         if data.len() < 20 {
-            return None;
+            return Err(ParseError::Truncated {
+                needed: 20,
+                have: data.len(),
+            });
         }
         let b0 = data.get_u8();
-        if b0 >> 6 != 2 || (b0 & 0x1f) != FMT_CCFB {
-            return None;
+        if b0 >> 6 != 2 {
+            return Err(ParseError::BadVersion { version: b0 >> 6 });
+        }
+        if (b0 & 0x1f) != FMT_CCFB {
+            return Err(ParseError::WrongPacketType { expected: "CCFB" });
         }
         if data.get_u8() != RTCP_PT_RTPFB {
-            return None;
+            return Err(ParseError::WrongPacketType { expected: "CCFB" });
         }
         let _len = data.get_u16();
         let _sender = data.get_u32();
         let _media = data.get_u32();
         let begin = data.get_u16();
         let n = data.get_u16() as usize;
-        if data.len() < 2 * n + if n % 2 == 1 { 2 } else { 0 } + 4 {
-            return None;
+        let needed = 2 * n + if n % 2 == 1 { 2 } else { 0 } + 4;
+        if data.len() < needed {
+            return Err(ParseError::Truncated {
+                needed,
+                have: data.len(),
+            });
         }
         let mut blocks = Vec::with_capacity(n);
         for _ in 0..n {
@@ -135,7 +147,7 @@ impl Rfc8888Packet {
                 ato: SimDuration::from_secs_f64((blk & 0x1fff) as f64 / 1024.0),
             })
             .collect();
-        Some(Rfc8888Packet { report_ts, reports })
+        Ok(Rfc8888Packet { report_ts, reports })
     }
 }
 

@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rpav_sim::{SimDuration, SimTime};
 
+use crate::error::ParseError;
 use crate::packet::unwrap_seq;
 
 /// RTCP payload type for transport-layer feedback.
@@ -158,18 +159,25 @@ impl TwccFeedback {
         b.freeze()
     }
 
-    /// Parse from RTCP wire format.
-    pub fn parse(mut data: Bytes) -> Option<TwccFeedback> {
+    /// Parse from RTCP wire format. Total: returns a typed [`ParseError`]
+    /// on anything that is not a well-formed TWCC feedback packet.
+    pub fn parse(mut data: Bytes) -> Result<TwccFeedback, ParseError> {
         if data.len() < 20 {
-            return None;
+            return Err(ParseError::Truncated {
+                needed: 20,
+                have: data.len(),
+            });
         }
         let b0 = data.get_u8();
-        if b0 >> 6 != 2 || (b0 & 0x1f) != FMT_TWCC {
-            return None;
+        if b0 >> 6 != 2 {
+            return Err(ParseError::BadVersion { version: b0 >> 6 });
+        }
+        if (b0 & 0x1f) != FMT_TWCC {
+            return Err(ParseError::WrongPacketType { expected: "TWCC" });
         }
         let pt = data.get_u8();
         if pt != RTCP_PT_RTPFB {
-            return None;
+            return Err(ParseError::WrongPacketType { expected: "TWCC" });
         }
         let _len = data.get_u16();
         let _sender_ssrc = data.get_u32();
@@ -184,7 +192,10 @@ impl TwccFeedback {
         let mut statuses = Vec::with_capacity(count);
         while statuses.len() < count {
             if data.len() < 2 {
-                return None;
+                return Err(ParseError::Truncated {
+                    needed: 2,
+                    have: data.len(),
+                });
             }
             let chunk = data.get_u16();
             if chunk >> 15 == 0 {
@@ -195,7 +206,11 @@ impl TwccFeedback {
                     0 => Status::NotReceived,
                     1 => Status::SmallDelta,
                     2 => Status::LargeDelta,
-                    _ => return None,
+                    _ => {
+                        return Err(ParseError::Malformed {
+                            reason: "reserved status code in run-length chunk",
+                        })
+                    }
                 };
                 for _ in 0..run.min(count - statuses.len()) {
                     statuses.push(sym);
@@ -211,7 +226,11 @@ impl TwccFeedback {
                         0 => Status::NotReceived,
                         1 => Status::SmallDelta,
                         2 => Status::LargeDelta,
-                        _ => return None,
+                        _ => {
+                            return Err(ParseError::Malformed {
+                                reason: "reserved status code in vector chunk",
+                            })
+                        }
                     });
                 }
             } else {
@@ -239,7 +258,7 @@ impl TwccFeedback {
                 Status::NotReceived => arrivals.push(None),
                 Status::SmallDelta => {
                     if data.is_empty() {
-                        return None;
+                        return Err(ParseError::Truncated { needed: 1, have: 0 });
                     }
                     let ticks = data.get_u8() as i64;
                     let t = prev + SimDuration::from_micros((ticks * 250) as u64);
@@ -248,7 +267,10 @@ impl TwccFeedback {
                 }
                 Status::LargeDelta => {
                     if data.len() < 2 {
-                        return None;
+                        return Err(ParseError::Truncated {
+                            needed: 2,
+                            have: data.len(),
+                        });
                     }
                     let ticks = data.get_i16() as i64;
                     let t = if ticks >= 0 {
@@ -261,7 +283,7 @@ impl TwccFeedback {
                 }
             }
         }
-        Some(TwccFeedback {
+        Ok(TwccFeedback {
             base_seq,
             fb_count,
             reference_time_64ms,

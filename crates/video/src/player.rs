@@ -86,6 +86,10 @@ pub struct PlayerStats {
     pub stalls: u64,
     /// Total wall time spent above the stall threshold.
     pub stalled_time: SimDuration,
+    /// Frames that arrived after the player had already skipped past them
+    /// — delivered late (e.g. a retransmission that lost its race), not
+    /// lost, but no longer displayable.
+    pub late_discarded: u64,
 }
 
 /// The player.
@@ -138,14 +142,17 @@ impl Player {
             .next_back()
             .map(|last| last.saturating_sub(self.next_frame) + 1)
             .unwrap_or(0);
-        SimDuration::from_micros(buffered_ahead * FRAME_INTERVAL_US)
+        // Saturating: an upstream bug feeding an absurd frame number must
+        // read as "a huge buffer", not an arithmetic panic.
+        SimDuration::from_micros(buffered_ahead.saturating_mul(FRAME_INTERVAL_US))
     }
 
     /// Hand a decoded frame to the player.
     pub fn push(&mut self, frame: DecodedFrame) {
         if frame.frame_number < self.next_frame {
-            // Arrived after we already skipped past it: too late, ignore
-            // (the skip was already recorded).
+            // Arrived after we already skipped past it: delivered late,
+            // not lost (the skip was already recorded).
+            self.stats.late_discarded += 1;
             return;
         }
         self.buffer.insert(frame.frame_number, frame);
