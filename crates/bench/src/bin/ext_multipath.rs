@@ -16,11 +16,12 @@ fn main() {
         "Extension E-1",
         "multipath (P1+P2 duplicate) vs single path, rural static 8 Mbps",
     );
-    for scheme in [MultipathScheme::SinglePath, MultipathScheme::Duplicate] {
+    for scheme in MultipathScheme::all() {
         let mut owd = Vec::new();
         let mut within = Vec::new();
         let mut per = Vec::new();
         let mut stalls = Vec::new();
+        let mut dup_frac = Vec::new();
         for run in 0..runs_per_config() {
             let mut cfg = ExperimentConfig::paper(
                 Environment::Rural,
@@ -31,20 +32,26 @@ fn main() {
                 run,
             );
             cfg.run_index = run;
-            let m = run_multipath(&cfg, 8e6, scheme);
+            let m = run_multipath(&cfg, scheme);
             owd.extend(m.owd_ms());
             within.push(m.playback_within(300.0));
             per.push(m.per());
             stalls.push(m.stalls_per_minute());
+            dup_frac.push(if m.media_sent > 0 {
+                m.dup_tx_packets as f64 / m.media_sent as f64
+            } else {
+                0.0
+            });
         }
         println!("\n### {}", scheme.name());
         print_cdf_quantiles("one-way latency (ms)", &owd);
         println!(
-            "{:<28} playback within 300 ms {:.1}% | PER {:.3}% | stalls/min {:.2}",
+            "{:<28} playback within 300 ms {:.1}% | PER {:.3}% | stalls/min {:.2} | dup {:.0}%",
             "",
             stats::mean(&within) * 100.0,
             stats::mean(&per) * 100.0,
-            stats::mean(&stalls)
+            stats::mean(&stalls),
+            stats::mean(&dup_frac) * 100.0
         );
     }
     println!(

@@ -1,0 +1,247 @@
+//! Failover matrix — the multi-operator failover acceptance harness.
+//!
+//! Sweeps the four multipath schemes (single-path, duplicate, failover,
+//! selective-duplicate) across the three §3.2 workloads (Static, SCReAM,
+//! GCC) under a scripted primary-operator blackout, every scheme in a
+//! cell run with the same seed (seed-matched quadruples). Prints one row
+//! per (cc, run, scheme) cell with the failover counters, then *asserts*
+//! the failover invariants instead of merely printing them:
+//!
+//! * under the blackout, the switching schemes (failover,
+//!   selective-duplicate) keep stall time *strictly* below the
+//!   seed-matched single-path run — surviving the primary operator's
+//!   outage is the whole point of carrying a second modem;
+//! * the fault window produces at most one switch (anti-flap:
+//!   hysteresis + dwell in `FailoverController`), and that switch lands
+//!   on the surviving leg; the non-switching schemes never record one;
+//! * selective duplication stays selective: duplicate transmissions are
+//!   a strict minority of media packets (full duplication doubles radio
+//!   airtime — the cost the paper's multipath discussion acknowledges);
+//! * a repeated run of the first failover cell is bit-identical
+//!   (determinism spot-check; the whole table is reproducible for a
+//!   fixed `RPAV_SEED`).
+//!
+//! `RPAV_FAILOVER_SMOKE=1` shrinks the sweep to one run per cell for CI.
+
+use rpav_bench::{banner, master_seed, runs_per_config};
+use rpav_core::multipath::{run_multipath_scripted, MultipathScheme};
+use rpav_core::prelude::*;
+use rpav_netem::FaultScript;
+use rpav_sim::{SimDuration, SimTime};
+
+/// Blackout window: the primary operator's link goes fully dark (both
+/// directions) after CC convergence.
+const FAULT_AT: SimTime = SimTime::from_secs(10);
+const FAULT_FOR: SimDuration = SimDuration::from_secs(15);
+
+struct CellResult {
+    cc_name: &'static str,
+    run: u64,
+    scheme: MultipathScheme,
+    metrics: RunMetrics,
+}
+
+fn config(cc: CcMode, run: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(
+        Environment::Rural,
+        Operator::P1,
+        Mobility::Air,
+        cc,
+        master_seed(),
+        run,
+    );
+    cfg.hold = SimDuration::from_secs(1);
+    cfg
+}
+
+fn primary_blackout() -> FaultScript {
+    FaultScript::new().blackout(FAULT_AT, FAULT_FOR)
+}
+
+fn run_cell(cc: CcMode, run: u64, scheme: MultipathScheme) -> RunMetrics {
+    run_multipath_scripted(&config(cc, run), scheme, Some(primary_blackout()), None)
+}
+
+fn in_window_switches(m: &RunMetrics) -> usize {
+    m.switches
+        .iter()
+        .filter(|s| s.at >= FAULT_AT && s.at <= FAULT_AT + FAULT_FOR)
+        .count()
+}
+
+fn print_row(cc: &str, run: u64, m: &RunMetrics, scheme: MultipathScheme) {
+    let dup_pct = if m.media_sent > 0 {
+        m.dup_tx_packets as f64 / m.media_sent as f64 * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "{:<7} {:>3} {:<13} {:>9.1} {:>6} {:>9.1} {:>4} {:>5} {:>6.1} {:>8.0} {:>7}",
+        cc,
+        run,
+        scheme.name(),
+        m.goodput_bps() / 1e6,
+        m.stalls,
+        m.stalled_time.as_millis_f64(),
+        in_window_switches(m),
+        m.switches.len(),
+        dup_pct,
+        m.path_dead_ms(),
+        m.probes_sent,
+    );
+}
+
+fn main() {
+    let smoke = std::env::var_os("RPAV_FAILOVER_SMOKE").is_some();
+    banner(
+        "Failover matrix",
+        "multipath scheme × CC under a primary-operator blackout (seed-matched quadruples)",
+    );
+    let runs = if smoke { 1 } else { runs_per_config() };
+    println!(
+        "    primary-leg blackout t={}s..{}s (both directions), {} run(s) per cell\n",
+        FAULT_AT.as_secs_f64(),
+        (FAULT_AT + FAULT_FOR).as_secs_f64(),
+        runs
+    );
+    println!(
+        "{:<7} {:>3} {:<13} {:>9} {:>6} {:>9} {:>4} {:>5} {:>6} {:>8} {:>7}",
+        "cc",
+        "run",
+        "scheme",
+        "put Mbps",
+        "stalls",
+        "stall ms",
+        "sw*",
+        "sw",
+        "dup %",
+        "dead ms",
+        "probes",
+    );
+
+    let mut cells: Vec<CellResult> = Vec::new();
+    for cc in rpav_bench::paper_ccs(Environment::Rural) {
+        for run in 0..runs {
+            for scheme in MultipathScheme::all() {
+                let m = run_cell(cc, run, scheme);
+                print_row(cc.name(), run, &m, scheme);
+                cells.push(CellResult {
+                    cc_name: cc.name(),
+                    run,
+                    scheme,
+                    metrics: m,
+                });
+            }
+        }
+        println!();
+    }
+
+    // ---- Invariants --------------------------------------------------
+    for group in cells.chunks(MultipathScheme::all().len()) {
+        let find = |s: MultipathScheme| {
+            &group
+                .iter()
+                .find(|c| c.scheme == s)
+                .expect("scheme missing from cell group")
+                .metrics
+        };
+        let single = find(MultipathScheme::SinglePath);
+        let label = format!("{}/run{}", group[0].cc_name, group[0].run);
+
+        for cell in group {
+            let m = &cell.metrics;
+            let tag = format!("{label}/{}", cell.scheme.name());
+
+            match cell.scheme {
+                MultipathScheme::SinglePath | MultipathScheme::Duplicate => {
+                    // Non-switching schemes never record a switch.
+                    assert!(
+                        m.switches.is_empty(),
+                        "{tag}: non-switching scheme recorded {:?}",
+                        m.switches
+                    );
+                }
+                MultipathScheme::Failover | MultipathScheme::SelectiveDuplicate => {
+                    // The blackout kills the primary: the switching
+                    // schemes must move — exactly once inside the fault
+                    // window, onto the surviving leg — and beat the
+                    // single-path run's stall time outright.
+                    let in_window: Vec<_> = m
+                        .switches
+                        .iter()
+                        .filter(|s| s.at >= FAULT_AT && s.at <= FAULT_AT + FAULT_FOR)
+                        .collect();
+                    assert_eq!(
+                        in_window.len(),
+                        1,
+                        "{tag}: expected exactly 1 in-window switch: {:?}",
+                        m.switches
+                    );
+                    assert_eq!(in_window[0].to_leg, 1, "{tag}: switched to the dead leg");
+                    assert!(
+                        m.stalled_time < single.stalled_time,
+                        "{tag}: stalled {:?} !< single-path {:?}",
+                        m.stalled_time,
+                        single.stalled_time
+                    );
+                    // The primary leg was observed dead for a sizeable
+                    // slice of the 15 s blackout.
+                    assert!(
+                        m.path_dead_ms() > 2_000.0,
+                        "{tag}: primary leg dead only {:.0} ms",
+                        m.path_dead_ms()
+                    );
+                    // The standby stayed warm while idle.
+                    assert!(m.probes_sent > 0, "{tag}: no standby probes");
+                }
+            }
+
+            if cell.scheme == MultipathScheme::Duplicate {
+                // Full duplication copies every media packet.
+                assert_eq!(
+                    m.dup_tx_packets, m.media_sent,
+                    "{tag}: duplicate scheme skipped copies"
+                );
+            }
+            if cell.scheme == MultipathScheme::SelectiveDuplicate {
+                // Selective duplication copies keyframes + degraded-time
+                // packets only: a strict minority of the media flow.
+                assert!(m.dup_tx_packets > 0, "{tag}: nothing duplicated");
+                assert!(
+                    (m.dup_tx_packets as f64) < 0.5 * m.media_sent as f64,
+                    "{tag}: copied {}/{} packets — not selective",
+                    m.dup_tx_packets,
+                    m.media_sent
+                );
+            }
+        }
+    }
+
+    // Determinism spot-check: the first failover cell replays
+    // bit-identically.
+    {
+        let first = cells
+            .iter()
+            .find(|c| c.scheme == MultipathScheme::Failover)
+            .expect("no failover cell");
+        let cc = rpav_bench::paper_ccs(Environment::Rural)[0];
+        let replay = run_cell(cc, first.run, MultipathScheme::Failover);
+        assert_eq!(replay.media_sent, first.metrics.media_sent);
+        assert_eq!(replay.media_received, first.metrics.media_received);
+        assert_eq!(replay.switches.len(), first.metrics.switches.len());
+        for (a, b) in replay.switches.iter().zip(first.metrics.switches.iter()) {
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.to_leg, b.to_leg);
+            assert_eq!(a.cause, b.cause);
+        }
+        assert_eq!(replay.probes_sent, first.metrics.probes_sent);
+        assert_eq!(replay.dup_tx_packets, first.metrics.dup_tx_packets);
+        assert_eq!(replay.stalled_time, first.metrics.stalled_time);
+        assert_eq!(replay.frames.len(), first.metrics.frames.len());
+    }
+
+    println!(
+        "All failover invariants hold ({} seed-matched cells).",
+        cells.len()
+    );
+}

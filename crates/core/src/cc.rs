@@ -1,0 +1,307 @@
+//! The sender-side congestion-control engine, shared by the single-path
+//! pipeline and the multipath runner.
+//!
+//! One [`CcEngine`] wraps the §3.2 workload behaviours behind a uniform
+//! enqueue/poll interface:
+//!
+//! * **Static** — constant target, packets forwarded unpaced;
+//! * **GCC** — send-side bandwidth estimation from TWCC feedback, with a
+//!   token-bucket pacer at 1.5× the target rate;
+//! * **SCReAM** — self-clocked transmission from RFC 8888 feedback.
+//!
+//! The adaptive controllers embed the shared feedback-starvation watchdog
+//! (`rpav-sim`), so a feedback blackout decays the target toward a floor
+//! and the ramp back is metered — which is also what makes the CC state
+//! *carryable* across a failover switch: the engine is path-agnostic, the
+//! starvation watchdog provides the rate cut while the old path is dark,
+//! and the metered ramp re-probes the new path once feedback resumes
+//! (see DESIGN.md §8 for the switch policy).
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use rpav_gcc::{GccConfig, SendSideBwe};
+use rpav_rtp::packet::RtpPacket;
+use rpav_rtp::rfc8888::Rfc8888Packet;
+use rpav_rtp::twcc::TwccFeedback;
+use rpav_scream::{ScreamConfig, ScreamSender, ScreamStats};
+use rpav_sim::{SimDuration, SimTime, WatchdogConfig, WatchdogStats};
+
+use crate::scenario::CcMode;
+
+/// TWCC feedback interval (GCC).
+pub const TWCC_INTERVAL: SimDuration = SimDuration::from_millis(50);
+/// RFC 8888 feedback interval (SCReAM library default, §4.2.1: 10 ms).
+pub const CCFB_INTERVAL: SimDuration = SimDuration::from_millis(10);
+/// Pacer burst cap: at most this many bytes of accumulated send credit.
+const PACER_BURST_BYTES: f64 = 60_000.0;
+/// Pacer rate factor over the GCC target.
+const PACER_FACTOR: f64 = 1.5;
+/// Adaptive controllers start probing from this rate.
+const ADAPTIVE_START_BPS: f64 = 2e6;
+
+/// One congestion-control workload, behind a uniform interface.
+pub enum CcEngine {
+    /// Constant bitrate; packets pass straight through.
+    Static {
+        /// The fixed target.
+        bitrate_bps: f64,
+        /// Pass-through staging queue (drained every tick).
+        queue: VecDeque<RtpPacket>,
+    },
+    /// Google congestion control + token-bucket pacer.
+    Gcc {
+        /// The delay/loss-based bandwidth estimator.
+        bwe: SendSideBwe,
+        /// Paced send queue.
+        queue: VecDeque<RtpPacket>,
+        /// Current send credit (bytes).
+        budget_bytes: f64,
+        /// Last credit refill instant.
+        last_refill: SimTime,
+    },
+    /// SCReAM self-clocked sender.
+    Scream {
+        /// The windowed sender (owns its RTP queue).
+        sender: ScreamSender,
+    },
+}
+
+impl CcEngine {
+    /// Build the engine for a workload. `watchdog` configures the
+    /// feedback-starvation mitigation inside the adaptive controllers.
+    pub fn new(mode: CcMode, watchdog: WatchdogConfig) -> CcEngine {
+        match mode {
+            CcMode::Static { bitrate_bps } => CcEngine::Static {
+                bitrate_bps,
+                queue: VecDeque::new(),
+            },
+            CcMode::Gcc => CcEngine::Gcc {
+                bwe: SendSideBwe::new(GccConfig {
+                    watchdog,
+                    ..Default::default()
+                }),
+                queue: VecDeque::new(),
+                budget_bytes: 0.0,
+                last_refill: SimTime::ZERO,
+            },
+            CcMode::Scream { .. } => CcEngine::Scream {
+                sender: ScreamSender::new(ScreamConfig {
+                    watchdog,
+                    ..Default::default()
+                }),
+            },
+        }
+    }
+
+    /// The encoder's starting bitrate under this workload.
+    pub fn start_bitrate_bps(&self) -> f64 {
+        match self {
+            CcEngine::Static { bitrate_bps, .. } => *bitrate_bps,
+            _ => ADAPTIVE_START_BPS,
+        }
+    }
+
+    /// Whether media packets need the transport-wide sequence extension.
+    pub fn with_twcc(&self) -> bool {
+        matches!(self, CcEngine::Gcc { .. })
+    }
+
+    /// Receiver feedback cadence; `None` for Static (no feedback stream).
+    pub fn feedback_interval(&self) -> Option<SimDuration> {
+        match self {
+            CcEngine::Static { .. } => None,
+            CcEngine::Gcc { .. } => Some(TWCC_INTERVAL),
+            CcEngine::Scream { .. } => Some(CCFB_INTERVAL),
+        }
+    }
+
+    /// The current target bitrate (watchdog cap already applied by the
+    /// embedded controllers).
+    pub fn target_bps(&self) -> f64 {
+        match self {
+            CcEngine::Static { bitrate_bps, .. } => *bitrate_bps,
+            CcEngine::Gcc { bwe, .. } => bwe.target_bitrate_bps(),
+            CcEngine::Scream { sender } => sender.target_bitrate_bps(),
+        }
+    }
+
+    /// Advance controller timers (feedback-starvation watchdogs included)
+    /// and return the target the encoder should follow.
+    pub fn on_tick(&mut self, now: SimTime) -> f64 {
+        match self {
+            CcEngine::Static { bitrate_bps, .. } => *bitrate_bps,
+            CcEngine::Gcc { bwe, .. } => {
+                bwe.on_tick(now);
+                bwe.target_bitrate_bps()
+            }
+            CcEngine::Scream { sender } => {
+                sender.on_tick(now);
+                sender.target_bitrate_bps()
+            }
+        }
+    }
+
+    /// Stage freshly packetized media for transmission.
+    pub fn enqueue(&mut self, now: SimTime, packets: Vec<RtpPacket>) {
+        match self {
+            CcEngine::Static { queue, .. } => queue.extend(packets),
+            CcEngine::Gcc { queue, .. } => queue.extend(packets),
+            CcEngine::Scream { sender } => sender.enqueue(now, packets),
+        }
+    }
+
+    /// Pop the next packet the controller allows onto the wire right now,
+    /// if any. GCC records the departure into its estimator here.
+    pub fn poll_transmit(&mut self, now: SimTime) -> Option<RtpPacket> {
+        match self {
+            CcEngine::Static { queue, .. } => queue.pop_front(),
+            CcEngine::Gcc {
+                bwe,
+                queue,
+                budget_bytes,
+                last_refill,
+            } => {
+                // Token-bucket pacer at 1.5× the target rate. Repeated
+                // calls within one tick add zero credit (dt = 0).
+                let dt = now.saturating_since(*last_refill).as_secs_f64();
+                *last_refill = now;
+                let rate = bwe.target_bitrate_bps() * PACER_FACTOR;
+                *budget_bytes = (*budget_bytes + rate * dt / 8.0).min(PACER_BURST_BYTES);
+                let size = queue.front().map(|p| p.wire_size())?;
+                if *budget_bytes < size as f64 {
+                    return None;
+                }
+                let p = queue.pop_front()?;
+                *budget_bytes -= size as f64;
+                if let Some(ts) = p.transport_seq {
+                    bwe.on_packet_sent(ts, now, p.wire_size());
+                }
+                Some(p)
+            }
+            CcEngine::Scream { sender } => sender.poll_transmit(now),
+        }
+    }
+
+    /// Offer a feedback payload to the controller. Returns `true` when
+    /// the bytes parsed as this workload's dialect and were applied;
+    /// `false` otherwise (the caller counts it as malformed — Static has
+    /// no feedback dialect, so everything is unexpected there).
+    pub fn on_feedback(&mut self, payload: Bytes, now: SimTime) -> bool {
+        match self {
+            CcEngine::Static { .. } => false,
+            CcEngine::Gcc { bwe, .. } => match TwccFeedback::parse(payload) {
+                Ok(fb) => {
+                    bwe.on_feedback(&fb, now);
+                    true
+                }
+                Err(_) => false,
+            },
+            CcEngine::Scream { sender } => match Rfc8888Packet::parse(payload) {
+                Ok(fb) => {
+                    sender.on_feedback(&fb, now);
+                    true
+                }
+                Err(_) => false,
+            },
+        }
+    }
+
+    /// Feedback-starvation watchdog counters (`None` for Static).
+    pub fn watchdog_stats(&self) -> Option<WatchdogStats> {
+        match self {
+            CcEngine::Static { .. } => None,
+            CcEngine::Gcc { bwe, .. } => Some(bwe.watchdog_stats()),
+            CcEngine::Scream { sender } => Some(sender.watchdog_stats()),
+        }
+    }
+
+    /// SCReAM sender counters (`None` for the other workloads).
+    pub fn scream_stats(&self) -> Option<ScreamStats> {
+        match self {
+            CcEngine::Scream { sender } => Some(sender.stats()),
+            _ => None,
+        }
+    }
+
+    /// Debug access to the SCReAM sender (RPAV_DEBUG tracing).
+    pub fn scream_sender(&self) -> Option<&ScreamSender> {
+        match self {
+            CcEngine::Scream { sender } => Some(sender),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpav_rtp::packetize::{FrameMeta, Packetizer};
+
+    fn packets(n_bytes: u32, with_twcc: bool) -> Vec<RtpPacket> {
+        let mut p = Packetizer::new(0x2, with_twcc);
+        p.packetize(
+            FrameMeta {
+                frame_number: 0,
+                encode_time: SimTime::ZERO,
+                keyframe: true,
+                frame_bytes: n_bytes,
+            },
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn static_engine_passes_straight_through() {
+        let mut cc = CcEngine::new(
+            CcMode::Static { bitrate_bps: 8e6 },
+            WatchdogConfig::default(),
+        );
+        assert!(!cc.with_twcc());
+        assert_eq!(cc.feedback_interval(), None);
+        assert_eq!(cc.on_tick(SimTime::ZERO), 8e6);
+        let sent = packets(30_000, false);
+        let n = sent.len();
+        cc.enqueue(SimTime::ZERO, sent);
+        let mut drained = 0;
+        while cc.poll_transmit(SimTime::ZERO).is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, n);
+        // No feedback dialect: everything is unexpected.
+        assert!(!cc.on_feedback(Bytes::from(vec![0u8; 20]), SimTime::ZERO));
+        assert!(cc.watchdog_stats().is_none());
+    }
+
+    #[test]
+    fn gcc_engine_paces_to_its_target() {
+        let mut cc = CcEngine::new(CcMode::Gcc, WatchdogConfig::default());
+        assert!(cc.with_twcc());
+        // Stage far more than one tick of credit can cover.
+        cc.enqueue(SimTime::ZERO, packets(500_000, true));
+        let mut sent_bytes = 0usize;
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            cc.on_tick(t);
+            while let Some(p) = cc.poll_transmit(t) {
+                sent_bytes += p.wire_size();
+            }
+            t += SimDuration::from_millis(1);
+        }
+        // 100 ms at 2 Mbps × 1.5 pacing ≈ 37.5 kB (+ the initial burst
+        // allowance); far below the 500 kB staged.
+        assert!(sent_bytes > 10_000, "pacer sent nothing: {sent_bytes}");
+        assert!(
+            sent_bytes < 120_000,
+            "pacer failed to meter: {sent_bytes} bytes in 100 ms"
+        );
+    }
+
+    #[test]
+    fn garbage_feedback_is_reported_not_applied() {
+        for mode in [CcMode::Gcc, CcMode::Scream { ack_span: 64 }] {
+            let mut cc = CcEngine::new(mode, WatchdogConfig::default());
+            assert!(!cc.on_feedback(Bytes::from(vec![0xFFu8; 40]), SimTime::ZERO));
+        }
+    }
+}

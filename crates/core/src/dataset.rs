@@ -12,6 +12,7 @@
 //!   frames.csv      one row per played/skipped frame
 //!   owd.csv         one row per delivered media packet (decimated)
 //!   radio.csv       one row per radio tick: altitude, capacity, RSRP, SINR
+//!   switches.csv    one row per failover switch: run, time, legs, cause
 //! ```
 
 use std::fmt::Write as _;
@@ -41,12 +42,12 @@ pub fn runs_csv(runs: &[DatasetRun<'_>]) -> String {
         "run,label,environment,operator,mobility,cc,seed,duration_s,\
          goodput_mbps,per,ho_count,stalls,distinct_cells,repair,\
          malformed,duplicates,late,nacks_sent,rtx_sent,rtx_recovered,\
-         rtx_late,repair_efficiency\n",
+         rtx_late,repair_efficiency,switches,probes,dup_tx,dead_ms\n",
     );
     for (i, r) in runs.iter().enumerate() {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{:.1},{:.3},{:.6},{},{},{},{},{},{},{},{},{},{},{},{:.4}",
+            "{},{},{},{},{},{},{},{:.1},{:.3},{:.6},{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{:.0}",
             i,
             r.config.label(),
             r.config.environment.name(),
@@ -69,6 +70,10 @@ pub fn runs_csv(runs: &[DatasetRun<'_>]) -> String {
             r.metrics.rtx_recovered,
             r.metrics.rtx_late,
             r.metrics.repair_efficiency(),
+            r.metrics.switches.len(),
+            r.metrics.probes_sent,
+            r.metrics.dup_tx_packets,
+            r.metrics.path_dead_ms(),
         );
     }
     out
@@ -144,6 +149,25 @@ pub fn radio_csv(runs: &[DatasetRun<'_>]) -> String {
     out
 }
 
+/// Render the `switches.csv` table (failover switch events).
+pub fn switches_csv(runs: &[DatasetRun<'_>]) -> String {
+    let mut out = String::from("run,t_s,from_leg,to_leg,cause\n");
+    for (i, r) in runs.iter().enumerate() {
+        for s in &r.metrics.switches {
+            let _ = writeln!(
+                out,
+                "{},{:.3},{},{},{}",
+                i,
+                s.at.as_secs_f64(),
+                s.from_leg,
+                s.to_leg,
+                s.cause.label()
+            );
+        }
+    }
+    out
+}
+
 /// Write the full dataset into `dir` (created if missing).
 pub fn export(dir: &Path, runs: &[DatasetRun<'_>]) -> io::Result<()> {
     fs::create_dir_all(dir)?;
@@ -152,6 +176,7 @@ pub fn export(dir: &Path, runs: &[DatasetRun<'_>]) -> io::Result<()> {
     fs::write(dir.join("frames.csv"), frames_csv(runs))?;
     fs::write(dir.join("owd.csv"), owd_csv(runs))?;
     fs::write(dir.join("radio.csv"), radio_csv(runs))?;
+    fs::write(dir.join("switches.csv"), switches_csv(runs))?;
     Ok(())
 }
 
@@ -214,6 +239,19 @@ mod tests {
             rtx_sent: 18,
             rtx_recovered: 15,
             rtx_late: 2,
+            switches: vec![crate::metrics::SwitchRecord {
+                at: SimTime::from_secs(7),
+                from_leg: 0,
+                to_leg: 1,
+                cause: crate::failover::SwitchCause::Starvation,
+            }],
+            path_health: vec![crate::metrics::PathHealthSummary {
+                leg: 0,
+                time_dead: SimDuration::from_millis(1_250),
+                ..Default::default()
+            }],
+            probes_sent: 40,
+            dup_tx_packets: 9,
             ..Default::default()
         };
         (cfg, m)
@@ -234,13 +272,13 @@ mod tests {
         // counter values — malformed merges wire (4) and payload (1)
         // damage, and efficiency is recovered/requested = 15/20.
         assert!(r.contains("repair,malformed,duplicates,late,nacks_sent"));
-        assert!(r.contains(",rtx_late,repair_efficiency"));
+        assert!(r.contains(",rtx_late,repair_efficiency,switches,probes,dup_tx,dead_ms"));
         assert!(
             r.lines()
                 .nth(1)
                 .unwrap()
-                .ends_with(",0,5,2,3,10,18,15,2,0.7500"),
-            "repair columns wrong: {}",
+                .ends_with(",0,5,2,3,10,18,15,2,0.7500,1,40,9,1250"),
+            "repair/failover columns wrong: {}",
             r.lines().nth(1).unwrap()
         );
 
@@ -255,6 +293,10 @@ mod tests {
 
         let o = owd_csv(&runs);
         assert_eq!(o.lines().count(), 1 + 99usize.div_ceil(OWD_DECIMATION));
+
+        let s = switches_csv(&runs);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("0,7.000,0,1,starvation"));
     }
 
     #[test]
@@ -272,6 +314,7 @@ mod tests {
             "frames.csv",
             "owd.csv",
             "radio.csv",
+            "switches.csv",
         ] {
             let p = dir.join(name);
             assert!(p.exists(), "{name} missing");

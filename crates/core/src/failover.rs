@@ -1,0 +1,297 @@
+//! Active/standby switching over two health-monitored legs.
+//!
+//! The controller is deliberately small: all the estimation intelligence
+//! lives in [`PathHealth`](crate::health::PathHealth); this module only
+//! decides *when the evidence justifies moving the media flow*. Two rules
+//! (DESIGN.md §8):
+//!
+//! * **Break fast path** — the active leg is `Dead` (report starvation or
+//!   radio-link failure) and the standby is not: switch after a short
+//!   confirmation dwell (default 200 ms). Restoring video fast after a
+//!   coverage hole is the whole point of carrying a second operator.
+//! * **Quality path** — the active leg is merely `Degraded` while the
+//!   standby is `Healthy`: switch only if the standby's score beats the
+//!   active's by a hysteresis margin AND a minimum dwell has elapsed
+//!   since the last switch. Hysteresis + dwell are the anti-flap
+//!   guarantees: two comparable legs never ping-pong, and any single
+//!   fault window produces at most one switch.
+//!
+//! The controller is *sticky*: there is no preferred/primary leg, so once
+//! traffic moves to the standby it stays there until that leg in turn
+//! degrades. This is what bounds switches at one per fault window.
+
+use rpav_sim::{SimDuration, SimTime};
+
+use crate::health::{HealthClass, PathHealth};
+
+/// Why the controller moved the flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchCause {
+    /// Active leg's report stream went silent (end-to-end break).
+    Starvation,
+    /// Active leg's modem reported a radio-link failure.
+    RadioLinkFailure,
+    /// Active leg's modem is executing a handover and the standby
+    /// measured better.
+    HandoverSignal,
+    /// Active leg's measured quality (loss/RTT EWMA) fell behind the
+    /// standby by more than the hysteresis margin.
+    Degraded,
+}
+
+impl SwitchCause {
+    /// Stable lowercase label for CSV export.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SwitchCause::Starvation => "starvation",
+            SwitchCause::RadioLinkFailure => "rlf",
+            SwitchCause::HandoverSignal => "handover",
+            SwitchCause::Degraded => "degraded",
+        }
+    }
+}
+
+/// Anti-flap tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverConfig {
+    /// Minimum time between quality-motivated switches.
+    pub min_dwell: SimDuration,
+    /// Confirmation dwell before acting on a dead active leg.
+    pub dead_dwell: SimDuration,
+    /// How long the active leg must stay *continuously* degraded before
+    /// the quality path may act. This is what keeps routine sub-second
+    /// handovers and transient loss bursts from triggering switches — an
+    /// idle standby always measures better than a loaded active leg, so
+    /// a score comparison alone would flap on every radio event.
+    pub degraded_dwell: SimDuration,
+    /// Score margin (see [`PathHealth::score`] units) the standby must
+    /// win by on the quality path.
+    pub hysteresis: f64,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            min_dwell: SimDuration::from_secs(2),
+            dead_dwell: SimDuration::from_millis(200),
+            degraded_dwell: SimDuration::from_secs(1),
+            hysteresis: 15.0,
+        }
+    }
+}
+
+/// A decision to move the media flow to `to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwitchDecision {
+    /// Index of the leg the flow moves to.
+    pub to: usize,
+    /// What justified the move.
+    pub cause: SwitchCause,
+}
+
+/// The active/standby switching state machine over two legs.
+pub struct FailoverController {
+    cfg: FailoverConfig,
+    active: usize,
+    last_switch: SimTime,
+    /// When the active leg was first observed dead (for `dead_dwell`);
+    /// cleared when it comes back.
+    dead_since: Option<SimTime>,
+    /// When the active leg's current continuous degradation began (for
+    /// `degraded_dwell`); cleared whenever it reads healthy.
+    degraded_since: Option<SimTime>,
+}
+
+impl FailoverController {
+    /// Start with leg 0 active.
+    pub fn new(cfg: FailoverConfig) -> Self {
+        FailoverController {
+            cfg,
+            active: 0,
+            last_switch: SimTime::ZERO,
+            dead_since: None,
+            degraded_since: None,
+        }
+    }
+
+    /// Index of the currently active leg.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Evaluate the two legs' health; returns a decision when the flow
+    /// should move (the controller has already committed to it).
+    pub fn on_tick(&mut self, now: SimTime, health: [&PathHealth; 2]) -> Option<SwitchDecision> {
+        let standby = 1 - self.active;
+        let a = health[self.active];
+        let s = health[standby];
+        let a_class = a.class(now);
+        let s_class = s.class(now);
+
+        // Break fast path.
+        if a_class == HealthClass::Dead {
+            let since = *self.dead_since.get_or_insert(now);
+            if s_class != HealthClass::Dead && now.saturating_since(since) >= self.cfg.dead_dwell {
+                let cause = if a.dead_from_rlf(now) {
+                    SwitchCause::RadioLinkFailure
+                } else {
+                    SwitchCause::Starvation
+                };
+                return Some(self.commit(now, standby, cause));
+            }
+            return None;
+        }
+        self.dead_since = None;
+
+        // Quality path: only sustained degradation justifies a move.
+        if a_class == HealthClass::Degraded {
+            let since = *self.degraded_since.get_or_insert(now);
+            if s_class == HealthClass::Healthy
+                && now.saturating_since(since) >= self.cfg.degraded_dwell
+                && now.saturating_since(self.last_switch) >= self.cfg.min_dwell
+                && s.score(now) > a.score(now) + self.cfg.hysteresis
+            {
+                let cause = if a.degraded_from_handover(now) {
+                    SwitchCause::HandoverSignal
+                } else {
+                    SwitchCause::Degraded
+                };
+                return Some(self.commit(now, standby, cause));
+            }
+        } else {
+            self.degraded_since = None;
+        }
+        None
+    }
+
+    fn commit(&mut self, now: SimTime, to: usize, cause: SwitchCause) -> SwitchDecision {
+        self.active = to;
+        self.last_switch = now;
+        self.dead_since = None;
+        self.degraded_since = None;
+        SwitchDecision { to, cause }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::HealthConfig;
+    use rpav_lte::LinkHealthSignal;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(n)
+    }
+
+    /// Two legs with report streams we control per-tick.
+    struct Rig {
+        health: [PathHealth; 2],
+        ctl: FailoverController,
+    }
+
+    impl Rig {
+        fn new() -> Self {
+            Rig {
+                health: [
+                    PathHealth::new(HealthConfig::default()),
+                    PathHealth::new(HealthConfig::default()),
+                ],
+                ctl: FailoverController::new(FailoverConfig::default()),
+            }
+        }
+
+        /// Advance one ms; `feed[i]` = leg i receives reports (50 ms
+        /// cadence) with the given loss.
+        fn tick(&mut self, t: u64, feed: [Option<f64>; 2]) -> Option<SwitchDecision> {
+            for (i, h) in self.health.iter_mut().enumerate() {
+                h.on_tick(ms(t));
+                if t % 50 == 0 {
+                    if let Some(loss) = feed[i] {
+                        h.on_report(ms(t), 40.0, loss, 8e6);
+                    }
+                }
+            }
+            self.ctl.on_tick(ms(t), [&self.health[0], &self.health[1]])
+        }
+    }
+
+    #[test]
+    fn starved_active_fails_over_once() {
+        let mut rig = Rig::new();
+        let mut switches = Vec::new();
+        for t in 0..5_000 {
+            // Leg 0 goes silent at t = 2 s; leg 1 keeps reporting.
+            let feed0 = (t < 2_000).then_some(0.0);
+            if let Some(d) = rig.tick(t, [feed0, Some(0.0)]) {
+                switches.push((t, d));
+            }
+        }
+        assert_eq!(switches.len(), 1, "{switches:?}");
+        let (t, d) = switches[0];
+        assert_eq!(d.to, 1);
+        assert_eq!(d.cause, SwitchCause::Starvation);
+        // Dead detection (watchdog timeout ≈ 500 ms) + 200 ms dwell.
+        assert!((2_500..3_200).contains(&t), "switched at {t} ms");
+        assert_eq!(rig.ctl.active(), 1);
+    }
+
+    #[test]
+    fn degraded_active_waits_for_dwell_and_hysteresis() {
+        let mut rig = Rig::new();
+        let mut switches = Vec::new();
+        for t in 0..8_000 {
+            // Leg 0 runs 30 % loss from t = 1 s; leg 1 stays clean.
+            let loss0 = if t >= 1_000 { 0.30 } else { 0.0 };
+            if let Some(d) = rig.tick(t, [Some(loss0), Some(0.0)]) {
+                switches.push((t, d));
+            }
+        }
+        assert_eq!(switches.len(), 1, "{switches:?}");
+        let (t, d) = switches[0];
+        assert_eq!(d.cause, SwitchCause::Degraded);
+        // min_dwell since t = 0 is 2 s: no switch can precede that.
+        assert!(t >= 2_000, "switched at {t} ms before the minimum dwell");
+    }
+
+    #[test]
+    fn comparable_legs_never_flap() {
+        let mut rig = Rig::new();
+        for t in 0..20_000 {
+            // Both legs mildly and equally lossy: degraded, but neither
+            // beats the other by the hysteresis margin.
+            let d = rig.tick(t, [Some(0.06), Some(0.06)]);
+            assert!(d.is_none(), "flapped at {t} ms: {d:?}");
+        }
+        assert_eq!(rig.ctl.active(), 0);
+    }
+
+    #[test]
+    fn rlf_signal_beats_starvation_label() {
+        let mut rig = Rig::new();
+        let mut decision = None;
+        for t in 0..4_000 {
+            if t == 1_000 {
+                rig.health[0].on_signal(LinkHealthSignal::RadioLinkFailure { until: ms(3_000) });
+            }
+            // Both report streams stay alive — only the RLF kills leg 0.
+            if let Some(d) = rig.tick(t, [Some(0.0), Some(0.0)]) {
+                decision = Some((t, d));
+                break;
+            }
+        }
+        let (t, d) = decision.expect("no switch on RLF");
+        assert_eq!(d.cause, SwitchCause::RadioLinkFailure);
+        assert!((1_200..1_500).contains(&t), "switched at {t} ms");
+    }
+
+    #[test]
+    fn no_switch_when_both_legs_dead() {
+        let mut rig = Rig::new();
+        for t in 0..6_000 {
+            // Both silent after 1 s.
+            let feed = (t < 1_000).then_some(0.0);
+            let d = rig.tick(t, [feed, feed]);
+            assert!(d.is_none(), "switched to an equally dead leg: {d:?}");
+        }
+    }
+}

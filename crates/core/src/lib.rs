@@ -38,9 +38,13 @@
 //! assert!(metrics.per() < 0.05);
 //! ```
 
+pub mod cc;
 pub mod dataset;
+pub mod failover;
+pub mod health;
 pub mod metrics;
 pub mod multipath;
+pub mod paths;
 pub mod ping;
 pub mod pipeline;
 pub mod runner;

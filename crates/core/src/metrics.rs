@@ -4,6 +4,7 @@
 use rpav_lte::HandoverKind;
 use rpav_sim::{SimDuration, SimTime};
 
+use crate::failover::SwitchCause;
 use crate::stats;
 
 /// One handover occurrence.
@@ -101,6 +102,38 @@ impl OutageRecord {
     }
 }
 
+/// One failover switch event.
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchRecord {
+    /// When the flow moved.
+    pub at: SimTime,
+    /// Leg the flow left.
+    pub from_leg: u8,
+    /// Leg the flow moved to.
+    pub to_leg: u8,
+    /// What justified the move.
+    pub cause: SwitchCause,
+}
+
+/// End-of-run health accounting for one network leg.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PathHealthSummary {
+    /// Leg index (0 = the configured operator, 1 = the secondary).
+    pub leg: u8,
+    /// Time the estimator classified the leg healthy.
+    pub time_healthy: SimDuration,
+    /// Time classified degraded.
+    pub time_degraded: SimDuration,
+    /// Time classified dead.
+    pub time_dead: SimDuration,
+    /// Path reports folded into the estimate.
+    pub reports: u64,
+    /// Final smoothed RTT (ms), if any report arrived.
+    pub final_rtt_ms: Option<f64>,
+    /// Final smoothed loss fraction.
+    pub final_loss: Option<f64>,
+}
+
 /// Everything one run produces.
 #[derive(Clone, Debug, Default)]
 pub struct RunMetrics {
@@ -185,6 +218,19 @@ pub struct RunMetrics {
     pub rtx_budget_exhausted: u64,
     /// NACKed sequences no longer in the sender's retransmission history.
     pub rtx_not_in_history: u64,
+    /// Failover switch events (multipath runs; empty on single-path).
+    pub switches: Vec<SwitchRecord>,
+    /// Per-leg health accounting (multipath runs; empty on single-path).
+    pub path_health: Vec<PathHealthSummary>,
+    /// Standby keep-warm probe packets sent (Failover/SelectiveDuplicate).
+    pub probes_sent: u64,
+    /// Media packets transmitted a second time on the other leg
+    /// (Duplicate: all; SelectiveDuplicate: keyframes + degraded windows).
+    pub dup_tx_packets: u64,
+    /// Payload bytes of those duplicate transmissions.
+    pub dup_tx_bytes: u64,
+    /// Per-path receiver reports the sender parsed.
+    pub path_reports_received: u64,
 }
 
 impl RunMetrics {
@@ -194,6 +240,15 @@ impl RunMetrics {
             return 0.0;
         }
         1.0 - self.media_received as f64 / self.media_sent as f64
+    }
+
+    /// Total time any leg's health estimator classified its path dead
+    /// (milliseconds, summed over legs; 0 on single-path runs).
+    pub fn path_dead_ms(&self) -> f64 {
+        self.path_health
+            .iter()
+            .map(|p| p.time_dead.as_millis_f64())
+            .sum()
     }
 
     /// Mean goodput over the run (payload bits delivered / duration).
@@ -214,8 +269,11 @@ impl RunMetrics {
         }
         let mean_pkt = self.media_received_bytes as f64 / self.media_received as f64;
         let mut out = Vec::new();
-        let end = self.owd.last().unwrap().0;
-        let mut t = self.owd.first().unwrap().0 + window;
+        let (Some(last), Some(first)) = (self.owd.last(), self.owd.first()) else {
+            return Vec::new();
+        };
+        let end = last.0;
+        let mut t = first.0 + window;
         let mut idx = 0usize;
         while t <= end {
             let start = t - window;
@@ -274,7 +332,9 @@ impl RunMetrics {
         }
         let window = SimDuration::from_secs(1);
         let mut out = Vec::new();
-        let end = *displayed.last().unwrap();
+        let Some(&end) = displayed.last() else {
+            return Vec::new();
+        };
         let mut t = displayed[0] + window;
         let mut idx = 0usize;
         while t <= end {

@@ -1,33 +1,75 @@
-//! Multipath extension — the paper's future-work direction implemented.
+//! Multi-operator failover — the paper's future-work direction
+//! implemented as a health-monitored active/standby subsystem.
 //!
 //! §5/Conclusion: "utilizing multiple access links towards the ground
 //! station, e.g. multiple cellular operators …, through multipath
 //! transport can help improve the reliability of transmissions when one of
 //! the underlying networks is experiencing deteriorations", citing the
-//! link-diversity design of Bacco et al. \[9\]. This module implements that
-//! experiment: one UAV with **two modems, one per operator** (exactly the
-//! paper's own measurement rig, which carried four dongles across two
-//! MNOs), streaming the same static-bitrate video either over one path or
-//! redundantly over both.
+//! link-diversity design of Bacco et al. \[9\]. One UAV carries **two
+//! modems, one per operator** (the paper's own rig carried four dongles
+//! across two MNOs); this module maps the RTP flow onto them under four
+//! schemes:
 //!
-//! The duplicate scheduler is the reliability-oriented strategy: every RTP
-//! packet is sent on both uplinks, the receiver keeps the first copy (the
-//! jitter buffer de-duplicates). A handover or deep fade on one operator
-//! is invisible as long as the other is healthy — which is the point: the
-//! two deployments' handovers are not synchronised.
+//! * [`SinglePath`](MultipathScheme::SinglePath) — baseline, primary
+//!   operator only.
+//! * [`Duplicate`](MultipathScheme::Duplicate) — every packet on both
+//!   uplinks; the receiver keeps the first copy. Maximum robustness,
+//!   2× radio spend.
+//! * [`Failover`](MultipathScheme::Failover) — media rides the *active*
+//!   leg; the standby is kept warm with low-rate probes so its health
+//!   stays measurable. The [`FailoverController`] moves the flow when the
+//!   active leg dies (report starvation, RLF) or measurably degrades.
+//! * [`SelectiveDuplicate`](MultipathScheme::SelectiveDuplicate) —
+//!   failover plus targeted redundancy: keyframes (whose loss breaks the
+//!   decoder's reference chain) and packets sent while the active leg's
+//!   health is impaired also go out on the standby.
+//!
+//! The monitoring plane is per-leg: each leg's receiver counters flow
+//! back as `PathReport`s (50 ms cadence) on that same leg's downlink, so
+//! a dead leg silences its own report stream — which *is* the break
+//! detector ([`PathHealth`]'s starvation watchdog). CC feedback instead
+//! follows the most recent accepted media arrival, keeping exactly one
+//! arrival process inside the congestion controller; across a switch the
+//! CC state is carried, with the feedback-starvation watchdog providing
+//! the rate cut during the break (DESIGN.md §8).
+
+use std::collections::HashSet;
 
 use rpav_lte::{NetworkProfile, Operator, RadioModel};
-use rpav_netem::{FaultConfig, GilbertElliott, Packet, PacketKind, Path};
+use rpav_netem::{FaultScript, Packet, PacketKind, Path, ReorderConfig};
 use rpav_rtp::jitter::{JitterBuffer, JitterConfig};
 use rpav_rtp::packet::RtpPacket;
 use rpav_rtp::packetize::{Depacketizer, Packetizer};
+use rpav_rtp::report::PathReport;
+use rpav_rtp::rfc8888::Rfc8888Builder;
+use rpav_rtp::twcc::TwccRecorder;
 use rpav_sim::{RngSet, SimDuration, SimTime};
 use rpav_uav::{profiles as uav_profiles, Position};
 use rpav_video::player::DecodedFrame;
 use rpav_video::{quality, Encoder, EncoderConfig, Player, PlayerConfig, SourceVideo};
 
-use crate::metrics::{FrameRecord, HandoverRecord, RunMetrics};
-use crate::scenario::ExperimentConfig;
+use crate::cc::CcEngine;
+use crate::failover::{FailoverConfig, FailoverController};
+use crate::health::{HealthClass, HealthConfig, PathHealth};
+use crate::metrics::{FrameRecord, HandoverRecord, PathHealthSummary, RunMetrics, SwitchRecord};
+use crate::paths;
+use crate::scenario::{CcMode, ExperimentConfig};
+
+/// Driver tick.
+const TICK: SimDuration = SimDuration::from_millis(1);
+/// Post-flight playout drain.
+const DRAIN: SimDuration = SimDuration::from_secs(3);
+/// Per-leg receiver-report cadence.
+const REPORT_INTERVAL: SimDuration = SimDuration::from_millis(50);
+/// Standby keep-warm probe cadence (Failover/SelectiveDuplicate).
+const PROBE_INTERVAL: SimDuration = SimDuration::from_millis(20);
+/// Probe payload size (bytes): enough to exercise the path, negligible
+/// against video rates (64 B / 20 ms = 25.6 kbit/s).
+const PROBE_BYTES: usize = 64;
+/// Sender must have offered at least this many packets to a leg in a
+/// report interval before an unmoving receiver counter reads as loss
+/// (below it, the leg may simply have had nothing to carry).
+const LOSS_MIN_TX: u64 = 10;
 
 /// How packets are mapped onto the two operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,6 +79,12 @@ pub enum MultipathScheme {
     /// Redundant: every packet goes out on both operators; the receiver
     /// keeps the first copy.
     Duplicate,
+    /// Active/standby: media on the active leg, probes on the standby,
+    /// health-triggered switching.
+    Failover,
+    /// Failover plus duplication of keyframes and of packets sent while
+    /// the active leg's health is impaired.
+    SelectiveDuplicate,
 }
 
 impl MultipathScheme {
@@ -45,84 +93,243 @@ impl MultipathScheme {
         match self {
             MultipathScheme::SinglePath => "single-path",
             MultipathScheme::Duplicate => "duplicate",
+            MultipathScheme::Failover => "failover",
+            MultipathScheme::SelectiveDuplicate => "sel-duplicate",
         }
+    }
+
+    /// All schemes, baseline first.
+    pub fn all() -> [MultipathScheme; 4] {
+        [
+            MultipathScheme::SinglePath,
+            MultipathScheme::Duplicate,
+            MultipathScheme::Failover,
+            MultipathScheme::SelectiveDuplicate,
+        ]
+    }
+
+    /// Whether the standby leg is kept warm with probes.
+    fn probes_standby(&self) -> bool {
+        matches!(
+            self,
+            MultipathScheme::Failover | MultipathScheme::SelectiveDuplicate
+        )
+    }
+
+    /// Whether the failover controller drives the active leg.
+    fn switches(&self) -> bool {
+        self.probes_standby()
     }
 }
 
+/// One operator: radio model, both path directions, sender-side health
+/// state and per-leg wire counters.
 struct Leg {
     radio: RadioModel,
-    path: Path,
+    uplink: Path,
+    downlink: Path,
+    health: PathHealth,
+    /// Sender-side wire sequence on this leg's uplink.
+    tx_seq: u64,
+    /// Receiver-side wire sequence on this leg's downlink.
+    dl_seq: u64,
+    /// Media + probe packets the sender offered to this uplink.
+    tx_offered: u64,
+    // Receiver-side per-leg counters (media and probes alike).
+    rx_highest_seq: u64,
+    rx_count: u64,
+    rx_bytes: u64,
+    rx_last_owd_us: u32,
+    next_report: SimTime,
+    // Sender-side report differencing state.
+    last_report: Option<(PathReport, SimTime)>,
+    tx_at_last_report: u64,
 }
 
 impl Leg {
-    fn new(op: Operator, base: &ExperimentConfig, rngs: &RngSet) -> Leg {
+    fn new(op: Operator, base: &ExperimentConfig, rngs: &RngSet, radio_index: u64) -> Leg {
+        // `radio_index` decorrelates the two legs' fading/handover streams
+        // (RadioModel draws from fixed stream names, so both legs would
+        // otherwise fade and hand over in lockstep — the opposite of the
+        // operator diversity the rig exists to exploit).
         let profile = NetworkProfile::new(base.environment, op);
-        let radio = RadioModel::new(&profile, rngs, base.run_index);
-        let path = Path::new(
-            FaultConfig {
-                burst: GilbertElliott::new(0.000_08, 0.12, 0.0, 0.8),
-                ..Default::default()
-            },
-            rngs.stream_indexed(&format!("mp.{}.fault", op.name()), base.run_index),
-            10e6,
-            SimDuration::from_millis(5),
-            6_000_000,
-            SimDuration::from_millis(12),
-            SimDuration::from_micros(600),
-            rngs.stream_indexed(&format!("mp.{}.wan", op.name()), base.run_index),
+        let radio = RadioModel::new(&profile, rngs, radio_index);
+        let prefix = format!("mp.{}", op.name());
+        let uplink = paths::uplink_path(rngs, &prefix, base.run_index);
+        let downlink = paths::downlink_path(rngs, &format!("{prefix}.dl"), base.run_index);
+        Leg {
+            radio,
+            uplink,
+            downlink,
+            health: PathHealth::new(HealthConfig::default()),
+            tx_seq: 0,
+            dl_seq: 0,
+            tx_offered: 0,
+            rx_highest_seq: 0,
+            rx_count: 0,
+            rx_bytes: 0,
+            rx_last_owd_us: 0,
+            next_report: SimTime::ZERO,
+            last_report: None,
+            tx_at_last_report: 0,
+        }
+    }
+
+    /// Offer one wire payload to this leg's uplink.
+    fn send_up(&mut self, now: SimTime, payload: bytes::Bytes, kind: PacketKind) {
+        self.tx_seq += 1;
+        self.tx_offered += 1;
+        self.uplink
+            .enqueue(now, Packet::new(self.tx_seq, payload, kind, now));
+    }
+
+    /// Attach a scripted fault campaign to both directions (the shape of
+    /// a true link blackout: coverage loss kills media and reports alike).
+    fn attach_script(&mut self, script: FaultScript, rngs: &RngSet, run_index: u64, op: Operator) {
+        let prefix = format!("mp.{}", op.name());
+        if script.has_reorder() {
+            self.uplink.set_reorder(
+                ReorderConfig::default(),
+                rngs.stream_indexed(&format!("{prefix}.reorder"), run_index),
+            );
+        }
+        self.uplink.set_script(
+            script.clone(),
+            rngs.stream_indexed(&format!("{prefix}.script"), run_index),
         );
-        Leg { radio, path }
+        self.downlink.set_script(
+            script,
+            rngs.stream_indexed(&format!("{prefix}.dl.script"), run_index),
+        );
+    }
+
+    /// Fold an arrived `PathReport` into this leg's health estimate.
+    fn on_report(&mut self, now: SimTime, report: PathReport, report_sent_at: SimTime) {
+        if let Some((prev, prev_at)) = self.last_report {
+            let dh = report.highest_seq.saturating_sub(prev.highest_seq);
+            let dr = report.received.saturating_sub(prev.received);
+            let db = report.received_bytes.saturating_sub(prev.received_bytes);
+            let dt = now.saturating_since(prev_at).as_secs_f64();
+            let offered = self.tx_offered.saturating_sub(self.tx_at_last_report);
+            let loss = if dh > 0 {
+                Some(1.0 - (dr.min(dh)) as f64 / dh as f64)
+            } else if offered >= LOSS_MIN_TX {
+                // We kept sending but the receiver's counters froze: the
+                // uplink is eating everything.
+                Some(1.0)
+            } else {
+                None
+            };
+            if let Some(loss) = loss {
+                let rtt_ms = f64::from(report.newest_owd_us) / 1_000.0
+                    + now.saturating_since(report_sent_at).as_millis_f64();
+                let goodput = if dt > 0.0 { db as f64 * 8.0 / dt } else { 0.0 };
+                self.health.on_report(now, rtt_ms, loss, goodput);
+            } else {
+                // No evidence either way — still counts as a live report
+                // stream for the starvation watchdog.
+                self.health.keepalive(now);
+            }
+        } else {
+            self.health.keepalive(now);
+        }
+        self.last_report = Some((report, now));
+        self.tx_at_last_report = self.tx_offered;
     }
 }
 
-/// Run the multipath experiment: static video at `bitrate_bps` over the
-/// flight of `base`, with the chosen scheme. The primary operator is
-/// `base.operator`, the secondary is the other one.
-pub fn run_multipath(
+/// Run the multipath experiment over the flight of `base`, under
+/// `base.cc`, with the chosen scheme. The primary operator (leg 0) is
+/// `base.operator`, the secondary (leg 1) the other one.
+pub fn run_multipath(base: &ExperimentConfig, scheme: MultipathScheme) -> RunMetrics {
+    run_multipath_scripted(base, scheme, None, None)
+}
+
+/// [`run_multipath`] with per-operator scripted fault campaigns: each
+/// script hits both directions of its leg (a true link blackout), and the
+/// primary script's blackout windows become per-outage recovery records.
+pub fn run_multipath_scripted(
     base: &ExperimentConfig,
-    bitrate_bps: f64,
     scheme: MultipathScheme,
+    primary_script: Option<FaultScript>,
+    secondary_script: Option<FaultScript>,
 ) -> RunMetrics {
     let rngs = RngSet::new(base.seed);
     let plan = uav_profiles::paper_flight(Position::ground(0.0, 0.0), base.hold);
-    let secondary_op = match base.operator {
-        Operator::P1 => Operator::P2,
-        Operator::P2 => Operator::P1,
-    };
-    let mut primary = Leg::new(base.operator, base, &rngs);
-    let mut secondary = Leg::new(secondary_op, base, &rngs);
+    let secondary_op = base.secondary_operator();
+    let mut legs = [
+        Leg::new(base.operator, base, &rngs, base.run_index),
+        Leg::new(secondary_op, base, &rngs, base.run_index ^ (1 << 32)),
+    ];
+    let mut outage_windows = Vec::new();
+    if let Some(script) = primary_script {
+        outage_windows.extend(script.blackout_windows());
+        legs[0].attach_script(script, &rngs, base.run_index, base.operator);
+    }
+    if let Some(script) = secondary_script {
+        legs[1].attach_script(script, &rngs, base.run_index, secondary_op);
+    }
 
     let source = SourceVideo::new(base.seed ^ 0x5EED);
-    let mut encoder = Encoder::new(EncoderConfig::default(), source, bitrate_bps);
-    let mut packetizer = Packetizer::new(0x2, false);
+    let mut cc = CcEngine::new(base.cc, base.watchdog);
+    let mut encoder = Encoder::new(EncoderConfig::default(), source, cc.start_bitrate_bps());
+    let mut packetizer = Packetizer::new(0x2, cc.with_twcc());
+    let ack_span = match base.cc {
+        CcMode::Scream { ack_span } => ack_span,
+        _ => 64,
+    };
+
+    // Receiver state.
     let mut jitter = JitterBuffer::new(JitterConfig::default());
     let mut depack = Depacketizer::new();
     let mut player = Player::new(PlayerConfig::default());
-    let mut metrics = RunMetrics::default();
+    let mut twcc_rec = TwccRecorder::new();
+    let mut ccfb = Rfc8888Builder::new(ack_span);
+    let mut next_cc_feedback = SimTime::ZERO;
+    // First-copy-wins accounting across legs: the first arrival of an RTP
+    // (sequence, timestamp) identity feeds metrics/jitter/CC; later copies
+    // only count as duplicates.
+    let mut seen: HashSet<u64> = HashSet::new();
+    // CC feedback rides the leg of the most recent accepted media arrival.
+    let mut last_media_leg = 0usize;
 
+    // Sender-side failover state.
+    let mut controller = FailoverController::new(FailoverConfig::default());
+    let mut next_probe = SimTime::ZERO;
+    // RTP sequences belonging to keyframes, for selective duplication.
+    let mut keyframe_seqs: HashSet<u16> = HashSet::new();
+
+    let mut metrics = RunMetrics::default();
     let mut ref_intact = true;
     let mut last_to_player: Option<u64> = None;
     let mut next_radio = SimTime::ZERO;
-    let mut netem_seq = 0u64;
     let flight_end = SimTime::ZERO + plan.duration();
-    let end = flight_end + SimDuration::from_secs(3);
+    let end = flight_end + DRAIN;
     let mut t = SimTime::ZERO;
 
-    // First-copy accounting for duplicates: highest seq delivered bitmap
-    // via the jitter buffer is enough for playback, but OWD/goodput must
-    // also count each packet once.
-    let mut seen = std::collections::HashSet::new();
-
     while t < end {
+        // 1. Radio tick: re-rate links, pause through handovers, feed the
+        // health estimators their radio-layer signals. Handover records
+        // keep the single-path semantics: primary leg only.
         if t >= next_radio {
-            next_radio = t + primary.radio.tick();
+            next_radio = t + legs[0].radio.tick();
             let pos = plan.position_at(t);
-            for (leg, record_hos) in [(&mut primary, true), (&mut secondary, false)] {
+            for (li, leg) in legs.iter_mut().enumerate() {
+                leg.uplink.set_position(pos.x, pos.y, pos.z);
+                leg.downlink.set_position(pos.x, pos.y, pos.z);
                 let s = leg.radio.step(t, &pos);
-                leg.path.set_rate_bps(t, s.uplink_capacity_bps.max(50e3));
+                leg.uplink.set_rate_bps(t, s.uplink_capacity_bps.max(50e3));
+                leg.downlink
+                    .set_rate_bps(t, s.downlink_capacity_bps.max(50e3));
+                leg.uplink.set_extra_delay(s.retx_delay);
+                leg.downlink.set_extra_delay(s.retx_delay);
+                if let Some(sig) = s.health_signal() {
+                    leg.health.on_signal(sig);
+                }
                 if let Some(ho) = s.handover {
-                    leg.path.pause_until(t, ho.complete_at);
-                    if record_hos {
+                    leg.uplink.pause_until(t, ho.complete_at);
+                    leg.downlink.pause_until(t, ho.complete_at);
+                    if li == 0 {
                         metrics.handovers.push(HandoverRecord {
                             at: ho.at,
                             het: ho.het(),
@@ -135,46 +342,173 @@ pub fn run_multipath(
             }
         }
 
+        // 2. Sender-side health clocks and the switch decision.
+        for leg in legs.iter_mut() {
+            leg.health.on_tick(t);
+        }
+        if scheme.switches() {
+            if let Some(d) = controller.on_tick(t, [&legs[0].health, &legs[1].health]) {
+                metrics.switches.push(SwitchRecord {
+                    at: t,
+                    from_leg: (1 - d.to) as u8,
+                    to_leg: d.to as u8,
+                    cause: d.cause,
+                });
+            }
+        }
+        let active = if scheme.switches() {
+            controller.active()
+        } else {
+            0
+        };
+
+        // 3. Encoder → packetizer → CC staging.
         if t < flight_end {
             while let Some(frame) = encoder.poll(t) {
-                for rtp in packetizer.packetize(frame.meta, frame.meta.encode_time) {
-                    metrics.media_sent += 1;
-                    let wire = rtp.serialize();
-                    netem_seq += 1;
-                    primary.path.enqueue(
-                        t,
-                        Packet::new(netem_seq, wire.clone(), PacketKind::Media, t),
-                    );
-                    if scheme == MultipathScheme::Duplicate {
-                        netem_seq += 1;
-                        secondary
-                            .path
-                            .enqueue(t, Packet::new(netem_seq, wire, PacketKind::Media, t));
+                let packets = packetizer.packetize(frame.meta, frame.meta.encode_time);
+                if frame.meta.keyframe && scheme == MultipathScheme::SelectiveDuplicate {
+                    keyframe_seqs.extend(packets.iter().map(|p| p.sequence));
+                    if keyframe_seqs.len() > 10_000 {
+                        keyframe_seqs.clear(); // stale u16 identities
                     }
                 }
+                cc.enqueue(t, packets);
             }
         }
 
-        for leg in [&mut primary, &mut secondary] {
-            while let Some(pkt) = leg.path.poll(t) {
+        // 4. CC-gated transmission onto the active leg, plus scheme-driven
+        // duplication onto the other one.
+        let target = cc.on_tick(t);
+        encoder.set_target_bitrate(target);
+        while let Some(rtp) = cc.poll_transmit(t) {
+            metrics.media_sent += 1;
+            let wire = rtp.serialize();
+            let dup = match scheme {
+                MultipathScheme::SinglePath | MultipathScheme::Failover => false,
+                MultipathScheme::Duplicate => true,
+                MultipathScheme::SelectiveDuplicate => {
+                    keyframe_seqs.remove(&rtp.sequence)
+                        || legs[active].health.class(t) != HealthClass::Healthy
+                }
+            };
+            legs[active].send_up(t, wire.clone(), PacketKind::Media);
+            if dup {
+                metrics.dup_tx_packets += 1;
+                metrics.dup_tx_bytes += wire.len() as u64;
+                legs[1 - active].send_up(t, wire, PacketKind::Media);
+            }
+        }
+
+        // 5. Standby keep-warm probes: the standby's health is only as
+        // fresh as the traffic crossing it.
+        if scheme.probes_standby() && t >= next_probe {
+            next_probe = t + PROBE_INTERVAL;
+            metrics.probes_sent += 1;
+            legs[1 - active].send_up(
+                t,
+                bytes::Bytes::from(vec![0u8; PROBE_BYTES]),
+                PacketKind::Probe,
+            );
+        }
+
+        // 6. Uplink arrivals at the server: per-leg wire accounting first
+        // (reports count everything that crossed the leg), then the media
+        // pipeline for first copies only.
+        for (li, leg) in legs.iter_mut().enumerate() {
+            while let Some(pkt) = leg.uplink.poll(t) {
                 if pkt.corrupted {
                     metrics.corrupted_arrivals += 1;
+                }
+                leg.rx_highest_seq = leg.rx_highest_seq.max(pkt.seq);
+                leg.rx_count += 1;
+                leg.rx_bytes += pkt.payload.len() as u64;
+                let owd = t.saturating_since(pkt.sent_at);
+                leg.rx_last_owd_us = owd.as_micros().min(u64::from(u32::MAX)) as u32;
+                if pkt.kind == PacketKind::Probe {
+                    continue;
                 }
                 let Ok(rtp) = RtpPacket::parse(pkt.payload.clone()) else {
                     metrics.malformed_packets += 1;
                     continue;
                 };
-                if seen.insert(rtp.sequence as u64 | ((rtp.timestamp as u64) << 16)) {
-                    metrics.media_received += 1;
-                    metrics.media_received_bytes += rtp.payload.len() as u64;
-                    metrics
-                        .owd
-                        .push((t, t.saturating_since(pkt.sent_at).as_millis_f64()));
+                if !seen.insert(u64::from(rtp.sequence) | (u64::from(rtp.timestamp) << 16)) {
+                    metrics.duplicate_packets += 1;
+                    continue;
+                }
+                metrics.media_received += 1;
+                metrics.media_received_bytes += rtp.payload.len() as u64;
+                metrics.owd.push((t, owd.as_millis_f64()));
+                last_media_leg = li;
+                match base.cc {
+                    CcMode::Gcc => {
+                        if let Some(ts) = rtp.transport_seq {
+                            twcc_rec.on_packet(ts, t);
+                        }
+                    }
+                    CcMode::Scream { .. } => ccfb.on_packet(rtp.sequence, t),
+                    CcMode::Static { .. } => {}
                 }
                 jitter.push(t, rtp);
             }
         }
 
+        // 7. Receiver timers: per-leg path reports on their own downlink,
+        // CC feedback on the last accepted media arrival's leg.
+        for (li, leg) in legs.iter_mut().enumerate() {
+            if t >= leg.next_report {
+                leg.next_report = t + REPORT_INTERVAL;
+                let report = PathReport {
+                    leg: li as u8,
+                    highest_seq: leg.rx_highest_seq,
+                    received: leg.rx_count,
+                    received_bytes: leg.rx_bytes,
+                    newest_owd_us: leg.rx_last_owd_us,
+                };
+                leg.dl_seq += 1;
+                leg.downlink.enqueue(
+                    t,
+                    Packet::new(leg.dl_seq, report.serialize(), PacketKind::Feedback, t),
+                );
+            }
+        }
+        if let Some(interval) = cc.feedback_interval() {
+            if t >= next_cc_feedback {
+                next_cc_feedback = t + interval;
+                let wire = match base.cc {
+                    CcMode::Gcc => twcc_rec.build_feedback().map(|fb| fb.serialize()),
+                    CcMode::Scream { .. } => ccfb.build(t).map(|fb| fb.serialize()),
+                    CcMode::Static { .. } => None,
+                };
+                if let Some(wire) = wire {
+                    let leg = &mut legs[last_media_leg];
+                    leg.dl_seq += 1;
+                    leg.downlink
+                        .enqueue(t, Packet::new(leg.dl_seq, wire, PacketKind::Feedback, t));
+                }
+            }
+        } else {
+            next_cc_feedback = SimTime::MAX;
+        }
+
+        // 8. Downlink arrivals at the sender: path reports feed health,
+        // everything else is offered to the CC.
+        for leg in legs.iter_mut() {
+            while let Some(pkt) = leg.downlink.poll(t) {
+                if pkt.corrupted {
+                    metrics.corrupted_arrivals += 1;
+                }
+                if let Ok(report) = PathReport::parse(pkt.payload.clone()) {
+                    metrics.path_reports_received += 1;
+                    leg.on_report(t, report, pkt.sent_at);
+                    continue;
+                }
+                if !cc.on_feedback(pkt.payload.clone(), t) {
+                    metrics.malformed_packets += 1;
+                }
+            }
+        }
+
+        // 9. Jitter buffer → depacketizer → SSIM → player.
         while let Some((playout, rtp)) = jitter.pop_due(t) {
             depack.push(&rtp, playout);
         }
@@ -215,22 +549,55 @@ pub fn run_multipath(
                 displayed: ev.displayed,
             });
         }
-        t += SimDuration::from_millis(1);
+        t += TICK;
     }
+
     metrics.duration = plan.duration();
-    metrics.stalls = player.stats().stalls;
-    metrics.stalled_time = player.stats().stalled_time;
-    metrics.frames_late_discarded = player.stats().late_discarded;
-    metrics.distinct_cells = primary.radio.distinct_cells();
+    let pstats = player.stats();
+    metrics.stalls = pstats.stalls;
+    metrics.stalled_time = pstats.stalled_time;
+    metrics.frames_late_discarded = pstats.late_discarded;
+    metrics.distinct_cells = legs[0].radio.distinct_cells();
+    metrics.forced_keyframes = encoder.forced_keyframes();
+    metrics.duplicate_packets += jitter.stats().duplicates;
+    if let Some(ss) = cc.scream_stats() {
+        metrics.sender_discarded = ss.queue_discarded;
+        metrics.span_skipped = ss.span_skipped;
+    }
+    if let Some(w) = cc.watchdog_stats() {
+        metrics.watchdog_activations = w.activations;
+        metrics.watchdog_recoveries = w.recoveries;
+        metrics.watchdog_last_ramp = w.last_ramp;
+    }
+    for (li, leg) in legs.iter().enumerate() {
+        let (healthy, degraded, dead) = leg.health.time_in_class();
+        metrics.path_health.push(PathHealthSummary {
+            leg: li as u8,
+            time_healthy: healthy,
+            time_degraded: degraded,
+            time_dead: dead,
+            reports: leg.health.reports(),
+            final_rtt_ms: leg.health.rtt_ms(),
+            final_loss: leg.health.loss(),
+        });
+        metrics.script_dropped += leg.uplink.script_stats().map(|s| s.dropped()).unwrap_or(0)
+            + leg
+                .downlink
+                .script_stats()
+                .map(|s| s.dropped())
+                .unwrap_or(0);
+    }
+    metrics.record_outages(&outage_windows);
     metrics
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{CcMode, Mobility};
+    use crate::scenario::Mobility;
     use crate::stats;
     use rpav_lte::Environment;
+    use rpav_netem::FaultScript;
 
     fn base() -> ExperimentConfig {
         let mut cfg = ExperimentConfig::paper(
@@ -248,10 +615,11 @@ mod tests {
     #[test]
     fn duplicate_path_improves_latency_tail() {
         let cfg = base();
-        let single = run_multipath(&cfg, 8e6, MultipathScheme::SinglePath);
-        let dual = run_multipath(&cfg, 8e6, MultipathScheme::Duplicate);
-        // Same offered load either way.
+        let single = run_multipath(&cfg, MultipathScheme::SinglePath);
+        let dual = run_multipath(&cfg, MultipathScheme::Duplicate);
+        // Same offered load either way (duplicates are accounted apart).
         assert_eq!(single.media_sent, dual.media_sent);
+        assert_eq!(dual.dup_tx_packets, dual.media_sent);
         // Reliability: the duplicate scheme must not lose more...
         assert!(dual.per() <= single.per() + 1e-9);
         // ...and its latency tail must improve (one path's stall is
@@ -273,7 +641,94 @@ mod tests {
 
     #[test]
     fn schemes_have_names() {
+        for s in MultipathScheme::all() {
+            assert!(!s.name().is_empty());
+        }
         assert_eq!(MultipathScheme::SinglePath.name(), "single-path");
-        assert_eq!(MultipathScheme::Duplicate.name(), "duplicate");
+        assert_eq!(MultipathScheme::Failover.name(), "failover");
+    }
+
+    #[test]
+    fn quiet_run_never_switches() {
+        let m = run_multipath(&base(), MultipathScheme::Failover);
+        assert!(
+            m.switches.is_empty(),
+            "spurious switches on a healthy run: {:?}",
+            m.switches
+        );
+        assert!(m.probes_sent > 0);
+        assert_eq!(m.path_health.len(), 2);
+        // Both legs were monitored the whole run.
+        assert!(m.path_health.iter().all(|p| p.reports > 50));
+    }
+
+    #[test]
+    fn blackout_triggers_exactly_one_failover() {
+        let cfg = base();
+        let fault_at = SimTime::ZERO + SimDuration::from_secs(5);
+        let fault_for = SimDuration::from_secs(10);
+        let script = || FaultScript::new().blackout(fault_at, fault_for);
+        let single =
+            run_multipath_scripted(&cfg, MultipathScheme::SinglePath, Some(script()), None);
+        let fo = run_multipath_scripted(&cfg, MultipathScheme::Failover, Some(script()), None);
+        // Exactly one switch inside the fault window (later radio events
+        // elsewhere in the flight may legitimately switch again).
+        let in_window: Vec<_> = fo
+            .switches
+            .iter()
+            .filter(|s| s.at >= fault_at && s.at <= fault_at + fault_for)
+            .collect();
+        assert_eq!(in_window.len(), 1, "{:?}", fo.switches);
+        assert_eq!(in_window[0].to_leg, 1);
+        assert!(
+            fo.stalled_time < single.stalled_time,
+            "failover stalled {:?} !< single-path {:?}",
+            fo.stalled_time,
+            single.stalled_time
+        );
+        // The primary leg was seen dead for a substantial part of the
+        // blackout.
+        assert!(fo.path_health[0].time_dead > SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn selective_duplicate_copies_only_a_fraction() {
+        let mut cfg = base();
+        cfg.hold = SimDuration::from_secs(4);
+        let sel = run_multipath(&cfg, MultipathScheme::SelectiveDuplicate);
+        assert!(sel.dup_tx_packets > 0, "keyframes must be duplicated");
+        assert!(
+            (sel.dup_tx_packets as f64) < 0.5 * sel.media_sent as f64,
+            "selective duplication copied {}/{} packets",
+            sel.dup_tx_packets,
+            sel.media_sent
+        );
+    }
+
+    #[test]
+    fn deterministic_replay_per_seed() {
+        let cfg = base();
+        let run = || {
+            run_multipath_scripted(
+                &cfg,
+                MultipathScheme::Failover,
+                Some(FaultScript::new().blackout(
+                    SimTime::ZERO + SimDuration::from_secs(3),
+                    SimDuration::from_secs(4),
+                )),
+                None,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.media_sent, b.media_sent);
+        assert_eq!(a.media_received, b.media_received);
+        assert_eq!(a.probes_sent, b.probes_sent);
+        assert_eq!(a.switches.len(), b.switches.len());
+        for (x, y) in a.switches.iter().zip(&b.switches) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.cause, y.cause);
+        }
+        assert_eq!(a.frames.len(), b.frames.len());
     }
 }

@@ -17,34 +17,28 @@
 
 use std::collections::VecDeque;
 
-use rpav_gcc::{GccConfig, SendSideBwe};
 use rpav_lte::{NetworkProfile, RadioModel};
-use rpav_netem::{
-    FaultConfig, FaultScript, GilbertElliott, Packet, PacketKind, Path, ReorderConfig,
-};
+use rpav_netem::{FaultScript, Packet, PacketKind, Path, ReorderConfig};
 use rpav_rtp::jitter::{JitterBuffer, JitterConfig};
 use rpav_rtp::nack::{Arrival, Nack, NackConfig, NackGenerator};
 use rpav_rtp::packet::RtpPacket;
 use rpav_rtp::packetize::{Depacketizer, Packetizer};
 use rpav_rtp::pli::Pli;
-use rpav_rtp::rfc8888::{Rfc8888Builder, Rfc8888Packet};
+use rpav_rtp::rfc8888::Rfc8888Builder;
 use rpav_rtp::rtx::{RtxConfig, RtxSender};
-use rpav_rtp::twcc::{TwccFeedback, TwccRecorder};
-use rpav_scream::{ScreamConfig, ScreamSender};
+use rpav_rtp::twcc::TwccRecorder;
 use rpav_sim::{RngSet, SimDuration, SimRng, SimTime};
 use rpav_uav::{profiles as uav_profiles, FlightPlan, Position};
 use rpav_video::player::DecodedFrame;
 use rpav_video::{quality, Encoder, EncoderConfig, Player, PlayerConfig, SourceVideo};
 
+use crate::cc::{CcEngine, CCFB_INTERVAL, TWCC_INTERVAL};
 use crate::metrics::{FrameRecord, HandoverRecord, RadioTraceRow, RunMetrics};
+use crate::paths;
 use crate::scenario::{CcMode, ExperimentConfig, Mobility};
 
 /// Driver tick.
 const TICK: SimDuration = SimDuration::from_millis(1);
-/// TWCC feedback interval (GCC).
-const TWCC_INTERVAL: SimDuration = SimDuration::from_millis(50);
-/// RFC 8888 feedback interval (SCReAM library default, §4.2.1: 10 ms).
-const CCFB_INTERVAL: SimDuration = SimDuration::from_millis(10);
 /// Extra time after the plan ends for in-flight media to play out.
 const DRAIN: SimDuration = SimDuration::from_secs(3);
 /// Minimum spacing between receiver PLIs while the reference chain stays
@@ -61,28 +55,6 @@ const JITTER_DECAY_AFTER: SimDuration = SimDuration::from_secs(20);
 /// SSRCs on the PLI wire: the receiver reports against the media stream.
 const RECEIVER_SSRC: u32 = 0x1;
 const MEDIA_SSRC: u32 = 0x2;
-/// eNodeB uplink buffer: deep enough that congestion becomes delay, not
-/// loss (bufferbloat, §4.1).
-const UPLINK_QUEUE_BYTES: usize = 6_000_000;
-/// Baseline bursty loss process tuned to the paper's measured PER of
-/// 0.06–0.07 % with consecutive drops (§4.1): rare events (≈0.2 /s at
-/// 25 Mbps), ≈8 packets lost per event.
-fn baseline_loss() -> GilbertElliott {
-    GilbertElliott::new(0.000_08, 0.12, 0.0, 0.8)
-}
-
-enum CcState {
-    Static,
-    Gcc {
-        bwe: SendSideBwe,
-        queue: VecDeque<RtpPacket>,
-        budget_bytes: f64,
-        last_refill: SimTime,
-    },
-    Scream {
-        sender: ScreamSender,
-    },
-}
 
 /// Disjoint borrows of the sender-side state [`Simulation::send_media`]
 /// needs — callers split these from `self` so the CC state can stay
@@ -108,7 +80,7 @@ pub struct Simulation {
     source: SourceVideo,
     encoder: Encoder,
     packetizer: Packetizer,
-    cc: CcState,
+    cc: CcEngine,
     pending_frames: VecDeque<rpav_video::EncodedFrame>,
     rtx: RtxSender,
     // Receiver state.
@@ -156,66 +128,18 @@ impl Simulation {
 
         // Both directions: fault injector (bursty PER) → bottleneck → WAN.
         // Radio propagation ≈ 5 ms; WAN ≈ 12.5 ms → lowest RTT ≈ 35 ms
-        // (§3.1).
-        let uplink = Path::new(
-            FaultConfig {
-                burst: baseline_loss(),
-                ..Default::default()
-            },
-            rngs.stream_indexed("pipe.ul.fault", config.run_index),
-            10e6, // re-rated on the first radio tick
-            SimDuration::from_millis(5),
-            UPLINK_QUEUE_BYTES,
-            SimDuration::from_millis(12),
-            SimDuration::from_micros(600),
-            rngs.stream_indexed("pipe.ul.wan", config.run_index),
-        );
-        let downlink = Path::new(
-            FaultConfig {
-                burst: baseline_loss(),
-                ..Default::default()
-            },
-            rngs.stream_indexed("pipe.dl.fault", config.run_index),
-            150e6,
-            SimDuration::from_millis(5),
-            UPLINK_QUEUE_BYTES,
-            SimDuration::from_millis(12),
-            SimDuration::from_micros(600),
-            rngs.stream_indexed("pipe.dl.wan", config.run_index),
-        );
+        // (§3.1). Parameters live in [`paths`], shared with multipath.
+        let uplink = paths::uplink_path(&rngs, "pipe.ul", config.run_index);
+        let downlink = paths::downlink_path(&rngs, "pipe.dl", config.run_index);
 
         let source = SourceVideo::new(config.seed ^ 0x5EED);
-        let (start_bitrate, with_twcc, cc) = match config.cc {
-            CcMode::Static { bitrate_bps } => (bitrate_bps, false, CcState::Static),
-            CcMode::Gcc => (
-                2e6,
-                true,
-                CcState::Gcc {
-                    bwe: SendSideBwe::new(GccConfig {
-                        watchdog: config.watchdog,
-                        ..Default::default()
-                    }),
-                    queue: VecDeque::new(),
-                    budget_bytes: 0.0,
-                    last_refill: SimTime::ZERO,
-                },
-            ),
-            CcMode::Scream { .. } => (
-                2e6,
-                false,
-                CcState::Scream {
-                    sender: ScreamSender::new(ScreamConfig {
-                        watchdog: config.watchdog,
-                        ..Default::default()
-                    }),
-                },
-            ),
-        };
+        let cc = CcEngine::new(config.cc, config.watchdog);
         let ack_span = match config.cc {
             CcMode::Scream { ack_span } => ack_span,
             _ => 64,
         };
-        let encoder = Encoder::new(EncoderConfig::default(), source, start_bitrate);
+        let encoder = Encoder::new(EncoderConfig::default(), source, cc.start_bitrate_bps());
+        let with_twcc = cc.with_twcc();
         let jitter_target = config
             .jitter_target_override_ms
             .map(SimDuration::from_millis)
@@ -326,24 +250,14 @@ impl Simulation {
         self.metrics.stalled_time = pstats.stalled_time;
         self.metrics.frames_late_discarded = pstats.late_discarded;
         self.metrics.distinct_cells = self.radio.distinct_cells();
-        if let CcState::Scream { sender } = &self.cc {
-            self.metrics.sender_discarded = sender.stats().queue_discarded;
-            self.metrics.span_skipped = sender.stats().span_skipped;
+        if let Some(ss) = self.cc.scream_stats() {
+            self.metrics.sender_discarded = ss.queue_discarded;
+            self.metrics.span_skipped = ss.span_skipped;
         }
-        match &self.cc {
-            CcState::Static => {}
-            CcState::Gcc { bwe, .. } => {
-                let w = bwe.watchdog_stats();
-                self.metrics.watchdog_activations = w.activations;
-                self.metrics.watchdog_recoveries = w.recoveries;
-                self.metrics.watchdog_last_ramp = w.last_ramp;
-            }
-            CcState::Scream { sender } => {
-                let w = sender.watchdog_stats();
-                self.metrics.watchdog_activations = w.activations;
-                self.metrics.watchdog_recoveries = w.recoveries;
-                self.metrics.watchdog_last_ramp = w.last_ramp;
-            }
+        if let Some(w) = self.cc.watchdog_stats() {
+            self.metrics.watchdog_activations = w.activations;
+            self.metrics.watchdog_recoveries = w.recoveries;
+            self.metrics.watchdog_last_ramp = w.last_ramp;
         }
         self.metrics.forced_keyframes = self.encoder.forced_keyframes();
         let js = self.jitter.stats();
@@ -400,7 +314,7 @@ impl Simulation {
             }
             self.extra_loss_prob = sample.extra_loss_prob;
             if std::env::var_os("RPAV_DEBUG").is_some() && now.as_millis() % 1_000 == 0 {
-                if let CcState::Scream { sender } = &self.cc {
+                if let Some(sender) = self.cc.scream_sender() {
                     eprintln!(
                         "t={:>6.1}s target={:>5.1}Mbps cwnd={:>7.0} inflight={:>6} q={:>6} qdel={:>5.1}ms netq={:>5.1}ms disc={} span={} loss_ev={}",
                         now.as_secs_f64(),
@@ -443,124 +357,39 @@ impl Simulation {
             let packets = self
                 .packetizer
                 .packetize(frame.meta, frame.meta.encode_time);
-            match &mut self.cc {
-                CcState::Static => {
-                    for p in packets {
-                        Self::send_media(
-                            MediaTx {
-                                uplink: &mut self.uplink,
-                                netem_seq: &mut self.netem_seq,
-                                metrics: &mut self.metrics,
-                                extra_loss_rng: &mut self.extra_loss_rng,
-                                rtx: if self.config.repair {
-                                    Some(&mut self.rtx)
-                                } else {
-                                    None
-                                },
-                            },
-                            self.extra_loss_prob,
-                            now,
-                            p,
-                        );
-                    }
-                }
-                CcState::Gcc { queue, .. } => queue.extend(packets),
-                CcState::Scream { sender } => sender.enqueue(now, packets),
-            }
+            self.cc.enqueue(now, packets);
         }
 
         // 3. Feedback-starvation watchdogs, then CC-gated transmission.
         // The watchdogs run on the driver tick: they are what lets the
         // sender react to a feedback blackout at all, so the encoder target
         // must follow their cap, not just the feedback arrivals.
-        match &mut self.cc {
-            CcState::Static => {}
-            CcState::Gcc { bwe, .. } => {
-                bwe.on_tick(now);
-                self.encoder.set_target_bitrate(bwe.target_bitrate_bps());
-            }
-            CcState::Scream { sender } => {
-                sender.on_tick(now);
-                self.encoder.set_target_bitrate(sender.target_bitrate_bps());
-            }
-        }
-        match &mut self.cc {
-            CcState::Static => {}
-            CcState::Gcc {
-                bwe,
-                queue,
-                budget_bytes,
-                last_refill,
-            } => {
-                // Token-bucket pacer at 1.5× the target rate.
-                let dt = now.saturating_since(*last_refill).as_secs_f64();
-                *last_refill = now;
-                let rate = bwe.target_bitrate_bps() * 1.5;
-                *budget_bytes = (*budget_bytes + rate * dt / 8.0).min(60_000.0);
-                while let Some(size) = queue.front().map(|p| p.wire_size()) {
-                    if *budget_bytes < size as f64 {
-                        break;
-                    }
-                    let Some(p) = queue.pop_front() else {
-                        break;
-                    };
-                    *budget_bytes -= size as f64;
-                    if let Some(ts) = p.transport_seq {
-                        bwe.on_packet_sent(ts, now, p.wire_size());
-                    }
-                    Self::send_media(
-                        MediaTx {
-                            uplink: &mut self.uplink,
-                            netem_seq: &mut self.netem_seq,
-                            metrics: &mut self.metrics,
-                            extra_loss_rng: &mut self.extra_loss_rng,
-                            rtx: if self.config.repair {
-                                Some(&mut self.rtx)
-                            } else {
-                                None
-                            },
-                        },
-                        self.extra_loss_prob,
-                        now,
-                        p,
-                    );
-                }
-            }
-            CcState::Scream { sender } => {
-                while let Some(p) = sender.poll_transmit(now) {
-                    Self::send_media(
-                        MediaTx {
-                            uplink: &mut self.uplink,
-                            netem_seq: &mut self.netem_seq,
-                            metrics: &mut self.metrics,
-                            extra_loss_rng: &mut self.extra_loss_rng,
-                            rtx: if self.config.repair {
-                                Some(&mut self.rtx)
-                            } else {
-                                None
-                            },
-                        },
-                        self.extra_loss_prob,
-                        now,
-                        p,
-                    );
-                }
-            }
+        let target = self.cc.on_tick(now);
+        self.encoder.set_target_bitrate(target);
+        while let Some(p) = self.cc.poll_transmit(now) {
+            Self::send_media(
+                MediaTx {
+                    uplink: &mut self.uplink,
+                    netem_seq: &mut self.netem_seq,
+                    metrics: &mut self.metrics,
+                    extra_loss_rng: &mut self.extra_loss_rng,
+                    rtx: if self.config.repair {
+                        Some(&mut self.rtx)
+                    } else {
+                        None
+                    },
+                },
+                self.extra_loss_prob,
+                now,
+                p,
+            );
         }
 
         // 3b. Sender-side repair budget: the RTX token bucket refills at a
         // fraction of whatever the CC currently targets, so repair can
         // never starve fresh media.
         if self.config.repair {
-            let target_bps = match &self.cc {
-                CcState::Static => match self.config.cc {
-                    CcMode::Static { bitrate_bps } => bitrate_bps,
-                    _ => 0.0,
-                },
-                CcState::Gcc { bwe, .. } => bwe.target_bitrate_bps(),
-                CcState::Scream { sender } => sender.target_bitrate_bps(),
-            };
-            self.rtx.refill(now, target_bps);
+            self.rtx.refill(now, self.cc.target_bps());
         }
 
         // 4. Uplink arrivals at the server. Corrupted packets are not
@@ -610,16 +439,16 @@ impl Simulation {
                 }
             }
             self.last_media_arrival = Some(now);
-            match &self.cc {
-                CcState::Gcc { .. } => {
+            match self.config.cc {
+                CcMode::Gcc => {
                     if let Some(ts) = rtp.transport_seq {
                         self.twcc_rec.on_packet(ts, now);
                     }
                 }
-                CcState::Scream { .. } => {
+                CcMode::Scream { .. } => {
                     self.ccfb.on_packet(rtp.sequence, now);
                 }
-                CcState::Static => {}
+                CcMode::Static { .. } => {}
             }
             self.jitter.push(now, rtp);
         }
@@ -648,11 +477,11 @@ impl Simulation {
 
         // 5. Receiver feedback timers.
         if now >= self.next_feedback {
-            match &self.cc {
-                CcState::Static => {
+            match self.config.cc {
+                CcMode::Static { .. } => {
                     self.next_feedback = SimTime::MAX; // no feedback stream
                 }
-                CcState::Gcc { .. } => {
+                CcMode::Gcc => {
                     self.next_feedback = now + TWCC_INTERVAL;
                     if let Some(fb) = self.twcc_rec.build_feedback() {
                         let wire = fb.serialize();
@@ -663,7 +492,7 @@ impl Simulation {
                         );
                     }
                 }
-                CcState::Scream { .. } => {
+                CcMode::Scream { .. } => {
                     self.next_feedback = now + CCFB_INTERVAL;
                     if let Some(fb) = self.ccfb.build(now) {
                         let wire = fb.serialize();
@@ -706,22 +535,10 @@ impl Simulation {
                 }
                 continue;
             }
-            match &mut self.cc {
-                CcState::Static => self.metrics.malformed_packets += 1,
-                CcState::Gcc { bwe, .. } => match TwccFeedback::parse(pkt.payload.clone()) {
-                    Ok(fb) => {
-                        bwe.on_feedback(&fb, now);
-                        self.encoder.set_target_bitrate(bwe.target_bitrate_bps());
-                    }
-                    Err(_) => self.metrics.malformed_packets += 1,
-                },
-                CcState::Scream { sender } => match Rfc8888Packet::parse(pkt.payload.clone()) {
-                    Ok(fb) => {
-                        sender.on_feedback(&fb, now);
-                        self.encoder.set_target_bitrate(sender.target_bitrate_bps());
-                    }
-                    Err(_) => self.metrics.malformed_packets += 1,
-                },
+            if self.cc.on_feedback(pkt.payload.clone(), now) {
+                self.encoder.set_target_bitrate(self.cc.target_bps());
+            } else {
+                self.metrics.malformed_packets += 1;
             }
         }
 

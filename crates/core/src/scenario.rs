@@ -136,6 +136,15 @@ impl ExperimentConfig {
         }
     }
 
+    /// The *other* cellular operator — the standby carrier a multi-SIM
+    /// failover setup would ride (App. A.3 measures both).
+    pub fn secondary_operator(&self) -> Operator {
+        match self.operator {
+            Operator::P1 => Operator::P2,
+            Operator::P2 => Operator::P1,
+        }
+    }
+
     /// A short label for result tables.
     pub fn label(&self) -> String {
         format!(

@@ -44,6 +44,12 @@ pub struct HeadlineStats {
     /// Pooled repair efficiency: recovered / requested sequence numbers
     /// (0.0 when repair was off — nothing was ever requested).
     pub repair_efficiency: f64,
+    /// Failover switch events across the campaign (multipath runs only).
+    pub switches: u64,
+    /// Packets transmitted a second time on the other leg.
+    pub dup_tx: u64,
+    /// Mean per-run path dead time (ms, summed over legs).
+    pub dead_ms: f64,
 }
 
 impl HeadlineStats {
@@ -96,13 +102,21 @@ impl HeadlineStats {
                     recovered as f64 / requested as f64
                 }
             },
+            switches: c.runs.iter().map(|r| r.switches.len() as u64).sum(),
+            dup_tx: c.runs.iter().map(|r| r.dup_tx_packets).sum(),
+            dead_ms: stats::mean(
+                &c.runs
+                    .iter()
+                    .map(|r| r.path_dead_ms())
+                    .collect::<Vec<f64>>(),
+            ),
         }
     }
 
     /// Render one table row.
     pub fn row(&self) -> String {
         format!(
-            "{:<24} {:>8.1} {:>10.2} {:>10.1} {:>9.2} {:>8.1} {:>8.3} {:>7.3} {:>8.1} {:>8.1} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>5.2}",
+            "{:<24} {:>8.1} {:>10.2} {:>10.1} {:>9.2} {:>8.1} {:>8.3} {:>7.3} {:>8.1} {:>8.1} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>5.2} {:>4} {:>6} {:>7.0}",
             self.label,
             self.goodput_mbps,
             self.stalls_per_minute,
@@ -120,13 +134,16 @@ impl HeadlineStats {
             self.rtx_recovered,
             self.rtx_wasted,
             self.repair_efficiency,
+            self.switches,
+            self.dup_tx,
+            self.dead_ms,
         )
     }
 
     /// Table header matching [`HeadlineStats::row`].
     pub fn header() -> String {
         format!(
-            "{:<24} {:>8} {:>10} {:>10} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>5}",
+            "{:<24} {:>8} {:>10} {:>10} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>5} {:>4} {:>6} {:>7}",
             "configuration",
             "Mbps",
             "stalls/mn",
@@ -144,6 +161,9 @@ impl HeadlineStats {
             "rec",
             "waste",
             "eff",
+            "sw",
+            "dupx",
+            "deadms",
         )
     }
 }
@@ -227,11 +247,47 @@ mod tests {
         for needle in ["12", "15", "120", "240", "21", "0.80"] {
             assert!(row.contains(needle), "row missing {needle}: {row}");
         }
-        for col in ["malf", "dup", "late", "nacks", "rec", "waste", "eff"] {
+        for col in [
+            "malf", "dup", "late", "nacks", "rec", "waste", "eff", "sw", "dupx", "deadms",
+        ] {
             assert!(
                 HeadlineStats::header().contains(col),
                 "header missing {col}"
             );
+        }
+    }
+
+    #[test]
+    fn failover_counters_surface_in_row() {
+        let mut run = RunMetrics {
+            duration: SimDuration::from_secs(60),
+            media_sent: 1_000,
+            media_received: 990,
+            dup_tx_packets: 77,
+            ..Default::default()
+        };
+        run.switches.push(crate::metrics::SwitchRecord {
+            at: rpav_sim::SimTime::from_millis(12_000),
+            from_leg: 0,
+            to_leg: 1,
+            cause: crate::failover::SwitchCause::Starvation,
+        });
+        run.path_health.push(crate::metrics::PathHealthSummary {
+            leg: 0,
+            time_dead: SimDuration::from_millis(1_500),
+            ..Default::default()
+        });
+        let campaign = crate::runner::CampaignResult {
+            label: "failover".into(),
+            runs: vec![run],
+        };
+        let h = HeadlineStats::from_campaign(&campaign);
+        assert_eq!(h.switches, 1);
+        assert_eq!(h.dup_tx, 77);
+        assert!((h.dead_ms - 1_500.0).abs() < 1e-9);
+        let row = h.row();
+        for needle in ["77", "1500"] {
+            assert!(row.contains(needle), "row missing {needle}: {row}");
         }
     }
 

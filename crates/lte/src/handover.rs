@@ -368,7 +368,7 @@ mod tests {
             );
             i += 1;
         }
-        let ev = ev.unwrap();
+        let ev = ev.expect("a 20 dB A3 margin must trigger a handover");
         // While executing: serving unchanged, link interrupted.
         if ev.het() > SimDuration::from_millis(1) {
             let mid = ev.at + ev.het() / 2;

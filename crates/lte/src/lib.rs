@@ -46,5 +46,5 @@ pub mod rrc;
 pub use cell::{BaseStation, Cell, CellId, Deployment};
 pub use handover::{HandoverEvent, HandoverKind};
 pub use profiles::{Environment, NetworkProfile, Operator};
-pub use radio::{RadioModel, RadioSample};
+pub use radio::{LinkHealthSignal, RadioModel, RadioSample};
 pub use rrc::{RrcLog, RrcMessage, RrcMessageType};

@@ -7,8 +7,39 @@ use rpav_uav::Position;
 
 use crate::cell::{CellId, Deployment};
 use crate::channel::{self, ChannelParams, ShadowingField, TemporalFading};
-use crate::handover::{HandoverEngine, HandoverEvent};
+use crate::handover::{HandoverEngine, HandoverEvent, HandoverKind};
 use crate::profiles::{Environment, NetworkProfile};
+
+/// Direct radio-layer health signal derived from a [`RadioSample`] — the
+/// modem-level event a path-health estimator can react to *before* any
+/// transport-level symptom (feedback starvation, loss) shows up. A
+/// failover controller uses these to mark a path degraded/dead for the
+/// duration of the interruption instead of waiting out a feedback timeout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkHealthSignal {
+    /// An ordinary (A3-triggered) handover is executing: the link is
+    /// paused until `until`, then expected to resume at full quality.
+    HandoverExecuting {
+        /// Execution completion instant.
+        until: SimTime,
+    },
+    /// A radio-link failure: connection re-establishment is in progress
+    /// and the link must be treated as dead until `until`.
+    RadioLinkFailure {
+        /// Re-establishment completion instant.
+        until: SimTime,
+    },
+}
+
+impl LinkHealthSignal {
+    /// When the interruption this signal announces is over.
+    pub fn until(&self) -> SimTime {
+        match self {
+            LinkHealthSignal::HandoverExecuting { until }
+            | LinkHealthSignal::RadioLinkFailure { until } => *until,
+        }
+    }
+}
 
 /// Snapshot of the radio link at one tick.
 #[derive(Clone, Copy, Debug)]
@@ -39,6 +70,23 @@ pub struct RadioSample {
     /// Extra per-packet air-interface delay from HARQ/RLC retransmissions
     /// at the current SINR (the pre-handover latency-spike mechanism).
     pub retx_delay: rpav_sim::SimDuration,
+}
+
+impl RadioSample {
+    /// The direct health signal this tick carries, if any: a handover
+    /// whose execution started now maps to
+    /// [`LinkHealthSignal::HandoverExecuting`], a radio-link failure to
+    /// [`LinkHealthSignal::RadioLinkFailure`]. `None` on quiet ticks.
+    pub fn health_signal(&self) -> Option<LinkHealthSignal> {
+        self.handover.map(|ho| match ho.kind {
+            HandoverKind::A3 => LinkHealthSignal::HandoverExecuting {
+                until: ho.complete_at,
+            },
+            HandoverKind::RadioLinkFailure => LinkHealthSignal::RadioLinkFailure {
+                until: ho.complete_at,
+            },
+        })
+    }
 }
 
 /// Detection threshold below which a cell is invisible to the UE (dBm).
@@ -407,6 +455,35 @@ mod tests {
         }
         assert!(model.distinct_cells() >= 2);
         assert!(model.distinct_cells() <= model.deployment().len());
+    }
+
+    #[test]
+    fn health_signals_map_handover_kinds() {
+        // Quiet sample: no signal.
+        let samples = run_samples(Environment::Urban, Operator::P1, 7, true);
+        let quiet = samples
+            .iter()
+            .find(|s| s.handover.is_none())
+            .expect("some tick without a handover");
+        assert_eq!(quiet.health_signal(), None);
+        // Every handover tick maps to a signal whose end matches the
+        // event's completion and whose variant matches the kind.
+        let mut saw_signal = false;
+        for s in samples.iter().filter(|s| s.handover.is_some()) {
+            let ho = s.handover.expect("filtered on is_some");
+            let sig = s.health_signal().expect("handover tick must signal");
+            saw_signal = true;
+            assert_eq!(sig.until(), ho.complete_at);
+            match ho.kind {
+                crate::handover::HandoverKind::A3 => {
+                    assert!(matches!(sig, LinkHealthSignal::HandoverExecuting { .. }))
+                }
+                crate::handover::HandoverKind::RadioLinkFailure => {
+                    assert!(matches!(sig, LinkHealthSignal::RadioLinkFailure { .. }))
+                }
+            }
+        }
+        assert!(saw_signal, "urban flight produced no handovers to map");
     }
 
     #[test]

@@ -155,11 +155,11 @@ impl JitterBuffer {
 
     /// Pop the next packet whose playout time has arrived.
     pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, RtpPacket)> {
-        let (&(playout, unwrapped), _) = self.queue.iter().next()?;
+        let (&(playout, _), _) = self.queue.iter().next()?;
         if playout > now {
             return None;
         }
-        let packet = self.queue.remove(&(playout, unwrapped)).unwrap();
+        let ((playout, unwrapped), packet) = self.queue.pop_first()?;
         self.stats.delivered += 1;
         self.delivered_max = Some(
             self.delivered_max

@@ -23,6 +23,9 @@
 //!   keyframe-recovery trigger after decode-breaking loss.
 //! * [`nack`] — RFC 4585 generic NACK wire format and the receiver-side
 //!   gap detector / deadline-aware NACK scheduler.
+//! * [`report`] — per-path receiver report (cumulative counters + newest
+//!   one-way delay), the health-feedback stream of the multi-operator
+//!   failover subsystem.
 //! * [`rtx`] — RFC 4588-style retransmission: sender history ring plus a
 //!   token-bucket repair budget charged against the CC target rate.
 //! * [`jitter`] — the receiver jitter buffer (150 ms default, matching the
@@ -37,6 +40,7 @@ pub mod nack;
 pub mod packet;
 pub mod packetize;
 pub mod pli;
+pub mod report;
 pub mod rfc8888;
 pub mod rtx;
 pub mod twcc;
@@ -47,6 +51,7 @@ pub use nack::{Nack, NackConfig, NackGenerator, NackStats};
 pub use packet::RtpPacket;
 pub use packetize::{Depacketizer, FrameMeta, Packetizer, ReassembledFrame};
 pub use pli::Pli;
+pub use report::PathReport;
 pub use rfc8888::{Rfc8888Builder, Rfc8888Packet, Rfc8888Report};
 pub use rtx::{RtxConfig, RtxSender, RtxStats};
 pub use twcc::{TwccFeedback, TwccRecorder};

@@ -251,14 +251,14 @@ impl NackGenerator {
 
     /// Record an arriving media packet and classify it.
     pub fn on_packet(&mut self, now: SimTime, seq: u16) -> Arrival {
-        let unwrapped = match self.highest {
+        let prev = match self.highest {
             None => {
                 self.highest = Some(seq as u64);
                 return Arrival::InOrder;
             }
-            Some(prev) => unwrap_seq(prev, seq),
+            Some(prev) => prev,
         };
-        let prev = self.highest.unwrap();
+        let unwrapped = unwrap_seq(prev, seq);
         if unwrapped > prev {
             // Advancing the head of line: everything strictly between is
             // now a detected gap.

@@ -263,7 +263,9 @@ impl Depacketizer {
         for k in keys {
             let complete = self.pending[&k].is_complete();
             if complete || k < flush_before {
-                out.push(self.pending.remove(&k).unwrap());
+                if let Some(frame) = self.pending.remove(&k) {
+                    out.push(frame);
+                }
             }
         }
         out.sort_by_key(|f| f.meta.frame_number);

@@ -336,9 +336,10 @@ impl ScreamSender {
             .map(|(k, _)| *k)
             .collect();
         for k in skipped {
-            let (_, size) = self.in_flight.remove(&k).unwrap();
-            self.bytes_in_flight = self.bytes_in_flight.saturating_sub(size);
-            span_losses += 1;
+            if let Some((_, size)) = self.in_flight.remove(&k) {
+                self.bytes_in_flight = self.bytes_in_flight.saturating_sub(size);
+                span_losses += 1;
+            }
         }
         self.stats.span_skipped += span_losses;
 
