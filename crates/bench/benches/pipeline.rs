@@ -6,19 +6,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use rpav_core::prelude::*;
-use rpav_sim::SimDuration;
 
 fn short_config(cc: CcMode) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::paper(
-        Environment::Rural,
-        Operator::P1,
-        Mobility::Air,
-        cc,
-        0xBE7C,
-        0,
-    );
-    cfg.hold = SimDuration::from_secs(1);
-    cfg
+    ExperimentConfig::builder()
+        .cc(cc)
+        .seed(0xBE7C)
+        .hold_secs(1)
+        .build()
 }
 
 fn bench_pipeline(c: &mut Criterion) {

@@ -24,17 +24,13 @@ fn main() {
         let mut within = Vec::new();
         let mut skipped = (0u64, 0u64);
         let mut stalls = Vec::new();
-        for run in 0..runs_per_config() {
-            let mut cfg = ExperimentConfig::paper(
-                Environment::Urban,
-                Operator::P1,
-                Mobility::Air,
-                CcMode::Gcc,
-                master_seed(),
-                run,
-            );
-            cfg.jitter_target_override_ms = Some(target_ms);
-            let m = Simulation::new(cfg).run();
+        let cfg = ExperimentConfig::builder()
+            .environment(Environment::Urban)
+            .cc(CcMode::Gcc)
+            .seed(master_seed())
+            .jitter_target_ms(target_ms)
+            .build();
+        for m in &run_campaign(cfg, runs_per_config()).runs {
             lat.extend(m.playback_latency_ms());
             within.push(m.playback_within(300.0));
             skipped.0 += m.frames.iter().filter(|f| !f.displayed).count() as u64;

@@ -18,15 +18,12 @@ fn main() {
     for env in [Environment::Urban, Environment::Rural] {
         println!("\n{} (GCC):", env.name());
         for drop_on_latency in [false, true] {
-            let mut cfg = ExperimentConfig::paper(
-                env,
-                Operator::P1,
-                Mobility::Air,
-                CcMode::Gcc,
-                master_seed(),
-                0,
-            );
-            cfg.drop_on_latency = drop_on_latency;
+            let cfg = ExperimentConfig::builder()
+                .environment(env)
+                .cc(CcMode::Gcc)
+                .seed(master_seed())
+                .drop_on_latency(drop_on_latency)
+                .build();
             let c = run_campaign(cfg, runs_per_config());
             let lat = c.playback_latency_ms();
             let label = if drop_on_latency {

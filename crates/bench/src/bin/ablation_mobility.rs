@@ -28,18 +28,14 @@ fn main() {
             let mut pp = (0usize, 0usize);
             let mut within = Vec::new();
             let mut owd = Vec::new();
-            for run in 0..runs_per_config() {
-                let mut cfg = ExperimentConfig::paper(
-                    Environment::Urban,
-                    Operator::P1,
-                    Mobility::Air,
-                    CcMode::paper_static(Environment::Urban),
-                    master_seed(),
-                    run,
-                );
-                cfg.hysteresis_override_db = Some(hysteresis);
-                cfg.ttt_override_ms = Some(ttt);
-                let m = Simulation::new(cfg).run();
+            let cfg = ExperimentConfig::builder()
+                .environment(Environment::Urban)
+                .cc(CcMode::paper_static(Environment::Urban))
+                .seed(master_seed())
+                .hysteresis_db(hysteresis)
+                .ttt_ms(ttt)
+                .build();
+            for m in &run_campaign(cfg, runs_per_config()).runs {
                 ho.push(m.ho_frequency());
                 pp.0 += m.ping_pong_count(SimDuration::from_secs(5));
                 pp.1 += m.handovers.len();

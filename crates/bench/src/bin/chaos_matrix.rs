@@ -25,7 +25,7 @@
 //! `RPAV_CHAOS_SMOKE=1` shrinks the sweep to one urban outage length per
 //! CC for CI.
 
-use rpav_bench::{banner, master_seed};
+use rpav_bench::{banner, paper_config};
 use rpav_core::prelude::*;
 use rpav_netem::FaultScript;
 use rpav_sim::{SimDuration, SimTime};
@@ -43,13 +43,20 @@ struct CellResult {
     metrics: RunMetrics,
 }
 
-fn run_cell(env: Environment, cc: CcMode, outage_s: f64) -> RunMetrics {
-    let cfg = ExperimentConfig::paper(env, Operator::P1, Mobility::Air, cc, master_seed(), 0);
-    let script = FaultScript::new().blackout(
+fn blackout_script(outage_s: f64) -> FaultScript {
+    FaultScript::new().blackout(
         BLACKOUT_AT,
         SimDuration::from_micros((outage_s * 1e6) as u64),
-    );
-    Simulation::new(cfg).with_link_script(script).run()
+    )
+}
+
+/// Direct (engine-free) execution of one cell — the reference the
+/// determinism spot-check replays against.
+fn run_cell_direct(env: Environment, cc: CcMode, outage_s: f64) -> RunMetrics {
+    let cfg = paper_config(env, Operator::P1, Mobility::Air, cc);
+    Simulation::new(cfg)
+        .with_link_script(blackout_script(outage_s))
+        .run()
 }
 
 fn fmt_opt_ms(d: Option<SimDuration>) -> String {
@@ -96,36 +103,61 @@ fn main() {
         "survived"
     );
 
+    // One matrix: environment × paper workload × blackout length, every
+    // cell independent — executed on the engine's thread pool.
+    let spec = MatrixSpec::new(paper_config(
+        Environment::Urban,
+        Operator::P1,
+        Mobility::Air,
+        CcMode::Gcc,
+    ))
+    .environments(envs.iter().copied())
+    .paper_workloads()
+    .faults(
+        outages
+            .iter()
+            .map(|&s| CellFault::link(format!("blackout-{s}s"), blackout_script(s))),
+    );
+    let engine = CampaignEngine::new();
+    let result = engine.run(&spec);
+
     let mut cells: Vec<CellResult> = Vec::new();
-    for &env in envs {
-        for cc in rpav_bench::paper_ccs(env) {
-            for &outage_s in outages {
-                let metrics = run_cell(env, cc, outage_s);
-                let o = metrics.outages[0];
-                println!(
-                    "{:<6} {:<7} {:>7.1} {:>9.1} {:>8} {:>9} {:>9} {:>5} {:>5} {:>7} {:>7} {:>5} {:>9}",
-                    format!("{env:?}"),
-                    cc.name(),
-                    outage_s,
-                    o.baseline_bps / 1e6,
-                    fmt_opt_ms(o.time_to_first_frame()),
-                    fmt_opt_ms(o.time_to_half_rate_recovery()),
-                    fmt_opt_ms(o.time_to_rate_recovery()),
-                    metrics.plis_sent,
-                    metrics.forced_keyframes,
-                    metrics.watchdog_activations,
-                    metrics.watchdog_recoveries,
-                    metrics.jitter_inflations,
-                    if o.survived() { "yes" } else { "NO" }
-                );
-                cells.push(CellResult {
-                    env,
-                    cc_name: cc.name(),
-                    outage_s,
-                    metrics,
-                });
-            }
-        }
+    for outcome in &result.outcomes {
+        let metrics = outcome.metrics.clone();
+        let env = outcome.cell.config.environment;
+        let cc = outcome.cell.config.cc;
+        // Recover the blackout length from the cell's own fault script.
+        let (from, until) = outcome
+            .cell
+            .fault
+            .uplink
+            .as_ref()
+            .unwrap()
+            .blackout_windows()[0];
+        let outage_s = until.saturating_since(from).as_secs_f64();
+        let o = metrics.outages[0];
+        println!(
+            "{:<6} {:<7} {:>7.1} {:>9.1} {:>8} {:>9} {:>9} {:>5} {:>5} {:>7} {:>7} {:>5} {:>9}",
+            format!("{env:?}"),
+            cc.name(),
+            outage_s,
+            o.baseline_bps / 1e6,
+            fmt_opt_ms(o.time_to_first_frame()),
+            fmt_opt_ms(o.time_to_half_rate_recovery()),
+            fmt_opt_ms(o.time_to_rate_recovery()),
+            metrics.plis_sent,
+            metrics.forced_keyframes,
+            metrics.watchdog_activations,
+            metrics.watchdog_recoveries,
+            metrics.jitter_inflations,
+            if o.survived() { "yes" } else { "NO" }
+        );
+        cells.push(CellResult {
+            env,
+            cc_name: cc.name(),
+            outage_s,
+            metrics,
+        });
     }
 
     // ---- Invariants --------------------------------------------------
@@ -193,20 +225,20 @@ fn main() {
         }
     }
 
-    // Determinism spot-check: the first cell replays bit-identically.
+    // Determinism spot-check: the first cell replays bit-identically when
+    // executed *directly* (no engine, no cache) — the engine's parallel
+    // result must equal the sequential reference.
     {
         let first = &cells[0];
         let cc = rpav_bench::paper_ccs(first.env)[0];
-        let replay = run_cell(first.env, cc, first.outage_s);
-        assert_eq!(replay.media_sent, first.metrics.media_sent);
-        assert_eq!(replay.media_received, first.metrics.media_received);
-        assert_eq!(replay.plis_sent, first.metrics.plis_sent);
-        assert_eq!(replay.frames.len(), first.metrics.frames.len());
+        let replay = run_cell_direct(first.env, cc, first.outage_s);
         assert_eq!(
-            replay.outages[0].first_frame_after,
-            first.metrics.outages[0].first_frame_after
+            replay.to_bytes(),
+            first.metrics.to_bytes(),
+            "engine result diverged from direct execution"
         );
     }
 
     println!("\nAll survival invariants hold ({} cells).", cells.len());
+    println!("{}", result.report.summary());
 }

@@ -7,7 +7,6 @@
 //! not synchronised.
 
 use rpav_bench::{banner, master_seed, print_cdf_quantiles, runs_per_config};
-use rpav_core::multipath::{run_multipath, MultipathScheme};
 use rpav_core::prelude::*;
 use rpav_core::stats;
 
@@ -16,23 +15,24 @@ fn main() {
         "Extension E-1",
         "multipath (P1+P2 duplicate) vs single path, rural static 8 Mbps",
     );
-    for scheme in MultipathScheme::all() {
+    // One matrix: scheme × run, on the engine's thread pool. The run
+    // index is the innermost axis, so each scheme's runs are contiguous.
+    let base = ExperimentConfig::builder()
+        .cc(CcMode::paper_static(Environment::Rural))
+        .seed(master_seed())
+        .build();
+    let spec = MatrixSpec::new(base)
+        .multipath_schemes(MultipathScheme::all())
+        .runs(runs_per_config());
+    let result = CampaignEngine::new().run(&spec);
+
+    for (scheme, campaign) in MultipathScheme::all().iter().zip(result.campaigns()) {
         let mut owd = Vec::new();
         let mut within = Vec::new();
         let mut per = Vec::new();
         let mut stalls = Vec::new();
         let mut dup_frac = Vec::new();
-        for run in 0..runs_per_config() {
-            let mut cfg = ExperimentConfig::paper(
-                Environment::Rural,
-                Operator::P1,
-                Mobility::Air,
-                CcMode::paper_static(Environment::Rural),
-                master_seed(),
-                run,
-            );
-            cfg.run_index = run;
-            let m = run_multipath(&cfg, scheme);
+        for m in &campaign.runs {
             owd.extend(m.owd_ms());
             within.push(m.playback_within(300.0));
             per.push(m.per());
@@ -54,6 +54,7 @@ fn main() {
             stats::mean(&dup_frac) * 100.0
         );
     }
+    println!("\n{}", result.report.summary());
     println!(
         "\n(The duplicate scheme doubles the radio airtime — the cost the paper's \
          discussion of multipath acknowledges; the win is the tail, not the median.)"

@@ -42,23 +42,21 @@ struct CellResult {
 }
 
 fn config(cc: CcMode, run: u64) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::paper(
-        Environment::Rural,
-        Operator::P1,
-        Mobility::Air,
-        cc,
-        master_seed(),
-        run,
-    );
-    cfg.hold = SimDuration::from_secs(1);
-    cfg
+    ExperimentConfig::builder()
+        .cc(cc)
+        .seed(master_seed())
+        .run_index(run)
+        .hold_secs(1)
+        .build()
 }
 
 fn primary_blackout() -> FaultScript {
     FaultScript::new().blackout(FAULT_AT, FAULT_FOR)
 }
 
-fn run_cell(cc: CcMode, run: u64, scheme: MultipathScheme) -> RunMetrics {
+/// Direct (engine-free) execution of one cell — the reference the
+/// determinism spot-check replays against.
+fn run_cell_direct(cc: CcMode, run: u64, scheme: MultipathScheme) -> RunMetrics {
     run_multipath_scripted(&config(cc, run), scheme, Some(primary_blackout()), None)
 }
 
@@ -119,11 +117,37 @@ fn main() {
         "probes",
     );
 
+    // One matrix: workload × scheme × run, every cell under the same
+    // primary-leg blackout, executed on the engine's thread pool. The
+    // engine expands with the run index innermost (scheme above it), so
+    // the seed-matched quadruples are re-grouped by index below for the
+    // cc → run → scheme table the invariants read.
+    let spec = MatrixSpec::new(config(CcMode::Gcc, 0))
+        .paper_workloads()
+        .multipath_schemes(MultipathScheme::all())
+        .faults([CellFault::legs(
+            "primary-blackout",
+            Some(primary_blackout()),
+            None,
+        )])
+        .runs(runs);
+    let engine = CampaignEngine::new();
+    let result = engine.run(&spec);
+
+    let ccs = rpav_bench::paper_ccs(Environment::Rural);
+    let schemes = MultipathScheme::all();
+    let cell_at = |cc_i: usize, scheme_i: usize, run: u64| {
+        &result.outcomes[(cc_i * schemes.len() + scheme_i) * runs as usize + run as usize]
+    };
+
     let mut cells: Vec<CellResult> = Vec::new();
-    for cc in rpav_bench::paper_ccs(Environment::Rural) {
+    for (cc_i, cc) in ccs.iter().enumerate() {
         for run in 0..runs {
-            for scheme in MultipathScheme::all() {
-                let m = run_cell(cc, run, scheme);
+            for (scheme_i, &scheme) in schemes.iter().enumerate() {
+                let outcome = cell_at(cc_i, scheme_i, run);
+                assert_eq!(outcome.cell.scheme, RunScheme::Multipath(scheme));
+                assert_eq!(outcome.cell.config.run_index, run);
+                let m = outcome.metrics.clone();
                 print_row(cc.name(), run, &m, scheme);
                 cells.push(CellResult {
                     cc_name: cc.name(),
@@ -218,30 +242,24 @@ fn main() {
     }
 
     // Determinism spot-check: the first failover cell replays
-    // bit-identically.
+    // bit-identically when executed *directly* (no engine, no cache).
     {
         let first = cells
             .iter()
             .find(|c| c.scheme == MultipathScheme::Failover)
             .expect("no failover cell");
         let cc = rpav_bench::paper_ccs(Environment::Rural)[0];
-        let replay = run_cell(cc, first.run, MultipathScheme::Failover);
-        assert_eq!(replay.media_sent, first.metrics.media_sent);
-        assert_eq!(replay.media_received, first.metrics.media_received);
-        assert_eq!(replay.switches.len(), first.metrics.switches.len());
-        for (a, b) in replay.switches.iter().zip(first.metrics.switches.iter()) {
-            assert_eq!(a.at, b.at);
-            assert_eq!(a.to_leg, b.to_leg);
-            assert_eq!(a.cause, b.cause);
-        }
-        assert_eq!(replay.probes_sent, first.metrics.probes_sent);
-        assert_eq!(replay.dup_tx_packets, first.metrics.dup_tx_packets);
-        assert_eq!(replay.stalled_time, first.metrics.stalled_time);
-        assert_eq!(replay.frames.len(), first.metrics.frames.len());
+        let replay = run_cell_direct(cc, first.run, MultipathScheme::Failover);
+        assert_eq!(
+            replay.to_bytes(),
+            first.metrics.to_bytes(),
+            "engine result diverged from direct execution"
+        );
     }
 
     println!(
         "All failover invariants hold ({} seed-matched cells).",
         cells.len()
     );
+    println!("{}", result.report.summary());
 }

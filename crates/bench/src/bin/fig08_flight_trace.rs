@@ -11,14 +11,11 @@ use rpav_core::trace;
 
 fn main() {
     banner("Figure 8", "GCC urban flight trace (CSV on stdout)");
-    let cfg = ExperimentConfig::paper(
-        Environment::Urban,
-        Operator::P1,
-        Mobility::Air,
-        CcMode::Gcc,
-        master_seed(),
-        0,
-    );
+    let cfg = ExperimentConfig::builder()
+        .environment(Environment::Urban)
+        .cc(CcMode::Gcc)
+        .seed(master_seed())
+        .build();
     let metrics = Simulation::new(cfg).run();
     let rows = trace::build_trace(&metrics);
     print!("{}", trace::to_csv(&rows));

@@ -18,14 +18,13 @@ fn main() {
         println!("\n{}:", env.name());
         let mut samples = Vec::new();
         for run in 0..runs_per_config() {
-            let cfg = ExperimentConfig::paper(
-                env,
-                Operator::P1,
-                Mobility::Air,
-                CcMode::Gcc, // irrelevant: the ping workload carries no video
-                master_seed(),
-                run,
-            );
+            // The CC is irrelevant: the ping workload carries no video.
+            let cfg = ExperimentConfig::builder()
+                .environment(env)
+                .cc(CcMode::Gcc)
+                .seed(master_seed())
+                .run_index(run)
+                .build();
             samples.extend(run_ping(&cfg));
         }
         for (label, rtts) in bin_by_altitude(&samples) {

@@ -34,6 +34,14 @@ use rpav_core::prelude::*;
 use rpav_netem::{FaultScript, PacketKind};
 use rpav_sim::{SimDuration, SimTime};
 
+fn base_config() -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .environment(Environment::Urban)
+        .seed(master_seed())
+        .hold_secs(1)
+        .build()
+}
+
 /// Hostile window: covers the cruise phase, past CC convergence.
 const FAULT_AT: SimTime = SimTime::from_secs(10);
 const FAULT_FOR: SimDuration = SimDuration::from_secs(120);
@@ -100,16 +108,11 @@ struct CellResult {
     on: RunMetrics,
 }
 
-fn run_cell(cc: CcMode, script: FaultScript, repair: bool) -> RunMetrics {
-    let mut cfg = ExperimentConfig::paper(
-        Environment::Urban,
-        Operator::P1,
-        Mobility::Air,
-        cc,
-        master_seed(),
-        0,
-    );
-    cfg.hold = SimDuration::from_secs(1);
+/// Direct (engine-free) execution of one cell — the reference the
+/// determinism spot-check replays against.
+fn run_cell_direct(cc: CcMode, script: FaultScript, repair: bool) -> RunMetrics {
+    let mut cfg = base_config();
+    cfg.cc = cc;
     cfg.repair = repair;
     Simulation::new(cfg).with_uplink_script(script).run()
 }
@@ -168,20 +171,40 @@ fn main() {
         "eff"
     );
 
+    // One matrix: workload × condition × {repair off, on}. The repair
+    // switch is the innermost non-run axis, so each seed-matched off/on
+    // pair lands adjacent in the submission-ordered results.
+    let spec = MatrixSpec::new(base_config())
+        .paper_workloads()
+        .faults(
+            conditions
+                .iter()
+                .map(|c| CellFault::uplink(c.name, (c.script)())),
+        )
+        .repairs([false, true]);
+    let engine = CampaignEngine::new();
+    let result = engine.run(&spec);
+
     let mut cells: Vec<CellResult> = Vec::new();
-    for cond in conditions {
-        for cc in rpav_bench::paper_ccs(Environment::Urban) {
-            let off = run_cell(cc, (cond.script)(), false);
-            let on = run_cell(cc, (cond.script)(), true);
-            print_row(cond.name, cc.name(), "off", &off);
-            print_row(cond.name, cc.name(), "on", &on);
-            cells.push(CellResult {
-                condition: cond.name,
-                cc_name: cc.name(),
-                off,
-                on,
-            });
-        }
+    for pair in result.outcomes.chunks(2) {
+        let [off_cell, on_cell] = pair else {
+            unreachable!("repair axis yields pairs")
+        };
+        assert!(!off_cell.cell.config.repair && on_cell.cell.config.repair);
+        let cc_name = off_cell.cell.config.cc.name();
+        let condition = conditions
+            .iter()
+            .find(|c| c.name == off_cell.cell.fault.name)
+            .expect("unknown condition")
+            .name;
+        print_row(condition, cc_name, "off", &off_cell.metrics);
+        print_row(condition, cc_name, "on", &on_cell.metrics);
+        cells.push(CellResult {
+            condition,
+            cc_name,
+            off: off_cell.metrics.clone(),
+            on: on_cell.metrics.clone(),
+        });
     }
 
     // ---- Invariants --------------------------------------------------
@@ -245,24 +268,25 @@ fn main() {
     }
 
     // Determinism spot-check: the first repair-on cell replays
-    // bit-identically.
+    // bit-identically when executed *directly* (no engine, no cache).
     {
         let first = &cells[0];
-        let cond = &conditions[0];
+        let cond = conditions
+            .iter()
+            .find(|c| c.name == first.condition)
+            .unwrap();
         let cc = rpav_bench::paper_ccs(Environment::Urban)[0];
-        let replay = run_cell(cc, (cond.script)(), true);
-        assert_eq!(replay.media_sent, first.on.media_sent);
-        assert_eq!(replay.media_received, first.on.media_received);
-        assert_eq!(replay.nacks_sent, first.on.nacks_sent);
-        assert_eq!(replay.rtx_sent, first.on.rtx_sent);
-        assert_eq!(replay.rtx_recovered, first.on.rtx_recovered);
-        assert_eq!(replay.forced_keyframes, first.on.forced_keyframes);
-        assert_eq!(replay.stalled_time, first.on.stalled_time);
-        assert_eq!(replay.frames.len(), first.on.frames.len());
+        let replay = run_cell_direct(cc, (cond.script)(), true);
+        assert_eq!(
+            replay.to_bytes(),
+            first.on.to_bytes(),
+            "engine result diverged from direct execution"
+        );
     }
 
     println!(
         "\nAll repair invariants hold ({} seed-matched cell pairs).",
         cells.len()
     );
+    println!("{}", result.report.summary());
 }

@@ -26,10 +26,27 @@ pub fn master_seed() -> u64 {
         .unwrap_or(0x1AC_2022)
 }
 
-/// Run one paper-default campaign.
+/// Run one paper-default campaign (on the matrix engine's thread pool —
+/// `RPAV_JOBS` workers, `RPAV_CACHE` for the on-disk result cache).
 pub fn campaign(env: Environment, op: Operator, mobility: Mobility, cc: CcMode) -> CampaignResult {
-    let cfg = ExperimentConfig::paper(env, op, mobility, cc, master_seed(), 0);
+    let cfg = paper_config(env, op, mobility, cc);
     run_campaign(cfg, runs_per_config())
+}
+
+/// The paper-default configuration at the bench master seed.
+pub fn paper_config(
+    env: Environment,
+    op: Operator,
+    mobility: Mobility,
+    cc: CcMode,
+) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .environment(env)
+        .operator(op)
+        .mobility(mobility)
+        .cc(cc)
+        .seed(master_seed())
+        .build()
 }
 
 /// The three §3.2 workloads for an environment.

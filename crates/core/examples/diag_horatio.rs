@@ -2,20 +2,16 @@
 //! short urban static campaign.
 use rpav_core::prelude::*;
 use rpav_core::stats;
-use rpav_sim::SimDuration;
 fn main() {
     let mut before = vec![];
     let mut after = vec![];
     for seed in 0..4 {
-        let mut cfg = ExperimentConfig::paper(
-            Environment::Urban,
-            Operator::P1,
-            Mobility::Air,
-            CcMode::paper_static(Environment::Urban),
-            100 + seed,
-            0,
-        );
-        cfg.hold = SimDuration::from_secs(1);
+        let cfg = ExperimentConfig::builder()
+            .environment(Environment::Urban)
+            .cc(CcMode::paper_static(Environment::Urban))
+            .seed(100 + seed)
+            .hold_secs(1)
+            .build();
         let m = Simulation::new(cfg).run();
         let (b, a) = m.ho_latency_ratios();
         before.extend(b);

@@ -1,18 +1,22 @@
-//! Quick matrix: 3 CC × 2 env headline stats, 2 runs each.
+//! Quick matrix: 3 CC × 2 env headline stats, 2 runs each — one
+//! `MatrixSpec` on the campaign engine's thread pool.
 use rpav_core::prelude::*;
 use rpav_core::summary::HeadlineStats;
 
 fn main() {
+    let base = ExperimentConfig::builder()
+        .environment(Environment::Urban)
+        .cc(CcMode::Gcc)
+        .seed(0xABCD)
+        .build();
+    let spec = MatrixSpec::new(base)
+        .environments([Environment::Urban, Environment::Rural])
+        .paper_workloads()
+        .runs(2);
+    let result = CampaignEngine::new().run(&spec);
     println!("{}", HeadlineStats::header());
-    for env in [Environment::Urban, Environment::Rural] {
-        for cc in [
-            CcMode::paper_static(env),
-            CcMode::paper_scream(),
-            CcMode::Gcc,
-        ] {
-            let cfg = ExperimentConfig::paper(env, Operator::P1, Mobility::Air, cc, 0xABCD, 0);
-            let campaign = run_campaign(cfg, 2);
-            println!("{}", HeadlineStats::from_campaign(&campaign).row());
-        }
+    for campaign in result.campaigns() {
+        println!("{}", HeadlineStats::from_campaign(&campaign).row());
     }
+    eprintln!("{}", result.report.summary());
 }

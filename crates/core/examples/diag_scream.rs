@@ -1,18 +1,14 @@
 //! Calibration diagnostic: SCReAM pipeline health (set RPAV_DEBUG=1 for a
 //! per-second cwnd/queue/target trace).
 use rpav_core::prelude::*;
-use rpav_sim::SimDuration;
 
 fn main() {
-    let mut cfg = ExperimentConfig::paper(
-        Environment::Urban,
-        Operator::P1,
-        Mobility::Air,
-        CcMode::paper_scream(),
-        0xABCD,
-        0,
-    );
-    cfg.hold = SimDuration::from_secs(1);
+    let cfg = ExperimentConfig::builder()
+        .environment(Environment::Urban)
+        .cc(CcMode::paper_scream())
+        .seed(0xABCD)
+        .hold_secs(1)
+        .build();
     let m = Simulation::new(cfg).run();
     println!(
         "goodput={:.1}Mbps PER={:.4} stalls/min={:.1}",

@@ -1,18 +1,14 @@
 //! Calibration diagnostic: static-25-Mbps urban flight — capacity sag
 //! fractions, OWD quantiles, playback compliance.
 use rpav_core::prelude::*;
-use rpav_sim::SimDuration;
 
 fn main() {
-    let mut cfg = ExperimentConfig::paper(
-        Environment::Urban,
-        Operator::P1,
-        Mobility::Air,
-        CcMode::paper_static(Environment::Urban),
-        0xC0FFEE,
-        0,
-    );
-    cfg.hold = SimDuration::from_secs(1);
+    let cfg = ExperimentConfig::builder()
+        .environment(Environment::Urban)
+        .cc(CcMode::paper_static(Environment::Urban))
+        .seed(0xC0FFEE)
+        .hold_secs(1)
+        .build();
     let m = Simulation::new(cfg).run();
     let caps: Vec<f64> = m.radio.iter().map(|r| r.capacity_bps / 1e6).collect();
     let below = caps.iter().filter(|c| **c < 25.0).count() as f64 / caps.len() as f64;

@@ -1,0 +1,580 @@
+//! Byte-exact serialization of [`RunMetrics`].
+//!
+//! The matrix engine ([`exec`](crate::exec)) needs two things from a run's
+//! metrics: a canonical byte form whose equality *is* result equality (the
+//! determinism contract "jobs=1 ≡ jobs=8" is asserted over these bytes),
+//! and a round-trippable encoding for the on-disk result cache under
+//! `target/rpav-cache`. Both are served by one hand-rolled little-endian
+//! format — no external serde in this workspace.
+//!
+//! The format is versioned ([`FORMAT_VERSION`]) and salted with the crate
+//! version, so a rebuilt crate silently invalidates every cached result
+//! instead of replaying metrics a code change may have altered.
+
+use rpav_lte::HandoverKind;
+use rpav_sim::{SimDuration, SimTime};
+
+use crate::failover::SwitchCause;
+use crate::metrics::{
+    FrameRecord, HandoverRecord, OutageRecord, PathHealthSummary, RadioTraceRow, RunMetrics,
+    SwitchRecord,
+};
+
+/// Bump on any change to the byte layout below.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic prefix of every encoded blob.
+const MAGIC: &[u8; 4] = b"RPAV";
+
+/// Append-only little-endian byte sink.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Finish and take the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Write a `u32` little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64` little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `f64` as its IEEE-754 bit pattern (bit-exact, NaN-safe).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Write a [`SimTime`] as microseconds.
+    pub fn time(&mut self, t: SimTime) {
+        self.u64(t.as_micros());
+    }
+
+    /// Write a [`SimDuration`] as microseconds.
+    pub fn duration(&mut self, d: SimDuration) {
+        self.u64(d.as_micros());
+    }
+
+    /// Write an optional value behind a presence byte.
+    pub fn opt<T>(&mut self, v: Option<T>, write: impl FnOnce(&mut Self, T)) {
+        match v {
+            Some(v) => {
+                self.u8(1);
+                write(self, v);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Write a slice behind a length prefix.
+    pub fn seq<T>(&mut self, items: &[T], mut write: impl FnMut(&mut Self, &T)) {
+        self.u64(items.len() as u64);
+        for item in items {
+            write(self, item);
+        }
+    }
+
+    /// Write raw bytes (length-prefixed).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Cursor over an encoded blob; every read returns `None` past the end, so
+/// truncated or foreign cache files decode to a miss, never a panic.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Read a bool; rejects anything but 0/1.
+    pub fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    /// Read a [`SimTime`].
+    pub fn time(&mut self) -> Option<SimTime> {
+        self.u64().map(SimTime::from_micros)
+    }
+
+    /// Read a [`SimDuration`].
+    pub fn duration(&mut self) -> Option<SimDuration> {
+        self.u64().map(SimDuration::from_micros)
+    }
+
+    /// Read an optional value.
+    pub fn opt<T>(&mut self, read: impl FnOnce(&mut Self) -> Option<T>) -> Option<Option<T>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => read(self).map(Some),
+            _ => None,
+        }
+    }
+
+    /// Read a length-prefixed sequence.
+    pub fn seq<T>(&mut self, mut read: impl FnMut(&mut Self) -> Option<T>) -> Option<Vec<T>> {
+        let n = self.u64()? as usize;
+        // Guard against hostile lengths: each element needs ≥ 1 byte.
+        if n > self.buf.len().saturating_sub(self.pos) {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(read(self)?);
+        }
+        Some(out)
+    }
+}
+
+fn handover_kind_tag(kind: HandoverKind) -> u8 {
+    match kind {
+        HandoverKind::A3 => 0,
+        HandoverKind::RadioLinkFailure => 1,
+    }
+}
+
+fn handover_kind_from(tag: u8) -> Option<HandoverKind> {
+    match tag {
+        0 => Some(HandoverKind::A3),
+        1 => Some(HandoverKind::RadioLinkFailure),
+        _ => None,
+    }
+}
+
+fn switch_cause_tag(cause: SwitchCause) -> u8 {
+    match cause {
+        SwitchCause::Starvation => 0,
+        SwitchCause::RadioLinkFailure => 1,
+        SwitchCause::HandoverSignal => 2,
+        SwitchCause::Degraded => 3,
+    }
+}
+
+fn switch_cause_from(tag: u8) -> Option<SwitchCause> {
+    match tag {
+        0 => Some(SwitchCause::Starvation),
+        1 => Some(SwitchCause::RadioLinkFailure),
+        2 => Some(SwitchCause::HandoverSignal),
+        3 => Some(SwitchCause::Degraded),
+        _ => None,
+    }
+}
+
+fn write_handover(w: &mut ByteWriter, h: &HandoverRecord) {
+    w.time(h.at);
+    w.duration(h.het);
+    w.u8(handover_kind_tag(h.kind));
+    w.u32(h.from);
+    w.u32(h.to);
+}
+
+fn read_handover(r: &mut ByteReader) -> Option<HandoverRecord> {
+    Some(HandoverRecord {
+        at: r.time()?,
+        het: r.duration()?,
+        kind: handover_kind_from(r.u8()?)?,
+        from: r.u32()?,
+        to: r.u32()?,
+    })
+}
+
+fn write_radio(w: &mut ByteWriter, row: &RadioTraceRow) {
+    w.time(row.t);
+    w.f64(row.altitude_m);
+    w.f64(row.capacity_bps);
+    w.f64(row.rsrp_dbm);
+    w.f64(row.sinr_db);
+    w.bool(row.in_handover);
+}
+
+fn read_radio(r: &mut ByteReader) -> Option<RadioTraceRow> {
+    Some(RadioTraceRow {
+        t: r.time()?,
+        altitude_m: r.f64()?,
+        capacity_bps: r.f64()?,
+        rsrp_dbm: r.f64()?,
+        sinr_db: r.f64()?,
+        in_handover: r.bool()?,
+    })
+}
+
+fn write_frame(w: &mut ByteWriter, f: &FrameRecord) {
+    w.u64(f.number);
+    w.time(f.display_at);
+    w.opt(f.latency_ms, |w, v| w.f64(v));
+    w.f64(f.ssim);
+    w.bool(f.displayed);
+}
+
+fn read_frame(r: &mut ByteReader) -> Option<FrameRecord> {
+    Some(FrameRecord {
+        number: r.u64()?,
+        display_at: r.time()?,
+        latency_ms: r.opt(|r| r.f64())?,
+        ssim: r.f64()?,
+        displayed: r.bool()?,
+    })
+}
+
+fn write_outage(w: &mut ByteWriter, o: &OutageRecord) {
+    w.time(o.from);
+    w.time(o.until);
+    w.f64(o.baseline_bps);
+    w.opt(o.first_arrival_after, |w, v| w.time(v));
+    w.opt(o.first_frame_after, |w, v| w.time(v));
+    w.opt(o.rate_half_recovered_at, |w, v| w.time(v));
+    w.opt(o.rate_recovered_at, |w, v| w.time(v));
+}
+
+fn read_outage(r: &mut ByteReader) -> Option<OutageRecord> {
+    Some(OutageRecord {
+        from: r.time()?,
+        until: r.time()?,
+        baseline_bps: r.f64()?,
+        first_arrival_after: r.opt(|r| r.time())?,
+        first_frame_after: r.opt(|r| r.time())?,
+        rate_half_recovered_at: r.opt(|r| r.time())?,
+        rate_recovered_at: r.opt(|r| r.time())?,
+    })
+}
+
+fn write_switch(w: &mut ByteWriter, s: &SwitchRecord) {
+    w.time(s.at);
+    w.u8(s.from_leg);
+    w.u8(s.to_leg);
+    w.u8(switch_cause_tag(s.cause));
+}
+
+fn read_switch(r: &mut ByteReader) -> Option<SwitchRecord> {
+    Some(SwitchRecord {
+        at: r.time()?,
+        from_leg: r.u8()?,
+        to_leg: r.u8()?,
+        cause: switch_cause_from(r.u8()?)?,
+    })
+}
+
+fn write_path_health(w: &mut ByteWriter, p: &PathHealthSummary) {
+    w.u8(p.leg);
+    w.duration(p.time_healthy);
+    w.duration(p.time_degraded);
+    w.duration(p.time_dead);
+    w.u64(p.reports);
+    w.opt(p.final_rtt_ms, |w, v| w.f64(v));
+    w.opt(p.final_loss, |w, v| w.f64(v));
+}
+
+fn read_path_health(r: &mut ByteReader) -> Option<PathHealthSummary> {
+    Some(PathHealthSummary {
+        leg: r.u8()?,
+        time_healthy: r.duration()?,
+        time_degraded: r.duration()?,
+        time_dead: r.duration()?,
+        reports: r.u64()?,
+        final_rtt_ms: r.opt(|r| r.f64())?,
+        final_loss: r.opt(|r| r.f64())?,
+    })
+}
+
+impl RunMetrics {
+    /// Canonical byte encoding. Two metrics encode identically **iff**
+    /// every recorded field — down to each OWD sample's f64 bit pattern —
+    /// is identical; the parallel engine's determinism tests compare these
+    /// bytes directly.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.buf.extend_from_slice(MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.bytes(env!("CARGO_PKG_VERSION").as_bytes());
+        w.duration(self.duration);
+        w.u64(self.media_sent);
+        w.u64(self.media_received);
+        w.u64(self.media_received_bytes);
+        w.seq(&self.owd, |w, (t, ms)| {
+            w.time(*t);
+            w.f64(*ms);
+        });
+        w.seq(&self.handovers, write_handover);
+        w.seq(&self.radio, write_radio);
+        w.seq(&self.frames, write_frame);
+        w.u64(self.stalls);
+        w.duration(self.stalled_time);
+        w.u64(self.frames_late_discarded);
+        w.u64(self.sender_discarded);
+        w.u64(self.span_skipped);
+        w.u64(self.distinct_cells as u64);
+        w.u64(self.plis_sent);
+        w.u64(self.plis_received);
+        w.u64(self.forced_keyframes);
+        w.u64(self.watchdog_activations);
+        w.u64(self.watchdog_recoveries);
+        w.opt(self.watchdog_last_ramp, |w, v| w.duration(v));
+        w.u64(self.jitter_inflations);
+        w.u64(self.script_dropped);
+        w.seq(&self.outages, write_outage);
+        w.u64(self.malformed_packets);
+        w.u64(self.corrupted_arrivals);
+        w.u64(self.duplicate_packets);
+        w.u64(self.late_packets);
+        w.u64(self.malformed_payloads);
+        w.u64(self.nacks_sent);
+        w.u64(self.nack_seqs_requested);
+        w.u64(self.rtx_recovered);
+        w.u64(self.rtx_late);
+        w.u64(self.nack_abandoned);
+        w.u64(self.rtx_sent);
+        w.u64(self.rtx_bytes);
+        w.u64(self.rtx_budget_exhausted);
+        w.u64(self.rtx_not_in_history);
+        w.seq(&self.switches, write_switch);
+        w.seq(&self.path_health, write_path_health);
+        w.u64(self.probes_sent);
+        w.u64(self.dup_tx_packets);
+        w.u64(self.dup_tx_bytes);
+        w.u64(self.path_reports_received);
+        w.into_bytes()
+    }
+
+    /// Decode a blob written by [`to_bytes`](Self::to_bytes). Returns
+    /// `None` on any mismatch — wrong magic, a different format or crate
+    /// version, truncation, trailing bytes, or an unknown enum tag — so a
+    /// stale cache entry degrades to a cache miss.
+    pub fn from_bytes(buf: &[u8]) -> Option<RunMetrics> {
+        let mut r = ByteReader::new(buf);
+        if r.take(4)? != MAGIC {
+            return None;
+        }
+        if r.u32()? != FORMAT_VERSION {
+            return None;
+        }
+        let version_len = r.u64()? as usize;
+        if r.take(version_len)? != env!("CARGO_PKG_VERSION").as_bytes() {
+            return None;
+        }
+        let m = RunMetrics {
+            duration: r.duration()?,
+            media_sent: r.u64()?,
+            media_received: r.u64()?,
+            media_received_bytes: r.u64()?,
+            owd: r.seq(|r| Some((r.time()?, r.f64()?)))?,
+            handovers: r.seq(read_handover)?,
+            radio: r.seq(read_radio)?,
+            frames: r.seq(read_frame)?,
+            stalls: r.u64()?,
+            stalled_time: r.duration()?,
+            frames_late_discarded: r.u64()?,
+            sender_discarded: r.u64()?,
+            span_skipped: r.u64()?,
+            distinct_cells: r.u64()? as usize,
+            plis_sent: r.u64()?,
+            plis_received: r.u64()?,
+            forced_keyframes: r.u64()?,
+            watchdog_activations: r.u64()?,
+            watchdog_recoveries: r.u64()?,
+            watchdog_last_ramp: r.opt(|r| r.duration())?,
+            jitter_inflations: r.u64()?,
+            script_dropped: r.u64()?,
+            outages: r.seq(read_outage)?,
+            malformed_packets: r.u64()?,
+            corrupted_arrivals: r.u64()?,
+            duplicate_packets: r.u64()?,
+            late_packets: r.u64()?,
+            malformed_payloads: r.u64()?,
+            nacks_sent: r.u64()?,
+            nack_seqs_requested: r.u64()?,
+            rtx_recovered: r.u64()?,
+            rtx_late: r.u64()?,
+            nack_abandoned: r.u64()?,
+            rtx_sent: r.u64()?,
+            rtx_bytes: r.u64()?,
+            rtx_budget_exhausted: r.u64()?,
+            rtx_not_in_history: r.u64()?,
+            switches: r.seq(read_switch)?,
+            path_health: r.seq(read_path_health)?,
+            probes_sent: r.u64()?,
+            dup_tx_packets: r.u64()?,
+            dup_tx_bytes: r.u64()?,
+            path_reports_received: r.u64()?,
+        };
+        if !r.exhausted() {
+            return None;
+        }
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        RunMetrics {
+            duration: SimDuration::from_secs(10),
+            media_sent: 1_000,
+            media_received: 990,
+            media_received_bytes: 1_200_000,
+            owd: vec![
+                (SimTime::from_millis(5), 17.25),
+                (SimTime::from_millis(6), f64::NAN),
+            ],
+            handovers: vec![HandoverRecord {
+                at: SimTime::from_secs(2),
+                het: SimDuration::from_millis(45),
+                kind: HandoverKind::RadioLinkFailure,
+                from: 3,
+                to: 7,
+            }],
+            radio: vec![RadioTraceRow {
+                t: SimTime::from_millis(100),
+                altitude_m: 80.0,
+                capacity_bps: 12e6,
+                rsrp_dbm: -95.5,
+                sinr_db: 11.0,
+                in_handover: true,
+            }],
+            frames: vec![FrameRecord {
+                number: 1,
+                display_at: SimTime::from_millis(200),
+                latency_ms: Some(180.5),
+                ssim: 0.93,
+                displayed: true,
+            }],
+            stalls: 2,
+            stalled_time: SimDuration::from_millis(750),
+            watchdog_last_ramp: Some(SimDuration::from_millis(1_200)),
+            outages: vec![OutageRecord {
+                from: SimTime::from_secs(3),
+                until: SimTime::from_secs(5),
+                baseline_bps: 8e6,
+                first_arrival_after: Some(SimTime::from_millis(5_100)),
+                first_frame_after: None,
+                rate_half_recovered_at: Some(SimTime::from_secs(6)),
+                rate_recovered_at: None,
+            }],
+            switches: vec![SwitchRecord {
+                at: SimTime::from_secs(4),
+                from_leg: 0,
+                to_leg: 1,
+                cause: SwitchCause::Degraded,
+            }],
+            path_health: vec![PathHealthSummary {
+                leg: 1,
+                time_healthy: SimDuration::from_secs(8),
+                time_degraded: SimDuration::from_secs(1),
+                time_dead: SimDuration::from_secs(1),
+                reports: 160,
+                final_rtt_ms: Some(42.0),
+                final_loss: None,
+            }],
+            ..RunMetrics::default()
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_exact() {
+        let m = sample();
+        let bytes = m.to_bytes();
+        let back = RunMetrics::from_bytes(&bytes).expect("decode");
+        // Equality via re-encoding: covers every field, including the NaN
+        // OWD sample's exact bit pattern.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn hostile_bytes_decode_to_none_not_panic() {
+        let good = sample().to_bytes();
+        assert!(RunMetrics::from_bytes(&[]).is_none());
+        assert!(RunMetrics::from_bytes(b"JUNKJUNKJUNK").is_none());
+        // Truncations at every prefix length must fail cleanly.
+        for cut in [4usize, 8, 12, 40, good.len() / 2, good.len() - 1] {
+            assert!(RunMetrics::from_bytes(&good[..cut]).is_none(), "cut {cut}");
+        }
+        // Trailing garbage is rejected (no silent partial decode).
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(RunMetrics::from_bytes(&padded).is_none());
+        // A flipped version byte invalidates the blob.
+        let mut wrong_version = good.clone();
+        wrong_version[4] ^= 0xFF;
+        assert!(RunMetrics::from_bytes(&wrong_version).is_none());
+    }
+
+    #[test]
+    fn default_metrics_roundtrip() {
+        let m = RunMetrics::default();
+        let bytes = m.to_bytes();
+        let back = RunMetrics::from_bytes(&bytes).expect("decode default");
+        assert_eq!(back.to_bytes(), bytes);
+    }
+}

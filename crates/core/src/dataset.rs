@@ -184,19 +184,16 @@ pub fn export(dir: &Path, runs: &[DatasetRun<'_>]) -> io::Result<()> {
 mod tests {
     use super::*;
     use crate::metrics::{FrameRecord, HandoverRecord};
-    use crate::scenario::{CcMode, Mobility};
-    use rpav_lte::{Environment, HandoverKind, Operator};
+    use crate::scenario::CcMode;
+    use rpav_lte::{Environment, HandoverKind};
     use rpav_sim::{SimDuration, SimTime};
 
     fn sample() -> (ExperimentConfig, RunMetrics) {
-        let cfg = ExperimentConfig::paper(
-            Environment::Urban,
-            Operator::P1,
-            Mobility::Air,
-            CcMode::Gcc,
-            9,
-            0,
-        );
+        let cfg = ExperimentConfig::builder()
+            .environment(Environment::Urban)
+            .cc(CcMode::Gcc)
+            .seed(9)
+            .build();
         let m = RunMetrics {
             duration: SimDuration::from_secs(10),
             media_sent: 100,

@@ -1,0 +1,991 @@
+//! The parallel deterministic campaign engine.
+//!
+//! The paper aggregates ≈130 runs over ≈90 flights (urban/rural × two
+//! operators × three CCs × air/ground); reproducing that cross-product
+//! used to mean five hand-rolled nested loops, all strictly sequential.
+//! Every seeded run is independent, so this module factors the loops into
+//! one engine:
+//!
+//! * [`MatrixSpec`] — a declarative cross-product of scenario axes
+//!   (environment × operator × mobility × CC × scheme × fault script ×
+//!   repair × run index) that [expands](MatrixSpec::expand) into
+//!   independent [`Cell`]s in a fixed, documented order.
+//! * [`CampaignEngine`] — a bounded `std::thread` pool (no external deps)
+//!   pulling cells off an atomic work queue and posting results back over
+//!   an `mpsc` channel into **submission-ordered** slots.
+//! * Per-cell result caching keyed by a [stable hash](Cell::key) of the
+//!   fully-expanded configuration: in-memory always, plus an opt-in
+//!   on-disk layer under `target/rpav-cache` (salted by the crate
+//!   version, so a rebuilt crate never replays stale metrics).
+//!
+//! # Determinism contract
+//!
+//! A cell's result is a pure function of its expanded configuration:
+//! every simulation draws from `RngSet::new(config.seed)` streams keyed
+//! by purpose and run index, never from wall-clock, thread identity, or
+//! global state. Workers race only for *which* cell to run next; the
+//! result lands in `results[cell.index]` regardless of completion order.
+//! Therefore `jobs = N` is bit-identical to `jobs = 1` — asserted over
+//! the canonical [`RunMetrics::to_bytes`] encoding by the engine tests —
+//! and cached results are byte-equal to fresh ones.
+//!
+//! # Environment knobs
+//!
+//! * `RPAV_JOBS` — worker count override (default: available
+//!   parallelism).
+//! * `RPAV_CACHE` — set to enable the on-disk cache (`1` → the default
+//!   `target/rpav-cache`, any other value → that directory).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+use rpav_lte::{Environment, Operator};
+use rpav_netem::{FaultClause, FaultScript, PacketKind};
+
+use crate::codec::ByteWriter;
+use crate::metrics::RunMetrics;
+use crate::multipath::{run_multipath_scripted, MultipathScheme};
+use crate::pipeline::Simulation;
+use crate::runner::CampaignResult;
+use crate::scenario::{CcMode, ExperimentConfig, Mobility};
+
+/// How a cell's media flow is mapped onto the radio link(s).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunScheme {
+    /// The single-operator sender/receiver pipeline ([`Simulation`]).
+    Pipeline,
+    /// The two-modem multipath experiment under the given scheme.
+    Multipath(MultipathScheme),
+}
+
+impl RunScheme {
+    /// Display name ("pipeline", or the multipath scheme's name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RunScheme::Pipeline => "pipeline",
+            RunScheme::Multipath(s) => s.name(),
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            RunScheme::Pipeline => 0,
+            RunScheme::Multipath(MultipathScheme::SinglePath) => 1,
+            RunScheme::Multipath(MultipathScheme::Duplicate) => 2,
+            RunScheme::Multipath(MultipathScheme::Failover) => 3,
+            RunScheme::Multipath(MultipathScheme::SelectiveDuplicate) => 4,
+        }
+    }
+}
+
+/// A named fault campaign applied to one cell.
+///
+/// For [`RunScheme::Pipeline`], `uplink`/`downlink` script the two
+/// directions of the single operator's link. For
+/// [`RunScheme::Multipath`], `uplink` scripts the *primary* leg and
+/// `secondary` the standby leg (each script hits both directions of its
+/// leg, matching [`run_multipath_scripted`]); `downlink` is unused.
+#[derive(Clone, Debug, Default)]
+pub struct CellFault {
+    /// Short name, part of the cell label (empty = no fault).
+    pub name: String,
+    /// Pipeline uplink / multipath primary-leg script.
+    pub uplink: Option<FaultScript>,
+    /// Pipeline downlink script.
+    pub downlink: Option<FaultScript>,
+    /// Multipath standby-leg script.
+    pub secondary: Option<FaultScript>,
+}
+
+impl CellFault {
+    /// The unimpaired cell.
+    pub fn none() -> Self {
+        CellFault::default()
+    }
+
+    /// One script on both directions of the (single) link — the
+    /// `with_link_script` idiom of the chaos campaigns.
+    pub fn link(name: impl Into<String>, script: FaultScript) -> Self {
+        CellFault {
+            name: name.into(),
+            uplink: Some(script.clone()),
+            downlink: Some(script),
+            secondary: None,
+        }
+    }
+
+    /// Script on the uplink (media direction) only.
+    pub fn uplink(name: impl Into<String>, script: FaultScript) -> Self {
+        CellFault {
+            name: name.into(),
+            uplink: Some(script),
+            downlink: None,
+            secondary: None,
+        }
+    }
+
+    /// Script on the downlink (feedback direction) only.
+    pub fn downlink(name: impl Into<String>, script: FaultScript) -> Self {
+        CellFault {
+            name: name.into(),
+            uplink: None,
+            downlink: Some(script),
+            secondary: None,
+        }
+    }
+
+    /// Multipath faults: `primary` hits the primary leg, `secondary` the
+    /// standby leg.
+    pub fn legs(
+        name: impl Into<String>,
+        primary: Option<FaultScript>,
+        secondary: Option<FaultScript>,
+    ) -> Self {
+        CellFault {
+            name: name.into(),
+            uplink: primary,
+            downlink: None,
+            secondary,
+        }
+    }
+
+    /// Whether the fault is a no-op.
+    pub fn is_none(&self) -> bool {
+        self.uplink.is_none() && self.downlink.is_none() && self.secondary.is_none()
+    }
+}
+
+/// The congestion-control axis of a matrix.
+#[derive(Clone, Debug, Default)]
+pub enum CcAxis {
+    /// Keep the base configuration's CC (a single-cc matrix).
+    #[default]
+    Base,
+    /// Sweep an explicit list.
+    List(Vec<CcMode>),
+    /// Sweep the paper's three §3.2 workloads, with the Static bitrate
+    /// following each cell's *environment* (25 Mbps urban / 8 Mbps
+    /// rural) — what every figure binary wants.
+    PaperWorkloads,
+}
+
+/// A declarative cross-product of scenario axes.
+///
+/// Empty axes fall back to the base configuration's value, so
+/// `MatrixSpec::new(base).runs(5)` is exactly the old
+/// `run_campaign(base, 5)` shape. Expansion order is part of the API:
+/// environment → operator → mobility → CC → scheme → fault → repair →
+/// run index, with the run index innermost (seed-matched cells stay
+/// adjacent).
+#[derive(Clone, Debug)]
+pub struct MatrixSpec {
+    base: ExperimentConfig,
+    environments: Vec<Environment>,
+    operators: Vec<Operator>,
+    mobilities: Vec<Mobility>,
+    ccs: CcAxis,
+    schemes: Vec<RunScheme>,
+    faults: Vec<CellFault>,
+    repairs: Vec<bool>,
+    runs: u64,
+}
+
+impl MatrixSpec {
+    /// A single-cell matrix of `base`; add axes with the builder methods.
+    pub fn new(base: ExperimentConfig) -> Self {
+        MatrixSpec {
+            base,
+            environments: Vec::new(),
+            operators: Vec::new(),
+            mobilities: Vec::new(),
+            ccs: CcAxis::Base,
+            schemes: Vec::new(),
+            faults: Vec::new(),
+            repairs: Vec::new(),
+            runs: 1,
+        }
+    }
+
+    /// Sweep flight environments.
+    pub fn environments(mut self, envs: impl IntoIterator<Item = Environment>) -> Self {
+        self.environments = envs.into_iter().collect();
+        self
+    }
+
+    /// Sweep cellular operators.
+    pub fn operators(mut self, ops: impl IntoIterator<Item = Operator>) -> Self {
+        self.operators = ops.into_iter().collect();
+        self
+    }
+
+    /// Sweep mobilities. Unless the base overrides `hold` away from its
+    /// own mobility's paper default, each cell's hold follows *its*
+    /// mobility's paper default (5 s air hover, 45 s ground sweep).
+    pub fn mobilities(mut self, mobilities: impl IntoIterator<Item = Mobility>) -> Self {
+        self.mobilities = mobilities.into_iter().collect();
+        self
+    }
+
+    /// Sweep an explicit CC list.
+    pub fn ccs(mut self, ccs: impl IntoIterator<Item = CcMode>) -> Self {
+        self.ccs = CcAxis::List(ccs.into_iter().collect());
+        self
+    }
+
+    /// Sweep the paper's three workloads (Static at the per-environment
+    /// bitrate, SCReAM, GCC).
+    pub fn paper_workloads(mut self) -> Self {
+        self.ccs = CcAxis::PaperWorkloads;
+        self
+    }
+
+    /// Sweep multipath schemes (each becomes [`RunScheme::Multipath`]).
+    pub fn multipath_schemes(mut self, schemes: impl IntoIterator<Item = MultipathScheme>) -> Self {
+        self.schemes = schemes.into_iter().map(RunScheme::Multipath).collect();
+        self
+    }
+
+    /// Sweep run schemes explicitly (mix pipeline and multipath cells).
+    pub fn schemes(mut self, schemes: impl IntoIterator<Item = RunScheme>) -> Self {
+        self.schemes = schemes.into_iter().collect();
+        self
+    }
+
+    /// Sweep named fault campaigns.
+    pub fn faults(mut self, faults: impl IntoIterator<Item = CellFault>) -> Self {
+        self.faults = faults.into_iter().collect();
+        self
+    }
+
+    /// Sweep the NACK/RTX repair switch (e.g. `[false, true]` for the
+    /// off/on comparison of the repair matrix).
+    pub fn repairs(mut self, repairs: impl IntoIterator<Item = bool>) -> Self {
+        self.repairs = repairs.into_iter().collect();
+        self
+    }
+
+    /// Number of seed-decorrelated runs per cell (run indices
+    /// `base.run_index .. base.run_index + runs`).
+    pub fn runs(mut self, runs: u64) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// The CC list a given environment sweeps.
+    fn ccs_for(&self, environment: Environment) -> Vec<CcMode> {
+        match &self.ccs {
+            CcAxis::Base => vec![self.base.cc],
+            CcAxis::List(list) => list.clone(),
+            CcAxis::PaperWorkloads => vec![
+                CcMode::paper_static(environment),
+                CcMode::paper_scream(),
+                CcMode::Gcc,
+            ],
+        }
+    }
+
+    /// Expand the cross-product into independent cells, in the documented
+    /// axis order (run index innermost).
+    pub fn expand(&self) -> Vec<Cell> {
+        let environments = or_base(&self.environments, self.base.environment);
+        let operators = or_base(&self.operators, self.base.operator);
+        let mobilities = or_base(&self.mobilities, self.base.mobility);
+        let schemes = or_base(&self.schemes, RunScheme::Pipeline);
+        let faults = if self.faults.is_empty() {
+            vec![CellFault::none()]
+        } else {
+            self.faults.clone()
+        };
+        let repairs = or_base(&self.repairs, self.base.repair);
+        // The base hold follows the mobility axis unless it was an
+        // explicit override (≠ the base mobility's paper default).
+        let hold_is_paper = self.base.hold == ExperimentConfig::paper_hold(self.base.mobility);
+
+        let mut cells = Vec::new();
+        for &environment in &environments {
+            for &operator in &operators {
+                for &mobility in &mobilities {
+                    for cc in self.ccs_for(environment) {
+                        for &scheme in &schemes {
+                            for fault in &faults {
+                                for &repair in &repairs {
+                                    for r in 0..self.runs {
+                                        let mut config = self.base;
+                                        config.environment = environment;
+                                        config.operator = operator;
+                                        config.mobility = mobility;
+                                        config.cc = cc;
+                                        config.repair = repair;
+                                        config.run_index = self.base.run_index + r;
+                                        if hold_is_paper {
+                                            config.hold = ExperimentConfig::paper_hold(mobility);
+                                        }
+                                        cells.push(Cell {
+                                            index: cells.len(),
+                                            config,
+                                            scheme,
+                                            fault: fault.clone(),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+fn or_base<T: Clone>(axis: &[T], base: T) -> Vec<T> {
+    if axis.is_empty() {
+        vec![base]
+    } else {
+        axis.to_vec()
+    }
+}
+
+/// One fully-expanded experiment: a configuration plus the scheme and
+/// fault campaign it runs under.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Position in the expansion (results are collected in this order).
+    pub index: usize,
+    /// The expanded configuration.
+    pub config: ExperimentConfig,
+    /// Pipeline or multipath execution.
+    pub scheme: RunScheme,
+    /// The fault campaign.
+    pub fault: CellFault,
+}
+
+impl Cell {
+    /// The campaign-level label: [`ExperimentConfig::label`] plus scheme
+    /// and fault discriminants — everything but the run index.
+    pub fn campaign_label(&self) -> String {
+        let mut label = self.config.label();
+        if let RunScheme::Multipath(s) = self.scheme {
+            label.push('@');
+            label.push_str(s.name());
+        }
+        if !self.fault.is_none() {
+            label.push('!');
+            label.push_str(if self.fault.name.is_empty() {
+                "fault"
+            } else {
+                &self.fault.name
+            });
+        }
+        label
+    }
+
+    /// The full cell label: campaign label plus `#r<run>`. Unique across
+    /// any single matrix expansion (asserted by the engine tests).
+    pub fn label(&self) -> String {
+        format!("{}#r{}", self.campaign_label(), self.config.run_index)
+    }
+
+    /// The stable cache key: an FNV-1a hash over a canonical byte
+    /// encoding of every field that influences the simulation, salted
+    /// with the crate version so a rebuilt crate invalidates all cached
+    /// results. Stable across processes (unlike `DefaultHasher`).
+    pub fn key(&self) -> u64 {
+        let mut w = ByteWriter::new();
+        w.bytes(env!("CARGO_PKG_VERSION").as_bytes());
+        w.u32(crate::codec::FORMAT_VERSION);
+        let c = &self.config;
+        w.u8(match c.environment {
+            Environment::Urban => 0,
+            Environment::Rural => 1,
+        });
+        w.u8(match c.operator {
+            Operator::P1 => 0,
+            Operator::P2 => 1,
+        });
+        w.u8(match c.mobility {
+            Mobility::Air => 0,
+            Mobility::Ground => 1,
+        });
+        match c.cc {
+            CcMode::Static { bitrate_bps } => {
+                w.u8(0);
+                w.f64(bitrate_bps);
+            }
+            CcMode::Gcc => w.u8(1),
+            CcMode::Scream { ack_span } => {
+                w.u8(2);
+                w.u64(ack_span as u64);
+            }
+        }
+        w.u64(c.seed);
+        w.u64(c.run_index);
+        w.duration(c.hold);
+        w.u64(c.ground_sweeps as u64);
+        w.bool(c.drop_on_latency);
+        w.opt(c.hysteresis_override_db, |w, v| w.f64(v));
+        w.opt(c.ttt_override_ms, |w, v| w.u64(v));
+        w.opt(c.jitter_target_override_ms, |w, v| w.u64(v));
+        w.bool(c.watchdog.enabled);
+        w.duration(c.watchdog.timeout);
+        w.duration(c.watchdog.backoff_interval);
+        w.f64(c.watchdog.backoff_factor);
+        w.f64(c.watchdog.floor_bps);
+        w.f64(c.watchdog.ramp_factor);
+        w.bool(c.repair);
+        w.u8(self.scheme.tag());
+        for script in [
+            &self.fault.uplink,
+            &self.fault.downlink,
+            &self.fault.secondary,
+        ] {
+            w.opt(script.as_ref(), write_script);
+        }
+        fnv1a(&w.into_bytes())
+    }
+
+    /// Execute the cell directly (no caching) — also the reference the
+    /// bench determinism spot-checks compare engine output against.
+    pub fn execute(&self) -> RunMetrics {
+        match self.scheme {
+            RunScheme::Pipeline => {
+                let mut sim = Simulation::new(self.config);
+                if let Some(s) = &self.fault.uplink {
+                    sim = sim.with_uplink_script(s.clone());
+                }
+                if let Some(s) = &self.fault.downlink {
+                    sim = sim.with_downlink_script(s.clone());
+                }
+                sim.run()
+            }
+            RunScheme::Multipath(scheme) => run_multipath_scripted(
+                &self.config,
+                scheme,
+                self.fault.uplink.clone(),
+                self.fault.secondary.clone(),
+            ),
+        }
+    }
+}
+
+fn write_script(w: &mut ByteWriter, script: &FaultScript) {
+    w.u64(script.clauses().len() as u64);
+    for clause in script.clauses() {
+        match clause {
+            FaultClause::Blackout { from, until } => {
+                w.u8(0);
+                w.time(*from);
+                w.time(*until);
+            }
+            FaultClause::KindBlackout { from, until, kind } => {
+                w.u8(1);
+                w.time(*from);
+                w.time(*until);
+                w.u8(kind_tag(*kind));
+            }
+            FaultClause::Loss {
+                from,
+                until,
+                prob,
+                kind,
+            } => {
+                w.u8(2);
+                w.time(*from);
+                w.time(*until);
+                w.f64(*prob);
+                w.opt(*kind, |w, k| w.u8(kind_tag(k)));
+            }
+            FaultClause::DelaySpike { from, until, extra } => {
+                w.u8(3);
+                w.time(*from);
+                w.time(*until);
+                w.duration(*extra);
+            }
+            FaultClause::Duplicate {
+                from,
+                until,
+                prob,
+                kind,
+            } => {
+                w.u8(4);
+                w.time(*from);
+                w.time(*until);
+                w.f64(*prob);
+                w.opt(*kind, |w, k| w.u8(kind_tag(k)));
+            }
+            FaultClause::Corrupt {
+                from,
+                until,
+                prob,
+                kind,
+            } => {
+                w.u8(5);
+                w.time(*from);
+                w.time(*until);
+                w.f64(*prob);
+                w.opt(*kind, |w, k| w.u8(kind_tag(k)));
+            }
+            FaultClause::Reorder {
+                from,
+                until,
+                prob,
+                max_displacement,
+            } => {
+                w.u8(6);
+                w.time(*from);
+                w.time(*until);
+                w.f64(*prob);
+                w.u64(*max_displacement);
+            }
+            FaultClause::CoverageHole {
+                x,
+                y,
+                radius_m,
+                min_alt_m,
+            } => {
+                w.u8(7);
+                w.f64(*x);
+                w.f64(*y);
+                w.f64(*radius_m);
+                w.f64(*min_alt_m);
+            }
+        }
+    }
+}
+
+fn kind_tag(kind: PacketKind) -> u8 {
+    match kind {
+        PacketKind::Media => 0,
+        PacketKind::Feedback => 1,
+        PacketKind::Probe => 2,
+    }
+}
+
+/// 64-bit FNV-1a: tiny, dependency-free, stable across processes and
+/// platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One executed cell.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// The cell as expanded.
+    pub cell: Cell,
+    /// Its metrics.
+    pub metrics: RunMetrics,
+    /// Whether the result was served from cache (no simulation ran).
+    pub cached: bool,
+}
+
+/// Wall-clock and throughput accounting for one engine invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineReport {
+    /// Cells in the matrix.
+    pub cells: usize,
+    /// Cells actually simulated.
+    pub simulated: usize,
+    /// Cells served from cache.
+    pub cached: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock time of the whole matrix.
+    pub wall: Duration,
+}
+
+impl EngineReport {
+    /// Completed cells per wall-clock second.
+    pub fn cells_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.cells as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// One-line summary for bench output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cells ({} simulated, {} cached) on {} job(s) in {:.2} s — {:.2} cells/s",
+            self.cells,
+            self.simulated,
+            self.cached,
+            self.jobs,
+            self.wall.as_secs_f64(),
+            self.cells_per_sec()
+        )
+    }
+}
+
+/// The results of one matrix execution, in submission order.
+#[derive(Debug)]
+pub struct MatrixResult {
+    /// Per-cell outcomes, `outcomes[i].cell.index == i`.
+    pub outcomes: Vec<CellOutcome>,
+    /// Wall-clock/throughput accounting.
+    pub report: EngineReport,
+}
+
+impl MatrixResult {
+    /// Just the metrics, in submission order.
+    pub fn metrics(&self) -> impl Iterator<Item = &RunMetrics> {
+        self.outcomes.iter().map(|o| &o.metrics)
+    }
+
+    /// Group adjacent same-campaign cells (the run index is the
+    /// innermost axis, so each campaign's runs are contiguous) into
+    /// [`CampaignResult`]s, in matrix order.
+    pub fn campaigns(&self) -> Vec<CampaignResult> {
+        let mut campaigns: Vec<CampaignResult> = Vec::new();
+        for outcome in &self.outcomes {
+            let label = outcome.cell.campaign_label();
+            match campaigns.last_mut() {
+                Some(c) if c.label == label => c.runs.push(outcome.metrics.clone()),
+                _ => campaigns.push(CampaignResult {
+                    label,
+                    runs: vec![outcome.metrics.clone()],
+                }),
+            }
+        }
+        campaigns
+    }
+}
+
+/// Resolve the worker count: `RPAV_JOBS` if set and positive, else the
+/// host's available parallelism.
+pub fn default_jobs() -> usize {
+    if let Some(n) = std::env::var("RPAV_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolve the on-disk cache directory from `RPAV_CACHE` (unset = no
+/// disk cache; `1` = `target/rpav-cache`; anything else = that path).
+fn default_cache_dir() -> Option<PathBuf> {
+    match std::env::var("RPAV_CACHE") {
+        Ok(v) if v == "1" => Some(PathBuf::from("target/rpav-cache")),
+        Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
+        _ => None,
+    }
+}
+
+/// The bounded-thread-pool matrix executor. Create one per binary and
+/// reuse it across [`run`](Self::run) calls — the in-memory cache
+/// persists on the engine, so re-running a matrix after editing one axis
+/// only simulates the changed cells.
+pub struct CampaignEngine {
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
+    memory: Mutex<HashMap<u64, RunMetrics>>,
+    simulated: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl Default for CampaignEngine {
+    fn default() -> Self {
+        CampaignEngine::new()
+    }
+}
+
+impl CampaignEngine {
+    /// Engine with the environment-resolved job count and cache policy.
+    pub fn new() -> Self {
+        CampaignEngine {
+            jobs: default_jobs(),
+            cache_dir: default_cache_dir(),
+            memory: Mutex::new(HashMap::new()),
+            simulated: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Override the worker count (`--jobs`).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Override the on-disk cache directory (`None` disables it).
+    pub fn with_cache_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.cache_dir = dir;
+        self
+    }
+
+    /// The worker count in force.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Total simulations executed over the engine's lifetime (cache hits
+    /// excluded) — the counter the zero-resimulation test asserts on.
+    pub fn simulations(&self) -> u64 {
+        self.simulated.load(Ordering::Relaxed)
+    }
+
+    /// Total cache hits (memory or disk) over the engine's lifetime.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Execute every cell of `spec` and collect submission-ordered
+    /// results.
+    pub fn run(&self, spec: &MatrixSpec) -> MatrixResult {
+        self.run_cells(spec.expand())
+    }
+
+    /// Execute an explicit cell list (`cells[i].index` must equal `i`,
+    /// as [`MatrixSpec::expand`] produces).
+    pub fn run_cells(&self, cells: Vec<Cell>) -> MatrixResult {
+        let started = Instant::now();
+        let n = cells.len();
+        let workers = self.jobs.min(n.max(1));
+        let mut slots: Vec<Option<CellOutcome>> = (0..n).map(|_| None).collect();
+        let simulated_before = self.simulations();
+
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, RunMetrics, bool)>();
+        std::thread::scope(|s| {
+            let cursor = &cursor;
+            let cells = &cells;
+            for _ in 0..workers {
+                let tx = tx.clone();
+                s.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (metrics, cached) = self.run_cell(&cells[i]);
+                    if tx.send((i, metrics, cached)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Results arrive in completion order; the index slots them
+            // back into submission order — the determinism contract.
+            while let Ok((i, metrics, cached)) = rx.recv() {
+                slots[i] = Some(CellOutcome {
+                    cell: cells[i].clone(),
+                    metrics,
+                    cached,
+                });
+            }
+        });
+
+        let outcomes: Vec<CellOutcome> = slots
+            .into_iter()
+            .map(|o| o.expect("worker died before completing its cell"))
+            .collect();
+        let simulated = (self.simulations() - simulated_before) as usize;
+        MatrixResult {
+            report: EngineReport {
+                cells: n,
+                simulated,
+                cached: n - simulated,
+                jobs: workers,
+                wall: started.elapsed(),
+            },
+            outcomes,
+        }
+    }
+
+    /// One cell through the cache layers: memory → disk → simulate.
+    fn run_cell(&self, cell: &Cell) -> (RunMetrics, bool) {
+        let key = cell.key();
+        if let Some(m) = self.memory.lock().unwrap().get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return (m.clone(), true);
+        }
+        if let Some(dir) = &self.cache_dir {
+            if let Ok(bytes) = std::fs::read(dir.join(format!("{key:016x}.rpav"))) {
+                if let Some(m) = RunMetrics::from_bytes(&bytes) {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.memory.lock().unwrap().insert(key, m.clone());
+                    return (m, true);
+                }
+            }
+        }
+        let metrics = cell.execute();
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        if let Some(dir) = &self.cache_dir {
+            // Best-effort: a read-only target dir must not fail the run.
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(dir.join(format!("{key:016x}.rpav")), metrics.to_bytes());
+        }
+        self.memory.lock().unwrap().insert(key, metrics.clone());
+        (metrics, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpav_sim::{SimDuration, SimTime};
+    use std::collections::HashSet;
+
+    fn short_base() -> ExperimentConfig {
+        ExperimentConfig::builder().seed(11).hold_secs(1).build()
+    }
+
+    #[test]
+    fn empty_axes_expand_to_the_base_cell() {
+        let cells = MatrixSpec::new(short_base()).expand();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].index, 0);
+        assert_eq!(cells[0].scheme, RunScheme::Pipeline);
+        assert!(cells[0].fault.is_none());
+        assert_eq!(cells[0].label(), "GCC-Rural-P1-Air#r0");
+    }
+
+    #[test]
+    fn expansion_order_is_run_innermost() {
+        let cells = MatrixSpec::new(short_base())
+            .ccs([CcMode::Gcc, CcMode::paper_scream()])
+            .runs(2)
+            .expand();
+        assert_eq!(cells.len(), 4);
+        let labels: Vec<String> = cells.iter().map(Cell::label).collect();
+        assert_eq!(
+            labels,
+            [
+                "GCC-Rural-P1-Air#r0",
+                "GCC-Rural-P1-Air#r1",
+                "SCReAM-Rural-P1-Air#r0",
+                "SCReAM-Rural-P1-Air#r1",
+            ]
+        );
+        assert!(cells.iter().enumerate().all(|(i, c)| c.index == i));
+    }
+
+    #[test]
+    fn paper_workloads_follow_the_environment() {
+        let cells = MatrixSpec::new(short_base())
+            .environments([Environment::Urban, Environment::Rural])
+            .paper_workloads()
+            .expand();
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cells[0].config.cc, CcMode::Static { bitrate_bps: 25e6 });
+        assert_eq!(cells[3].config.cc, CcMode::Static { bitrate_bps: 8e6 });
+    }
+
+    #[test]
+    fn hold_follows_the_mobility_axis_unless_overridden() {
+        let paper_base = ExperimentConfig::builder().build();
+        let cells = MatrixSpec::new(paper_base)
+            .mobilities([Mobility::Air, Mobility::Ground])
+            .expand();
+        assert_eq!(cells[0].config.hold, SimDuration::from_secs(5));
+        assert_eq!(cells[1].config.hold, SimDuration::from_secs(45));
+        // An explicit hold override is preserved across the axis.
+        let cells = MatrixSpec::new(short_base())
+            .mobilities([Mobility::Air, Mobility::Ground])
+            .expand();
+        assert_eq!(cells[0].config.hold, SimDuration::from_secs(1));
+        assert_eq!(cells[1].config.hold, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn labels_and_keys_are_unique_over_a_full_expansion() {
+        // Every axis at once — the densest matrix any bench assembles:
+        // labels (the old silent-collision bug) and cache keys must both
+        // discriminate every cell.
+        let blackout =
+            FaultScript::new().blackout(SimTime::from_secs(10), SimDuration::from_secs(2));
+        let cells = MatrixSpec::new(short_base())
+            .environments([Environment::Urban, Environment::Rural])
+            .operators([Operator::P1, Operator::P2])
+            .mobilities([Mobility::Air, Mobility::Ground])
+            .paper_workloads()
+            .schemes([
+                RunScheme::Pipeline,
+                RunScheme::Multipath(MultipathScheme::Failover),
+            ])
+            .faults([
+                CellFault::none(),
+                CellFault::link("blackout", blackout.clone()),
+                CellFault::uplink("ul-blackout", blackout),
+            ])
+            .repairs([false, true])
+            .runs(2)
+            .expand();
+        assert_eq!(cells.len(), 2 * 2 * 2 * 3 * 2 * 3 * 2 * 2);
+        let labels: HashSet<String> = cells.iter().map(Cell::label).collect();
+        assert_eq!(labels.len(), cells.len(), "label collision");
+        let keys: HashSet<u64> = cells.iter().map(Cell::key).collect();
+        assert_eq!(keys.len(), cells.len(), "cache-key collision");
+    }
+
+    #[test]
+    fn cache_key_is_insensitive_to_cell_index_but_not_to_config() {
+        let cells = MatrixSpec::new(short_base()).runs(2).expand();
+        let mut moved = cells[0].clone();
+        moved.index = 99;
+        assert_eq!(moved.key(), cells[0].key());
+        assert_ne!(cells[0].key(), cells[1].key());
+    }
+
+    #[test]
+    fn engine_is_deterministic_across_job_counts_and_caches() {
+        // A 4-cell matrix (kept small: these are full simulations) run
+        // with jobs=1 and jobs=8 must produce byte-identical metrics,
+        // and a warm re-run must simulate nothing.
+        let spec = MatrixSpec::new(short_base())
+            .ccs([CcMode::Gcc, CcMode::paper_scream()])
+            .runs(2);
+        let sequential = CampaignEngine::new().with_cache_dir(None).with_jobs(1);
+        let parallel = CampaignEngine::new().with_cache_dir(None).with_jobs(8);
+        let a = sequential.run(&spec);
+        let b = parallel.run(&spec);
+        assert_eq!(a.outcomes.len(), 4);
+        for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
+            assert_eq!(x.cell.label(), y.cell.label());
+            assert_eq!(
+                x.metrics.to_bytes(),
+                y.metrics.to_bytes(),
+                "jobs=1 vs jobs=8 diverged at {}",
+                x.cell.label()
+            );
+        }
+        assert_eq!(parallel.simulations(), 4);
+        let warm = parallel.run(&spec);
+        assert_eq!(parallel.simulations(), 4, "warm re-run re-simulated");
+        assert_eq!(warm.report.cached, 4);
+        assert_eq!(warm.report.simulated, 0);
+        for (x, y) in a.outcomes.iter().zip(warm.outcomes.iter()) {
+            assert_eq!(x.metrics.to_bytes(), y.metrics.to_bytes());
+        }
+    }
+
+    #[test]
+    fn campaigns_group_adjacent_runs() {
+        let spec = MatrixSpec::new(short_base())
+            .ccs([CcMode::Gcc, CcMode::paper_scream()])
+            .runs(2);
+        let result = CampaignEngine::new()
+            .with_cache_dir(None)
+            .with_jobs(2)
+            .run(&spec);
+        let campaigns = result.campaigns();
+        assert_eq!(campaigns.len(), 2);
+        assert_eq!(campaigns[0].label, "GCC-Rural-P1-Air");
+        assert_eq!(campaigns[1].label, "SCReAM-Rural-P1-Air");
+        assert_eq!(campaigns[0].runs.len(), 2);
+        assert_eq!(campaigns[1].runs.len(), 2);
+    }
+}

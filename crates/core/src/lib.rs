@@ -11,6 +11,10 @@
 //! * [`metrics`] — per-run records and derived series (goodput, OWD, HET,
 //!   FPS, playback latency, SSIM, stalls, HO-latency ratios).
 //! * [`stats`] — quantiles, boxplot summaries, CDFs.
+//! * [`exec`] — the parallel deterministic matrix engine
+//!   ([`MatrixSpec`] → thread pool → cached, submission-ordered results).
+//! * [`codec`] — canonical byte encoding of [`RunMetrics`] (cache +
+//!   determinism assertions).
 //! * [`runner`] — campaign execution across repeated runs.
 //! * [`ping`] — the cross-traffic-free RTT workload of Fig. 13.
 //! * [`dataset`] — CSV export in the shape of the paper's released dataset.
@@ -24,22 +28,21 @@
 //! ```
 //! use rpav_core::prelude::*;
 //!
-//! let mut cfg = ExperimentConfig::paper(
-//!     Environment::Rural,
-//!     Operator::P1,
-//!     Mobility::Air,
-//!     CcMode::Gcc,
-//!     42,   // seed
-//!     0,    // run index
-//! );
-//! cfg.hold = rpav_sim::SimDuration::from_secs(1); // shorten for the doctest
+//! let cfg = ExperimentConfig::builder()
+//!     .environment(Environment::Rural)
+//!     .cc(CcMode::Gcc)
+//!     .seed(42)
+//!     .hold_secs(1) // shorten for the doctest
+//!     .build();
 //! let metrics = Simulation::new(cfg).run();
 //! assert!(metrics.goodput_bps() > 1e6);
 //! assert!(metrics.per() < 0.05);
 //! ```
 
 pub mod cc;
+pub mod codec;
 pub mod dataset;
+pub mod exec;
 pub mod failover;
 pub mod health;
 pub mod metrics;
@@ -53,17 +56,24 @@ pub mod stats;
 pub mod summary;
 pub mod trace;
 
+pub use exec::{CampaignEngine, MatrixResult, MatrixSpec};
 pub use metrics::RunMetrics;
 pub use pipeline::Simulation;
 pub use runner::{run_campaign, CampaignResult};
 pub use scenario::{CcMode, ExperimentConfig, Mobility};
 
-/// Convenient glob import for examples and benches.
+/// Convenient glob import for examples and benches: the experiment axes,
+/// the matrix engine, and the per-run metrics every binary touches.
 pub mod prelude {
+    pub use crate::exec::{
+        CampaignEngine, Cell, CellFault, CellOutcome, EngineReport, MatrixResult, MatrixSpec,
+        RunScheme,
+    };
     pub use crate::metrics::RunMetrics;
+    pub use crate::multipath::MultipathScheme;
     pub use crate::pipeline::Simulation;
     pub use crate::runner::{run_campaign, CampaignResult};
-    pub use crate::scenario::{CcMode, ExperimentConfig, Mobility};
+    pub use crate::scenario::{CcMode, ExperimentConfig, ExperimentConfigBuilder, Mobility};
     pub use crate::stats;
     pub use rpav_lte::{Environment, Operator};
 }

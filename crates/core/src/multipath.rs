@@ -594,22 +594,17 @@ pub fn run_multipath_scripted(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::Mobility;
+
     use crate::stats;
     use rpav_lte::Environment;
     use rpav_netem::FaultScript;
 
     fn base() -> ExperimentConfig {
-        let mut cfg = ExperimentConfig::paper(
-            Environment::Rural,
-            Operator::P1,
-            Mobility::Air,
-            CcMode::paper_static(Environment::Rural),
-            0xD0A1,
-            0,
-        );
-        cfg.hold = SimDuration::from_secs(1);
-        cfg
+        ExperimentConfig::builder()
+            .cc(CcMode::paper_static(Environment::Rural))
+            .seed(0xD0A1)
+            .hold_secs(1)
+            .build()
     }
 
     #[test]

@@ -131,20 +131,17 @@ pub fn bin_by_altitude(samples: &[RttSample]) -> Vec<(String, Vec<f64>)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{CcMode, Mobility};
-    use rpav_lte::{Environment, Operator};
+    use crate::scenario::CcMode;
+    use rpav_lte::Environment;
 
     #[test]
     fn ping_produces_binned_rtts() {
-        let mut cfg = ExperimentConfig::paper(
-            Environment::Urban,
-            Operator::P1,
-            Mobility::Air,
-            CcMode::Gcc,
-            3,
-            0,
-        );
-        cfg.hold = SimDuration::from_secs(1);
+        let cfg = ExperimentConfig::builder()
+            .environment(Environment::Urban)
+            .cc(CcMode::Gcc)
+            .seed(3)
+            .hold_secs(1)
+            .build();
         let samples = run_ping(&cfg);
         assert!(samples.len() > 1_000, "{} samples", samples.len());
         // Minimum RTT near the structural floor (2×17 ms + serialisation).

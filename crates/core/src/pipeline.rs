@@ -652,13 +652,18 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rpav_lte::{Environment, Operator};
+    use rpav_lte::Environment;
 
     fn quick(cc: CcMode, env: Environment, mobility: Mobility) -> RunMetrics {
-        let mut cfg = ExperimentConfig::paper(env, Operator::P1, mobility, cc, 0xC0FFEE, 0);
         // Shorter holds to keep unit-test runtime low.
-        cfg.hold = SimDuration::from_secs(1);
-        cfg.ground_sweeps = 1;
+        let cfg = ExperimentConfig::builder()
+            .environment(env)
+            .mobility(mobility)
+            .cc(cc)
+            .seed(0xC0FFEE)
+            .hold_secs(1)
+            .ground_sweeps(1)
+            .build();
         Simulation::new(cfg).run()
     }
 

@@ -4,13 +4,18 @@
 //! set of runs of one configuration with decorrelated channel randomness
 //! (same deployment, different fading/shadowing/HET draws — the same areas
 //! were flown repeatedly on different days).
+//!
+//! [`run_campaign`] is a thin wrapper over the matrix engine
+//! ([`crate::exec`]): the runs execute on the engine's thread pool
+//! (`RPAV_JOBS` workers) and land in run-index order, bit-identical to
+//! the old sequential loop.
 
+use crate::exec::{CampaignEngine, MatrixSpec};
 use crate::metrics::RunMetrics;
-use crate::pipeline::Simulation;
 use crate::scenario::ExperimentConfig;
 
 /// All runs of one configuration.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CampaignResult {
     /// The configuration label (e.g. `GCC-Rural-P1-Air`).
     pub label: String,
@@ -20,15 +25,10 @@ pub struct CampaignResult {
 
 /// Run `n_runs` repetitions of `base`, varying the run index.
 pub fn run_campaign(base: ExperimentConfig, n_runs: u64) -> CampaignResult {
-    let mut runs = Vec::with_capacity(n_runs as usize);
-    for i in 0..n_runs {
-        let mut cfg = base;
-        cfg.run_index = base.run_index + i;
-        runs.push(Simulation::new(cfg).run());
-    }
+    let result = CampaignEngine::new().run(&MatrixSpec::new(base).runs(n_runs));
     CampaignResult {
         label: base.label(),
-        runs,
+        runs: result.metrics().cloned().collect(),
     }
 }
 
@@ -119,21 +119,16 @@ impl CampaignResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{CcMode, Mobility};
-    use rpav_lte::{Environment, Operator};
-    use rpav_sim::SimDuration;
+    use crate::scenario::CcMode;
+    use rpav_lte::Environment;
 
     #[test]
     fn campaign_runs_and_pools() {
-        let mut base = ExperimentConfig::paper(
-            Environment::Rural,
-            Operator::P1,
-            Mobility::Air,
-            CcMode::paper_static(Environment::Rural),
-            7,
-            0,
-        );
-        base.hold = SimDuration::from_secs(1);
+        let base = ExperimentConfig::builder()
+            .cc(CcMode::paper_static(Environment::Rural))
+            .seed(7)
+            .hold_secs(1)
+            .build();
         let c = run_campaign(base, 2);
         assert_eq!(c.runs.len(), 2);
         assert_eq!(c.label, "Static-Rural-P1-Air");

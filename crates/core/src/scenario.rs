@@ -50,6 +50,34 @@ impl CcMode {
         }
     }
 
+    /// Label discriminant: the display name, plus the parameter whenever it
+    /// deviates from the paper default for `environment`. Two distinct
+    /// workloads (e.g. SCReAM at span 64 vs 256, or Static at a non-paper
+    /// bitrate) must never collapse onto the same label.
+    pub fn label(&self, environment: Environment) -> String {
+        match self {
+            CcMode::Static { bitrate_bps } => {
+                let paper = match CcMode::paper_static(environment) {
+                    CcMode::Static { bitrate_bps } => bitrate_bps,
+                    _ => unreachable!(),
+                };
+                if *bitrate_bps == paper {
+                    "Static".to_string()
+                } else {
+                    format!("Static[{:.1}M]", bitrate_bps / 1e6)
+                }
+            }
+            CcMode::Gcc => "GCC".to_string(),
+            CcMode::Scream { ack_span } => {
+                if *ack_span == 256 {
+                    "SCReAM".to_string()
+                } else {
+                    format!("SCReAM[s{ack_span}]")
+                }
+            }
+        }
+    }
+
     /// The paper's static bitrate choice per environment (§3.2): 25 Mbps
     /// urban, 8 Mbps rural, from trial runs.
     pub fn paper_static(environment: Environment) -> CcMode {
@@ -106,7 +134,24 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
+    /// Start a typed builder pre-loaded with the paper defaults (rural P1
+    /// aerial GCC, seed 0). Every knob has a named setter; `build()` fills
+    /// anything left untouched with the paper value for the chosen axes
+    /// (e.g. the hover hold follows the mobility).
+    pub fn builder() -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder::default()
+    }
+
+    /// The paper-default hover/sweep hold for a mobility.
+    pub fn paper_hold(mobility: Mobility) -> SimDuration {
+        match mobility {
+            Mobility::Air => SimDuration::from_secs(5),
+            Mobility::Ground => SimDuration::from_secs(45),
+        }
+    }
+
     /// Paper-default configuration for the given axes.
+    #[deprecated(note = "use `ExperimentConfig::builder()` instead")]
     pub fn paper(
         environment: Environment,
         operator: Operator,
@@ -115,25 +160,14 @@ impl ExperimentConfig {
         seed: u64,
         run_index: u64,
     ) -> Self {
-        ExperimentConfig {
-            environment,
-            operator,
-            mobility,
-            cc,
-            seed,
-            run_index,
-            hold: match mobility {
-                Mobility::Air => SimDuration::from_secs(5),
-                Mobility::Ground => SimDuration::from_secs(45),
-            },
-            ground_sweeps: 3,
-            drop_on_latency: false,
-            hysteresis_override_db: None,
-            ttt_override_ms: None,
-            jitter_target_override_ms: None,
-            watchdog: WatchdogConfig::default(),
-            repair: false,
-        }
+        ExperimentConfig::builder()
+            .environment(environment)
+            .operator(operator)
+            .mobility(mobility)
+            .cc(cc)
+            .seed(seed)
+            .run_index(run_index)
+            .build()
     }
 
     /// The *other* cellular operator — the standby carrier a multi-SIM
@@ -146,14 +180,215 @@ impl ExperimentConfig {
     }
 
     /// A short label for result tables.
+    ///
+    /// The base reads like the paper's figure keys
+    /// (`GCC-Rural-P1-Air`); any configuration bit that changes what the
+    /// run *measures* — a non-paper CC parameter, loss repair, the
+    /// drop-on-latency player, a jitter/mobility override, a disabled
+    /// watchdog — is appended as a discriminant so two different
+    /// experiment cells can never share a label (see
+    /// [`Cell::label`](crate::exec::Cell::label) for the scheme/script/run
+    /// dimensions the matrix engine adds on top).
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}-{}-{}-{}",
-            self.cc.name(),
+            self.cc.label(self.environment),
             self.environment.name(),
             self.operator.name(),
             self.mobility.name()
-        )
+        );
+        if self.repair {
+            label.push_str("+rtx");
+        }
+        if self.drop_on_latency {
+            label.push_str("+dol");
+        }
+        if let Some(ms) = self.jitter_target_override_ms {
+            label.push_str(&format!("+jt{ms}"));
+        }
+        if let Some(db) = self.hysteresis_override_db {
+            label.push_str(&format!("+hys{db}"));
+        }
+        if let Some(ms) = self.ttt_override_ms {
+            label.push_str(&format!("+ttt{ms}"));
+        }
+        if !self.watchdog.enabled {
+            label.push_str("+wd0");
+        }
+        label
+    }
+}
+
+/// Typed builder for [`ExperimentConfig`], pre-loaded with paper defaults.
+///
+/// ```
+/// use rpav_core::prelude::*;
+///
+/// let cfg = ExperimentConfig::builder()
+///     .environment(Environment::Urban)
+///     .cc(CcMode::Gcc)
+///     .seed(42)
+///     .build();
+/// assert_eq!(cfg.label(), "GCC-Urban-P1-Air");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfigBuilder {
+    environment: Environment,
+    operator: Operator,
+    mobility: Mobility,
+    cc: CcMode,
+    seed: u64,
+    run_index: u64,
+    hold: Option<SimDuration>,
+    ground_sweeps: usize,
+    drop_on_latency: bool,
+    hysteresis_override_db: Option<f64>,
+    ttt_override_ms: Option<u64>,
+    jitter_target_override_ms: Option<u64>,
+    watchdog: WatchdogConfig,
+    repair: bool,
+}
+
+impl Default for ExperimentConfigBuilder {
+    fn default() -> Self {
+        ExperimentConfigBuilder {
+            environment: Environment::Rural,
+            operator: Operator::P1,
+            mobility: Mobility::Air,
+            cc: CcMode::Gcc,
+            seed: 0,
+            run_index: 0,
+            hold: None,
+            ground_sweeps: 3,
+            drop_on_latency: false,
+            hysteresis_override_db: None,
+            ttt_override_ms: None,
+            jitter_target_override_ms: None,
+            watchdog: WatchdogConfig::default(),
+            repair: false,
+        }
+    }
+}
+
+impl ExperimentConfigBuilder {
+    /// Flight area (default rural).
+    pub fn environment(mut self, environment: Environment) -> Self {
+        self.environment = environment;
+        self
+    }
+
+    /// Cellular operator (default P1).
+    pub fn operator(mut self, operator: Operator) -> Self {
+        self.operator = operator;
+        self
+    }
+
+    /// Air or ground (default air). The hover hold follows the mobility's
+    /// paper default unless [`hold`](Self::hold) overrides it.
+    pub fn mobility(mut self, mobility: Mobility) -> Self {
+        self.mobility = mobility;
+        self
+    }
+
+    /// Video workload (default GCC).
+    pub fn cc(mut self, cc: CcMode) -> Self {
+        self.cc = cc;
+        self
+    }
+
+    /// Master seed — the campaign identity (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run index within the campaign (default 0).
+    pub fn run_index(mut self, run_index: u64) -> Self {
+        self.run_index = run_index;
+        self
+    }
+
+    /// Override the hover/sweep hold between flight legs.
+    pub fn hold(mut self, hold: SimDuration) -> Self {
+        self.hold = Some(hold);
+        self
+    }
+
+    /// [`hold`](Self::hold) in whole seconds — the common test shorthand.
+    pub fn hold_secs(self, secs: u64) -> Self {
+        self.hold(SimDuration::from_secs(secs))
+    }
+
+    /// Ground-run sweep count (default 3).
+    pub fn ground_sweeps(mut self, sweeps: usize) -> Self {
+        self.ground_sweeps = sweeps;
+        self
+    }
+
+    /// Jitter-buffer drop-on-latency mode (App. A.4 ablation).
+    pub fn drop_on_latency(mut self, on: bool) -> Self {
+        self.drop_on_latency = on;
+        self
+    }
+
+    /// Override the A3 hysteresis (dB) — the §5 mobility-parameter sweep.
+    pub fn hysteresis_db(mut self, db: f64) -> Self {
+        self.hysteresis_override_db = Some(db);
+        self
+    }
+
+    /// Override the A3 time-to-trigger (ms) — same sweep.
+    pub fn ttt_ms(mut self, ms: u64) -> Self {
+        self.ttt_override_ms = Some(ms);
+        self
+    }
+
+    /// Override the receiver jitter-buffer target (ms).
+    pub fn jitter_target_ms(mut self, ms: u64) -> Self {
+        self.jitter_target_override_ms = Some(ms);
+        self
+    }
+
+    /// Replace the feedback-starvation watchdog configuration.
+    pub fn watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Flip only the watchdog master switch (`false` reproduces the stock
+    /// frozen-rate outage behaviour).
+    pub fn watchdog_enabled(mut self, enabled: bool) -> Self {
+        self.watchdog.enabled = enabled;
+        self
+    }
+
+    /// NACK/RTX loss repair (default off, like the paper's stack).
+    pub fn repair(mut self, on: bool) -> Self {
+        self.repair = on;
+        self
+    }
+
+    /// Assemble the configuration, filling paper defaults for anything not
+    /// explicitly set.
+    pub fn build(self) -> ExperimentConfig {
+        ExperimentConfig {
+            environment: self.environment,
+            operator: self.operator,
+            mobility: self.mobility,
+            cc: self.cc,
+            seed: self.seed,
+            run_index: self.run_index,
+            hold: self
+                .hold
+                .unwrap_or_else(|| ExperimentConfig::paper_hold(self.mobility)),
+            ground_sweeps: self.ground_sweeps,
+            drop_on_latency: self.drop_on_latency,
+            hysteresis_override_db: self.hysteresis_override_db,
+            ttt_override_ms: self.ttt_override_ms,
+            jitter_target_override_ms: self.jitter_target_override_ms,
+            watchdog: self.watchdog,
+            repair: self.repair,
+        }
     }
 }
 
@@ -175,25 +410,65 @@ mod tests {
 
     #[test]
     fn labels_read_like_the_figures() {
-        let c = ExperimentConfig::paper(
-            Environment::Rural,
-            Operator::P1,
-            Mobility::Air,
-            CcMode::Gcc,
-            1,
-            0,
-        );
+        let c = ExperimentConfig::builder().seed(1).build();
         assert_eq!(c.label(), "GCC-Rural-P1-Air");
         assert_eq!(c.hold, SimDuration::from_secs(5));
-        let g = ExperimentConfig::paper(
+        let g = ExperimentConfig::builder()
+            .environment(Environment::Urban)
+            .operator(Operator::P2)
+            .mobility(Mobility::Ground)
+            .cc(CcMode::paper_scream())
+            .seed(1)
+            .build();
+        assert_eq!(g.label(), "SCReAM-Urban-P2-Grd");
+        assert_eq!(g.hold, SimDuration::from_secs(45));
+    }
+
+    #[test]
+    fn deprecated_paper_shim_matches_builder() {
+        #[allow(deprecated)]
+        let shim = ExperimentConfig::paper(
             Environment::Urban,
             Operator::P2,
             Mobility::Ground,
-            CcMode::paper_scream(),
-            1,
-            0,
+            CcMode::Gcc,
+            9,
+            3,
         );
-        assert_eq!(g.label(), "SCReAM-Urban-P2-Grd");
-        assert_eq!(g.hold, SimDuration::from_secs(45));
+        let built = ExperimentConfig::builder()
+            .environment(Environment::Urban)
+            .operator(Operator::P2)
+            .mobility(Mobility::Ground)
+            .cc(CcMode::Gcc)
+            .seed(9)
+            .run_index(3)
+            .build();
+        assert_eq!(shim.label(), built.label());
+        assert_eq!(shim.hold, built.hold);
+        assert_eq!(shim.ground_sweeps, built.ground_sweeps);
+    }
+
+    #[test]
+    fn label_discriminates_non_default_workloads() {
+        let base = ExperimentConfig::builder();
+        // Formerly colliding: SCReAM at stock vs widened ack span.
+        let stock = base.cc(CcMode::Scream { ack_span: 64 }).build();
+        let wide = base.cc(CcMode::paper_scream()).build();
+        assert_ne!(stock.label(), wide.label());
+        assert_eq!(stock.label(), "SCReAM[s64]-Rural-P1-Air");
+        // Formerly colliding: paper-rate vs custom-rate Static.
+        let paper = base.cc(CcMode::paper_static(Environment::Rural)).build();
+        let custom = base.cc(CcMode::Static { bitrate_bps: 12e6 }).build();
+        assert_ne!(paper.label(), custom.label());
+        // Formerly colliding: repair off vs on.
+        let plain = base.build();
+        let repaired = base.repair(true).build();
+        assert_ne!(plain.label(), repaired.label());
+        // Ablation knobs discriminate too.
+        assert_ne!(base.drop_on_latency(true).build().label(), plain.label());
+        assert_ne!(base.jitter_target_ms(50).build().label(), plain.label());
+        assert_ne!(base.hysteresis_db(2.0).build().label(), plain.label());
+        assert_ne!(base.ttt_ms(128).build().label(), plain.label());
+        assert_ne!(base.watchdog_enabled(false).build().label(), plain.label());
     }
 }

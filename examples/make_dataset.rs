@@ -17,35 +17,28 @@ fn main() {
     let out = std::path::Path::new("target").join("rpav-dataset");
 
     // A small campaign: both environments, the three workloads, one run
-    // each (bump `runs` for a fuller dataset).
-    let mut configs = Vec::new();
-    for env in [Environment::Urban, Environment::Rural] {
-        for cc in [
-            CcMode::paper_static(env),
-            CcMode::paper_scream(),
-            CcMode::Gcc,
-        ] {
-            configs.push(ExperimentConfig::paper(
-                env,
-                Operator::P1,
-                Mobility::Air,
-                cc,
-                0xDA7A,
-                0,
-            ));
-        }
-    }
-    println!("running {} measurement flights...", configs.len());
-    let metrics: Vec<RunMetrics> = configs
+    // each (`.runs(n)` for a fuller dataset) — expanded and executed as a
+    // single matrix on the campaign engine's thread pool.
+    let base = ExperimentConfig::builder()
+        .environment(Environment::Urban)
+        .cc(CcMode::Gcc)
+        .seed(0xDA7A)
+        .build();
+    let spec = MatrixSpec::new(base)
+        .environments([Environment::Urban, Environment::Rural])
+        .paper_workloads();
+    println!("running {} measurement flights...", spec.expand().len());
+    let result = CampaignEngine::new().run(&spec);
+    let runs: Vec<DatasetRun<'_>> = result
+        .outcomes
         .iter()
-        .map(|cfg| Simulation::new(*cfg).run())
-        .collect();
-    let runs: Vec<DatasetRun<'_>> = configs
-        .iter()
-        .zip(metrics.iter())
-        .map(|(config, metrics)| DatasetRun { config, metrics })
+        .map(|o| DatasetRun {
+            config: &o.cell.config,
+            metrics: &o.metrics,
+        })
         .collect();
     dataset::export(&out, &runs).expect("dataset export");
+    println!("{}", result.report.summary());
 
     // The RRC capture (QCSuper analog) for one urban flight.
     let profile = NetworkProfile::new(Environment::Urban, Operator::P1);

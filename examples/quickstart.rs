@@ -11,14 +11,11 @@ use rpav_core::stats;
 fn main() {
     // One GCC flight in the rural area, operator P1 — the scenario where
     // adaptive streaming earns its keep (paper §4.2).
-    let config = ExperimentConfig::paper(
-        Environment::Rural,
-        Operator::P1,
-        Mobility::Air,
-        CcMode::Gcc,
-        /* seed */ 7,
-        /* run  */ 0,
-    );
+    let config = ExperimentConfig::builder()
+        .environment(Environment::Rural)
+        .cc(CcMode::Gcc)
+        .seed(7)
+        .build();
     println!("flying: {} (≈6 simulated minutes)...", config.label());
     let m = Simulation::new(config).run();
 

@@ -29,7 +29,11 @@ fn main() {
         CcMode::Gcc,
     ] {
         for op in [Operator::P1, Operator::P2] {
-            let cfg = ExperimentConfig::paper(Environment::Rural, op, Mobility::Air, cc, 0x5400, 0);
+            let cfg = ExperimentConfig::builder()
+                .operator(op)
+                .cc(cc)
+                .seed(0x5400)
+                .build();
             let c = run_campaign(cfg, 2);
             rows.push(Row {
                 cc: cc.name(),

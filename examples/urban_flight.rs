@@ -19,14 +19,11 @@ fn main() {
         CcMode::paper_scream(),
         CcMode::Gcc,
     ] {
-        let cfg = ExperimentConfig::paper(
-            Environment::Urban,
-            Operator::P1,
-            Mobility::Air,
-            cc,
-            0xF11687,
-            0,
-        );
+        let cfg = ExperimentConfig::builder()
+            .environment(Environment::Urban)
+            .cc(cc)
+            .seed(0xF11687)
+            .build();
         let campaign = run_campaign(cfg, 2);
         println!("{}", HeadlineStats::from_campaign(&campaign).row());
         if matches!(cc, CcMode::Gcc) {

@@ -3,18 +3,14 @@
 //! bursty), and a wider span removes them.
 
 use rpav_core::prelude::*;
-use rpav_sim::SimDuration;
 
 fn run_span(span: usize, seed: u64) -> RunMetrics {
-    let mut cfg = ExperimentConfig::paper(
-        Environment::Urban,
-        Operator::P1,
-        Mobility::Air,
-        CcMode::Scream { ack_span: span },
-        seed,
-        0,
-    );
-    cfg.hold = SimDuration::from_secs(1);
+    let cfg = ExperimentConfig::builder()
+        .environment(Environment::Urban)
+        .cc(CcMode::Scream { ack_span: span })
+        .seed(seed)
+        .hold_secs(1)
+        .build();
     Simulation::new(cfg).run()
 }
 

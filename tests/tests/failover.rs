@@ -106,15 +106,11 @@ fn rtx_copy_after_cross_path_duplicate_reads_stale() {
 
 /// A short multipath run for the end-to-end accounting checks.
 fn mp_run(scheme: MultipathScheme) -> RunMetrics {
-    let mut cfg = ExperimentConfig::paper(
-        Environment::Rural,
-        Operator::P1,
-        Mobility::Air,
-        CcMode::paper_static(Environment::Rural),
-        0xFA11,
-        0,
-    );
-    cfg.hold = SimDuration::from_secs(1);
+    let cfg = ExperimentConfig::builder()
+        .cc(CcMode::paper_static(Environment::Rural))
+        .seed(0xFA11)
+        .hold_secs(1)
+        .build();
     run_multipath(&cfg, scheme)
 }
 

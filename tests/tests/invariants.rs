@@ -164,17 +164,13 @@ mod hostile_wire {
     use rpav_sim::{SimDuration, SimTime};
 
     fn cfg(repair: bool) -> ExperimentConfig {
-        let mut cfg = ExperimentConfig::paper(
-            rpav_lte::Environment::Urban,
-            Operator::P1,
-            Mobility::Air,
-            CcMode::Gcc,
-            0x3AD_51DE,
-            0,
-        );
-        cfg.hold = SimDuration::from_secs(1);
-        cfg.repair = repair;
-        cfg
+        ExperimentConfig::builder()
+            .environment(rpav_lte::Environment::Urban)
+            .cc(CcMode::Gcc)
+            .seed(0x3AD_51DE)
+            .hold_secs(1)
+            .repair(repair)
+            .build()
     }
 
     /// Valid traffic leaves every damage counter at zero: hardening the

@@ -1,0 +1,68 @@
+//! End-to-end determinism contract of the parallel campaign engine
+//! (DESIGN.md §9): for any job count, a matrix produces bit-identical
+//! results in submission order, and a cache-warm re-run replays from the
+//! cache without simulating anything.
+
+use rpav_core::prelude::*;
+
+/// 12 cells: 2 environments × 3 paper workloads × 2 runs, short holds.
+fn spec() -> MatrixSpec {
+    let base = ExperimentConfig::builder()
+        .environment(Environment::Urban)
+        .cc(CcMode::Gcc)
+        .seed(0xD15C)
+        .hold_secs(1)
+        .build();
+    MatrixSpec::new(base)
+        .environments([Environment::Urban, Environment::Rural])
+        .paper_workloads()
+        .runs(2)
+}
+
+#[test]
+fn parallel_execution_is_bit_identical_to_sequential() {
+    let spec = spec();
+    assert_eq!(spec.expand().len(), 12);
+
+    let sequential = CampaignEngine::new().with_jobs(1).run(&spec);
+    let parallel = CampaignEngine::new().with_jobs(8).run(&spec);
+    assert_eq!(sequential.outcomes.len(), 12);
+    assert_eq!(parallel.outcomes.len(), 12);
+
+    for (s, p) in sequential.outcomes.iter().zip(&parallel.outcomes) {
+        assert_eq!(s.cell.label(), p.cell.label(), "submission order diverged");
+        assert_eq!(
+            s.metrics.to_bytes(),
+            p.metrics.to_bytes(),
+            "{}: jobs=8 result is not bit-identical to jobs=1",
+            s.cell.label()
+        );
+    }
+}
+
+#[test]
+fn warm_cache_replays_without_simulating() {
+    let spec = spec();
+    let engine = CampaignEngine::new().with_jobs(4);
+
+    let cold = engine.run(&spec);
+    assert_eq!(
+        engine.simulations(),
+        12,
+        "cold run must simulate every cell"
+    );
+    assert!(cold.outcomes.iter().all(|o| !o.cached));
+
+    let warm = engine.run(&spec);
+    assert_eq!(
+        engine.simulations(),
+        12,
+        "warm run re-simulated cached cells"
+    );
+    assert_eq!(engine.cache_hits(), 12);
+    assert!(warm.outcomes.iter().all(|o| o.cached));
+
+    for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+        assert_eq!(c.metrics.to_bytes(), w.metrics.to_bytes());
+    }
+}

@@ -16,14 +16,11 @@ const BLACKOUT_AT: SimTime = SimTime::from_secs(120);
 const BLACKOUT_LEN: SimDuration = SimDuration::from_secs(5);
 
 fn run_with_blackout(cc: CcMode) -> RunMetrics {
-    let cfg = ExperimentConfig::paper(
-        Environment::Urban,
-        Operator::P1,
-        Mobility::Air,
-        cc,
-        0x1AC_2022,
-        0,
-    );
+    let cfg = ExperimentConfig::builder()
+        .environment(Environment::Urban)
+        .cc(cc)
+        .seed(0x1AC_2022)
+        .build();
     let script = FaultScript::new().blackout(BLACKOUT_AT, BLACKOUT_LEN);
     Simulation::new(cfg).with_link_script(script).run()
 }

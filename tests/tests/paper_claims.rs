@@ -7,7 +7,6 @@
 
 use rpav_core::prelude::*;
 use rpav_core::stats;
-use rpav_sim::SimDuration;
 
 fn quick_cfg(
     env: Environment,
@@ -16,10 +15,15 @@ fn quick_cfg(
     cc: CcMode,
     seed: u64,
 ) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::paper(env, op, mobility, cc, seed, 0);
-    cfg.hold = SimDuration::from_secs(1);
-    cfg.ground_sweeps = 2;
-    cfg
+    ExperimentConfig::builder()
+        .environment(env)
+        .operator(op)
+        .mobility(mobility)
+        .cc(cc)
+        .seed(seed)
+        .hold_secs(1)
+        .ground_sweeps(2)
+        .build()
 }
 
 fn quick_run(
@@ -41,16 +45,17 @@ fn air_handover_frequency_dwarfs_ground() {
     let mut grd = 0.0;
     for seed in 0..2 {
         let cc = CcMode::paper_static(Environment::Urban);
-        let a =
-            ExperimentConfig::paper(Environment::Urban, Operator::P1, Mobility::Air, cc, seed, 0);
-        let g = ExperimentConfig::paper(
-            Environment::Urban,
-            Operator::P1,
-            Mobility::Ground,
-            cc,
-            seed,
-            0,
-        );
+        let a = ExperimentConfig::builder()
+            .environment(Environment::Urban)
+            .cc(cc)
+            .seed(seed)
+            .build();
+        let g = ExperimentConfig::builder()
+            .environment(Environment::Urban)
+            .mobility(Mobility::Ground)
+            .cc(cc)
+            .seed(seed)
+            .build();
         air += Simulation::new(a).run().ho_frequency();
         grd += Simulation::new(g).run().ho_frequency();
     }

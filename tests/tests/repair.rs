@@ -23,10 +23,13 @@ const SLOT: SimDuration = SimDuration::from_millis(34);
 
 /// One run with a 2 % media-loss window covering the cruise phase.
 fn lossy_run(cc: CcMode, repair: bool) -> RunMetrics {
-    let mut cfg =
-        ExperimentConfig::paper(Environment::Urban, Operator::P1, Mobility::Air, cc, SEED, 0);
-    cfg.hold = SimDuration::from_secs(1);
-    cfg.repair = repair;
+    let cfg = ExperimentConfig::builder()
+        .environment(Environment::Urban)
+        .cc(cc)
+        .seed(SEED)
+        .hold_secs(1)
+        .repair(repair)
+        .build();
     let script = FaultScript::new().loss_window(
         SimTime::from_secs(10),
         SimDuration::from_secs(120),
