@@ -29,6 +29,7 @@ fn rtp_packet(seq: u16) -> RtpPacket {
         ssrc: 2,
         transport_seq: Some(seq),
         payload: Bytes::from(vec![0xAB; 1_175]),
+        wire: None,
     }
 }
 
@@ -38,6 +39,46 @@ fn bench_rtp_wire(c: &mut Criterion) {
     c.bench_function("rtp_serialize", |b| b.iter(|| black_box(&pkt).serialize()));
     c.bench_function("rtp_parse", |b| {
         b.iter(|| RtpPacket::parse(black_box(wire.clone())).unwrap())
+    });
+}
+
+fn bench_packetize(c: &mut Criterion) {
+    use rpav_rtp::packetize::{Depacketizer, FrameMeta, Packetizer};
+    // One 25 Mbps / 30 fps frame: ~104 KB → ~89 fragments, the exact shape
+    // the single-buffer frame packetizer is optimised for.
+    c.bench_function("packetize_frame_104k", |b| {
+        let mut pktz = Packetizer::new(7, true);
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            let meta = FrameMeta {
+                frame_number: n,
+                encode_time: SimTime::from_micros(n * 33_334),
+                keyframe: n % 30 == 1,
+                frame_bytes: 104_167,
+            };
+            black_box(pktz.packetize(meta, SimTime::from_micros(n * 33_334)))
+        })
+    });
+    c.bench_function("packetize_wire_roundtrip_104k", |b| {
+        let mut pktz = Packetizer::new(7, true);
+        let mut depack = Depacketizer::new();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            let t = SimTime::from_micros(n * 33_334);
+            let meta = FrameMeta {
+                frame_number: n,
+                encode_time: t,
+                keyframe: n % 30 == 1,
+                frame_bytes: 104_167,
+            };
+            for pkt in pktz.packetize(meta, t) {
+                let parsed = RtpPacket::parse(pkt.serialize()).unwrap();
+                depack.push(&parsed, t);
+            }
+            black_box(depack.drain(n + 1).len())
+        })
     });
 }
 
@@ -155,6 +196,7 @@ fn bench_encoder(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_rtp_wire,
+    bench_packetize,
     bench_feedback,
     bench_cc_updates,
     bench_jitter,

@@ -32,5 +32,24 @@ fn bench_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// A ≈30 s simulated flight through the adaptive scheduler — the
+/// perf-regression canary for the whole engine (radio, CC, netem, RTP,
+/// jitter, player) at a size Criterion can still iterate.
+fn bench_mini_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mini_run_30s");
+    g.sample_size(10);
+    let cfg = || {
+        ExperimentConfig::builder()
+            .cc(CcMode::Gcc)
+            .seed(0xBE7C)
+            .hold_secs(20)
+            .build()
+    };
+    g.bench_function("gcc_urban", |b| {
+        b.iter(|| black_box(Simulation::new(cfg()).run_fast()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_mini_run);
 criterion_main!(benches);

@@ -40,7 +40,7 @@ struct CellResult {
     env: Environment,
     cc_name: &'static str,
     outage_s: f64,
-    metrics: RunMetrics,
+    metrics: std::sync::Arc<RunMetrics>,
 }
 
 fn blackout_script(outage_s: f64) -> FaultScript {

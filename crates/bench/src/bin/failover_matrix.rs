@@ -38,7 +38,7 @@ struct CellResult {
     cc_name: &'static str,
     run: u64,
     scheme: MultipathScheme,
-    metrics: RunMetrics,
+    metrics: std::sync::Arc<RunMetrics>,
 }
 
 fn config(cc: CcMode, run: u64) -> ExperimentConfig {

@@ -1,0 +1,234 @@
+//! Engine-throughput tracker — emits `BENCH_PIPELINE.json`.
+//!
+//! Runs a deterministic single-threaded matrix of cold cells through the
+//! adaptive scheduler and records the three numbers every perf PR is
+//! judged on:
+//!
+//! * **cells/s** — whole-matrix throughput (the chaos-matrix currency);
+//! * **ns/tick** — wall time per driver step actually taken;
+//! * **allocs/packet** — heap allocations per media packet sent, counted
+//!   by a wrapping `#[global_allocator]` local to this binary.
+//!
+//! The default invocation measures both sweeps and writes one JSON object
+//! with a `full` section (paper-length flights, the tracked trajectory)
+//! and a `quick` section (1 s holds, the CI smoke). `--quick` (or
+//! `RPAV_PERF_QUICK=1`) measures only the quick sweep. `--check
+//! <baseline.json>` then compares cells/s of every section measured this
+//! run against the same section of the committed baseline and exits
+//! non-zero on a regression beyond 25 % (`RPAV_PERF_THRESHOLD=<percent>`
+//! overrides).
+//!
+//! Output goes to stdout and to `BENCH_PIPELINE.json` in the current
+//! directory (override the path with `RPAV_PERF_OUT`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rpav_bench::{paper_ccs, paper_config};
+use rpav_core::prelude::*;
+
+/// `System`, plus a relaxed allocation counter. `alloc`, `alloc_zeroed`
+/// and `realloc` all count — a reallocation is exactly the churn the
+/// pooled buffers are supposed to avoid.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+struct Measurement {
+    mode: &'static str,
+    cells: usize,
+    wall_s: f64,
+    cells_per_s: f64,
+    ns_per_tick: f64,
+    allocs_per_packet: f64,
+    ticks: u64,
+    packets: u64,
+    allocs: u64,
+}
+
+impl Measurement {
+    fn to_json(&self) -> String {
+        format!(
+            "  \"{}\": {{\n    \"cells\": {},\n    \"wall_s\": {:.3},\n    \
+             \"cells_per_s\": {:.3},\n    \"ns_per_tick\": {:.1},\n    \
+             \"allocs_per_packet\": {:.2},\n    \"ticks\": {},\n    \
+             \"packets\": {},\n    \"allocs\": {}\n  }}",
+            self.mode,
+            self.cells,
+            self.wall_s,
+            self.cells_per_s,
+            self.ns_per_tick,
+            self.allocs_per_packet,
+            self.ticks,
+            self.packets,
+            self.allocs
+        )
+    }
+}
+
+/// One cold sweep of the 6 paper workloads (3 CCs × 2 environments),
+/// single-threaded, engine-free.
+fn run_sweep(quick: bool) -> Measurement {
+    let mut ticks = 0u64;
+    let mut packets = 0u64;
+    let mut cells = 0usize;
+    let alloc_start = ALLOCS.load(Ordering::Relaxed);
+    let wall_start = Instant::now();
+    for env in [Environment::Urban, Environment::Rural] {
+        for cc in paper_ccs(env) {
+            let cfg = if quick {
+                ExperimentConfig::builder()
+                    .environment(env)
+                    .cc(cc)
+                    .seed(0xBE7C)
+                    .hold_secs(1)
+                    .build()
+            } else {
+                paper_config(env, Operator::P1, Mobility::Air, cc)
+            };
+            let (metrics, steps) = Simulation::new(cfg).run_instrumented();
+            ticks += steps;
+            packets += metrics.media_sent + metrics.rtx_sent;
+            cells += 1;
+        }
+    }
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - alloc_start;
+    Measurement {
+        mode: if quick { "quick" } else { "full" },
+        cells,
+        wall_s,
+        cells_per_s: cells as f64 / wall_s,
+        ns_per_tick: wall_s * 1e9 / ticks as f64,
+        allocs_per_packet: allocs as f64 / packets as f64,
+        ticks,
+        packets,
+        allocs,
+    }
+}
+
+/// Pull `key` out of the named section of a flat two-level JSON object,
+/// without a JSON dependency.
+fn json_field(text: &str, section: &str, key: &str) -> Option<f64> {
+    let start = text.find(&format!("\"{section}\""))?;
+    let body = &text[start..];
+    let body = &body[..body.find('}').unwrap_or(body.len())];
+    let needle = format!("\"{key}\"");
+    let rest = &body[body.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick_only = args.iter().any(|a| a == "--quick")
+        || std::env::var_os("RPAV_PERF_QUICK").is_some_and(|v| v != "0");
+    let check = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check needs a baseline path"));
+
+    println!(
+        "=== perf_matrix — engine throughput ({}, single-threaded)",
+        if quick_only {
+            "quick sweep"
+        } else {
+            "full + quick sweeps"
+        }
+    );
+
+    // Read the baseline *before* measuring: the output file may be the
+    // baseline path itself, and a self-comparison would gate nothing.
+    let baseline = check
+        .map(|p| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read baseline {p}: {e}")));
+
+    // Warm-up: touch every code path once so lazy init (thread-locals,
+    // cold text pages) doesn't bill the first measured cell.
+    {
+        let cfg = ExperimentConfig::builder()
+            .cc(CcMode::Gcc)
+            .seed(0xD0)
+            .hold_secs(1)
+            .build();
+        let _ = Simulation::new(cfg).run_fast();
+    }
+
+    let mut sections = Vec::new();
+    if !quick_only {
+        sections.push(run_sweep(false));
+    }
+    sections.push(run_sweep(true));
+    for m in &sections {
+        println!(
+            "{:<5} {} cells in {:.2} s — {:.2} cells/s, {:.0} ns/tick, {:.2} allocs/packet",
+            m.mode, m.cells, m.wall_s, m.cells_per_s, m.ns_per_tick, m.allocs_per_packet
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": 1,\n{}\n}}\n",
+        sections
+            .iter()
+            .map(Measurement::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let out = std::env::var("RPAV_PERF_OUT").unwrap_or_else(|_| "BENCH_PIPELINE.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_PIPELINE.json");
+    println!("wrote {out}");
+
+    if let Some(text) = baseline {
+        let threshold: f64 = std::env::var("RPAV_PERF_THRESHOLD")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(25.0);
+        let mut failed = false;
+        for m in &sections {
+            let Some(base) = json_field(&text, m.mode, "cells_per_s") else {
+                println!("baseline has no `{}` section — skipping gate", m.mode);
+                continue;
+            };
+            let delta_pct = (m.cells_per_s - base) / base * 100.0;
+            println!(
+                "{:<5} baseline {base:.2} cells/s → now {:.2} cells/s ({delta_pct:+.1} %)",
+                m.mode, m.cells_per_s
+            );
+            if delta_pct < -threshold {
+                eprintln!(
+                    "PERF REGRESSION ({}): cells/s dropped more than {threshold}%",
+                    m.mode
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("within {threshold}% gate — ok");
+    }
+}

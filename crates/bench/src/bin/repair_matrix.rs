@@ -202,8 +202,8 @@ fn main() {
         cells.push(CellResult {
             condition,
             cc_name,
-            off: off_cell.metrics.clone(),
-            on: on_cell.metrics.clone(),
+            off: (*off_cell.metrics).clone(),
+            on: (*on_cell.metrics).clone(),
         });
     }
 

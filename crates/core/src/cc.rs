@@ -39,6 +39,11 @@ const PACER_BURST_BYTES: f64 = 60_000.0;
 const PACER_FACTOR: f64 = 1.5;
 /// Adaptive controllers start probing from this rate.
 const ADAPTIVE_START_BPS: f64 = 2e6;
+/// Guard subtracted from computed pacer wake times: the wake inverts the
+/// forward budget arithmetic in floating point, and the two can disagree
+/// by a few ULP. Waking a microsecond early is a no-op; waking late
+/// diverges from the reference tick loop.
+const WAKE_GUARD: SimDuration = SimDuration::from_micros(1);
 
 /// One congestion-control workload, behind a uniform interface.
 pub enum CcEngine {
@@ -180,6 +185,42 @@ impl CcEngine {
                 Some(p)
             }
             CcEngine::Scream { sender } => sender.poll_transmit(now),
+        }
+    }
+
+    /// Earliest future instant the engine needs the driver's attention: a
+    /// watchdog edge, a pacer refill that unblocks the queue head, or a
+    /// SCReAM window event. `None` when the engine stays idle until new
+    /// input (a frame enqueue or a feedback arrival). May be conservative
+    /// (at or before the true edge); early polls are no-ops.
+    pub fn next_wake(&self, now: SimTime) -> Option<SimTime> {
+        match self {
+            CcEngine::Static { queue, .. } => (!queue.is_empty()).then_some(now),
+            CcEngine::Gcc {
+                bwe,
+                queue,
+                budget_bytes,
+                last_refill,
+            } => {
+                let mut wake = bwe.next_wake();
+                if let Some(p) = queue.front() {
+                    let need = (p.wire_size() as f64 - *budget_bytes).max(0.0);
+                    let rate = bwe.target_bitrate_bps() * PACER_FACTOR;
+                    let ready = if rate > 0.0 {
+                        *last_refill
+                            + SimDuration::from_secs_f64(need * 8.0 / rate)
+                                .saturating_sub(WAKE_GUARD)
+                    } else {
+                        *last_refill
+                    };
+                    wake = Some(wake.map_or(ready, |w| w.min(ready)));
+                }
+                wake
+            }
+            CcEngine::Scream { sender } => [sender.next_wake(), sender.next_tick_wake()]
+                .into_iter()
+                .flatten()
+                .min(),
         }
     }
 

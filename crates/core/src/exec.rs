@@ -39,7 +39,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use rpav_lte::{Environment, Operator};
@@ -328,6 +328,7 @@ impl MatrixSpec {
                                             config,
                                             scheme,
                                             fault: fault.clone(),
+                                            key_cache: OnceLock::new(),
                                         });
                                     }
                                 }
@@ -361,6 +362,9 @@ pub struct Cell {
     pub scheme: RunScheme,
     /// The fault campaign.
     pub fault: CellFault,
+    /// Memoised [`Cell::key`]: the canonical encoding is walked at most
+    /// once per cell, however many cache layers consult the key.
+    key_cache: OnceLock<u64>,
 }
 
 impl Cell {
@@ -393,7 +397,12 @@ impl Cell {
     /// encoding of every field that influences the simulation, salted
     /// with the crate version so a rebuilt crate invalidates all cached
     /// results. Stable across processes (unlike `DefaultHasher`).
+    /// Memoised: the encoding pass runs at most once per cell.
     pub fn key(&self) -> u64 {
+        *self.key_cache.get_or_init(|| self.compute_key())
+    }
+
+    fn compute_key(&self) -> u64 {
         let mut w = ByteWriter::new();
         w.bytes(env!("CARGO_PKG_VERSION").as_bytes());
         w.u32(crate::codec::FORMAT_VERSION);
@@ -580,8 +589,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 pub struct CellOutcome {
     /// The cell as expanded.
     pub cell: Cell,
-    /// Its metrics.
-    pub metrics: RunMetrics,
+    /// Its metrics, shared with the engine's in-memory cache — a cache
+    /// hit hands out another reference instead of deep-copying the
+    /// per-frame records.
+    pub metrics: Arc<RunMetrics>,
     /// Whether the result was served from cache (no simulation ran).
     pub cached: bool,
 }
@@ -638,7 +649,7 @@ pub struct MatrixResult {
 impl MatrixResult {
     /// Just the metrics, in submission order.
     pub fn metrics(&self) -> impl Iterator<Item = &RunMetrics> {
-        self.outcomes.iter().map(|o| &o.metrics)
+        self.outcomes.iter().map(|o| o.metrics.as_ref())
     }
 
     /// Group adjacent same-campaign cells (the run index is the
@@ -649,10 +660,10 @@ impl MatrixResult {
         for outcome in &self.outcomes {
             let label = outcome.cell.campaign_label();
             match campaigns.last_mut() {
-                Some(c) if c.label == label => c.runs.push(outcome.metrics.clone()),
+                Some(c) if c.label == label => c.runs.push((*outcome.metrics).clone()),
                 _ => campaigns.push(CampaignResult {
                     label,
-                    runs: vec![outcome.metrics.clone()],
+                    runs: vec![(*outcome.metrics).clone()],
                 }),
             }
         }
@@ -692,7 +703,7 @@ fn default_cache_dir() -> Option<PathBuf> {
 pub struct CampaignEngine {
     jobs: usize,
     cache_dir: Option<PathBuf>,
-    memory: Mutex<HashMap<u64, RunMetrics>>,
+    memory: Mutex<HashMap<u64, Arc<RunMetrics>>>,
     simulated: AtomicU64,
     cache_hits: AtomicU64,
 }
@@ -759,7 +770,7 @@ impl CampaignEngine {
         let simulated_before = self.simulations();
 
         let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, RunMetrics, bool)>();
+        let (tx, rx) = mpsc::channel::<(usize, Arc<RunMetrics>, bool)>();
         std::thread::scope(|s| {
             let cursor = &cursor;
             let cells = &cells;
@@ -806,29 +817,35 @@ impl CampaignEngine {
     }
 
     /// One cell through the cache layers: memory → disk → simulate.
-    fn run_cell(&self, cell: &Cell) -> (RunMetrics, bool) {
+    /// Metrics are stored and returned behind an [`Arc`], so cache hits
+    /// and the outcome slots share one allocation per distinct cell.
+    fn run_cell(&self, cell: &Cell) -> (Arc<RunMetrics>, bool) {
         let key = cell.key();
         if let Some(m) = self.memory.lock().unwrap().get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return (m.clone(), true);
+            return (Arc::clone(m), true);
         }
         if let Some(dir) = &self.cache_dir {
             if let Ok(bytes) = std::fs::read(dir.join(format!("{key:016x}.rpav"))) {
                 if let Some(m) = RunMetrics::from_bytes(&bytes) {
                     self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    self.memory.lock().unwrap().insert(key, m.clone());
+                    let m = Arc::new(m);
+                    self.memory.lock().unwrap().insert(key, Arc::clone(&m));
                     return (m, true);
                 }
             }
         }
-        let metrics = cell.execute();
+        let metrics = Arc::new(cell.execute());
         self.simulated.fetch_add(1, Ordering::Relaxed);
         if let Some(dir) = &self.cache_dir {
             // Best-effort: a read-only target dir must not fail the run.
             let _ = std::fs::create_dir_all(dir);
             let _ = std::fs::write(dir.join(format!("{key:016x}.rpav")), metrics.to_bytes());
         }
-        self.memory.lock().unwrap().insert(key, metrics.clone());
+        self.memory
+            .lock()
+            .unwrap()
+            .insert(key, Arc::clone(&metrics));
         (metrics, false)
     }
 }

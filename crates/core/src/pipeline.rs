@@ -56,6 +56,12 @@ const JITTER_DECAY_AFTER: SimDuration = SimDuration::from_secs(20);
 const RECEIVER_SSRC: u32 = 0x1;
 const MEDIA_SSRC: u32 = 0x2;
 
+/// Round an event deadline up to the 1 ms driver grid the reference loop
+/// runs on: the fast scheduler may only stop where the reference stops.
+fn align_up_to_tick(t: SimTime) -> SimTime {
+    SimTime::from_micros((t.as_micros().saturating_add(999) / 1_000).saturating_mul(1_000))
+}
+
 /// Disjoint borrows of the sender-side state [`Simulation::send_media`]
 /// needs — callers split these from `self` so the CC state can stay
 /// mutably borrowed across the send loop.
@@ -102,6 +108,8 @@ pub struct Simulation {
     next_feedback: SimTime,
     netem_seq: u64,
     outage_windows: Vec<(SimTime, SimTime)>,
+    /// Reusable scratch for batch-draining path arrivals each tick.
+    arrivals: Vec<Packet>,
     metrics: RunMetrics,
 }
 
@@ -181,6 +189,7 @@ impl Simulation {
             next_radio: SimTime::ZERO,
             next_feedback: SimTime::ZERO,
             netem_seq: 0,
+            arrivals: Vec::new(),
             outage_windows: Vec::new(),
             metrics: RunMetrics::default(),
         }
@@ -236,13 +245,63 @@ impl Simulation {
     }
 
     /// Execute the run to completion and return its metrics.
-    pub fn run(mut self) -> RunMetrics {
+    ///
+    /// Uses the adaptive deadline scheduler unless `RPAV_REFERENCE_TICK=1`
+    /// is set, which restores the unconditional 1 ms loop as an oracle.
+    pub fn run(self) -> RunMetrics {
+        let reference = std::env::var_os("RPAV_REFERENCE_TICK").is_some_and(|v| v != "0");
+        self.run_mode(reference)
+    }
+
+    /// Execute with the unconditional 1 ms reference loop, regardless of
+    /// the environment. The adaptive scheduler must be byte-identical to
+    /// this path; `tests/perf_equivalence.rs` holds it to that.
+    pub fn run_reference(self) -> RunMetrics {
+        self.run_mode(true)
+    }
+
+    /// Execute with the adaptive deadline scheduler, regardless of the
+    /// environment.
+    pub fn run_fast(self) -> RunMetrics {
+        self.run_mode(false)
+    }
+
+    /// Execute with the adaptive scheduler and also report how many driver
+    /// steps the run took — the denominator for the perf harness's ns/tick
+    /// figure. Metrics are identical to [`Simulation::run_fast`].
+    pub fn run_instrumented(mut self) -> (RunMetrics, u64) {
+        let mut steps = 0u64;
+        let metrics = self.run_loop(false, &mut steps);
+        (metrics, steps)
+    }
+
+    fn run_mode(mut self, reference: bool) -> RunMetrics {
+        let mut steps = 0u64;
+        self.run_loop(reference, &mut steps)
+    }
+
+    fn run_loop(&mut self, reference: bool, steps: &mut u64) -> RunMetrics {
         let flight_end = SimTime::ZERO + self.plan.duration();
         let end = flight_end + DRAIN;
+        // Largest driver-grid instant strictly before `end`: the last tick
+        // the reference loop visits. The fast path must always land on it —
+        // per-tick state such as the watchdog's feedback-gap stat takes its
+        // final sample there.
+        let last_tick = SimTime::from_micros((end.as_micros() - 1) / 1_000 * 1_000);
         let mut t = SimTime::ZERO;
         while t < end {
+            *steps += 1;
             self.step(t, flight_end);
-            t += TICK;
+            t = if reference {
+                t + TICK
+            } else {
+                let next = self.next_deadline(t, flight_end);
+                let mut tn = align_up_to_tick(next).max(t + TICK);
+                if tn > last_tick && t < last_tick {
+                    tn = last_tick;
+                }
+                tn
+            };
         }
         self.metrics.duration = self.plan.duration();
         let pstats = self.player.stats();
@@ -283,7 +342,55 @@ impl Simulation {
                 .unwrap_or(0);
         let windows = std::mem::take(&mut self.outage_windows);
         self.metrics.record_outages(&windows);
-        self.metrics
+        std::mem::take(&mut self.metrics)
+    }
+
+    /// Earliest instant at which [`Simulation::step`] can next do anything
+    /// the reference loop would not also skip. Deadlines may be *early*
+    /// (a premature visit is a no-op and the driver then walks one tick at
+    /// a time until the edge resolves) but must never be late: every state
+    /// change the 1 ms loop would observe has to come from a listed source.
+    ///
+    /// Sources, one per step phase:
+    /// - radio cadence (`next_radio`);
+    /// - encoder capture grid, while the flight lasts, plus the head of the
+    ///   encode-latency queue (`ready_at`);
+    /// - CC wakes: pacer token-bucket readiness (with a 1 µs float guard),
+    ///   watchdog starvation/backoff edges, SCReAM in-flight expiry;
+    /// - link deliveries on both directions plus timed-blackout start edges
+    ///   (`next_wake_scripted`: pausing a link is a now-dependent action);
+    /// - NACK generator request/abandonment edges, when repair is on;
+    /// - the receiver feedback timer;
+    /// - jitter-buffer head playout and player display slots (a starved
+    ///   player reports `now`, deliberately clamping the driver to per-tick
+    ///   stepping while skip-patience logic needs every tick);
+    /// - jitter-target decay and PLI-nag edges, while armed.
+    fn next_deadline(&self, now: SimTime, flight_end: SimTime) -> SimTime {
+        let capture = self.encoder.next_capture();
+        let deadlines = [
+            Some(self.next_radio),
+            (capture < flight_end).then_some(capture),
+            self.pending_frames.front().map(|f| f.ready_at),
+            self.cc.next_wake(now),
+            self.uplink.next_wake_scripted(now),
+            self.downlink.next_wake_scripted(now),
+            if self.config.repair {
+                self.nack_gen.next_wake()
+            } else {
+                None
+            },
+            (self.next_feedback != SimTime::MAX).then_some(self.next_feedback),
+            self.jitter.next_wake(),
+            self.player.next_wake(),
+            (self.jitter_level > 0).then_some(self.last_jitter_event + JITTER_DECAY_AFTER),
+            (!self.ref_intact).then(|| self.last_pli.map_or(now, |t| t + PLI_MIN_INTERVAL)),
+        ];
+        // `next_radio` is always present, so the min always exists.
+        deadlines
+            .into_iter()
+            .flatten()
+            .min()
+            .unwrap_or(self.next_radio)
     }
 
     fn step(&mut self, now: SimTime, flight_end: SimTime) {
@@ -396,7 +503,9 @@ impl Simulation {
         // silently dropped: the damaged bytes go to the hardened parsers,
         // which either reject them (counted as malformed) or survive the
         // flip — exactly what a real receiver without UDP checksums sees.
-        while let Some(pkt) = self.uplink.poll(now) {
+        let mut arrivals = std::mem::take(&mut self.arrivals);
+        self.uplink.drain_due(now, &mut arrivals);
+        for pkt in arrivals.drain(..) {
             if pkt.corrupted {
                 self.metrics.corrupted_arrivals += 1;
             }
@@ -509,7 +618,8 @@ impl Simulation {
         // 6. Feedback arrivals at the sender. PLIs ride the same RTCP
         // stream as the transport feedback and are discriminated by their
         // FMT/PT bytes; they work under every CC mode, including Static.
-        while let Some(pkt) = self.downlink.poll(now) {
+        self.downlink.drain_due(now, &mut arrivals);
+        for pkt in arrivals.drain(..) {
             if pkt.corrupted {
                 self.metrics.corrupted_arrivals += 1;
             }
@@ -610,6 +720,8 @@ impl Simulation {
             self.metrics.plis_sent += 1;
             self.last_pli = Some(now);
         }
+        // Hand the (now empty) scratch buffer back for the next tick.
+        self.arrivals = arrivals;
     }
 
     /// Re-derive the jitter target from the base and the inflation level.

@@ -151,6 +151,10 @@ impl ExperimentConfig {
     }
 
     /// Paper-default configuration for the given axes.
+    ///
+    /// Superseded by [`ExperimentConfig::builder`]; the shim survives only
+    /// for the equivalence test below, gated out of shipping builds.
+    #[cfg(test)]
     #[deprecated(note = "use `ExperimentConfig::builder()` instead")]
     pub fn paper(
         environment: Environment,

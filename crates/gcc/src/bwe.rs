@@ -235,6 +235,14 @@ impl SendSideBwe {
         self.watchdog.on_tick(now, self.uncapped_bps());
     }
 
+    /// The next instant [`on_tick`](Self::on_tick) can have an effect
+    /// (a watchdog starvation or back-off edge); `None` if no timer is
+    /// pending. Between feedback arrivals and this instant, `on_tick` is a
+    /// no-op, which is what lets the driver skip idle ticks.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        self.watchdog.next_wake()
+    }
+
     /// The two estimator arms combined, before the watchdog cap.
     fn uncapped_bps(&self) -> f64 {
         self.aimd

@@ -68,7 +68,10 @@ impl TrendlineEstimator {
             self.history.pop_front();
         }
         if self.history.len() >= 2 {
-            if let Some(slope) = linear_fit_slope(self.history.iter().copied()) {
+            // `make_contiguous` hands the fit a borrowed slice; after the
+            // first wrap the deque stays contiguous, so this is free on the
+            // steady-state path (and the fit no longer clones the window).
+            if let Some(slope) = linear_fit_slope(self.history.make_contiguous()) {
                 self.trend = slope;
             }
         }
@@ -93,18 +96,21 @@ impl TrendlineEstimator {
 }
 
 /// Ordinary least squares slope of `(x, y)` points; `None` if degenerate.
-fn linear_fit_slope(points: impl Iterator<Item = (f64, f64)> + Clone) -> Option<f64> {
-    let n = points.clone().count() as f64;
+/// Takes a borrowed slice so the per-group hot path never copies the
+/// window; the accumulation order is unchanged from the iterator version,
+/// so results are bit-identical.
+fn linear_fit_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let n = points.len() as f64;
     if n < 2.0 {
         return None;
     }
-    let sum_x: f64 = points.clone().map(|(x, _)| x).sum();
-    let sum_y: f64 = points.clone().map(|(_, y)| y).sum();
+    let sum_x: f64 = points.iter().map(|&(x, _)| x).sum();
+    let sum_y: f64 = points.iter().map(|&(_, y)| y).sum();
     let mean_x = sum_x / n;
     let mean_y = sum_y / n;
     let mut num = 0.0;
     let mut den = 0.0;
-    for (x, y) in points {
+    for &(x, y) in points {
         num += (x - mean_x) * (y - mean_y);
         den += (x - mean_x) * (x - mean_x);
     }
@@ -178,10 +184,10 @@ mod tests {
 
     #[test]
     fn slope_fit_is_exact_on_a_line() {
-        let pts = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0));
-        assert!((linear_fit_slope(pts).unwrap() - 3.0).abs() < 1e-12);
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        assert!((linear_fit_slope(&pts).unwrap() - 3.0).abs() < 1e-12);
         // Degenerate: single x.
-        let same = (0..5).map(|_| (1.0, 2.0));
-        assert!(linear_fit_slope(same).is_none());
+        let same: Vec<(f64, f64)> = (0..5).map(|_| (1.0, 2.0)).collect();
+        assert!(linear_fit_slope(&same).is_none());
     }
 }

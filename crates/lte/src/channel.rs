@@ -194,9 +194,28 @@ impl TemporalFading {
     }
 }
 
-/// Received power (dBm) from `cell` at `pos`, excluding shadowing/fading
-/// (add those separately so their processes stay stateful).
-pub fn mean_rsrp_dbm(params: &ChannelParams, cell: &Cell, pos: &Position) -> f64 {
+/// The deterministic (geometry-only) part of one cell's channel at one UE
+/// position: everything that is a pure function of `(params, cell, pos)`.
+/// The radio model caches these per position, so a hovering UE pays the
+/// transcendental math (exp/log/atan2/antenna pattern) once instead of
+/// once per tick per cell.
+#[derive(Clone, Copy, Debug)]
+pub struct CellGeometry {
+    /// Received power (dBm) excluding shadowing/fading.
+    pub mean_rsrp_dbm: f64,
+    /// LoS probability at this geometry.
+    pub p_los: f64,
+    /// Shadowing standard deviation (dB): the LoS/NLoS sigmas blended by
+    /// the LoS probability.
+    pub sigma_db: f64,
+}
+
+/// Compute the full deterministic geometry for `cell` at `pos` — the
+/// mean RSRP plus the LoS probability and blended shadowing sigma that the
+/// radio model needs alongside it. `los_probability` is evaluated exactly
+/// once and shared by the path-loss blend and the sigma blend (the two
+/// call sites previously computed it twice with identical arguments).
+pub fn cell_geometry(params: &ChannelParams, cell: &Cell, pos: &Position) -> CellGeometry {
     let d2d = cell.position.horizontal_distance(pos);
     let d3d = cell.position.distance(pos).max(1.0);
     let p_los = los_probability(params, d2d, pos.z);
@@ -210,7 +229,17 @@ pub fn mean_rsrp_dbm(params: &ChannelParams, cell: &Cell, pos: &Position) -> f64
     // Stable per-cell side-lobe phase: antennas differ physically.
     let phase = (cell.id.0 as f64) * 2.399963; // golden angle, decorrelates
     let gain = antenna::gain_with_phase_dbi(phi, theta, cell.downtilt_deg, phase);
-    cell.tx_power_dbm + gain - pl
+    CellGeometry {
+        mean_rsrp_dbm: cell.tx_power_dbm + gain - pl,
+        p_los,
+        sigma_db: p_los * params.shadow_sigma_los_db + (1.0 - p_los) * params.shadow_sigma_nlos_db,
+    }
+}
+
+/// Received power (dBm) from `cell` at `pos`, excluding shadowing/fading
+/// (add those separately so their processes stay stateful).
+pub fn mean_rsrp_dbm(params: &ChannelParams, cell: &Cell, pos: &Position) -> f64 {
+    cell_geometry(params, cell, pos).mean_rsrp_dbm
 }
 
 /// Convert dBm to milliwatts.

@@ -6,7 +6,7 @@ use rpav_sim::{RngSet, SimDuration, SimTime};
 use rpav_uav::Position;
 
 use crate::cell::{CellId, Deployment};
-use crate::channel::{self, ChannelParams, ShadowingField, TemporalFading};
+use crate::channel::{self, CellGeometry, ChannelParams, ShadowingField, TemporalFading};
 use crate::handover::{HandoverEngine, HandoverEvent, HandoverKind};
 use crate::profiles::{Environment, NetworkProfile};
 
@@ -111,6 +111,14 @@ pub struct RadioModel {
     last_ho_complete: Option<SimTime>,
     /// Scratch buffer reused every tick.
     rsrp_scratch: Vec<(CellId, f64)>,
+    /// Deterministic per-cell geometry (mean RSRP, LoS probability,
+    /// shadowing sigma) for the position it was computed at. Geometry is a
+    /// pure function of position, so while the UE hovers (every waypoint
+    /// hold in the paper flight) the transcendental per-cell math is paid
+    /// once instead of once per radio tick. Entries are index-aligned with
+    /// `deployment.cells`.
+    geometry_cache: Vec<CellGeometry>,
+    geometry_pos: Option<Position>,
 }
 
 impl RadioModel {
@@ -148,6 +156,8 @@ impl RadioModel {
             distinct_cells: distinct,
             last_ho_complete: None,
             rsrp_scratch: Vec::new(),
+            geometry_cache: Vec::new(),
+            geometry_pos: None,
         }
     }
 
@@ -189,13 +199,20 @@ impl RadioModel {
         let common_unit = self
             .shadowing
             .sample(COMMON_SHADOW_ID, pos, 1.0, &mut self.fading_rng);
+        if self.geometry_pos != Some(*pos) {
+            self.geometry_cache.clear();
+            self.geometry_cache.extend(
+                self.deployment
+                    .cells
+                    .iter()
+                    .map(|cell| channel::cell_geometry(&self.profile.channel, cell, pos)),
+            );
+            self.geometry_pos = Some(*pos);
+        }
         self.rsrp_scratch.clear();
-        for cell in self.deployment.cells.iter() {
-            let mean = channel::mean_rsrp_dbm(&self.profile.channel, cell, pos);
-            let d2d = cell.position.horizontal_distance(pos);
-            let p_los = channel::los_probability(&self.profile.channel, d2d, pos.z);
-            let sigma = p_los * self.profile.channel.shadow_sigma_los_db
-                + (1.0 - p_los) * self.profile.channel.shadow_sigma_nlos_db;
+        for (cell, geo) in self.deployment.cells.iter().zip(&self.geometry_cache) {
+            let mean = geo.mean_rsrp_dbm;
+            let sigma = geo.sigma_db;
             let own = self
                 .shadowing
                 .sample(cell.id, pos, sigma, &mut self.fading_rng);

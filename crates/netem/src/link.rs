@@ -1,9 +1,51 @@
 //! Rate-limited bottleneck links and delay pipes.
 
+use std::collections::VecDeque;
+
 use rpav_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::packet::Packet;
 use crate::queue::{DropTailQueue, QueueStats};
+
+/// Delivery buffer for a FIFO delay stage. Both in-order stages clamp every
+/// delivery time to a monotonic floor before scheduling, so arrival order
+/// equals delivery order and a deque replaces the binary heap a general
+/// [`EventQueue`] needs — no comparisons, no sift, O(1) at both ends on the
+/// per-packet hot path.
+#[derive(Debug, Default)]
+struct FifoOutbox {
+    q: VecDeque<(SimTime, Packet)>,
+}
+
+impl FifoOutbox {
+    fn new() -> Self {
+        FifoOutbox { q: VecDeque::new() }
+    }
+
+    fn schedule(&mut self, at: SimTime, packet: Packet) {
+        debug_assert!(
+            self.q.back().is_none_or(|(t, _)| *t <= at),
+            "FIFO outbox requires nondecreasing delivery times"
+        );
+        self.q.push_back((at, packet));
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.q.front().map(|(t, _)| *t)
+    }
+
+    fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, Packet)> {
+        if self.peek_time()? <= now {
+            self.q.pop_front()
+        } else {
+            None
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+}
 
 /// Whether a delay stage preserves FIFO order or delivers packets at
 /// whatever instant its jitter draw schedules them.
@@ -42,8 +84,9 @@ pub struct BottleneckLink {
     queue: DropTailQueue,
     /// Packet currently serialising and the instant it finishes.
     in_service: Option<(Packet, SimTime)>,
-    /// Packets past the serialiser, keyed by delivery time.
-    out: EventQueue<Packet>,
+    /// Packets past the serialiser, keyed by delivery time (monotone via
+    /// the `last_delivery` floor, hence FIFO).
+    out: FifoOutbox,
     paused_until: SimTime,
     /// Extra per-packet propagation (e.g. HARQ retransmissions); settable.
     extra_prop: SimDuration,
@@ -74,7 +117,7 @@ impl BottleneckLink {
             prop_delay,
             queue: DropTailQueue::new(max_queue_bytes, max_queue_packets),
             in_service: None,
-            out: EventQueue::new(),
+            out: FifoOutbox::new(),
             paused_until: SimTime::ZERO,
             extra_prop: SimDuration::ZERO,
             last_delivery: SimTime::ZERO,
@@ -264,11 +307,50 @@ pub struct DelayPipe {
     base_delay: SimDuration,
     jitter_sigma: SimDuration,
     rng: SimRng,
-    out: EventQueue<Packet>,
+    out: DelayOutbox,
     /// FIFO floor on delivery times, applied only when `ordering` is
     /// [`DeliveryOrder::InOrder`].
     last_delivery: SimTime,
     ordering: DeliveryOrder,
+}
+
+/// In-order pipes schedule monotone delivery times (see the FIFO floor in
+/// [`DelayPipe::enqueue`]) and get the cheap deque; as-scheduled pipes can
+/// invert delivery order and need the real priority queue.
+#[derive(Debug)]
+enum DelayOutbox {
+    Fifo(FifoOutbox),
+    Heap(EventQueue<Packet>),
+}
+
+impl DelayOutbox {
+    fn schedule(&mut self, at: SimTime, packet: Packet) {
+        match self {
+            DelayOutbox::Fifo(q) => q.schedule(at, packet),
+            DelayOutbox::Heap(q) => q.schedule(at, packet),
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            DelayOutbox::Fifo(q) => q.peek_time(),
+            DelayOutbox::Heap(q) => q.peek_time(),
+        }
+    }
+
+    fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, Packet)> {
+        match self {
+            DelayOutbox::Fifo(q) => q.pop_due(now),
+            DelayOutbox::Heap(q) => q.pop_due(now),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            DelayOutbox::Fifo(q) => q.len(),
+            DelayOutbox::Heap(q) => q.len(),
+        }
+    }
 }
 
 impl DelayPipe {
@@ -291,7 +373,10 @@ impl DelayPipe {
             base_delay,
             jitter_sigma,
             rng,
-            out: EventQueue::new(),
+            out: match ordering {
+                DeliveryOrder::InOrder => DelayOutbox::Fifo(FifoOutbox::new()),
+                DeliveryOrder::AsScheduled => DelayOutbox::Heap(EventQueue::new()),
+            },
             last_delivery: SimTime::ZERO,
             ordering,
         }

@@ -167,6 +167,15 @@ impl Path {
     /// Drain one packet that has fully traversed the path, if due.
     pub fn poll(&mut self, now: SimTime) -> Option<Packet> {
         self.apply_script_pause(now);
+        // Idle fast path: with nothing buffered and no stage due, the full
+        // cascade below is a guaranteed no-op — the bottleneck is advanced
+        // eagerly on enqueue/re-rate, so "nothing due" implies its lazy
+        // `advance` would not change state either — and the reorder retune
+        // can wait for a poll that actually offers packets (the window only
+        // gates `offer`, never the time-based flush).
+        if self.ready.is_empty() && self.next_wake().is_none_or(|w| w > now) {
+            return None;
+        }
         // Scripted reorder windows retune the exit stage.
         if let (Some(r), Some(s)) = (self.reorder.as_mut(), self.script.as_ref()) {
             match s.reorder_params(now) {
@@ -201,6 +210,42 @@ impl Path {
         self.ready.pop_front()
     }
 
+    /// Drain every packet deliverable at `now` into `out`, in the exact
+    /// order repeated [`poll`](Self::poll) calls would return them — but
+    /// with one script-pause application, one reorder retune and one
+    /// bottleneck→WAN cascade for the whole batch instead of one per
+    /// delivered packet. The hot receive loop drains a few packets per
+    /// visited tick, so the per-call overhead is worth amortising.
+    pub fn drain_due(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        self.apply_script_pause(now);
+        if self.ready.is_empty() && self.next_wake().is_none_or(|w| w > now) {
+            return;
+        }
+        if let (Some(r), Some(s)) = (self.reorder.as_mut(), self.script.as_ref()) {
+            match s.reorder_params(now) {
+                Some((prob, disp)) => r.set_window(prob, disp),
+                None => r.clear_window(),
+            }
+        }
+        while let Some((exit, p)) = self.bottleneck.poll_with_time(now) {
+            let exit = match self.script.as_ref() {
+                Some(s) => exit + s.extra_delay(exit),
+                None => exit,
+            };
+            self.wan.enqueue(exit, p);
+        }
+        out.extend(self.ready.drain(..));
+        while let Some(p) = self.wan.poll(now) {
+            match self.reorder.as_mut() {
+                Some(r) => out.extend(r.offer(now, p)),
+                None => out.push(p),
+            }
+        }
+        if let Some(r) = self.reorder.as_mut() {
+            out.extend(r.flush_due(now));
+        }
+    }
+
     /// The earliest instant `poll` could make progress.
     pub fn next_wake(&self) -> Option<SimTime> {
         let held = self.reorder.as_ref().and_then(|r| r.next_release());
@@ -208,6 +253,18 @@ impl Path {
             .into_iter()
             .flatten()
             .min()
+    }
+
+    /// Like [`next_wake`](Self::next_wake), additionally folding in the
+    /// next scripted timed-blackout start after `now`: an adaptive driver
+    /// must visit that instant so the serialiser stall is applied exactly
+    /// when a per-tick driver would apply it.
+    pub fn next_wake_scripted(&self, now: SimTime) -> Option<SimTime> {
+        let edge = self
+            .script
+            .as_ref()
+            .and_then(|s| s.next_blackout_start(now));
+        [self.next_wake(), edge].into_iter().flatten().min()
     }
 
     /// Re-rate the bottleneck (radio capacity changed).

@@ -361,16 +361,38 @@ pub struct OutageScheduler {
     rng: SimRng,
     position: Option<(f64, f64, f64)>,
     stats: ScriptStats,
+    /// Clause-kind presence flags, fixed at construction. The hosting
+    /// [`Path`](crate::path::Path) queries blackout/reorder/delay state on
+    /// every poll; a script that carries none of a given clause kind can
+    /// answer without scanning the clause list.
+    has_timed_blackout: bool,
+    has_reorder: bool,
+    has_delay_spike: bool,
 }
 
 impl OutageScheduler {
     /// Build a scheduler for `script`, drawing loss decisions from `rng`.
     pub fn new(script: FaultScript, rng: SimRng) -> Self {
+        let has_timed_blackout = script
+            .clauses
+            .iter()
+            .any(|c| matches!(c, FaultClause::Blackout { .. }));
+        let has_reorder = script
+            .clauses
+            .iter()
+            .any(|c| matches!(c, FaultClause::Reorder { .. }));
+        let has_delay_spike = script
+            .clauses
+            .iter()
+            .any(|c| matches!(c, FaultClause::DelaySpike { .. }));
         OutageScheduler {
             script,
             rng,
             position: None,
             stats: ScriptStats::default(),
+            has_timed_blackout,
+            has_reorder,
+            has_delay_spike,
         }
     }
 
@@ -401,7 +423,7 @@ impl OutageScheduler {
                     }
                 }
                 FaultClause::Loss { prob, kind, .. } => {
-                    if kind.map_or(true, |k| packet.kind == k) && self.rng.chance(*prob) {
+                    if kind.is_none_or(|k| packet.kind == k) && self.rng.chance(*prob) {
                         self.stats.loss_dropped += 1;
                         return false;
                     }
@@ -438,13 +460,13 @@ impl OutageScheduler {
             }
             match clause {
                 FaultClause::Duplicate { prob, kind, .. }
-                    if kind.map_or(true, |k| packet.kind == k) && self.rng.chance(*prob) =>
+                    if kind.is_none_or(|k| packet.kind == k) && self.rng.chance(*prob) =>
                 {
                     duplicate = true;
                     self.stats.duplicated += 1;
                 }
                 FaultClause::Corrupt { prob, kind, .. }
-                    if kind.map_or(true, |k| packet.kind == k) && self.rng.chance(*prob) =>
+                    if kind.is_none_or(|k| packet.kind == k) && self.rng.chance(*prob) =>
                 {
                     crate::fault::corrupt_payload(packet, &mut self.rng);
                     self.stats.corrupted += 1;
@@ -459,6 +481,9 @@ impl OutageScheduler {
     /// window at `now` (`None` when no reorder window is active; the
     /// first active clause in declaration order wins).
     pub fn reorder_params(&self, now: SimTime) -> Option<(f64, u64)> {
+        if !self.has_reorder {
+            return None;
+        }
         self.script.clauses.iter().find_map(|c| match c {
             FaultClause::Reorder {
                 from,
@@ -482,6 +507,9 @@ impl OutageScheduler {
 
     /// End of the latest currently-active *timed* blackout window, if any.
     pub fn blackout_until(&self, now: SimTime) -> Option<SimTime> {
+        if !self.has_timed_blackout {
+            return None;
+        }
         self.script
             .clauses
             .iter()
@@ -494,8 +522,32 @@ impl OutageScheduler {
             .max()
     }
 
+    /// Start of the next *timed* blackout window strictly after `now`, if
+    /// any. Hosts driving the path on an adaptive clock use this as a wake
+    /// edge: the serialiser stall must be applied at the same instant a
+    /// per-tick driver would apply it (the pause arithmetic depends on the
+    /// application time when a packet is in service). Positional coverage
+    /// holes need no edge — they only screen packets at enqueue time and
+    /// positions change at radio ticks, which are always visited.
+    pub fn next_blackout_start(&self, now: SimTime) -> Option<SimTime> {
+        if !self.has_timed_blackout {
+            return None;
+        }
+        self.script
+            .clauses
+            .iter()
+            .filter_map(|c| match c {
+                FaultClause::Blackout { from, .. } if *from > now => Some(*from),
+                _ => None,
+            })
+            .min()
+    }
+
     /// Total extra one-way delay from active delay-spike clauses at `now`.
     pub fn extra_delay(&self, now: SimTime) -> SimDuration {
+        if !self.has_delay_spike {
+            return SimDuration::ZERO;
+        }
         let mut extra = SimDuration::ZERO;
         for c in self.script.clauses.iter() {
             if let FaultClause::DelaySpike {

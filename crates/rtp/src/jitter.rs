@@ -10,11 +10,63 @@
 //! latency grows); with `drop-on-latency` enabled packets older than the
 //! target are discarded so the pilot always sees the freshest frame.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use rpav_sim::{SimDuration, SimTime};
 
 use crate::packet::{unwrap_seq, RtpPacket, VIDEO_CLOCK_HZ};
+
+/// Fibonacci-multiplicative hasher for the dedup set: keys are dense
+/// unwrapped sequence numbers probed once per media packet, where SipHash
+/// is measurable overhead and HashDoS resistance buys nothing.
+#[derive(Clone, Copy, Default)]
+struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type SeqSet = HashSet<u64, BuildHasherDefault<SeqHasher>>;
+
+/// One buffered packet, ordered by (playout time, unwrapped seq) — the
+/// same lexicographic order the original `BTreeMap` keying released in.
+/// Unwrapped seqs are unique in the queue (duplicates are rejected on
+/// push), so the order is total and pops are deterministic.
+#[derive(Debug)]
+struct QueuedPacket {
+    playout: SimTime,
+    unwrapped: u64,
+    packet: RtpPacket,
+}
+
+impl PartialEq for QueuedPacket {
+    fn eq(&self, other: &Self) -> bool {
+        (self.playout, self.unwrapped) == (other.playout, other.unwrapped)
+    }
+}
+impl Eq for QueuedPacket {}
+impl PartialOrd for QueuedPacket {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedPacket {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.playout, self.unwrapped).cmp(&(other.playout, other.unwrapped))
+    }
+}
 
 /// Jitter buffer configuration.
 #[derive(Clone, Copy, Debug)]
@@ -56,8 +108,13 @@ pub struct JitterBuffer {
     config: JitterConfig,
     /// Media timestamp ↔ wall-clock anchor from the first packet.
     base: Option<(u32, SimTime)>,
-    /// Buffered packets keyed by (playout time, unwrapped seq).
-    queue: BTreeMap<(SimTime, u64), RtpPacket>,
+    /// Buffered packets, min-first on (playout time, unwrapped seq). The
+    /// heap's backing storage is reused across pops, so steady-state
+    /// buffering allocates nothing.
+    queue: BinaryHeap<Reverse<QueuedPacket>>,
+    /// Unwrapped seqs currently buffered — O(1) duplicate detection
+    /// (previously an O(n) scan of the queue keys per arriving packet).
+    buffered: SeqSet,
     last_unwrapped: Option<u64>,
     /// Highest unwrapped seq delivered (duplicate detection watermark).
     delivered_max: Option<u64>,
@@ -70,7 +127,8 @@ impl JitterBuffer {
         JitterBuffer {
             config,
             base: None,
-            queue: BTreeMap::new(),
+            queue: BinaryHeap::new(),
+            buffered: SeqSet::default(),
             last_unwrapped: None,
             delivered_max: None,
             stats: JitterStats::default(),
@@ -131,7 +189,7 @@ impl JitterBuffer {
 
         // Duplicate detection: already buffered, or at-or-below the
         // delivery watermark.
-        if self.queue.keys().any(|(_, s)| *s == unwrapped)
+        if self.buffered.contains(&unwrapped)
             || self.delivered_max.map(|d| unwrapped <= d).unwrap_or(false)
         {
             self.stats.duplicates += 1;
@@ -140,44 +198,51 @@ impl JitterBuffer {
 
         self.stats.pushed += 1;
         let playout = self.playout_time(&packet, now);
-        if playout <= now {
+        let playout = if playout <= now {
             self.stats.late += 1;
             if self.config.drop_on_latency {
                 self.stats.dropped_late += 1;
                 return;
             }
             // Deliver as soon as possible, keeping order.
-            self.queue.insert((now, unwrapped), packet);
+            now
         } else {
-            self.queue.insert((playout, unwrapped), packet);
-        }
+            playout
+        };
+        self.buffered.insert(unwrapped);
+        self.queue.push(Reverse(QueuedPacket {
+            playout,
+            unwrapped,
+            packet,
+        }));
     }
 
     /// Pop the next packet whose playout time has arrived.
     pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, RtpPacket)> {
-        let (&(playout, _), _) = self.queue.iter().next()?;
-        if playout > now {
+        if self.queue.peek()?.0.playout > now {
             return None;
         }
-        let ((playout, unwrapped), packet) = self.queue.pop_first()?;
+        let Reverse(q) = self.queue.pop()?;
+        self.buffered.remove(&q.unwrapped);
         self.stats.delivered += 1;
         self.delivered_max = Some(
             self.delivered_max
-                .map(|d| d.max(unwrapped))
-                .unwrap_or(unwrapped),
+                .map(|d| d.max(q.unwrapped))
+                .unwrap_or(q.unwrapped),
         );
-        Some((playout, packet))
+        Some((q.playout, q.packet))
     }
 
     /// Earliest pending playout instant.
     pub fn next_wake(&self) -> Option<SimTime> {
-        self.queue.keys().next().map(|(t, _)| *t)
+        self.queue.peek().map(|q| q.0.playout)
     }
 
     /// Discard everything buffered (e.g. on stream reset). Returns count.
     pub fn clear(&mut self) -> usize {
         let n = self.queue.len();
         self.queue.clear();
+        self.buffered.clear();
         n
     }
 }
@@ -196,6 +261,7 @@ mod tests {
             ssrc: 1,
             transport_seq: None,
             payload: Bytes::from_static(b"x"),
+            wire: None,
         }
     }
 

@@ -43,6 +43,7 @@ pub mod pli;
 pub mod report;
 pub mod rfc8888;
 pub mod rtx;
+pub mod seqwindow;
 pub mod twcc;
 
 pub use error::ParseError;

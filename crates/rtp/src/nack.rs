@@ -340,6 +340,37 @@ impl NackGenerator {
         })
     }
 
+    /// Earliest future instant at which [`poll`](Self::poll) could act:
+    /// abandon a chased gap (deadline/retry edges) or emit a NACK batch
+    /// (debounce + per-sequence re-request edges). `None` when nothing is
+    /// being chased, in which case `poll` stays a no-op until the next gap
+    /// is detected. Edges may be conservative (at or before the true
+    /// instant); early polls are no-ops.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        if self.missing.is_empty() {
+            return None;
+        }
+        let rtt = self.rtt_hint + self.config.deadline_margin;
+        let mut abandon: Option<SimTime> = None;
+        let mut request: Option<SimTime> = None;
+        for m in self.missing.values() {
+            let a = if m.retries >= self.config.max_retries {
+                SimTime::ZERO // exhausted: the very next poll abandons it
+            } else {
+                (m.detected + self.config.playout_budget) - rtt
+            };
+            abandon = Some(abandon.map_or(a, |x| x.min(a)));
+            if m.retries < self.config.max_retries {
+                request = Some(request.map_or(m.next_request, |x| x.min(m.next_request)));
+            }
+        }
+        let emit = request.map(|r| r.max(self.next_nack_at));
+        match (abandon, emit) {
+            (Some(a), Some(e)) => Some(a.min(e)),
+            (a, e) => a.or(e),
+        }
+    }
+
     fn gc(&mut self, highest: u64) {
         let floor = highest.saturating_sub(TRACK_WINDOW);
         self.missing = self.missing.split_off(&floor);

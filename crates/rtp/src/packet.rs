@@ -12,7 +12,7 @@ pub const VIDEO_CLOCK_HZ: u32 = 90_000;
 pub const TWCC_EXT_ID: u8 = 5;
 
 /// A parsed RTP packet.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct RtpPacket {
     /// Marker bit — set on the last packet of a video frame.
     pub marker: bool,
@@ -28,38 +28,91 @@ pub struct RtpPacket {
     pub transport_seq: Option<u16>,
     /// Media payload.
     pub payload: Bytes,
+    /// Pre-built wire image, when the constructor produced one (the
+    /// packetizer builds header and payload in a single buffer). Must be
+    /// reset to `None` whenever any other field is mutated — it is the
+    /// exact serialisation of the packet, and [`RtpPacket::serialize`]
+    /// returns it without re-encoding. Not part of packet equality.
+    pub wire: Option<Bytes>,
 }
+
+/// Header length on the wire: 12 fixed bytes, plus 8 when the
+/// transport-wide extension is attached.
+pub fn header_len(with_twcc: bool) -> usize {
+    if with_twcc {
+        20
+    } else {
+        12
+    }
+}
+
+/// Append the RTP header (and the TWCC extension, if any) to `b` —
+/// shared by [`RtpPacket::serialize`] and the packetizer's single-buffer
+/// wire construction, so both spell bytes identically.
+pub fn write_header(
+    b: &mut BytesMut,
+    marker: bool,
+    payload_type: u8,
+    sequence: u16,
+    timestamp: u32,
+    ssrc: u32,
+    transport_seq: Option<u16>,
+) {
+    let has_ext = transport_seq.is_some();
+    let v_p_x_cc: u8 = (2 << 6) | ((has_ext as u8) << 4);
+    b.put_u8(v_p_x_cc);
+    b.put_u8(((marker as u8) << 7) | (payload_type & 0x7f));
+    b.put_u16(sequence);
+    b.put_u32(timestamp);
+    b.put_u32(ssrc);
+    if let Some(tw) = transport_seq {
+        // RFC 5285 one-byte header: profile 0xBEDE, length in words.
+        b.put_u16(0xBEDE);
+        b.put_u16(1); // one 32-bit word of extension data
+        b.put_u8((TWCC_EXT_ID << 4) | 1); // id + (len - 1 = 1 → 2 bytes)
+        b.put_u16(tw);
+        b.put_u8(0); // padding to word boundary
+    }
+}
+
+impl PartialEq for RtpPacket {
+    /// Semantic equality: the wire cache is a serialisation artefact, not
+    /// part of the packet's identity (a parsed packet never carries one).
+    fn eq(&self, other: &Self) -> bool {
+        self.marker == other.marker
+            && self.payload_type == other.payload_type
+            && self.sequence == other.sequence
+            && self.timestamp == other.timestamp
+            && self.ssrc == other.ssrc
+            && self.transport_seq == other.transport_seq
+            && self.payload == other.payload
+    }
+}
+
+impl Eq for RtpPacket {}
 
 impl RtpPacket {
     /// Serialised size in bytes.
     pub fn wire_size(&self) -> usize {
-        let mut n = 12 + self.payload.len();
-        if self.transport_seq.is_some() {
-            // 4 (extension header) + 1 (one-byte ext header) + 2 (seq) +
-            // 1 padding to a 32-bit boundary.
-            n += 8;
-        }
-        n
+        header_len(self.transport_seq.is_some()) + self.payload.len()
     }
 
-    /// Serialise to wire format.
+    /// Serialise to wire format. Free when the packet carries a pre-built
+    /// wire image; otherwise encodes header + payload into a fresh buffer.
     pub fn serialize(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(self.wire_size());
-        let has_ext = self.transport_seq.is_some();
-        let v_p_x_cc: u8 = (2 << 6) | ((has_ext as u8) << 4);
-        b.put_u8(v_p_x_cc);
-        b.put_u8(((self.marker as u8) << 7) | (self.payload_type & 0x7f));
-        b.put_u16(self.sequence);
-        b.put_u32(self.timestamp);
-        b.put_u32(self.ssrc);
-        if let Some(tw) = self.transport_seq {
-            // RFC 5285 one-byte header: profile 0xBEDE, length in words.
-            b.put_u16(0xBEDE);
-            b.put_u16(1); // one 32-bit word of extension data
-            b.put_u8((TWCC_EXT_ID << 4) | 1); // id + (len - 1 = 1 → 2 bytes)
-            b.put_u16(tw);
-            b.put_u8(0); // padding to word boundary
+        if let Some(w) = &self.wire {
+            return w.clone();
         }
+        let mut b = BytesMut::with_capacity(self.wire_size());
+        write_header(
+            &mut b,
+            self.marker,
+            self.payload_type,
+            self.sequence,
+            self.timestamp,
+            self.ssrc,
+            self.transport_seq,
+        );
         b.extend_from_slice(&self.payload);
         b.freeze()
     }
@@ -138,6 +191,10 @@ impl RtpPacket {
             ssrc,
             transport_seq,
             payload: data,
+            // Never cache the input as the wire image: serialisation is
+            // canonical, while inputs may carry CSRCs or foreign
+            // extensions that `serialize` would not reproduce.
+            wire: None,
         })
     }
 }
@@ -175,6 +232,7 @@ mod tests {
             ssrc: 0xDEADBEEF,
             transport_seq,
             payload: Bytes::from_static(b"frame-data"),
+            wire: None,
         }
     }
 
@@ -256,6 +314,7 @@ mod tests {
                 ssrc,
                 transport_seq: tw,
                 payload: Bytes::from(payload),
+                wire: None,
             };
             let parsed = RtpPacket::parse(p.serialize()).unwrap();
             prop_assert_eq!(parsed, p);

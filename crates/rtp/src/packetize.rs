@@ -11,7 +11,7 @@ use rpav_sim::SimTime;
 use std::collections::BTreeMap;
 
 use crate::error::ParseError;
-use crate::packet::{unwrap_seq, RtpPacket, VIDEO_CLOCK_HZ};
+use crate::packet::{header_len, unwrap_seq, write_header, RtpPacket, VIDEO_CLOCK_HZ};
 
 /// Ground-truth metadata embedded in every packet of a frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,19 +38,6 @@ pub const MAX_FRAME_JUMP: u64 = 4_096;
 /// Maximum RTP payload per packet (typical 1200 B media payload budget,
 /// leaving room for RTP/UDP/IP overhead within a 1500 B MTU).
 pub const MAX_PAYLOAD: usize = 1_200;
-
-fn encode_meta(meta: &FrameMeta, frag_index: u16, frag_count: u16, fill: usize) -> Bytes {
-    let mut b = BytesMut::with_capacity(META_LEN + fill);
-    b.put_u64(meta.frame_number);
-    b.put_u64(meta.encode_time.as_micros());
-    b.put_u8(meta.keyframe as u8);
-    b.put_u32(meta.frame_bytes);
-    b.put_u16(frag_index);
-    b.put_u16(frag_count);
-    // Stand-in for the actual H.264 bitstream bytes.
-    b.resize(META_LEN + fill, 0xAB);
-    b.freeze()
-}
 
 /// Decode the per-packet metadata header from an RTP payload. Total: any
 /// byte string yields a value or a typed [`ParseError`] — public so the
@@ -126,26 +113,71 @@ impl Packetizer {
         let ts = ((capture_time.as_micros() as u128 * VIDEO_CLOCK_HZ as u128 / 1_000_000) as u64
             & 0xffff_ffff) as u32;
         let mut out = Vec::with_capacity(count);
+        let hdr = header_len(self.with_twcc);
+        // Header, metadata and stand-in bitstream for the WHOLE frame go
+        // into ONE buffer: each packet's payload and cached wire image are
+        // zero-copy views of it, and `serialize` later returns the cached
+        // wire without touching the bytes again (the media hot path used to
+        // allocate per packet here, then allocate and copy it all over
+        // again on send). Fragment i starts at `i * frag_len` because every
+        // fragment but the last carries a full `budget` of fill.
+        let frag_len = hdr + META_LEN + budget;
+        let base_seq = self.next_seq;
+        let base_transport_seq = self.next_transport_seq;
+        let mut b = BytesMut::with_capacity(
+            (count - 1) * frag_len + hdr + META_LEN + total - budget * (count - 1),
+        );
         for i in 0..count {
             let fill = if i == count - 1 {
                 total - budget * (count - 1)
             } else {
                 budget
             };
-            let payload = encode_meta(&meta, i as u16, count as u16, fill);
-            out.push(RtpPacket {
-                marker: i == count - 1,
-                payload_type: 96,
-                sequence: self.next_seq,
-                timestamp: ts,
-                ssrc: self.ssrc,
-                transport_seq: self.with_twcc.then_some(self.next_transport_seq),
-                payload,
-            });
+            let marker = i == count - 1;
+            let transport_seq = self.with_twcc.then_some(self.next_transport_seq);
+            let start = b.len();
+            write_header(
+                &mut b,
+                marker,
+                96,
+                self.next_seq,
+                ts,
+                self.ssrc,
+                transport_seq,
+            );
+            b.put_u64(meta.frame_number);
+            b.put_u64(meta.encode_time.as_micros());
+            b.put_u8(meta.keyframe as u8);
+            b.put_u32(meta.frame_bytes);
+            b.put_u16(i as u16);
+            b.put_u16(count as u16);
+            // Stand-in for the actual H.264 bitstream bytes.
+            b.resize(start + hdr + META_LEN + fill, 0xAB);
             self.next_seq = self.next_seq.wrapping_add(1);
             if self.with_twcc {
                 self.next_transport_seq = self.next_transport_seq.wrapping_add(1);
             }
+        }
+        let frame_wire = b.freeze();
+        for i in 0..count {
+            let start = i * frag_len;
+            let end = if i == count - 1 {
+                frame_wire.len()
+            } else {
+                start + frag_len
+            };
+            out.push(RtpPacket {
+                marker: i == count - 1,
+                payload_type: 96,
+                sequence: base_seq.wrapping_add(i as u16),
+                timestamp: ts,
+                ssrc: self.ssrc,
+                transport_seq: self
+                    .with_twcc
+                    .then_some(base_transport_seq.wrapping_add(i as u16)),
+                payload: frame_wire.slice(start + hdr..end),
+                wire: Some(frame_wire.slice(start..end)),
+            });
         }
         out
     }
@@ -258,6 +290,16 @@ impl Depacketizer {
     /// frames older than `flush_before` (the player gave up waiting).
     /// Frames come out in frame-number order.
     pub fn drain(&mut self, flush_before: u64) -> Vec<ReassembledFrame> {
+        // Fast path: nothing to release. The driver polls every tick but
+        // frames complete at frame cadence, so this almost always returns
+        // the empty `Vec` — which does not allocate.
+        if !self
+            .pending
+            .iter()
+            .any(|(k, f)| *k < flush_before || f.is_complete())
+        {
+            return Vec::new();
+        }
         let mut out = Vec::new();
         let keys: Vec<u64> = self.pending.keys().copied().collect();
         for k in keys {

@@ -15,8 +15,7 @@
 //! lowers its bitrate. The paper raised the span to 256 to soften this;
 //! both values are reproduced in the `ablation_ackspan` experiment.
 
-use std::collections::BTreeMap;
-
+use crate::seqwindow::SeqWindow;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rpav_sim::{SimDuration, SimTime};
 
@@ -157,7 +156,7 @@ impl Rfc8888Packet {
 /// received and never yet acknowledged.
 #[derive(Debug)]
 pub struct Rfc8888Builder {
-    arrivals: BTreeMap<u64, SimTime>,
+    arrivals: SeqWindow,
     highest: Option<u64>,
     /// Span limit per feedback packet (64 stock, 256 in the paper's
     /// mitigation).
@@ -169,7 +168,7 @@ impl Rfc8888Builder {
     pub fn new(max_reports: usize) -> Self {
         assert!(max_reports > 0);
         Rfc8888Builder {
-            arrivals: BTreeMap::new(),
+            arrivals: SeqWindow::new(),
             highest: None,
             max_reports,
         }
@@ -191,11 +190,11 @@ impl Rfc8888Builder {
         let highest = self.highest?;
         let begin = highest.saturating_sub(self.max_reports as u64 - 1);
         let reports = (begin..=highest)
-            .map(|s| match self.arrivals.get(&s) {
+            .map(|s| match self.arrivals.get(s) {
                 Some(t) => Rfc8888Report {
                     seq: (s & 0xffff) as u16,
                     received: true,
-                    ato: now.saturating_since(*t),
+                    ato: now.saturating_since(t),
                 },
                 None => Rfc8888Report {
                     seq: (s & 0xffff) as u16,
@@ -207,7 +206,7 @@ impl Rfc8888Builder {
         // Garbage-collect everything before the span; it can never be
         // reported again (this is precisely the information loss §4.2.1
         // analyses).
-        self.arrivals = self.arrivals.split_off(&begin);
+        self.arrivals.evict_below(begin);
         Some(Rfc8888Packet {
             report_ts: now,
             reports,

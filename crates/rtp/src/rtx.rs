@@ -141,6 +141,7 @@ impl RtxSender {
             };
             let mut rtx = pkt.clone();
             rtx.transport_seq = None;
+            rtx.wire = None; // stripped extension invalidates the cached wire
             let wire = rtx.wire_size() as f64;
             if self.budget_bytes < wire {
                 self.stats.budget_exhausted += 1;
@@ -170,6 +171,7 @@ mod tests {
             ssrc: 0x2,
             transport_seq: Some(seq),
             payload: Bytes::from(vec![0x5A; payload_len]),
+            wire: None,
         }
     }
 

@@ -1,0 +1,121 @@
+//! Dense arrival-time window keyed by unwrapped sequence number.
+//!
+//! The feedback recorders ([`twcc`](crate::twcc), [`rfc8888`](crate::rfc8888))
+//! store one arrival time per received media packet and read them back as
+//! contiguous range scans when a report is built. Keys are dense and nearly
+//! monotone and eviction only ever trims old sequences, so a deque of slots
+//! indexed from a moving base does everything their former `BTreeMap` did —
+//! without a tree insert on the per-packet hot path.
+
+use std::collections::VecDeque;
+
+use rpav_sim::SimTime;
+
+/// Map from unwrapped sequence number to arrival time, specialised for
+/// dense, forward-moving key ranges.
+#[derive(Clone, Debug, Default)]
+pub struct SeqWindow {
+    /// Sequence number stored in `slots[0]`. Meaningless while empty.
+    base: u64,
+    slots: VecDeque<Option<SimTime>>,
+}
+
+impl SeqWindow {
+    /// Create an empty window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `seq → t`. A sequence below the current base grows the window
+    /// backwards (bounded by real network displacement), so a reordered
+    /// straggler is never lost before it could still be reported.
+    pub fn insert(&mut self, seq: u64, t: SimTime) {
+        if self.slots.is_empty() {
+            self.base = seq;
+        } else if seq < self.base {
+            for _ in 0..(self.base - seq) {
+                self.slots.push_front(None);
+            }
+            self.base = seq;
+        }
+        let idx = (seq - self.base) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        self.slots[idx] = Some(t);
+    }
+
+    /// Arrival time recorded for `seq`, if any.
+    pub fn get(&self, seq: u64) -> Option<SimTime> {
+        if self.slots.is_empty() || seq < self.base {
+            return None;
+        }
+        *self.slots.get((seq - self.base) as usize)?
+    }
+
+    /// Forget every sequence strictly below `from` (the report just
+    /// emitted covered them; they can never be read again).
+    pub fn evict_below(&mut self, from: u64) {
+        while self.base < from && !self.slots.is_empty() {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        if self.slots.is_empty() {
+            self.base = from;
+        }
+    }
+
+    /// Number of slots currently held (including gaps).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut w = SeqWindow::new();
+        w.insert(100, SimTime::from_millis(1));
+        w.insert(102, SimTime::from_millis(3));
+        assert_eq!(w.get(100), Some(SimTime::from_millis(1)));
+        assert_eq!(w.get(101), None);
+        assert_eq!(w.get(102), Some(SimTime::from_millis(3)));
+        assert_eq!(w.get(99), None);
+        assert_eq!(w.get(103), None);
+    }
+
+    #[test]
+    fn backward_growth_keeps_stragglers() {
+        let mut w = SeqWindow::new();
+        w.insert(10, SimTime::from_millis(10));
+        w.insert(7, SimTime::from_millis(12));
+        assert_eq!(w.get(7), Some(SimTime::from_millis(12)));
+        assert_eq!(w.get(8), None);
+        assert_eq!(w.get(10), Some(SimTime::from_millis(10)));
+    }
+
+    #[test]
+    fn evict_trims_front_only() {
+        let mut w = SeqWindow::new();
+        for s in 0..10u64 {
+            w.insert(s, SimTime::from_millis(s));
+        }
+        w.evict_below(6);
+        assert_eq!(w.get(5), None);
+        assert_eq!(w.get(6), Some(SimTime::from_millis(6)));
+        assert_eq!(w.len(), 4);
+        // Evicting everything leaves a consistent empty window.
+        w.evict_below(100);
+        assert!(w.is_empty());
+        w.insert(100, SimTime::from_millis(1));
+        assert_eq!(w.get(100), Some(SimTime::from_millis(1)));
+    }
+}

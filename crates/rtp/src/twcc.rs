@@ -9,8 +9,7 @@
 //! time). The sender reconstructs per-packet arrival timestamps from this
 //! and feeds its bandwidth estimator.
 
-use std::collections::BTreeMap;
-
+use crate::seqwindow::SeqWindow;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rpav_sim::{SimDuration, SimTime};
 
@@ -297,7 +296,7 @@ impl TwccFeedback {
 /// everything since the previous report.
 #[derive(Debug, Default)]
 pub struct TwccRecorder {
-    arrivals: BTreeMap<u64, SimTime>,
+    arrivals: SeqWindow,
     last_unwrapped: Option<u64>,
     /// First sequence the next feedback will cover.
     next_base: u64,
@@ -332,13 +331,11 @@ impl TwccRecorder {
         }
         let base = self.next_base;
         let count = (last - base + 1).min(u16::MAX as u64 - 1) as usize;
-        let first_arrival = (base..base + count as u64)
-            .find_map(|s| self.arrivals.get(&s))
-            .copied()?;
+        let first_arrival = (base..base + count as u64).find_map(|s| self.arrivals.get(s))?;
         let reference_time_64ms = (first_arrival.as_micros() / 64_000) as u32;
         let ref_time = SimTime::from_micros(reference_time_64ms as u64 * 64_000);
         let arrivals = (base..base + count as u64)
-            .map(|s| self.arrivals.get(&s).map(|t| t.saturating_since(ref_time)))
+            .map(|s| self.arrivals.get(s).map(|t| t.saturating_since(ref_time)))
             .collect();
         let fb = TwccFeedback {
             base_seq: (base & 0xffff) as u16,
@@ -349,7 +346,7 @@ impl TwccRecorder {
         self.fb_count = self.fb_count.wrapping_add(1);
         self.next_base = base + count as u64;
         // Garbage-collect reported arrivals.
-        self.arrivals = self.arrivals.split_off(&self.next_base);
+        self.arrivals.evict_below(self.next_base);
         Some(fb)
     }
 }

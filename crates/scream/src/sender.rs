@@ -1,7 +1,7 @@
 //! The SCReAM sender: cwnd, pacing, RTP queue, feedback processing and
 //! media rate control.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use rpav_rtp::packet::{unwrap_seq, RtpPacket};
 use rpav_rtp::rfc8888::Rfc8888Packet;
@@ -75,6 +75,67 @@ pub struct ScreamStats {
     pub watchdog_expired: u64,
 }
 
+/// The outstanding-packet window. Sequences are inserted in strictly
+/// increasing order and mostly acknowledged from the front, so a sorted
+/// deque with ack tombstones replaces the former `BTreeMap`: O(1) insert,
+/// O(log n) ack lookup, and no tree rebalancing on the per-packet path.
+/// The front entry is always live (tombstones are compacted on ack), so
+/// the oldest outstanding send time is a single front read.
+#[derive(Debug, Default)]
+struct InFlightWindow {
+    /// (unwrapped seq, send time, wire size, acked) — sorted by seq.
+    q: VecDeque<(u64, SimTime, usize, bool)>,
+}
+
+impl InFlightWindow {
+    fn insert(&mut self, seq: u64, sent: SimTime, size: usize) {
+        debug_assert!(self.q.back().is_none_or(|&(s, ..)| s < seq));
+        self.q.push_back((seq, sent, size, false));
+    }
+
+    /// Acknowledge `seq`: returns its (send time, size) the first time,
+    /// `None` for unknown or already-removed sequences.
+    fn remove(&mut self, seq: u64) -> Option<(SimTime, usize)> {
+        let i = self.q.binary_search_by(|&(s, ..)| s.cmp(&seq)).ok()?;
+        let (_, sent, size, acked) = &mut self.q[i];
+        if *acked {
+            return None;
+        }
+        *acked = true;
+        let out = (*sent, *size);
+        while matches!(self.q.front(), Some(&(.., true))) {
+            self.q.pop_front();
+        }
+        Some(out)
+    }
+
+    /// Remove every live entry with sequence strictly below `begin`,
+    /// reporting each to `f` in ascending order.
+    fn remove_below(&mut self, begin: u64, mut f: impl FnMut(u64, usize)) {
+        while let Some(&(seq, _, size, acked)) = self.q.front() {
+            if seq >= begin {
+                break;
+            }
+            self.q.pop_front();
+            if !acked {
+                f(seq, size);
+            }
+        }
+    }
+
+    /// Keep live entries for which `f(send time, size)` is true; acked
+    /// tombstones are dropped along the way.
+    fn retain(&mut self, mut f: impl FnMut(SimTime, usize) -> bool) {
+        self.q
+            .retain(|&(_, sent, size, acked)| !acked && f(sent, size));
+    }
+
+    /// Send time of the oldest outstanding packet.
+    fn oldest_sent(&self) -> Option<SimTime> {
+        self.q.front().map(|&(_, sent, ..)| sent)
+    }
+}
+
 /// The sender-side congestion controller and RTP queue.
 #[derive(Debug)]
 pub struct ScreamSender {
@@ -82,7 +143,7 @@ pub struct ScreamSender {
     /// Congestion window (bytes).
     cwnd: f64,
     /// Outstanding packets: unwrapped seq → (send time, wire size).
-    in_flight: BTreeMap<u64, (SimTime, usize)>,
+    in_flight: InFlightWindow,
     bytes_in_flight: usize,
     last_seq_unwrapped: Option<u64>,
     /// Sender RTP queue (packetised frames awaiting transmission).
@@ -116,7 +177,7 @@ impl ScreamSender {
         ScreamSender {
             config,
             cwnd: (10 * config.mss) as f64,
-            in_flight: BTreeMap::new(),
+            in_flight: InFlightWindow::default(),
             bytes_in_flight: 0,
             last_seq_unwrapped: None,
             queue: VecDeque::new(),
@@ -180,9 +241,9 @@ impl ScreamSender {
             let timeout = self.watchdog.config().timeout;
             let mut freed = 0usize;
             let mut expired = 0u64;
-            self.in_flight.retain(|_, (sent, size)| {
-                if now.saturating_since(*sent) > timeout {
-                    freed += *size;
+            self.in_flight.retain(|sent, size| {
+                if now.saturating_since(sent) > timeout {
+                    freed += size;
                     expired += 1;
                     false
                 } else {
@@ -279,7 +340,7 @@ impl ScreamSender {
             Some(prev) => unwrap_seq(prev, packet.sequence),
         };
         self.last_seq_unwrapped = Some(self.last_seq_unwrapped.unwrap_or(unwrapped).max(unwrapped));
-        self.in_flight.insert(unwrapped, (now, packet.wire_size()));
+        self.in_flight.insert(unwrapped, now, packet.wire_size());
         self.bytes_in_flight += packet.wire_size();
         self.max_inflight = self.max_inflight.max(self.bytes_in_flight as f64);
         self.stats.sent += 1;
@@ -292,7 +353,33 @@ impl ScreamSender {
         let head = self.queue.front()?.wire_size();
         let deficit = (head as f64 - self.pace_budget).max(0.0);
         let wait = deficit * 8.0 / self.pace_bps();
-        Some(self.last_pace_refill + SimDuration::from_secs_f64(wait))
+        // A microsecond of guard: this inverts the forward token-bucket
+        // arithmetic in floating point, and waking a hair early is a no-op
+        // while waking late would miss the instant a per-tick driver sends.
+        Some(
+            self.last_pace_refill
+                + SimDuration::from_secs_f64(wait).saturating_sub(SimDuration::from_micros(1)),
+        )
+    }
+
+    /// Earliest instant [`on_tick`](Self::on_tick) could change state: a
+    /// starvation-watchdog edge, or — while starved — the next in-flight
+    /// expiry that frees probe-window space. `None` means `on_tick` is a
+    /// no-op at any future instant until other input (feedback, enqueue)
+    /// arrives. The instant may be conservative (at or before the true
+    /// edge); early calls are harmless no-ops.
+    pub fn next_tick_wake(&self) -> Option<SimTime> {
+        let mut wake = self.watchdog.next_wake();
+        if self.watchdog.state() == WatchdogState::Starved {
+            let timeout = self.watchdog.config().timeout;
+            // Sends are time-ordered by sequence, so the first entry holds
+            // the earliest send time and thus the earliest expiry.
+            if let Some(sent) = self.in_flight.oldest_sent() {
+                let expiry = sent + timeout;
+                wake = Some(wake.map_or(expiry, |w| w.min(expiry)));
+            }
+        }
+        wake
     }
 
     /// Process one RFC 8888 feedback packet.
@@ -330,17 +417,12 @@ impl ScreamSender {
         //    Ericsson implementation treats these as lost — the false-loss
         //    pathology of §4.2.1.
         let mut span_losses = 0u64;
-        let skipped: Vec<u64> = self
-            .in_flight
-            .range(..begin_unwrapped)
-            .map(|(k, _)| *k)
-            .collect();
-        for k in skipped {
-            if let Some((_, size)) = self.in_flight.remove(&k) {
-                self.bytes_in_flight = self.bytes_in_flight.saturating_sub(size);
-                span_losses += 1;
-            }
-        }
+        let mut span_freed = 0usize;
+        self.in_flight.remove_below(begin_unwrapped, |_, size| {
+            span_freed += size;
+            span_losses += 1;
+        });
+        self.bytes_in_flight = self.bytes_in_flight.saturating_sub(span_freed);
         self.stats.span_skipped += span_losses;
 
         // 2. Walk the reports: acks update OWD/RTT and release the window;
@@ -357,7 +439,7 @@ impl ScreamSender {
         for (i, report) in fb.reports.iter().enumerate() {
             let seq = begin_unwrapped + i as u64;
             if report.received {
-                if let Some((send_time, size)) = self.in_flight.remove(&seq) {
+                if let Some((send_time, size)) = self.in_flight.remove(seq) {
                     self.bytes_in_flight = self.bytes_in_flight.saturating_sub(size);
                     bytes_newly_acked += size;
                     let arrival = fb.report_ts - report.ato;
@@ -369,7 +451,7 @@ impl ScreamSender {
                     );
                 }
             } else if highest_received.map(|h| seq < h).unwrap_or(false) {
-                if let Some((_, size)) = self.in_flight.remove(&seq) {
+                if let Some((_, size)) = self.in_flight.remove(seq) {
                     self.bytes_in_flight = self.bytes_in_flight.saturating_sub(size);
                     reported_losses += 1;
                 }
@@ -461,6 +543,7 @@ mod tests {
             ssrc: 1,
             transport_seq: None,
             payload: Bytes::from(vec![0u8; size]),
+            wire: None,
         }
     }
 

@@ -194,6 +194,24 @@ impl FeedbackWatchdog {
         }
     }
 
+    /// The next instant at which [`on_tick`](Self::on_tick) can do anything
+    /// a later call would not reproduce: the starvation edge while
+    /// armed/recovering, or the next back-off step while starved. `None`
+    /// when disabled or before the first feedback (`on_tick` is a no-op at
+    /// any instant then). The returned instant may be conservative (at or
+    /// before the true edge); calling `on_tick` early is harmless because
+    /// the state machine only acts once `now` actually crosses the edge.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        if !self.config.enabled {
+            return None;
+        }
+        let last = self.last_feedback?;
+        match self.state {
+            WatchdogState::Armed | WatchdogState::Recovering => Some(last + self.config.timeout),
+            WatchdogState::Starved => Some(self.next_backoff),
+        }
+    }
+
     /// Register a processed feedback packet. `target_bps` is the
     /// controller's own (uncapped) target; the ramp releases once the cap
     /// clears it.

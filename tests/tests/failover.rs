@@ -31,6 +31,7 @@ fn pkt(seq: u16, timestamp: u32) -> RtpPacket {
         ssrc: 0x5EED,
         transport_seq: None,
         payload: bytes::Bytes::from(vec![0u8; 1_200]),
+        wire: None,
     }
 }
 

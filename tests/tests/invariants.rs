@@ -78,6 +78,7 @@ proptest! {
                     ssrc: 1,
                     transport_seq: None,
                     payload: Bytes::from_static(b"x"),
+                    wire: None,
                 },
             );
         }

@@ -103,6 +103,7 @@ fn valid_rtp(rng: &mut SimRng) -> RtpPacket {
             None
         },
         payload: random_payload(rng, 48),
+        wire: None,
     }
 }
 

@@ -177,6 +177,7 @@ fn malformed_wire_regression_corpus() {
         ssrc: 2,
         transport_seq: Some(9),
         payload: Bytes::from(&[1u8, 2, 3][..]),
+        wire: None,
     };
     let wire = rtp.serialize();
     for len in 0..wire.len() {

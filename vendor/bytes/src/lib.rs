@@ -57,6 +57,31 @@ impl Bytes {
         head
     }
 
+    /// A view of a sub-range of these bytes, sharing the same backing
+    /// allocation (no copy).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
