@@ -185,6 +185,11 @@ fn main() {
                         m.switches
                     );
                 }
+                MultipathScheme::Bonded => {
+                    // Not part of `MultipathScheme::all()` — the bonded
+                    // acceptance harness (`bonded_matrix`) owns this scheme.
+                    unreachable!("{tag}: bonded cell in the failover sweep");
+                }
                 MultipathScheme::Failover | MultipathScheme::SelectiveDuplicate => {
                     // The blackout kills the primary: the switching
                     // schemes must move — exactly once inside the fault

@@ -9,10 +9,11 @@
 //! * **allocs/packet** — heap allocations per media packet sent, counted
 //!   by a wrapping `#[global_allocator]` local to this binary.
 //!
-//! The default invocation measures both sweeps and writes one JSON object
-//! with a `full` section (paper-length flights, the tracked trajectory)
-//! and a `quick` section (1 s holds, the CI smoke). `--quick` (or
-//! `RPAV_PERF_QUICK=1`) measures only the quick sweep. `--check
+//! The default invocation measures the sweeps and writes one JSON object
+//! with a `full` section (paper-length flights, the tracked trajectory),
+//! a `quick` section (1 s holds, the CI smoke), and a `bonded` section
+//! (the two-leg bonded driver with FEC + repair armed, 1 s holds).
+//! `--quick` (or `RPAV_PERF_QUICK=1`) skips only the full sweep. `--check
 //! <baseline.json>` then compares cells/s of every section measured this
 //! run against the same section of the committed baseline and exits
 //! non-zero on a regression beyond 25 % (`RPAV_PERF_THRESHOLD=<percent>`
@@ -26,7 +27,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use rpav_bench::{paper_ccs, paper_config};
+use rpav_core::multipath::{run_multipath, MultipathScheme};
 use rpav_core::prelude::*;
+use rpav_sim::SimDuration;
 
 /// `System`, plus a relaxed allocation counter. `alloc`, `alloc_zeroed`
 /// and `realloc` all count — a reallocation is exactly the churn the
@@ -129,6 +132,46 @@ fn run_sweep(quick: bool) -> Measurement {
     }
 }
 
+/// One cold sweep of the bonded multipath driver: the three rural CCs
+/// with FEC armed and repair on (1 s holds) — the heaviest receive path
+/// in the tree (striping + parity recovery + reassembly window). The
+/// two-leg driver has no instrumented tick counter, so ticks come from
+/// its fixed 1 ms cadence over flight + drain: a stable denominator for
+/// trending ns/tick. `cells_per_s` is the gated number.
+fn run_bonded_sweep() -> Measurement {
+    let mut ticks = 0u64;
+    let mut packets = 0u64;
+    let mut cells = 0usize;
+    let alloc_start = ALLOCS.load(Ordering::Relaxed);
+    let wall_start = Instant::now();
+    for cc in paper_ccs(Environment::Rural) {
+        let cfg = ExperimentConfig::builder()
+            .cc(cc)
+            .seed(0xBE7C)
+            .hold_secs(1)
+            .fec_cap(0.25)
+            .repair(true)
+            .build();
+        let m = run_multipath(&cfg, MultipathScheme::Bonded);
+        ticks += (m.duration + SimDuration::from_secs(3)).as_millis_f64() as u64;
+        packets += m.media_sent + m.rtx_sent + m.fec_tx;
+        cells += 1;
+    }
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - alloc_start;
+    Measurement {
+        mode: "bonded",
+        cells,
+        wall_s,
+        cells_per_s: cells as f64 / wall_s,
+        ns_per_tick: wall_s * 1e9 / ticks as f64,
+        allocs_per_packet: allocs as f64 / packets as f64,
+        ticks,
+        packets,
+        allocs,
+    }
+}
+
 /// Pull `key` out of the named section of a flat two-level JSON object,
 /// without a JSON dependency.
 fn json_field(text: &str, section: &str, key: &str) -> Option<f64> {
@@ -183,6 +226,7 @@ fn main() {
         sections.push(run_sweep(false));
     }
     sections.push(run_sweep(true));
+    sections.push(run_bonded_sweep());
     for m in &sections {
         println!(
             "{:<5} {} cells in {:.2} s — {:.2} cells/s, {:.0} ns/tick, {:.2} allocs/packet",

@@ -21,7 +21,7 @@ use crate::metrics::{
 };
 
 /// Bump on any change to the byte layout below.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Magic prefix of every encoded blob.
 const MAGIC: &[u8; 4] = b"RPAV";
@@ -333,6 +333,7 @@ fn write_path_health(w: &mut ByteWriter, p: &PathHealthSummary) {
     w.u64(p.reports);
     w.opt(p.final_rtt_ms, |w, v| w.f64(v));
     w.opt(p.final_loss, |w, v| w.f64(v));
+    w.u64(p.tx_packets);
 }
 
 fn read_path_health(r: &mut ByteReader) -> Option<PathHealthSummary> {
@@ -344,6 +345,7 @@ fn read_path_health(r: &mut ByteReader) -> Option<PathHealthSummary> {
         reports: r.u64()?,
         final_rtt_ms: r.opt(|r| r.f64())?,
         final_loss: r.opt(|r| r.f64())?,
+        tx_packets: r.u64()?,
     })
 }
 
@@ -403,6 +405,9 @@ impl RunMetrics {
         w.u64(self.dup_tx_packets);
         w.u64(self.dup_tx_bytes);
         w.u64(self.path_reports_received);
+        w.u64(self.fec_tx);
+        w.u64(self.fec_recovered);
+        w.u64(self.reorder_buffered);
         w.into_bytes()
     }
 
@@ -466,6 +471,9 @@ impl RunMetrics {
             dup_tx_packets: r.u64()?,
             dup_tx_bytes: r.u64()?,
             path_reports_received: r.u64()?,
+            fec_tx: r.u64()?,
+            fec_recovered: r.u64()?,
+            reorder_buffered: r.u64()?,
         };
         if !r.exhausted() {
             return None;
@@ -536,7 +544,11 @@ mod tests {
                 reports: 160,
                 final_rtt_ms: Some(42.0),
                 final_loss: None,
+                tx_packets: 4_321,
             }],
+            fec_tx: 55,
+            fec_recovered: 7,
+            reorder_buffered: 31,
             ..RunMetrics::default()
         }
     }

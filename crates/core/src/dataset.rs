@@ -42,12 +42,13 @@ pub fn runs_csv(runs: &[DatasetRun<'_>]) -> String {
         "run,label,environment,operator,mobility,cc,seed,duration_s,\
          goodput_mbps,per,ho_count,stalls,distinct_cells,repair,\
          malformed,duplicates,late,nacks_sent,rtx_sent,rtx_recovered,\
-         rtx_late,repair_efficiency,switches,probes,dup_tx,dead_ms\n",
+         rtx_late,repair_efficiency,switches,probes,dup_tx,dead_ms,\
+         fec_tx,fec_recovered,reorder_buffered,leg0_share\n",
     );
     for (i, r) in runs.iter().enumerate() {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{:.1},{:.3},{:.6},{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{:.0}",
+            "{},{},{},{},{},{},{},{:.1},{:.3},{:.6},{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{:.0},{},{},{},{:.4}",
             i,
             r.config.label(),
             r.config.environment.name(),
@@ -74,6 +75,10 @@ pub fn runs_csv(runs: &[DatasetRun<'_>]) -> String {
             r.metrics.probes_sent,
             r.metrics.dup_tx_packets,
             r.metrics.path_dead_ms(),
+            r.metrics.fec_tx,
+            r.metrics.fec_recovered,
+            r.metrics.reorder_buffered,
+            r.metrics.leg_tx_share(0),
         );
     }
     out
@@ -242,13 +247,24 @@ mod tests {
                 to_leg: 1,
                 cause: crate::failover::SwitchCause::Starvation,
             }],
-            path_health: vec![crate::metrics::PathHealthSummary {
-                leg: 0,
-                time_dead: SimDuration::from_millis(1_250),
-                ..Default::default()
-            }],
+            path_health: vec![
+                crate::metrics::PathHealthSummary {
+                    leg: 0,
+                    time_dead: SimDuration::from_millis(1_250),
+                    tx_packets: 75,
+                    ..Default::default()
+                },
+                crate::metrics::PathHealthSummary {
+                    leg: 1,
+                    tx_packets: 25,
+                    ..Default::default()
+                },
+            ],
             probes_sent: 40,
             dup_tx_packets: 9,
+            fec_tx: 6,
+            fec_recovered: 2,
+            reorder_buffered: 4,
             ..Default::default()
         };
         (cfg, m)
@@ -269,13 +285,16 @@ mod tests {
         // counter values — malformed merges wire (4) and payload (1)
         // damage, and efficiency is recovered/requested = 15/20.
         assert!(r.contains("repair,malformed,duplicates,late,nacks_sent"));
-        assert!(r.contains(",rtx_late,repair_efficiency,switches,probes,dup_tx,dead_ms"));
+        assert!(r.contains(
+            ",rtx_late,repair_efficiency,switches,probes,dup_tx,dead_ms,\
+             fec_tx,fec_recovered,reorder_buffered,leg0_share"
+        ));
         assert!(
             r.lines()
                 .nth(1)
                 .unwrap()
-                .ends_with(",0,5,2,3,10,18,15,2,0.7500,1,40,9,1250"),
-            "repair/failover columns wrong: {}",
+                .ends_with(",0,5,2,3,10,18,15,2,0.7500,1,40,9,1250,6,2,4,0.7500"),
+            "repair/failover/bonding columns wrong: {}",
             r.lines().nth(1).unwrap()
         );
 

@@ -77,6 +77,7 @@ impl RunScheme {
             RunScheme::Multipath(MultipathScheme::Duplicate) => 2,
             RunScheme::Multipath(MultipathScheme::Failover) => 3,
             RunScheme::Multipath(MultipathScheme::SelectiveDuplicate) => 4,
+            RunScheme::Multipath(MultipathScheme::Bonded) => 5,
         }
     }
 }
@@ -445,6 +446,11 @@ impl Cell {
         w.f64(c.watchdog.floor_bps);
         w.f64(c.watchdog.ramp_factor);
         w.bool(c.repair);
+        w.opt(c.leg_cap_bps, |w, (a, b)| {
+            w.f64(a);
+            w.f64(b);
+        });
+        w.f64(c.fec_cap);
         w.u8(self.scheme.tag());
         for script in [
             &self.fault.uplink,
@@ -560,6 +566,22 @@ fn write_script(w: &mut ByteWriter, script: &FaultScript) {
                 w.f64(*y);
                 w.f64(*radius_m);
                 w.f64(*min_alt_m);
+            }
+            FaultClause::BurstLoss {
+                from,
+                until,
+                p_enter,
+                p_exit,
+                loss_bad,
+                kind,
+            } => {
+                w.u8(8);
+                w.time(*from);
+                w.time(*until);
+                w.f64(*p_enter);
+                w.f64(*p_exit);
+                w.f64(*loss_bad);
+                w.opt(*kind, |w, k| w.u8(kind_tag(k)));
             }
         }
     }

@@ -285,6 +285,19 @@ mod tests {
     }
 
     #[test]
+    fn controller_tolerates_non_monotonic_clock() {
+        let mut rig = Rig::new();
+        for t in 0..3_000 {
+            rig.tick(t, [Some(0.0), Some(0.0)]);
+        }
+        // A clock reading from the past (hostile replay, cross-leg skew
+        // in a caller): saturating deltas must neither panic nor switch.
+        let d = rig.ctl.on_tick(ms(100), [&rig.health[0], &rig.health[1]]);
+        assert!(d.is_none(), "switched on a backwards clock: {d:?}");
+        assert_eq!(rig.ctl.active(), 0);
+    }
+
+    #[test]
     fn no_switch_when_both_legs_dead() {
         let mut rig = Rig::new();
         for t in 0..6_000 {

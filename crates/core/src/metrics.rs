@@ -132,6 +132,10 @@ pub struct PathHealthSummary {
     pub final_rtt_ms: Option<f64>,
     /// Final smoothed loss fraction.
     pub final_loss: Option<f64>,
+    /// Media packets this leg carried uplink (first transmissions only;
+    /// duplicates and parity are counted by their own counters). The
+    /// bonded scheduler's per-leg tx share falls out of these.
+    pub tx_packets: u64,
 }
 
 /// Everything one run produces.
@@ -231,6 +235,14 @@ pub struct RunMetrics {
     pub dup_tx_bytes: u64,
     /// Per-path receiver reports the sender parsed.
     pub path_reports_received: u64,
+    /// XOR-parity packets transmitted (Bonded scheme).
+    pub fec_tx: u64,
+    /// Erased media packets rebuilt from parity before the NACK/RTX path
+    /// had to fire (Bonded scheme).
+    pub fec_recovered: u64,
+    /// Media arrivals accepted out of order by the cross-leg reassembly
+    /// buffer (sequence below the highest already seen).
+    pub reorder_buffered: u64,
 }
 
 impl RunMetrics {
@@ -249,6 +261,23 @@ impl RunMetrics {
             .iter()
             .map(|p| p.time_dead.as_millis_f64())
             .sum()
+    }
+
+    /// Fraction of first-transmission media packets carried by `leg`
+    /// (0 when the run recorded no per-leg transmissions — single-path
+    /// runs, or a bonded run that never sent).
+    pub fn leg_tx_share(&self, leg: u8) -> f64 {
+        let total: u64 = self.path_health.iter().map(|p| p.tx_packets).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mine: u64 = self
+            .path_health
+            .iter()
+            .filter(|p| p.leg == leg)
+            .map(|p| p.tx_packets)
+            .sum();
+        mine as f64 / total as f64
     }
 
     /// Mean goodput over the run (payload bits delivered / duration).

@@ -33,15 +33,18 @@
 //! CC state is carried, with the feedback-starvation watchdog providing
 //! the rate cut during the break (DESIGN.md §8).
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
 use rpav_lte::{NetworkProfile, Operator, RadioModel};
 use rpav_netem::{FaultScript, Packet, PacketKind, Path, ReorderConfig};
+use rpav_rtp::fec::{FecGroup, FecPacket, FEC_PAYLOAD_TYPE, MAX_FEC_GROUP};
 use rpav_rtp::jitter::{JitterBuffer, JitterConfig};
-use rpav_rtp::packet::RtpPacket;
+use rpav_rtp::nack::{Arrival, Nack, NackConfig, NackGenerator};
+use rpav_rtp::packet::{unwrap_seq, RtpPacket};
 use rpav_rtp::packetize::{Depacketizer, Packetizer};
 use rpav_rtp::report::PathReport;
 use rpav_rtp::rfc8888::Rfc8888Builder;
+use rpav_rtp::rtx::{RtxConfig, RtxSender};
 use rpav_rtp::twcc::TwccRecorder;
 use rpav_sim::{RngSet, SimDuration, SimTime};
 use rpav_uav::{profiles as uav_profiles, Position};
@@ -70,6 +73,31 @@ const PROBE_BYTES: usize = 64;
 /// report interval before an unmoving receiver counter reads as loss
 /// (below it, the leg may simply have had nothing to carry).
 const LOSS_MIN_TX: u64 = 10;
+/// SSRC of the media stream (and of the parity stream riding beside it);
+/// mirrors the packetizer's.
+const MEDIA_SSRC: u32 = 0x2;
+/// Bonded reassembly window: recent media packets retained for FEC
+/// recovery (bounded; old packets are past their playout deadline).
+const MEDIA_WINDOW_CAP: usize = 1024;
+/// How long a parity packet waits for its group before being abandoned —
+/// the playout deadline (the jitter buffer's 150 ms target): a packet
+/// recovered later than this would be dropped as late anyway.
+const FEC_RECOVERY_DEADLINE: SimDuration = SimDuration::from_millis(150);
+/// Adaptive FEC overhead ratio below which parity is not worth its
+/// framing bytes — the controller reads this as "off".
+const FEC_MIN_RATIO: f64 = 0.01;
+/// Redundancy bump applied while any leg is degraded or dead (elevated
+/// blackout risk even before the loss EWMA catches up).
+const FEC_RISK_BUMP: f64 = 0.05;
+/// Deficit-counter clamp: bounds how much burst credit one leg can bank.
+const DEFICIT_CLAMP: f64 = 8.0;
+/// Initial NACK hold while the parity layer is armed: a fresh hole is
+/// not retransmission-requested until this long after detection, so a
+/// parity packet closing the hole's group (group close + cross-leg skew,
+/// typically well under this) repairs it without spending the round
+/// trip. Holes the parity misses still get NACKed with over half the
+/// 150 ms playout budget left.
+const FEC_NACK_HOLD: SimDuration = SimDuration::from_millis(40);
 
 /// How packets are mapped onto the two operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,6 +113,12 @@ pub enum MultipathScheme {
     /// Failover plus duplication of keyframes and of packets sent while
     /// the active leg's health is impaired.
     SelectiveDuplicate,
+    /// Packet-level bonding: a deficit-weighted scheduler stripes each
+    /// frame's packets across every Up leg (weights from the per-leg
+    /// goodput/RTT/loss EWMAs), with loss-adaptive XOR-parity FEC groups
+    /// crossing legs; falls back to keyframe duplication when only one
+    /// leg is Up.
+    Bonded,
 }
 
 impl MultipathScheme {
@@ -95,10 +129,14 @@ impl MultipathScheme {
             MultipathScheme::Duplicate => "duplicate",
             MultipathScheme::Failover => "failover",
             MultipathScheme::SelectiveDuplicate => "sel-duplicate",
+            MultipathScheme::Bonded => "bonded",
         }
     }
 
-    /// All schemes, baseline first.
+    /// The original four schemes, baseline first. `Bonded` is not part of
+    /// this set — the standing campaign matrices (and their committed
+    /// baselines) enumerate these; the bonded acceptance harness addresses
+    /// [`MultipathScheme::Bonded`] explicitly.
     pub fn all() -> [MultipathScheme; 4] {
         [
             MultipathScheme::SinglePath,
@@ -135,6 +173,13 @@ struct Leg {
     dl_seq: u64,
     /// Media + probe packets the sender offered to this uplink.
     tx_offered: u64,
+    /// First-transmission media packets scheduled onto this leg (no
+    /// duplicates, probes, parity or retransmissions) — the numerator of
+    /// the per-leg tx share.
+    tx_media: u64,
+    /// `tx_offered` snapshot at the last bonded keep-warm probe check: a
+    /// leg whose counter did not move carried nothing and gets probed.
+    tx_at_probe: u64,
     // Receiver-side per-leg counters (media and probes alike).
     rx_highest_seq: u64,
     rx_count: u64,
@@ -165,6 +210,8 @@ impl Leg {
             tx_seq: 0,
             dl_seq: 0,
             tx_offered: 0,
+            tx_media: 0,
+            tx_at_probe: 0,
             rx_highest_seq: 0,
             rx_count: 0,
             rx_bytes: 0,
@@ -238,6 +285,67 @@ impl Leg {
     }
 }
 
+/// Deficit-scheduler weight of one leg: the smoothed goodput estimate
+/// derated by loss and penalized by RTT. A Dead leg weighs nothing.
+/// Unmeasured legs get optimistic priors — a fresh leg must be
+/// schedulable, not invisible, or it never produces the traffic that
+/// would measure it.
+fn bonded_weight(health: &PathHealth, now: SimTime) -> f64 {
+    if health.class(now) == HealthClass::Dead {
+        return 0.0;
+    }
+    let goodput = health.goodput_bps().unwrap_or(5e6).max(1e5);
+    let loss = health.loss().unwrap_or(0.0).clamp(0.0, 1.0);
+    let rtt = health.rtt_ms().unwrap_or(50.0).max(1.0);
+    goodput * (1.0 - loss).max(0.05) / (1.0 + rtt / 100.0)
+}
+
+/// Loss-adaptive FEC overhead ratio: ~2× the worst leg's loss EWMA plus a
+/// flat bump while any leg is impaired (blackout risk), clamped to the
+/// configured cap. Below [`FEC_MIN_RATIO`] the redundancy layer is off.
+fn fec_ratio(cap: f64, legs: &[Leg; 2], now: SimTime) -> f64 {
+    if cap <= 0.0 {
+        return 0.0;
+    }
+    let mut ratio = 0.0f64;
+    for leg in legs.iter() {
+        ratio = ratio.max(2.0 * leg.health.loss().unwrap_or(0.0));
+        if leg.health.class(now) != HealthClass::Healthy {
+            ratio = ratio.max(FEC_RISK_BUMP);
+        }
+    }
+    ratio.min(cap)
+}
+
+/// Close the accumulating FEC group and transmit its parity packet on the
+/// leg that carried the fewest of the group's members (maximal leg
+/// diversity: the parity should not share fate with the packets it
+/// protects), falling back to whichever leg is Up.
+#[allow(clippy::too_many_arguments)]
+fn emit_parity(
+    t: SimTime,
+    group: &mut FecGroup,
+    group_tx: &mut [u64; 2],
+    fec_seq: &mut u16,
+    up: [bool; 2],
+    legs: &mut [Leg; 2],
+    metrics: &mut RunMetrics,
+) {
+    let Some(fp) = group.build() else {
+        *group_tx = [0, 0];
+        return;
+    };
+    *fec_seq = fec_seq.wrapping_add(1);
+    let parity = fp.into_rtp(MEDIA_SSRC, *fec_seq);
+    let mut fl = usize::from(group_tx[0] > group_tx[1]);
+    if !up[fl] && up[1 - fl] {
+        fl = 1 - fl;
+    }
+    metrics.fec_tx += 1;
+    legs[fl].send_up(t, parity.serialize(), PacketKind::Media);
+    *group_tx = [0, 0];
+}
+
 /// Run the multipath experiment over the flight of `base`, under
 /// `base.cc`, with the chosen scheme. The primary operator (leg 0) is
 /// `base.operator`, the secondary (leg 1) the other one.
@@ -292,12 +400,42 @@ pub fn run_multipath_scripted(
     let mut seen: HashSet<u64> = HashSet::new();
     // CC feedback rides the leg of the most recent accepted media arrival.
     let mut last_media_leg = 0usize;
+    // Bonded cross-leg reassembly: a bounded window of recent media
+    // packets (fuel for FEC recovery), pending parity packets with their
+    // playout deadline, and the unwrapped-highest sequence for reorder
+    // accounting.
+    let mut media_window: VecDeque<RtpPacket> = VecDeque::new();
+    let mut fec_pending: VecDeque<(SimTime, FecPacket)> = VecDeque::new();
+    let mut highest_useq: Option<u64> = None;
+    // Loss-repair plumbing, active only when `base.repair` is set so the
+    // stock runs stay bit-identical.
+    // With bonded FEC armed, hold fresh NACKs long enough for parity to
+    // land: the retransmission path only chases holes FEC missed.
+    let fec_armed = scheme == MultipathScheme::Bonded && base.fec_cap > FEC_MIN_RATIO;
+    let mut nack_gen = base.repair.then(|| {
+        NackGenerator::new(NackConfig {
+            initial_hold: if fec_armed {
+                FEC_NACK_HOLD
+            } else {
+                SimDuration::ZERO
+            },
+            ..Default::default()
+        })
+    });
+    let mut rtx = base.repair.then(|| RtxSender::new(RtxConfig::default()));
 
     // Sender-side failover state.
     let mut controller = FailoverController::new(FailoverConfig::default());
     let mut next_probe = SimTime::ZERO;
-    // RTP sequences belonging to keyframes, for selective duplication.
+    // RTP sequences belonging to keyframes, for selective duplication and
+    // the bonded single-leg fallback.
     let mut keyframe_seqs: HashSet<u16> = HashSet::new();
+    // Bonded sender state: per-leg deficit counters, the accumulating FEC
+    // group with its per-leg tx split, and the parity sequence counter.
+    let mut deficit = [0.0f64; 2];
+    let mut fec_group = FecGroup::new();
+    let mut fec_group_tx = [0u64; 2];
+    let mut fec_seq: u16 = 0;
 
     let mut metrics = RunMetrics::default();
     let mut ref_intact = true;
@@ -318,7 +456,11 @@ pub fn run_multipath_scripted(
                 leg.uplink.set_position(pos.x, pos.y, pos.z);
                 leg.downlink.set_position(pos.x, pos.y, pos.z);
                 let s = leg.radio.step(t, &pos);
-                leg.uplink.set_rate_bps(t, s.uplink_capacity_bps.max(50e3));
+                let mut up_bps = s.uplink_capacity_bps;
+                if let Some((cap0, cap1)) = base.leg_cap_bps {
+                    up_bps = up_bps.min(if li == 0 { cap0 } else { cap1 });
+                }
+                leg.uplink.set_rate_bps(t, up_bps.max(50e3));
                 leg.downlink
                     .set_rate_bps(t, s.downlink_capacity_bps.max(50e3));
                 leg.uplink.set_extra_delay(s.retx_delay);
@@ -366,7 +508,12 @@ pub fn run_multipath_scripted(
         if t < flight_end {
             while let Some(frame) = encoder.poll(t) {
                 let packets = packetizer.packetize(frame.meta, frame.meta.encode_time);
-                if frame.meta.keyframe && scheme == MultipathScheme::SelectiveDuplicate {
+                if frame.meta.keyframe
+                    && matches!(
+                        scheme,
+                        MultipathScheme::SelectiveDuplicate | MultipathScheme::Bonded
+                    )
+                {
                     keyframe_seqs.extend(packets.iter().map(|p| p.sequence));
                     if keyframe_seqs.len() > 10_000 {
                         keyframe_seqs.clear(); // stale u16 identities
@@ -376,31 +523,128 @@ pub fn run_multipath_scripted(
             }
         }
 
-        // 4. CC-gated transmission onto the active leg, plus scheme-driven
-        // duplication onto the other one.
+        // 4. CC-gated transmission: bonded deficit-weighted striping, or
+        // the active leg plus scheme-driven duplication onto the other.
         let target = cc.on_tick(t);
         encoder.set_target_bitrate(target);
+        if let Some(r) = rtx.as_mut() {
+            r.refill(t, cc.target_bps());
+        }
+        let bonded_up = [
+            legs[0].health.class(t) != HealthClass::Dead,
+            legs[1].health.class(t) != HealthClass::Dead,
+        ];
+        let bonded_w = if scheme == MultipathScheme::Bonded {
+            [
+                bonded_weight(&legs[0].health, t),
+                bonded_weight(&legs[1].health, t),
+            ]
+        } else {
+            [0.0, 0.0]
+        };
+        let ratio = if scheme == MultipathScheme::Bonded {
+            fec_ratio(base.fec_cap, &legs, t)
+        } else {
+            0.0
+        };
+        // Cross-leg parity needs two legs worth of diversity; with one leg
+        // down the redundancy budget moves to keyframe duplication instead.
+        let fec_on = ratio >= FEC_MIN_RATIO && bonded_up[0] && bonded_up[1];
+        if !fec_on && !fec_group.is_empty() {
+            // The redundancy window closed mid-group (a leg died, or loss
+            // calmed down): emit the partial parity rather than abandoning
+            // the packets already folded in.
+            emit_parity(
+                t,
+                &mut fec_group,
+                &mut fec_group_tx,
+                &mut fec_seq,
+                bonded_up,
+                &mut legs,
+                &mut metrics,
+            );
+        }
+        let group_target = if fec_on {
+            ((1.0 / ratio).round() as usize).clamp(2, usize::from(MAX_FEC_GROUP))
+        } else {
+            usize::from(MAX_FEC_GROUP)
+        };
         while let Some(rtp) = cc.poll_transmit(t) {
             metrics.media_sent += 1;
+            if let Some(r) = rtx.as_mut() {
+                r.record(&rtp);
+            }
             let wire = rtp.serialize();
-            let dup = match scheme {
-                MultipathScheme::SinglePath | MultipathScheme::Failover => false,
-                MultipathScheme::Duplicate => true,
-                MultipathScheme::SelectiveDuplicate => {
-                    keyframe_seqs.remove(&rtp.sequence)
-                        || legs[active].health.class(t) != HealthClass::Healthy
+            if scheme == MultipathScheme::Bonded {
+                // Deficit-weighted pick: each leg accrues credit in
+                // proportion to its normalized weight; the richer account
+                // pays for this packet. Zero-weight (Dead) legs are
+                // skipped; with both dead, keep offering to leg 0 rather
+                // than dropping at the sender.
+                let pick = if bonded_w[0] <= 0.0 {
+                    usize::from(bonded_w[1] > 0.0)
+                } else if bonded_w[1] <= 0.0 {
+                    0
+                } else {
+                    let wsum = bonded_w[0] + bonded_w[1];
+                    deficit[0] += bonded_w[0] / wsum;
+                    deficit[1] += bonded_w[1] / wsum;
+                    let p = usize::from(deficit[1] > deficit[0]);
+                    deficit[p] -= 1.0;
+                    deficit[0] = deficit[0].clamp(-DEFICIT_CLAMP, DEFICIT_CLAMP);
+                    deficit[1] = deficit[1].clamp(-DEFICIT_CLAMP, DEFICIT_CLAMP);
+                    p
+                };
+                legs[pick].tx_media += 1;
+                legs[pick].send_up(t, wire.clone(), PacketKind::Media);
+                if fec_on {
+                    fec_group.push(&rtp);
+                    fec_group_tx[pick] += 1;
+                    if usize::from(fec_group.len()) >= group_target {
+                        emit_parity(
+                            t,
+                            &mut fec_group,
+                            &mut fec_group_tx,
+                            &mut fec_seq,
+                            bonded_up,
+                            &mut legs,
+                            &mut metrics,
+                        );
+                    }
+                } else if bonded_up[0] != bonded_up[1] && keyframe_seqs.remove(&rtp.sequence) {
+                    // Single-leg fallback: repeat keyframe packets on the
+                    // surviving leg — time diversity where leg diversity
+                    // is gone.
+                    metrics.dup_tx_packets += 1;
+                    metrics.dup_tx_bytes += wire.len() as u64;
+                    legs[pick].send_up(t, wire, PacketKind::Media);
                 }
-            };
-            legs[active].send_up(t, wire.clone(), PacketKind::Media);
-            if dup {
-                metrics.dup_tx_packets += 1;
-                metrics.dup_tx_bytes += wire.len() as u64;
-                legs[1 - active].send_up(t, wire, PacketKind::Media);
+            } else {
+                let dup = match scheme {
+                    MultipathScheme::SinglePath | MultipathScheme::Failover => false,
+                    MultipathScheme::Duplicate => true,
+                    MultipathScheme::SelectiveDuplicate => {
+                        keyframe_seqs.remove(&rtp.sequence)
+                            || legs[active].health.class(t) != HealthClass::Healthy
+                    }
+                    // Handled by the branch above; never reaches here.
+                    MultipathScheme::Bonded => false,
+                };
+                legs[active].tx_media += 1;
+                legs[active].send_up(t, wire.clone(), PacketKind::Media);
+                if dup {
+                    metrics.dup_tx_packets += 1;
+                    metrics.dup_tx_bytes += wire.len() as u64;
+                    legs[1 - active].send_up(t, wire, PacketKind::Media);
+                }
             }
         }
 
-        // 5. Standby keep-warm probes: the standby's health is only as
-        // fresh as the traffic crossing it.
+        // 5. Keep-warm probes: a leg's health is only as fresh as the
+        // traffic crossing it. Failover schemes probe the standby; bonded
+        // probes any leg the scheduler left idle since the last check
+        // (Dead legs especially — without traffic they could never
+        // recover).
         if scheme.probes_standby() && t >= next_probe {
             next_probe = t + PROBE_INTERVAL;
             metrics.probes_sent += 1;
@@ -409,6 +653,19 @@ pub fn run_multipath_scripted(
                 bytes::Bytes::from(vec![0u8; PROBE_BYTES]),
                 PacketKind::Probe,
             );
+        } else if scheme == MultipathScheme::Bonded && t >= next_probe {
+            next_probe = t + PROBE_INTERVAL;
+            for leg in legs.iter_mut() {
+                if leg.tx_offered == leg.tx_at_probe {
+                    metrics.probes_sent += 1;
+                    leg.send_up(
+                        t,
+                        bytes::Bytes::from(vec![0u8; PROBE_BYTES]),
+                        PacketKind::Probe,
+                    );
+                }
+                leg.tx_at_probe = leg.tx_offered;
+            }
         }
 
         // 6. Uplink arrivals at the server: per-leg wire accounting first
@@ -431,9 +688,31 @@ pub fn run_multipath_scripted(
                     metrics.malformed_packets += 1;
                     continue;
                 };
+                if scheme == MultipathScheme::Bonded && rtp.payload_type == FEC_PAYLOAD_TYPE {
+                    // Parity stream: queued against the playout deadline,
+                    // never enters the media pipeline itself.
+                    match FecPacket::parse_payload(rtp.payload.clone()) {
+                        Ok(fp) => fec_pending.push_back((t + FEC_RECOVERY_DEADLINE, fp)),
+                        Err(_) => metrics.malformed_packets += 1,
+                    }
+                    continue;
+                }
                 if !seen.insert(u64::from(rtp.sequence) | (u64::from(rtp.timestamp) << 16)) {
                     metrics.duplicate_packets += 1;
                     continue;
+                }
+                if let Some(ng) = nack_gen.as_mut() {
+                    match ng.on_packet(t, rtp.sequence) {
+                        Arrival::Stale => {
+                            metrics.duplicate_packets += 1;
+                            continue;
+                        }
+                        Arrival::Late => metrics.late_packets += 1,
+                        _ => {}
+                    }
+                    ng.set_rtt_hint(SimDuration::from_micros(
+                        (owd.as_millis_f64() * 2_000.0) as u64,
+                    ));
                 }
                 metrics.media_received += 1;
                 metrics.media_received_bytes += rtp.payload.len() as u64;
@@ -448,7 +727,73 @@ pub fn run_multipath_scripted(
                     CcMode::Scream { .. } => ccfb.on_packet(rtp.sequence, t),
                     CcMode::Static { .. } => {}
                 }
+                if scheme == MultipathScheme::Bonded {
+                    // Cross-leg reorder accounting on the unwrapped
+                    // sequence, then into the bounded reassembly window.
+                    match highest_useq {
+                        None => highest_useq = Some(u64::from(rtp.sequence)),
+                        Some(h) => {
+                            let u = unwrap_seq(h, rtp.sequence);
+                            if u < h {
+                                metrics.reorder_buffered += 1;
+                            } else {
+                                highest_useq = Some(u);
+                            }
+                        }
+                    }
+                    media_window.push_back(rtp.clone());
+                    if media_window.len() > MEDIA_WINDOW_CAP {
+                        media_window.pop_front();
+                    }
+                }
                 jitter.push(t, rtp);
+            }
+        }
+
+        // 6b. FEC recovery: parity packets one survivor short of their
+        // group are redeemed against the reassembly window — before the
+        // NACK/RTX path ever spends a round trip on the hole. Cascades to
+        // fixpoint (a recovered packet can complete another group);
+        // deadline-expired parity is dropped first.
+        if scheme == MultipathScheme::Bonded && !fec_pending.is_empty() {
+            fec_pending.retain(|(deadline, _)| *deadline >= t);
+            loop {
+                let mut recovered_any = false;
+                let mut i = 0;
+                while i < fec_pending.len() {
+                    let fp = &fec_pending[i].1;
+                    let survivors: Vec<&RtpPacket> = media_window
+                        .iter()
+                        .filter(|p| fp.covers(p.sequence))
+                        .collect();
+                    let Some(rec) = fp.recover(&survivors) else {
+                        i += 1;
+                        continue;
+                    };
+                    fec_pending.remove(i);
+                    recovered_any = true;
+                    if !seen.insert(u64::from(rec.sequence) | (u64::from(rec.timestamp) << 16)) {
+                        // The original landed after all (late copy or an
+                        // RTX won the race): nothing left to repair.
+                        continue;
+                    }
+                    metrics.fec_recovered += 1;
+                    metrics.media_received += 1;
+                    metrics.media_received_bytes += rec.payload.len() as u64;
+                    if let Some(ng) = nack_gen.as_mut() {
+                        // Cancels any pending retransmission request for
+                        // this sequence.
+                        ng.on_packet(t, rec.sequence);
+                    }
+                    media_window.push_back(rec.clone());
+                    if media_window.len() > MEDIA_WINDOW_CAP {
+                        media_window.pop_front();
+                    }
+                    jitter.push(t, rec);
+                }
+                if !recovered_any {
+                    break;
+                }
             }
         }
 
@@ -489,6 +834,18 @@ pub fn run_multipath_scripted(
         } else {
             next_cc_feedback = SimTime::MAX;
         }
+        if let Some(ng) = nack_gen.as_mut() {
+            if let Some(nack) = ng.poll(t) {
+                // Repair requests follow the CC feedback convention: ride
+                // the leg that last delivered media.
+                let leg = &mut legs[last_media_leg];
+                leg.dl_seq += 1;
+                leg.downlink.enqueue(
+                    t,
+                    Packet::new(leg.dl_seq, nack.serialize(), PacketKind::Feedback, t),
+                );
+            }
+        }
 
         // 8. Downlink arrivals at the sender: path reports feed health,
         // everything else is offered to the CC.
@@ -501,6 +858,16 @@ pub fn run_multipath_scripted(
                     metrics.path_reports_received += 1;
                     leg.on_report(t, report, pkt.sent_at);
                     continue;
+                }
+                if let Some(r) = rtx.as_mut() {
+                    if let Ok(nack) = Nack::parse(pkt.payload.clone()) {
+                        // Retransmissions ride the leg whose feedback
+                        // carried the request — known to be delivering.
+                        for p in r.on_nack(&nack) {
+                            leg.send_up(t, p.serialize(), PacketKind::Media);
+                        }
+                        continue;
+                    }
                 }
                 if !cc.on_feedback(pkt.payload.clone(), t) {
                     metrics.malformed_packets += 1;
@@ -516,7 +883,7 @@ pub fn run_multipath_scripted(
             for frame in depack.drain(highest.saturating_sub(2)) {
                 let n = frame.meta.frame_number;
                 if let Some(last) = last_to_player {
-                    if n > last + 1 {
+                    if n > last.saturating_add(1) {
                         ref_intact = false;
                     }
                 }
@@ -569,6 +936,21 @@ pub fn run_multipath_scripted(
         metrics.watchdog_recoveries = w.recoveries;
         metrics.watchdog_last_ramp = w.last_ramp;
     }
+    if let Some(ng) = &nack_gen {
+        let ns = ng.stats();
+        metrics.nacks_sent = ns.nacks_sent;
+        metrics.nack_seqs_requested = ns.seqs_requested;
+        metrics.rtx_recovered = ns.recovered;
+        metrics.rtx_late = ns.late_recovered;
+        metrics.nack_abandoned = ns.abandoned;
+    }
+    if let Some(r) = &rtx {
+        let rs = r.stats();
+        metrics.rtx_sent = rs.retransmitted;
+        metrics.rtx_bytes = rs.bytes_retransmitted;
+        metrics.rtx_budget_exhausted = rs.budget_exhausted;
+        metrics.rtx_not_in_history = rs.not_in_history;
+    }
     for (li, leg) in legs.iter().enumerate() {
         let (healthy, degraded, dead) = leg.health.time_in_class();
         metrics.path_health.push(PathHealthSummary {
@@ -579,6 +961,7 @@ pub fn run_multipath_scripted(
             reports: leg.health.reports(),
             final_rtt_ms: leg.health.rtt_ms(),
             final_loss: leg.health.loss(),
+            tx_packets: leg.tx_media,
         });
         metrics.script_dropped += leg.uplink.script_stats().map(|s| s.dropped()).unwrap_or(0)
             + leg
@@ -698,6 +1081,181 @@ mod tests {
             sel.dup_tx_packets,
             sel.media_sent
         );
+    }
+
+    #[test]
+    fn leg_report_counter_regression_is_harmless() {
+        use rpav_rtp::report::PathReport;
+        let cfg = base();
+        let rngs = RngSet::new(1);
+        let mut leg = Leg::new(cfg.operator, &cfg, &rngs, 0);
+        let t0 = SimTime::ZERO + SimDuration::from_millis(50);
+        leg.on_report(
+            t0,
+            PathReport {
+                leg: 0,
+                highest_seq: 1_000,
+                received: 900,
+                received_bytes: 1_000_000,
+                newest_owd_us: 40_000,
+            },
+            SimTime::ZERO,
+        );
+        // Hostile or cross-leg-reordered report: every counter regresses
+        // and the timestamps run backwards. Saturating deltas must
+        // neither panic nor poison the estimate.
+        leg.on_report(
+            SimTime::ZERO,
+            PathReport {
+                leg: 0,
+                highest_seq: 10,
+                received: 5,
+                received_bytes: 100,
+                newest_owd_us: u32::MAX,
+            },
+            t0,
+        );
+        assert!(leg.health.loss().is_none_or(|l| (0.0..=1.0).contains(&l)));
+    }
+
+    #[test]
+    fn bonded_splits_media_across_both_legs() {
+        let mut cfg = base();
+        cfg.hold = SimDuration::from_secs(4);
+        let m = run_multipath(&cfg, MultipathScheme::Bonded);
+        assert!(m.media_sent > 0);
+        let share0 = m.leg_tx_share(0);
+        let share1 = m.leg_tx_share(1);
+        assert!((share0 + share1 - 1.0).abs() < 1e-9);
+        // On two healthy legs the deficit scheduler stripes packets on
+        // both — neither leg starves, neither monopolizes.
+        assert!(
+            (0.15..=0.85).contains(&share0),
+            "leg 0 carried {share0:.2} of first transmissions"
+        );
+        // No parity without a redundancy budget.
+        assert_eq!(m.fec_tx, 0);
+        assert_eq!(m.fec_recovered, 0);
+    }
+
+    #[test]
+    fn bonded_goodput_exceeds_best_single_leg_under_asymmetric_caps() {
+        let mut cfg = ExperimentConfig::builder()
+            .cc(CcMode::paper_static(Environment::Rural))
+            .seed(0xD0A1)
+            .hold_secs(4)
+            .leg_caps(3.0e6, 2.5e6)
+            .build();
+        let bonded = run_multipath(&cfg, MultipathScheme::Bonded);
+        let single_a = run_multipath(&cfg, MultipathScheme::SinglePath);
+        // Best single leg: run single-path on the other leg by swapping
+        // the caps (single-path always rides leg 0).
+        cfg.leg_cap_bps = Some((2.5e6, 3.0e6));
+        let single_b = run_multipath(&cfg, MultipathScheme::SinglePath);
+        let best_single = single_a
+            .media_received_bytes
+            .max(single_b.media_received_bytes);
+        assert!(
+            bonded.media_received_bytes > best_single,
+            "bonded {} B !> best single leg {} B",
+            bonded.media_received_bytes,
+            best_single
+        );
+    }
+
+    #[test]
+    fn bonded_fec_recovers_losses_before_nack() {
+        let cfg = ExperimentConfig::builder()
+            .cc(CcMode::paper_static(Environment::Rural))
+            .seed(0xD0A1)
+            .hold_secs(4)
+            .fec_cap(0.25)
+            .repair(true)
+            .build();
+        let window_end = SimDuration::from_secs(30);
+        let script = || {
+            FaultScript::new().burst_loss_window(
+                SimTime::ZERO,
+                window_end,
+                0.05,
+                0.3,
+                0.5,
+                Some(PacketKind::Media),
+            )
+        };
+        let m = run_multipath_scripted(
+            &cfg,
+            MultipathScheme::Bonded,
+            Some(script()),
+            Some(script()),
+        );
+        assert!(m.script_dropped > 0, "burst script never dropped anything");
+        assert!(m.fec_tx > 0, "adaptive ratio never turned FEC on");
+        assert!(
+            m.fec_recovered > 0,
+            "no packet recovered ({} parity tx, {} dropped)",
+            m.fec_tx,
+            m.script_dropped
+        );
+    }
+
+    #[test]
+    fn bonded_falls_back_to_keyframe_duplication_on_one_leg() {
+        let cfg = ExperimentConfig::builder()
+            .cc(CcMode::paper_static(Environment::Rural))
+            .seed(0xD0A1)
+            .hold_secs(4)
+            .build();
+        // Secondary dies just after its health stream starts (a leg that
+        // never reported keeps its startup grace and is never declared
+        // dead): bonding degenerates to a single leg, where the
+        // redundancy budget buys keyframe repeats.
+        let blackout = FaultScript::new().blackout(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            SimDuration::from_secs(120),
+        );
+        let m = run_multipath_scripted(&cfg, MultipathScheme::Bonded, None, Some(blackout));
+        assert!(m.dup_tx_packets > 0, "no keyframe repeats on the lone leg");
+        assert!(
+            (m.dup_tx_packets as f64) < 0.5 * m.media_sent as f64,
+            "fallback duplicated {}/{} packets",
+            m.dup_tx_packets,
+            m.media_sent
+        );
+        assert_eq!(m.fec_tx, 0, "cross-leg parity with one leg down");
+        // Essentially everything after the first second first-flew on the
+        // surviving leg.
+        assert!(m.leg_tx_share(0) > 0.8, "share {}", m.leg_tx_share(0));
+    }
+
+    #[test]
+    fn bonded_deterministic_replay_bit_identical() {
+        let cfg = ExperimentConfig::builder()
+            .cc(CcMode::paper_static(Environment::Rural))
+            .seed(0xD0A1)
+            .hold_secs(2)
+            .fec_cap(0.25)
+            .repair(true)
+            .build();
+        let script = || {
+            FaultScript::new().burst_loss_window(
+                SimTime::ZERO + SimDuration::from_secs(1),
+                SimDuration::from_secs(10),
+                0.05,
+                0.3,
+                0.5,
+                Some(PacketKind::Media),
+            )
+        };
+        let run = || {
+            run_multipath_scripted(
+                &cfg,
+                MultipathScheme::Bonded,
+                Some(script()),
+                Some(script()),
+            )
+        };
+        assert_eq!(run().to_bytes(), run().to_bytes());
     }
 
     #[test]

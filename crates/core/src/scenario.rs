@@ -131,6 +131,14 @@ pub struct ExperimentConfig {
     /// retransmission). Off by default — the paper's stack had no repair,
     /// so the baseline stays bit-identical; the repair benches flip it on.
     pub repair: bool,
+    /// Per-leg uplink capacity caps in bps (primary, secondary), applied
+    /// on top of the channel model — the bonded scheme's asymmetric-leg
+    /// ablation knob. `None` leaves the radio capacity untouched.
+    pub leg_cap_bps: Option<(f64, f64)>,
+    /// Ceiling on the bonded scheme's adaptive FEC overhead ratio
+    /// (parity packets / media packets). `0.0` disables FEC entirely;
+    /// only the `Bonded` multipath scheme reads it.
+    pub fec_cap: f64,
 }
 
 impl ExperimentConfig {
@@ -219,6 +227,12 @@ impl ExperimentConfig {
         if !self.watchdog.enabled {
             label.push_str("+wd0");
         }
+        if let Some((a, b)) = self.leg_cap_bps {
+            label.push_str(&format!("+cap{:.1}/{:.1}", a / 1e6, b / 1e6));
+        }
+        if self.fec_cap > 0.0 {
+            label.push_str(&format!("+fec{:.2}", self.fec_cap));
+        }
         label
     }
 }
@@ -251,6 +265,8 @@ pub struct ExperimentConfigBuilder {
     jitter_target_override_ms: Option<u64>,
     watchdog: WatchdogConfig,
     repair: bool,
+    leg_cap_bps: Option<(f64, f64)>,
+    fec_cap: f64,
 }
 
 impl Default for ExperimentConfigBuilder {
@@ -270,6 +286,8 @@ impl Default for ExperimentConfigBuilder {
             jitter_target_override_ms: None,
             watchdog: WatchdogConfig::default(),
             repair: false,
+            leg_cap_bps: None,
+            fec_cap: 0.0,
         }
     }
 }
@@ -372,6 +390,20 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Cap the per-leg uplink capacities (primary, secondary) in bps —
+    /// the bonded scheme's asymmetric-leg ablation.
+    pub fn leg_caps(mut self, primary_bps: f64, secondary_bps: f64) -> Self {
+        self.leg_cap_bps = Some((primary_bps, secondary_bps));
+        self
+    }
+
+    /// Ceiling on the bonded scheme's adaptive FEC overhead ratio
+    /// (default 0.0 = FEC off).
+    pub fn fec_cap(mut self, cap: f64) -> Self {
+        self.fec_cap = cap;
+        self
+    }
+
     /// Assemble the configuration, filling paper defaults for anything not
     /// explicitly set.
     pub fn build(self) -> ExperimentConfig {
@@ -392,6 +424,8 @@ impl ExperimentConfigBuilder {
             jitter_target_override_ms: self.jitter_target_override_ms,
             watchdog: self.watchdog,
             repair: self.repair,
+            leg_cap_bps: self.leg_cap_bps,
+            fec_cap: self.fec_cap,
         }
     }
 }
@@ -474,5 +508,12 @@ mod tests {
         assert_ne!(base.hysteresis_db(2.0).build().label(), plain.label());
         assert_ne!(base.ttt_ms(128).build().label(), plain.label());
         assert_ne!(base.watchdog_enabled(false).build().label(), plain.label());
+        // Bonding knobs discriminate: asymmetric caps and the FEC ceiling.
+        let capped = base.leg_caps(3e6, 2e6).build();
+        assert_ne!(capped.label(), plain.label());
+        assert_eq!(capped.label(), "GCC-Rural-P1-Air+cap3.0/2.0");
+        let fec = base.fec_cap(0.25).build();
+        assert_ne!(fec.label(), plain.label());
+        assert_eq!(fec.label(), "GCC-Rural-P1-Air+fec0.25");
     }
 }

@@ -50,6 +50,16 @@ pub struct HeadlineStats {
     pub dup_tx: u64,
     /// Mean per-run path dead time (ms, summed over legs).
     pub dead_ms: f64,
+    /// FEC parity packets transmitted (bonded runs only).
+    pub fec_tx: u64,
+    /// Erased packets rebuilt from parity before the NACK path fired.
+    pub fec_recovered: u64,
+    /// Cross-leg arrivals behind the highest delivered sequence, absorbed
+    /// by the reorder-tolerant reassembly window.
+    pub reorder_buffered: u64,
+    /// Mean fraction of first-flight media carried by leg 0 (0.5 = even
+    /// bonded split; 1.0 = everything on the primary).
+    pub leg0_share: f64,
 }
 
 impl HeadlineStats {
@@ -110,13 +120,22 @@ impl HeadlineStats {
                     .map(|r| r.path_dead_ms())
                     .collect::<Vec<f64>>(),
             ),
+            fec_tx: c.runs.iter().map(|r| r.fec_tx).sum(),
+            fec_recovered: c.runs.iter().map(|r| r.fec_recovered).sum(),
+            reorder_buffered: c.runs.iter().map(|r| r.reorder_buffered).sum(),
+            leg0_share: stats::mean(
+                &c.runs
+                    .iter()
+                    .map(|r| r.leg_tx_share(0))
+                    .collect::<Vec<f64>>(),
+            ),
         }
     }
 
     /// Render one table row.
     pub fn row(&self) -> String {
         format!(
-            "{:<24} {:>8.1} {:>10.2} {:>10.1} {:>9.2} {:>8.1} {:>8.3} {:>7.3} {:>8.1} {:>8.1} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>5.2} {:>4} {:>6} {:>7.0}",
+            "{:<24} {:>8.1} {:>10.2} {:>10.1} {:>9.2} {:>8.1} {:>8.3} {:>7.3} {:>8.1} {:>8.1} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>5.2} {:>4} {:>6} {:>7.0} {:>6} {:>6} {:>6} {:>5.2}",
             self.label,
             self.goodput_mbps,
             self.stalls_per_minute,
@@ -137,13 +156,17 @@ impl HeadlineStats {
             self.switches,
             self.dup_tx,
             self.dead_ms,
+            self.fec_tx,
+            self.fec_recovered,
+            self.reorder_buffered,
+            self.leg0_share,
         )
     }
 
     /// Table header matching [`HeadlineStats::row`].
     pub fn header() -> String {
         format!(
-            "{:<24} {:>8} {:>10} {:>10} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>5} {:>4} {:>6} {:>7}",
+            "{:<24} {:>8} {:>10} {:>10} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>5} {:>4} {:>6} {:>7} {:>6} {:>6} {:>6} {:>5}",
             "configuration",
             "Mbps",
             "stalls/mn",
@@ -164,6 +187,10 @@ impl HeadlineStats {
             "sw",
             "dupx",
             "deadms",
+            "fectx",
+            "fecrec",
+            "reord",
+            "leg0",
         )
     }
 }
@@ -248,7 +275,8 @@ mod tests {
             assert!(row.contains(needle), "row missing {needle}: {row}");
         }
         for col in [
-            "malf", "dup", "late", "nacks", "rec", "waste", "eff", "sw", "dupx", "deadms",
+            "malf", "dup", "late", "nacks", "rec", "waste", "eff", "sw", "dupx", "deadms", "fectx",
+            "fecrec", "reord", "leg0",
         ] {
             assert!(
                 HeadlineStats::header().contains(col),
@@ -287,6 +315,42 @@ mod tests {
         assert!((h.dead_ms - 1_500.0).abs() < 1e-9);
         let row = h.row();
         for needle in ["77", "1500"] {
+            assert!(row.contains(needle), "row missing {needle}: {row}");
+        }
+    }
+
+    #[test]
+    fn bonding_counters_pool_and_surface_in_row() {
+        let mk = |leg0_tx: u64, leg1_tx: u64| {
+            let mut run = RunMetrics {
+                duration: SimDuration::from_secs(60),
+                media_sent: 1_000,
+                media_received: 990,
+                fec_tx: 120,
+                fec_recovered: 11,
+                reorder_buffered: 33,
+                ..Default::default()
+            };
+            for (leg, tx) in [(0u8, leg0_tx), (1u8, leg1_tx)] {
+                run.path_health.push(crate::metrics::PathHealthSummary {
+                    leg,
+                    tx_packets: tx,
+                    ..Default::default()
+                });
+            }
+            run
+        };
+        let campaign = crate::runner::CampaignResult {
+            label: "bonded".into(),
+            runs: vec![mk(600, 400), mk(400, 600)],
+        };
+        let h = HeadlineStats::from_campaign(&campaign);
+        assert_eq!(h.fec_tx, 240);
+        assert_eq!(h.fec_recovered, 22);
+        assert_eq!(h.reorder_buffered, 66);
+        assert!((h.leg0_share - 0.5).abs() < 1e-9);
+        let row = h.row();
+        for needle in ["240", "22", "66", "0.50"] {
             assert!(row.contains(needle), "row missing {needle}: {row}");
         }
     }

@@ -54,6 +54,26 @@ pub enum FaultClause {
         /// Restrict the loss to this kind (`None` = all packets).
         kind: Option<PacketKind>,
     },
+    /// Correlated (bursty) loss inside the window, optionally restricted
+    /// to one packet kind: a two-state Gilbert–Elliott chain whose *bad*
+    /// state drops packets at `loss_bad`. Cellular loss is bursty —
+    /// HARQ/RLC retransmission exhaustion during a fade erases runs of
+    /// packets, not independent singletons — and burst shape is exactly
+    /// what distinguishes FEC-repairable loss from FEC-defeating loss.
+    BurstLoss {
+        /// Start of the bursty window.
+        from: SimTime,
+        /// End of the bursty window (exclusive).
+        until: SimTime,
+        /// Per-packet probability of entering the bad state from good.
+        p_enter: f64,
+        /// Per-packet probability of leaving the bad state back to good.
+        p_exit: f64,
+        /// Per-packet drop probability while in the bad state.
+        loss_bad: f64,
+        /// Restrict the loss to this kind (`None` = all packets).
+        kind: Option<PacketKind>,
+    },
     /// Additional one-way delay applied to packets leaving the bottleneck
     /// inside the window (a routing/retransmission spike, §4.2.2's >1 s
     /// latency events).
@@ -131,6 +151,7 @@ impl FaultClause {
             FaultClause::Blackout { from, until }
             | FaultClause::KindBlackout { from, until, .. }
             | FaultClause::Loss { from, until, .. }
+            | FaultClause::BurstLoss { from, until, .. }
             | FaultClause::DelaySpike { from, until, .. }
             | FaultClause::Duplicate { from, until, .. }
             | FaultClause::Corrupt { from, until, .. }
@@ -195,6 +216,27 @@ impl FaultScript {
             from: at,
             until: at + duration,
             prob,
+            kind,
+        });
+        self
+    }
+
+    /// Add a correlated-loss (Gilbert–Elliott) burst window.
+    pub fn burst_loss_window(
+        mut self,
+        at: SimTime,
+        duration: SimDuration,
+        p_enter: f64,
+        p_exit: f64,
+        loss_bad: f64,
+        kind: Option<PacketKind>,
+    ) -> Self {
+        self.clauses.push(FaultClause::BurstLoss {
+            from: at,
+            until: at + duration,
+            p_enter,
+            p_exit,
+            loss_bad,
             kind,
         });
         self
@@ -337,6 +379,8 @@ pub struct ScriptStats {
     pub kind_dropped: u64,
     /// Packets dropped by probabilistic loss clauses.
     pub loss_dropped: u64,
+    /// Packets dropped by correlated-loss burst clauses.
+    pub burst_dropped: u64,
     /// Packets dropped by coverage holes.
     pub hole_dropped: u64,
     /// Packets duplicated by scripted duplication windows.
@@ -350,7 +394,11 @@ pub struct ScriptStats {
 impl ScriptStats {
     /// Total packets dropped by any clause.
     pub fn dropped(&self) -> u64 {
-        self.blackout_dropped + self.kind_dropped + self.loss_dropped + self.hole_dropped
+        self.blackout_dropped
+            + self.kind_dropped
+            + self.loss_dropped
+            + self.burst_dropped
+            + self.hole_dropped
     }
 }
 
@@ -368,6 +416,9 @@ pub struct OutageScheduler {
     has_timed_blackout: bool,
     has_reorder: bool,
     has_delay_spike: bool,
+    /// Per-clause Gilbert–Elliott state (`true` = bad), indexed by clause
+    /// position; non-burst clauses keep a dormant `false`.
+    burst_bad: Vec<bool>,
 }
 
 impl OutageScheduler {
@@ -385,6 +436,7 @@ impl OutageScheduler {
             .clauses
             .iter()
             .any(|c| matches!(c, FaultClause::DelaySpike { .. }));
+        let burst_bad = vec![false; script.clauses.len()];
         OutageScheduler {
             script,
             rng,
@@ -393,6 +445,7 @@ impl OutageScheduler {
             has_timed_blackout,
             has_reorder,
             has_delay_spike,
+            burst_bad,
         }
     }
 
@@ -407,7 +460,7 @@ impl OutageScheduler {
     /// only by active, kind-matching loss clauses, so the decision sequence
     /// is a pure function of `(script, seed, packet sequence, positions)`.
     pub fn admit(&mut self, now: SimTime, packet: &Packet) -> bool {
-        for clause in self.script.clauses.iter() {
+        for (ci, clause) in self.script.clauses.iter().enumerate() {
             if !clause.active(now, self.position) {
                 continue;
             }
@@ -426,6 +479,32 @@ impl OutageScheduler {
                     if kind.is_none_or(|k| packet.kind == k) && self.rng.chance(*prob) {
                         self.stats.loss_dropped += 1;
                         return false;
+                    }
+                }
+                FaultClause::BurstLoss {
+                    p_enter,
+                    p_exit,
+                    loss_bad,
+                    kind,
+                    ..
+                } => {
+                    if kind.is_none_or(|k| packet.kind == k) {
+                        // Advance the chain once per screened packet, then
+                        // draw the loss — two RNG draws in the bad state,
+                        // one in good, always in this order (stability
+                        // contract, same as the Loss clause above).
+                        let bad = &mut self.burst_bad[ci];
+                        if *bad {
+                            if self.rng.chance(*p_exit) {
+                                *bad = false;
+                            }
+                        } else if self.rng.chance(*p_enter) {
+                            *bad = true;
+                        }
+                        if *bad && self.rng.chance(*loss_bad) {
+                            self.stats.burst_dropped += 1;
+                            return false;
+                        }
                     }
                 }
                 // Non-screening clauses: handled by `impair` (which runs
@@ -635,6 +714,91 @@ mod tests {
         }
         let rate = dropped as f64 / 10_000.0;
         assert!((rate - 0.3).abs() < 0.03, "loss rate {rate}");
+    }
+
+    #[test]
+    fn burst_loss_is_correlated_not_independent() {
+        // Sticky chain: rare entry, slow exit, heavy loss while bad. The
+        // drops must arrive in runs — count adjacent-drop pairs and
+        // compare against the independence expectation for the same
+        // marginal rate.
+        let s = FaultScript::new().burst_loss_window(
+            SimTime::ZERO,
+            SimDuration::from_secs(10_000),
+            0.02,
+            0.10,
+            0.9,
+            None,
+        );
+        let mut sch = sched(s, 11);
+        let n = 50_000u64;
+        let mut drops = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let t = SimTime::from_millis(i);
+            drops.push(!sch.admit(t, &pkt(i, PacketKind::Media, t)));
+        }
+        let rate = drops.iter().filter(|d| **d).count() as f64 / n as f64;
+        assert!(rate > 0.05 && rate < 0.4, "marginal rate {rate}");
+        let adjacent = drops.windows(2).filter(|w| w[0] && w[1]).count() as f64 / (n - 1) as f64;
+        let independent = rate * rate;
+        assert!(
+            adjacent > 3.0 * independent,
+            "adjacent-drop rate {adjacent} vs independent {independent}: loss is not bursty"
+        );
+        assert_eq!(
+            sch.stats().burst_dropped,
+            drops.iter().filter(|d| **d).count() as u64
+        );
+        assert_eq!(sch.stats().dropped(), sch.stats().burst_dropped);
+    }
+
+    #[test]
+    fn burst_loss_respects_kind_filter_and_window() {
+        let s = FaultScript::new().burst_loss_window(
+            SimTime::from_secs(1),
+            SimDuration::from_secs(1),
+            1.0,
+            0.0,
+            1.0,
+            Some(PacketKind::Media),
+        );
+        let mut sch = sched(s, 12);
+        let before = SimTime::from_millis(500);
+        let inside = SimTime::from_millis(1_500);
+        let after = SimTime::from_millis(2_500);
+        assert!(sch.admit(before, &pkt(0, PacketKind::Media, before)));
+        // p_enter = 1, loss_bad = 1: every in-window media packet dies...
+        assert!(!sch.admit(inside, &pkt(1, PacketKind::Media, inside)));
+        assert!(!sch.admit(inside, &pkt(2, PacketKind::Media, inside)));
+        // ...but feedback never consults the chain.
+        assert!(sch.admit(inside, &pkt(3, PacketKind::Feedback, inside)));
+        assert!(sch.admit(after, &pkt(4, PacketKind::Media, after)));
+        assert_eq!(sch.stats().burst_dropped, 2);
+    }
+
+    #[test]
+    fn burst_loss_identically_seeded_schedulers_agree() {
+        let script = || {
+            FaultScript::new()
+                .burst_loss_window(
+                    SimTime::ZERO,
+                    SimDuration::from_secs(100),
+                    0.05,
+                    0.3,
+                    0.8,
+                    None,
+                )
+                .loss_window(SimTime::ZERO, SimDuration::from_secs(100), 0.05, None)
+        };
+        let mut a = sched(script(), 77);
+        let mut b = sched(script(), 77);
+        for i in 0..5_000u64 {
+            let t = SimTime::from_millis(i * 2);
+            let p = pkt(i, PacketKind::Media, t);
+            assert_eq!(a.admit(t, &p), b.admit(t, &p), "diverged at packet {i}");
+        }
+        assert_eq!(a.stats().burst_dropped, b.stats().burst_dropped);
+        assert_eq!(a.stats().dropped(), b.stats().dropped());
     }
 
     #[test]

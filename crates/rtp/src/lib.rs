@@ -31,10 +31,14 @@
 //! * [`jitter`] — the receiver jitter buffer (150 ms default, matching the
 //!   pipeline in §3.2), including the `drop-on-latency` mode discussed in
 //!   Appendix A.4.
+//! * [`fec`] — XOR-parity forward error correction groups (RFC 5109 in
+//!   spirit), the cross-leg redundancy layer of the bonded multipath
+//!   scheme.
 //! * [`error`] — the typed [`ParseError`] every wire parser returns; all
 //!   parsers are total functions over arbitrary bytes.
 
 pub mod error;
+pub mod fec;
 pub mod jitter;
 pub mod nack;
 pub mod packet;
@@ -47,6 +51,7 @@ pub mod seqwindow;
 pub mod twcc;
 
 pub use error::ParseError;
+pub use fec::{FecGroup, FecPacket, FEC_PAYLOAD_TYPE, MAX_FEC_GROUP};
 pub use jitter::{JitterBuffer, JitterConfig};
 pub use nack::{Nack, NackConfig, NackGenerator, NackStats};
 pub use packet::RtpPacket;

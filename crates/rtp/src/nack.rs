@@ -171,6 +171,12 @@ pub struct NackConfig {
     /// Playout budget a missing packet has from the moment its gap is
     /// detected (the jitter-buffer target; updated on inflation).
     pub playout_budget: SimDuration,
+    /// Hold-off before the *first* request for a freshly detected gap.
+    /// Zero (the default) NACKs immediately; a repair layer that can fill
+    /// holes without a round trip (FEC, cross-leg reordering) sets this
+    /// to its expected repair latency so the retransmission path only
+    /// spends bandwidth on holes the cheap repair missed.
+    pub initial_hold: SimDuration,
 }
 
 impl Default for NackConfig {
@@ -180,6 +186,7 @@ impl Default for NackConfig {
             max_retries: 3,
             deadline_margin: SimDuration::from_millis(10),
             playout_budget: SimDuration::from_millis(150),
+            initial_hold: SimDuration::ZERO,
         }
     }
 }
@@ -268,7 +275,7 @@ impl NackGenerator {
                     MissingSeq {
                         detected: now,
                         retries: 0,
-                        next_request: now,
+                        next_request: now + self.config.initial_hold,
                     },
                 );
             }
@@ -509,6 +516,34 @@ mod tests {
         }
         assert_eq!(sent, 2, "max_retries bounds the requests");
         assert_eq!(g.stats().abandoned, 1);
+    }
+
+    #[test]
+    fn initial_hold_gives_other_repair_first_shot() {
+        let mut g = NackGenerator::new(NackConfig {
+            initial_hold: SimDuration::from_millis(30),
+            ..Default::default()
+        });
+        let t0 = SimTime::from_millis(1_000);
+        g.on_packet(t0, 0);
+        g.on_packet(t0, 2); // 1 missing, held
+        assert!(g.poll(t0).is_none(), "held gap must not be NACKed yet");
+        assert!(g.poll(t0 + SimDuration::from_millis(29)).is_none());
+        // The cheap repair (FEC) fills the hole inside the hold: no NACK
+        // ever goes out, and the fill reads as plain reordering.
+        assert_eq!(
+            g.on_packet(t0 + SimDuration::from_millis(20), 1),
+            Arrival::Reordered
+        );
+        assert!(g.poll(t0 + SimDuration::from_millis(60)).is_none());
+        assert_eq!(g.stats().nacks_sent, 0);
+
+        // A hole the repair misses is requested once the hold expires.
+        g.on_packet(t0, 5); // 3, 4 missing at t0
+        let nack = g
+            .poll(t0 + SimDuration::from_millis(30))
+            .expect("hold expired");
+        assert_eq!(nack.lost, vec![3, 4]);
     }
 
     #[test]
