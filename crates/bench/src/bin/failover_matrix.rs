@@ -124,7 +124,7 @@ fn main() {
     // cc → run → scheme table the invariants read.
     let spec = MatrixSpec::new(config(CcMode::Gcc, 0))
         .paper_workloads()
-        .multipath_schemes(MultipathScheme::all())
+        .multipath_schemes(MultipathScheme::baseline())
         .faults([CellFault::legs(
             "primary-blackout",
             Some(primary_blackout()),
@@ -135,7 +135,7 @@ fn main() {
     let result = engine.run(&spec);
 
     let ccs = rpav_bench::paper_ccs(Environment::Rural);
-    let schemes = MultipathScheme::all();
+    let schemes = MultipathScheme::baseline();
     let cell_at = |cc_i: usize, scheme_i: usize, run: u64| {
         &result.outcomes[(cc_i * schemes.len() + scheme_i) * runs as usize + run as usize]
     };
@@ -161,7 +161,7 @@ fn main() {
     }
 
     // ---- Invariants --------------------------------------------------
-    for group in cells.chunks(MultipathScheme::all().len()) {
+    for group in cells.chunks(MultipathScheme::baseline().len()) {
         let find = |s: MultipathScheme| {
             &group
                 .iter()
@@ -186,8 +186,9 @@ fn main() {
                     );
                 }
                 MultipathScheme::Bonded => {
-                    // Not part of `MultipathScheme::all()` — the bonded
-                    // acceptance harness (`bonded_matrix`) owns this scheme.
+                    // Not part of `MultipathScheme::baseline()` — the bonded
+                    // acceptance harnesses (`bonded_matrix`, `nleg_matrix`)
+                    // own this scheme.
                     unreachable!("{tag}: bonded cell in the failover sweep");
                 }
                 MultipathScheme::Failover | MultipathScheme::SelectiveDuplicate => {

@@ -274,6 +274,120 @@ impl CcEngine {
     }
 }
 
+/// Per-leg shadow congestion controllers behind one aggregate target —
+/// the MPTCP-coupled answer to the DESIGN §11.5 collapse, where a single
+/// delay-based CC fed by interleaved cross-leg arrivals reads the slower
+/// leg's extra delay as congestion on *both*.
+///
+/// Each leg runs its own [`CcEngine`] of the same workload: the bonded
+/// scheduler assigns every packet to a leg at enqueue time, that leg's
+/// shadow engine paces it, and the leg's own feedback stream (recorded
+/// per arrival leg at the receiver, returned on that leg's downlink)
+/// drives only that engine. The encoder follows the *sum* of the per-leg
+/// targets, so one delayed leg costs only its own share of the aggregate
+/// — and a dead leg's shadow watchdog decays only that share.
+pub struct CoupledCc {
+    legs: Vec<CcEngine>,
+}
+
+impl CoupledCc {
+    /// One shadow engine per leg, all of the same workload.
+    pub fn new(mode: CcMode, watchdog: WatchdogConfig, n_legs: usize) -> CoupledCc {
+        CoupledCc {
+            legs: (0..n_legs.max(1))
+                .map(|_| CcEngine::new(mode, watchdog))
+                .collect(),
+        }
+    }
+
+    /// Number of shadow engines.
+    pub fn n_legs(&self) -> usize {
+        self.legs.len()
+    }
+
+    /// The encoder's starting bitrate: the per-leg starts summed (each
+    /// leg probes its own share of the aggregate from the beginning).
+    pub fn start_bitrate_bps(&self) -> f64 {
+        self.legs.iter().map(|cc| cc.start_bitrate_bps()).sum()
+    }
+
+    /// Whether media packets need the transport-wide sequence extension.
+    pub fn with_twcc(&self) -> bool {
+        self.legs.first().is_some_and(|cc| cc.with_twcc())
+    }
+
+    /// Receiver feedback cadence; `None` for Static.
+    pub fn feedback_interval(&self) -> Option<SimDuration> {
+        self.legs.first().and_then(|cc| cc.feedback_interval())
+    }
+
+    /// Aggregate target: the sum of the shadow targets.
+    pub fn target_bps(&self) -> f64 {
+        self.legs.iter().map(|cc| cc.target_bps()).sum()
+    }
+
+    /// Advance every shadow engine; returns the aggregate target.
+    pub fn on_tick(&mut self, now: SimTime) -> f64 {
+        self.legs.iter_mut().map(|cc| cc.on_tick(now)).sum()
+    }
+
+    /// Stage packets already assigned to `leg` by the scheduler.
+    /// Out-of-range legs drop nothing silently — the packets go to the
+    /// last engine (saturating, never a panic on a hostile index).
+    pub fn enqueue_leg(&mut self, leg: usize, now: SimTime, packets: Vec<RtpPacket>) {
+        let last = self.legs.len() - 1;
+        self.legs[leg.min(last)].enqueue(now, packets);
+    }
+
+    /// Pop the next packet `leg`'s shadow engine releases onto the wire.
+    pub fn poll_transmit_leg(&mut self, leg: usize, now: SimTime) -> Option<RtpPacket> {
+        self.legs.get_mut(leg)?.poll_transmit(now)
+    }
+
+    /// Offer a feedback payload that arrived on `leg`'s downlink to that
+    /// leg's shadow engine only.
+    pub fn on_feedback_leg(&mut self, leg: usize, payload: Bytes, now: SimTime) -> bool {
+        match self.legs.get_mut(leg) {
+            Some(cc) => cc.on_feedback(payload, now),
+            None => false,
+        }
+    }
+
+    /// Watchdog counters summed across the shadow engines (`last_ramp`
+    /// and `max_feedback_gap` take the slowest leg).
+    pub fn watchdog_stats(&self) -> Option<WatchdogStats> {
+        let mut agg: Option<WatchdogStats> = None;
+        for w in self.legs.iter().filter_map(|cc| cc.watchdog_stats()) {
+            let a = agg.get_or_insert_with(WatchdogStats::default);
+            a.activations += w.activations;
+            a.recoveries += w.recoveries;
+            a.starved_time += w.starved_time;
+            a.last_ramp = match (a.last_ramp, w.last_ramp) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, y) => x.or(y),
+            };
+            a.max_feedback_gap = a.max_feedback_gap.max(w.max_feedback_gap);
+        }
+        agg
+    }
+
+    /// SCReAM counters summed across the shadow engines.
+    pub fn scream_stats(&self) -> Option<ScreamStats> {
+        let mut agg: Option<ScreamStats> = None;
+        for s in self.legs.iter().filter_map(|cc| cc.scream_stats()) {
+            let a = agg.get_or_insert_with(ScreamStats::default);
+            a.sent += s.sent;
+            a.acked += s.acked;
+            a.reported_lost += s.reported_lost;
+            a.span_skipped += s.span_skipped;
+            a.queue_discarded += s.queue_discarded;
+            a.loss_events += s.loss_events;
+            a.watchdog_expired += s.watchdog_expired;
+        }
+        agg
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +450,27 @@ mod tests {
             sent_bytes < 120_000,
             "pacer failed to meter: {sent_bytes} bytes in 100 ms"
         );
+    }
+
+    #[test]
+    fn coupled_cc_sums_targets_and_isolates_queues() {
+        let mut cc = CoupledCc::new(
+            CcMode::Static { bitrate_bps: 3e6 },
+            WatchdogConfig::default(),
+            3,
+        );
+        assert_eq!(cc.n_legs(), 3);
+        assert_eq!(cc.target_bps(), 9e6);
+        assert_eq!(cc.on_tick(SimTime::ZERO), 9e6);
+        assert_eq!(cc.start_bitrate_bps(), 9e6);
+        // A packet staged on leg 1 only ever leaves through leg 1.
+        cc.enqueue_leg(1, SimTime::ZERO, packets(10_000, false));
+        assert!(cc.poll_transmit_leg(0, SimTime::ZERO).is_none());
+        assert!(cc.poll_transmit_leg(1, SimTime::ZERO).is_some());
+        // Hostile indices neither panic nor invent traffic.
+        assert!(cc.poll_transmit_leg(7, SimTime::ZERO).is_none());
+        assert!(!cc.on_feedback_leg(7, Bytes::from(vec![0u8; 8]), SimTime::ZERO));
+        assert!(cc.watchdog_stats().is_none(), "static has no watchdog");
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::metrics::{
 };
 
 /// Bump on any change to the byte layout below.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Magic prefix of every encoded blob.
 const MAGIC: &[u8; 4] = b"RPAV";
@@ -408,6 +408,7 @@ impl RunMetrics {
         w.u64(self.fec_tx);
         w.u64(self.fec_recovered);
         w.u64(self.reorder_buffered);
+        w.u64(self.fec_multi_recovered);
         w.into_bytes()
     }
 
@@ -474,6 +475,7 @@ impl RunMetrics {
             fec_tx: r.u64()?,
             fec_recovered: r.u64()?,
             reorder_buffered: r.u64()?,
+            fec_multi_recovered: r.u64()?,
         };
         if !r.exhausted() {
             return None;
@@ -549,6 +551,7 @@ mod tests {
             fec_tx: 55,
             fec_recovered: 7,
             reorder_buffered: 31,
+            fec_multi_recovered: 3,
             ..RunMetrics::default()
         }
     }

@@ -43,12 +43,12 @@ pub fn runs_csv(runs: &[DatasetRun<'_>]) -> String {
          goodput_mbps,per,ho_count,stalls,distinct_cells,repair,\
          malformed,duplicates,late,nacks_sent,rtx_sent,rtx_recovered,\
          rtx_late,repair_efficiency,switches,probes,dup_tx,dead_ms,\
-         fec_tx,fec_recovered,reorder_buffered,leg0_share\n",
+         fec_tx,fec_recovered,fec_multi_recovered,reorder_buffered,leg0_share\n",
     );
     for (i, r) in runs.iter().enumerate() {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{:.1},{:.3},{:.6},{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{:.0},{},{},{},{:.4}",
+            "{},{},{},{},{},{},{},{:.1},{:.3},{:.6},{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{:.0},{},{},{},{},{:.4}",
             i,
             r.config.label(),
             r.config.environment.name(),
@@ -77,6 +77,7 @@ pub fn runs_csv(runs: &[DatasetRun<'_>]) -> String {
             r.metrics.path_dead_ms(),
             r.metrics.fec_tx,
             r.metrics.fec_recovered,
+            r.metrics.fec_multi_recovered,
             r.metrics.reorder_buffered,
             r.metrics.leg_tx_share(0),
         );
@@ -264,6 +265,7 @@ mod tests {
             dup_tx_packets: 9,
             fec_tx: 6,
             fec_recovered: 2,
+            fec_multi_recovered: 1,
             reorder_buffered: 4,
             ..Default::default()
         };
@@ -287,13 +289,13 @@ mod tests {
         assert!(r.contains("repair,malformed,duplicates,late,nacks_sent"));
         assert!(r.contains(
             ",rtx_late,repair_efficiency,switches,probes,dup_tx,dead_ms,\
-             fec_tx,fec_recovered,reorder_buffered,leg0_share"
+             fec_tx,fec_recovered,fec_multi_recovered,reorder_buffered,leg0_share"
         ));
         assert!(
             r.lines()
                 .nth(1)
                 .unwrap()
-                .ends_with(",0,5,2,3,10,18,15,2,0.7500,1,40,9,1250,6,2,4,0.7500"),
+                .ends_with(",0,5,2,3,10,18,15,2,0.7500,1,40,9,1250,6,2,1,4,0.7500"),
             "repair/failover/bonding columns wrong: {}",
             r.lines().nth(1).unwrap()
         );

@@ -47,7 +47,7 @@ use rpav_netem::{FaultClause, FaultScript, PacketKind};
 
 use crate::codec::ByteWriter;
 use crate::metrics::RunMetrics;
-use crate::multipath::{run_multipath_scripted, MultipathScheme};
+use crate::multipath::{run_multipath_legs, MultipathScheme};
 use crate::pipeline::Simulation;
 use crate::runner::CampaignResult;
 use crate::scenario::{CcMode, ExperimentConfig, Mobility};
@@ -86,9 +86,9 @@ impl RunScheme {
 ///
 /// For [`RunScheme::Pipeline`], `uplink`/`downlink` script the two
 /// directions of the single operator's link. For
-/// [`RunScheme::Multipath`], `uplink` scripts the *primary* leg and
-/// `secondary` the standby leg (each script hits both directions of its
-/// leg, matching [`run_multipath_scripted`]); `downlink` is unused.
+/// [`RunScheme::Multipath`], `uplink` scripts leg 0, `secondary` leg 1,
+/// and `extra` any further legs (each script hits both directions of
+/// its leg, matching [`run_multipath_legs`]); `downlink` is unused.
 #[derive(Clone, Debug, Default)]
 pub struct CellFault {
     /// Short name, part of the cell label (empty = no fault).
@@ -99,6 +99,10 @@ pub struct CellFault {
     pub downlink: Option<FaultScript>,
     /// Multipath standby-leg script.
     pub secondary: Option<FaultScript>,
+    /// Multipath scripts for legs 2+ (entry `i` hits leg `i + 2`); rigs
+    /// beyond two modems only. Scripts past `ExperimentConfig::n_legs`
+    /// are ignored by the driver.
+    pub extra: Vec<Option<FaultScript>>,
 }
 
 impl CellFault {
@@ -115,6 +119,7 @@ impl CellFault {
             uplink: Some(script.clone()),
             downlink: Some(script),
             secondary: None,
+            extra: Vec::new(),
         }
     }
 
@@ -125,6 +130,7 @@ impl CellFault {
             uplink: Some(script),
             downlink: None,
             secondary: None,
+            extra: Vec::new(),
         }
     }
 
@@ -135,6 +141,7 @@ impl CellFault {
             uplink: None,
             downlink: Some(script),
             secondary: None,
+            extra: Vec::new(),
         }
     }
 
@@ -150,12 +157,50 @@ impl CellFault {
             uplink: primary,
             downlink: None,
             secondary,
+            extra: Vec::new(),
         }
+    }
+
+    /// Multipath faults for an N-leg rig: entry `i` of `scripts` hits
+    /// leg `i` (missing / `None` entries leave that leg unscripted).
+    /// Correlated cross-leg failures are several entries with
+    /// overlapping windows.
+    pub fn per_leg(name: impl Into<String>, mut scripts: Vec<Option<FaultScript>>) -> Self {
+        let uplink = if scripts.is_empty() {
+            None
+        } else {
+            scripts.remove(0)
+        };
+        let secondary = if scripts.is_empty() {
+            None
+        } else {
+            scripts.remove(0)
+        };
+        CellFault {
+            name: name.into(),
+            uplink,
+            downlink: None,
+            secondary,
+            extra: scripts,
+        }
+    }
+
+    /// The per-leg script vector the multipath driver consumes: leg 0 =
+    /// `uplink`, leg 1 = `secondary`, legs 2+ = `extra`.
+    pub fn leg_scripts(&self) -> Vec<Option<FaultScript>> {
+        let mut v = Vec::with_capacity(2 + self.extra.len());
+        v.push(self.uplink.clone());
+        v.push(self.secondary.clone());
+        v.extend(self.extra.iter().cloned());
+        v
     }
 
     /// Whether the fault is a no-op.
     pub fn is_none(&self) -> bool {
-        self.uplink.is_none() && self.downlink.is_none() && self.secondary.is_none()
+        self.uplink.is_none()
+            && self.downlink.is_none()
+            && self.secondary.is_none()
+            && self.extra.iter().all(Option::is_none)
     }
 }
 
@@ -451,12 +496,18 @@ impl Cell {
             w.f64(b);
         });
         w.f64(c.fec_cap);
+        w.u64(c.n_legs as u64);
+        w.bool(c.coupled_cc);
         w.u8(self.scheme.tag());
         for script in [
             &self.fault.uplink,
             &self.fault.downlink,
             &self.fault.secondary,
         ] {
+            w.opt(script.as_ref(), write_script);
+        }
+        w.u64(self.fault.extra.len() as u64);
+        for script in &self.fault.extra {
             w.opt(script.as_ref(), write_script);
         }
         fnv1a(&w.into_bytes())
@@ -476,12 +527,9 @@ impl Cell {
                 }
                 sim.run()
             }
-            RunScheme::Multipath(scheme) => run_multipath_scripted(
-                &self.config,
-                scheme,
-                self.fault.uplink.clone(),
-                self.fault.secondary.clone(),
-            ),
+            RunScheme::Multipath(scheme) => {
+                run_multipath_legs(&self.config, scheme, self.fault.leg_scripts())
+            }
         }
     }
 }

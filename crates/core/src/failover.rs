@@ -1,4 +1,4 @@
-//! Active/standby switching over two health-monitored legs.
+//! Active/standby switching over N health-monitored legs.
 //!
 //! The controller is deliberately small: all the estimation intelligence
 //! lives in [`PathHealth`](crate::health::PathHealth); this module only
@@ -9,16 +9,19 @@
 //!   radio-link failure) and the standby is not: switch after a short
 //!   confirmation dwell (default 200 ms). Restoring video fast after a
 //!   coverage hole is the whole point of carrying a second operator.
-//! * **Quality path** — the active leg is merely `Degraded` while the
-//!   standby is `Healthy`: switch only if the standby's score beats the
+//! * **Quality path** — the active leg is merely `Degraded` while some
+//!   standby is `Healthy`: switch only if that standby's score beats the
 //!   active's by a hysteresis margin AND a minimum dwell has elapsed
 //!   since the last switch. Hysteresis + dwell are the anti-flap
 //!   guarantees: two comparable legs never ping-pong, and any single
 //!   fault window produces at most one switch.
 //!
-//! The controller is *sticky*: there is no preferred/primary leg, so once
-//! traffic moves to the standby it stays there until that leg in turn
-//! degrades. This is what bounds switches at one per fault window.
+//! With more than two legs, both rules pick the *best-scoring* eligible
+//! standby (ties break toward the lowest index, which also makes the
+//! two-leg case behave exactly as it always did). The controller is
+//! *sticky*: there is no preferred/primary leg, so once traffic moves to
+//! a standby it stays there until that leg in turn degrades. This is
+//! what bounds switches at one per fault window.
 
 use rpav_sim::{SimDuration, SimTime};
 
@@ -34,7 +37,7 @@ pub enum SwitchCause {
     /// Active leg's modem is executing a handover and the standby
     /// measured better.
     HandoverSignal,
-    /// Active leg's measured quality (loss/RTT EWMA) fell behind the
+    /// Active leg's measured quality (loss/RTT EWMA) fell behind a
     /// standby by more than the hysteresis margin.
     Degraded,
 }
@@ -64,7 +67,7 @@ pub struct FailoverConfig {
     /// idle standby always measures better than a loaded active leg, so
     /// a score comparison alone would flap on every radio event.
     pub degraded_dwell: SimDuration,
-    /// Score margin (see [`PathHealth::score`] units) the standby must
+    /// Score margin (see [`PathHealth::score`] units) a standby must
     /// win by on the quality path.
     pub hysteresis: f64,
 }
@@ -80,16 +83,18 @@ impl Default for FailoverConfig {
     }
 }
 
-/// A decision to move the media flow to `to`.
+/// A decision to move the media flow from `from` to `to`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SwitchDecision {
+    /// Index of the leg the flow leaves.
+    pub from: usize,
     /// Index of the leg the flow moves to.
     pub to: usize,
     /// What justified the move.
     pub cause: SwitchCause,
 }
 
-/// The active/standby switching state machine over two legs.
+/// The active/standby switching state machine over N legs.
 pub struct FailoverController {
     cfg: FailoverConfig,
     active: usize,
@@ -119,25 +124,27 @@ impl FailoverController {
         self.active
     }
 
-    /// Evaluate the two legs' health; returns a decision when the flow
+    /// Evaluate the legs' health; returns a decision when the flow
     /// should move (the controller has already committed to it).
-    pub fn on_tick(&mut self, now: SimTime, health: [&PathHealth; 2]) -> Option<SwitchDecision> {
-        let standby = 1 - self.active;
+    pub fn on_tick(&mut self, now: SimTime, health: &[&PathHealth]) -> Option<SwitchDecision> {
+        if health.len() < 2 || self.active >= health.len() {
+            return None;
+        }
         let a = health[self.active];
-        let s = health[standby];
         let a_class = a.class(now);
-        let s_class = s.class(now);
 
-        // Break fast path.
+        // Break fast path: any non-dead standby beats a dead active leg.
         if a_class == HealthClass::Dead {
             let since = *self.dead_since.get_or_insert(now);
-            if s_class != HealthClass::Dead && now.saturating_since(since) >= self.cfg.dead_dwell {
-                let cause = if a.dead_from_rlf(now) {
-                    SwitchCause::RadioLinkFailure
-                } else {
-                    SwitchCause::Starvation
-                };
-                return Some(self.commit(now, standby, cause));
+            if now.saturating_since(since) >= self.cfg.dead_dwell {
+                if let Some(to) = self.best_standby(now, health, HealthClass::Degraded, None) {
+                    let cause = if a.dead_from_rlf(now) {
+                        SwitchCause::RadioLinkFailure
+                    } else {
+                        SwitchCause::Starvation
+                    };
+                    return Some(self.commit(now, to, cause));
+                }
             }
             return None;
         }
@@ -146,17 +153,18 @@ impl FailoverController {
         // Quality path: only sustained degradation justifies a move.
         if a_class == HealthClass::Degraded {
             let since = *self.degraded_since.get_or_insert(now);
-            if s_class == HealthClass::Healthy
-                && now.saturating_since(since) >= self.cfg.degraded_dwell
+            if now.saturating_since(since) >= self.cfg.degraded_dwell
                 && now.saturating_since(self.last_switch) >= self.cfg.min_dwell
-                && s.score(now) > a.score(now) + self.cfg.hysteresis
             {
-                let cause = if a.degraded_from_handover(now) {
-                    SwitchCause::HandoverSignal
-                } else {
-                    SwitchCause::Degraded
-                };
-                return Some(self.commit(now, standby, cause));
+                let bar = a.score(now) + self.cfg.hysteresis;
+                if let Some(to) = self.best_standby(now, health, HealthClass::Healthy, Some(bar)) {
+                    let cause = if a.degraded_from_handover(now) {
+                        SwitchCause::HandoverSignal
+                    } else {
+                        SwitchCause::Degraded
+                    };
+                    return Some(self.commit(now, to, cause));
+                }
             }
         } else {
             self.degraded_since = None;
@@ -164,12 +172,55 @@ impl FailoverController {
         None
     }
 
+    /// Best-scoring standby whose class is at least `floor` (Degraded
+    /// admits Degraded + Healthy; Healthy admits only Healthy) and, if
+    /// `min_score` is set, whose score strictly exceeds it. Ties break
+    /// toward the lowest index, so two legs reproduce the historical
+    /// `standby = 1 - active` behaviour exactly.
+    fn best_standby(
+        &self,
+        now: SimTime,
+        health: &[&PathHealth],
+        floor: HealthClass,
+        min_score: Option<f64>,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, h) in health.iter().enumerate() {
+            if i == self.active {
+                continue;
+            }
+            let eligible = match h.class(now) {
+                HealthClass::Healthy => true,
+                HealthClass::Degraded => floor == HealthClass::Degraded,
+                HealthClass::Dead => false,
+            };
+            if !eligible {
+                continue;
+            }
+            let sc = h.score(now);
+            if let Some(bar) = min_score {
+                if sc <= bar {
+                    continue;
+                }
+            }
+            let better = match best {
+                Some((_, b)) => sc > b,
+                None => true,
+            };
+            if better {
+                best = Some((i, sc));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
     fn commit(&mut self, now: SimTime, to: usize, cause: SwitchCause) -> SwitchDecision {
+        let from = self.active;
         self.active = to;
         self.last_switch = now;
         self.dead_since = None;
         self.degraded_since = None;
-        SwitchDecision { to, cause }
+        SwitchDecision { from, to, cause }
     }
 }
 
@@ -211,7 +262,7 @@ mod tests {
                     }
                 }
             }
-            self.ctl.on_tick(ms(t), [&self.health[0], &self.health[1]])
+            self.ctl.on_tick(ms(t), &[&self.health[0], &self.health[1]])
         }
     }
 
@@ -228,6 +279,7 @@ mod tests {
         }
         assert_eq!(switches.len(), 1, "{switches:?}");
         let (t, d) = switches[0];
+        assert_eq!(d.from, 0);
         assert_eq!(d.to, 1);
         assert_eq!(d.cause, SwitchCause::Starvation);
         // Dead detection (watchdog timeout ≈ 500 ms) + 200 ms dwell.
@@ -292,9 +344,48 @@ mod tests {
         }
         // A clock reading from the past (hostile replay, cross-leg skew
         // in a caller): saturating deltas must neither panic nor switch.
-        let d = rig.ctl.on_tick(ms(100), [&rig.health[0], &rig.health[1]]);
+        let d = rig.ctl.on_tick(ms(100), &[&rig.health[0], &rig.health[1]]);
         assert!(d.is_none(), "switched on a backwards clock: {d:?}");
         assert_eq!(rig.ctl.active(), 0);
+    }
+
+    #[test]
+    fn three_legs_pick_the_best_standby_then_cascade() {
+        let mut h = [
+            PathHealth::new(HealthConfig::default()),
+            PathHealth::new(HealthConfig::default()),
+            PathHealth::new(HealthConfig::default()),
+        ];
+        let mut ctl = FailoverController::new(FailoverConfig::default());
+        let mut switches = Vec::new();
+        for t in 0..12_000u64 {
+            for (i, leg) in h.iter_mut().enumerate() {
+                leg.on_tick(ms(t));
+                if t % 50 == 0 {
+                    // Leg 0 goes silent at 2 s; leg 2 at 6 s. Leg 1 runs
+                    // mild loss so leg 2 out-scores it while both live.
+                    let feed = match i {
+                        0 => (t < 2_000).then_some(0.0),
+                        1 => Some(0.02),
+                        _ => (t < 6_000).then_some(0.0),
+                    };
+                    if let Some(loss) = feed {
+                        leg.on_report(ms(t), 40.0, loss, 8e6);
+                    }
+                }
+            }
+            if let Some(d) = ctl.on_tick(ms(t), &[&h[0], &h[1], &h[2]]) {
+                switches.push((t, d));
+            }
+        }
+        assert_eq!(switches.len(), 2, "{switches:?}");
+        // First break: leg 2 is the cleanest surviving standby.
+        assert_eq!(switches[0].1.from, 0);
+        assert_eq!(switches[0].1.to, 2);
+        // When leg 2 dies in turn, the flow cascades onto leg 1.
+        assert_eq!(switches[1].1.from, 2);
+        assert_eq!(switches[1].1.to, 1);
+        assert_eq!(ctl.active(), 1);
     }
 
     #[test]

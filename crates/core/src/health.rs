@@ -62,6 +62,17 @@ impl Default for HealthConfig {
 /// constant keeps its state machine honest.
 const DUMMY_TARGET_BPS: f64 = 1e6;
 
+/// The shared watchdog never starves before its *first* feedback (a CC
+/// ramp must survive its own startup), which leaves a hole: a leg whose
+/// link never comes up at all — blacked out from t=0 — delivers no
+/// report, so the grace never ends and the leg reads healthy forever
+/// while the scheduler stripes into the void. A leg that has been up
+/// this long without one report (not even an empty keepalive) never
+/// came up: classify it dead until evidence arrives. Normal startups
+/// see their first 50 ms-cadence report one to two orders of magnitude
+/// sooner.
+const FIRST_REPORT_DEADLINE: SimDuration = SimDuration::from_millis(1_000);
+
 /// Sender-side health state of one network leg.
 pub struct PathHealth {
     cfg: HealthConfig,
@@ -69,8 +80,12 @@ pub struct PathHealth {
     ewma_rtt_ms: Option<f64>,
     ewma_loss: Option<f64>,
     ewma_goodput_bps: Option<f64>,
+    last_loss_sample: Option<f64>,
+    ewma_loss_swing: Option<f64>,
     degraded_until: SimTime,
     dead_until: SimTime,
+    born: Option<SimTime>,
+    heard: bool,
     reports: u64,
     // Time-in-class accounting (driver-tick integration).
     last_acct: Option<SimTime>,
@@ -90,8 +105,12 @@ impl PathHealth {
             ewma_rtt_ms: None,
             ewma_loss: None,
             ewma_goodput_bps: None,
+            last_loss_sample: None,
+            ewma_loss_swing: None,
             degraded_until: SimTime::ZERO,
             dead_until: SimTime::ZERO,
+            born: None,
+            heard: false,
             reports: 0,
             last_acct: None,
             time_healthy: SimDuration::ZERO,
@@ -111,9 +130,15 @@ impl PathHealth {
                 None => sample,
             })
         };
+        let loss = loss.clamp(0.0, 1.0);
         self.ewma_rtt_ms = fold(self.ewma_rtt_ms, rtt_ms);
-        self.ewma_loss = fold(self.ewma_loss, loss.clamp(0.0, 1.0));
+        self.ewma_loss = fold(self.ewma_loss, loss);
         self.ewma_goodput_bps = fold(self.ewma_goodput_bps, goodput_bps);
+        if let Some(prev) = self.last_loss_sample {
+            self.ewma_loss_swing = fold(self.ewma_loss_swing, (loss - prev).abs());
+        }
+        self.last_loss_sample = Some(loss);
+        self.heard = true;
         self.reports += 1;
         self.starvation.on_feedback(now, DUMMY_TARGET_BPS);
     }
@@ -122,6 +147,7 @@ impl PathHealth {
     /// to the leg in the interval): keep the starvation watchdog fed
     /// without inventing a quality sample.
     pub fn keepalive(&mut self, now: SimTime) {
+        self.heard = true;
         self.starvation.on_feedback(now, DUMMY_TARGET_BPS);
     }
 
@@ -140,6 +166,9 @@ impl PathHealth {
     /// Advance the starvation watchdog and integrate time-in-class.
     /// Call once per driver tick.
     pub fn on_tick(&mut self, now: SimTime) {
+        if self.born.is_none() {
+            self.born = Some(now);
+        }
         self.starvation.on_tick(now, DUMMY_TARGET_BPS);
         if let Some(prev) = self.last_acct {
             let dt = now.saturating_since(prev);
@@ -155,6 +184,15 @@ impl PathHealth {
     /// Classify the leg right now.
     pub fn class(&self, now: SimTime) -> HealthClass {
         if self.starvation.state() == WatchdogState::Starved || now < self.dead_until {
+            return HealthClass::Dead;
+        }
+        // Stillborn link: up past the first-report deadline with no
+        // report ever heard (see FIRST_REPORT_DEADLINE).
+        if !self.heard
+            && self
+                .born
+                .is_some_and(|b| now.saturating_since(b) >= FIRST_REPORT_DEADLINE)
+        {
             return HealthClass::Dead;
         }
         if now < self.degraded_until
@@ -208,6 +246,21 @@ impl PathHealth {
         self.ewma_goodput_bps
     }
 
+    /// Burst-loss indicator: EWMA of the absolute swing between
+    /// consecutive report-interval loss samples, in loss-fraction units.
+    ///
+    /// A Gilbert–Elliott chain spends most of its time in the good state
+    /// and erases heavily during short bad-state excursions, so its
+    /// 50 ms report samples *alternate* between ≈0 and ≈`loss_bad` —
+    /// a large swing. Independent (Bernoulli-like) loss at the same mean
+    /// produces nearly constant samples — a small swing. The bonded
+    /// scheduler uses this to size the Reed–Solomon parity count: bursty
+    /// legs need multi-shard groups, uniform loss is cheaper to cover
+    /// with one. Reads 0 until two loss samples have arrived.
+    pub fn loss_burstiness(&self) -> f64 {
+        self.ewma_loss_swing.unwrap_or(0.0)
+    }
+
     /// Reports folded so far.
     pub fn reports(&self) -> u64 {
         self.reports
@@ -239,14 +292,29 @@ mod tests {
     }
 
     #[test]
-    fn fresh_leg_is_healthy_with_neutral_score() {
+    fn fresh_leg_is_healthy_through_startup_grace() {
         let mut h = PathHealth::new(HealthConfig::default());
-        // Long before any report: startup grace, never dead.
+        for t in 0..900 {
+            h.on_tick(ms(t));
+        }
+        assert_eq!(h.class(ms(900)), HealthClass::Healthy);
+        assert_eq!(h.score(ms(900)), 0.0);
+    }
+
+    #[test]
+    fn stillborn_leg_reads_dead_after_first_report_deadline() {
+        // A link blacked out from t=0 never produces a report: the
+        // startup grace must end, or the scheduler stripes into the
+        // void forever.
+        let mut h = PathHealth::new(HealthConfig::default());
         for t in 0..2_000 {
             h.on_tick(ms(t));
         }
-        assert_eq!(h.class(ms(2_000)), HealthClass::Healthy);
-        assert_eq!(h.score(ms(2_000)), 0.0);
+        assert_eq!(h.class(ms(2_000)), HealthClass::Dead);
+        assert_eq!(h.score(ms(2_000)), f64::NEG_INFINITY);
+        // The first report (even an empty keepalive) revives it.
+        h.keepalive(ms(2_000));
+        assert_ne!(h.class(ms(2_001)), HealthClass::Dead);
     }
 
     #[test]
@@ -291,6 +359,32 @@ mod tests {
         // Expired signals release their classification.
         drive_reports(&mut h, 600, 1_000, 0.0);
         assert_eq!(h.class(ms(1_000)), HealthClass::Healthy);
+    }
+
+    #[test]
+    fn burstiness_separates_alternating_from_steady_loss() {
+        // Gilbert–Elliott-style loss: report samples alternate between the
+        // bad-state excursion and clean air. Same mean as the steady leg.
+        let mut bursty = PathHealth::new(HealthConfig::default());
+        let mut steady = PathHealth::new(HealthConfig::default());
+        for i in 0..40u64 {
+            let t = ms(i * 50);
+            bursty.on_report(t, 40.0, if i % 2 == 0 { 0.5 } else { 0.0 }, 8e6);
+            steady.on_report(t, 40.0, 0.25, 8e6);
+        }
+        assert!(
+            bursty.loss_burstiness() > 0.4,
+            "alternating loss should read bursty: {}",
+            bursty.loss_burstiness()
+        );
+        assert!(
+            steady.loss_burstiness() < 0.01,
+            "uniform loss should read smooth: {}",
+            steady.loss_burstiness()
+        );
+        // No samples yet → neutral zero, not NaN.
+        let fresh = PathHealth::new(HealthConfig::default());
+        assert_eq!(fresh.loss_burstiness(), 0.0);
     }
 
     #[test]

@@ -73,7 +73,9 @@ pub mod prelude {
     pub use crate::multipath::MultipathScheme;
     pub use crate::pipeline::Simulation;
     pub use crate::runner::{run_campaign, CampaignResult};
-    pub use crate::scenario::{CcMode, ExperimentConfig, ExperimentConfigBuilder, Mobility};
+    pub use crate::scenario::{
+        CcMode, ExperimentConfig, ExperimentConfigBuilder, Mobility, MAX_LEGS,
+    };
     pub use crate::stats;
     pub use rpav_lte::{Environment, Operator};
 }

@@ -235,7 +235,7 @@ pub struct RunMetrics {
     pub dup_tx_bytes: u64,
     /// Per-path receiver reports the sender parsed.
     pub path_reports_received: u64,
-    /// XOR-parity packets transmitted (Bonded scheme).
+    /// Reed–Solomon parity packets transmitted (Bonded scheme).
     pub fec_tx: u64,
     /// Erased media packets rebuilt from parity before the NACK/RTX path
     /// had to fire (Bonded scheme).
@@ -243,6 +243,10 @@ pub struct RunMetrics {
     /// Media arrivals accepted out of order by the cross-leg reassembly
     /// buffer (sequence below the highest already seen).
     pub reorder_buffered: u64,
+    /// Of [`fec_recovered`](Self::fec_recovered), packets rebuilt from
+    /// groups that had lost *more than one* member — repairs a
+    /// single-parity XOR code could never have made.
+    pub fec_multi_recovered: u64,
 }
 
 impl RunMetrics {

@@ -5,9 +5,10 @@
 //! station, e.g. multiple cellular operators …, through multipath
 //! transport can help improve the reliability of transmissions when one of
 //! the underlying networks is experiencing deteriorations", citing the
-//! link-diversity design of Bacco et al. \[9\]. One UAV carries **two
-//! modems, one per operator** (the paper's own rig carried four dongles
-//! across two MNOs); this module maps the RTP flow onto them under four
+//! link-diversity design of Bacco et al. \[9\]. One UAV carries **N
+//! modems across the two operators** (the paper's own rig carried four
+//! dongles across two MNOs; `ExperimentConfig::n_legs` sizes the rig,
+//! default two); this module maps the RTP flow onto them under five
 //! schemes:
 //!
 //! * [`SinglePath`](MultipathScheme::SinglePath) — baseline, primary
@@ -35,9 +36,12 @@
 
 use std::collections::{HashSet, VecDeque};
 
+use bytes::Bytes;
 use rpav_lte::{NetworkProfile, Operator, RadioModel};
 use rpav_netem::{FaultScript, Packet, PacketKind, Path, ReorderConfig};
-use rpav_rtp::fec::{FecGroup, FecPacket, FEC_PAYLOAD_TYPE, MAX_FEC_GROUP};
+use rpav_rtp::fec::{
+    rs_recover, RsGroup, RsParityPacket, MAX_FEC_GROUP, MAX_RS_PARITY, RS_FEC_PAYLOAD_TYPE,
+};
 use rpav_rtp::jitter::{JitterBuffer, JitterConfig};
 use rpav_rtp::nack::{Arrival, Nack, NackConfig, NackGenerator};
 use rpav_rtp::packet::{unwrap_seq, RtpPacket};
@@ -51,12 +55,12 @@ use rpav_uav::{profiles as uav_profiles, Position};
 use rpav_video::player::DecodedFrame;
 use rpav_video::{quality, Encoder, EncoderConfig, Player, PlayerConfig, SourceVideo};
 
-use crate::cc::CcEngine;
+use crate::cc::{CcEngine, CoupledCc};
 use crate::failover::{FailoverConfig, FailoverController};
 use crate::health::{HealthClass, HealthConfig, PathHealth};
 use crate::metrics::{FrameRecord, HandoverRecord, PathHealthSummary, RunMetrics, SwitchRecord};
 use crate::paths;
-use crate::scenario::{CcMode, ExperimentConfig};
+use crate::scenario::{CcMode, ExperimentConfig, MAX_LEGS};
 
 /// Driver tick.
 const TICK: SimDuration = SimDuration::from_millis(1);
@@ -69,6 +73,9 @@ const PROBE_INTERVAL: SimDuration = SimDuration::from_millis(20);
 /// Probe payload size (bytes): enough to exercise the path, negligible
 /// against video rates (64 B / 20 ms = 25.6 kbit/s).
 const PROBE_BYTES: usize = 64;
+/// The probe wire payload — a static zero block, shared by every probe
+/// so the keep-warm path allocates nothing per send.
+static PROBE_PAYLOAD: [u8; PROBE_BYTES] = [0u8; PROBE_BYTES];
 /// Sender must have offered at least this many packets to a leg in a
 /// report interval before an unmoving receiver counter reads as loss
 /// (below it, the leg may simply have had nothing to carry).
@@ -98,8 +105,24 @@ const DEFICIT_CLAMP: f64 = 8.0;
 /// trip. Holes the parity misses still get NACKed with over half the
 /// 150 ms playout budget left.
 const FEC_NACK_HOLD: SimDuration = SimDuration::from_millis(40);
+/// Per-leg loss-burstiness (EWMA |Δloss| between report samples) per
+/// *additional* RS parity shard: a leg alternating 0 ↔ 0.25 interval
+/// loss (a Gilbert–Elliott bad-state excursion) reads ≈0.2 and buys the
+/// group three extra shards; smooth loss stays at one shard — the XOR
+/// overhead point.
+const RS_BURST_PER_PARITY: f64 = 0.08;
+/// Exploration floor for the bonded scheduler: every live leg's weight
+/// is held at no less than this fraction of the strongest leg's. The
+/// goodput-proportional weights are a feedback loop — a leg with no
+/// traffic measures no goodput and never earns traffic back — so a
+/// share of exactly zero is an absorbing state. A guaranteed trickle
+/// keeps the starved leg's estimator fed; if the leg can actually
+/// carry, the measurements pull its weight back up (and the RTT
+/// penalty on saturated legs pushes load over). ≈7 % of stripes at the
+/// floor.
+const EXPLORE_WEIGHT_FLOOR: f64 = 0.08;
 
-/// How packets are mapped onto the two operators.
+/// How packets are mapped onto the operators' legs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MultipathScheme {
     /// Baseline: only the primary operator is used.
@@ -115,9 +138,9 @@ pub enum MultipathScheme {
     SelectiveDuplicate,
     /// Packet-level bonding: a deficit-weighted scheduler stripes each
     /// frame's packets across every Up leg (weights from the per-leg
-    /// goodput/RTT/loss EWMAs), with loss-adaptive XOR-parity FEC groups
-    /// crossing legs; falls back to keyframe duplication when only one
-    /// leg is Up.
+    /// goodput/RTT/loss EWMAs), with loss- and burst-adaptive
+    /// Reed–Solomon parity groups crossing legs; falls back to keyframe
+    /// duplication when only one leg is Up.
     Bonded,
 }
 
@@ -133,16 +156,31 @@ impl MultipathScheme {
         }
     }
 
-    /// The original four schemes, baseline first. `Bonded` is not part of
-    /// this set — the standing campaign matrices (and their committed
-    /// baselines) enumerate these; the bonded acceptance harness addresses
-    /// [`MultipathScheme::Bonded`] explicitly.
-    pub fn all() -> [MultipathScheme; 4] {
+    /// The original four schemes, baseline first — the set the standing
+    /// campaign matrices (and their committed baselines) were built on.
+    /// Matrices that must stay bit-identical to those baselines enumerate
+    /// this; anything that means "every scheme" must use
+    /// [`MultipathScheme::all`], which really is all of them.
+    pub fn baseline() -> [MultipathScheme; 4] {
         [
             MultipathScheme::SinglePath,
             MultipathScheme::Duplicate,
             MultipathScheme::Failover,
             MultipathScheme::SelectiveDuplicate,
+        ]
+    }
+
+    /// Every scheme, baseline first. This used to silently omit `Bonded`
+    /// (a fixed `[_; 4]` nobody widened when the fifth scheme landed);
+    /// new schemes must be appended here so standing "all schemes"
+    /// matrices can never drop one unnoticed.
+    pub fn all() -> [MultipathScheme; 5] {
+        [
+            MultipathScheme::SinglePath,
+            MultipathScheme::Duplicate,
+            MultipathScheme::Failover,
+            MultipathScheme::SelectiveDuplicate,
+            MultipathScheme::Bonded,
         ]
     }
 
@@ -167,6 +205,9 @@ struct Leg {
     uplink: Path,
     downlink: Path,
     health: PathHealth,
+    /// RNG stream prefix — `mp.{op}` for legs 0/1 (the committed two-leg
+    /// baselines), index-qualified beyond.
+    stream_prefix: String,
     /// Sender-side wire sequence on this leg's uplink.
     tx_seq: u64,
     /// Receiver-side wire sequence on this leg's downlink.
@@ -192,20 +233,27 @@ struct Leg {
 }
 
 impl Leg {
-    fn new(op: Operator, base: &ExperimentConfig, rngs: &RngSet, radio_index: u64) -> Leg {
-        // `radio_index` decorrelates the two legs' fading/handover streams
-        // (RadioModel draws from fixed stream names, so both legs would
+    fn new(
+        op: Operator,
+        leg_index: usize,
+        base: &ExperimentConfig,
+        rngs: &RngSet,
+        radio_index: u64,
+    ) -> Leg {
+        // `radio_index` decorrelates the legs' fading/handover streams
+        // (RadioModel draws from fixed stream names, so the legs would
         // otherwise fade and hand over in lockstep — the opposite of the
-        // operator diversity the rig exists to exploit).
+        // link diversity the rig exists to exploit).
         let profile = NetworkProfile::new(base.environment, op);
         let radio = RadioModel::new(&profile, rngs, radio_index);
-        let prefix = format!("mp.{}", op.name());
+        let prefix = paths::leg_stream_prefix(op.name(), leg_index);
         let uplink = paths::uplink_path(rngs, &prefix, base.run_index);
         let downlink = paths::downlink_path(rngs, &format!("{prefix}.dl"), base.run_index);
         Leg {
             radio,
             uplink,
             downlink,
+            stream_prefix: prefix,
             health: PathHealth::new(HealthConfig::default()),
             tx_seq: 0,
             dl_seq: 0,
@@ -232,8 +280,8 @@ impl Leg {
 
     /// Attach a scripted fault campaign to both directions (the shape of
     /// a true link blackout: coverage loss kills media and reports alike).
-    fn attach_script(&mut self, script: FaultScript, rngs: &RngSet, run_index: u64, op: Operator) {
-        let prefix = format!("mp.{}", op.name());
+    fn attach_script(&mut self, script: FaultScript, rngs: &RngSet, run_index: u64) {
+        let prefix = self.stream_prefix.clone();
         if script.has_reorder() {
             self.uplink.set_reorder(
                 ReorderConfig::default(),
@@ -303,7 +351,7 @@ fn bonded_weight(health: &PathHealth, now: SimTime) -> f64 {
 /// Loss-adaptive FEC overhead ratio: ~2× the worst leg's loss EWMA plus a
 /// flat bump while any leg is impaired (blackout risk), clamped to the
 /// configured cap. Below [`FEC_MIN_RATIO`] the redundancy layer is off.
-fn fec_ratio(cap: f64, legs: &[Leg; 2], now: SimTime) -> f64 {
+fn fec_ratio(cap: f64, legs: &[Leg], now: SimTime) -> f64 {
     if cap <= 0.0 {
         return 0.0;
     }
@@ -317,69 +365,247 @@ fn fec_ratio(cap: f64, legs: &[Leg; 2], now: SimTime) -> f64 {
     ratio.min(cap)
 }
 
-/// Close the accumulating FEC group and transmit its parity packet on the
-/// leg that carried the fewest of the group's members (maximal leg
-/// diversity: the parity should not share fate with the packets it
-/// protects), falling back to whichever leg is Up.
+/// Burst-adaptive parity-shard count: one shard covers independent
+/// single losses (the XOR operating point); each
+/// [`RS_BURST_PER_PARITY`] of the worst leg's loss-swing EWMA — the
+/// Gilbert–Elliott bad-state signature — buys another, up to
+/// [`MAX_RS_PARITY`]. Bursts erase *runs* of a striped group, and only
+/// multi-shard Reed–Solomon groups survive runs.
+fn rs_parity_target(legs: &[Leg]) -> usize {
+    let mut burst = 0.0f64;
+    for leg in legs.iter() {
+        burst = burst.max(leg.health.loss_burstiness());
+    }
+    (1 + (burst / RS_BURST_PER_PARITY) as usize).min(MAX_RS_PARITY)
+}
+
+/// Deficit-weighted leg pick for one packet. Each participating
+/// (positive-weight) leg accrues credit in proportion to its normalized
+/// weight; the richest account (ties toward the lowest index) pays for
+/// the packet. With zero participants the caller keeps offering to leg 0
+/// rather than dropping at the sender; a single participant takes the
+/// packet without touching the deficit state (so the arithmetic — and
+/// every committed two-leg baseline — is bit-identical to the historical
+/// hard-coded two-leg expressions).
+fn pick_bonded_leg(w: &[f64; MAX_LEGS], deficit: &mut [f64; MAX_LEGS], n: usize) -> usize {
+    let mut wsum = 0.0f64;
+    let mut live = 0usize;
+    let mut last_live = 0usize;
+    for (i, &wi) in w.iter().enumerate().take(n) {
+        if wi > 0.0 {
+            wsum += wi;
+            live += 1;
+            last_live = i;
+        }
+    }
+    match live {
+        0 => 0,
+        1 => last_live,
+        _ => {
+            for i in 0..n {
+                if w[i] > 0.0 {
+                    deficit[i] += w[i] / wsum;
+                }
+            }
+            let mut p = 0usize;
+            for i in 1..n {
+                if w[p] <= 0.0 || (w[i] > 0.0 && deficit[i] > deficit[p]) {
+                    p = i;
+                }
+            }
+            deficit[p] -= 1.0;
+            for i in 0..n {
+                if w[i] > 0.0 {
+                    deficit[i] = deficit[i].clamp(-DEFICIT_CLAMP, DEFICIT_CLAMP);
+                }
+            }
+            p
+        }
+    }
+}
+
+/// Close the accumulating RS group and spread its parity shards across
+/// the legs that carried the fewest of the group's members (maximal leg
+/// diversity: parity should not share fate with the packets it
+/// protects), preferring Up legs; distinct shards of one group land on
+/// distinct legs whenever enough legs exist. `parity_buf` is a reusable
+/// scratch vector.
 #[allow(clippy::too_many_arguments)]
-fn emit_parity(
+fn emit_rs_parity(
     t: SimTime,
-    group: &mut FecGroup,
-    group_tx: &mut [u64; 2],
+    group: &mut RsGroup,
+    group_tx: &mut [u64; MAX_LEGS],
     fec_seq: &mut u16,
-    up: [bool; 2],
-    legs: &mut [Leg; 2],
+    up: &[bool; MAX_LEGS],
+    legs: &mut [Leg],
+    parity_buf: &mut Vec<RsParityPacket>,
     metrics: &mut RunMetrics,
 ) {
-    let Some(fp) = group.build() else {
-        *group_tx = [0, 0];
-        return;
-    };
-    *fec_seq = fec_seq.wrapping_add(1);
-    let parity = fp.into_rtp(MEDIA_SSRC, *fec_seq);
-    let mut fl = usize::from(group_tx[0] > group_tx[1]);
-    if !up[fl] && up[1 - fl] {
-        fl = 1 - fl;
+    parity_buf.clear();
+    group.build_into(parity_buf);
+    let n = legs.len();
+    if !parity_buf.is_empty() {
+        // Candidate legs ordered by (members carried, index), Up legs
+        // only — unless none is Up, in which case all legs stand in
+        // (parity on a down leg mirrors the media path's own fallback).
+        let mut order = [0usize; MAX_LEGS];
+        let mut cnt = 0usize;
+        for (i, &u) in up.iter().enumerate().take(n) {
+            if u {
+                order[cnt] = i;
+                cnt += 1;
+            }
+        }
+        if cnt == 0 {
+            for (i, slot) in order.iter_mut().enumerate().take(n) {
+                *slot = i;
+            }
+            cnt = n;
+        }
+        for a in 0..cnt {
+            let mut best = a;
+            for b in a + 1..cnt {
+                if group_tx[order[b]] < group_tx[order[best]] {
+                    best = b;
+                }
+            }
+            order.swap(a, best);
+        }
+        for (pi, fp) in parity_buf.drain(..).enumerate() {
+            *fec_seq = fec_seq.wrapping_add(1);
+            let parity = fp.into_rtp(MEDIA_SSRC, *fec_seq);
+            let fl = order[pi % cnt];
+            metrics.fec_tx += 1;
+            legs[fl].send_up(t, parity.serialize(), PacketKind::Media);
+        }
     }
-    metrics.fec_tx += 1;
-    legs[fl].send_up(t, parity.serialize(), PacketKind::Media);
-    *group_tx = [0, 0];
+    *group_tx = [0; MAX_LEGS];
+}
+
+/// The sender's congestion-control plane: one engine for the classic
+/// schemes, or per-leg shadow engines behind an aggregate target when
+/// `ExperimentConfig::coupled_cc` arms the bonded coupling.
+enum CcDriver {
+    // Boxed: a full CcEngine is ~30× the coupled handle, and the driver
+    // lives on the stack of a deep sim loop.
+    Single(Box<CcEngine>),
+    Coupled(CoupledCc),
+}
+
+impl CcDriver {
+    fn start_bitrate_bps(&self) -> f64 {
+        match self {
+            CcDriver::Single(cc) => cc.start_bitrate_bps(),
+            CcDriver::Coupled(cc) => cc.start_bitrate_bps(),
+        }
+    }
+
+    fn with_twcc(&self) -> bool {
+        match self {
+            CcDriver::Single(cc) => cc.with_twcc(),
+            CcDriver::Coupled(cc) => cc.with_twcc(),
+        }
+    }
+
+    fn feedback_interval(&self) -> Option<SimDuration> {
+        match self {
+            CcDriver::Single(cc) => cc.feedback_interval(),
+            CcDriver::Coupled(cc) => cc.feedback_interval(),
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime) -> f64 {
+        match self {
+            CcDriver::Single(cc) => cc.on_tick(now),
+            CcDriver::Coupled(cc) => cc.on_tick(now),
+        }
+    }
+
+    fn target_bps(&self) -> f64 {
+        match self {
+            CcDriver::Single(cc) => cc.target_bps(),
+            CcDriver::Coupled(cc) => cc.target_bps(),
+        }
+    }
+
+    fn watchdog_stats(&self) -> Option<rpav_sim::WatchdogStats> {
+        match self {
+            CcDriver::Single(cc) => cc.watchdog_stats(),
+            CcDriver::Coupled(cc) => cc.watchdog_stats(),
+        }
+    }
+
+    fn scream_stats(&self) -> Option<rpav_scream::ScreamStats> {
+        match self {
+            CcDriver::Single(cc) => cc.scream_stats(),
+            CcDriver::Coupled(cc) => cc.scream_stats(),
+        }
+    }
 }
 
 /// Run the multipath experiment over the flight of `base`, under
-/// `base.cc`, with the chosen scheme. The primary operator (leg 0) is
-/// `base.operator`, the secondary (leg 1) the other one.
+/// `base.cc`, with the chosen scheme. `base.n_legs` modems participate:
+/// even legs ride `base.operator`, odd legs the other one.
 pub fn run_multipath(base: &ExperimentConfig, scheme: MultipathScheme) -> RunMetrics {
-    run_multipath_scripted(base, scheme, None, None)
+    run_multipath_legs(base, scheme, Vec::new())
 }
 
-/// [`run_multipath`] with per-operator scripted fault campaigns: each
-/// script hits both directions of its leg (a true link blackout), and the
-/// primary script's blackout windows become per-outage recovery records.
+/// [`run_multipath`] with scripted fault campaigns on the first two legs
+/// — the historical two-leg entry point, kept for every existing caller.
 pub fn run_multipath_scripted(
     base: &ExperimentConfig,
     scheme: MultipathScheme,
     primary_script: Option<FaultScript>,
     secondary_script: Option<FaultScript>,
 ) -> RunMetrics {
+    run_multipath_legs(base, scheme, vec![primary_script, secondary_script])
+}
+
+/// [`run_multipath`] with a per-leg scripted fault campaign: entry `i`
+/// of `leg_scripts` (missing entries mean unscripted) hits both
+/// directions of leg `i` — a true link blackout. Correlated cross-leg
+/// failures are expressed by giving several legs scripts with
+/// overlapping windows. Leg 0's blackout windows become per-outage
+/// recovery records; scripts beyond `base.n_legs` are ignored.
+pub fn run_multipath_legs(
+    base: &ExperimentConfig,
+    scheme: MultipathScheme,
+    leg_scripts: Vec<Option<FaultScript>>,
+) -> RunMetrics {
     let rngs = RngSet::new(base.seed);
     let plan = uav_profiles::paper_flight(Position::ground(0.0, 0.0), base.hold);
     let secondary_op = base.secondary_operator();
-    let mut legs = [
-        Leg::new(base.operator, base, &rngs, base.run_index),
-        Leg::new(secondary_op, base, &rngs, base.run_index ^ (1 << 32)),
-    ];
+    let n = base.n_legs.clamp(1, MAX_LEGS);
+    let mut legs: Vec<Leg> = (0..n)
+        .map(|li| {
+            let op = if li % 2 == 0 {
+                base.operator
+            } else {
+                secondary_op
+            };
+            Leg::new(op, li, base, &rngs, base.run_index ^ ((li as u64) << 32))
+        })
+        .collect();
     let mut outage_windows = Vec::new();
-    if let Some(script) = primary_script {
-        outage_windows.extend(script.blackout_windows());
-        legs[0].attach_script(script, &rngs, base.run_index, base.operator);
-    }
-    if let Some(script) = secondary_script {
-        legs[1].attach_script(script, &rngs, base.run_index, secondary_op);
+    for (li, script) in leg_scripts.into_iter().take(n).enumerate() {
+        if let Some(script) = script {
+            if li == 0 {
+                outage_windows.extend(script.blackout_windows());
+            }
+            legs[li].attach_script(script, &rngs, base.run_index);
+        }
     }
 
     let source = SourceVideo::new(base.seed ^ 0x5EED);
-    let mut cc = CcEngine::new(base.cc, base.watchdog);
+    // The bonded coupled mode runs one shadow CC per leg behind an
+    // aggregate target; every other configuration keeps the single
+    // engine (and its bit-exact committed baselines).
+    let coupled = scheme == MultipathScheme::Bonded && base.coupled_cc;
+    let mut cc = if coupled {
+        CcDriver::Coupled(CoupledCc::new(base.cc, base.watchdog, n))
+    } else {
+        CcDriver::Single(Box::new(CcEngine::new(base.cc, base.watchdog)))
+    };
     let mut encoder = Encoder::new(EncoderConfig::default(), source, cc.start_bitrate_bps());
     let mut packetizer = Packetizer::new(0x2, cc.with_twcc());
     let ack_span = match base.cc {
@@ -393,6 +619,15 @@ pub fn run_multipath_scripted(
     let mut player = Player::new(PlayerConfig::default());
     let mut twcc_rec = TwccRecorder::new();
     let mut ccfb = Rfc8888Builder::new(ack_span);
+    // Coupled mode keeps CC feedback per leg: each shadow engine only
+    // ever sees its own leg's arrivals, so cross-leg delay variance
+    // cannot masquerade as congestion.
+    let mut leg_twcc: Vec<TwccRecorder> = (0..if coupled { n } else { 0 })
+        .map(|_| TwccRecorder::new())
+        .collect();
+    let mut leg_ccfb: Vec<Rfc8888Builder> = (0..if coupled { n } else { 0 })
+        .map(|_| Rfc8888Builder::new(ack_span))
+        .collect();
     let mut next_cc_feedback = SimTime::ZERO;
     // First-copy-wins accounting across legs: the first arrival of an RTP
     // (sequence, timestamp) identity feeds metrics/jitter/CC; later copies
@@ -405,7 +640,7 @@ pub fn run_multipath_scripted(
     // playout deadline, and the unwrapped-highest sequence for reorder
     // accounting.
     let mut media_window: VecDeque<RtpPacket> = VecDeque::new();
-    let mut fec_pending: VecDeque<(SimTime, FecPacket)> = VecDeque::new();
+    let mut rs_pending: VecDeque<(SimTime, RsParityPacket)> = VecDeque::new();
     let mut highest_useq: Option<u64> = None;
     // Loss-repair plumbing, active only when `base.repair` is set so the
     // stock runs stay bit-identical.
@@ -430,12 +665,14 @@ pub fn run_multipath_scripted(
     // RTP sequences belonging to keyframes, for selective duplication and
     // the bonded single-leg fallback.
     let mut keyframe_seqs: HashSet<u16> = HashSet::new();
-    // Bonded sender state: per-leg deficit counters, the accumulating FEC
-    // group with its per-leg tx split, and the parity sequence counter.
-    let mut deficit = [0.0f64; 2];
-    let mut fec_group = FecGroup::new();
-    let mut fec_group_tx = [0u64; 2];
+    // Bonded sender state: per-leg deficit counters, the accumulating RS
+    // group with its per-leg tx split, the parity sequence counter, and
+    // the reusable parity scratch buffer.
+    let mut deficit = [0.0f64; MAX_LEGS];
+    let mut rs_group = RsGroup::new();
+    let mut rs_group_tx = [0u64; MAX_LEGS];
     let mut fec_seq: u16 = 0;
+    let mut parity_buf: Vec<RsParityPacket> = Vec::with_capacity(MAX_RS_PARITY);
 
     let mut metrics = RunMetrics::default();
     let mut ref_intact = true;
@@ -488,11 +725,15 @@ pub fn run_multipath_scripted(
         for leg in legs.iter_mut() {
             leg.health.on_tick(t);
         }
-        if scheme.switches() {
-            if let Some(d) = controller.on_tick(t, [&legs[0].health, &legs[1].health]) {
+        if scheme.switches() && legs.len() >= 2 {
+            let mut hrefs: [&PathHealth; MAX_LEGS] = [&legs[0].health; MAX_LEGS];
+            for (i, leg) in legs.iter().enumerate() {
+                hrefs[i] = &leg.health;
+            }
+            if let Some(d) = controller.on_tick(t, &hrefs[..legs.len()]) {
                 metrics.switches.push(SwitchRecord {
                     at: t,
-                    from_leg: (1 - d.to) as u8,
+                    from_leg: d.from as u8,
                     to_leg: d.to as u8,
                     cause: d.cause,
                 });
@@ -504,7 +745,50 @@ pub fn run_multipath_scripted(
             0
         };
 
-        // 3. Encoder → packetizer → CC staging.
+        // Bonded scheduler inputs, read only from health clocks: per-leg
+        // liveness and weights, the loss-adaptive FEC ratio, and the
+        // burst-adaptive parity depth. Computed before admission so the
+        // coupled mode can stripe packets as they enter their shadow CCs.
+        let mut bonded_up = [false; MAX_LEGS];
+        let mut bonded_w = [0.0f64; MAX_LEGS];
+        for (li, leg) in legs.iter().enumerate() {
+            bonded_up[li] = leg.health.class(t) != HealthClass::Dead;
+            if scheme == MultipathScheme::Bonded {
+                bonded_w[li] = bonded_weight(&leg.health, t);
+            }
+        }
+        if scheme == MultipathScheme::Bonded {
+            let wmax = bonded_w[..n].iter().fold(0.0f64, |a, &b| a.max(b));
+            if wmax > 0.0 {
+                for li in 0..n {
+                    if bonded_up[li] {
+                        bonded_w[li] = bonded_w[li].max(EXPLORE_WEIGHT_FLOOR * wmax);
+                    }
+                }
+            }
+        }
+        let up_count = bonded_up[..n].iter().filter(|&&u| u).count();
+        let ratio = if scheme == MultipathScheme::Bonded {
+            fec_ratio(base.fec_cap, &legs, t)
+        } else {
+            0.0
+        };
+        // Cross-leg parity needs at least two legs worth of diversity;
+        // with one survivor the redundancy budget moves to keyframe
+        // duplication instead.
+        let fec_on = ratio >= FEC_MIN_RATIO && up_count >= 2;
+        let rs_parity = if fec_on { rs_parity_target(&legs) } else { 1 };
+        let group_target = if fec_on {
+            ((rs_parity as f64 / ratio).round() as usize)
+                .clamp(rs_parity.max(2), usize::from(MAX_FEC_GROUP))
+        } else {
+            usize::from(MAX_FEC_GROUP)
+        };
+
+        // 3. Encoder → packetizer → CC staging. The coupled mode pins
+        // each packet to a leg here (deficit-weighted, in sequence order
+        // so RS groups stay consecutive) and hands it to that leg's
+        // shadow engine; the single-engine path stages as before.
         if t < flight_end {
             while let Some(frame) = encoder.poll(t) {
                 let packets = packetizer.packetize(frame.meta, frame.meta.encode_time);
@@ -519,123 +803,157 @@ pub fn run_multipath_scripted(
                         keyframe_seqs.clear(); // stale u16 identities
                     }
                 }
-                cc.enqueue(t, packets);
+                match &mut cc {
+                    CcDriver::Single(c) => c.enqueue(t, packets),
+                    CcDriver::Coupled(c) => {
+                        let mut per_leg: Vec<Vec<RtpPacket>> = (0..n).map(|_| Vec::new()).collect();
+                        for rtp in packets {
+                            let pick = pick_bonded_leg(&bonded_w, &mut deficit, n);
+                            if fec_on {
+                                rs_group.push(&rtp, rs_parity);
+                                rs_group_tx[pick] += 1;
+                                if usize::from(rs_group.len()) >= group_target {
+                                    emit_rs_parity(
+                                        t,
+                                        &mut rs_group,
+                                        &mut rs_group_tx,
+                                        &mut fec_seq,
+                                        &bonded_up,
+                                        &mut legs,
+                                        &mut parity_buf,
+                                        &mut metrics,
+                                    );
+                                }
+                            }
+                            per_leg[pick].push(rtp);
+                        }
+                        for (li, pkts) in per_leg.into_iter().enumerate() {
+                            if !pkts.is_empty() {
+                                c.enqueue_leg(li, t, pkts);
+                            }
+                        }
+                    }
+                }
             }
         }
 
         // 4. CC-gated transmission: bonded deficit-weighted striping, or
-        // the active leg plus scheme-driven duplication onto the other.
+        // the active leg plus scheme-driven duplication onto the others.
         let target = cc.on_tick(t);
         encoder.set_target_bitrate(target);
         if let Some(r) = rtx.as_mut() {
             r.refill(t, cc.target_bps());
         }
-        let bonded_up = [
-            legs[0].health.class(t) != HealthClass::Dead,
-            legs[1].health.class(t) != HealthClass::Dead,
-        ];
-        let bonded_w = if scheme == MultipathScheme::Bonded {
-            [
-                bonded_weight(&legs[0].health, t),
-                bonded_weight(&legs[1].health, t),
-            ]
-        } else {
-            [0.0, 0.0]
-        };
-        let ratio = if scheme == MultipathScheme::Bonded {
-            fec_ratio(base.fec_cap, &legs, t)
-        } else {
-            0.0
-        };
-        // Cross-leg parity needs two legs worth of diversity; with one leg
-        // down the redundancy budget moves to keyframe duplication instead.
-        let fec_on = ratio >= FEC_MIN_RATIO && bonded_up[0] && bonded_up[1];
-        if !fec_on && !fec_group.is_empty() {
+        if !fec_on && !rs_group.is_empty() {
             // The redundancy window closed mid-group (a leg died, or loss
             // calmed down): emit the partial parity rather than abandoning
             // the packets already folded in.
-            emit_parity(
+            emit_rs_parity(
                 t,
-                &mut fec_group,
-                &mut fec_group_tx,
+                &mut rs_group,
+                &mut rs_group_tx,
                 &mut fec_seq,
-                bonded_up,
+                &bonded_up,
                 &mut legs,
+                &mut parity_buf,
                 &mut metrics,
             );
         }
-        let group_target = if fec_on {
-            ((1.0 / ratio).round() as usize).clamp(2, usize::from(MAX_FEC_GROUP))
-        } else {
-            usize::from(MAX_FEC_GROUP)
-        };
-        while let Some(rtp) = cc.poll_transmit(t) {
-            metrics.media_sent += 1;
-            if let Some(r) = rtx.as_mut() {
-                r.record(&rtp);
-            }
-            let wire = rtp.serialize();
-            if scheme == MultipathScheme::Bonded {
-                // Deficit-weighted pick: each leg accrues credit in
-                // proportion to its normalized weight; the richer account
-                // pays for this packet. Zero-weight (Dead) legs are
-                // skipped; with both dead, keep offering to leg 0 rather
-                // than dropping at the sender.
-                let pick = if bonded_w[0] <= 0.0 {
-                    usize::from(bonded_w[1] > 0.0)
-                } else if bonded_w[1] <= 0.0 {
-                    0
-                } else {
-                    let wsum = bonded_w[0] + bonded_w[1];
-                    deficit[0] += bonded_w[0] / wsum;
-                    deficit[1] += bonded_w[1] / wsum;
-                    let p = usize::from(deficit[1] > deficit[0]);
-                    deficit[p] -= 1.0;
-                    deficit[0] = deficit[0].clamp(-DEFICIT_CLAMP, DEFICIT_CLAMP);
-                    deficit[1] = deficit[1].clamp(-DEFICIT_CLAMP, DEFICIT_CLAMP);
-                    p
-                };
-                legs[pick].tx_media += 1;
-                legs[pick].send_up(t, wire.clone(), PacketKind::Media);
-                if fec_on {
-                    fec_group.push(&rtp);
-                    fec_group_tx[pick] += 1;
-                    if usize::from(fec_group.len()) >= group_target {
-                        emit_parity(
-                            t,
-                            &mut fec_group,
-                            &mut fec_group_tx,
-                            &mut fec_seq,
-                            bonded_up,
-                            &mut legs,
-                            &mut metrics,
-                        );
+        match &mut cc {
+            CcDriver::Single(engine) => {
+                while let Some(rtp) = engine.poll_transmit(t) {
+                    metrics.media_sent += 1;
+                    if let Some(r) = rtx.as_mut() {
+                        r.record(&rtp);
                     }
-                } else if bonded_up[0] != bonded_up[1] && keyframe_seqs.remove(&rtp.sequence) {
-                    // Single-leg fallback: repeat keyframe packets on the
-                    // surviving leg — time diversity where leg diversity
-                    // is gone.
-                    metrics.dup_tx_packets += 1;
-                    metrics.dup_tx_bytes += wire.len() as u64;
-                    legs[pick].send_up(t, wire, PacketKind::Media);
+                    let wire = rtp.serialize();
+                    if scheme == MultipathScheme::Bonded {
+                        let pick = pick_bonded_leg(&bonded_w, &mut deficit, n);
+                        legs[pick].tx_media += 1;
+                        legs[pick].send_up(t, wire.clone(), PacketKind::Media);
+                        if fec_on {
+                            rs_group.push(&rtp, rs_parity);
+                            rs_group_tx[pick] += 1;
+                            if usize::from(rs_group.len()) >= group_target {
+                                emit_rs_parity(
+                                    t,
+                                    &mut rs_group,
+                                    &mut rs_group_tx,
+                                    &mut fec_seq,
+                                    &bonded_up,
+                                    &mut legs,
+                                    &mut parity_buf,
+                                    &mut metrics,
+                                );
+                            }
+                        } else if n >= 2 && up_count == 1 && keyframe_seqs.remove(&rtp.sequence) {
+                            // Single-leg fallback on a multi-leg rig:
+                            // repeat keyframe packets on the surviving
+                            // leg — time diversity where leg diversity is
+                            // gone. (A one-modem rig is plain single-path;
+                            // nothing degraded, nothing to compensate.)
+                            metrics.dup_tx_packets += 1;
+                            metrics.dup_tx_bytes += wire.len() as u64;
+                            legs[pick].send_up(t, wire, PacketKind::Media);
+                        }
+                    } else {
+                        let dup = match scheme {
+                            MultipathScheme::SinglePath | MultipathScheme::Failover => false,
+                            MultipathScheme::Duplicate => true,
+                            MultipathScheme::SelectiveDuplicate => {
+                                keyframe_seqs.remove(&rtp.sequence)
+                                    || legs[active].health.class(t) != HealthClass::Healthy
+                            }
+                            // Handled by the branch above; never reaches here.
+                            MultipathScheme::Bonded => false,
+                        };
+                        legs[active].tx_media += 1;
+                        legs[active].send_up(t, wire.clone(), PacketKind::Media);
+                        if dup && legs.len() >= 2 {
+                            match scheme {
+                                MultipathScheme::Duplicate => {
+                                    // Full duplication fans out to every
+                                    // other leg.
+                                    for (li, leg) in legs.iter_mut().enumerate().take(n) {
+                                        if li != active {
+                                            metrics.dup_tx_packets += 1;
+                                            metrics.dup_tx_bytes += wire.len() as u64;
+                                            leg.send_up(t, wire.clone(), PacketKind::Media);
+                                        }
+                                    }
+                                }
+                                _ => {
+                                    // Selective duplication buys one copy:
+                                    // the lowest-indexed standby.
+                                    let li = usize::from(active == 0);
+                                    metrics.dup_tx_packets += 1;
+                                    metrics.dup_tx_bytes += wire.len() as u64;
+                                    legs[li].send_up(t, wire, PacketKind::Media);
+                                }
+                            }
+                        }
+                    }
                 }
-            } else {
-                let dup = match scheme {
-                    MultipathScheme::SinglePath | MultipathScheme::Failover => false,
-                    MultipathScheme::Duplicate => true,
-                    MultipathScheme::SelectiveDuplicate => {
-                        keyframe_seqs.remove(&rtp.sequence)
-                            || legs[active].health.class(t) != HealthClass::Healthy
+            }
+            CcDriver::Coupled(engine) => {
+                // Packets were pinned to legs at admission; each shadow
+                // engine paces its own leg. Parity already emitted there.
+                for (li, leg) in legs.iter_mut().enumerate().take(n) {
+                    while let Some(rtp) = engine.poll_transmit_leg(li, t) {
+                        metrics.media_sent += 1;
+                        if let Some(r) = rtx.as_mut() {
+                            r.record(&rtp);
+                        }
+                        let wire = rtp.serialize();
+                        leg.tx_media += 1;
+                        leg.send_up(t, wire.clone(), PacketKind::Media);
+                        if !fec_on && n >= 2 && up_count == 1 && keyframe_seqs.remove(&rtp.sequence)
+                        {
+                            metrics.dup_tx_packets += 1;
+                            metrics.dup_tx_bytes += wire.len() as u64;
+                            leg.send_up(t, wire, PacketKind::Media);
+                        }
                     }
-                    // Handled by the branch above; never reaches here.
-                    MultipathScheme::Bonded => false,
-                };
-                legs[active].tx_media += 1;
-                legs[active].send_up(t, wire.clone(), PacketKind::Media);
-                if dup {
-                    metrics.dup_tx_packets += 1;
-                    metrics.dup_tx_bytes += wire.len() as u64;
-                    legs[1 - active].send_up(t, wire, PacketKind::Media);
                 }
             }
         }
@@ -647,22 +965,20 @@ pub fn run_multipath_scripted(
         // recover).
         if scheme.probes_standby() && t >= next_probe {
             next_probe = t + PROBE_INTERVAL;
-            metrics.probes_sent += 1;
-            legs[1 - active].send_up(
-                t,
-                bytes::Bytes::from(vec![0u8; PROBE_BYTES]),
-                PacketKind::Probe,
-            );
-        } else if scheme == MultipathScheme::Bonded && t >= next_probe {
+            for (li, leg) in legs.iter_mut().enumerate() {
+                if li != active {
+                    metrics.probes_sent += 1;
+                    leg.send_up(t, Bytes::from_static(&PROBE_PAYLOAD), PacketKind::Probe);
+                }
+            }
+        } else if scheme == MultipathScheme::Bonded && n >= 2 && t >= next_probe {
+            // One-modem rigs have no idle leg to keep warm — the media
+            // flow itself is the health traffic, exactly as single-path.
             next_probe = t + PROBE_INTERVAL;
             for leg in legs.iter_mut() {
                 if leg.tx_offered == leg.tx_at_probe {
                     metrics.probes_sent += 1;
-                    leg.send_up(
-                        t,
-                        bytes::Bytes::from(vec![0u8; PROBE_BYTES]),
-                        PacketKind::Probe,
-                    );
+                    leg.send_up(t, Bytes::from_static(&PROBE_PAYLOAD), PacketKind::Probe);
                 }
                 leg.tx_at_probe = leg.tx_offered;
             }
@@ -688,11 +1004,11 @@ pub fn run_multipath_scripted(
                     metrics.malformed_packets += 1;
                     continue;
                 };
-                if scheme == MultipathScheme::Bonded && rtp.payload_type == FEC_PAYLOAD_TYPE {
+                if scheme == MultipathScheme::Bonded && rtp.payload_type == RS_FEC_PAYLOAD_TYPE {
                     // Parity stream: queued against the playout deadline,
                     // never enters the media pipeline itself.
-                    match FecPacket::parse_payload(rtp.payload.clone()) {
-                        Ok(fp) => fec_pending.push_back((t + FEC_RECOVERY_DEADLINE, fp)),
+                    match RsParityPacket::parse_payload(rtp.payload.clone()) {
+                        Ok(fp) => rs_pending.push_back((t + FEC_RECOVERY_DEADLINE, fp)),
                         Err(_) => metrics.malformed_packets += 1,
                     }
                     continue;
@@ -721,10 +1037,20 @@ pub fn run_multipath_scripted(
                 match base.cc {
                     CcMode::Gcc => {
                         if let Some(ts) = rtp.transport_seq {
-                            twcc_rec.on_packet(ts, t);
+                            if coupled {
+                                leg_twcc[li].on_packet(ts, t);
+                            } else {
+                                twcc_rec.on_packet(ts, t);
+                            }
                         }
                     }
-                    CcMode::Scream { .. } => ccfb.on_packet(rtp.sequence, t),
+                    CcMode::Scream { .. } => {
+                        if coupled {
+                            leg_ccfb[li].on_packet(rtp.sequence, t);
+                        } else {
+                            ccfb.on_packet(rtp.sequence, t);
+                        }
+                    }
                     CcMode::Static { .. } => {}
                 }
                 if scheme == MultipathScheme::Bonded {
@@ -750,46 +1076,85 @@ pub fn run_multipath_scripted(
             }
         }
 
-        // 6b. FEC recovery: parity packets one survivor short of their
-        // group are redeemed against the reassembly window — before the
-        // NACK/RTX path ever spends a round trip on the hole. Cascades to
-        // fixpoint (a recovered packet can complete another group);
-        // deadline-expired parity is dropped first.
-        if scheme == MultipathScheme::Bonded && !fec_pending.is_empty() {
-            fec_pending.retain(|(deadline, _)| *deadline >= t);
+        // 6b. FEC recovery: each pending group's parity shards are
+        // pooled and redeemed against the reassembly window — a group
+        // missing up to as many members as it has shards on hand is
+        // rebuilt in one solve, before the NACK/RTX path ever spends a
+        // round trip on the holes. Cascades to fixpoint (a recovered
+        // packet can complete another group); deadline-expired parity is
+        // dropped first.
+        if scheme == MultipathScheme::Bonded && !rs_pending.is_empty() {
+            rs_pending.retain(|(deadline, _)| *deadline >= t);
             loop {
                 let mut recovered_any = false;
                 let mut i = 0;
-                while i < fec_pending.len() {
-                    let fp = &fec_pending[i].1;
-                    let survivors: Vec<&RtpPacket> = media_window
-                        .iter()
-                        .filter(|p| fp.covers(p.sequence))
-                        .collect();
-                    let Some(rec) = fp.recover(&survivors) else {
+                while i < rs_pending.len() {
+                    // Gather every shard of the group anchored at `i`
+                    // (later arrivals of the same group sit further down
+                    // the deque) into a fixed scratch array.
+                    let mut remove_idx = [0usize; MAX_RS_PARITY];
+                    let (recs, remove_cnt) = {
+                        let first = &rs_pending[i].1;
+                        let mut refs: [&RsParityPacket; MAX_RS_PARITY] = [first; MAX_RS_PARITY];
+                        remove_idx[0] = i;
+                        let mut cnt = 1usize;
+                        for (j, (_, p)) in rs_pending.iter().enumerate().skip(i + 1) {
+                            if cnt < MAX_RS_PARITY
+                                && p.sn_base == first.sn_base
+                                && p.count == first.count
+                                && p.parity_count == first.parity_count
+                            {
+                                refs[cnt] = p;
+                                remove_idx[cnt] = j;
+                                cnt += 1;
+                            }
+                        }
+                        (
+                            rs_recover(&refs[..cnt], media_window.iter(), MEDIA_SSRC),
+                            cnt,
+                        )
+                    };
+                    let Some(recs) = recs else {
+                        // Still short of survivors (or damaged shards):
+                        // leave the group pending for the next arrivals.
                         i += 1;
                         continue;
                     };
-                    fec_pending.remove(i);
-                    recovered_any = true;
-                    if !seen.insert(u64::from(rec.sequence) | (u64::from(rec.timestamp) << 16)) {
-                        // The original landed after all (late copy or an
-                        // RTX won the race): nothing left to repair.
+                    for k in (0..remove_cnt).rev() {
+                        rs_pending.remove(remove_idx[k]);
+                    }
+                    if recs.is_empty() {
+                        // Nothing was missing; the group retires unused.
                         continue;
                     }
-                    metrics.fec_recovered += 1;
-                    metrics.media_received += 1;
-                    metrics.media_received_bytes += rec.payload.len() as u64;
-                    if let Some(ng) = nack_gen.as_mut() {
-                        // Cancels any pending retransmission request for
-                        // this sequence.
-                        ng.on_packet(t, rec.sequence);
+                    recovered_any = true;
+                    let multi = recs.len() >= 2;
+                    for rec in recs {
+                        if !seen.insert(u64::from(rec.sequence) | (u64::from(rec.timestamp) << 16))
+                        {
+                            // The original landed after all (late copy or
+                            // an RTX won the race): nothing left to repair.
+                            continue;
+                        }
+                        metrics.fec_recovered += 1;
+                        if multi {
+                            // XOR could never have repaired this packet:
+                            // its group lost more than one member.
+                            metrics.fec_multi_recovered += 1;
+                        }
+                        metrics.media_received += 1;
+                        metrics.media_received_bytes += rec.payload.len() as u64;
+                        if let Some(ng) = nack_gen.as_mut() {
+                            // Cancels any pending retransmission request
+                            // for this sequence.
+                            ng.on_packet(t, rec.sequence);
+                        }
+                        media_window.push_back(rec.clone());
+                        if media_window.len() > MEDIA_WINDOW_CAP {
+                            media_window.pop_front();
+                        }
+                        jitter.push(t, rec);
                     }
-                    media_window.push_back(rec.clone());
-                    if media_window.len() > MEDIA_WINDOW_CAP {
-                        media_window.pop_front();
-                    }
-                    jitter.push(t, rec);
                 }
                 if !recovered_any {
                     break;
@@ -819,16 +1184,33 @@ pub fn run_multipath_scripted(
         if let Some(interval) = cc.feedback_interval() {
             if t >= next_cc_feedback {
                 next_cc_feedback = t + interval;
-                let wire = match base.cc {
-                    CcMode::Gcc => twcc_rec.build_feedback().map(|fb| fb.serialize()),
-                    CcMode::Scream { .. } => ccfb.build(t).map(|fb| fb.serialize()),
-                    CcMode::Static { .. } => None,
-                };
-                if let Some(wire) = wire {
-                    let leg = &mut legs[last_media_leg];
-                    leg.dl_seq += 1;
-                    leg.downlink
-                        .enqueue(t, Packet::new(leg.dl_seq, wire, PacketKind::Feedback, t));
+                if coupled {
+                    // Per-leg feedback on that leg's own downlink: each
+                    // shadow engine hears only about its own packets.
+                    for (li, leg) in legs.iter_mut().enumerate() {
+                        let wire = match base.cc {
+                            CcMode::Gcc => leg_twcc[li].build_feedback().map(|fb| fb.serialize()),
+                            CcMode::Scream { .. } => leg_ccfb[li].build(t).map(|fb| fb.serialize()),
+                            CcMode::Static { .. } => None,
+                        };
+                        if let Some(wire) = wire {
+                            leg.dl_seq += 1;
+                            leg.downlink
+                                .enqueue(t, Packet::new(leg.dl_seq, wire, PacketKind::Feedback, t));
+                        }
+                    }
+                } else {
+                    let wire = match base.cc {
+                        CcMode::Gcc => twcc_rec.build_feedback().map(|fb| fb.serialize()),
+                        CcMode::Scream { .. } => ccfb.build(t).map(|fb| fb.serialize()),
+                        CcMode::Static { .. } => None,
+                    };
+                    if let Some(wire) = wire {
+                        let leg = &mut legs[last_media_leg];
+                        leg.dl_seq += 1;
+                        leg.downlink
+                            .enqueue(t, Packet::new(leg.dl_seq, wire, PacketKind::Feedback, t));
+                    }
                 }
             }
         } else {
@@ -848,8 +1230,9 @@ pub fn run_multipath_scripted(
         }
 
         // 8. Downlink arrivals at the sender: path reports feed health,
-        // everything else is offered to the CC.
-        for leg in legs.iter_mut() {
+        // everything else is offered to the CC (each leg's feedback to
+        // its own shadow engine in coupled mode).
+        for (li, leg) in legs.iter_mut().enumerate() {
             while let Some(pkt) = leg.downlink.poll(t) {
                 if pkt.corrupted {
                     metrics.corrupted_arrivals += 1;
@@ -869,7 +1252,11 @@ pub fn run_multipath_scripted(
                         continue;
                     }
                 }
-                if !cc.on_feedback(pkt.payload.clone(), t) {
+                let accepted = match &mut cc {
+                    CcDriver::Single(c) => c.on_feedback(pkt.payload.clone(), t),
+                    CcDriver::Coupled(c) => c.on_feedback_leg(li, pkt.payload.clone(), t),
+                };
+                if !accepted {
                     metrics.malformed_packets += 1;
                 }
             }
@@ -1024,6 +1411,17 @@ mod tests {
         }
         assert_eq!(MultipathScheme::SinglePath.name(), "single-path");
         assert_eq!(MultipathScheme::Failover.name(), "failover");
+        assert_eq!(MultipathScheme::Bonded.name(), "bonded");
+    }
+
+    #[test]
+    fn baseline_is_all_minus_bonded() {
+        let all = MultipathScheme::all();
+        let baseline = MultipathScheme::baseline();
+        assert_eq!(all.len(), baseline.len() + 1);
+        assert_eq!(&all[..baseline.len()], &baseline[..]);
+        assert!(!baseline.contains(&MultipathScheme::Bonded));
+        assert_eq!(all[all.len() - 1], MultipathScheme::Bonded);
     }
 
     #[test]
@@ -1088,7 +1486,7 @@ mod tests {
         use rpav_rtp::report::PathReport;
         let cfg = base();
         let rngs = RngSet::new(1);
-        let mut leg = Leg::new(cfg.operator, &cfg, &rngs, 0);
+        let mut leg = Leg::new(cfg.operator, 0, &cfg, &rngs, 0);
         let t0 = SimTime::ZERO + SimDuration::from_millis(50);
         leg.on_report(
             t0,
@@ -1283,5 +1681,91 @@ mod tests {
             assert_eq!(x.cause, y.cause);
         }
         assert_eq!(a.frames.len(), b.frames.len());
+    }
+
+    #[test]
+    fn one_leg_bonded_degenerates_to_single_path() {
+        // With a single modem there is nothing to stripe, no cross-leg
+        // parity, and no fallback duplication (nothing ever *went* down
+        // to trigger it): the bonded scheduler must reduce to plain
+        // single-path delivery on leg 0.
+        let mut cfg = base();
+        cfg.n_legs = 1;
+        cfg.hold = SimDuration::from_secs(4);
+        let bonded = run_multipath(&cfg, MultipathScheme::Bonded);
+        let single = run_multipath(&cfg, MultipathScheme::SinglePath);
+        assert_eq!(bonded.path_health.len(), 1);
+        assert_eq!(bonded.fec_tx, 0, "cross-leg parity with one leg");
+        assert_eq!(bonded.media_sent, single.media_sent);
+        assert_eq!(bonded.media_received, single.media_received);
+        assert_eq!(bonded.media_received_bytes, single.media_received_bytes);
+        assert_eq!(bonded.frames.len(), single.frames.len());
+    }
+
+    #[test]
+    fn three_leg_bonded_stripes_across_all_legs() {
+        let mut cfg = base();
+        cfg.n_legs = 3;
+        cfg.hold = SimDuration::from_secs(4);
+        let m = run_multipath(&cfg, MultipathScheme::Bonded);
+        assert_eq!(m.path_health.len(), 3);
+        let shares: Vec<f64> = (0..3).map(|li| m.leg_tx_share(li)).collect();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The goodput-proportional weights need not split evenly — the
+        // slower operator's leg settles well below 1/3 — but every leg
+        // must carry real traffic and none may monopolize the flow.
+        for (li, s) in shares.iter().enumerate() {
+            assert!(
+                (0.02..=0.90).contains(s),
+                "leg {li} carried {s:.2} of first transmissions"
+            );
+        }
+        // The health plane only counts a report once an interval offers
+        // enough packets to measure (LOSS_MIN_TX); a starved leg can
+        // keepalive through every interval and finish at zero. The busy
+        // legs must still produce real loss/goodput samples.
+        assert!(m.path_health.iter().filter(|p| p.reports > 0).count() >= 2);
+    }
+
+    #[test]
+    fn three_leg_bonded_survives_correlated_two_leg_burst() {
+        // Two legs share a synchronized burst-loss window (same cell, say)
+        // while the third stays clean: bonded delivery with RS parity must
+        // beat the same fault hitting a two-leg rig, and repair groups
+        // that lost more than one member (beyond any XOR code).
+        let cfg3 = {
+            let mut c = ExperimentConfig::builder()
+                .cc(CcMode::paper_static(Environment::Rural))
+                .seed(0xD0A1)
+                .hold_secs(4)
+                .fec_cap(0.25)
+                .repair(true)
+                .build();
+            c.n_legs = 3;
+            c
+        };
+        let burst = || {
+            FaultScript::new().burst_loss_window(
+                SimTime::ZERO + SimDuration::from_secs(1),
+                SimDuration::from_secs(25),
+                0.08,
+                0.25,
+                0.6,
+                Some(PacketKind::Media),
+            )
+        };
+        let m = run_multipath_legs(
+            &cfg3,
+            MultipathScheme::Bonded,
+            vec![Some(burst()), Some(burst()), None],
+        );
+        assert!(m.script_dropped > 0, "correlated burst never dropped");
+        assert!(m.fec_tx > 0, "adaptive ratio never turned FEC on");
+        assert!(m.fec_recovered > 0, "no packet recovered");
+        assert!(
+            m.fec_multi_recovered > 0,
+            "no multi-loss group repaired ({} single repairs)",
+            m.fec_recovered
+        );
     }
 }

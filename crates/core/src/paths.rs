@@ -36,6 +36,20 @@ pub fn baseline_loss() -> GilbertElliott {
     GilbertElliott::new(0.000_08, 0.12, 0.0, 0.8)
 }
 
+/// RNG stream prefix for multipath leg `leg_index` riding `operator_name`.
+/// Legs 0 and 1 keep the historical `mp.{operator}` prefixes so every
+/// committed two-leg baseline stays bit-identical; legs ≥ 2 reuse the
+/// same operators (the airframe carries multiple SIMs per carrier) but
+/// qualify the prefix with the leg index, making their channel draws
+/// statistically independent.
+pub fn leg_stream_prefix(operator_name: &str, leg_index: usize) -> String {
+    if leg_index < 2 {
+        format!("mp.{operator_name}")
+    } else {
+        format!("mp.{operator_name}.l{leg_index}")
+    }
+}
+
 /// Build an uplink (media-direction) access path. `stream_prefix` names
 /// the RNG streams (`<prefix>.fault`, `<prefix>.wan`), so distinct paths
 /// in one run draw from distinct deterministic streams.

@@ -139,7 +139,23 @@ pub struct ExperimentConfig {
     /// (parity packets / media packets). `0.0` disables FEC entirely;
     /// only the `Bonded` multipath scheme reads it.
     pub fec_cap: f64,
+    /// How many cellular legs the multipath drivers carry (2–4; default
+    /// 2). Legs alternate operators (even = `operator`, odd =
+    /// `secondary_operator()`); legs ≥ 2 ride statistically independent
+    /// channel instances of the same operators.
+    pub n_legs: usize,
+    /// Couple the bonded scheme's congestion control across legs: one
+    /// shadow CC per leg fed by that leg's own feedback stream, with the
+    /// encoder driven by the aggregate of the per-leg targets — the
+    /// MPTCP-style answer to the DESIGN §11.5 delay-variance collapse.
+    /// Default off, which preserves the PR 6 single-CC behaviour
+    /// bit-for-bit.
+    pub coupled_cc: bool,
 }
+
+/// Hard ceiling on `n_legs` — the leg arrays in the multipath drivers
+/// and the RS parity spread are sized for it.
+pub const MAX_LEGS: usize = 4;
 
 impl ExperimentConfig {
     /// Start a typed builder pre-loaded with the paper defaults (rural P1
@@ -233,6 +249,12 @@ impl ExperimentConfig {
         if self.fec_cap > 0.0 {
             label.push_str(&format!("+fec{:.2}", self.fec_cap));
         }
+        if self.n_legs != 2 {
+            label.push_str(&format!("+legs{}", self.n_legs));
+        }
+        if self.coupled_cc {
+            label.push_str("+ccc");
+        }
         label
     }
 }
@@ -267,6 +289,8 @@ pub struct ExperimentConfigBuilder {
     repair: bool,
     leg_cap_bps: Option<(f64, f64)>,
     fec_cap: f64,
+    n_legs: usize,
+    coupled_cc: bool,
 }
 
 impl Default for ExperimentConfigBuilder {
@@ -288,6 +312,8 @@ impl Default for ExperimentConfigBuilder {
             repair: false,
             leg_cap_bps: None,
             fec_cap: 0.0,
+            n_legs: 2,
+            coupled_cc: false,
         }
     }
 }
@@ -404,6 +430,20 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Number of cellular legs for the multipath drivers, clamped to
+    /// 1..=[`MAX_LEGS`] (default 2).
+    pub fn n_legs(mut self, n: usize) -> Self {
+        self.n_legs = n.clamp(1, MAX_LEGS);
+        self
+    }
+
+    /// Per-leg shadow congestion control with an aggregate allocator
+    /// (default off; Bonded scheme only).
+    pub fn coupled_cc(mut self, on: bool) -> Self {
+        self.coupled_cc = on;
+        self
+    }
+
     /// Assemble the configuration, filling paper defaults for anything not
     /// explicitly set.
     pub fn build(self) -> ExperimentConfig {
@@ -426,6 +466,8 @@ impl ExperimentConfigBuilder {
             repair: self.repair,
             leg_cap_bps: self.leg_cap_bps,
             fec_cap: self.fec_cap,
+            n_legs: self.n_legs,
+            coupled_cc: self.coupled_cc,
         }
     }
 }
@@ -515,5 +557,22 @@ mod tests {
         let fec = base.fec_cap(0.25).build();
         assert_ne!(fec.label(), plain.label());
         assert_eq!(fec.label(), "GCC-Rural-P1-Air+fec0.25");
+        // N-leg knobs discriminate; the historical 2-leg default stays bare.
+        let three = base.n_legs(3).build();
+        assert_ne!(three.label(), plain.label());
+        assert_eq!(three.label(), "GCC-Rural-P1-Air+legs3");
+        assert_eq!(base.n_legs(2).build().label(), plain.label());
+        let coupled = base.coupled_cc(true).build();
+        assert_ne!(coupled.label(), plain.label());
+        assert_eq!(coupled.label(), "GCC-Rural-P1-Air+ccc");
+    }
+
+    #[test]
+    fn n_legs_clamps_to_supported_range() {
+        assert_eq!(ExperimentConfig::builder().n_legs(0).build().n_legs, 1);
+        assert_eq!(
+            ExperimentConfig::builder().n_legs(9).build().n_legs,
+            MAX_LEGS
+        );
     }
 }

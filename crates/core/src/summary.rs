@@ -54,6 +54,9 @@ pub struct HeadlineStats {
     pub fec_tx: u64,
     /// Erased packets rebuilt from parity before the NACK path fired.
     pub fec_recovered: u64,
+    /// Of those, packets from groups that lost more than one member —
+    /// Reed–Solomon repairs beyond any single-parity XOR code.
+    pub fec_multi_recovered: u64,
     /// Cross-leg arrivals behind the highest delivered sequence, absorbed
     /// by the reorder-tolerant reassembly window.
     pub reorder_buffered: u64,
@@ -122,6 +125,7 @@ impl HeadlineStats {
             ),
             fec_tx: c.runs.iter().map(|r| r.fec_tx).sum(),
             fec_recovered: c.runs.iter().map(|r| r.fec_recovered).sum(),
+            fec_multi_recovered: c.runs.iter().map(|r| r.fec_multi_recovered).sum(),
             reorder_buffered: c.runs.iter().map(|r| r.reorder_buffered).sum(),
             leg0_share: stats::mean(
                 &c.runs
@@ -135,7 +139,7 @@ impl HeadlineStats {
     /// Render one table row.
     pub fn row(&self) -> String {
         format!(
-            "{:<24} {:>8.1} {:>10.2} {:>10.1} {:>9.2} {:>8.1} {:>8.3} {:>7.3} {:>8.1} {:>8.1} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>5.2} {:>4} {:>6} {:>7.0} {:>6} {:>6} {:>6} {:>5.2}",
+            "{:<24} {:>8.1} {:>10.2} {:>10.1} {:>9.2} {:>8.1} {:>8.3} {:>7.3} {:>8.1} {:>8.1} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>5.2} {:>4} {:>6} {:>7.0} {:>6} {:>6} {:>6} {:>6} {:>5.2}",
             self.label,
             self.goodput_mbps,
             self.stalls_per_minute,
@@ -158,6 +162,7 @@ impl HeadlineStats {
             self.dead_ms,
             self.fec_tx,
             self.fec_recovered,
+            self.fec_multi_recovered,
             self.reorder_buffered,
             self.leg0_share,
         )
@@ -166,7 +171,7 @@ impl HeadlineStats {
     /// Table header matching [`HeadlineStats::row`].
     pub fn header() -> String {
         format!(
-            "{:<24} {:>8} {:>10} {:>10} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>5} {:>4} {:>6} {:>7} {:>6} {:>6} {:>6} {:>5}",
+            "{:<24} {:>8} {:>10} {:>10} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>5} {:>4} {:>6} {:>7} {:>6} {:>6} {:>6} {:>6} {:>5}",
             "configuration",
             "Mbps",
             "stalls/mn",
@@ -189,6 +194,7 @@ impl HeadlineStats {
             "deadms",
             "fectx",
             "fecrec",
+            "fecmr",
             "reord",
             "leg0",
         )
@@ -276,7 +282,7 @@ mod tests {
         }
         for col in [
             "malf", "dup", "late", "nacks", "rec", "waste", "eff", "sw", "dupx", "deadms", "fectx",
-            "fecrec", "reord", "leg0",
+            "fecrec", "fecmr", "reord", "leg0",
         ] {
             assert!(
                 HeadlineStats::header().contains(col),
@@ -328,6 +334,7 @@ mod tests {
                 media_received: 990,
                 fec_tx: 120,
                 fec_recovered: 11,
+                fec_multi_recovered: 4,
                 reorder_buffered: 33,
                 ..Default::default()
             };
@@ -347,6 +354,7 @@ mod tests {
         let h = HeadlineStats::from_campaign(&campaign);
         assert_eq!(h.fec_tx, 240);
         assert_eq!(h.fec_recovered, 22);
+        assert_eq!(h.fec_multi_recovered, 8);
         assert_eq!(h.reorder_buffered, 66);
         assert!((h.leg0_share - 0.5).abs() < 1e-9);
         let row = h.row();

@@ -314,6 +314,21 @@ impl FaultScript {
         self
     }
 
+    /// Expand one shared-cell event into per-leg scripts for an N-leg
+    /// rig: every leg listed in `affected` gets a clone of `event`, the
+    /// rest get `None`. The correlation lives in the timing — affected
+    /// legs share the same wall-clock fault window while each still
+    /// draws packet-level outcomes from its own RNG stream, the shape
+    /// of several modems camping on one congested cell rather than one
+    /// wire feeding them all. Out-of-range indices in `affected` are
+    /// ignored. The result slots straight into
+    /// `run_multipath_legs` / `CellFault::per_leg`.
+    pub fn correlated(self, n_legs: usize, affected: &[usize]) -> Vec<Option<FaultScript>> {
+        (0..n_legs)
+            .map(|li| affected.contains(&li).then(|| self.clone()))
+            .collect()
+    }
+
     /// Append a raw clause.
     pub fn with_clause(mut self, clause: FaultClause) -> Self {
         self.clauses.push(clause);
@@ -685,6 +700,25 @@ mod tests {
         assert_eq!(sch.blackout_until(inside), Some(after));
         assert_eq!(sch.stats().blackout_dropped, 2);
         assert_eq!(sch.stats().admitted, 2);
+    }
+
+    #[test]
+    fn correlated_expands_one_event_to_affected_legs_only() {
+        let event = FaultScript::new().blackout(SimTime::from_secs(2), SimDuration::from_secs(1));
+        let per_leg = event.clone().correlated(4, &[0, 2, 9]);
+        assert_eq!(per_leg.len(), 4);
+        assert!(per_leg[1].is_none());
+        assert!(per_leg[3].is_none());
+        for li in [0usize, 2] {
+            let s = per_leg[li].as_ref().expect("affected leg gets the event");
+            assert_eq!(s.blackout_windows(), event.blackout_windows());
+        }
+        // Same window, independent RNG streams: a scheduler per leg
+        // agrees on the blackout timing even with different seeds.
+        let a = sched(per_leg[0].clone().unwrap(), 7);
+        let b = sched(per_leg[2].clone().unwrap(), 99);
+        let inside = SimTime::from_millis(2_500);
+        assert!(a.blackout_active(inside) && b.blackout_active(inside));
     }
 
     #[test]

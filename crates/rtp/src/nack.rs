@@ -17,7 +17,7 @@
 //! Determinism: the generator is pure state-machine logic — no RNG — so a
 //! repair-enabled run replays bit-identically for a fixed seed.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rpav_sim::{SimDuration, SimTime};
@@ -201,6 +201,124 @@ struct MissingSeq {
     next_request: SimTime,
 }
 
+/// Dense window of chased gaps keyed from a moving base — the
+/// [`seqwindow`](crate::seqwindow) idiom applied to the NACK state. The
+/// bonded striper's cross-leg interleaving opens (and soon fills) a
+/// transient gap on near-every arrival, and a `BTreeMap` paid node churn
+/// for each one; deque slots are retained across that oscillation, so the
+/// steady-state hot path never touches the allocator. Iteration is
+/// sequence-ascending by construction — the same order the tree gave, so
+/// emitted NACK batches are bit-identical.
+#[derive(Debug, Default)]
+struct GapWindow {
+    /// Sequence stored in `slots[0]`. Meaningless while empty.
+    base: u64,
+    slots: VecDeque<Option<MissingSeq>>,
+    occupied: usize,
+}
+
+impl GapWindow {
+    fn insert(&mut self, seq: u64, m: MissingSeq) {
+        if self.slots.is_empty() {
+            self.base = seq;
+        } else if seq < self.base {
+            for _ in 0..(self.base - seq) {
+                self.slots.push_front(None);
+            }
+            self.base = seq;
+        }
+        let idx = (seq - self.base) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        if self.slots[idx].replace(m).is_none() {
+            self.occupied += 1;
+        }
+    }
+
+    fn remove(&mut self, seq: u64) -> Option<MissingSeq> {
+        if self.slots.is_empty() || seq < self.base {
+            return None;
+        }
+        let idx = (seq - self.base) as usize;
+        let m = self.slots.get_mut(idx)?.take();
+        if m.is_some() {
+            self.occupied -= 1;
+            self.trim();
+        }
+        m
+    }
+
+    /// Drop empty slots at both ends so the scan span stays the span of
+    /// live gaps (capacity is retained — trimming never deallocates).
+    fn trim(&mut self) {
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        while matches!(self.slots.back(), Some(None)) {
+            self.slots.pop_back();
+        }
+    }
+
+    fn evict_below(&mut self, floor: u64) {
+        while self.base < floor && !self.slots.is_empty() {
+            if let Some(Some(_)) = self.slots.pop_front() {
+                self.occupied -= 1;
+            }
+            self.base += 1;
+        }
+        self.trim();
+    }
+}
+
+/// Same moving-base window as [`GapWindow`], reduced to membership flags
+/// — the abandoned set is only ever probed, never iterated.
+#[derive(Debug, Default)]
+struct FlagWindow {
+    base: u64,
+    slots: VecDeque<bool>,
+}
+
+impl FlagWindow {
+    fn insert(&mut self, seq: u64) {
+        if self.slots.is_empty() {
+            self.base = seq;
+        } else if seq < self.base {
+            for _ in 0..(self.base - seq) {
+                self.slots.push_front(false);
+            }
+            self.base = seq;
+        }
+        let idx = (seq - self.base) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, false);
+        }
+        self.slots[idx] = true;
+    }
+
+    fn remove(&mut self, seq: u64) -> bool {
+        if self.slots.is_empty() || seq < self.base {
+            return false;
+        }
+        match self.slots.get_mut((seq - self.base) as usize) {
+            Some(flag) => std::mem::replace(flag, false),
+            None => false,
+        }
+    }
+
+    fn evict_below(&mut self, floor: u64) {
+        while self.base < floor && !self.slots.is_empty() {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        while matches!(self.slots.front(), Some(false)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
 /// Receiver-side gap detector and NACK scheduler.
 #[derive(Debug)]
 pub struct NackGenerator {
@@ -208,9 +326,9 @@ pub struct NackGenerator {
     /// Highest unwrapped sequence seen.
     highest: Option<u64>,
     /// Gaps currently being chased, keyed by unwrapped sequence.
-    missing: BTreeMap<u64, MissingSeq>,
+    missing: GapWindow,
     /// Gaps given up on (bounded; GC'd as the window advances).
-    abandoned: BTreeMap<u64, ()>,
+    abandoned: FlagWindow,
     /// Earliest time the next NACK packet may be emitted.
     next_nack_at: SimTime,
     /// Smoothed RTT hint from the pipeline's OWD samples.
@@ -228,8 +346,8 @@ impl NackGenerator {
         NackGenerator {
             config,
             highest: None,
-            missing: BTreeMap::new(),
-            abandoned: BTreeMap::new(),
+            missing: GapWindow::default(),
+            abandoned: FlagWindow::default(),
             next_nack_at: SimTime::ZERO,
             rtt_hint: SimDuration::from_millis(40),
             stats: NackStats::default(),
@@ -253,7 +371,7 @@ impl NackGenerator {
 
     /// Gaps currently being chased.
     pub fn outstanding(&self) -> usize {
-        self.missing.len()
+        self.missing.occupied
     }
 
     /// Record an arriving media packet and classify it.
@@ -268,8 +386,11 @@ impl NackGenerator {
         let unwrapped = unwrap_seq(prev, seq);
         if unwrapped > prev {
             // Advancing the head of line: everything strictly between is
-            // now a detected gap.
-            for gap in (prev + 1)..unwrapped {
+            // now a detected gap. Gaps below the tracking floor would be
+            // GC'd before they could ever be polled — skip them entirely,
+            // so a blackout-sized jump cannot balloon the window.
+            let first = (prev + 1).max(unwrapped.saturating_sub(TRACK_WINDOW));
+            for gap in first..unwrapped {
                 self.missing.insert(
                     gap,
                     MissingSeq {
@@ -287,7 +408,7 @@ impl NackGenerator {
             return Arrival::Stale;
         }
         // Filling in behind the head of line.
-        if let Some(m) = self.missing.remove(&unwrapped) {
+        if let Some(m) = self.missing.remove(unwrapped) {
             if m.retries > 0 {
                 self.stats.recovered += 1;
                 return Arrival::Recovered;
@@ -295,7 +416,7 @@ impl NackGenerator {
             self.stats.reordered += 1;
             return Arrival::Reordered;
         }
-        if self.abandoned.remove(&unwrapped).is_some() {
+        if self.abandoned.remove(unwrapped) {
             self.stats.late_recovered += 1;
             return Arrival::Late;
         }
@@ -305,30 +426,37 @@ impl NackGenerator {
     /// Emit the next NACK batch if the debounce window has passed and at
     /// least one missing packet is both due and still worth chasing.
     pub fn poll(&mut self, now: SimTime) -> Option<Nack> {
-        // First pass: abandon everything that can no longer make it.
+        // First pass: abandon everything that can no longer make it —
+        // taken out of its slot in place, no scratch list.
         let rtt = self.rtt_hint + self.config.deadline_margin;
-        let mut dead: Vec<u64> = Vec::new();
-        for (&seq, m) in &self.missing {
+        let base = self.missing.base;
+        let mut removed = 0usize;
+        for (idx, slot) in self.missing.slots.iter_mut().enumerate() {
+            let Some(m) = slot else { continue };
             let deadline = m.detected + self.config.playout_budget;
             let exhausted = m.retries >= self.config.max_retries;
             let unreachable = now + rtt >= deadline;
             if exhausted || unreachable {
-                dead.push(seq);
+                *slot = None;
+                removed += 1;
+                self.abandoned.insert(base + idx as u64);
+                self.stats.abandoned += 1;
             }
         }
-        for seq in dead {
-            self.missing.remove(&seq);
-            self.abandoned.insert(seq, ());
-            self.stats.abandoned += 1;
+        if removed > 0 {
+            self.missing.occupied -= removed;
+            self.missing.trim();
         }
 
         if now < self.next_nack_at {
             return None;
         }
         let mut batch: Vec<u16> = Vec::new();
-        for (&seq, m) in self.missing.iter_mut() {
+        let base = self.missing.base;
+        for (idx, slot) in self.missing.slots.iter_mut().enumerate() {
+            let Some(m) = slot else { continue };
             if now >= m.next_request {
-                batch.push((seq & 0xffff) as u16);
+                batch.push(((base + idx as u64) & 0xffff) as u16);
                 m.retries += 1;
                 // Re-request only after a full round trip had its chance.
                 m.next_request = now + self.rtt_hint + self.config.deadline_margin;
@@ -354,13 +482,13 @@ impl NackGenerator {
     /// is detected. Edges may be conservative (at or before the true
     /// instant); early polls are no-ops.
     pub fn next_wake(&self) -> Option<SimTime> {
-        if self.missing.is_empty() {
+        if self.missing.occupied == 0 {
             return None;
         }
         let rtt = self.rtt_hint + self.config.deadline_margin;
         let mut abandon: Option<SimTime> = None;
         let mut request: Option<SimTime> = None;
-        for m in self.missing.values() {
+        for m in self.missing.slots.iter().flatten() {
             let a = if m.retries >= self.config.max_retries {
                 SimTime::ZERO // exhausted: the very next poll abandons it
             } else {
@@ -380,8 +508,8 @@ impl NackGenerator {
 
     fn gc(&mut self, highest: u64) {
         let floor = highest.saturating_sub(TRACK_WINDOW);
-        self.missing = self.missing.split_off(&floor);
-        self.abandoned = self.abandoned.split_off(&floor);
+        self.missing.evict_below(floor);
+        self.abandoned.evict_below(floor);
     }
 }
 

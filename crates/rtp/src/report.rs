@@ -30,6 +30,11 @@ pub const FMT_PATH_REPORT: u8 = 14;
 /// Serialised size: 12-byte feedback header + 4 (leg + pad) + 4 (OWD) +
 /// 3×8 (counters).
 pub const PATH_REPORT_LEN: usize = 44;
+/// Highest leg index the parser accepts. A sanity bound against garbage
+/// that happens to carry the report preamble, not a rig limit — it just
+/// needs to sit at or above the largest rig the drivers build (the core
+/// caps at 4 legs today; 8 leaves headroom without admitting noise).
+pub const MAX_REPORT_LEG: u8 = 7;
 
 /// Cumulative per-leg receiver counters, reported at a fixed cadence.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,7 +104,7 @@ impl PathReport {
         let _sender_ssrc = data.get_u32();
         let _media_ssrc = data.get_u32();
         let leg = data.get_u8();
-        if leg > 1 {
+        if leg > MAX_REPORT_LEG {
             return Err(ParseError::Malformed {
                 reason: "path report leg out of range",
             });
@@ -176,10 +181,17 @@ mod tests {
             assert!(PathReport::parse(truncated).is_err(), "cut {cut}");
         }
         assert!(PathReport::parse(Bytes::from(vec![0u8; PATH_REPORT_LEN])).is_err());
-        // Out-of-range leg rejected.
+        // Legs up to the sanity bound parse; past it is rejected.
+        let mut ok = BytesMut::new();
+        ok.extend_from_slice(&wire);
+        ok[12] = MAX_REPORT_LEG;
+        assert_eq!(
+            PathReport::parse(ok.freeze()).map(|r| r.leg),
+            Ok(MAX_REPORT_LEG)
+        );
         let mut bad = BytesMut::new();
         bad.extend_from_slice(&wire);
-        bad[12] = 9;
+        bad[12] = MAX_REPORT_LEG + 1;
         assert!(PathReport::parse(bad.freeze()).is_err());
     }
 }
