@@ -266,18 +266,18 @@ fn main() {
     assert_eq!(a.outcomes.len(), b.outcomes.len());
     for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
         assert_eq!(
-            x.metrics.to_bytes(),
-            y.metrics.to_bytes(),
+            x.metrics().to_bytes(),
+            y.metrics().to_bytes(),
             "jobs=1 vs jobs=8 diverged at {}",
-            x.cell.label()
+            x.cell().label()
         );
     }
     // The first engine cell replays byte-identically when executed
     // directly (no engine, no cache).
-    let replay = a.outcomes[0].cell.execute();
+    let replay = a.outcomes[0].cell().execute();
     assert_eq!(
         replay.to_bytes(),
-        a.outcomes[0].metrics.to_bytes(),
+        a.outcomes[0].metrics().to_bytes(),
         "engine result diverged from direct execution"
     );
 

@@ -123,12 +123,12 @@ fn main() {
 
     let mut cells: Vec<CellResult> = Vec::new();
     for outcome in &result.outcomes {
-        let metrics = outcome.metrics.clone();
-        let env = outcome.cell.config.environment;
-        let cc = outcome.cell.config.cc;
+        let metrics = outcome.metrics().clone();
+        let env = outcome.cell().config.environment;
+        let cc = outcome.cell().config.cc;
         // Recover the blackout length from the cell's own fault script.
         let (from, until) = outcome
-            .cell
+            .cell()
             .fault
             .uplink
             .as_ref()

@@ -145,9 +145,9 @@ fn main() {
         for run in 0..runs {
             for (scheme_i, &scheme) in schemes.iter().enumerate() {
                 let outcome = cell_at(cc_i, scheme_i, run);
-                assert_eq!(outcome.cell.scheme, RunScheme::Multipath(scheme));
-                assert_eq!(outcome.cell.config.run_index, run);
-                let m = outcome.metrics.clone();
+                assert_eq!(outcome.cell().scheme, RunScheme::Multipath(scheme));
+                assert_eq!(outcome.cell().config.run_index, run);
+                let m = outcome.metrics().clone();
                 print_row(cc.name(), run, &m, scheme);
                 cells.push(CellResult {
                     cc_name: cc.name(),

@@ -190,20 +190,20 @@ fn main() {
         let [off_cell, on_cell] = pair else {
             unreachable!("repair axis yields pairs")
         };
-        assert!(!off_cell.cell.config.repair && on_cell.cell.config.repair);
-        let cc_name = off_cell.cell.config.cc.name();
+        assert!(!off_cell.cell().config.repair && on_cell.cell().config.repair);
+        let cc_name = off_cell.cell().config.cc.name();
         let condition = conditions
             .iter()
-            .find(|c| c.name == off_cell.cell.fault.name)
+            .find(|c| c.name == off_cell.cell().fault.name)
             .expect("unknown condition")
             .name;
-        print_row(condition, cc_name, "off", &off_cell.metrics);
-        print_row(condition, cc_name, "on", &on_cell.metrics);
+        print_row(condition, cc_name, "off", off_cell.metrics());
+        print_row(condition, cc_name, "on", on_cell.metrics());
         cells.push(CellResult {
             condition,
             cc_name,
-            off: (*off_cell.metrics).clone(),
-            on: (*on_cell.metrics).clone(),
+            off: (**off_cell.metrics()).clone(),
+            on: (**on_cell.metrics()).clone(),
         });
     }
 

@@ -1,0 +1,378 @@
+//! Resilience matrix — the crash-safety acceptance harness for the
+//! campaign engine.
+//!
+//! Proves the engine's end-to-end crash-safety contract on real
+//! simulations:
+//!
+//! * **panic isolation** — an injected per-cell panic (test-only fault
+//!   hook) yields a typed `Failed` poison record; every other cell still
+//!   completes and the report accounts for the failure;
+//! * **bounded retry** — a transient panic (first attempt only) is
+//!   retried and recovers bit-identically to a direct execution;
+//! * **durable cache** — a deliberately corrupted cache file and a
+//!   truncated one are quarantined as misses (never served, never
+//!   fatal), only the damaged cells re-simulate, and the healed campaign
+//!   is byte-identical to the original;
+//! * **kill/resume** — a child engine process is SIGKILLed mid-campaign;
+//!   re-running the identical spec resumes from the journal + sealed
+//!   cache and produces per-cell metrics and aggregates byte-identical
+//!   to an uninterrupted run;
+//! * **flat memory** — streaming execution retains no per-cell metrics:
+//!   the in-memory cache stays empty and the aggregate sketch footprint
+//!   is constant as the matrix grows 4×;
+//! * **stuck watchdog** — a 1 ms wall-clock budget flags every cell
+//!   without killing any.
+//!
+//! `RPAV_RESILIENCE_SMOKE=1` shrinks the sweep for CI.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rpav_bench::{banner, master_seed};
+use rpav_core::journal;
+use rpav_core::prelude::*;
+
+/// Env var that switches this binary into child mode: its value is the
+/// cache directory the child campaign writes to (the parent SIGKILLs it
+/// mid-run).
+const CHILD_ENV: &str = "RPAV_RESILIENCE_CHILD";
+
+fn base(hold_secs: u64) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .cc(CcMode::Gcc)
+        .seed(master_seed())
+        .hold_secs(hold_secs)
+        .build()
+}
+
+/// The small matrix most sections run (4 cells, short holds).
+fn small_spec() -> MatrixSpec {
+    MatrixSpec::new(base(1))
+        .environments([Environment::Urban, Environment::Rural])
+        .runs(2)
+}
+
+/// The kill/resume matrix: enough sequential work (jobs=1 in the child)
+/// that the parent can observe partial completion before killing.
+fn kill_spec(smoke: bool) -> MatrixSpec {
+    MatrixSpec::new(base(2))
+        .environments([Environment::Urban, Environment::Rural])
+        .operators([Operator::P1, Operator::P2])
+        .runs(if smoke { 1 } else { 2 })
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rpav-resilience-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn rpav_files(dir: &Path) -> Vec<PathBuf> {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "rpav"))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Child mode: run the kill matrix sequentially into the given cache
+/// directory. The parent kills us somewhere in the middle.
+fn run_child(cache_dir: &str) -> ! {
+    let engine = CampaignEngine::new()
+        .with_jobs(1)
+        .with_cache_dir(Some(PathBuf::from(cache_dir)));
+    let smoke = std::env::var_os("RPAV_RESILIENCE_SMOKE").is_some();
+    let _ = engine.run(&kill_spec(smoke));
+    std::process::exit(0);
+}
+
+/// Silence the default panic hook while injected panics unwind (they are
+/// caught by the engine; the backtrace spam is just noise), restoring it
+/// afterwards.
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    let _ = std::panic::take_hook();
+    out
+}
+
+fn main() {
+    if let Ok(dir) = std::env::var(CHILD_ENV) {
+        run_child(&dir);
+    }
+    let smoke = std::env::var_os("RPAV_RESILIENCE_SMOKE").is_some();
+    banner(
+        "resilience_matrix",
+        "crash-safe campaign execution: panic isolation, durable cache, kill/resume",
+    );
+
+    // ---- (a) panic isolation ----------------------------------------
+    let spec = small_spec();
+    let n = spec.expand().len();
+    let engine = CampaignEngine::new()
+        .with_cache_dir(None)
+        .with_jobs(4)
+        .with_max_attempts(2)
+        .with_fault_hook(Arc::new(|cell: &Cell, _| {
+            cell.config.environment == Environment::Rural && cell.config.run_index == 1
+        }));
+    let result = with_quiet_panics(|| engine.run(&spec));
+    assert_eq!(result.report.failed, 1, "exactly one cell must be poisoned");
+    assert_eq!(
+        result.report.simulated,
+        n - 1,
+        "every healthy cell must complete"
+    );
+    let poisoned: Vec<&CellOutcome> = result.failures().collect();
+    assert_eq!(poisoned.len(), 1);
+    assert_eq!(poisoned[0].attempts(), 2, "retry budget consumed first");
+    assert!(poisoned[0]
+        .panic_msg()
+        .is_some_and(|m| m.contains("injected fault")));
+    println!(
+        "panic isolation: 1 poisoned ({}), {} healthy cells completed",
+        poisoned[0].cell().label(),
+        n - 1
+    );
+
+    // ---- (b) bounded retry recovers transients ----------------------
+    let engine = CampaignEngine::new()
+        .with_cache_dir(None)
+        .with_jobs(2)
+        .with_max_attempts(3)
+        .with_fault_hook(Arc::new(|cell: &Cell, attempt| {
+            attempt == 1 && cell.config.run_index == 0
+        }));
+    let result = with_quiet_panics(|| engine.run(&spec));
+    assert_eq!(result.report.failed, 0, "transient panics must recover");
+    assert!(engine.retries() >= 1);
+    let recovered = result
+        .outcomes
+        .iter()
+        .find(|o| o.attempts() == 2)
+        .expect("no retried cell");
+    assert_eq!(
+        recovered.metrics().to_bytes(),
+        recovered.cell().execute().to_bytes(),
+        "retried result diverged from direct execution"
+    );
+    println!(
+        "bounded retry: {} retry(ies), recovered bit-identically",
+        engine.retries()
+    );
+
+    // ---- (c) corrupt cache quarantined, never served ----------------
+    let dir = fresh_dir("quarantine");
+    let reference = CampaignEngine::new()
+        .with_cache_dir(Some(dir.clone()))
+        .with_jobs(4)
+        .run(&spec);
+    assert_eq!(reference.report.simulated, n);
+    let files = rpav_files(&dir);
+    assert_eq!(files.len(), n, "every cell must have a sealed cache file");
+    // Flip one byte mid-payload in one file; truncate another to half.
+    let mut bytes = std::fs::read(&files[0]).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&files[0], &bytes).unwrap();
+    let bytes = std::fs::read(&files[1]).unwrap();
+    std::fs::write(&files[1], &bytes[..bytes.len() / 2]).unwrap();
+
+    let healed = CampaignEngine::new()
+        .with_cache_dir(Some(dir.clone()))
+        .with_jobs(4)
+        .run(&spec);
+    assert_eq!(
+        healed.report.quarantined, 2,
+        "both damaged files quarantined"
+    );
+    assert_eq!(healed.report.simulated, 2, "only the damaged cells re-ran");
+    assert_eq!(healed.report.failed, 0, "corruption must never be fatal");
+    for (a, b) in reference.outcomes.iter().zip(&healed.outcomes) {
+        assert_eq!(
+            a.metrics().to_bytes(),
+            b.metrics().to_bytes(),
+            "healed campaign diverged at {}",
+            a.cell().label()
+        );
+    }
+    assert_eq!(
+        reference.report.aggregates.to_bytes(),
+        healed.report.aggregates.to_bytes()
+    );
+    assert_eq!(
+        dir.join("quarantine")
+            .read_dir()
+            .map(|d| d.count())
+            .unwrap_or(0),
+        2,
+        "quarantine directory must hold the evidence"
+    );
+    let third = CampaignEngine::new()
+        .with_cache_dir(Some(dir.clone()))
+        .with_jobs(4)
+        .run(&spec);
+    assert_eq!(third.report.simulated, 0, "healed cache must be fully warm");
+    println!("durable cache: 2 corrupted files quarantined, healed run byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- (d) SIGKILL mid-campaign, then resume ----------------------
+    let kspec = kill_spec(smoke);
+    let kn = kspec.expand().len();
+    let kill_dir = fresh_dir("kill");
+    std::fs::create_dir_all(&kill_dir).unwrap();
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = std::process::Command::new(&exe)
+        .env(CHILD_ENV, kill_dir.display().to_string())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child engine");
+    // Wait until at least two cells are durably cached, then SIGKILL.
+    let deadline = std::time::Instant::now() + Duration::from_secs(180);
+    let mut child_finished = false;
+    loop {
+        if rpav_files(&kill_dir).len() >= 2 {
+            break;
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            child_finished = true;
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "child produced < 2 cache files within 180 s"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if !child_finished {
+        child.kill().expect("SIGKILL child"); // SIGKILL on unix
+        let _ = child.wait();
+    }
+    let survivors = rpav_files(&kill_dir).len();
+    println!(
+        "kill/resume: child {} with {survivors}/{kn} cells durable",
+        if child_finished {
+            "finished before the kill"
+        } else {
+            "SIGKILLed"
+        }
+    );
+
+    // Uninterrupted reference (no cache) vs. resumed run (killed cache).
+    let uninterrupted = CampaignEngine::new()
+        .with_cache_dir(None)
+        .with_jobs(4)
+        .run(&kspec);
+    let resume_engine = CampaignEngine::new()
+        .with_cache_dir(Some(kill_dir.clone()))
+        .with_jobs(4);
+    let resumed = resume_engine.run(&kspec);
+    assert!(
+        resumed.report.resumed >= 2,
+        "journal must resume the killed campaign's completions (got {})",
+        resumed.report.resumed
+    );
+    assert_eq!(
+        resumed.report.simulated,
+        kn - resumed.report.cached,
+        "resume must recompute exactly the unfinished cells"
+    );
+    assert!(resumed.report.cached >= 2);
+    for (a, b) in uninterrupted.outcomes.iter().zip(&resumed.outcomes) {
+        assert_eq!(
+            a.metrics().to_bytes(),
+            b.metrics().to_bytes(),
+            "resumed campaign diverged at {}",
+            a.cell().label()
+        );
+    }
+    assert_eq!(
+        uninterrupted.report.aggregates.to_bytes(),
+        resumed.report.aggregates.to_bytes(),
+        "resumed aggregates are not byte-identical to the uninterrupted run"
+    );
+    assert!(
+        journal::journal_path(&kill_dir, {
+            // The journal file the engine keyed this campaign under.
+            let mut found = None;
+            for entry in std::fs::read_dir(&kill_dir).unwrap().filter_map(Result::ok) {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if let Some(hex) = name
+                    .strip_prefix("journal-")
+                    .and_then(|s| s.strip_suffix(".rpavj"))
+                {
+                    found = u64::from_str_radix(hex, 16).ok();
+                }
+            }
+            found.expect("no journal file written")
+        })
+        .exists(),
+        "journal path round-trip"
+    );
+    println!(
+        "kill/resume: resumed {} cells from the journal, {} recomputed — byte-identical",
+        resumed.report.resumed, resumed.report.simulated
+    );
+    let _ = std::fs::remove_dir_all(&kill_dir);
+
+    // ---- (e) flat memory in streaming mode --------------------------
+    let small = small_spec();
+    let big = MatrixSpec::new(base(1))
+        .environments([Environment::Urban, Environment::Rural])
+        .operators([Operator::P1, Operator::P2])
+        .runs(4); // 4× the cells
+    let streaming = CampaignEngine::new().with_cache_dir(None).with_jobs(4);
+    let s_small = streaming.run_streaming(&small);
+    assert_eq!(
+        streaming.memory_entries(),
+        0,
+        "streaming must not cache in memory"
+    );
+    let s_big = streaming.run_streaming(&big);
+    assert_eq!(streaming.memory_entries(), 0);
+    assert!(s_small.failures.is_empty() && s_big.failures.is_empty());
+    assert_eq!(
+        s_small.report.aggregates.retained_bytes(),
+        s_big.report.aggregates.retained_bytes(),
+        "aggregate footprint must be flat as the matrix grows 4×"
+    );
+    // Collect mode on the same spec *does* retain per-cell state — the
+    // contrast that makes the flat-memory claim meaningful.
+    let collecting = CampaignEngine::new().with_cache_dir(None).with_jobs(4);
+    let collected = collecting.run(&big);
+    assert_eq!(collecting.memory_entries(), collected.outcomes.len());
+    assert_eq!(
+        collected.report.aggregates.to_bytes(),
+        s_big.report.aggregates.to_bytes(),
+        "streaming aggregates diverged from collect-mode aggregates"
+    );
+    println!(
+        "flat memory: {} → {} cells, sketch footprint {} B both; 0 in-memory entries",
+        s_small.report.cells,
+        s_big.report.cells,
+        s_big.report.aggregates.retained_bytes()
+    );
+
+    // ---- (f) stuck-cell watchdog ------------------------------------
+    let engine = CampaignEngine::new()
+        .with_cache_dir(None)
+        .with_jobs(1)
+        .with_stuck_budget(Duration::from_millis(1));
+    let result = engine.run(&small);
+    assert_eq!(result.report.failed, 0, "the watchdog must never kill");
+    assert!(
+        result.report.stuck_flagged >= 1,
+        "a 1 ms budget must flag at least one cell"
+    );
+    println!(
+        "stuck watchdog: flagged {} cell(s), killed none",
+        result.report.stuck_flagged
+    );
+
+    println!("\nAll resilience invariants hold.");
+}

@@ -10,6 +10,13 @@
 //! The format is versioned ([`FORMAT_VERSION`]) and salted with the crate
 //! version, so a rebuilt crate silently invalidates every cached result
 //! instead of replaying metrics a code change may have altered.
+//!
+//! On-disk records additionally ride inside a checksummed envelope
+//! ([`seal`]/[`unseal`]): a magic + payload length + CRC32 frame so a
+//! torn write, a flipped bit, or an unrelated file degrades to a cache
+//! miss at the envelope layer — before the structural decoder even runs.
+//! [`RunMetrics::to_cache_bytes`]/[`RunMetrics::from_cache_bytes`] are
+//! the durable-store entry points the engine uses.
 
 use rpav_lte::HandoverKind;
 use rpav_sim::{SimDuration, SimTime};
@@ -21,10 +28,76 @@ use crate::metrics::{
 };
 
 /// Bump on any change to the byte layout below.
-pub const FORMAT_VERSION: u32 = 3;
+/// (v4: on-disk records gained the CRC32 `seal` envelope.)
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Magic prefix of every encoded blob.
 const MAGIC: &[u8; 4] = b"RPAV";
+
+/// Magic prefix of the on-disk cache envelope.
+const ENVELOPE_MAGIC: &[u8; 4] = b"RPVE";
+
+/// Envelope header size: magic + u64 payload length + u32 CRC32.
+const ENVELOPE_HEADER: usize = 4 + 8 + 4;
+
+/// CRC-32/ISO-HDLC lookup table (the ubiquitous IEEE 802.3 polynomial),
+/// generated at compile time — dependency-free like the rest of the codec.
+static CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32/ISO-HDLC of `bytes` — detects any single-burst corruption up to
+/// 32 bits, so every 1-byte flip in a sealed record is caught.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Frame `payload` in the durable-store envelope:
+/// `"RPVE" ‖ len: u64 ‖ crc32(payload): u32 ‖ payload`.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENVELOPE_HEADER + payload.len());
+    out.extend_from_slice(ENVELOPE_MAGIC);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Strip and verify a [`seal`] envelope. Returns `None` — never panics —
+/// on a short buffer, wrong magic, a length that disagrees with the bytes
+/// actually present (truncation *or* trailing garbage), or a CRC mismatch.
+pub fn unseal(buf: &[u8]) -> Option<&[u8]> {
+    if buf.len() < ENVELOPE_HEADER || &buf[..4] != ENVELOPE_MAGIC {
+        return None;
+    }
+    let len = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    let crc = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+    let payload = &buf[ENVELOPE_HEADER..];
+    if payload.len() as u64 != len || crc32(payload) != crc {
+        return None;
+    }
+    Some(payload)
+}
 
 /// Append-only little-endian byte sink.
 #[derive(Default)]
@@ -482,6 +555,19 @@ impl RunMetrics {
         }
         Some(m)
     }
+
+    /// [`to_bytes`](Self::to_bytes) wrapped in the durable-store
+    /// [`seal`] envelope — the form the engine writes to `RPAV_CACHE`.
+    pub fn to_cache_bytes(&self) -> Vec<u8> {
+        seal(&self.to_bytes())
+    }
+
+    /// Decode an on-disk cache record. Any corruption — a torn write, a
+    /// flipped bit anywhere in the file, truncation, or a stale format —
+    /// returns `None` so the engine treats the file as a miss.
+    pub fn from_cache_bytes(buf: &[u8]) -> Option<RunMetrics> {
+        RunMetrics::from_bytes(unseal(buf)?)
+    }
 }
 
 #[cfg(test)]
@@ -591,5 +677,55 @@ mod tests {
         let bytes = m.to_bytes();
         let back = RunMetrics::from_bytes(&bytes).expect("decode default");
         assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // CRC-32/ISO-HDLC check values (the zlib/PNG/IEEE 802.3 CRC).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn envelope_roundtrip_and_rejection() {
+        let m = sample();
+        let sealed = m.to_cache_bytes();
+        let back = RunMetrics::from_cache_bytes(&sealed).expect("unseal");
+        assert_eq!(back.to_bytes(), m.to_bytes());
+
+        // Truncation at every prefix length fails at the envelope layer.
+        for cut in 0..sealed.len() {
+            assert!(
+                RunMetrics::from_cache_bytes(&sealed[..cut]).is_none(),
+                "cut {cut}"
+            );
+        }
+        // Any single flipped bit is caught by the CRC (or magic/len check).
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x01;
+            assert!(RunMetrics::from_cache_bytes(&bad).is_none(), "flip at {i}");
+        }
+        // Trailing garbage disagrees with the recorded length.
+        let mut padded = sealed.clone();
+        padded.push(0);
+        assert!(RunMetrics::from_cache_bytes(&padded).is_none());
+    }
+
+    #[test]
+    fn envelope_rejects_resealed_stale_format() {
+        // A stale inner FORMAT_VERSION with a *valid* CRC must still be
+        // rejected — the envelope proves integrity, not freshness.
+        let mut payload = sample().to_bytes();
+        payload[4] ^= 0xFF; // corrupt FORMAT_VERSION, then reseal honestly
+        assert!(RunMetrics::from_cache_bytes(&seal(&payload)).is_none());
+        assert!(
+            unseal(&seal(&payload)).is_some(),
+            "envelope itself is valid"
+        );
     }
 }

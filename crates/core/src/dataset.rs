@@ -14,6 +14,10 @@
 //!   radio.csv       one row per radio tick: altitude, capacity, RSRP, SINR
 //!   switches.csv    one row per failover switch: run, time, legs, cause
 //! ```
+//!
+//! For campaigns executed in the engine's streaming mode (no per-run
+//! metrics retained), [`aggregates_csv`] renders the one-row summary of
+//! the campaign's [`CampaignAggregates`](crate::summary::CampaignAggregates).
 
 use std::fmt::Write as _;
 use std::fs;
@@ -186,6 +190,45 @@ pub fn export(dir: &Path, runs: &[DatasetRun<'_>]) -> io::Result<()> {
     Ok(())
 }
 
+/// Render a one-row `aggregates.csv` from the engine's streaming
+/// [`CampaignAggregates`] — the dataset artifact of a campaign too large
+/// to hold per-run metrics for (the engine's streaming mode retains
+/// nothing else).
+pub fn aggregates_csv(a: &crate::summary::CampaignAggregates) -> String {
+    let q = |h: &crate::stats::LogHistogram, p: f64| h.quantile(p).unwrap_or(f64::NAN);
+    let mut out = String::from(
+        "cells,failed,media_sent,media_received,media_received_bytes,\
+         stalls,stalled_time_s,nacks_sent,rtx_recovered,fec_recovered,\
+         ssim_samples,ssim_below_half,\
+         goodput_mbps_p50,goodput_mbps_p99,goodput_mbps_mean,\
+         owd_ms_p50,owd_ms_p99,playback_ms_p50,playback_ms_p99\n",
+    );
+    let _ = writeln!(
+        out,
+        "{},{},{},{},{},{},{:.3},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+        a.cells,
+        a.failed,
+        a.media_sent,
+        a.media_received,
+        a.media_received_bytes,
+        a.stalls,
+        a.stalled_time_us as f64 / 1e6,
+        a.nacks_sent,
+        a.rtx_recovered,
+        a.fec_recovered,
+        a.ssim_samples,
+        a.ssim_below_half,
+        q(&a.goodput_mbps, 0.5),
+        q(&a.goodput_mbps, 0.99),
+        a.goodput_mbps.mean().unwrap_or(f64::NAN),
+        q(&a.owd_ms, 0.5),
+        q(&a.owd_ms, 0.99),
+        q(&a.playback_ms, 0.5),
+        q(&a.playback_ms, 0.99),
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,5 +382,18 @@ mod tests {
             assert!(std::fs::metadata(&p).unwrap().len() > 10);
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn aggregates_csv_has_header_and_one_row() {
+        let (_, m) = sample();
+        let mut a = crate::summary::CampaignAggregates::default();
+        a.fold(&m);
+        a.fold_failure();
+        let s = aggregates_csv(&a);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("cells,failed,"));
+        assert!(lines[1].starts_with("1,1,"));
     }
 }

@@ -29,16 +29,31 @@
 //! the canonical [`RunMetrics::to_bytes`] encoding by the engine tests —
 //! and cached results are byte-equal to fresh ones.
 //!
+//! # Crash safety
+//!
+//! Cells execute inside `catch_unwind` with bounded retry; a cell that
+//! keeps panicking becomes a typed [`CellOutcome::Failed`] poison record
+//! and the rest of the matrix completes. With the disk cache enabled,
+//! results are written atomically (tmp + fsync + rename) inside a CRC32
+//! envelope, completions are recorded in a per-campaign fsync'd journal,
+//! and a `kill -9` mid-campaign costs only the unfinished cells:
+//! re-running the identical spec resumes bit-identically. See
+//! [`CampaignEngine`] for the full contract.
+//!
 //! # Environment knobs
 //!
 //! * `RPAV_JOBS` — worker count override (default: available
-//!   parallelism).
-//! * `RPAV_CACHE` — set to enable the on-disk cache (`1` → the default
-//!   `target/rpav-cache`, any other value → that directory).
+//!   parallelism; a set-but-invalid value warns and uses the default).
+//! * `RPAV_CACHE` — set to enable the durable on-disk cache (`1` → the
+//!   default `target/rpav-cache`, any other value → that directory).
+//!   The directory holds sealed `<key>.rpav` records, a
+//!   `journal-<spec>.rpavj` completion journal per campaign (the resume
+//!   manifest), and a `quarantine/` subdirectory of corrupt files that
+//!   were demoted to misses.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -46,11 +61,13 @@ use rpav_lte::{Environment, Operator};
 use rpav_netem::{FaultClause, FaultScript, PacketKind};
 
 use crate::codec::ByteWriter;
+use crate::journal::CampaignJournal;
 use crate::metrics::RunMetrics;
 use crate::multipath::{run_multipath_legs, MultipathScheme};
 use crate::pipeline::Simulation;
 use crate::runner::CampaignResult;
 use crate::scenario::{CcMode, ExperimentConfig, Mobility};
+use crate::summary::CampaignAggregates;
 
 /// How a cell's media flow is mapped onto the radio link(s).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -654,32 +671,132 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// One executed cell.
+/// One executed cell: either its metrics, or a poison record describing
+/// why it kept panicking. A poisoned cell never aborts the matrix — the
+/// failure is typed data the caller inspects.
 #[derive(Clone, Debug)]
-pub struct CellOutcome {
-    /// The cell as expanded.
-    pub cell: Cell,
-    /// Its metrics, shared with the engine's in-memory cache — a cache
-    /// hit hands out another reference instead of deep-copying the
-    /// per-frame records.
-    pub metrics: Arc<RunMetrics>,
-    /// Whether the result was served from cache (no simulation ran).
-    pub cached: bool,
+pub enum CellOutcome {
+    /// The cell completed (simulated or cache-served).
+    Done {
+        /// The cell as expanded.
+        cell: Cell,
+        /// Its metrics, shared with the engine's in-memory cache — a
+        /// cache hit hands out another reference instead of deep-copying
+        /// the per-frame records.
+        metrics: Arc<RunMetrics>,
+        /// Whether the result was served from cache (no simulation ran).
+        cached: bool,
+        /// Execution attempts consumed (0 for a cache hit, ≥ 2 when a
+        /// retry recovered a transient panic).
+        attempts: u32,
+    },
+    /// Every attempt panicked; the cell is poisoned.
+    Failed {
+        /// The cell as expanded.
+        cell: Cell,
+        /// The final attempt's panic payload, rendered.
+        panic_msg: String,
+        /// Attempts consumed (== the engine's `max_attempts`).
+        attempts: u32,
+    },
 }
 
-/// Wall-clock and throughput accounting for one engine invocation.
-#[derive(Clone, Copy, Debug)]
+impl CellOutcome {
+    /// The cell this outcome belongs to.
+    pub fn cell(&self) -> &Cell {
+        match self {
+            CellOutcome::Done { cell, .. } | CellOutcome::Failed { cell, .. } => cell,
+        }
+    }
+
+    /// The metrics of a completed cell.
+    ///
+    /// # Panics
+    /// On a poisoned cell, with its recorded panic message — callers that
+    /// tolerate failures use [`try_metrics`](Self::try_metrics).
+    pub fn metrics(&self) -> &Arc<RunMetrics> {
+        match self {
+            CellOutcome::Done { metrics, .. } => metrics,
+            CellOutcome::Failed {
+                cell, panic_msg, ..
+            } => panic!("cell {} was poisoned: {panic_msg}", cell.label()),
+        }
+    }
+
+    /// The metrics, or `None` for a poisoned cell.
+    pub fn try_metrics(&self) -> Option<&Arc<RunMetrics>> {
+        match self {
+            CellOutcome::Done { metrics, .. } => Some(metrics),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the result was served from cache (`false` for failures).
+    pub fn cached(&self) -> bool {
+        matches!(self, CellOutcome::Done { cached: true, .. })
+    }
+
+    /// Execution attempts consumed.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            CellOutcome::Done { attempts, .. } | CellOutcome::Failed { attempts, .. } => *attempts,
+        }
+    }
+
+    /// Whether the cell was poisoned.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CellOutcome::Failed { .. })
+    }
+
+    /// The poison message, if poisoned.
+    pub fn panic_msg(&self) -> Option<&str> {
+        match self {
+            CellOutcome::Failed { panic_msg, .. } => Some(panic_msg),
+            CellOutcome::Done { .. } => None,
+        }
+    }
+}
+
+/// A poisoned cell, as surfaced by the streaming API (which retains no
+/// [`Cell`] or metrics — just enough to report the failure).
+#[derive(Clone, Debug)]
+pub struct CellFailure {
+    /// The failed cell's label.
+    pub label: String,
+    /// The final attempt's panic payload, rendered.
+    pub panic_msg: String,
+    /// Attempts consumed.
+    pub attempts: u32,
+}
+
+/// Wall-clock, throughput, and resilience accounting for one engine
+/// invocation, plus the streaming [`CampaignAggregates`] every completed
+/// cell was folded into (in submission order, so the aggregate bytes are
+/// deterministic across job counts and kill/resume boundaries).
+#[derive(Clone, Debug)]
 pub struct EngineReport {
     /// Cells in the matrix.
     pub cells: usize,
     /// Cells actually simulated.
     pub simulated: usize,
-    /// Cells served from cache.
+    /// Cells served from cache (memory or disk).
     pub cached: usize,
+    /// Cells poisoned after exhausting their retry budget.
+    pub failed: usize,
+    /// Cells a previous (possibly killed) process had already completed
+    /// durably, per the campaign journal replayed at start.
+    pub resumed: usize,
+    /// Corrupt/stale cache files quarantined during this invocation.
+    pub quarantined: usize,
+    /// Cells flagged by the stuck-cell watchdog (still counted once even
+    /// if they eventually completed).
+    pub stuck_flagged: usize,
     /// Worker threads used.
     pub jobs: usize,
     /// Wall-clock time of the whole matrix.
     pub wall: Duration,
+    /// Streaming aggregates over every completed cell.
+    pub aggregates: CampaignAggregates,
 }
 
 impl EngineReport {
@@ -695,7 +812,7 @@ impl EngineReport {
 
     /// One-line summary for bench output.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} cells ({} simulated, {} cached) on {} job(s) in {:.2} s — {:.2} cells/s",
             self.cells,
             self.simulated,
@@ -703,37 +820,75 @@ impl EngineReport {
             self.jobs,
             self.wall.as_secs_f64(),
             self.cells_per_sec()
-        )
+        );
+        if self.failed > 0 {
+            s.push_str(&format!(" [{} poisoned]", self.failed));
+        }
+        if self.resumed > 0 {
+            s.push_str(&format!(" [resumed {}]", self.resumed));
+        }
+        if self.quarantined > 0 {
+            s.push_str(&format!(" [{} quarantined]", self.quarantined));
+        }
+        if self.stuck_flagged > 0 {
+            s.push_str(&format!(" [{} flagged stuck]", self.stuck_flagged));
+        }
+        s
     }
 }
 
 /// The results of one matrix execution, in submission order.
 #[derive(Debug)]
 pub struct MatrixResult {
-    /// Per-cell outcomes, `outcomes[i].cell.index == i`.
+    /// Per-cell outcomes, `outcomes[i].cell().index == i`.
     pub outcomes: Vec<CellOutcome>,
     /// Wall-clock/throughput accounting.
     pub report: EngineReport,
 }
 
+/// What a streaming execution retains: the report (with its flat-memory
+/// aggregates) and the poison records — never the per-cell metrics.
+#[derive(Debug)]
+pub struct StreamSummary {
+    /// Wall-clock/throughput accounting plus streaming aggregates.
+    pub report: EngineReport,
+    /// Poisoned cells, in submission order.
+    pub failures: Vec<CellFailure>,
+}
+
 impl MatrixResult {
     /// Just the metrics, in submission order.
+    ///
+    /// # Panics
+    /// If any cell was poisoned (legacy contract: every caller written
+    /// before poison records existed assumes complete results). Check
+    /// [`report.failed`](EngineReport::failed) or use
+    /// [`failures`](Self::failures) first when failures are expected.
     pub fn metrics(&self) -> impl Iterator<Item = &RunMetrics> {
-        self.outcomes.iter().map(|o| o.metrics.as_ref())
+        self.outcomes.iter().map(|o| o.metrics().as_ref())
+    }
+
+    /// The poisoned outcomes, in submission order (empty on a clean run).
+    pub fn failures(&self) -> impl Iterator<Item = &CellOutcome> {
+        self.outcomes.iter().filter(|o| o.is_failed())
     }
 
     /// Group adjacent same-campaign cells (the run index is the
     /// innermost axis, so each campaign's runs are contiguous) into
-    /// [`CampaignResult`]s, in matrix order.
+    /// [`CampaignResult`]s, in matrix order. Poisoned cells are skipped —
+    /// a campaign whose every run failed is absent.
     pub fn campaigns(&self) -> Vec<CampaignResult> {
         let mut campaigns: Vec<CampaignResult> = Vec::new();
         for outcome in &self.outcomes {
-            let label = outcome.cell.campaign_label();
+            let Some(metrics) = outcome.try_metrics() else {
+                continue;
+            };
+            let label = outcome.cell().campaign_label();
             match campaigns.last_mut() {
-                Some(c) if c.label == label => c.runs.push((*outcome.metrics).clone()),
+                Some(c) if c.label == label => c.runs.push((**metrics).clone()),
                 _ => campaigns.push(CampaignResult {
                     label,
-                    runs: vec![(*outcome.metrics).clone()],
+                    runs: vec![(**metrics).clone()],
                 }),
             }
         }
@@ -741,19 +896,26 @@ impl MatrixResult {
     }
 }
 
-/// Resolve the worker count: `RPAV_JOBS` if set and positive, else the
-/// host's available parallelism.
+/// Resolve the worker count: `RPAV_JOBS` if set and a positive integer,
+/// else the host's available parallelism. A set-but-invalid value warns
+/// on stderr and falls back to the detected core count — it must never
+/// silently serialize a campaign.
 pub fn default_jobs() -> usize {
-    if let Some(n) = std::env::var("RPAV_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        return n;
-    }
-    std::thread::available_parallelism()
+    let detected = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+        .unwrap_or(1);
+    match std::env::var("RPAV_JOBS") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!(
+                    "rpav: ignoring invalid RPAV_JOBS={v:?} — using detected core count ({detected})"
+                );
+                detected
+            }
+        },
+        Err(_) => detected,
+    }
 }
 
 /// Resolve the on-disk cache directory from `RPAV_CACHE` (unset = no
@@ -766,16 +928,89 @@ fn default_cache_dir() -> Option<PathBuf> {
     }
 }
 
+/// Test-only fault injection: called before each execution attempt with
+/// the cell and the 1-based attempt number; returning `true` panics in
+/// place of the simulation. Lets the resilience harness exercise the
+/// poison/retry machinery without planting bugs in the pipeline.
+#[doc(hidden)]
+pub type FaultHook = Arc<dyn Fn(&Cell, u32) -> bool + Send + Sync>;
+
+/// Render a panic payload (the `&str`/`String` carried by virtually every
+/// `panic!`) for the poison record.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// What a worker posts back per cell.
+enum WorkerResult {
+    Done {
+        metrics: Arc<RunMetrics>,
+        cached: bool,
+        /// Whether the result is known to be durably on disk (a sealed
+        /// cache file survived or was just written+renamed) — only such
+        /// completions are journaled.
+        durable: bool,
+        attempts: u32,
+    },
+    Failed {
+        panic_msg: String,
+        attempts: u32,
+    },
+}
+
+/// Stable campaign identity: FNV-1a over the cell count and every cell's
+/// [key](Cell::key), in submission order. Two processes expanding the
+/// same `MatrixSpec` agree on it; any axis edit changes it.
+fn spec_hash(cells: &[Cell]) -> u64 {
+    let mut w = ByteWriter::new();
+    w.u64(cells.len() as u64);
+    for cell in cells {
+        w.u64(cell.key());
+    }
+    fnv1a(&w.into_bytes())
+}
+
 /// The bounded-thread-pool matrix executor. Create one per binary and
 /// reuse it across [`run`](Self::run) calls — the in-memory cache
 /// persists on the engine, so re-running a matrix after editing one axis
 /// only simulates the changed cells.
+///
+/// # Crash safety
+///
+/// Each cell executes inside `catch_unwind`: a panic is retried up to
+/// [`with_max_attempts`](Self::with_max_attempts) times (cells are pure,
+/// so a deterministic panic fails identically and a transient one — e.g.
+/// injected — recovers), then recorded as a typed
+/// [`CellOutcome::Failed`] poison record; the rest of the matrix always
+/// completes. A wall-clock watchdog flags cells running past
+/// [`with_stuck_budget`](Self::with_stuck_budget) on stderr and in
+/// [`EngineReport::stuck_flagged`] without killing them.
+///
+/// With a cache directory, results are durable: sealed (CRC32-framed)
+/// records written to a tmp file, fsync'd, and renamed into place, plus a
+/// per-campaign fsync'd completion journal. Re-running an identical
+/// `MatrixSpec` after `kill -9` resumes from the completed cells and is
+/// bit-identical to an uninterrupted run. Corrupt, truncated, or
+/// stale-version cache files are quarantined to `<cache>/quarantine/`
+/// and treated as misses — never served, never fatal.
 pub struct CampaignEngine {
     jobs: usize,
     cache_dir: Option<PathBuf>,
+    max_attempts: u32,
+    stuck_budget: Duration,
     memory: Mutex<HashMap<u64, Arc<RunMetrics>>>,
     simulated: AtomicU64,
     cache_hits: AtomicU64,
+    retries: AtomicU64,
+    quarantined: AtomicU64,
+    stuck_flags: AtomicU64,
+    fault_hook: Option<FaultHook>,
 }
 
 impl Default for CampaignEngine {
@@ -790,9 +1025,15 @@ impl CampaignEngine {
         CampaignEngine {
             jobs: default_jobs(),
             cache_dir: default_cache_dir(),
+            max_attempts: 2,
+            stuck_budget: Duration::from_secs(120),
             memory: Mutex::new(HashMap::new()),
             simulated: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            stuck_flags: AtomicU64::new(0),
+            fault_hook: None,
         }
     }
 
@@ -805,6 +1046,27 @@ impl CampaignEngine {
     /// Override the on-disk cache directory (`None` disables it).
     pub fn with_cache_dir(mut self, dir: Option<PathBuf>) -> Self {
         self.cache_dir = dir;
+        self
+    }
+
+    /// Execution attempts per cell before it is poisoned (≥ 1,
+    /// default 2: one retry).
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Wall-clock budget after which a still-running cell is flagged by
+    /// the watchdog (default 120 s). Flagging never kills the cell.
+    pub fn with_stuck_budget(mut self, budget: Duration) -> Self {
+        self.stuck_budget = budget;
+        self
+    }
+
+    /// Install the test-only fault hook (see [`FaultHook`]).
+    #[doc(hidden)]
+    pub fn with_fault_hook(mut self, hook: FaultHook) -> Self {
+        self.fault_hook = Some(hook);
         self
     }
 
@@ -824,6 +1086,22 @@ impl CampaignEngine {
         self.cache_hits.load(Ordering::Relaxed)
     }
 
+    /// Total panic retries over the engine's lifetime.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Total cache files quarantined over the engine's lifetime.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently held by the in-memory result cache — the
+    /// flat-memory assertions of the streaming mode read this.
+    pub fn memory_entries(&self) -> usize {
+        self.memory.lock().unwrap().len()
+    }
+
     /// Execute every cell of `spec` and collect submission-ordered
     /// results.
     pub fn run(&self, spec: &MatrixSpec) -> MatrixResult {
@@ -833,17 +1111,82 @@ impl CampaignEngine {
     /// Execute an explicit cell list (`cells[i].index` must equal `i`,
     /// as [`MatrixSpec::expand`] produces).
     pub fn run_cells(&self, cells: Vec<Cell>) -> MatrixResult {
+        let mut outcomes = Vec::with_capacity(cells.len());
+        let report = self.drive(&cells, true, &mut |o| outcomes.push(o));
+        MatrixResult { outcomes, report }
+    }
+
+    /// Execute every cell of `spec` without retaining any per-cell
+    /// metrics: outcomes are folded into the report's streaming
+    /// [`CampaignAggregates`] and dropped, and the in-memory cache is not
+    /// populated — peak memory is flat in the cell count (the engine's
+    /// 1M-cell mode).
+    pub fn run_streaming(&self, spec: &MatrixSpec) -> StreamSummary {
+        self.run_cells_streaming(spec.expand())
+    }
+
+    /// Streaming execution of an explicit cell list (see
+    /// [`run_streaming`](Self::run_streaming)).
+    pub fn run_cells_streaming(&self, cells: Vec<Cell>) -> StreamSummary {
+        let mut failures = Vec::new();
+        let report = self.drive(&cells, false, &mut |o| {
+            if let CellOutcome::Failed {
+                cell,
+                panic_msg,
+                attempts,
+            } = o
+            {
+                failures.push(CellFailure {
+                    label: cell.label(),
+                    panic_msg,
+                    attempts,
+                });
+            }
+        });
+        StreamSummary { report, failures }
+    }
+
+    /// The engine core: run `cells` on the pool, deliver outcomes to
+    /// `sink` in **submission order** (a frontier reorders the
+    /// completion-ordered channel), fold aggregates, journal durable
+    /// completions, and watch for stuck cells.
+    fn drive(
+        &self,
+        cells: &[Cell],
+        store_memory: bool,
+        sink: &mut dyn FnMut(CellOutcome),
+    ) -> EngineReport {
         let started = Instant::now();
         let n = cells.len();
         let workers = self.jobs.min(n.max(1));
-        let mut slots: Vec<Option<CellOutcome>> = (0..n).map(|_| None).collect();
         let simulated_before = self.simulations();
+        let quarantined_before = self.quarantined.load(Ordering::Relaxed);
+        let stuck_before = self.stuck_flags.load(Ordering::Relaxed);
+
+        let mut journal = self.cache_dir.as_ref().and_then(|dir| {
+            match CampaignJournal::open(dir, spec_hash(cells), n) {
+                Ok(j) => Some(j),
+                Err(e) => {
+                    // Resume is an optimisation: a read-only cache dir
+                    // degrades to journal-less execution, never failure.
+                    eprintln!("rpav: campaign journal unavailable ({e}); running without resume");
+                    None
+                }
+            }
+        });
+        let resumed = journal.as_ref().map_or(0, |j| j.completed_count());
+
+        let mut aggregates = CampaignAggregates::default();
+        let mut failed = 0usize;
 
         let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, Arc<RunMetrics>, bool)>();
+        let inflight: Mutex<HashMap<usize, Instant>> = Mutex::new(HashMap::new());
+        let done = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<(usize, WorkerResult)>();
         std::thread::scope(|s| {
             let cursor = &cursor;
-            let cells = &cells;
+            let inflight = &inflight;
+            let done = &done;
             for _ in 0..workers {
                 let tx = tx.clone();
                 s.spawn(move || loop {
@@ -851,72 +1194,247 @@ impl CampaignEngine {
                     if i >= n {
                         break;
                     }
-                    let (metrics, cached) = self.run_cell(&cells[i]);
-                    if tx.send((i, metrics, cached)).is_err() {
+                    inflight.lock().unwrap().insert(i, Instant::now());
+                    let result = self.run_cell_isolated(&cells[i], store_memory);
+                    inflight.lock().unwrap().remove(&i);
+                    if tx.send((i, result)).is_err() {
                         break;
                     }
                 });
             }
+            // Stuck-cell watchdog: scans the in-flight table at a poll
+            // interval derived from the budget, flags each offender once,
+            // and shuts down in ≤ 10 ms once the matrix completes.
+            let budget = self.stuck_budget;
+            s.spawn(move || {
+                let poll =
+                    (budget / 8).clamp(Duration::from_millis(10), Duration::from_millis(500));
+                let mut flagged: HashSet<usize> = HashSet::new();
+                loop {
+                    let mut slept = Duration::ZERO;
+                    while slept < poll && !done.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(10));
+                        slept += Duration::from_millis(10);
+                    }
+                    if done.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    for (&i, start) in inflight.lock().unwrap().iter() {
+                        if start.elapsed() > budget && flagged.insert(i) {
+                            self.stuck_flags.fetch_add(1, Ordering::Relaxed);
+                            eprintln!(
+                                "rpav: cell {i} ({}) exceeded its {budget:?} wall-clock budget — still running",
+                                cells[i].label()
+                            );
+                        }
+                    }
+                }
+            });
             drop(tx);
-            // Results arrive in completion order; the index slots them
-            // back into submission order — the determinism contract.
-            while let Ok((i, metrics, cached)) = rx.recv() {
-                slots[i] = Some(CellOutcome {
-                    cell: cells[i].clone(),
-                    metrics,
-                    cached,
-                });
+            // Completion-ordered arrivals re-sequenced into submission
+            // order before folding/journaling/sinking: the pending map
+            // holds at most ~`workers` out-of-order results, and the
+            // in-order fold makes the aggregates' f64 sums (hence their
+            // canonical bytes) independent of job count and of where a
+            // previous run was killed.
+            let mut pending: BTreeMap<usize, WorkerResult> = BTreeMap::new();
+            let mut next = 0usize;
+            while let Ok((i, result)) = rx.recv() {
+                pending.insert(i, result);
+                while let Some(result) = pending.remove(&next) {
+                    match result {
+                        WorkerResult::Done {
+                            metrics,
+                            cached,
+                            durable,
+                            attempts,
+                        } => {
+                            if durable {
+                                if let Some(j) = journal.as_mut() {
+                                    // Journal I/O failure only costs
+                                    // resume coverage for this cell.
+                                    let _ = j.record(next);
+                                }
+                            }
+                            aggregates.fold(&metrics);
+                            sink(CellOutcome::Done {
+                                cell: cells[next].clone(),
+                                metrics,
+                                cached,
+                                attempts,
+                            });
+                        }
+                        WorkerResult::Failed {
+                            panic_msg,
+                            attempts,
+                        } => {
+                            failed += 1;
+                            aggregates.fold_failure();
+                            sink(CellOutcome::Failed {
+                                cell: cells[next].clone(),
+                                panic_msg,
+                                attempts,
+                            });
+                        }
+                    }
+                    next += 1;
+                }
             }
+            done.store(true, Ordering::Relaxed);
         });
 
-        let outcomes: Vec<CellOutcome> = slots
-            .into_iter()
-            .map(|o| o.expect("worker died before completing its cell"))
-            .collect();
         let simulated = (self.simulations() - simulated_before) as usize;
-        MatrixResult {
-            report: EngineReport {
-                cells: n,
-                simulated,
-                cached: n - simulated,
-                jobs: workers,
-                wall: started.elapsed(),
-            },
-            outcomes,
+        EngineReport {
+            cells: n,
+            simulated,
+            cached: n - simulated - failed,
+            failed,
+            resumed,
+            quarantined: (self.quarantined.load(Ordering::Relaxed) - quarantined_before) as usize,
+            stuck_flagged: (self.stuck_flags.load(Ordering::Relaxed) - stuck_before) as usize,
+            jobs: workers,
+            wall: started.elapsed(),
+            aggregates,
         }
     }
 
-    /// One cell through the cache layers: memory → disk → simulate.
-    /// Metrics are stored and returned behind an [`Arc`], so cache hits
-    /// and the outcome slots share one allocation per distinct cell.
-    fn run_cell(&self, cell: &Cell) -> (Arc<RunMetrics>, bool) {
+    /// One cell through the cache layers (memory → durable disk) and, on
+    /// miss, `catch_unwind`-isolated execution with bounded retry.
+    fn run_cell_isolated(&self, cell: &Cell, store_memory: bool) -> WorkerResult {
         let key = cell.key();
         if let Some(m) = self.memory.lock().unwrap().get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(m), true);
+            return WorkerResult::Done {
+                metrics: Arc::clone(m),
+                cached: true,
+                // The first store already journaled it; don't claim
+                // durability we didn't verify here.
+                durable: false,
+                attempts: 0,
+            };
         }
         if let Some(dir) = &self.cache_dir {
-            if let Ok(bytes) = std::fs::read(dir.join(format!("{key:016x}.rpav"))) {
-                if let Some(m) = RunMetrics::from_bytes(&bytes) {
-                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    let m = Arc::new(m);
+            if let Some(m) = self.load_disk(dir, key) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                let m = Arc::new(m);
+                if store_memory {
                     self.memory.lock().unwrap().insert(key, Arc::clone(&m));
-                    return (m, true);
+                }
+                return WorkerResult::Done {
+                    metrics: m,
+                    cached: true,
+                    durable: true,
+                    attempts: 0,
+                };
+            }
+        }
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(hook) = &self.fault_hook {
+                    if hook(cell, attempts) {
+                        panic!("injected fault (attempt {attempts})");
+                    }
+                }
+                cell.execute()
+            }));
+            match outcome {
+                Ok(metrics) => {
+                    self.simulated.fetch_add(1, Ordering::Relaxed);
+                    let metrics = Arc::new(metrics);
+                    let durable = match &self.cache_dir {
+                        Some(dir) => self.store_disk(dir, key, &metrics),
+                        None => false,
+                    };
+                    if store_memory {
+                        self.memory
+                            .lock()
+                            .unwrap()
+                            .insert(key, Arc::clone(&metrics));
+                    }
+                    return WorkerResult::Done {
+                        metrics,
+                        cached: false,
+                        durable,
+                        attempts,
+                    };
+                }
+                Err(payload) => {
+                    let panic_msg = panic_message(payload);
+                    if attempts < self.max_attempts {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "rpav: cell {} panicked on attempt {attempts}/{}: {panic_msg} — retrying",
+                            cell.label(),
+                            self.max_attempts
+                        );
+                        continue;
+                    }
+                    eprintln!(
+                        "rpav: cell {} poisoned after {attempts} attempt(s): {panic_msg}",
+                        cell.label()
+                    );
+                    return WorkerResult::Failed {
+                        panic_msg,
+                        attempts,
+                    };
                 }
             }
         }
-        let metrics = Arc::new(cell.execute());
-        self.simulated.fetch_add(1, Ordering::Relaxed);
-        if let Some(dir) = &self.cache_dir {
-            // Best-effort: a read-only target dir must not fail the run.
-            let _ = std::fs::create_dir_all(dir);
-            let _ = std::fs::write(dir.join(format!("{key:016x}.rpav")), metrics.to_bytes());
+    }
+
+    /// Read one sealed cache record. A file that exists but fails the
+    /// envelope or the structural decode is *quarantined*: moved to
+    /// `<dir>/quarantine/` (deleted if the move fails) and reported as a
+    /// miss, so one corrupt file costs one re-simulation, never the run.
+    fn load_disk(&self, dir: &std::path::Path, key: u64) -> Option<RunMetrics> {
+        let path = dir.join(format!("{key:016x}.rpav"));
+        let bytes = std::fs::read(&path).ok()?;
+        match RunMetrics::from_cache_bytes(&bytes) {
+            Some(m) => Some(m),
+            None => {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                let qdir = dir.join("quarantine");
+                let moved = std::fs::create_dir_all(&qdir).is_ok()
+                    && std::fs::rename(&path, qdir.join(format!("{key:016x}.rpav"))).is_ok();
+                if !moved {
+                    let _ = std::fs::remove_file(&path);
+                }
+                eprintln!(
+                    "rpav: quarantined corrupt cache file {} ({})",
+                    path.display(),
+                    if moved { "moved" } else { "deleted" }
+                );
+                None
+            }
         }
-        self.memory
-            .lock()
-            .unwrap()
-            .insert(key, Arc::clone(&metrics));
-        (metrics, false)
+    }
+
+    /// Durably store one sealed cache record: tmp file (pid-suffixed, so
+    /// concurrent processes never clobber each other mid-write), write,
+    /// fsync, rename. Returns whether the record is durably in place —
+    /// a kill at any point leaves either the old state or the complete
+    /// new file, never a half-written `.rpav`.
+    fn store_disk(&self, dir: &std::path::Path, key: u64, metrics: &RunMetrics) -> bool {
+        use std::io::Write;
+        if std::fs::create_dir_all(dir).is_err() {
+            return false;
+        }
+        let path = dir.join(format!("{key:016x}.rpav"));
+        let tmp = dir.join(format!("{key:016x}.{}.tmp", std::process::id()));
+        let written = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&metrics.to_cache_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, &path)
+        })();
+        if written.is_err() {
+            // Best-effort: a read-only target dir must not fail the run.
+            let _ = std::fs::remove_file(&tmp);
+            return false;
+        }
+        true
     }
 }
 
@@ -1041,22 +1559,33 @@ mod tests {
         let b = parallel.run(&spec);
         assert_eq!(a.outcomes.len(), 4);
         for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
-            assert_eq!(x.cell.label(), y.cell.label());
+            assert_eq!(x.cell().label(), y.cell().label());
             assert_eq!(
-                x.metrics.to_bytes(),
-                y.metrics.to_bytes(),
+                x.metrics().to_bytes(),
+                y.metrics().to_bytes(),
                 "jobs=1 vs jobs=8 diverged at {}",
-                x.cell.label()
+                x.cell().label()
             );
         }
+        // The streaming aggregates fold in submission order, so they are
+        // bit-identical across job counts too.
+        assert_eq!(
+            a.report.aggregates.to_bytes(),
+            b.report.aggregates.to_bytes(),
+            "aggregates diverged across job counts"
+        );
         assert_eq!(parallel.simulations(), 4);
         let warm = parallel.run(&spec);
         assert_eq!(parallel.simulations(), 4, "warm re-run re-simulated");
         assert_eq!(warm.report.cached, 4);
         assert_eq!(warm.report.simulated, 0);
         for (x, y) in a.outcomes.iter().zip(warm.outcomes.iter()) {
-            assert_eq!(x.metrics.to_bytes(), y.metrics.to_bytes());
+            assert_eq!(x.metrics().to_bytes(), y.metrics().to_bytes());
         }
+        assert_eq!(
+            a.report.aggregates.to_bytes(),
+            warm.report.aggregates.to_bytes()
+        );
     }
 
     #[test]
@@ -1074,5 +1603,191 @@ mod tests {
         assert_eq!(campaigns[1].label, "SCReAM-Rural-P1-Air");
         assert_eq!(campaigns[0].runs.len(), 2);
         assert_eq!(campaigns[1].runs.len(), 2);
+    }
+
+    #[test]
+    fn injected_panic_poisons_one_cell_not_the_run() {
+        let spec = MatrixSpec::new(short_base()).runs(3);
+        let engine = CampaignEngine::new()
+            .with_cache_dir(None)
+            .with_jobs(4)
+            .with_max_attempts(2)
+            .with_fault_hook(Arc::new(|cell: &Cell, _attempt| {
+                cell.config.run_index == 1 // this cell always panics
+            }));
+        let result = engine.run(&spec);
+        assert_eq!(result.outcomes.len(), 3);
+        assert_eq!(result.report.failed, 1);
+        assert_eq!(result.report.simulated, 2);
+        let failures: Vec<&CellOutcome> = result.failures().collect();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].cell().config.run_index, 1);
+        assert_eq!(failures[0].attempts(), 2, "retry budget consumed");
+        assert!(failures[0].panic_msg().unwrap().contains("injected fault"));
+        assert!(failures[0].try_metrics().is_none());
+        // The healthy cells completed normally.
+        assert!(result.outcomes[0].try_metrics().is_some());
+        assert!(result.outcomes[2].try_metrics().is_some());
+        // And campaign grouping simply skips the poisoned run.
+        let campaigns = result.campaigns();
+        assert_eq!(campaigns[0].runs.len(), 2);
+    }
+
+    #[test]
+    fn retry_recovers_a_transient_panic_bit_identically() {
+        let spec = MatrixSpec::new(short_base());
+        let engine = CampaignEngine::new()
+            .with_cache_dir(None)
+            .with_jobs(1)
+            .with_max_attempts(3)
+            .with_fault_hook(Arc::new(|_cell, attempt| attempt == 1));
+        let result = engine.run(&spec);
+        assert_eq!(result.report.failed, 0);
+        assert_eq!(engine.retries(), 1);
+        let outcome = &result.outcomes[0];
+        assert_eq!(outcome.attempts(), 2);
+        // The retried execution is the same pure function of the config.
+        assert_eq!(
+            outcome.metrics().to_bytes(),
+            outcome.cell().execute().to_bytes()
+        );
+    }
+
+    #[test]
+    fn metrics_iterator_panics_on_poisoned_cells() {
+        let engine = CampaignEngine::new()
+            .with_cache_dir(None)
+            .with_max_attempts(1)
+            .with_fault_hook(Arc::new(|_, _| true));
+        let result = engine.run(&MatrixSpec::new(short_base()));
+        assert_eq!(result.report.failed, 1);
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| result.metrics().count()));
+        assert!(caught.is_err(), "metrics() must refuse poisoned results");
+    }
+
+    #[test]
+    fn streaming_keeps_memory_flat_and_aggregates_identical() {
+        let spec = MatrixSpec::new(short_base())
+            .ccs([CcMode::Gcc, CcMode::paper_scream()])
+            .runs(2);
+        let collect = CampaignEngine::new().with_cache_dir(None).with_jobs(4);
+        let full = collect.run(&spec);
+        assert_eq!(collect.memory_entries(), 4, "collect mode caches in memory");
+
+        let streaming = CampaignEngine::new().with_cache_dir(None).with_jobs(4);
+        let summary = streaming.run_streaming(&spec);
+        assert_eq!(
+            streaming.memory_entries(),
+            0,
+            "streaming mode must not grow the in-memory cache"
+        );
+        assert!(summary.failures.is_empty());
+        assert_eq!(summary.report.cells, 4);
+        assert_eq!(
+            summary.report.aggregates.to_bytes(),
+            full.report.aggregates.to_bytes(),
+            "streaming vs collect aggregates diverged"
+        );
+        // The sketch footprint is what it is regardless of cell count.
+        assert_eq!(
+            summary.report.aggregates.retained_bytes(),
+            full.report.aggregates.retained_bytes()
+        );
+    }
+
+    #[test]
+    fn stuck_watchdog_flags_but_never_kills() {
+        let spec = MatrixSpec::new(short_base()).runs(2);
+        let engine = CampaignEngine::new()
+            .with_cache_dir(None)
+            .with_jobs(1)
+            .with_stuck_budget(Duration::from_millis(1));
+        let result = engine.run(&spec);
+        // Every cell takes ≫ 1 ms, so the watchdog must have fired, and
+        // every cell must still have completed.
+        assert_eq!(result.report.failed, 0);
+        assert_eq!(result.outcomes.len(), 2);
+        assert!(
+            result.report.stuck_flagged >= 1,
+            "a 1 ms budget must flag at least one cell"
+        );
+    }
+
+    #[test]
+    fn default_jobs_warns_and_recovers_from_invalid_env() {
+        // Env mutation: run the cases in one test to avoid races with a
+        // parallel test harness touching the same variable.
+        let detected = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        std::env::set_var("RPAV_JOBS", "not-a-number");
+        assert_eq!(default_jobs(), detected, "invalid value must fall back");
+        std::env::set_var("RPAV_JOBS", "0");
+        assert_eq!(default_jobs(), detected, "zero must fall back");
+        std::env::set_var("RPAV_JOBS", "3");
+        assert_eq!(default_jobs(), 3);
+        std::env::remove_var("RPAV_JOBS");
+        assert_eq!(default_jobs(), detected);
+    }
+
+    #[test]
+    fn disk_cache_resumes_quarantines_and_stays_bit_identical() {
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join(format!("rpav-exec-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = MatrixSpec::new(short_base()).runs(3);
+
+        let first = CampaignEngine::new()
+            .with_cache_dir(Some(dir.clone()))
+            .with_jobs(2);
+        let cold = first.run(&spec);
+        assert_eq!(cold.report.simulated, 3);
+        assert_eq!(cold.report.resumed, 0);
+
+        // A second process (fresh engine, empty memory cache) resumes
+        // everything from the durable store, bit-identically.
+        let second = CampaignEngine::new()
+            .with_cache_dir(Some(dir.clone()))
+            .with_jobs(2);
+        let warm = second.run(&spec);
+        assert_eq!(warm.report.simulated, 0);
+        assert_eq!(warm.report.cached, 3);
+        assert_eq!(warm.report.resumed, 3, "journal must report completions");
+        assert_eq!(
+            warm.report.aggregates.to_bytes(),
+            cold.report.aggregates.to_bytes()
+        );
+
+        // Corrupt one cache record: it is quarantined, re-simulated, and
+        // the run still matches bit-for-bit.
+        let victim = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.path().extension().is_some_and(|x| x == "rpav"))
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::File::create(&victim)
+            .unwrap()
+            .write_all(&bytes)
+            .unwrap();
+        let third = CampaignEngine::new()
+            .with_cache_dir(Some(dir.clone()))
+            .with_jobs(2);
+        let healed = third.run(&spec);
+        assert_eq!(healed.report.quarantined, 1);
+        assert_eq!(healed.report.simulated, 1, "only the corrupt cell re-runs");
+        assert_eq!(
+            healed.report.aggregates.to_bytes(),
+            cold.report.aggregates.to_bytes()
+        );
+        assert!(
+            dir.join("quarantine").read_dir().unwrap().count() == 1,
+            "corrupt file must be moved to quarantine"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

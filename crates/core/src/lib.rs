@@ -12,9 +12,13 @@
 //!   FPS, playback latency, SSIM, stalls, HO-latency ratios).
 //! * [`stats`] — quantiles, boxplot summaries, CDFs.
 //! * [`exec`] — the parallel deterministic matrix engine
-//!   ([`MatrixSpec`] → thread pool → cached, submission-ordered results).
+//!   ([`MatrixSpec`] → thread pool → cached, submission-ordered results),
+//!   crash-safe: panic isolation with poison records, a durable
+//!   checksummed result cache, and kill/resume via a completion journal.
 //! * [`codec`] — canonical byte encoding of [`RunMetrics`] (cache +
-//!   determinism assertions).
+//!   determinism assertions) plus the CRC32 durable-store envelope.
+//! * [`journal`] — the per-campaign fsync'd completion manifest behind
+//!   kill/resume.
 //! * [`runner`] — campaign execution across repeated runs.
 //! * [`ping`] — the cross-traffic-free RTT workload of Fig. 13.
 //! * [`dataset`] — CSV export in the shape of the paper's released dataset.
@@ -45,6 +49,7 @@ pub mod dataset;
 pub mod exec;
 pub mod failover;
 pub mod health;
+pub mod journal;
 pub mod metrics;
 pub mod multipath;
 pub mod paths;
@@ -66,8 +71,8 @@ pub use scenario::{CcMode, ExperimentConfig, Mobility};
 /// the matrix engine, and the per-run metrics every binary touches.
 pub mod prelude {
     pub use crate::exec::{
-        CampaignEngine, Cell, CellFault, CellOutcome, EngineReport, MatrixResult, MatrixSpec,
-        RunScheme,
+        CampaignEngine, Cell, CellFailure, CellFault, CellOutcome, EngineReport, MatrixResult,
+        MatrixSpec, RunScheme, StreamSummary,
     };
     pub use crate::metrics::RunMetrics;
     pub use crate::multipath::MultipathScheme;
@@ -77,5 +82,7 @@ pub mod prelude {
         CcMode, ExperimentConfig, ExperimentConfigBuilder, Mobility, MAX_LEGS,
     };
     pub use crate::stats;
+    pub use crate::stats::LogHistogram;
+    pub use crate::summary::CampaignAggregates;
     pub use rpav_lte::{Environment, Operator};
 }

@@ -117,6 +117,172 @@ pub fn lin_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Decades spanned by a [`LogHistogram`]: `[1e-6, 1e12)`.
+const HIST_MIN_EXP: i32 = -6;
+const HIST_MAX_EXP: i32 = 12;
+/// Buckets per decade — 32 gives ≤ ~7.5 % relative quantile error.
+const HIST_BUCKETS_PER_DECADE: usize = 32;
+const HIST_BUCKETS: usize = (HIST_MAX_EXP - HIST_MIN_EXP) as usize * HIST_BUCKETS_PER_DECADE;
+
+/// A mergeable HDR-style log-bucketed histogram for streaming campaign
+/// aggregation: fixed memory (576 buckets) regardless of sample count,
+/// deterministic merge (bucket counts add), and quantiles with bounded
+/// *relative* error over `[1e-6, 1e12)` — wide enough for milliseconds,
+/// Mbit/s, and per-frame latencies alike.
+///
+/// Values below the range land in `below`, non-finite samples in
+/// `non_finite`; both are counted, never dropped silently. Exact
+/// `min`/`max`/`sum` ride alongside so means are exact and quantile
+/// endpoints clamp to observed extremes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    /// Samples `< 1e-6` (incl. zero and negatives).
+    pub below: u64,
+    /// NaN / infinite samples.
+    pub non_finite: u64,
+    /// In-range sample count (excludes `below` and `non_finite`).
+    pub count: u64,
+    /// Sum of in-range samples (exact, folded in submission order).
+    pub sum: f64,
+    /// Smallest in-range sample.
+    pub min: f64,
+    /// Largest in-range sample.
+    pub max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; HIST_BUCKETS],
+            below: 0,
+            non_finite: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_of(v: f64) -> Option<usize> {
+        if v <= 0.0 {
+            return None; // log10 of non-positive is NaN, not "below range"
+        }
+        let idx = ((v.log10() - HIST_MIN_EXP as f64) * HIST_BUCKETS_PER_DECADE as f64).floor();
+        if idx < 0.0 {
+            None
+        } else {
+            Some((idx as usize).min(HIST_BUCKETS - 1))
+        }
+    }
+
+    /// Geometric midpoint of bucket `i` — the value a quantile inside the
+    /// bucket reports.
+    fn bucket_mid(i: usize) -> f64 {
+        let exp = HIST_MIN_EXP as f64 + (i as f64 + 0.5) / HIST_BUCKETS_PER_DECADE as f64;
+        10f64.powf(exp)
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
+        match Self::bucket_of(v) {
+            None => self.below += 1,
+            Some(i) => {
+                self.counts[i] += 1;
+                self.count += 1;
+                self.sum += v;
+                self.min = self.min.min(v);
+                self.max = self.max.max(v);
+            }
+        }
+    }
+
+    /// Fold `other` into `self`. Merging is exact for counts and
+    /// associative for bucket contents: `merge(a, b)` then quantile equals
+    /// quantile over the concatenated streams up to bucket resolution.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.below += other.below;
+        self.non_finite += other.non_finite;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total recorded samples including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.count + self.below + self.non_finite
+    }
+
+    /// Approximate quantile (`q` in [0, 1]) over in-range samples, clamped
+    /// to the exact observed `[min, max]`. `None` when no in-range sample
+    /// was recorded.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen > rank {
+                return Some(Self::bucket_mid(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Exact mean of in-range samples (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Fraction of in-range samples `<= x` — the streaming analogue of
+    /// [`fraction_at_or_below`]. Bucket-resolution approximate.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let cutoff = match Self::bucket_of(x.max(1e-300)) {
+            None => return 0.0,
+            Some(i) => i,
+        };
+        let at_or_below: u64 = self.counts[..=cutoff].iter().sum();
+        at_or_below as f64 / self.count as f64
+    }
+
+    /// Bytes retained by this sketch — constant, independent of how many
+    /// samples were recorded (the flat-memory guarantee the engine's
+    /// streaming mode is built on).
+    pub fn retained_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.counts.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Iterate non-empty buckets as `(bucket_index, count)` — used by the
+    /// canonical encoder.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (i, *c))
+    }
+}
+
 impl BoxSummary {
     /// Render as the textual row the figure binaries print.
     pub fn row(&self, label: &str) -> String {
@@ -180,6 +346,82 @@ mod tests {
         assert!((g[2] - 1000.0).abs() < 1e-6);
         let l = lin_grid(0.0, 10.0, 6);
         assert_eq!(l, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn log_histogram_quantiles_track_exact() {
+        let mut h = LogHistogram::new();
+        let v: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        for &x in &v {
+            h.record(x);
+        }
+        assert_eq!(h.count, 1000);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 1000.0);
+        assert!((h.mean().unwrap() - mean(&v)).abs() < 1e-9);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let exact = quantile(&v, q);
+            let approx = h.quantile(q).unwrap();
+            assert!(
+                (approx - exact).abs() / exact < 0.08,
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_histogram_out_of_range_and_empty() {
+        let mut h = LogHistogram::new();
+        assert!(h.quantile(0.5).is_none());
+        assert!(h.mean().is_none());
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.below, 2);
+        assert_eq!(h.non_finite, 2);
+        assert_eq!(h.count, 0);
+        assert_eq!(h.total(), 4);
+        // Beyond-range values clamp into the last bucket, never panic.
+        h.record(1e50);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.quantile(0.5), Some(1e50)); // clamped to observed max
+    }
+
+    #[test]
+    fn log_histogram_merge_equals_concatenation() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for i in 1..500 {
+            let x = (i as f64) * 0.37;
+            a.record(x);
+            both.record(x);
+        }
+        for i in 1..300 {
+            let x = (i as f64) * 11.1;
+            b.record(x);
+            both.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        let before = a.retained_bytes();
+        for i in 0..10_000 {
+            a.record(i as f64 + 0.5);
+        }
+        assert_eq!(a.retained_bytes(), before, "sketch memory must be flat");
+    }
+
+    #[test]
+    fn log_histogram_fraction_at_or_below() {
+        let mut h = LogHistogram::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let f = h.fraction_at_or_below(50.0);
+        assert!((f - 0.5).abs() < 0.08, "got {f}");
+        assert_eq!(h.fraction_at_or_below(1e-9), 0.0);
+        assert!((h.fraction_at_or_below(1e11) - 1.0).abs() < 1e-12);
     }
 
     proptest! {

@@ -201,6 +201,166 @@ impl HeadlineStats {
     }
 }
 
+/// Streaming campaign aggregates: everything [`EngineReport`]
+/// (`crate::exec::EngineReport`) accumulates about a matrix without
+/// retaining per-run [`RunMetrics`]. Counters are exact; distributions live
+/// in mergeable [`LogHistogram`] sketches whose memory is flat in the cell
+/// count — the structure behind the ROADMAP's "1M-cell matrix with flat
+/// memory" target.
+///
+/// Folding happens in **submission order** (the engine guarantees this),
+/// so the f64 sums — and therefore [`to_bytes`](Self::to_bytes) — are
+/// bit-identical across job counts and across kill/resume boundaries.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CampaignAggregates {
+    /// Cells folded in (completed, whether simulated or cache-served).
+    pub cells: u64,
+    /// Cells that exhausted their retry budget and were poisoned.
+    pub failed: u64,
+    /// Media packets sent, summed.
+    pub media_sent: u64,
+    /// Media packets received, summed.
+    pub media_received: u64,
+    /// Media payload bytes received, summed.
+    pub media_received_bytes: u64,
+    /// Stall events, summed.
+    pub stalls: u64,
+    /// Stalled wall-clock, summed (µs).
+    pub stalled_time_us: u64,
+    /// NACK feedback messages, summed.
+    pub nacks_sent: u64,
+    /// RTX-recovered packets, summed.
+    pub rtx_recovered: u64,
+    /// FEC-recovered packets, summed.
+    pub fec_recovered: u64,
+    /// SSIM samples observed, summed.
+    pub ssim_samples: u64,
+    /// SSIM samples < 0.5 (the §4.2.3 quality criterion), summed.
+    pub ssim_below_half: u64,
+    /// Per-run goodput (Mbit/s) distribution.
+    pub goodput_mbps: stats::LogHistogram,
+    /// Per-sample one-way delay (ms) distribution.
+    pub owd_ms: stats::LogHistogram,
+    /// Per-frame playback latency (ms) distribution.
+    pub playback_ms: stats::LogHistogram,
+}
+
+impl CampaignAggregates {
+    /// Fold one completed run in.
+    pub fn fold(&mut self, m: &crate::metrics::RunMetrics) {
+        self.cells += 1;
+        self.media_sent += m.media_sent;
+        self.media_received += m.media_received;
+        self.media_received_bytes += m.media_received_bytes;
+        self.stalls += m.stalls;
+        self.stalled_time_us += m.stalled_time.as_micros();
+        self.nacks_sent += m.nacks_sent;
+        self.rtx_recovered += m.rtx_recovered;
+        self.fec_recovered += m.fec_recovered;
+        self.goodput_mbps.record(m.goodput_bps() / 1e6);
+        for (_, ms) in &m.owd {
+            self.owd_ms.record(*ms);
+        }
+        for f in &m.frames {
+            self.ssim_samples += 1;
+            if f.ssim < 0.5 {
+                self.ssim_below_half += 1;
+            }
+            if let Some(lat) = f.latency_ms {
+                self.playback_ms.record(lat);
+            }
+        }
+    }
+
+    /// Record a poisoned cell (no metrics to fold).
+    pub fn fold_failure(&mut self) {
+        self.failed += 1;
+    }
+
+    /// Merge another aggregate in (shards, resumed segments).
+    pub fn merge(&mut self, other: &CampaignAggregates) {
+        self.cells += other.cells;
+        self.failed += other.failed;
+        self.media_sent += other.media_sent;
+        self.media_received += other.media_received;
+        self.media_received_bytes += other.media_received_bytes;
+        self.stalls += other.stalls;
+        self.stalled_time_us += other.stalled_time_us;
+        self.nacks_sent += other.nacks_sent;
+        self.rtx_recovered += other.rtx_recovered;
+        self.fec_recovered += other.fec_recovered;
+        self.ssim_samples += other.ssim_samples;
+        self.ssim_below_half += other.ssim_below_half;
+        self.goodput_mbps.merge(&other.goodput_mbps);
+        self.owd_ms.merge(&other.owd_ms);
+        self.playback_ms.merge(&other.playback_ms);
+    }
+
+    /// Bytes retained — flat regardless of how many cells were folded.
+    pub fn retained_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.goodput_mbps.retained_bytes()
+            + self.owd_ms.retained_bytes()
+            + self.playback_ms.retained_bytes()
+    }
+
+    /// Canonical byte encoding. Two aggregates encode identically iff every
+    /// counter, every histogram bucket, and every f64 sum's bit pattern
+    /// agree — the resilience harness compares resumed vs. uninterrupted
+    /// campaigns over exactly these bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = crate::codec::ByteWriter::new();
+        w.u64(self.cells);
+        w.u64(self.failed);
+        w.u64(self.media_sent);
+        w.u64(self.media_received);
+        w.u64(self.media_received_bytes);
+        w.u64(self.stalls);
+        w.u64(self.stalled_time_us);
+        w.u64(self.nacks_sent);
+        w.u64(self.rtx_recovered);
+        w.u64(self.fec_recovered);
+        w.u64(self.ssim_samples);
+        w.u64(self.ssim_below_half);
+        for h in [&self.goodput_mbps, &self.owd_ms, &self.playback_ms] {
+            let buckets: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+            w.u64(buckets.len() as u64);
+            for (i, c) in buckets {
+                w.u64(i as u64);
+                w.u64(c);
+            }
+            w.u64(h.below);
+            w.u64(h.non_finite);
+            w.u64(h.count);
+            w.f64(h.sum);
+            w.f64(h.min);
+            w.f64(h.max);
+        }
+        w.into_bytes()
+    }
+
+    /// Human summary lines for bench/engine reports.
+    pub fn summary(&self) -> String {
+        let q = |h: &stats::LogHistogram, q: f64| h.quantile(q).unwrap_or(f64::NAN);
+        format!(
+            "aggregates: {} cells ({} failed) | goodput p50={:.2} p99={:.2} Mbps | \
+             owd p50={:.1} p99={:.1} ms | playback p50={:.1} p99={:.1} ms | \
+             stalls={} nacks={} rtx+fec={}",
+            self.cells,
+            self.failed,
+            q(&self.goodput_mbps, 0.5),
+            q(&self.goodput_mbps, 0.99),
+            q(&self.owd_ms, 0.5),
+            q(&self.owd_ms, 0.99),
+            q(&self.playback_ms, 0.5),
+            q(&self.playback_ms, 0.99),
+            self.stalls,
+            self.nacks_sent,
+            self.rtx_recovered + self.fec_recovered,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +521,66 @@ mod tests {
         for needle in ["240", "22", "66", "0.50"] {
             assert!(row.contains(needle), "row missing {needle}: {row}");
         }
+    }
+
+    #[test]
+    fn aggregates_fold_merge_and_stay_flat() {
+        let mk = |seed: u64| {
+            let mut m = RunMetrics {
+                duration: SimDuration::from_secs(60),
+                media_sent: 1_000 + seed,
+                media_received: 990 + seed,
+                media_received_bytes: (990 + seed) * 1_200,
+                stalls: seed % 3,
+                nacks_sent: 11 * seed,
+                rtx_recovered: 7 * seed,
+                fec_recovered: 2 * seed,
+                ..Default::default()
+            };
+            m.owd = (0..50)
+                .map(|i| {
+                    (
+                        rpav_sim::SimTime::from_millis(i * 10),
+                        30.0 + (seed as f64) + i as f64,
+                    )
+                })
+                .collect();
+            m.frames = (0..30)
+                .map(|i| crate::metrics::FrameRecord {
+                    number: i,
+                    display_at: rpav_sim::SimTime::from_millis(i * 33),
+                    latency_ms: Some(150.0 + i as f64),
+                    ssim: if i % 10 == 0 { 0.4 } else { 0.9 },
+                    displayed: true,
+                })
+                .collect();
+            m
+        };
+        let runs: Vec<RunMetrics> = (1..=6).map(mk).collect();
+
+        // Folding everything into one equals merging two half-folds.
+        let mut whole = CampaignAggregates::default();
+        runs.iter().for_each(|m| whole.fold(m));
+        let (mut a, mut b) = (CampaignAggregates::default(), CampaignAggregates::default());
+        runs[..3].iter().for_each(|m| a.fold(m));
+        runs[3..].iter().for_each(|m| b.fold(m));
+        a.merge(&b);
+        assert_eq!(a.to_bytes(), whole.to_bytes());
+        assert_eq!(whole.cells, 6);
+        assert_eq!(whole.ssim_samples, 180);
+        assert_eq!(whole.ssim_below_half, 18);
+
+        // Memory is flat in the number of folded runs.
+        let before = whole.retained_bytes();
+        runs.iter().for_each(|m| whole.fold(m));
+        assert_eq!(whole.retained_bytes(), before);
+
+        // Failures count without disturbing the distributions.
+        let bytes = whole.to_bytes();
+        whole.fold_failure();
+        assert_eq!(whole.failed, 1);
+        assert_ne!(whole.to_bytes(), bytes);
+        assert!(!whole.summary().is_empty());
     }
 
     #[test]

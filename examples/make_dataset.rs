@@ -33,8 +33,8 @@ fn main() {
         .outcomes
         .iter()
         .map(|o| DatasetRun {
-            config: &o.cell.config,
-            metrics: &o.metrics,
+            config: &o.cell().config,
+            metrics: o.metrics(),
         })
         .collect();
     dataset::export(&out, &runs).expect("dataset export");

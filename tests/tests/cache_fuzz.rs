@@ -1,0 +1,201 @@
+//! Cache-codec fuzz suite: the disk-cache decode path is a total
+//! function — any byte string maps to `Some(RunMetrics)` or `None`
+//! (a cache miss), never a panic and never a silent partial decode.
+//!
+//! Extends the wire-parser pattern from `parser_fuzz.rs` to the two
+//! cache entry points:
+//!
+//! * [`RunMetrics::from_bytes`] — the raw canonical encoding;
+//! * [`RunMetrics::from_cache_bytes`] — the CRC-framed envelope the
+//!   engine writes to `RPAV_CACHE` (`"RPVE" ‖ len ‖ crc32 ‖ payload`).
+//!
+//! The generators are the same three as PR 2's suite (pure noise,
+//! truncation at every byte boundary, single-bit flips) plus the
+//! corruptions a real cache directory produces: trailing garbage from
+//! a torn append, and a stale `FORMAT_VERSION` resealed with a valid
+//! CRC. All randomness comes from the deterministic `SimRng`, so a
+//! failure reproduces exactly.
+
+use rpav_core::codec::{seal, FORMAT_VERSION};
+use rpav_core::prelude::*;
+use rpav_sim::{SimDuration, SimRng, SimTime};
+
+/// Adversarial cases per entry point (the acceptance floor is 10 000).
+const CASES: usize = 12_000;
+
+/// A randomised but valid metrics record: scalar counters plus a few
+/// variable-length sequences so truncation boundaries land inside
+/// `seq` headers, elements, and the f64 payloads alike. NaN OWD
+/// samples are included deliberately — the codec must round-trip their
+/// exact bit pattern.
+fn valid_metrics(rng: &mut SimRng) -> RunMetrics {
+    let mut m = RunMetrics {
+        duration: SimDuration::from_millis(rng.uniform_u64(1, 120_000)),
+        media_sent: rng.uniform_u64(0, 1 << 24),
+        media_received: rng.uniform_u64(0, 1 << 24),
+        media_received_bytes: rng.uniform_u64(0, 1 << 32),
+        stalls: rng.uniform_u64(0, 64),
+        stalled_time: SimDuration::from_micros(rng.uniform_u64(0, 5_000_000)),
+        nacks_sent: rng.uniform_u64(0, 1 << 12),
+        rtx_recovered: rng.uniform_u64(0, 1 << 12),
+        fec_tx: rng.uniform_u64(0, 1 << 12),
+        fec_recovered: rng.uniform_u64(0, 1 << 10),
+        ..RunMetrics::default()
+    };
+    for i in 0..rng.uniform_u64(0, 12) {
+        let ms = if rng.chance(0.1) {
+            f64::NAN
+        } else {
+            rng.uniform_u64(0, 500_000) as f64 / 1_000.0
+        };
+        m.owd.push((SimTime::from_micros(i * 1_000), ms));
+    }
+    m
+}
+
+fn random_bytes(rng: &mut SimRng, max: u64) -> Vec<u8> {
+    let len = rng.uniform_u64(0, max) as usize;
+    (0..len).map(|_| rng.uniform_u64(0, 256) as u8).collect()
+}
+
+/// Hammer one decoder with noise, every-boundary truncations, and
+/// single-bit flips. `strict_flips` asserts every flip is *rejected*
+/// (the sealed envelope's CRC guarantee); without it a flip merely
+/// must not panic (the raw encoding carries no checksum).
+fn hammer(
+    name: &str,
+    seed: u64,
+    encode: impl Fn(&RunMetrics) -> Vec<u8>,
+    parse: impl Fn(&[u8]) -> bool,
+    strict_flips: bool,
+) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut ok = 0u64;
+    let mut err = 0u64;
+    let mut tally = |parsed: bool| if parsed { ok += 1 } else { err += 1 };
+
+    // 1) Pure noise, half of it wearing a plausible 4-byte magic so the
+    //    decoders get past the cheapest rejection.
+    for _ in 0..CASES / 3 {
+        let mut b = random_bytes(&mut rng, 96);
+        if rng.chance(0.5) && b.len() >= 4 {
+            let magic = if rng.chance(0.5) { b"RPAV" } else { b"RPVE" };
+            b[..4].copy_from_slice(magic);
+        }
+        tally(parse(&b));
+    }
+
+    // 2) Truncation at every byte boundary of a valid record, cycling
+    //    fresh records until the budget is spent. Every proper prefix
+    //    is a clean miss; the full encoding parses.
+    let mut spent = 0;
+    while spent < CASES / 3 {
+        let wire = encode(&valid_metrics(&mut rng));
+        for cut in 0..wire.len() {
+            assert!(!parse(&wire[..cut]), "{name}: truncation at {cut} parsed");
+            spent += 1;
+        }
+        assert!(parse(&wire), "{name}: valid record failed to parse");
+        tally(true);
+        // Trailing garbage — a torn cache append — is a miss, not a
+        // silent partial decode.
+        let mut padded = wire.clone();
+        padded.push(rng.uniform_u64(0, 256) as u8);
+        assert!(!parse(&padded), "{name}: trailing garbage parsed");
+    }
+
+    // 3) Single-bit flips at random positions.
+    for _ in 0..CASES / 3 {
+        let mut bytes = encode(&valid_metrics(&mut rng));
+        let bit = rng.uniform_u64(0, bytes.len() as u64 * 8);
+        bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        let parsed = parse(&bytes);
+        if strict_flips {
+            assert!(!parsed, "{name}: bit flip at {bit} slipped past the CRC");
+        }
+        tally(parsed);
+    }
+
+    assert!(ok > 0, "{name}: no generated input ever parsed");
+    assert!(err > 0, "{name}: no generated input was ever rejected");
+}
+
+#[test]
+fn from_bytes_is_total() {
+    hammer(
+        "RunMetrics::from_bytes",
+        0xCAFE_0001,
+        |m| m.to_bytes(),
+        |b| RunMetrics::from_bytes(b).is_some(),
+        false,
+    );
+}
+
+#[test]
+fn from_cache_bytes_is_total_and_crc_rejects_every_flip() {
+    hammer(
+        "RunMetrics::from_cache_bytes",
+        0xCAFE_0002,
+        |m| m.to_cache_bytes(),
+        |b| RunMetrics::from_cache_bytes(b).is_some(),
+        // CRC-32 detects any single-bit error, and flips in the
+        // envelope header break the magic / length / stored CRC — so
+        // *every* flip must read as a miss, not just most.
+        true,
+    );
+}
+
+/// Exhaustive single-bit sweep over one sealed record: all
+/// `len × 8` flips are rejected, and restoring the bit re-parses.
+#[test]
+fn sealed_record_rejects_all_bit_flips_exhaustively() {
+    let mut rng = SimRng::seed_from_u64(0xCAFE_0003);
+    let mut wire = valid_metrics(&mut rng).to_cache_bytes();
+    for bit in 0..wire.len() * 8 {
+        wire[bit / 8] ^= 1 << (bit % 8);
+        assert!(
+            RunMetrics::from_cache_bytes(&wire).is_none(),
+            "flip at bit {bit} survived"
+        );
+        wire[bit / 8] ^= 1 << (bit % 8);
+    }
+    assert!(RunMetrics::from_cache_bytes(&wire).is_some());
+}
+
+/// A `FORMAT_VERSION` bump is a clean miss through both entry points —
+/// including when the stale payload is *resealed with a valid CRC*,
+/// the shape an old cache directory takes after a release upgrade.
+#[test]
+fn format_version_bump_is_a_clean_miss() {
+    let mut rng = SimRng::seed_from_u64(0xCAFE_0004);
+    let good = valid_metrics(&mut rng).to_bytes();
+    assert!(RunMetrics::from_bytes(&good).is_some());
+    // The version is the little-endian u32 after the 4-byte magic.
+    for stale in [FORMAT_VERSION + 1, FORMAT_VERSION - 1, 0, u32::MAX] {
+        let mut patched = good.clone();
+        patched[4..8].copy_from_slice(&stale.to_le_bytes());
+        assert!(
+            RunMetrics::from_bytes(&patched).is_none(),
+            "version {stale} decoded"
+        );
+        // Resealing gives the stale payload a *correct* envelope CRC;
+        // the inner version check must still reject it.
+        assert!(
+            RunMetrics::from_cache_bytes(&seal(&patched)).is_none(),
+            "resealed version {stale} decoded"
+        );
+    }
+}
+
+/// Round-trip through the sealed envelope is byte-exact — the property
+/// the engine's bit-identity invariants (jobs=1 ≡ jobs=N, kill/resume)
+/// stand on.
+#[test]
+fn cache_roundtrip_is_byte_exact() {
+    let mut rng = SimRng::seed_from_u64(0xCAFE_0005);
+    for _ in 0..200 {
+        let m = valid_metrics(&mut rng);
+        let back = RunMetrics::from_cache_bytes(&m.to_cache_bytes()).expect("roundtrip");
+        assert_eq!(back.to_bytes(), m.to_bytes());
+    }
+}

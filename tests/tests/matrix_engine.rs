@@ -30,14 +30,25 @@ fn parallel_execution_is_bit_identical_to_sequential() {
     assert_eq!(parallel.outcomes.len(), 12);
 
     for (s, p) in sequential.outcomes.iter().zip(&parallel.outcomes) {
-        assert_eq!(s.cell.label(), p.cell.label(), "submission order diverged");
         assert_eq!(
-            s.metrics.to_bytes(),
-            p.metrics.to_bytes(),
+            s.cell().label(),
+            p.cell().label(),
+            "submission order diverged"
+        );
+        assert_eq!(
+            s.metrics().to_bytes(),
+            p.metrics().to_bytes(),
             "{}: jobs=8 result is not bit-identical to jobs=1",
-            s.cell.label()
+            s.cell().label()
         );
     }
+    // The streaming aggregates fold in submission order, so they share
+    // the bit-identity guarantee.
+    assert_eq!(
+        sequential.report.aggregates.to_bytes(),
+        parallel.report.aggregates.to_bytes(),
+        "aggregates diverged across job counts"
+    );
 }
 
 #[test]
@@ -51,7 +62,7 @@ fn warm_cache_replays_without_simulating() {
         12,
         "cold run must simulate every cell"
     );
-    assert!(cold.outcomes.iter().all(|o| !o.cached));
+    assert!(cold.outcomes.iter().all(|o| !o.cached()));
 
     let warm = engine.run(&spec);
     assert_eq!(
@@ -60,9 +71,9 @@ fn warm_cache_replays_without_simulating() {
         "warm run re-simulated cached cells"
     );
     assert_eq!(engine.cache_hits(), 12);
-    assert!(warm.outcomes.iter().all(|o| o.cached));
+    assert!(warm.outcomes.iter().all(|o| o.cached()));
 
     for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
-        assert_eq!(c.metrics.to_bytes(), w.metrics.to_bytes());
+        assert_eq!(c.metrics().to_bytes(), w.metrics().to_bytes());
     }
 }
