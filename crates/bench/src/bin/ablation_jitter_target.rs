@@ -6,7 +6,7 @@
 //! smaller buffers cut the structural playback-latency floor but expose
 //! the player to jitter (late frames, skips, stalls).
 
-use rpav_bench::{banner, master_seed, runs_per_config};
+use rpav_bench::{banner, config_campaign, master_seed};
 use rpav_core::prelude::*;
 use rpav_core::stats;
 
@@ -30,7 +30,7 @@ fn main() {
             .seed(master_seed())
             .jitter_target_ms(target_ms)
             .build();
-        for m in &run_campaign(cfg, runs_per_config()).runs {
+        for m in &config_campaign(cfg).runs {
             lat.extend(m.playback_latency_ms());
             within.push(m.playback_within(300.0));
             skipped.0 += m.frames.iter().filter(|f| !f.displayed).count() as u64;

@@ -6,7 +6,7 @@
 //! Expected trade-off: lower and faster-recovering playback latency at the
 //! cost of more skipped frames.
 
-use rpav_bench::{banner, master_seed, print_cdf_quantiles, runs_per_config};
+use rpav_bench::{banner, config_campaign, master_seed, print_cdf_quantiles};
 use rpav_core::prelude::*;
 use rpav_core::stats;
 
@@ -24,7 +24,7 @@ fn main() {
                 .seed(master_seed())
                 .drop_on_latency(drop_on_latency)
                 .build();
-            let c = run_campaign(cfg, runs_per_config());
+            let c = config_campaign(cfg);
             let lat = c.playback_latency_ms();
             let label = if drop_on_latency {
                 "drop-on-latency"

@@ -8,7 +8,7 @@
 //! HOs and ping-pongs, but the UE clings to degrading cells for longer —
 //! so one-way latency suffers.
 
-use rpav_bench::{banner, master_seed, runs_per_config};
+use rpav_bench::{banner, config_campaign, master_seed};
 use rpav_core::prelude::*;
 use rpav_core::stats;
 use rpav_sim::SimDuration;
@@ -35,7 +35,7 @@ fn main() {
                 .hysteresis_db(hysteresis)
                 .ttt_ms(ttt)
                 .build();
-            for m in &run_campaign(cfg, runs_per_config()).runs {
+            for m in &config_campaign(cfg).runs {
                 ho.push(m.ho_frequency());
                 pp.0 += m.ping_pong_count(SimDuration::from_secs(5));
                 pp.1 += m.handovers.len();

@@ -29,7 +29,7 @@
 //!
 //! `RPAV_BONDED_SMOKE=1` shrinks the sweep to one run per cell for CI.
 
-use rpav_bench::{banner, master_seed, runs_per_config};
+use rpav_bench::{banner, matrix_config, runs_per_config, smoke};
 use rpav_core::multipath::{run_multipath_scripted, MultipathScheme};
 use rpav_core::prelude::*;
 use rpav_netem::{FaultScript, PacketKind};
@@ -49,11 +49,7 @@ const FAULT_FOR: SimDuration = SimDuration::from_secs(15);
 const FEC_CAP: f64 = 0.25;
 
 fn config(cc: CcMode, run: u64) -> ExperimentConfigBuilder {
-    ExperimentConfig::builder()
-        .cc(cc)
-        .seed(master_seed())
-        .run_index(run)
-        .hold_secs(4)
+    matrix_config(cc, run, 4)
 }
 
 /// Gilbert–Elliott burst loss on media for the first 30 s — the bursty,
@@ -88,7 +84,7 @@ fn print_row(section: &str, cc: &str, run: u64, scheme: &str, m: &RunMetrics) {
 }
 
 fn main() {
-    let smoke = std::env::var_os("RPAV_BONDED_SMOKE").is_some();
+    let smoke = smoke("RPAV_BONDED_SMOKE");
     banner(
         "Bonded matrix",
         "deficit-weighted bonding + adaptive FEC vs single-leg/failover (seed-matched cells)",

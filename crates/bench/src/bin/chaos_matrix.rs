@@ -25,7 +25,7 @@
 //! `RPAV_CHAOS_SMOKE=1` shrinks the sweep to one urban outage length per
 //! CC for CI.
 
-use rpav_bench::{banner, paper_config};
+use rpav_bench::{banner, paper_config, smoke};
 use rpav_core::prelude::*;
 use rpav_netem::FaultScript;
 use rpav_sim::{SimDuration, SimTime};
@@ -67,7 +67,7 @@ fn fmt_opt_ms(d: Option<SimDuration>) -> String {
 }
 
 fn main() {
-    let smoke = std::env::var_os("RPAV_CHAOS_SMOKE").is_some();
+    let smoke = smoke("RPAV_CHAOS_SMOKE");
     banner(
         "Chaos matrix",
         "mid-flight link blackouts × CC × environment (1 run/cell)",

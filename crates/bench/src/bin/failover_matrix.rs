@@ -23,7 +23,7 @@
 //!
 //! `RPAV_FAILOVER_SMOKE=1` shrinks the sweep to one run per cell for CI.
 
-use rpav_bench::{banner, master_seed, runs_per_config};
+use rpav_bench::{banner, matrix_config, runs_per_config, smoke};
 use rpav_core::multipath::{run_multipath_scripted, MultipathScheme};
 use rpav_core::prelude::*;
 use rpav_netem::FaultScript;
@@ -42,12 +42,7 @@ struct CellResult {
 }
 
 fn config(cc: CcMode, run: u64) -> ExperimentConfig {
-    ExperimentConfig::builder()
-        .cc(cc)
-        .seed(master_seed())
-        .run_index(run)
-        .hold_secs(1)
-        .build()
+    matrix_config(cc, run, 1).build()
 }
 
 fn primary_blackout() -> FaultScript {
@@ -90,7 +85,7 @@ fn print_row(cc: &str, run: u64, m: &RunMetrics, scheme: MultipathScheme) {
 }
 
 fn main() {
-    let smoke = std::env::var_os("RPAV_FAILOVER_SMOKE").is_some();
+    let smoke = smoke("RPAV_FAILOVER_SMOKE");
     banner(
         "Failover matrix",
         "multipath scheme × CC under a primary-operator blackout (seed-matched quadruples)",

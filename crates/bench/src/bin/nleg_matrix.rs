@@ -27,7 +27,7 @@
 //!
 //! `RPAV_NLEG_SMOKE=1` shrinks the sweep to one run per cell for CI.
 
-use rpav_bench::{banner, master_seed, runs_per_config};
+use rpav_bench::{banner, matrix_config, runs_per_config, smoke};
 use rpav_core::multipath::{run_multipath_legs, MultipathScheme};
 use rpav_core::prelude::*;
 use rpav_netem::{FaultScript, PacketKind};
@@ -70,11 +70,7 @@ fn shared_fade() -> FaultScript {
 }
 
 fn config(cc: CcMode, run: u64) -> ExperimentConfigBuilder {
-    ExperimentConfig::builder()
-        .cc(cc)
-        .seed(master_seed())
-        .run_index(run)
-        .hold_secs(4)
+    matrix_config(cc, run, 4)
         .n_legs(3)
         .leg_caps(CAP_PRIMARY, CAP_SECONDARY)
 }
@@ -151,7 +147,7 @@ fn rs_beats_xor_component() {
 }
 
 fn main() {
-    let smoke = std::env::var_os("RPAV_NLEG_SMOKE").is_some();
+    let smoke = smoke("RPAV_NLEG_SMOKE");
     banner(
         "N-leg matrix",
         "3-leg bonding + RS burst repair + coupled CC vs correlated failures (seed-matched cells)",

@@ -29,16 +29,14 @@
 //! `RPAV_REPAIR_SMOKE=1` shrinks the sweep to the 2 % loss condition for
 //! CI.
 
-use rpav_bench::{banner, master_seed};
+use rpav_bench::{banner, matrix_config, smoke};
 use rpav_core::prelude::*;
 use rpav_netem::{FaultScript, PacketKind};
 use rpav_sim::{SimDuration, SimTime};
 
 fn base_config() -> ExperimentConfig {
-    ExperimentConfig::builder()
+    matrix_config(CcMode::Gcc, 0, 1)
         .environment(Environment::Urban)
-        .seed(master_seed())
-        .hold_secs(1)
         .build()
 }
 
@@ -138,7 +136,7 @@ fn print_row(condition: &str, cc: &str, repair: &str, m: &RunMetrics) {
 }
 
 fn main() {
-    let smoke = std::env::var_os("RPAV_REPAIR_SMOKE").is_some();
+    let smoke = smoke("RPAV_REPAIR_SMOKE");
     banner(
         "Repair matrix",
         "hostile-wire conditions × CC × {NACK/RTX off, on} (urban, seed-matched pairs)",

@@ -21,7 +21,13 @@
 //!   the in-memory cache stays empty and the aggregate sketch footprint
 //!   is constant as the matrix grows 4×;
 //! * **stuck watchdog** — a 1 ms wall-clock budget flags every cell
-//!   without killing any.
+//!   without killing any;
+//! * **daemon kill/resume** (`RPAV_DAEMON_SMOKE=1`) — the same contract
+//!   over the service path: the kill campaign is submitted to a live
+//!   `rpavd` as a JSON spec document, the daemon is SIGKILLed
+//!   mid-campaign and restarted on the same cache, and the aggregates it
+//!   then serves over HTTP are byte-identical to an uninterrupted batch
+//!   run of the same document.
 //!
 //! `RPAV_RESILIENCE_SMOKE=1` shrinks the sweep for CI.
 
@@ -29,7 +35,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
-use rpav_bench::{banner, master_seed};
+use rpav_bench::{banner, resilience_kill_spec, resilience_small_spec, smoke};
 use rpav_core::journal;
 use rpav_core::prelude::*;
 
@@ -38,28 +44,16 @@ use rpav_core::prelude::*;
 /// mid-run).
 const CHILD_ENV: &str = "RPAV_RESILIENCE_CHILD";
 
-fn base(hold_secs: u64) -> ExperimentConfig {
-    ExperimentConfig::builder()
-        .cc(CcMode::Gcc)
-        .seed(master_seed())
-        .hold_secs(hold_secs)
-        .build()
-}
-
-/// The small matrix most sections run (4 cells, short holds).
+/// The small matrix most sections run (4 cells, short holds) — the
+/// shared [`rpav_bench::resilience_small_spec`] fixture.
 fn small_spec() -> MatrixSpec {
-    MatrixSpec::new(base(1))
-        .environments([Environment::Urban, Environment::Rural])
-        .runs(2)
+    resilience_small_spec().to_matrix()
 }
 
 /// The kill/resume matrix: enough sequential work (jobs=1 in the child)
 /// that the parent can observe partial completion before killing.
 fn kill_spec(smoke: bool) -> MatrixSpec {
-    MatrixSpec::new(base(2))
-        .environments([Environment::Urban, Environment::Rural])
-        .operators([Operator::P1, Operator::P2])
-        .runs(if smoke { 1 } else { 2 })
+    resilience_kill_spec(smoke).to_matrix()
 }
 
 fn fresh_dir(tag: &str) -> PathBuf {
@@ -68,15 +62,32 @@ fn fresh_dir(tag: &str) -> PathBuf {
     dir
 }
 
+/// Sealed cache entries under `dir`, including the 256 shard
+/// subdirectories (skipping `quarantine/` and the daemon's `campaigns/`).
 fn rpav_files(dir: &Path) -> Vec<PathBuf> {
-    std::fs::read_dir(dir)
-        .map(|rd| {
-            rd.filter_map(Result::ok)
-                .map(|e| e.path())
-                .filter(|p| p.extension().is_some_and(|x| x == "rpav"))
-                .collect()
-        })
-        .unwrap_or_default()
+    let mut files = Vec::new();
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return files;
+    };
+    for entry in rd.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name == "quarantine" || name == "campaigns" {
+                continue;
+            }
+            for sub in std::fs::read_dir(&path).into_iter().flatten().flatten() {
+                let p = sub.path();
+                if p.extension().is_some_and(|x| x == "rpav") {
+                    files.push(p);
+                }
+            }
+        } else if path.extension().is_some_and(|x| x == "rpav") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    files
 }
 
 /// Child mode: run the kill matrix sequentially into the given cache
@@ -85,7 +96,7 @@ fn run_child(cache_dir: &str) -> ! {
     let engine = CampaignEngine::new()
         .with_jobs(1)
         .with_cache_dir(Some(PathBuf::from(cache_dir)));
-    let smoke = std::env::var_os("RPAV_RESILIENCE_SMOKE").is_some();
+    let smoke = smoke("RPAV_RESILIENCE_SMOKE");
     let _ = engine.run(&kill_spec(smoke));
     std::process::exit(0);
 }
@@ -104,7 +115,7 @@ fn main() {
     if let Ok(dir) = std::env::var(CHILD_ENV) {
         run_child(&dir);
     }
-    let smoke = std::env::var_os("RPAV_RESILIENCE_SMOKE").is_some();
+    let smoke = smoke("RPAV_RESILIENCE_SMOKE");
     banner(
         "resilience_matrix",
         "crash-safe campaign execution: panic isolation, durable cache, kill/resume",
@@ -322,10 +333,7 @@ fn main() {
 
     // ---- (e) flat memory in streaming mode --------------------------
     let small = small_spec();
-    let big = MatrixSpec::new(base(1))
-        .environments([Environment::Urban, Environment::Rural])
-        .operators([Operator::P1, Operator::P2])
-        .runs(4); // 4× the cells
+    let big = small_spec().operators([Operator::P1, Operator::P2]).runs(4); // 4× the cells
     let streaming = CampaignEngine::new().with_cache_dir(None).with_jobs(4);
     let s_small = streaming.run_streaming(&small);
     assert_eq!(
@@ -374,5 +382,116 @@ fn main() {
         result.report.stuck_flagged
     );
 
+    // ---- (g) daemon service: SIGKILL mid-campaign over HTTP ---------
+    if rpav_bench::smoke("RPAV_DAEMON_SMOKE") {
+        daemon_kill_resume(smoke);
+    }
+
     println!("\nAll resilience invariants hold.");
+}
+
+/// The kill/resume contract over the service path: batch reference →
+/// live `rpavd` → SIGKILL mid-campaign → restart on the same cache →
+/// the HTTP-served aggregates converge byte-identically.
+fn daemon_kill_resume(smoke: bool) {
+    use rpav_daemon::client;
+    use std::time::Instant;
+    const T: Duration = Duration::from_secs(600);
+
+    let spec = rpav_bench::resilience_kill_spec(smoke);
+    let id = format!("{:016x}", spec.identity());
+    let batch = CampaignEngine::new()
+        .with_cache_dir(None)
+        .with_jobs(4)
+        .run_streaming(&spec.to_matrix())
+        .report
+        .aggregates
+        .to_bytes();
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let rpavd = exe.parent().expect("bin dir").join("rpavd");
+    assert!(
+        rpavd.exists(),
+        "rpavd not found at {} — build rpav-daemon first",
+        rpavd.display()
+    );
+    let dir = fresh_dir("daemon");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Start rpavd on an ephemeral port, jobs=1 so the campaign is slow
+    // enough to observe partial completion; discover the bound address
+    // through the port file.
+    let start = |tag: &str| -> (std::process::Child, String) {
+        let port_file = dir.join(format!("addr-{tag}"));
+        let child = std::process::Command::new(&rpavd)
+            .args(["--addr", "127.0.0.1:0", "--jobs", "1"])
+            .arg("--cache")
+            .arg(&dir)
+            .arg("--port-file")
+            .arg(&port_file)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn rpavd");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                let s = s.trim().to_string();
+                if !s.is_empty() {
+                    break s;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "rpavd wrote no port file within 60 s"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        (child, addr)
+    };
+
+    let (mut victim, addr) = start("victim");
+    let r = client::post_json(&addr, "/campaigns", &spec.to_json(), T).expect("POST /campaigns");
+    assert_eq!(r.status, 201, "submit failed: {}", r.text());
+
+    // Wait for partial durable progress, then SIGKILL the daemon.
+    let deadline = Instant::now() + Duration::from_secs(180);
+    while rpav_files(&dir).len() < 2 {
+        assert!(
+            Instant::now() < deadline,
+            "daemon cached < 2 cells within 180 s"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    victim.kill().expect("SIGKILL rpavd"); // SIGKILL on unix
+    let _ = victim.wait();
+    let survivors = rpav_files(&dir).len();
+
+    // Restart on the same cache: the spec archive re-enqueues the
+    // campaign, the journal + sealed cache resume it, and the served
+    // aggregates must match the batch run byte-for-byte.
+    let (mut revived, addr) = start("revived");
+    let agg =
+        client::get(&addr, &format!("/campaigns/{id}/aggregates"), T).expect("GET aggregates");
+    assert_eq!(agg.status, 200);
+    assert_eq!(
+        agg.body, batch,
+        "restarted daemon served aggregates that diverge from batch mode"
+    );
+    let status = client::get(&addr, &format!("/campaigns/{id}"), T).expect("GET status");
+    assert!(
+        status.text().contains("\"status\":\"done\""),
+        "campaign not done after resume: {}",
+        status.text()
+    );
+    let metrics = client::get(&addr, "/metrics", T).expect("GET metrics");
+    assert_eq!(metrics.status, 200);
+
+    revived.kill().expect("kill rpavd");
+    let _ = revived.wait();
+    println!(
+        "daemon kill/resume: SIGKILLed with {survivors} cells durable; \
+         restart served byte-identical aggregates over HTTP"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

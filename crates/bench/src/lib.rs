@@ -26,11 +26,68 @@ pub fn master_seed() -> u64 {
         .unwrap_or(0x1AC_2022)
 }
 
+/// One `RPAV_*_SMOKE` knob, parsed once at the edge: set and not `"0"`
+/// means the binary shrinks its sweep for CI.
+pub fn smoke(var: &str) -> bool {
+    std::env::var_os(var).is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The engine every bench binary runs on, constructed from the
+/// process environment exactly once ([`EngineOptions::from_env`]:
+/// `RPAV_JOBS`, `RPAV_CACHE`, `RPAV_REFERENCE_TICK`).
+pub fn engine() -> CampaignEngine {
+    EngineOptions::from_env().engine()
+}
+
+/// Shared matrix-bin base: workload + bench master seed + run index +
+/// short hold. Every `*_matrix` binary starts from this builder and
+/// layers its own axes on top.
+pub fn matrix_config(cc: CcMode, run: u64, hold_secs: u64) -> ExperimentConfigBuilder {
+    ExperimentConfig::builder()
+        .cc(cc)
+        .seed(master_seed())
+        .run_index(run)
+        .hold_secs(hold_secs)
+}
+
+/// The paper-default campaign as a wire-ready [`CampaignSpec`]
+/// (`runs_per_config()` repetitions).
+pub fn paper_spec(env: Environment, op: Operator, mobility: Mobility, cc: CcMode) -> CampaignSpec {
+    CampaignSpec::new(paper_config(env, op, mobility, cc)).runs(runs_per_config())
+}
+
+/// The resilience harness's small campaign (2 environments × 2 runs,
+/// 1 s holds) — shared with the daemon smoke test.
+pub fn resilience_small_spec() -> CampaignSpec {
+    CampaignSpec::new(matrix_config(CcMode::Gcc, 0, 1).build())
+        .environments([Environment::Urban, Environment::Rural])
+        .runs(2)
+}
+
+/// The kill/resume campaign: enough sequential work (jobs=1 in the
+/// victim) that a parent can observe partial completion before killing.
+pub fn resilience_kill_spec(smoke: bool) -> CampaignSpec {
+    CampaignSpec::new(matrix_config(CcMode::Gcc, 0, 2).build())
+        .environments([Environment::Urban, Environment::Rural])
+        .operators([Operator::P1, Operator::P2])
+        .runs(if smoke { 1 } else { 2 })
+}
+
 /// Run one paper-default campaign (on the matrix engine's thread pool —
 /// `RPAV_JOBS` workers, `RPAV_CACHE` for the on-disk result cache).
 pub fn campaign(env: Environment, op: Operator, mobility: Mobility, cc: CcMode) -> CampaignResult {
-    let cfg = paper_config(env, op, mobility, cc);
-    run_campaign(cfg, runs_per_config())
+    config_campaign(paper_config(env, op, mobility, cc))
+}
+
+/// Run `runs_per_config()` repetitions of one configuration through the
+/// spec → engine path (the `run_campaign` replacement for ablations).
+pub fn config_campaign(cfg: ExperimentConfig) -> CampaignResult {
+    let spec = CampaignSpec::new(cfg).runs(runs_per_config());
+    let result = engine().run(&spec.to_matrix());
+    CampaignResult {
+        label: cfg.label(),
+        runs: result.metrics().cloned().collect(),
+    }
 }
 
 /// The paper-default configuration at the bench master seed.
@@ -111,6 +168,22 @@ mod tests {
     fn knobs_have_defaults() {
         assert!(runs_per_config() >= 1);
         assert!(master_seed() != 0);
+    }
+
+    #[test]
+    fn fixtures_round_trip_over_the_wire() {
+        for spec in [
+            paper_spec(Environment::Urban, Operator::P1, Mobility::Air, CcMode::Gcc),
+            resilience_small_spec(),
+            resilience_kill_spec(true),
+            resilience_kill_spec(false),
+        ] {
+            let parsed = CampaignSpec::from_json(&spec.to_json()).expect("fixture parses");
+            assert_eq!(parsed, spec, "wire round-trip must be lossless");
+            assert_eq!(parsed.identity(), spec.identity());
+        }
+        assert_eq!(resilience_small_spec().to_matrix().expand().len(), 4);
+        assert_eq!(resilience_kill_spec(true).to_matrix().expand().len(), 4);
     }
 
     #[test]

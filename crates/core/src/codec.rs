@@ -72,6 +72,19 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 
+/// 64-bit FNV-1a: tiny, dependency-free, stable across processes and
+/// platforms. The hash behind every cross-process identity in the repo —
+/// cell cache keys, campaign journal identity, and the daemon's
+/// canonical-spec-bytes campaign id.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Frame `payload` in the durable-store envelope:
 /// `"RPVE" ‖ len: u64 ‖ crc32(payload): u32 ‖ payload`.
 pub fn seal(payload: &[u8]) -> Vec<u8> {

@@ -60,7 +60,7 @@ use std::time::{Duration, Instant};
 use rpav_lte::{Environment, Operator};
 use rpav_netem::{FaultClause, FaultScript, PacketKind};
 
-use crate::codec::ByteWriter;
+use crate::codec::{fnv1a, ByteWriter};
 use crate::journal::CampaignJournal;
 use crate::metrics::RunMetrics;
 use crate::multipath::{run_multipath_legs, MultipathScheme};
@@ -106,7 +106,7 @@ impl RunScheme {
 /// [`RunScheme::Multipath`], `uplink` scripts leg 0, `secondary` leg 1,
 /// and `extra` any further legs (each script hits both directions of
 /// its leg, matching [`run_multipath_legs`]); `downlink` is unused.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CellFault {
     /// Short name, part of the cell label (empty = no fault).
     pub name: String,
@@ -222,7 +222,7 @@ impl CellFault {
 }
 
 /// The congestion-control axis of a matrix.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub enum CcAxis {
     /// Keep the base configuration's CC (a single-cc matrix).
     #[default]
@@ -532,7 +532,17 @@ impl Cell {
 
     /// Execute the cell directly (no caching) — also the reference the
     /// bench determinism spot-checks compare engine output against.
+    /// Scheduler choice follows `RPAV_REFERENCE_TICK`; the engine resolves
+    /// that knob once via [`EngineOptions`] and calls
+    /// [`execute_with`](Self::execute_with) instead.
     pub fn execute(&self) -> RunMetrics {
+        self.execute_with(EngineOptions::env_reference_tick())
+    }
+
+    /// Execute with an explicit scheduler choice: `reference_tick = true`
+    /// runs the unconditional 1 ms oracle loop, `false` the adaptive
+    /// deadline scheduler (byte-identical by the perf-equivalence tests).
+    pub fn execute_with(&self, reference_tick: bool) -> RunMetrics {
         match self.scheme {
             RunScheme::Pipeline => {
                 let mut sim = Simulation::new(self.config);
@@ -542,7 +552,11 @@ impl Cell {
                 if let Some(s) = &self.fault.downlink {
                     sim = sim.with_downlink_script(s.clone());
                 }
-                sim.run()
+                if reference_tick {
+                    sim.run_reference()
+                } else {
+                    sim.run_fast()
+                }
             }
             RunScheme::Multipath(scheme) => {
                 run_multipath_legs(&self.config, scheme, self.fault.leg_scripts())
@@ -658,17 +672,6 @@ fn kind_tag(kind: PacketKind) -> u8 {
         PacketKind::Feedback => 1,
         PacketKind::Probe => 2,
     }
-}
-
-/// 64-bit FNV-1a: tiny, dependency-free, stable across processes and
-/// platforms.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// One executed cell: either its metrics, or a poison record describing
@@ -896,36 +899,104 @@ impl MatrixResult {
     }
 }
 
+/// Every engine behaviour knob, as one typed value.
+///
+/// This is the single place environment variables are parsed: call
+/// [`EngineOptions::from_env`] once at a binary's edge and construct
+/// everything else explicitly. The daemon builds one per campaign from the
+/// spec document; bench bins build one in `main`. Invalid env values warn
+/// on stderr and fall back to the default — they never silently change a
+/// campaign's shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineOptions {
+    /// Worker threads (`None` = the host's available parallelism).
+    pub jobs: Option<usize>,
+    /// Durable on-disk cache directory (`None` disables the disk layer,
+    /// the journal, and resume).
+    pub cache_dir: Option<PathBuf>,
+    /// Execution attempts per cell before it is poisoned (≥ 1).
+    pub max_attempts: u32,
+    /// Wall-clock budget after which the watchdog flags a cell as stuck.
+    pub stuck_budget: Duration,
+    /// Run cells under the unconditional 1 ms reference scheduler instead
+    /// of the adaptive deadline scheduler (the perf-equivalence oracle;
+    /// byte-identical output, much slower).
+    pub reference_tick: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            jobs: None,
+            cache_dir: None,
+            max_attempts: 2,
+            stuck_budget: Duration::from_secs(120),
+            reference_tick: false,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Parse the engine's environment knobs, once:
+    ///
+    /// * `RPAV_JOBS` — worker count (positive integer; a set-but-invalid
+    ///   value warns and auto-detects).
+    /// * `RPAV_CACHE` — durable cache (`1` → `target/rpav-cache`, any
+    ///   other non-empty value → that directory).
+    /// * `RPAV_REFERENCE_TICK` — any value but `0` selects the 1 ms
+    ///   reference scheduler.
+    pub fn from_env() -> Self {
+        let jobs = match std::env::var("RPAV_JOBS") {
+            Ok(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => Some(n),
+                _ => {
+                    eprintln!("rpav: ignoring invalid RPAV_JOBS={v:?} — using detected core count");
+                    None
+                }
+            },
+            Err(_) => None,
+        };
+        let cache_dir = match std::env::var("RPAV_CACHE") {
+            Ok(v) if v == "1" => Some(PathBuf::from("target/rpav-cache")),
+            Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
+            _ => None,
+        };
+        EngineOptions {
+            jobs,
+            cache_dir,
+            reference_tick: Self::env_reference_tick(),
+            ..EngineOptions::default()
+        }
+    }
+
+    /// Just the `RPAV_REFERENCE_TICK` knob (no warnings, no other vars) —
+    /// the edge parse for direct [`Cell::execute`] /
+    /// [`Simulation::run`] callers.
+    pub fn env_reference_tick() -> bool {
+        std::env::var_os("RPAV_REFERENCE_TICK").is_some_and(|v| v != "0")
+    }
+
+    /// The worker count these options resolve to.
+    pub fn resolved_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    }
+
+    /// Build a [`CampaignEngine`] executing under these options.
+    pub fn engine(&self) -> CampaignEngine {
+        CampaignEngine::with_options(self.clone())
+    }
+}
+
 /// Resolve the worker count: `RPAV_JOBS` if set and a positive integer,
 /// else the host's available parallelism. A set-but-invalid value warns
 /// on stderr and falls back to the detected core count — it must never
 /// silently serialize a campaign.
 pub fn default_jobs() -> usize {
-    let detected = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    match std::env::var("RPAV_JOBS") {
-        Ok(v) => match v.parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => {
-                eprintln!(
-                    "rpav: ignoring invalid RPAV_JOBS={v:?} — using detected core count ({detected})"
-                );
-                detected
-            }
-        },
-        Err(_) => detected,
-    }
-}
-
-/// Resolve the on-disk cache directory from `RPAV_CACHE` (unset = no
-/// disk cache; `1` = `target/rpav-cache`; anything else = that path).
-fn default_cache_dir() -> Option<PathBuf> {
-    match std::env::var("RPAV_CACHE") {
-        Ok(v) if v == "1" => Some(PathBuf::from("target/rpav-cache")),
-        Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
-        _ => None,
-    }
+    EngineOptions::from_env().resolved_jobs()
 }
 
 /// Test-only fault injection: called before each execution attempt with
@@ -962,6 +1033,16 @@ enum WorkerResult {
         panic_msg: String,
         attempts: u32,
     },
+}
+
+/// Sharded on-disk location of one cache entry:
+/// `<dir>/<xx>/<key:016x>.rpav`, where `xx` is the key's top byte in hex —
+/// a 256-way fan-out so million-entry campaigns never pile every record
+/// into one directory. Flat pre-sharding entries at
+/// `<dir>/<key:016x>.rpav` are still found and migrated on first read.
+pub fn cache_entry_path(dir: &std::path::Path, key: u64) -> PathBuf {
+    dir.join(format!("{:02x}", (key >> 56) as u8))
+        .join(format!("{key:016x}.rpav"))
 }
 
 /// Stable campaign identity: FNV-1a over the cell count and every cell's
@@ -1004,6 +1085,7 @@ pub struct CampaignEngine {
     cache_dir: Option<PathBuf>,
     max_attempts: u32,
     stuck_budget: Duration,
+    reference_tick: bool,
     memory: Mutex<HashMap<u64, Arc<RunMetrics>>>,
     simulated: AtomicU64,
     cache_hits: AtomicU64,
@@ -1020,13 +1102,22 @@ impl Default for CampaignEngine {
 }
 
 impl CampaignEngine {
-    /// Engine with the environment-resolved job count and cache policy.
+    /// Engine with the environment-resolved job count and cache policy
+    /// (one [`EngineOptions::from_env`] parse).
     pub fn new() -> Self {
+        EngineOptions::from_env().engine()
+    }
+
+    /// Engine executing under explicit, already-parsed [`EngineOptions`] —
+    /// the construction path of the daemon and of every binary that takes
+    /// its knobs from a spec document instead of the environment.
+    pub fn with_options(options: EngineOptions) -> Self {
         CampaignEngine {
-            jobs: default_jobs(),
-            cache_dir: default_cache_dir(),
-            max_attempts: 2,
-            stuck_budget: Duration::from_secs(120),
+            jobs: options.resolved_jobs(),
+            cache_dir: options.cache_dir,
+            max_attempts: options.max_attempts.max(1),
+            stuck_budget: options.stuck_budget,
+            reference_tick: options.reference_tick,
             memory: Mutex::new(HashMap::new()),
             simulated: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -1128,8 +1219,34 @@ impl CampaignEngine {
     /// Streaming execution of an explicit cell list (see
     /// [`run_streaming`](Self::run_streaming)).
     pub fn run_cells_streaming(&self, cells: Vec<Cell>) -> StreamSummary {
+        self.run_cells_streaming_observed(cells, &mut |_| {})
+    }
+
+    /// Streaming execution of `spec` with a per-cell observer (see
+    /// [`run_cells_streaming_observed`](Self::run_cells_streaming_observed)).
+    pub fn run_streaming_observed(
+        &self,
+        spec: &MatrixSpec,
+        observe: &mut dyn FnMut(&CellOutcome),
+    ) -> StreamSummary {
+        self.run_cells_streaming_observed(spec.expand(), observe)
+    }
+
+    /// Streaming execution that additionally hands every outcome — in
+    /// **submission order**, straight off the reorder frontier — to
+    /// `observe` before dropping it. This is the daemon's event feed:
+    /// the observer sees exactly the sequence the aggregates folded, so a
+    /// subscriber can mirror the fold bit-for-bit. Memory stays flat; the
+    /// observer must not retain the outcomes' metrics if it wants to keep
+    /// it that way.
+    pub fn run_cells_streaming_observed(
+        &self,
+        cells: Vec<Cell>,
+        observe: &mut dyn FnMut(&CellOutcome),
+    ) -> StreamSummary {
         let mut failures = Vec::new();
         let report = self.drive(&cells, false, &mut |o| {
+            observe(&o);
             if let CellOutcome::Failed {
                 cell,
                 panic_msg,
@@ -1337,7 +1454,7 @@ impl CampaignEngine {
                         panic!("injected fault (attempt {attempts})");
                     }
                 }
-                cell.execute()
+                cell.execute_with(self.reference_tick)
             }));
             match outcome {
                 Ok(metrics) => {
@@ -1384,13 +1501,28 @@ impl CampaignEngine {
         }
     }
 
-    /// Read one sealed cache record. A file that exists but fails the
-    /// envelope or the structural decode is *quarantined*: moved to
-    /// `<dir>/quarantine/` (deleted if the move fails) and reported as a
-    /// miss, so one corrupt file costs one re-simulation, never the run.
+    /// Read one sealed cache record, consulting the sharded layout first
+    /// and falling back to (and transparently migrating) a flat legacy
+    /// entry. A file that exists but fails the envelope or the structural
+    /// decode is *quarantined*: moved to `<dir>/quarantine/` (deleted if
+    /// the move fails) and reported as a miss, so one corrupt file costs
+    /// one re-simulation, never the run.
     fn load_disk(&self, dir: &std::path::Path, key: u64) -> Option<RunMetrics> {
-        let path = dir.join(format!("{key:016x}.rpav"));
-        let bytes = std::fs::read(&path).ok()?;
+        let sharded = cache_entry_path(dir, key);
+        let legacy = dir.join(format!("{key:016x}.rpav"));
+        let (bytes, path) = match std::fs::read(&sharded) {
+            Ok(b) => (b, sharded),
+            Err(_) => {
+                let b = std::fs::read(&legacy).ok()?;
+                // Pre-sharding entry: migrate it into its prefix shard.
+                // Migration failing (read-only dir) still serves the bytes.
+                let migrated = sharded
+                    .parent()
+                    .is_some_and(|p| std::fs::create_dir_all(p).is_ok())
+                    && std::fs::rename(&legacy, &sharded).is_ok();
+                (b, if migrated { sharded } else { legacy })
+            }
+        };
         match RunMetrics::from_cache_bytes(&bytes) {
             Some(m) => Some(m),
             None => {
@@ -1411,18 +1543,21 @@ impl CampaignEngine {
         }
     }
 
-    /// Durably store one sealed cache record: tmp file (pid-suffixed, so
-    /// concurrent processes never clobber each other mid-write), write,
-    /// fsync, rename. Returns whether the record is durably in place —
-    /// a kill at any point leaves either the old state or the complete
-    /// new file, never a half-written `.rpav`.
+    /// Durably store one sealed cache record into its prefix shard: tmp
+    /// file (pid-suffixed, so concurrent processes never clobber each
+    /// other mid-write), write, fsync, rename. Returns whether the record
+    /// is durably in place — a kill at any point leaves either the old
+    /// state or the complete new file, never a half-written `.rpav`.
     fn store_disk(&self, dir: &std::path::Path, key: u64, metrics: &RunMetrics) -> bool {
         use std::io::Write;
-        if std::fs::create_dir_all(dir).is_err() {
+        let path = cache_entry_path(dir, key);
+        let Some(shard) = path.parent().map(std::path::Path::to_path_buf) else {
+            return false;
+        };
+        if std::fs::create_dir_all(&shard).is_err() {
             return false;
         }
-        let path = dir.join(format!("{key:016x}.rpav"));
-        let tmp = dir.join(format!("{key:016x}.{}.tmp", std::process::id()));
+        let tmp = shard.join(format!("{key:016x}.{}.tmp", std::process::id()));
         let written = (|| -> std::io::Result<()> {
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(&metrics.to_cache_bytes())?;
@@ -1731,6 +1866,94 @@ mod tests {
         assert_eq!(default_jobs(), detected);
     }
 
+    /// Sealed records under the sharded cache layout (`<dir>/<xx>/*.rpav`).
+    fn sharded_rpav_files(dir: &std::path::Path) -> Vec<PathBuf> {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.path().is_dir() && e.file_name() != "quarantine")
+            .flat_map(|e| {
+                std::fs::read_dir(e.path())
+                    .unwrap()
+                    .filter_map(Result::ok)
+                    .map(|f| f.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == "rpav"))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        files.sort();
+        files
+    }
+
+    #[test]
+    fn cache_entries_land_in_prefix_shards_and_flat_legacy_files_migrate() {
+        let dir = std::env::temp_dir().join(format!("rpav-exec-shard-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = MatrixSpec::new(short_base()).runs(3);
+
+        let cold = CampaignEngine::new()
+            .with_cache_dir(Some(dir.clone()))
+            .with_jobs(2)
+            .run(&spec);
+        assert_eq!(cold.report.simulated, 3);
+        let sharded = sharded_rpav_files(&dir);
+        assert_eq!(sharded.len(), 3, "every record lands in a shard dir");
+        for path in &sharded {
+            let key = u64::from_str_radix(path.file_stem().unwrap().to_str().unwrap(), 16).unwrap();
+            assert_eq!(
+                path.parent()
+                    .unwrap()
+                    .file_name()
+                    .unwrap()
+                    .to_str()
+                    .unwrap(),
+                format!("{:02x}", (key >> 56) as u8),
+                "shard dir must be the key's top byte"
+            );
+            assert_eq!(*path, cache_entry_path(&dir, key));
+        }
+
+        // Demote the store to the flat pre-shard layout, journal
+        // included (its root location is unchanged across layouts, but a
+        // resume would mask the cache path under test).
+        for path in &sharded {
+            let flat = dir.join(path.file_name().unwrap());
+            std::fs::rename(path, &flat).unwrap();
+            let _ = std::fs::remove_dir(path.parent().unwrap());
+        }
+        for entry in std::fs::read_dir(&dir).unwrap().filter_map(Result::ok) {
+            if entry.path().extension().is_some_and(|x| x == "rpavj") {
+                std::fs::remove_file(entry.path()).unwrap();
+            }
+        }
+
+        // A fresh engine serves the flat entries as hits and migrates
+        // them back into their shards on first read.
+        let warm = CampaignEngine::new()
+            .with_cache_dir(Some(dir.clone()))
+            .with_jobs(2)
+            .run(&spec);
+        assert_eq!(warm.report.simulated, 0, "legacy entries must be served");
+        assert_eq!(warm.report.cached, 3);
+        assert_eq!(
+            warm.report.aggregates.to_bytes(),
+            cold.report.aggregates.to_bytes()
+        );
+        assert_eq!(
+            sharded_rpav_files(&dir).len(),
+            3,
+            "legacy entries migrate into shard dirs on first read"
+        );
+        assert!(
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(Result::ok)
+                .all(|e| e.path().extension().is_none_or(|x| x != "rpav")),
+            "no flat entries remain after migration"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn disk_cache_resumes_quarantines_and_stays_bit_identical() {
         use std::io::Write as _;
@@ -1761,12 +1984,7 @@ mod tests {
 
         // Corrupt one cache record: it is quarantined, re-simulated, and
         // the run still matches bit-for-bit.
-        let victim = std::fs::read_dir(&dir)
-            .unwrap()
-            .filter_map(Result::ok)
-            .find(|e| e.path().extension().is_some_and(|x| x == "rpav"))
-            .unwrap()
-            .path();
+        let victim = sharded_rpav_files(&dir).into_iter().next().unwrap();
         let mut bytes = std::fs::read(&victim).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;

@@ -1,0 +1,650 @@
+//! Minimal, total-function JSON parser and canonical serializer.
+//!
+//! The workspace is offline/vendored — no `serde`, no `serde_json` — so the
+//! daemon's wire format is hand-rolled here with the same discipline as the
+//! PR 2 wire parsers: parsing is a *total function* (`&str -> Result`) with
+//! typed errors, no panics, no recursion past a fixed depth bound, and the
+//! serializer emits **canonical bytes**:
+//!
+//! * object keys sorted bytewise, duplicates rejected at parse time,
+//! * zero insignificant whitespace,
+//! * non-negative integers print as plain decimals ([`Json::UInt`]),
+//! * all other numbers print via Rust's shortest-round-trip `f64` formatting
+//!   ([`Json::Float`]), which always contains a `.` or an `e` — so the two
+//!   number forms can never collide on re-parse,
+//! * strings escape only what JSON requires (`"` `\` and control bytes).
+//!
+//! Canonicality is what makes `fnv1a(canonical bytes)` a usable identity:
+//! `parse(s).canonical()` is a fixed point, so any whitespace/key-order
+//! presentation of the same document hashes the same. The spec layer
+//! ([`crate::spec`]) builds on this to make `CampaignSpec → hash` the
+//! cache/journal identity.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser will follow before returning
+/// [`JsonError::DepthExceeded`]. Campaign specs nest ~5 deep; 64 leaves
+/// generous headroom while keeping the recursive parser stack-safe on
+/// adversarial input.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+///
+/// Numbers are split into [`Json::UInt`] (non-negative integer tokens, kept
+/// exact up to `u64::MAX` — seeds and microsecond times need all 64 bits)
+/// and [`Json::Float`] (everything else). Object fields keep insertion
+/// order; [`Json::canonical`] sorts at serialization time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// A non-negative integer token (`[0-9]+`), exact to 64 bits.
+    UInt(u64),
+    /// Any other number (negative, fractional, exponent, or > `u64::MAX`).
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    /// Fields in insertion order; duplicate keys are a parse error.
+    Object(Vec<(String, Json)>),
+}
+
+/// Typed parse failures. Every variant carries the byte offset where the
+/// problem was detected, so spec-layer errors can point at the culprit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonError {
+    /// Input ended inside a value, string, or token.
+    Truncated,
+    /// A character that cannot start or continue the expected token.
+    BadToken { pos: usize },
+    /// A malformed number literal (e.g. `01`, `1.`, `-`, `1e`).
+    BadNumber { pos: usize },
+    /// A malformed string escape (`\q`, bad `\u`, lone surrogate).
+    BadEscape { pos: usize },
+    /// An unescaped control byte inside a string.
+    BadString { pos: usize },
+    /// The same key twice in one object.
+    DuplicateKey { pos: usize, key: String },
+    /// Nesting deeper than [`MAX_DEPTH`].
+    DepthExceeded { pos: usize },
+    /// Valid value followed by non-whitespace garbage.
+    Trailing { pos: usize },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Truncated => write!(f, "unexpected end of input"),
+            JsonError::BadToken { pos } => write!(f, "unexpected character at byte {pos}"),
+            JsonError::BadNumber { pos } => write!(f, "malformed number at byte {pos}"),
+            JsonError::BadEscape { pos } => write!(f, "malformed string escape at byte {pos}"),
+            JsonError::BadString { pos } => {
+                write!(f, "unescaped control character in string at byte {pos}")
+            }
+            JsonError::DuplicateKey { pos, key } => {
+                write!(f, "duplicate object key {key:?} at byte {pos}")
+            }
+            JsonError::DepthExceeded { pos } => {
+                write!(f, "nesting deeper than {MAX_DEPTH} at byte {pos}")
+            }
+            JsonError::Trailing { pos } => write!(f, "trailing bytes after value at byte {pos}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parse one complete JSON document. Total: any `&str` yields either a
+    /// value or a typed error; nothing panics, and trailing non-whitespace
+    /// is rejected.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let bytes = input.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(JsonError::Trailing { pos: p.pos });
+        }
+        Ok(value)
+    }
+
+    /// Serialize to canonical bytes: sorted keys, no whitespace, stable
+    /// number formatting. `Json::parse(&v.canonical())` re-parses to an
+    /// equal value (modulo object key order), and canonicalization is
+    /// idempotent: `parse(c).canonical() == c`.
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        self.write_canonical(&mut out);
+        out
+    }
+
+    fn write_canonical(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::UInt(n) => {
+                out.push_str(&n.to_string());
+            }
+            Json::Float(x) => write_float(*x, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_canonical(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                let mut order: Vec<usize> = (0..fields.len()).collect();
+                order.sort_by(|&a, &b| fields[a].0.cmp(&fields[b].0));
+                out.push('{');
+                for (i, &idx) in order.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(&fields[idx].0, out);
+                    out.push(':');
+                    fields[idx].1.write_canonical(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    // ---- typed accessors (used by the spec layer) -------------------------
+
+    /// The object's fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Field lookup by key (objects reject duplicates at parse time, so the
+    /// first match is the only match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// The array's items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Exact unsigned integer (only [`Json::UInt`]; `5.0` is *not* an
+    /// acceptable count — the spec layer wants that strictness).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (either number form).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(n) => Some(*n as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+/// Canonical float formatting: Rust's `{:?}` for `f64` is the shortest
+/// representation that round-trips, and for finite values always contains a
+/// `.` or an `e` — so it can never be confused with a `UInt` token.
+/// Non-finite values have no JSON representation; they serialize as `null`
+/// (valid specs never contain them — every spec field is a finite
+/// probability, rate, or time).
+fn write_float(x: f64, out: &mut String) {
+    if x.is_finite() {
+        out.push_str(&format!("{x:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(x) if x == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(_) => Err(JsonError::BadToken { pos: self.pos }),
+            None => Err(JsonError::Truncated),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::DepthExceeded { pos: self.pos });
+        }
+        match self.peek() {
+            None => Err(JsonError::Truncated),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword(b"true", Json::Bool(true)),
+            Some(b'f') => self.keyword(b"false", Json::Bool(false)),
+            Some(b'n') => self.keyword(b"null", Json::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(_) => Err(JsonError::BadToken { pos: self.pos }),
+        }
+    }
+
+    fn keyword(&mut self, word: &[u8], value: Json) -> Result<Json, JsonError> {
+        if self.bytes.len() < self.pos + word.len() {
+            return Err(JsonError::Truncated);
+        }
+        if &self.bytes[self.pos..self.pos + word.len()] == word {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::BadToken { pos: self.pos })
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key_pos = self.pos;
+            if self.peek() != Some(b'"') {
+                return match self.peek() {
+                    None => Err(JsonError::Truncated),
+                    Some(_) => Err(JsonError::BadToken { pos: self.pos }),
+                };
+            }
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(JsonError::DuplicateKey { pos: key_pos, key });
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                Some(_) => return Err(JsonError::BadToken { pos: self.pos }),
+                None => return Err(JsonError::Truncated),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                Some(_) => return Err(JsonError::BadToken { pos: self.pos }),
+                None => return Err(JsonError::Truncated),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // Safety of from_utf8: input was a &str and we only stopped
+                // on ASCII delimiters, so the run is valid UTF-8.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or(""));
+            }
+            match self.peek() {
+                None => return Err(JsonError::Truncated),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(JsonError::BadString { pos: self.pos }),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), JsonError> {
+        let pos = self.pos;
+        let b = self.peek().ok_or(JsonError::Truncated)?;
+        self.pos += 1;
+        match b {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000C}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let c = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: require a \uXXXX low surrogate.
+                    if self.bytes.get(self.pos) == Some(&b'\\')
+                        && self.bytes.get(self.pos + 1) == Some(&b'u')
+                    {
+                        self.pos += 2;
+                        let lo = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err(JsonError::BadEscape { pos });
+                        }
+                        let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                        char::from_u32(cp).ok_or(JsonError::BadEscape { pos })?
+                    } else if self.pos >= self.bytes.len() {
+                        return Err(JsonError::Truncated);
+                    } else {
+                        return Err(JsonError::BadEscape { pos });
+                    }
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(JsonError::BadEscape { pos }); // lone low surrogate
+                } else {
+                    char::from_u32(hi).ok_or(JsonError::BadEscape { pos })?
+                };
+                out.push(c);
+            }
+            _ => return Err(JsonError::BadEscape { pos }),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.bytes.len() < self.pos + 4 {
+            return Err(JsonError::Truncated);
+        }
+        let mut v = 0u32;
+        for i in 0..4 {
+            let b = self.bytes[self.pos + i];
+            let d = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a' + 10) as u32,
+                b'A'..=b'F' => (b - b'A' + 10) as u32,
+                _ => return Err(JsonError::BadEscape { pos: self.pos - 2 }),
+            };
+            v = (v << 4) | d;
+        }
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        let mut integral = true;
+        if self.peek() == Some(b'-') {
+            integral = false;
+            self.pos += 1;
+        }
+        // Integer part: "0" or [1-9][0-9]*.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(JsonError::BadNumber { pos: start });
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            Some(_) => return Err(JsonError::BadNumber { pos: start }),
+            None => return Err(JsonError::Truncated),
+        }
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return match self.peek() {
+                    None => Err(JsonError::Truncated),
+                    Some(_) => Err(JsonError::BadNumber { pos: start }),
+                };
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return match self.peek() {
+                    None => Err(JsonError::Truncated),
+                    Some(_) => Err(JsonError::BadNumber { pos: start }),
+                };
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::BadNumber { pos: start })?;
+        if integral {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+            // Integer wider than u64: fall through to f64 (lossy but total).
+        }
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::Float(x)),
+            _ => Err(JsonError::BadNumber { pos: start }),
+        }
+    }
+}
+
+/// Convenience: build an object from `(key, value)` pairs.
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse(" false ").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(Json::parse("0").unwrap(), Json::UInt(0));
+        assert_eq!(Json::parse("-3").unwrap(), Json::Float(-3.0));
+        assert_eq!(Json::parse("2.5e3").unwrap(), Json::Float(2500.0));
+        assert_eq!(Json::parse("\"hi\\n\"").unwrap(), Json::Str("hi\n".into()));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_with_typed_errors() {
+        assert_eq!(Json::parse(""), Err(JsonError::Truncated));
+        assert_eq!(Json::parse("tru"), Err(JsonError::Truncated));
+        assert_eq!(Json::parse("[1,"), Err(JsonError::Truncated));
+        assert!(matches!(
+            Json::parse("01"),
+            Err(JsonError::BadNumber { .. })
+        ));
+        assert!(matches!(
+            Json::parse("1 2"),
+            Err(JsonError::Trailing { .. })
+        ));
+        assert!(matches!(
+            Json::parse("{\"a\":1,\"a\":2}"),
+            Err(JsonError::DuplicateKey { .. })
+        ));
+        assert!(matches!(
+            Json::parse("\"\\q\""),
+            Err(JsonError::BadEscape { .. })
+        ));
+        assert!(matches!(
+            Json::parse("\"\u{1}\""),
+            Err(JsonError::BadString { .. })
+        ));
+        let deep = "[".repeat(MAX_DEPTH + 2);
+        assert!(matches!(
+            Json::parse(&deep),
+            Err(JsonError::DepthExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn surrogate_pairs_round_trip() {
+        let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, Json::Str("\u{1F600}".into()));
+        assert!(matches!(
+            Json::parse("\"\\ud83d\""),
+            Err(JsonError::BadEscape { .. })
+        ));
+        assert!(matches!(
+            Json::parse("\"\\ude00\""),
+            Err(JsonError::BadEscape { .. })
+        ));
+    }
+
+    #[test]
+    fn canonical_sorts_keys_and_is_idempotent() {
+        let v = Json::parse("{ \"b\" : 1 , \"a\" : [ true , null ] }").unwrap();
+        let c = v.canonical();
+        assert_eq!(c, "{\"a\":[true,null],\"b\":1}");
+        assert_eq!(Json::parse(&c).unwrap().canonical(), c);
+    }
+
+    #[test]
+    fn uint_and_float_never_collide() {
+        // A float that happens to be integral still prints with a '.'.
+        assert_eq!(Json::Float(5.0).canonical(), "5.0");
+        assert_eq!(Json::UInt(5).canonical(), "5");
+        assert_eq!(Json::parse("5.0").unwrap(), Json::Float(5.0));
+        assert_eq!(Json::parse("5").unwrap(), Json::UInt(5));
+        // Shortest-round-trip formatting survives a parse cycle bit-exactly.
+        for x in [0.1, 25e6, 1e300, -0.0, 5e-324, std::f64::consts::PI] {
+            let c = Json::Float(x).canonical();
+            match Json::parse(&c).unwrap() {
+                Json::Float(y) => assert_eq!(y.to_bits(), x.to_bits(), "{c}"),
+                other => panic!("{c} parsed as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "quote\" back\\ slash/ nl\n tab\t ctl\u{1} uni\u{1F600}";
+        let c = Json::Str(s.into()).canonical();
+        assert_eq!(Json::parse(&c).unwrap(), Json::Str(s.into()));
+    }
+}

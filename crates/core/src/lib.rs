@@ -19,6 +19,10 @@
 //!   determinism assertions) plus the CRC32 durable-store envelope.
 //! * [`journal`] — the per-campaign fsync'd completion manifest behind
 //!   kill/resume.
+//! * [`json`] — the total-function JSON parser and canonical serializer
+//!   behind the daemon wire format.
+//! * [`spec`] — [`CampaignSpec`], the versioned canonical external
+//!   representation of a campaign (axes + base config + engine options).
 //! * [`runner`] — campaign execution across repeated runs.
 //! * [`ping`] — the cross-traffic-free RTT workload of Fig. 13.
 //! * [`dataset`] — CSV export in the shape of the paper's released dataset.
@@ -50,6 +54,7 @@ pub mod exec;
 pub mod failover;
 pub mod health;
 pub mod journal;
+pub mod json;
 pub mod metrics;
 pub mod multipath;
 pub mod paths;
@@ -57,30 +62,37 @@ pub mod ping;
 pub mod pipeline;
 pub mod runner;
 pub mod scenario;
+pub mod spec;
 pub mod stats;
 pub mod summary;
 pub mod trace;
 
-pub use exec::{CampaignEngine, MatrixResult, MatrixSpec};
+pub use exec::{CampaignEngine, EngineOptions, MatrixResult, MatrixSpec};
 pub use metrics::RunMetrics;
 pub use pipeline::Simulation;
-pub use runner::{run_campaign, CampaignResult};
+#[allow(deprecated)]
+pub use runner::run_campaign;
+pub use runner::CampaignResult;
 pub use scenario::{CcMode, ExperimentConfig, Mobility};
+pub use spec::{CampaignSpec, SpecError, SPEC_VERSION};
 
 /// Convenient glob import for examples and benches: the experiment axes,
-/// the matrix engine, and the per-run metrics every binary touches.
+/// the matrix engine, the campaign spec, and the per-run metrics every
+/// binary touches.
 pub mod prelude {
     pub use crate::exec::{
-        CampaignEngine, Cell, CellFailure, CellFault, CellOutcome, EngineReport, MatrixResult,
-        MatrixSpec, RunScheme, StreamSummary,
+        CampaignEngine, CcAxis, Cell, CellFailure, CellFault, CellOutcome, EngineOptions,
+        EngineReport, MatrixResult, MatrixSpec, RunScheme, StreamSummary,
     };
+    pub use crate::json::{Json, JsonError};
     pub use crate::metrics::RunMetrics;
     pub use crate::multipath::MultipathScheme;
     pub use crate::pipeline::Simulation;
-    pub use crate::runner::{run_campaign, CampaignResult};
+    pub use crate::runner::CampaignResult;
     pub use crate::scenario::{
         CcMode, ExperimentConfig, ExperimentConfigBuilder, Mobility, MAX_LEGS,
     };
+    pub use crate::spec::{CampaignSpec, SpecError, SPEC_VERSION};
     pub use crate::stats;
     pub use crate::stats::LogHistogram;
     pub use crate::summary::CampaignAggregates;

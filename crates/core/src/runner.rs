@@ -24,6 +24,13 @@ pub struct CampaignResult {
 }
 
 /// Run `n_runs` repetitions of `base`, varying the run index.
+///
+/// Superseded by [`CampaignSpec`](crate::spec::CampaignSpec): build
+/// `CampaignSpec::new(base).runs(n)` and execute it through a
+/// [`CampaignEngine`] — the spec is the one construction path shared with
+/// the daemon's wire API, and `MatrixResult::campaigns()` recovers the
+/// same pooled shape.
+#[deprecated(note = "build a `CampaignSpec` and run it through `CampaignEngine`")]
 pub fn run_campaign(base: ExperimentConfig, n_runs: u64) -> CampaignResult {
     let result = CampaignEngine::new().run(&MatrixSpec::new(base).runs(n_runs));
     CampaignResult {
@@ -123,6 +130,7 @@ mod tests {
     use rpav_lte::Environment;
 
     #[test]
+    #[allow(deprecated)]
     fn campaign_runs_and_pools() {
         let base = ExperimentConfig::builder()
             .cc(CcMode::paper_static(Environment::Rural))

@@ -96,7 +96,7 @@ impl CcMode {
 }
 
 /// One measurement run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ExperimentConfig {
     /// Urban or rural flight area.
     pub environment: Environment,

@@ -1,0 +1,104 @@
+//! Minimal blocking HTTP client for `rpavd` — used by the daemon's own
+//! tests and by the `resilience_matrix` daemon smoke section, so the
+//! ~forty lines of socket plumbing live in exactly one place.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One response: status code + de-chunked body bytes.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body with any chunked framing removed.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The body as UTF-8 (lossy — diagnostics only).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn dechunk(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut rest = raw;
+    loop {
+        let Some(eol) = rest.windows(2).position(|w| w == b"\r\n") else {
+            return out;
+        };
+        let size =
+            usize::from_str_radix(String::from_utf8_lossy(&rest[..eol]).trim(), 16).unwrap_or(0);
+        if size == 0 {
+            return out;
+        }
+        let start = eol + 2;
+        let end = (start + size).min(rest.len());
+        out.extend_from_slice(&rest[start..end]);
+        rest = rest.get(end + 2..).unwrap_or(&[]);
+    }
+}
+
+/// Issue one request and read the response to EOF (every `rpavd`
+/// response closes the connection). `timeout` bounds each socket read —
+/// the events feed blocks until the campaign finishes, so pass a budget
+/// that covers the campaign.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: rpavd\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no response head"))?;
+    let head = String::from_utf8_lossy(&raw[..head_end]).into_owned();
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status code"))?;
+    let chunked = head.lines().any(|l| {
+        l.to_ascii_lowercase()
+            .contains("transfer-encoding: chunked")
+    });
+    let payload = &raw[head_end + 4..];
+    Ok(Response {
+        status,
+        body: if chunked {
+            dechunk(payload)
+        } else {
+            payload.to_vec()
+        },
+    })
+}
+
+/// `GET path` with a per-read timeout.
+pub fn get(addr: &str, path: &str, timeout: Duration) -> std::io::Result<Response> {
+    request(addr, "GET", path, b"", timeout)
+}
+
+/// `POST path` with a JSON body.
+pub fn post_json(
+    addr: &str,
+    path: &str,
+    json: &str,
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    request(addr, "POST", path, json.as_bytes(), timeout)
+}

@@ -1,0 +1,774 @@
+//! `rpavd` — the resident campaign service.
+//!
+//! The batch binaries run one matrix and exit; `rpavd` keeps the engine
+//! resident and accepts campaigns over a versioned JSON wire format
+//! ([`CampaignSpec`]). The daemon adds nothing to the execution
+//! semantics — every campaign runs through the same crash-safe streaming
+//! engine path as batch mode, against the same sharded durable cache —
+//! so a SIGKILLed daemon, restarted, converges to aggregates
+//! byte-identical to an uninterrupted batch run of the same document.
+//!
+//! # Wire API
+//!
+//! * `POST /campaigns` — body is a [`CampaignSpec`] JSON document.
+//!   Campaign identity is the FNV-1a hash of the document's *canonical
+//!   bytes*, so resubmitting the same spec (any whitespace, any key
+//!   order) is idempotent: `201` on first submission, `200` after.
+//! * `GET /campaigns` — all known campaigns.
+//! * `GET /campaigns/<id>` — status + final report for one campaign.
+//! * `GET /campaigns/<id>/events` — chunked NDJSON, one line per cell in
+//!   submission order straight off the engine's reorder frontier; blocks
+//!   until the campaign completes.
+//! * `GET /campaigns/<id>/aggregates` — the campaign's
+//!   [`CampaignAggregates`] canonical bytes (`application/octet-stream`);
+//!   blocks until done. This is the byte-compare surface of the
+//!   acceptance test.
+//! * `GET /metrics` — live counters: campaigns by state, cell totals,
+//!   queue depth, heap telemetry from [`alloc`].
+//!
+//! # Durability
+//!
+//! Accepted specs are persisted (atomic tmp+rename) to
+//! `<cache>/campaigns/<id>.json` *before* execution; on startup the
+//! daemon rescans that directory and re-enqueues everything found.
+//! Completed cells replay from the sealed cache + journal, so re-running
+//! a finished campaign is cheap and a killed one resumes where it died.
+
+pub mod alloc;
+pub mod client;
+pub mod http;
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+use rpav_core::json::{self, Json};
+use rpav_core::prelude::*;
+
+use http::{read_request, respond, Chunked, HttpError, Request};
+
+/// Daemon-wide knobs, parsed once by `main` (or built by tests).
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Durable cache root: sharded cell results, journals, quarantine,
+    /// and the `campaigns/` spec archive all live here.
+    pub cache_dir: PathBuf,
+    /// Worker override (`--jobs`); `None` defers to each spec's options
+    /// or the host parallelism.
+    pub jobs: Option<usize>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Queued,
+    Running,
+    Done,
+}
+
+impl Status {
+    fn name(self) -> &'static str {
+        match self {
+            Status::Queued => "queued",
+            Status::Running => "running",
+            Status::Done => "done",
+        }
+    }
+}
+
+struct CampaignState {
+    status: Status,
+    /// NDJSON event lines, submission order (one per cell).
+    events: Vec<String>,
+    done: u64,
+    failed: u64,
+    /// Canonical aggregate bytes, set on completion.
+    aggregates: Option<Vec<u8>>,
+    /// Final engine report as a JSON object, set on completion.
+    report: Option<Json>,
+}
+
+/// One registered campaign: the parsed spec plus execution state.
+pub struct Campaign {
+    id: u64,
+    spec: CampaignSpec,
+    cells: usize,
+    state: Mutex<CampaignState>,
+    wake: Condvar,
+}
+
+impl Campaign {
+    fn new(spec: CampaignSpec) -> Self {
+        let cells = spec.to_matrix().expand().len();
+        Campaign {
+            id: spec.identity(),
+            spec,
+            cells,
+            state: Mutex::new(CampaignState {
+                status: Status::Queued,
+                events: Vec::new(),
+                done: 0,
+                failed: 0,
+                aggregates: None,
+                report: None,
+            }),
+            wake: Condvar::new(),
+        }
+    }
+
+    fn status_json(&self) -> Json {
+        let st = self.state.lock().unwrap();
+        let mut fields = vec![
+            ("id", Json::Str(format!("{:016x}", self.id))),
+            ("status", Json::Str(st.status.name().to_string())),
+            ("cells", Json::UInt(self.cells as u64)),
+            ("done", Json::UInt(st.done)),
+            ("failed", Json::UInt(st.failed)),
+        ];
+        if let Some(report) = &st.report {
+            fields.push(("report", report.clone()));
+        }
+        json::obj(fields)
+    }
+}
+
+struct Shared {
+    config: DaemonConfig,
+    campaigns: Mutex<BTreeMap<u64, Arc<Campaign>>>,
+    queue: mpsc::Sender<Arc<Campaign>>,
+    queue_depth: AtomicU64,
+    cells_done: AtomicU64,
+    cells_failed: AtomicU64,
+    cells_cached: AtomicU64,
+    cells_retried: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+impl Shared {
+    fn campaigns_dir(&self) -> PathBuf {
+        self.config.cache_dir.join("campaigns")
+    }
+
+    /// Persist `spec`'s canonical bytes under its identity, atomically:
+    /// the file must exist before the campaign can start executing, so a
+    /// killed daemon always finds every accepted spec on restart.
+    fn persist(&self, spec: &CampaignSpec) -> std::io::Result<()> {
+        let dir = self.campaigns_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{:016x}.json", spec.identity()));
+        let tmp = dir.join(format!(
+            "{:016x}.{}.tmp",
+            spec.identity(),
+            std::process::id()
+        ));
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(spec.to_json().as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Register + enqueue. Returns `(campaign, created)`; identity makes
+    /// this idempotent.
+    fn submit(&self, spec: CampaignSpec) -> std::io::Result<(Arc<Campaign>, bool)> {
+        let mut campaigns = self.campaigns.lock().unwrap();
+        if let Some(existing) = campaigns.get(&spec.identity()) {
+            return Ok((existing.clone(), false));
+        }
+        self.persist(&spec)?;
+        let campaign = Arc::new(Campaign::new(spec));
+        campaigns.insert(campaign.id, campaign.clone());
+        drop(campaigns);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let _ = self.queue.send(campaign.clone());
+        Ok((campaign, true))
+    }
+
+    fn metrics_json(&self) -> Json {
+        let campaigns = self.campaigns.lock().unwrap();
+        let (mut queued, mut running, mut done) = (0u64, 0u64, 0u64);
+        for c in campaigns.values() {
+            match c.state.lock().unwrap().status {
+                Status::Queued => queued += 1,
+                Status::Running => running += 1,
+                Status::Done => done += 1,
+            }
+        }
+        let total = campaigns.len() as u64;
+        drop(campaigns);
+        json::obj(vec![
+            (
+                "campaigns",
+                json::obj(vec![
+                    ("total", Json::UInt(total)),
+                    ("queued", Json::UInt(queued)),
+                    ("running", Json::UInt(running)),
+                    ("done", Json::UInt(done)),
+                ]),
+            ),
+            (
+                "cells",
+                json::obj(vec![
+                    ("done", Json::UInt(self.cells_done.load(Ordering::Relaxed))),
+                    (
+                        "failed",
+                        Json::UInt(self.cells_failed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "cached",
+                        Json::UInt(self.cells_cached.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "retried",
+                        Json::UInt(self.cells_retried.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "quarantined",
+                        Json::UInt(self.quarantined.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "queue_depth",
+                Json::UInt(self.queue_depth.load(Ordering::Relaxed)),
+            ),
+            (
+                "alloc",
+                json::obj(vec![
+                    ("current_bytes", Json::UInt(alloc::current_bytes() as u64)),
+                    ("peak_bytes", Json::UInt(alloc::peak_bytes() as u64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn event_line(seq: usize, outcome: &CellOutcome) -> String {
+    let mut line = json::obj(vec![
+        ("seq", Json::UInt(seq as u64)),
+        ("cell", Json::Str(outcome.cell().label())),
+        (
+            "status",
+            Json::Str(
+                if outcome.is_failed() {
+                    "failed"
+                } else {
+                    "done"
+                }
+                .to_string(),
+            ),
+        ),
+        ("attempts", Json::UInt(u64::from(outcome.attempts()))),
+    ])
+    .canonical();
+    line.push('\n');
+    line
+}
+
+fn report_json(report: &EngineReport) -> Json {
+    json::obj(vec![
+        ("cells", Json::UInt(report.cells as u64)),
+        ("simulated", Json::UInt(report.simulated as u64)),
+        ("cached", Json::UInt(report.cached as u64)),
+        ("failed", Json::UInt(report.failed as u64)),
+        ("resumed", Json::UInt(report.resumed as u64)),
+        ("quarantined", Json::UInt(report.quarantined as u64)),
+        ("stuck_flagged", Json::UInt(report.stuck_flagged as u64)),
+        ("jobs", Json::UInt(report.jobs as u64)),
+        ("wall_us", Json::UInt(report.wall.as_micros() as u64)),
+    ])
+}
+
+/// The single FIFO executor: campaigns run one at a time, each on a
+/// fresh engine built from its own spec options — with the cache
+/// directory pinned to the daemon's (the spec's `cache_dir` knob is a
+/// batch-mode concern) and the CLI `--jobs` override applied if given.
+fn executor(shared: Arc<Shared>, rx: mpsc::Receiver<Arc<Campaign>>) {
+    while let Ok(campaign) = rx.recv() {
+        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        {
+            let mut st = campaign.state.lock().unwrap();
+            st.status = Status::Running;
+            st.events.clear();
+            st.done = 0;
+            st.failed = 0;
+        }
+        campaign.wake.notify_all();
+
+        let mut options = campaign.spec.options().clone();
+        options.cache_dir = Some(shared.config.cache_dir.clone());
+        if shared.config.jobs.is_some() {
+            options.jobs = shared.config.jobs;
+        }
+        let engine = options.engine();
+
+        let cells = campaign.spec.to_matrix().expand();
+        let mut seq = 0usize;
+        let summary = engine.run_cells_streaming_observed(cells, &mut |outcome| {
+            let line = event_line(seq, outcome);
+            seq += 1;
+            let mut st = campaign.state.lock().unwrap();
+            st.events.push(line);
+            if outcome.is_failed() {
+                st.failed += 1;
+            } else {
+                st.done += 1;
+            }
+            drop(st);
+            campaign.wake.notify_all();
+        });
+
+        let report = summary.report;
+        shared
+            .cells_done
+            .fetch_add((report.cells - report.failed) as u64, Ordering::Relaxed);
+        shared
+            .cells_failed
+            .fetch_add(report.failed as u64, Ordering::Relaxed);
+        shared
+            .cells_cached
+            .fetch_add(report.cached as u64, Ordering::Relaxed);
+        shared
+            .quarantined
+            .fetch_add(report.quarantined as u64, Ordering::Relaxed);
+        shared
+            .cells_retried
+            .fetch_add(engine.retries(), Ordering::Relaxed);
+
+        let mut st = campaign.state.lock().unwrap();
+        st.aggregates = Some(report.aggregates.to_bytes());
+        st.report = Some(report_json(&report));
+        st.status = Status::Done;
+        drop(st);
+        campaign.wake.notify_all();
+    }
+}
+
+/// The daemon: registry + executor. Construction rescans the spec
+/// archive and re-enqueues every known campaign; [`serve`](Self::serve)
+/// runs the accept loop.
+pub struct Daemon {
+    shared: Arc<Shared>,
+}
+
+impl Daemon {
+    /// Build the daemon, spawn its executor, and recover the spec
+    /// archive (restart-after-SIGKILL path: completed campaigns replay
+    /// from cache; interrupted ones resume from the journal).
+    pub fn new(config: DaemonConfig) -> std::io::Result<Daemon> {
+        std::fs::create_dir_all(config.cache_dir.join("campaigns"))?;
+        let (tx, rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            config,
+            campaigns: Mutex::new(BTreeMap::new()),
+            queue: tx,
+            queue_depth: AtomicU64::new(0),
+            cells_done: AtomicU64::new(0),
+            cells_failed: AtomicU64::new(0),
+            cells_cached: AtomicU64::new(0),
+            cells_retried: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+        });
+        {
+            let exec_shared = shared.clone();
+            std::thread::Builder::new()
+                .name("rpavd-executor".into())
+                .spawn(move || executor(exec_shared, rx))?;
+        }
+        let daemon = Daemon { shared };
+        daemon.recover()?;
+        Ok(daemon)
+    }
+
+    /// Re-enqueue every persisted spec, in identity order.
+    fn recover(&self) -> std::io::Result<()> {
+        let dir = self.shared.campaigns_dir();
+        let mut specs: BTreeMap<u64, CampaignSpec> = BTreeMap::new();
+        for entry in std::fs::read_dir(&dir)?.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.extension().is_none_or(|x| x != "json") {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            match CampaignSpec::from_json(&text) {
+                Ok(spec) => {
+                    specs.insert(spec.identity(), spec);
+                }
+                Err(e) => {
+                    eprintln!("rpavd: skipping undecodable spec {}: {e}", path.display());
+                }
+            }
+        }
+        for spec in specs.into_values() {
+            self.shared.submit(spec)?;
+        }
+        Ok(())
+    }
+
+    /// Number of campaigns known to the registry.
+    pub fn campaign_count(&self) -> usize {
+        self.shared.campaigns.lock().unwrap().len()
+    }
+
+    /// Accept loop: one thread per connection, one request per
+    /// connection. Runs until the listener errors (i.e. forever).
+    pub fn serve(&self, listener: TcpListener) -> std::io::Result<()> {
+        for stream in listener.incoming() {
+            let stream = stream?;
+            let shared = self.shared.clone();
+            std::thread::Builder::new()
+                .name("rpavd-conn".into())
+                .spawn(move || handle_connection(shared, stream))?;
+        }
+        Ok(())
+    }
+}
+
+fn error_body(message: &str) -> Vec<u8> {
+    json::obj(vec![("error", Json::Str(message.to_string()))])
+        .canonical()
+        .into_bytes()
+}
+
+fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(HttpError::Io(_)) | Err(HttpError::Truncated) => return,
+        Err(e) => {
+            let status = if e == HttpError::BadLength { 413 } else { 400 };
+            let _ = respond(
+                &mut stream,
+                status,
+                "application/json",
+                &error_body(&e.to_string()),
+            );
+            return;
+        }
+    };
+    if let Err(e) = route(&shared, &request, &mut stream) {
+        // The client hung up mid-response; nothing to clean up.
+        let _ = e;
+    }
+}
+
+fn find(shared: &Shared, id_hex: &str) -> Option<Arc<Campaign>> {
+    let id = u64::from_str_radix(id_hex, 16).ok()?;
+    shared.campaigns.lock().unwrap().get(&id).cloned()
+}
+
+fn route(shared: &Shared, request: &Request, stream: &mut TcpStream) -> std::io::Result<()> {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["campaigns"]) => {
+            let text = match std::str::from_utf8(&request.body) {
+                Ok(t) => t,
+                Err(_) => {
+                    return respond(
+                        stream,
+                        400,
+                        "application/json",
+                        &error_body("body is not UTF-8"),
+                    )
+                }
+            };
+            match CampaignSpec::from_json(text) {
+                Ok(spec) => {
+                    let (campaign, created) = shared.submit(spec)?;
+                    let body = json::obj(vec![
+                        ("id", Json::Str(format!("{:016x}", campaign.id))),
+                        ("cells", Json::UInt(campaign.cells as u64)),
+                        ("created", Json::Bool(created)),
+                    ])
+                    .canonical();
+                    respond(
+                        stream,
+                        if created { 201 } else { 200 },
+                        "application/json",
+                        body.as_bytes(),
+                    )
+                }
+                Err(e) => respond(stream, 400, "application/json", &error_body(&e.to_string())),
+            }
+        }
+        ("GET", ["campaigns"]) => {
+            let list: Vec<Json> = shared
+                .campaigns
+                .lock()
+                .unwrap()
+                .values()
+                .map(|c| c.status_json())
+                .collect();
+            respond(
+                stream,
+                200,
+                "application/json",
+                Json::Array(list).canonical().as_bytes(),
+            )
+        }
+        ("GET", ["campaigns", id]) => match find(shared, id) {
+            Some(c) => respond(
+                stream,
+                200,
+                "application/json",
+                c.status_json().canonical().as_bytes(),
+            ),
+            None => respond(
+                stream,
+                404,
+                "application/json",
+                &error_body("no such campaign"),
+            ),
+        },
+        ("GET", ["campaigns", id, "events"]) => match find(shared, id) {
+            Some(c) => stream_events(&c, stream),
+            None => respond(
+                stream,
+                404,
+                "application/json",
+                &error_body("no such campaign"),
+            ),
+        },
+        ("GET", ["campaigns", id, "aggregates"]) => match find(shared, id) {
+            Some(c) => {
+                let mut st = c.state.lock().unwrap();
+                while st.status != Status::Done {
+                    st = c.wake.wait(st).unwrap();
+                }
+                let bytes = st.aggregates.clone().unwrap_or_default();
+                drop(st);
+                respond(stream, 200, "application/octet-stream", &bytes)
+            }
+            None => respond(
+                stream,
+                404,
+                "application/json",
+                &error_body("no such campaign"),
+            ),
+        },
+        ("GET", ["metrics"]) => respond(
+            stream,
+            200,
+            "application/json",
+            shared.metrics_json().canonical().as_bytes(),
+        ),
+        (_, ["campaigns", ..]) | (_, ["metrics"]) => respond(
+            stream,
+            405,
+            "application/json",
+            &error_body("method not allowed"),
+        ),
+        _ => respond(
+            stream,
+            404,
+            "application/json",
+            &error_body("no such route"),
+        ),
+    }
+}
+
+/// Chunked NDJSON feed: replay the events so far, then follow the
+/// reorder frontier live until the campaign completes.
+fn stream_events(campaign: &Campaign, stream: &mut TcpStream) -> std::io::Result<()> {
+    let mut out = Chunked::start(stream, 200, "application/x-ndjson")?;
+    let mut next = 0usize;
+    loop {
+        let batch: Vec<String>;
+        {
+            let mut st = campaign.state.lock().unwrap();
+            while st.events.len() == next && st.status != Status::Done {
+                st = campaign.wake.wait(st).unwrap();
+            }
+            batch = st.events[next..].to_vec();
+            next = st.events.len();
+            if batch.is_empty() && st.status == Status::Done {
+                break;
+            }
+        }
+        for line in &batch {
+            out.chunk(line.as_bytes())?;
+        }
+    }
+    out.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rpavd-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::new(
+            ExperimentConfig::builder()
+                .cc(CcMode::Gcc)
+                .seed(7)
+                .hold_secs(1)
+                .build(),
+        )
+        .runs(2)
+    }
+
+    fn start_daemon(dir: &std::path::Path) -> (Daemon, String) {
+        let daemon = Daemon::new(DaemonConfig {
+            cache_dir: dir.to_path_buf(),
+            jobs: Some(2),
+        })
+        .expect("daemon");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap().to_string();
+        let shared = daemon.shared.clone();
+        std::thread::spawn(move || {
+            let d = Daemon { shared };
+            let _ = d.serve(listener);
+        });
+        (daemon, addr)
+    }
+
+    const T: Duration = Duration::from_secs(300);
+
+    #[test]
+    fn full_campaign_lifecycle_over_http() {
+        let dir = fresh_dir("lifecycle");
+        let (_daemon, addr) = start_daemon(&dir);
+        let spec = tiny_spec();
+
+        // Batch-mode reference for the byte-compare.
+        let reference = EngineOptions::default()
+            .engine()
+            .run_streaming(&spec.to_matrix())
+            .report
+            .aggregates
+            .to_bytes();
+
+        // Submit (non-canonical whitespace: identity must not care).
+        let sloppy = spec.to_json().replace(",", " , ");
+        let r = client::post_json(&addr, "/campaigns", &sloppy, T).unwrap();
+        assert_eq!(r.status, 201, "{}", r.text());
+        let body = Json::parse(&r.text()).unwrap();
+        let id = body.get("id").unwrap().as_str().unwrap().to_string();
+        assert_eq!(id, format!("{:016x}", spec.identity()));
+        assert_eq!(body.get("cells").unwrap().as_u64(), Some(2));
+
+        // Resubmission is idempotent.
+        let again = client::post_json(&addr, "/campaigns", &spec.to_json(), T).unwrap();
+        assert_eq!(again.status, 200);
+        assert_eq!(
+            Json::parse(&again.text()).unwrap().get("created").unwrap(),
+            &Json::Bool(false)
+        );
+
+        // Aggregates block until done and match batch mode byte-for-byte.
+        let agg = client::get(&addr, &format!("/campaigns/{id}/aggregates"), T).unwrap();
+        assert_eq!(agg.status, 200);
+        assert_eq!(agg.body, reference, "daemon diverged from batch mode");
+
+        // Events: one NDJSON line per cell, in submission order.
+        let events = client::get(&addr, &format!("/campaigns/{id}/events"), T).unwrap();
+        let lines: Vec<Json> = events
+            .text()
+            .lines()
+            .map(|l| Json::parse(l).expect("event line parses"))
+            .collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(line.get("seq").unwrap().as_u64(), Some(i as u64));
+            assert_eq!(line.get("status").unwrap().as_str(), Some("done"));
+        }
+
+        // Status + metrics.
+        let status = client::get(&addr, &format!("/campaigns/{id}"), T).unwrap();
+        let status = Json::parse(&status.text()).unwrap();
+        assert_eq!(status.get("status").unwrap().as_str(), Some("done"));
+        assert_eq!(status.get("done").unwrap().as_u64(), Some(2));
+        let report = status.get("report").expect("done campaigns carry a report");
+        assert_eq!(report.get("cells").unwrap().as_u64(), Some(2));
+
+        let metrics = client::get(&addr, "/metrics", T).unwrap();
+        let metrics = Json::parse(&metrics.text()).unwrap();
+        assert_eq!(
+            metrics
+                .get("campaigns")
+                .unwrap()
+                .get("done")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_recovers_persisted_specs_and_converges() {
+        let dir = fresh_dir("recover");
+        let spec = tiny_spec();
+        {
+            let (daemon, addr) = start_daemon(&dir);
+            let r = client::post_json(&addr, "/campaigns", &spec.to_json(), T).unwrap();
+            assert_eq!(r.status, 201);
+            let agg = client::get(
+                &addr,
+                &format!("/campaigns/{:016x}/aggregates", spec.identity()),
+                T,
+            )
+            .unwrap();
+            assert_eq!(agg.status, 200);
+            drop(daemon);
+        }
+        // "Restarted" daemon on the same cache: the spec archive brings
+        // the campaign back, the sealed cache replays it without
+        // re-simulating, and aggregates converge bit-identically.
+        let (daemon2, addr2) = start_daemon(&dir);
+        assert_eq!(daemon2.campaign_count(), 1, "spec archive must recover");
+        let agg = client::get(
+            &addr2,
+            &format!("/campaigns/{:016x}/aggregates", spec.identity()),
+            T,
+        )
+        .unwrap();
+        let reference = EngineOptions::default()
+            .engine()
+            .run_streaming(&spec.to_matrix())
+            .report
+            .aggregates
+            .to_bytes();
+        assert_eq!(agg.body, reference, "recovered campaign diverged");
+        let status =
+            client::get(&addr2, &format!("/campaigns/{:016x}", spec.identity()), T).unwrap();
+        let status = Json::parse(&status.text()).unwrap();
+        let report = status.get("report").unwrap();
+        assert_eq!(
+            report.get("simulated").unwrap().as_u64(),
+            Some(0),
+            "recovery must replay from cache, not re-simulate"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_requests_get_typed_errors() {
+        let dir = fresh_dir("badreq");
+        let (_daemon, addr) = start_daemon(&dir);
+        let r = client::post_json(&addr, "/campaigns", "{not json", T).unwrap();
+        assert_eq!(r.status, 400);
+        assert!(r.text().contains("error"));
+        let r = client::post_json(&addr, "/campaigns", r#"{"spec_version":999}"#, T).unwrap();
+        assert_eq!(r.status, 400);
+        assert!(r.text().contains("spec_version"), "{}", r.text());
+        let r = client::get(&addr, "/campaigns/ffffffffffffffff", T).unwrap();
+        assert_eq!(r.status, 404);
+        let r = client::get(&addr, "/nope", T).unwrap();
+        assert_eq!(r.status, 404);
+        let r = client::request(&addr, "DELETE", "/metrics", b"", T).unwrap();
+        assert_eq!(r.status, 405);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -19,7 +19,7 @@ use rpav_sim::{SimDuration, SimRng, SimTime};
 use crate::packet::{Packet, PacketKind};
 
 /// One impairment clause of a [`FaultScript`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum FaultClause {
     /// Total link blackout: every packet offered in `[from, until)` is
     /// dropped and the bottleneck serialiser is stalled until `until`
@@ -174,7 +174,7 @@ impl FaultClause {
 }
 
 /// A deterministic, declarative fault campaign for one path direction.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultScript {
     clauses: Vec<FaultClause>,
 }

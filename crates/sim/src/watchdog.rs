@@ -21,7 +21,7 @@
 use crate::time::{SimDuration, SimTime};
 
 /// Tunables of the starvation watchdog.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct WatchdogConfig {
     /// Master switch. Disabled, the watchdog observes but never caps —
     /// reproducing the stock controllers' frozen-rate outage behaviour.

@@ -34,7 +34,11 @@ fn main() {
                 .cc(cc)
                 .seed(0x5400)
                 .build();
-            let c = run_campaign(cfg, 2);
+            let c = CampaignEngine::new()
+                .run(&CampaignSpec::new(cfg).runs(2).to_matrix())
+                .campaigns()
+                .pop()
+                .expect("one campaign");
             rows.push(Row {
                 cc: cc.name(),
                 op: op.name(),

@@ -24,7 +24,11 @@ fn main() {
             .cc(cc)
             .seed(0xF11687)
             .build();
-        let campaign = run_campaign(cfg, 2);
+        let campaign = CampaignEngine::new()
+            .run(&CampaignSpec::new(cfg).runs(2).to_matrix())
+            .campaigns()
+            .pop()
+            .expect("one campaign");
         println!("{}", HeadlineStats::from_campaign(&campaign).row());
         if matches!(cc, CcMode::Gcc) {
             gcc_metrics = campaign.runs.into_iter().next();
