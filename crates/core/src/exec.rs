@@ -350,6 +350,29 @@ impl MatrixSpec {
         }
     }
 
+    /// The number of cells [`expand`](Self::expand) would produce, without
+    /// allocating them: the checked product of every axis length. `None`
+    /// means the cross-product overflows `u64` — callers gating on a cap
+    /// must treat that as "too many".
+    pub fn cell_count(&self) -> Option<u64> {
+        let axis = |len: usize| if len == 0 { 1u64 } else { len as u64 };
+        let ccs = match &self.ccs {
+            CcAxis::Base => 1u64,
+            // `ccs_for` returns the list verbatim, so an empty list really
+            // does expand to zero cells.
+            CcAxis::List(list) => list.len() as u64,
+            CcAxis::PaperWorkloads => 3u64,
+        };
+        axis(self.environments.len())
+            .checked_mul(axis(self.operators.len()))?
+            .checked_mul(axis(self.mobilities.len()))?
+            .checked_mul(ccs)?
+            .checked_mul(axis(self.schemes.len()))?
+            .checked_mul(axis(self.faults.len()))?
+            .checked_mul(axis(self.repairs.len()))?
+            .checked_mul(self.runs)
+    }
+
     /// Expand the cross-product into independent cells, in the documented
     /// axis order (run index innermost).
     pub fn expand(&self) -> Vec<Cell> {

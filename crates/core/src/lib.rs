@@ -74,7 +74,7 @@ pub use pipeline::Simulation;
 pub use runner::run_campaign;
 pub use runner::CampaignResult;
 pub use scenario::{CcMode, ExperimentConfig, Mobility};
-pub use spec::{CampaignSpec, SpecError, SPEC_VERSION};
+pub use spec::{CampaignSpec, SpecError, MAX_CELLS, SPEC_VERSION};
 
 /// Convenient glob import for examples and benches: the experiment axes,
 /// the matrix engine, the campaign spec, and the per-run metrics every
@@ -92,7 +92,7 @@ pub mod prelude {
     pub use crate::scenario::{
         CcMode, ExperimentConfig, ExperimentConfigBuilder, Mobility, MAX_LEGS,
     };
-    pub use crate::spec::{CampaignSpec, SpecError, SPEC_VERSION};
+    pub use crate::spec::{CampaignSpec, SpecError, MAX_CELLS, SPEC_VERSION};
     pub use crate::stats;
     pub use crate::stats::LogHistogram;
     pub use crate::summary::CampaignAggregates;

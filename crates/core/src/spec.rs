@@ -42,6 +42,12 @@ use crate::scenario::{CcMode, ExperimentConfig, Mobility};
 /// The wire-format version this build emits and accepts.
 pub const SPEC_VERSION: u64 = 1;
 
+/// The largest cross-product a wire-submitted campaign may expand to.
+/// [`CampaignSpec::from_json`] rejects anything larger *before* the spec
+/// can be persisted or expanded, so a hostile `{"runs": u64::MAX}` is a
+/// typed 400, not an allocation abort inside the daemon.
+pub const MAX_CELLS: u64 = 1 << 20;
+
 /// Typed failures of [`CampaignSpec::from_json`]. Every variant names the
 /// JSON path of the offending field, so a daemon 400 response can point at
 /// the culprit.
@@ -72,6 +78,15 @@ pub enum SpecError {
         /// What the schema wanted there.
         want: &'static str,
     },
+    /// The axis cross-product (× `runs`) expands past [`MAX_CELLS`] — or
+    /// overflows `u64` entirely. Caught at parse time so the document can
+    /// never reach expansion or the spec archive.
+    TooManyCells {
+        /// The expanded count, when it fits in a `u64`.
+        cells: Option<u64>,
+        /// The cap it exceeded ([`MAX_CELLS`]).
+        max: u64,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -89,6 +104,10 @@ impl fmt::Display for SpecError {
             SpecError::BadValue { path, want } => {
                 write!(f, "bad value at `{path}`: expected {want}")
             }
+            SpecError::TooManyCells { cells, max } => match cells {
+                Some(n) => write!(f, "campaign expands to {n} cells (max {max})"),
+                None => write!(f, "campaign cell count overflows u64 (max {max})"),
+            },
         }
     }
 }
@@ -386,7 +405,7 @@ impl CampaignSpec {
             None => EngineOptions::default(),
         };
 
-        Ok(CampaignSpec {
+        let spec = CampaignSpec {
             base,
             environments,
             operators,
@@ -397,7 +416,14 @@ impl CampaignSpec {
             repairs,
             runs,
             options,
-        })
+        };
+        match spec.to_matrix().cell_count() {
+            Some(cells) if cells <= MAX_CELLS => Ok(spec),
+            cells => Err(SpecError::TooManyCells {
+                cells,
+                max: MAX_CELLS,
+            }),
+        }
     }
 }
 

@@ -33,6 +33,22 @@
 //! daemon rescans that directory and re-enqueues everything found.
 //! Completed cells replay from the sealed cache + journal, so re-running
 //! a finished campaign is cheap and a killed one resumes where it died.
+//! Specs whose cross-product exceeds [`MAX_CELLS`] are rejected with a
+//! `400` at parse time — before persistence — so a hostile document can
+//! neither abort the daemon nor poison the spec archive into re-aborting
+//! every restart. A campaign that panics mid-execution is marked done
+//! with an `error` report instead of killing the executor, so queued
+//! campaigns keep draining and blocked clients are released.
+//!
+//! # Trust model
+//!
+//! `rpavd` is a trusted-local tool: it binds where you tell it and does
+//! no authentication. Campaign identity is 64-bit FNV-1a — collision
+//! *detection* is handled (a submission whose canonical bytes differ
+//! from the archived spec under the same id is rejected with `409`
+//! rather than silently served another campaign's results), but the
+//! hash is not cryptographic; don't expose the socket to untrusted
+//! networks.
 
 pub mod alloc;
 pub mod client;
@@ -49,6 +65,52 @@ use rpav_core::json::{self, Json};
 use rpav_core::prelude::*;
 
 use http::{read_request, respond, Chunked, HttpError, Request};
+
+/// Lock a mutex, recovering from poisoning: campaign state is plain
+/// counters and event lines, always left consistent between lock holds,
+/// so a panic elsewhere must not cascade into every later handler.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison tolerance as [`lock`].
+fn wait<'a, T>(
+    cv: &Condvar,
+    guard: std::sync::MutexGuard<'a, T>,
+) -> std::sync::MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Why [`Shared::submit`] refused a spec.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// Persisting the spec document failed (disk full, permissions…).
+    Io(std::io::Error),
+    /// A different spec already owns this 64-bit identity: same FNV-1a
+    /// hash, different canonical bytes. Served as `409` — never as
+    /// another campaign's results.
+    IdentityCollision(u64),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Io(e) => write!(f, "failed to persist spec: {e}"),
+            SubmitError::IdentityCollision(id) => {
+                write!(f, "identity collision: a different spec already has id {id:016x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<std::io::Error> for SubmitError {
+    fn from(e: std::io::Error) -> Self {
+        SubmitError::Io(e)
+    }
+}
 
 /// Daemon-wide knobs, parsed once by `main` (or built by tests).
 #[derive(Clone, Debug)]
@@ -101,7 +163,14 @@ pub struct Campaign {
 
 impl Campaign {
     fn new(spec: CampaignSpec) -> Self {
-        let cells = spec.to_matrix().expand().len();
+        // Counted, not expanded: wire specs are capped at `MAX_CELLS` by
+        // `from_json`, and the cells themselves aren't needed until the
+        // executor picks the campaign up.
+        let cells = spec
+            .to_matrix()
+            .cell_count()
+            .and_then(|n| usize::try_from(n).ok())
+            .unwrap_or(usize::MAX);
         Campaign {
             id: spec.identity(),
             spec,
@@ -119,7 +188,7 @@ impl Campaign {
     }
 
     fn status_json(&self) -> Json {
-        let st = self.state.lock().unwrap();
+        let st = lock(&self.state);
         let mut fields = vec![
             ("id", Json::Str(format!("{:016x}", self.id))),
             ("status", Json::Str(st.status.name().to_string())),
@@ -171,26 +240,50 @@ impl Shared {
     }
 
     /// Register + enqueue. Returns `(campaign, created)`; identity makes
-    /// this idempotent.
-    fn submit(&self, spec: CampaignSpec) -> std::io::Result<(Arc<Campaign>, bool)> {
-        let mut campaigns = self.campaigns.lock().unwrap();
-        if let Some(existing) = campaigns.get(&spec.identity()) {
+    /// this idempotent — with the canonical bytes double-checked, so an
+    /// FNV collision surfaces as an error rather than someone else's
+    /// campaign.
+    ///
+    /// Expansion and the fsync in [`persist`](Self::persist) both happen
+    /// *outside* the `campaigns` lock: a slow disk or a large matrix must
+    /// not stall every other endpoint. Two racing submitters of the same
+    /// spec persist identical bytes to the same path (atomic rename), and
+    /// the loser adopts the winner's registration.
+    fn submit(&self, spec: CampaignSpec) -> Result<(Arc<Campaign>, bool), SubmitError> {
+        let id = spec.identity();
+        if let Some(existing) = lock(&self.campaigns).get(&id) {
+            if existing.spec != spec {
+                return Err(SubmitError::IdentityCollision(id));
+            }
             return Ok((existing.clone(), false));
         }
         self.persist(&spec)?;
         let campaign = Arc::new(Campaign::new(spec));
-        campaigns.insert(campaign.id, campaign.clone());
-        drop(campaigns);
-        self.queue_depth.fetch_add(1, Ordering::Relaxed);
-        let _ = self.queue.send(campaign.clone());
-        Ok((campaign, true))
+        let mut campaigns = lock(&self.campaigns);
+        match campaigns.entry(id) {
+            std::collections::btree_map::Entry::Occupied(e) => {
+                let existing = e.get().clone();
+                drop(campaigns);
+                if existing.spec != campaign.spec {
+                    return Err(SubmitError::IdentityCollision(id));
+                }
+                Ok((existing, false))
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(campaign.clone());
+                drop(campaigns);
+                self.queue_depth.fetch_add(1, Ordering::Relaxed);
+                let _ = self.queue.send(campaign.clone());
+                Ok((campaign, true))
+            }
+        }
     }
 
     fn metrics_json(&self) -> Json {
-        let campaigns = self.campaigns.lock().unwrap();
+        let campaigns = lock(&self.campaigns);
         let (mut queued, mut running, mut done) = (0u64, 0u64, 0u64);
         for c in campaigns.values() {
-            match c.state.lock().unwrap().status {
+            match lock(&c.state).status {
                 Status::Queued => queued += 1,
                 Status::Running => running += 1,
                 Status::Done => done += 1,
@@ -285,65 +378,107 @@ fn report_json(report: &EngineReport) -> Json {
 /// fresh engine built from its own spec options — with the cache
 /// directory pinned to the daemon's (the spec's `cache_dir` knob is a
 /// batch-mode concern) and the CLI `--jobs` override applied if given.
+///
+/// Each campaign runs under its own `catch_unwind`: the engine already
+/// isolates per-cell panics, but expansion, engine construction, and
+/// aggregate finalization panicking must fail *that campaign* — never
+/// the executor thread. On a panic the campaign is marked done with an
+/// `error` report and waiters are woken, so `/aggregates` and `/events`
+/// clients blocked on the Condvar are released instead of hanging
+/// forever.
 fn executor(shared: Arc<Shared>, rx: mpsc::Receiver<Arc<Campaign>>) {
     while let Ok(campaign) = rx.recv() {
         shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        {
-            let mut st = campaign.state.lock().unwrap();
-            st.status = Status::Running;
-            st.events.clear();
-            st.done = 0;
-            st.failed = 0;
-        }
-        campaign.wake.notify_all();
-
-        let mut options = campaign.spec.options().clone();
-        options.cache_dir = Some(shared.config.cache_dir.clone());
-        if shared.config.jobs.is_some() {
-            options.jobs = shared.config.jobs;
-        }
-        let engine = options.engine();
-
-        let cells = campaign.spec.to_matrix().expand();
-        let mut seq = 0usize;
-        let summary = engine.run_cells_streaming_observed(cells, &mut |outcome| {
-            let line = event_line(seq, outcome);
-            seq += 1;
-            let mut st = campaign.state.lock().unwrap();
-            st.events.push(line);
-            if outcome.is_failed() {
-                st.failed += 1;
-            } else {
-                st.done += 1;
-            }
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_campaign(&shared, &campaign)
+        }));
+        if let Err(panic) = run {
+            let msg = panic_message(panic.as_ref());
+            eprintln!("rpavd: campaign {:016x} panicked: {msg}", campaign.id);
+            let mut st = lock(&campaign.state);
+            st.status = Status::Done;
+            st.report = Some(json::obj(vec![("error", Json::Str(msg))]));
             drop(st);
             campaign.wake.notify_all();
-        });
+        }
+    }
+}
 
-        let report = summary.report;
-        shared
-            .cells_done
-            .fetch_add((report.cells - report.failed) as u64, Ordering::Relaxed);
-        shared
-            .cells_failed
-            .fetch_add(report.failed as u64, Ordering::Relaxed);
-        shared
-            .cells_cached
-            .fetch_add(report.cached as u64, Ordering::Relaxed);
-        shared
-            .quarantined
-            .fetch_add(report.quarantined as u64, Ordering::Relaxed);
-        shared
-            .cells_retried
-            .fetch_add(engine.retries(), Ordering::Relaxed);
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
-        let mut st = campaign.state.lock().unwrap();
-        st.aggregates = Some(report.aggregates.to_bytes());
-        st.report = Some(report_json(&report));
-        st.status = Status::Done;
+/// Test seam: the panic-isolation test arms this with a campaign id to
+/// make that campaign (and only it) blow up inside the executor.
+#[cfg(test)]
+static PANIC_ON_CAMPAIGN: AtomicU64 = AtomicU64::new(0);
+
+fn execute_campaign(shared: &Shared, campaign: &Campaign) {
+    #[cfg(test)]
+    if PANIC_ON_CAMPAIGN.load(Ordering::Relaxed) == campaign.id {
+        panic!("injected executor panic");
+    }
+    {
+        let mut st = lock(&campaign.state);
+        st.status = Status::Running;
+        st.events.clear();
+        st.done = 0;
+        st.failed = 0;
+    }
+    campaign.wake.notify_all();
+
+    let mut options = campaign.spec.options().clone();
+    options.cache_dir = Some(shared.config.cache_dir.clone());
+    if shared.config.jobs.is_some() {
+        options.jobs = shared.config.jobs;
+    }
+    let engine = options.engine();
+
+    let cells = campaign.spec.to_matrix().expand();
+    let mut seq = 0usize;
+    let summary = engine.run_cells_streaming_observed(cells, &mut |outcome| {
+        let line = event_line(seq, outcome);
+        seq += 1;
+        let mut st = lock(&campaign.state);
+        st.events.push(line);
+        if outcome.is_failed() {
+            st.failed += 1;
+        } else {
+            st.done += 1;
+        }
         drop(st);
         campaign.wake.notify_all();
-    }
+    });
+
+    let report = summary.report;
+    shared
+        .cells_done
+        .fetch_add((report.cells - report.failed) as u64, Ordering::Relaxed);
+    shared
+        .cells_failed
+        .fetch_add(report.failed as u64, Ordering::Relaxed);
+    shared
+        .cells_cached
+        .fetch_add(report.cached as u64, Ordering::Relaxed);
+    shared
+        .quarantined
+        .fetch_add(report.quarantined as u64, Ordering::Relaxed);
+    shared
+        .cells_retried
+        .fetch_add(engine.retries(), Ordering::Relaxed);
+
+    let mut st = lock(&campaign.state);
+    st.aggregates = Some(report.aggregates.to_bytes());
+    st.report = Some(report_json(&report));
+    st.status = Status::Done;
+    drop(st);
+    campaign.wake.notify_all();
 }
 
 /// The daemon: registry + executor. Construction rescans the spec
@@ -404,14 +539,20 @@ impl Daemon {
             }
         }
         for spec in specs.into_values() {
-            self.shared.submit(spec)?;
+            match self.shared.submit(spec) {
+                Ok(_) => {}
+                Err(SubmitError::Io(e)) => return Err(e),
+                Err(e @ SubmitError::IdentityCollision(_)) => {
+                    eprintln!("rpavd: skipping archived spec: {e}");
+                }
+            }
         }
         Ok(())
     }
 
     /// Number of campaigns known to the registry.
     pub fn campaign_count(&self) -> usize {
-        self.shared.campaigns.lock().unwrap().len()
+        lock(&self.shared.campaigns).len()
     }
 
     /// Accept loop: one thread per connection, one request per
@@ -457,7 +598,7 @@ fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
 
 fn find(shared: &Shared, id_hex: &str) -> Option<Arc<Campaign>> {
     let id = u64::from_str_radix(id_hex, 16).ok()?;
-    shared.campaigns.lock().unwrap().get(&id).cloned()
+    lock(&shared.campaigns).get(&id).cloned()
 }
 
 fn route(shared: &Shared, request: &Request, stream: &mut TcpStream) -> std::io::Result<()> {
@@ -476,29 +617,37 @@ fn route(shared: &Shared, request: &Request, stream: &mut TcpStream) -> std::io:
                 }
             };
             match CampaignSpec::from_json(text) {
-                Ok(spec) => {
-                    let (campaign, created) = shared.submit(spec)?;
-                    let body = json::obj(vec![
-                        ("id", Json::Str(format!("{:016x}", campaign.id))),
-                        ("cells", Json::UInt(campaign.cells as u64)),
-                        ("created", Json::Bool(created)),
-                    ])
-                    .canonical();
-                    respond(
-                        stream,
-                        if created { 201 } else { 200 },
-                        "application/json",
-                        body.as_bytes(),
-                    )
-                }
+                Ok(spec) => match shared.submit(spec) {
+                    Ok((campaign, created)) => {
+                        let body = json::obj(vec![
+                            ("id", Json::Str(format!("{:016x}", campaign.id))),
+                            ("cells", Json::UInt(campaign.cells as u64)),
+                            ("created", Json::Bool(created)),
+                        ])
+                        .canonical();
+                        respond(
+                            stream,
+                            if created { 201 } else { 200 },
+                            "application/json",
+                            body.as_bytes(),
+                        )
+                    }
+                    // Submission failures are server-side conditions the
+                    // client must see as a response, not a hangup.
+                    Err(e) => {
+                        eprintln!("rpavd: submit failed: {e}");
+                        let status = match e {
+                            SubmitError::IdentityCollision(_) => 409,
+                            SubmitError::Io(_) => 500,
+                        };
+                        respond(stream, status, "application/json", &error_body(&e.to_string()))
+                    }
+                },
                 Err(e) => respond(stream, 400, "application/json", &error_body(&e.to_string())),
             }
         }
         ("GET", ["campaigns"]) => {
-            let list: Vec<Json> = shared
-                .campaigns
-                .lock()
-                .unwrap()
+            let list: Vec<Json> = lock(&shared.campaigns)
                 .values()
                 .map(|c| c.status_json())
                 .collect();
@@ -534,9 +683,9 @@ fn route(shared: &Shared, request: &Request, stream: &mut TcpStream) -> std::io:
         },
         ("GET", ["campaigns", id, "aggregates"]) => match find(shared, id) {
             Some(c) => {
-                let mut st = c.state.lock().unwrap();
+                let mut st = lock(&c.state);
                 while st.status != Status::Done {
-                    st = c.wake.wait(st).unwrap();
+                    st = wait(&c.wake, st);
                 }
                 let bytes = st.aggregates.clone().unwrap_or_default();
                 drop(st);
@@ -578,9 +727,9 @@ fn stream_events(campaign: &Campaign, stream: &mut TcpStream) -> std::io::Result
     loop {
         let batch: Vec<String>;
         {
-            let mut st = campaign.state.lock().unwrap();
+            let mut st = lock(&campaign.state);
             while st.events.len() == next && st.status != Status::Done {
-                st = campaign.wake.wait(st).unwrap();
+                st = wait(&campaign.wake, st);
             }
             batch = st.events[next..].to_vec();
             next = st.events.len();
@@ -769,6 +918,87 @@ mod tests {
         assert_eq!(r.status, 404);
         let r = client::request(&addr, "DELETE", "/metrics", b"", T).unwrap();
         assert_eq!(r.status, 405);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_specs_are_rejected_before_persistence() {
+        let dir = fresh_dir("oversized");
+        let (daemon, addr) = start_daemon(&dir);
+        // u64::MAX runs: must be a 400, not an allocation abort.
+        let body = format!("{{\"spec_version\":1,\"runs\":{}}}", u64::MAX);
+        let r = client::post_json(&addr, "/campaigns", &body, T).unwrap();
+        assert_eq!(r.status, 400, "{}", r.text());
+        assert!(r.text().contains("cells"), "{}", r.text());
+        // Nothing was persisted, so a restart cannot re-trigger it.
+        assert_eq!(daemon.campaign_count(), 0);
+        let archived = std::fs::read_dir(dir.join("campaigns"))
+            .map(|d| d.count())
+            .unwrap_or(0);
+        assert_eq!(archived, 0, "rejected spec must never reach the archive");
+        // And the daemon is still fully alive: a sane campaign completes.
+        let spec = tiny_spec();
+        let r = client::post_json(&addr, "/campaigns", &spec.to_json(), T).unwrap();
+        assert_eq!(r.status, 201);
+        let agg = client::get(
+            &addr,
+            &format!("/campaigns/{:016x}/aggregates", spec.identity()),
+            T,
+        )
+        .unwrap();
+        assert_eq!(agg.status, 200);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn executor_survives_a_panicking_campaign() {
+        let dir = fresh_dir("panic");
+        let (_daemon, addr) = start_daemon(&dir);
+        // A spec unique to this test (distinct seed → distinct identity),
+        // armed to panic inside the executor.
+        let doomed = CampaignSpec::new(
+            ExperimentConfig::builder()
+                .cc(CcMode::Gcc)
+                .seed(0xDEAD)
+                .hold_secs(1)
+                .build(),
+        );
+        PANIC_ON_CAMPAIGN.store(doomed.identity(), Ordering::Relaxed);
+        let r = client::post_json(&addr, "/campaigns", &doomed.to_json(), T).unwrap();
+        assert_eq!(r.status, 201);
+        // Blocked clients are released, not hung: aggregates returns
+        // (empty — the campaign never produced any)…
+        let agg = client::get(
+            &addr,
+            &format!("/campaigns/{:016x}/aggregates", doomed.identity()),
+            T,
+        )
+        .unwrap();
+        assert_eq!(agg.status, 200);
+        assert!(agg.body.is_empty());
+        // …and the failure is surfaced in the report.
+        let status =
+            client::get(&addr, &format!("/campaigns/{:016x}", doomed.identity()), T).unwrap();
+        let status = Json::parse(&status.text()).unwrap();
+        assert_eq!(status.get("status").unwrap().as_str(), Some("done"));
+        let error = status.get("report").unwrap().get("error").unwrap();
+        assert_eq!(error.as_str(), Some("injected executor panic"));
+        // The executor thread survived: the next campaign runs to
+        // completion and every endpoint still answers.
+        PANIC_ON_CAMPAIGN.store(0, Ordering::Relaxed);
+        let healthy = tiny_spec();
+        let r = client::post_json(&addr, "/campaigns", &healthy.to_json(), T).unwrap();
+        assert!(r.status == 201 || r.status == 200);
+        let agg = client::get(
+            &addr,
+            &format!("/campaigns/{:016x}/aggregates", healthy.identity()),
+            T,
+        )
+        .unwrap();
+        assert_eq!(agg.status, 200);
+        assert!(!agg.body.is_empty());
+        let metrics = client::get(&addr, "/metrics", T).unwrap();
+        assert_eq!(metrics.status, 200);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -357,6 +357,51 @@ fn unknown_spec_version_is_a_typed_error() {
 }
 
 #[test]
+fn oversized_cross_products_are_typed_errors_not_aborts() {
+    // A hostile `runs` must die at parse time — before the daemon can
+    // persist the spec or try to allocate u64::MAX cells.
+    for runs in [u64::MAX, MAX_CELLS + 1] {
+        let doc = format!("{{\"spec_version\":1,\"runs\":{runs}}}");
+        match CampaignSpec::from_json(&doc) {
+            Err(SpecError::TooManyCells { cells, max }) => {
+                assert_eq!(max, MAX_CELLS);
+                assert_eq!(cells, Some(runs));
+            }
+            other => panic!("runs={runs}: expected TooManyCells, got {other:?}"),
+        }
+    }
+    // Overflow of the count itself (axes × runs past u64) is the same
+    // typed error, with the count marked uncomputable.
+    let doc = format!(
+        "{{\"spec_version\":1,\"environments\":[\"urban\",\"rural\"],\"runs\":{}}}",
+        u64::MAX
+    );
+    match CampaignSpec::from_json(&doc) {
+        Err(SpecError::TooManyCells { cells: None, max }) => assert_eq!(max, MAX_CELLS),
+        other => panic!("expected overflowing TooManyCells, got {other:?}"),
+    }
+    // The cap is inclusive: exactly MAX_CELLS parses, and the counted
+    // size matches what expansion would produce.
+    let doc = format!("{{\"spec_version\":1,\"runs\":{MAX_CELLS}}}");
+    let spec = CampaignSpec::from_json(&doc).expect("MAX_CELLS itself is accepted");
+    assert_eq!(spec.to_matrix().cell_count(), Some(MAX_CELLS));
+}
+
+#[test]
+fn cell_count_matches_expansion() {
+    let mut rng = SimRng::seed_from_u64(0x5EC_0007);
+    for _ in 0..50 {
+        let spec = random_spec(&mut rng);
+        let matrix = spec.to_matrix();
+        assert_eq!(
+            matrix.cell_count(),
+            Some(matrix.expand().len() as u64),
+            "checked count must agree with the real expansion"
+        );
+    }
+}
+
+#[test]
 fn duplicate_keys_are_rejected_at_the_json_layer() {
     let mut rng = SimRng::seed_from_u64(0x5EC_0004);
     for _ in 0..50 {
