@@ -14,16 +14,17 @@
 //! a `quick` section (1 s holds, the CI smoke), and a `bonded` section
 //! (the two-leg bonded driver with FEC + repair armed, 1 s holds).
 //! `--quick` (or `RPAV_PERF_QUICK=1`) skips only the full sweep. `--check
-//! <baseline.json>` then compares cells/s of every section measured this
-//! run against the same section of the committed baseline and exits
-//! non-zero on a regression beyond 25 % (`RPAV_PERF_THRESHOLD=<percent>`
-//! overrides).
+//! <baseline.json>` then compares every section measured this run against
+//! the same section of the committed baseline and exits non-zero on a
+//! regression: cells/s dropping more than 25 % below baseline
+//! (`RPAV_PERF_THRESHOLD=<percent>` overrides), or allocs/packet rising
+//! more than 25 % above it (plus a small absolute slack for sweeps that
+//! are already near zero). This is the CI perf gate — the ad-hoc
+//! cells/s-only threshold it replaces lived in the workflow file.
 //!
 //! Output goes to stdout and to `BENCH_PIPELINE.json` in the current
 //! directory (override the path with `RPAV_PERF_OUT`).
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use rpav_bench::{paper_ccs, paper_config};
@@ -31,33 +32,21 @@ use rpav_core::multipath::{run_multipath, MultipathScheme};
 use rpav_core::prelude::*;
 use rpav_sim::SimDuration;
 
-/// `System`, plus a relaxed allocation counter. `alloc`, `alloc_zeroed`
-/// and `realloc` all count — a reallocation is exactly the churn the
-/// pooled buffers are supposed to avoid.
-struct CountingAlloc;
+// The shared counting allocator: `alloc`, `alloc_zeroed` and `realloc`
+// all count as events — a reallocation is exactly the churn the pooled
+// buffers are supposed to avoid.
+#[global_allocator]
+static GLOBAL: rpav_sim::alloc::CountingAlloc = rpav_sim::alloc::CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc_zeroed(layout) }
-    }
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
+/// Allocation events so far (shorthand over the shared counter).
+fn allocs_now() -> u64 {
+    rpav_sim::alloc::events()
 }
 
-#[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
+/// Absolute slack on the allocs/packet gate: near-zero baselines would
+/// otherwise turn harmless jitter of a handful of allocations into a
+/// relative-threshold failure.
+const ALLOC_GATE_SLACK: f64 = 0.02;
 
 struct Measurement {
     mode: &'static str,
@@ -97,7 +86,7 @@ fn run_sweep(quick: bool) -> Measurement {
     let mut ticks = 0u64;
     let mut packets = 0u64;
     let mut cells = 0usize;
-    let alloc_start = ALLOCS.load(Ordering::Relaxed);
+    let alloc_start = allocs_now();
     let wall_start = Instant::now();
     for env in [Environment::Urban, Environment::Rural] {
         for cc in paper_ccs(env) {
@@ -118,7 +107,7 @@ fn run_sweep(quick: bool) -> Measurement {
         }
     }
     let wall_s = wall_start.elapsed().as_secs_f64();
-    let allocs = ALLOCS.load(Ordering::Relaxed) - alloc_start;
+    let allocs = allocs_now() - alloc_start;
     Measurement {
         mode: if quick { "quick" } else { "full" },
         cells,
@@ -142,7 +131,7 @@ fn run_bonded_sweep() -> Measurement {
     let mut ticks = 0u64;
     let mut packets = 0u64;
     let mut cells = 0usize;
-    let alloc_start = ALLOCS.load(Ordering::Relaxed);
+    let alloc_start = allocs_now();
     let wall_start = Instant::now();
     for cc in paper_ccs(Environment::Rural) {
         let cfg = ExperimentConfig::builder()
@@ -158,7 +147,7 @@ fn run_bonded_sweep() -> Measurement {
         cells += 1;
     }
     let wall_s = wall_start.elapsed().as_secs_f64();
-    let allocs = ALLOCS.load(Ordering::Relaxed) - alloc_start;
+    let allocs = allocs_now() - alloc_start;
     Measurement {
         mode: "bonded",
         cells,
@@ -268,6 +257,24 @@ fn main() {
                     m.mode
                 );
                 failed = true;
+            }
+            // Allocation-churn gate: the sweeps are deterministic, so
+            // allocs/packet is nearly noise-free — anything beyond the
+            // relative threshold plus a small absolute slack means a hot
+            // path started allocating again.
+            if let Some(base_ap) = json_field(&text, m.mode, "allocs_per_packet") {
+                let limit = base_ap * (1.0 + threshold / 100.0) + ALLOC_GATE_SLACK;
+                println!(
+                    "{:<5} baseline {base_ap:.2} allocs/packet → now {:.2} (limit {limit:.2})",
+                    m.mode, m.allocs_per_packet
+                );
+                if m.allocs_per_packet > limit {
+                    eprintln!(
+                        "ALLOC REGRESSION ({}): allocs/packet {:.2} exceeds limit {:.2}",
+                        m.mode, m.allocs_per_packet, limit
+                    );
+                    failed = true;
+                }
             }
         }
         if failed {

@@ -148,11 +148,18 @@ impl CcEngine {
     }
 
     /// Stage freshly packetized media for transmission.
-    pub fn enqueue(&mut self, now: SimTime, packets: Vec<RtpPacket>) {
+    pub fn enqueue(&mut self, now: SimTime, mut packets: Vec<RtpPacket>) {
+        self.enqueue_drain(now, &mut packets);
+    }
+
+    /// Drain-style variant of [`enqueue`](Self::enqueue): moves the packets
+    /// out but leaves the vector (and its capacity) with the caller, so a
+    /// per-frame scratch buffer can be reused indefinitely.
+    pub fn enqueue_drain(&mut self, now: SimTime, packets: &mut Vec<RtpPacket>) {
         match self {
-            CcEngine::Static { queue, .. } => queue.extend(packets),
-            CcEngine::Gcc { queue, .. } => queue.extend(packets),
-            CcEngine::Scream { sender } => sender.enqueue(now, packets),
+            CcEngine::Static { queue, .. } => queue.extend(packets.drain(..)),
+            CcEngine::Gcc { queue, .. } => queue.extend(packets.drain(..)),
+            CcEngine::Scream { sender } => sender.enqueue_drain(now, packets),
         }
     }
 
@@ -229,22 +236,37 @@ impl CcEngine {
     /// `false` otherwise (the caller counts it as malformed — Static has
     /// no feedback dialect, so everything is unexpected there).
     pub fn on_feedback(&mut self, payload: Bytes, now: SimTime) -> bool {
+        // Feedback arrives every 10–50 ms per leg; parsing into per-thread
+        // scratch values keeps the decode vectors warm instead of
+        // allocating one per round (DESIGN.md §15.3).
+        thread_local! {
+            static TWCC_FB: std::cell::RefCell<TwccFeedback> =
+                std::cell::RefCell::new(TwccFeedback::empty());
+            static CCFB: std::cell::RefCell<Rfc8888Packet> =
+                std::cell::RefCell::new(Rfc8888Packet::empty());
+        }
         match self {
             CcEngine::Static { .. } => false,
-            CcEngine::Gcc { bwe, .. } => match TwccFeedback::parse(payload) {
-                Ok(fb) => {
-                    bwe.on_feedback(&fb, now);
-                    true
+            CcEngine::Gcc { bwe, .. } => TWCC_FB.with(|cell| {
+                let fb = &mut *cell.borrow_mut();
+                match TwccFeedback::parse_into(payload, fb) {
+                    Ok(()) => {
+                        bwe.on_feedback(fb, now);
+                        true
+                    }
+                    Err(_) => false,
                 }
-                Err(_) => false,
-            },
-            CcEngine::Scream { sender } => match Rfc8888Packet::parse(payload) {
-                Ok(fb) => {
-                    sender.on_feedback(&fb, now);
-                    true
+            }),
+            CcEngine::Scream { sender } => CCFB.with(|cell| {
+                let fb = &mut *cell.borrow_mut();
+                match Rfc8888Packet::parse_into(payload, fb) {
+                    Ok(()) => {
+                        sender.on_feedback(fb, now);
+                        true
+                    }
+                    Err(_) => false,
                 }
-                Err(_) => false,
-            },
+            }),
         }
     }
 
@@ -334,9 +356,15 @@ impl CoupledCc {
     /// Stage packets already assigned to `leg` by the scheduler.
     /// Out-of-range legs drop nothing silently — the packets go to the
     /// last engine (saturating, never a panic on a hostile index).
-    pub fn enqueue_leg(&mut self, leg: usize, now: SimTime, packets: Vec<RtpPacket>) {
+    pub fn enqueue_leg(&mut self, leg: usize, now: SimTime, mut packets: Vec<RtpPacket>) {
+        self.enqueue_leg_drain(leg, now, &mut packets);
+    }
+
+    /// Drain-style variant of [`enqueue_leg`](Self::enqueue_leg): the caller
+    /// keeps the vector's capacity for reuse on the next frame.
+    pub fn enqueue_leg_drain(&mut self, leg: usize, now: SimTime, packets: &mut Vec<RtpPacket>) {
         let last = self.legs.len() - 1;
-        self.legs[leg.min(last)].enqueue(now, packets);
+        self.legs[leg.min(last)].enqueue_drain(now, packets);
     }
 
     /// Pop the next packet `leg`'s shadow engine releases onto the wire.

@@ -96,6 +96,15 @@ pub fn seal(payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Streaming variant of [`seal`]: writes the same envelope followed by
+/// the payload to `w` without materialising the sealed buffer.
+pub fn seal_to<W: std::io::Write>(payload: &[u8], w: &mut W) -> std::io::Result<()> {
+    w.write_all(ENVELOPE_MAGIC)?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)
+}
+
 /// Strip and verify a [`seal`] envelope. Returns `None` — never panics —
 /// on a short buffer, wrong magic, a length that disagrees with the bytes
 /// actually present (truncation *or* trailing garbage), or a CRC mismatch.
@@ -122,6 +131,13 @@ impl ByteWriter {
     /// Fresh empty writer.
     pub fn new() -> Self {
         ByteWriter::default()
+    }
+
+    /// Writer over a recycled buffer: clears the contents but keeps the
+    /// capacity, so a per-worker scratch vector serves every encode.
+    pub fn with_buf(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        ByteWriter { buf }
     }
 
     /// Finish and take the bytes.
@@ -442,6 +458,14 @@ impl RunMetrics {
     /// bytes directly.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
+        self.write_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// [`to_bytes`](Self::to_bytes) into a caller-supplied writer, so a
+    /// per-worker scratch buffer (see `CellScratch`) absorbs the encode
+    /// allocation across a whole batch of cells.
+    pub fn write_into(&self, w: &mut ByteWriter) {
         w.buf.extend_from_slice(MAGIC);
         w.u32(FORMAT_VERSION);
         w.bytes(env!("CARGO_PKG_VERSION").as_bytes());
@@ -495,7 +519,6 @@ impl RunMetrics {
         w.u64(self.fec_recovered);
         w.u64(self.reorder_buffered);
         w.u64(self.fec_multi_recovered);
-        w.into_bytes()
     }
 
     /// Decode a blob written by [`to_bytes`](Self::to_bytes). Returns

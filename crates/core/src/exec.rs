@@ -934,6 +934,12 @@ impl MatrixResult {
 pub struct EngineOptions {
     /// Worker threads (`None` = the host's available parallelism).
     pub jobs: Option<usize>,
+    /// Cells claimed per worker dispatch (`None` = auto-size from the
+    /// matrix: big enough to amortise claim overhead and keep the
+    /// per-worker scratch warm, small enough that the tail stays
+    /// balanced). Purely a throughput knob — the submission-order result
+    /// frontier makes aggregates byte-identical for every batch size.
+    pub batch: Option<usize>,
     /// Durable on-disk cache directory (`None` disables the disk layer,
     /// the journal, and resume).
     pub cache_dir: Option<PathBuf>,
@@ -951,6 +957,7 @@ impl Default for EngineOptions {
     fn default() -> Self {
         EngineOptions {
             jobs: None,
+            batch: None,
             cache_dir: None,
             max_attempts: 2,
             stuck_budget: Duration::from_secs(120),
@@ -966,6 +973,8 @@ impl EngineOptions {
     ///   value warns and auto-detects).
     /// * `RPAV_CACHE` — durable cache (`1` → `target/rpav-cache`, any
     ///   other non-empty value → that directory).
+    /// * `RPAV_BATCH` — cells claimed per worker dispatch (positive
+    ///   integer; invalid values warn and auto-size).
     /// * `RPAV_REFERENCE_TICK` — any value but `0` selects the 1 ms
     ///   reference scheduler.
     pub fn from_env() -> Self {
@@ -979,6 +988,16 @@ impl EngineOptions {
             },
             Err(_) => None,
         };
+        let batch = match std::env::var("RPAV_BATCH") {
+            Ok(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => Some(n),
+                _ => {
+                    eprintln!("rpav: ignoring invalid RPAV_BATCH={v:?} — auto-sizing batches");
+                    None
+                }
+            },
+            Err(_) => None,
+        };
         let cache_dir = match std::env::var("RPAV_CACHE") {
             Ok(v) if v == "1" => Some(PathBuf::from("target/rpav-cache")),
             Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
@@ -986,6 +1005,7 @@ impl EngineOptions {
         };
         EngineOptions {
             jobs,
+            batch,
             cache_dir,
             reference_tick: Self::env_reference_tick(),
             ..EngineOptions::default()
@@ -1028,6 +1048,33 @@ pub fn default_jobs() -> usize {
 /// poison/retry machinery without planting bugs in the pipeline.
 #[doc(hidden)]
 pub type FaultHook = Arc<dyn Fn(&Cell, u32) -> bool + Send + Sync>;
+
+/// Per-worker scratch that survives across the cells of a batch (and
+/// across batches — each worker thread owns one for its whole lifetime).
+/// Holds the buffers a cell completion needs that would otherwise be
+/// allocated per cell: today the durable-cache encode buffer; the
+/// thread-local arena pool rides along for free because the worker thread
+/// itself persists. Reset after a panicked attempt so a poisoned cell
+/// can never leak partial state into the next one.
+#[derive(Default)]
+pub struct CellScratch {
+    /// Recycled encode buffer for [`RunMetrics`] cache serialisation.
+    encode: Vec<u8>,
+}
+
+impl CellScratch {
+    /// Fresh scratch (workers build one each at spawn).
+    pub fn new() -> Self {
+        CellScratch::default()
+    }
+
+    /// Drop any partially written state after a panicked attempt. Keeps
+    /// capacity: the point of the scratch is that steady-state batches
+    /// never touch the allocator.
+    fn reset(&mut self) {
+        self.encode.clear();
+    }
+}
 
 /// Render a panic payload (the `&str`/`String` carried by virtually every
 /// `panic!`) for the poison record.
@@ -1105,6 +1152,7 @@ fn spec_hash(cells: &[Cell]) -> u64 {
 /// and treated as misses — never served, never fatal.
 pub struct CampaignEngine {
     jobs: usize,
+    batch: Option<usize>,
     cache_dir: Option<PathBuf>,
     max_attempts: u32,
     stuck_budget: Duration,
@@ -1137,6 +1185,7 @@ impl CampaignEngine {
     pub fn with_options(options: EngineOptions) -> Self {
         CampaignEngine {
             jobs: options.resolved_jobs(),
+            batch: options.batch,
             cache_dir: options.cache_dir,
             max_attempts: options.max_attempts.max(1),
             stuck_budget: options.stuck_budget,
@@ -1154,6 +1203,14 @@ impl CampaignEngine {
     /// Override the worker count (`--jobs`).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Override the per-dispatch cell batch size (`None` auto-sizes).
+    /// Aggregates are byte-identical for every value — batching only
+    /// changes how work is claimed, never the fold order.
+    pub fn with_batch(mut self, batch: Option<usize>) -> Self {
+        self.batch = batch.map(|b| b.max(1));
         self
     }
 
@@ -1319,6 +1376,18 @@ impl CampaignEngine {
         let mut aggregates = CampaignAggregates::default();
         let mut failed = 0usize;
 
+        // Cells are claimed in contiguous batches: one cursor bump hands a
+        // worker `batch` consecutive cells, which it runs back-to-back on
+        // one reusable `CellScratch` (and one warm thread-local arena
+        // pool). Auto-sizing keeps at least ~4 dispatches per worker so
+        // the tail stays balanced; results still arrive tagged with their
+        // submission index, and the frontier below re-sequences them, so
+        // aggregates are byte-identical for every batch size and job
+        // count.
+        let batch = self
+            .batch
+            .unwrap_or_else(|| (n / (workers * 4)).clamp(1, 8))
+            .max(1);
         let cursor = AtomicUsize::new(0);
         let inflight: Mutex<HashMap<usize, Instant>> = Mutex::new(HashMap::new());
         let done = AtomicBool::new(false);
@@ -1329,16 +1398,22 @@ impl CampaignEngine {
             let done = &done;
             for _ in 0..workers {
                 let tx = tx.clone();
-                s.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    inflight.lock().unwrap().insert(i, Instant::now());
-                    let result = self.run_cell_isolated(&cells[i], store_memory);
-                    inflight.lock().unwrap().remove(&i);
-                    if tx.send((i, result)).is_err() {
-                        break;
+                s.spawn(move || {
+                    let mut scratch = CellScratch::new();
+                    'claim: loop {
+                        let start = cursor.fetch_add(batch, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + batch).min(n);
+                        for (i, cell) in cells.iter().enumerate().take(end).skip(start) {
+                            inflight.lock().unwrap().insert(i, Instant::now());
+                            let result = self.run_cell_isolated(cell, store_memory, &mut scratch);
+                            inflight.lock().unwrap().remove(&i);
+                            if tx.send((i, result)).is_err() {
+                                break 'claim;
+                            }
+                        }
                     }
                 });
             }
@@ -1440,7 +1515,12 @@ impl CampaignEngine {
 
     /// One cell through the cache layers (memory → durable disk) and, on
     /// miss, `catch_unwind`-isolated execution with bounded retry.
-    fn run_cell_isolated(&self, cell: &Cell, store_memory: bool) -> WorkerResult {
+    fn run_cell_isolated(
+        &self,
+        cell: &Cell,
+        store_memory: bool,
+        scratch: &mut CellScratch,
+    ) -> WorkerResult {
         let key = cell.key();
         if let Some(m) = self.memory.lock().unwrap().get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -1484,7 +1564,7 @@ impl CampaignEngine {
                     self.simulated.fetch_add(1, Ordering::Relaxed);
                     let metrics = Arc::new(metrics);
                     let durable = match &self.cache_dir {
-                        Some(dir) => self.store_disk(dir, key, &metrics),
+                        Some(dir) => self.store_disk(dir, key, &metrics, scratch),
                         None => false,
                     };
                     if store_memory {
@@ -1501,6 +1581,7 @@ impl CampaignEngine {
                     };
                 }
                 Err(payload) => {
+                    scratch.reset();
                     let panic_msg = panic_message(payload);
                     if attempts < self.max_attempts {
                         self.retries.fetch_add(1, Ordering::Relaxed);
@@ -1571,8 +1652,13 @@ impl CampaignEngine {
     /// other mid-write), write, fsync, rename. Returns whether the record
     /// is durably in place — a kill at any point leaves either the old
     /// state or the complete new file, never a half-written `.rpav`.
-    fn store_disk(&self, dir: &std::path::Path, key: u64, metrics: &RunMetrics) -> bool {
-        use std::io::Write;
+    fn store_disk(
+        &self,
+        dir: &std::path::Path,
+        key: u64,
+        metrics: &RunMetrics,
+        scratch: &mut CellScratch,
+    ) -> bool {
         let path = cache_entry_path(dir, key);
         let Some(shard) = path.parent().map(std::path::Path::to_path_buf) else {
             return false;
@@ -1581,12 +1667,18 @@ impl CampaignEngine {
             return false;
         }
         let tmp = shard.join(format!("{key:016x}.{}.tmp", std::process::id()));
+        // Encode into the worker's recycled buffer and stream the sealed
+        // envelope straight to the file — no per-cell payload allocation.
+        let mut w = ByteWriter::with_buf(std::mem::take(&mut scratch.encode));
+        metrics.write_into(&mut w);
+        let payload = w.into_bytes();
         let written = (|| -> std::io::Result<()> {
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&metrics.to_cache_bytes())?;
+            crate::codec::seal_to(&payload, &mut f)?;
             f.sync_all()?;
             std::fs::rename(&tmp, &path)
         })();
+        scratch.encode = payload;
         if written.is_err() {
             // Best-effort: a read-only target dir must not fail the run.
             let _ = std::fs::remove_file(&tmp);
@@ -1711,8 +1803,14 @@ mod tests {
         let spec = MatrixSpec::new(short_base())
             .ccs([CcMode::Gcc, CcMode::paper_scream()])
             .runs(2);
-        let sequential = CampaignEngine::new().with_cache_dir(None).with_jobs(1);
-        let parallel = CampaignEngine::new().with_cache_dir(None).with_jobs(8);
+        let sequential = CampaignEngine::new()
+            .with_cache_dir(None)
+            .with_jobs(1)
+            .with_batch(Some(4));
+        let parallel = CampaignEngine::new()
+            .with_cache_dir(None)
+            .with_jobs(8)
+            .with_batch(Some(1));
         let a = sequential.run(&spec);
         let b = parallel.run(&spec);
         assert_eq!(a.outcomes.len(), 4);

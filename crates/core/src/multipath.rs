@@ -45,11 +45,11 @@ use rpav_rtp::fec::{
 use rpav_rtp::jitter::{JitterBuffer, JitterConfig};
 use rpav_rtp::nack::{Arrival, Nack, NackConfig, NackGenerator};
 use rpav_rtp::packet::{unwrap_seq, RtpPacket};
-use rpav_rtp::packetize::{Depacketizer, Packetizer};
+use rpav_rtp::packetize::{Depacketizer, Packetizer, ReassembledFrame};
 use rpav_rtp::report::PathReport;
-use rpav_rtp::rfc8888::Rfc8888Builder;
+use rpav_rtp::rfc8888::{Rfc8888Builder, Rfc8888Packet};
 use rpav_rtp::rtx::{RtxConfig, RtxSender};
-use rpav_rtp::twcc::TwccRecorder;
+use rpav_rtp::twcc::{TwccFeedback, TwccRecorder};
 use rpav_sim::{RngSet, SimDuration, SimTime};
 use rpav_uav::{profiles as uav_profiles, Position};
 use rpav_video::player::DecodedFrame;
@@ -673,6 +673,18 @@ pub fn run_multipath_legs(
     let mut rs_group_tx = [0u64; MAX_LEGS];
     let mut fec_seq: u16 = 0;
     let mut parity_buf: Vec<RsParityPacket> = Vec::with_capacity(MAX_RS_PARITY);
+    // Caller-owned scratch reused every tick: reassembled frames drained
+    // from the depacketizer, frames popped from the player, and the
+    // per-leg admission batches for the coupled controller. Each is grown
+    // once and recycled (the drain-style enqueue keeps the capacity here).
+    let mut drained_scratch: Vec<ReassembledFrame> = Vec::new();
+    let mut played_scratch = Vec::new();
+    let mut pkt_scratch: Vec<RtpPacket> = Vec::new();
+    let mut per_leg_scratch: Vec<Vec<RtpPacket>> = (0..legs.len()).map(|_| Vec::new()).collect();
+    // Reusable feedback values for the receiver's build path (the report
+    // vectors inside keep their capacity across feedback intervals).
+    let mut twcc_fb_scratch = TwccFeedback::empty();
+    let mut ccfb_scratch = Rfc8888Packet::empty();
 
     let mut metrics = RunMetrics::default();
     let mut ref_intact = true;
@@ -791,23 +803,22 @@ pub fn run_multipath_legs(
         // shadow engine; the single-engine path stages as before.
         if t < flight_end {
             while let Some(frame) = encoder.poll(t) {
-                let packets = packetizer.packetize(frame.meta, frame.meta.encode_time);
+                packetizer.packetize_into(frame.meta, frame.meta.encode_time, &mut pkt_scratch);
                 if frame.meta.keyframe
                     && matches!(
                         scheme,
                         MultipathScheme::SelectiveDuplicate | MultipathScheme::Bonded
                     )
                 {
-                    keyframe_seqs.extend(packets.iter().map(|p| p.sequence));
+                    keyframe_seqs.extend(pkt_scratch.iter().map(|p| p.sequence));
                     if keyframe_seqs.len() > 10_000 {
                         keyframe_seqs.clear(); // stale u16 identities
                     }
                 }
                 match &mut cc {
-                    CcDriver::Single(c) => c.enqueue(t, packets),
+                    CcDriver::Single(c) => c.enqueue_drain(t, &mut pkt_scratch),
                     CcDriver::Coupled(c) => {
-                        let mut per_leg: Vec<Vec<RtpPacket>> = (0..n).map(|_| Vec::new()).collect();
-                        for rtp in packets {
+                        for rtp in pkt_scratch.drain(..) {
                             let pick = pick_bonded_leg(&bonded_w, &mut deficit, n);
                             if fec_on {
                                 rs_group.push(&rtp, rs_parity);
@@ -825,11 +836,11 @@ pub fn run_multipath_legs(
                                     );
                                 }
                             }
-                            per_leg[pick].push(rtp);
+                            per_leg_scratch[pick].push(rtp);
                         }
-                        for (li, pkts) in per_leg.into_iter().enumerate() {
+                        for (li, pkts) in per_leg_scratch.iter_mut().enumerate() {
                             if !pkts.is_empty() {
-                                c.enqueue_leg(li, t, pkts);
+                                c.enqueue_leg_drain(li, t, pkts);
                             }
                         }
                     }
@@ -1189,8 +1200,12 @@ pub fn run_multipath_legs(
                     // shadow engine hears only about its own packets.
                     for (li, leg) in legs.iter_mut().enumerate() {
                         let wire = match base.cc {
-                            CcMode::Gcc => leg_twcc[li].build_feedback().map(|fb| fb.serialize()),
-                            CcMode::Scream { .. } => leg_ccfb[li].build(t).map(|fb| fb.serialize()),
+                            CcMode::Gcc => leg_twcc[li]
+                                .build_feedback_into(&mut twcc_fb_scratch)
+                                .then(|| twcc_fb_scratch.serialize()),
+                            CcMode::Scream { .. } => leg_ccfb[li]
+                                .build_into(t, &mut ccfb_scratch)
+                                .then(|| ccfb_scratch.serialize()),
                             CcMode::Static { .. } => None,
                         };
                         if let Some(wire) = wire {
@@ -1201,8 +1216,12 @@ pub fn run_multipath_legs(
                     }
                 } else {
                     let wire = match base.cc {
-                        CcMode::Gcc => twcc_rec.build_feedback().map(|fb| fb.serialize()),
-                        CcMode::Scream { .. } => ccfb.build(t).map(|fb| fb.serialize()),
+                        CcMode::Gcc => twcc_rec
+                            .build_feedback_into(&mut twcc_fb_scratch)
+                            .then(|| twcc_fb_scratch.serialize()),
+                        CcMode::Scream { .. } => ccfb
+                            .build_into(t, &mut ccfb_scratch)
+                            .then(|| ccfb_scratch.serialize()),
                         CcMode::Static { .. } => None,
                     };
                     if let Some(wire) = wire {
@@ -1267,7 +1286,8 @@ pub fn run_multipath_legs(
             depack.push(&rtp, playout);
         }
         if let Some(highest) = depack.highest_frame() {
-            for frame in depack.drain(highest.saturating_sub(2)) {
+            depack.drain_into(highest.saturating_sub(2), &mut drained_scratch);
+            for frame in drained_scratch.drain(..) {
                 let n = frame.meta.frame_number;
                 if let Some(last) = last_to_player {
                     if n > last.saturating_add(1) {
@@ -1294,7 +1314,8 @@ pub fn run_multipath_legs(
                 });
             }
         }
-        for ev in player.poll(t) {
+        player.poll_into(t, &mut played_scratch);
+        for ev in played_scratch.drain(..) {
             metrics.frames.push(FrameRecord {
                 number: ev.frame_number,
                 display_at: ev.display_time,

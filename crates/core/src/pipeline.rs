@@ -22,14 +22,14 @@ use rpav_netem::{FaultScript, Packet, PacketKind, Path, ReorderConfig};
 use rpav_rtp::jitter::{JitterBuffer, JitterConfig};
 use rpav_rtp::nack::{Arrival, Nack, NackConfig, NackGenerator};
 use rpav_rtp::packet::RtpPacket;
-use rpav_rtp::packetize::{Depacketizer, Packetizer};
+use rpav_rtp::packetize::{Depacketizer, Packetizer, ReassembledFrame};
 use rpav_rtp::pli::Pli;
-use rpav_rtp::rfc8888::Rfc8888Builder;
+use rpav_rtp::rfc8888::{Rfc8888Builder, Rfc8888Packet};
 use rpav_rtp::rtx::{RtxConfig, RtxSender};
-use rpav_rtp::twcc::TwccRecorder;
+use rpav_rtp::twcc::{TwccFeedback, TwccRecorder};
 use rpav_sim::{RngSet, SimDuration, SimRng, SimTime};
 use rpav_uav::{profiles as uav_profiles, FlightPlan, Position};
-use rpav_video::player::DecodedFrame;
+use rpav_video::player::{DecodedFrame, PlayedFrame};
 use rpav_video::{quality, Encoder, EncoderConfig, Player, PlayerConfig, SourceVideo};
 
 use crate::cc::{CcEngine, CCFB_INTERVAL, TWCC_INTERVAL};
@@ -110,6 +110,16 @@ pub struct Simulation {
     outage_windows: Vec<(SimTime, SimTime)>,
     /// Reusable scratch for batch-draining path arrivals each tick.
     arrivals: Vec<Packet>,
+    /// Reusable scratch for depacketizer drains each tick.
+    drained: Vec<ReassembledFrame>,
+    /// Reusable scratch for player display/skip events each tick.
+    played: Vec<PlayedFrame>,
+    /// Reusable scratch for freshly packetized frames.
+    pkt_scratch: Vec<RtpPacket>,
+    /// Reusable TWCC feedback value for the receiver's build path.
+    twcc_fb: TwccFeedback,
+    /// Reusable RFC 8888 feedback value for the receiver's build path.
+    ccfb_pkt: Rfc8888Packet,
     metrics: RunMetrics,
 }
 
@@ -178,7 +188,9 @@ impl Simulation {
             }),
             player: Player::new(PlayerConfig::default()),
             twcc_rec: TwccRecorder::new(),
+            twcc_fb: TwccFeedback::empty(),
             ccfb: Rfc8888Builder::new(ack_span),
+            ccfb_pkt: Rfc8888Packet::empty(),
             ref_intact: true,
             last_frame_to_player: None,
             last_pli: None,
@@ -190,6 +202,9 @@ impl Simulation {
             next_feedback: SimTime::ZERO,
             netem_seq: 0,
             arrivals: Vec::new(),
+            drained: Vec::new(),
+            played: Vec::new(),
+            pkt_scratch: Vec::new(),
             outage_windows: Vec::new(),
             metrics: RunMetrics::default(),
         }
@@ -461,10 +476,11 @@ impl Simulation {
             let Some(frame) = self.pending_frames.pop_front() else {
                 break;
             };
-            let packets = self
-                .packetizer
-                .packetize(frame.meta, frame.meta.encode_time);
-            self.cc.enqueue(now, packets);
+            let mut packets = std::mem::take(&mut self.pkt_scratch);
+            self.packetizer
+                .packetize_into(frame.meta, frame.meta.encode_time, &mut packets);
+            self.cc.enqueue_drain(now, &mut packets);
+            self.pkt_scratch = packets;
         }
 
         // 3. Feedback-starvation watchdogs, then CC-gated transmission.
@@ -592,8 +608,8 @@ impl Simulation {
                 }
                 CcMode::Gcc => {
                     self.next_feedback = now + TWCC_INTERVAL;
-                    if let Some(fb) = self.twcc_rec.build_feedback() {
-                        let wire = fb.serialize();
+                    if self.twcc_rec.build_feedback_into(&mut self.twcc_fb) {
+                        let wire = self.twcc_fb.serialize();
                         self.netem_seq += 1;
                         self.downlink.enqueue(
                             now,
@@ -603,8 +619,8 @@ impl Simulation {
                 }
                 CcMode::Scream { .. } => {
                     self.next_feedback = now + CCFB_INTERVAL;
-                    if let Some(fb) = self.ccfb.build(now) {
-                        let wire = fb.serialize();
+                    if self.ccfb.build_into(now, &mut self.ccfb_pkt) {
+                        let wire = self.ccfb_pkt.serialize();
                         self.netem_seq += 1;
                         self.downlink.enqueue(
                             now,
@@ -658,7 +674,9 @@ impl Simulation {
         }
         if let Some(highest) = self.depack.highest_frame() {
             let flush_before = highest.saturating_sub(2);
-            for frame in self.depack.drain(flush_before) {
+            let mut drained = std::mem::take(&mut self.drained);
+            self.depack.drain_into(flush_before, &mut drained);
+            for frame in drained.drain(..) {
                 let n = frame.meta.frame_number;
                 // A gap in delivered frame numbers means a frame vanished
                 // entirely: the decoder's reference chain is broken.
@@ -688,8 +706,11 @@ impl Simulation {
                     ssim,
                 });
             }
+            self.drained = drained;
         }
-        for ev in self.player.poll(now) {
+        let mut played = std::mem::take(&mut self.played);
+        self.player.poll_into(now, &mut played);
+        for ev in played.drain(..) {
             self.metrics.frames.push(FrameRecord {
                 number: ev.frame_number,
                 display_at: ev.display_time,
@@ -698,6 +719,7 @@ impl Simulation {
                 displayed: ev.displayed,
             });
         }
+        self.played = played;
 
         // 8. Keyframe recovery: while the decoder's reference chain stays
         // broken, nag the sender with rate-limited PLIs until an intact IDR

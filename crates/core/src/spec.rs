@@ -1077,6 +1077,10 @@ fn options_to_json(o: &EngineOptions) -> Json {
             o.jobs.map_or(Json::Null, |j| Json::UInt(j as u64)),
         ),
         (
+            "batch".into(),
+            o.batch.map_or(Json::Null, |b| Json::UInt(b as u64)),
+        ),
+        (
             "cache_dir".into(),
             o.cache_dir
                 .as_ref()
@@ -1098,6 +1102,7 @@ fn options_from_json(v: &Json, path: &str) -> Result<EngineOptions, SpecError> {
         path,
         &[
             "jobs",
+            "batch",
             "cache_dir",
             "max_attempts",
             "stuck_budget_us",
@@ -1107,6 +1112,9 @@ fn options_from_json(v: &Json, path: &str) -> Result<EngineOptions, SpecError> {
     let mut o = EngineOptions::default();
     if let Some(jobs) = opt_nullable(v, path, "jobs", u64_of)? {
         o.jobs = Some((jobs as usize).max(1));
+    }
+    if let Some(batch) = opt_nullable(v, path, "batch", u64_of)? {
+        o.batch = Some((batch as usize).max(1));
     }
     if let Some(dir) = opt_nullable(v, path, "cache_dir", str_owned)? {
         o.cache_dir = Some(PathBuf::from(dir));
@@ -1300,6 +1308,7 @@ mod tests {
         .runs(2)
         .with_options(EngineOptions {
             jobs: Some(4),
+            batch: Some(2),
             cache_dir: Some(PathBuf::from("target/rpav-cache")),
             max_attempts: 3,
             stuck_budget: Duration::from_secs(60),

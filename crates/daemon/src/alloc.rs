@@ -1,55 +1,9 @@
-//! Counting global allocator — the daemon's RSS proxy.
+//! Counting global allocator — re-exported from `rpav_sim`.
 //!
-//! `rpavd` advertises live memory telemetry on `GET /metrics` without a
-//! platform dependency: [`CountingAlloc`] wraps the system allocator and
-//! keeps live-byte and peak-byte counters. The `rpavd` binary registers
-//! it as `#[global_allocator]`; library users (tests) that don't simply
-//! read zeros.
+//! The daemon's RSS proxy started life here; the counting allocator now
+//! lives in [`rpav_sim::alloc`] so the perf harness and the steady-state
+//! allocation tests share one implementation. This module remains as the
+//! daemon-facing path (`rpav_daemon::alloc::CountingAlloc`) for the
+//! `rpavd` binary and `/metrics`.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-static CURRENT: AtomicUsize = AtomicUsize::new(0);
-static PEAK: AtomicUsize = AtomicUsize::new(0);
-
-/// Forwarding allocator that tracks live and peak heap bytes.
-pub struct CountingAlloc;
-
-fn on_alloc(size: usize) {
-    let now = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
-    PEAK.fetch_max(now, Ordering::Relaxed);
-}
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc(layout);
-        if !p.is_null() {
-            on_alloc(layout.size());
-        }
-        p
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
-        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let p = System.realloc(ptr, layout, new_size);
-        if !p.is_null() {
-            CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
-            on_alloc(new_size);
-        }
-        p
-    }
-}
-
-/// Live heap bytes (0 unless [`CountingAlloc`] is the global allocator).
-pub fn current_bytes() -> usize {
-    CURRENT.load(Ordering::Relaxed)
-}
-
-/// High-water heap bytes since process start.
-pub fn peak_bytes() -> usize {
-    PEAK.load(Ordering::Relaxed)
-}
+pub use rpav_sim::alloc::{current_bytes, events, peak_bytes, CountingAlloc};

@@ -74,10 +74,7 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 /// [`Condvar::wait`] with the same poison tolerance as [`lock`].
-fn wait<'a, T>(
-    cv: &Condvar,
-    guard: std::sync::MutexGuard<'a, T>,
-) -> std::sync::MutexGuard<'a, T> {
+fn wait<'a, T>(cv: &Condvar, guard: std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T> {
     cv.wait(guard)
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
@@ -98,7 +95,10 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Io(e) => write!(f, "failed to persist spec: {e}"),
             SubmitError::IdentityCollision(id) => {
-                write!(f, "identity collision: a different spec already has id {id:016x}")
+                write!(
+                    f,
+                    "identity collision: a different spec already has id {id:016x}"
+                )
             }
         }
     }
@@ -640,7 +640,12 @@ fn route(shared: &Shared, request: &Request, stream: &mut TcpStream) -> std::io:
                             SubmitError::IdentityCollision(_) => 409,
                             SubmitError::Io(_) => 500,
                         };
-                        respond(stream, status, "application/json", &error_body(&e.to_string()))
+                        respond(
+                            stream,
+                            status,
+                            "application/json",
+                            &error_body(&e.to_string()),
+                        )
                     }
                 },
                 Err(e) => respond(stream, 400, "application/json", &error_body(&e.to_string())),

@@ -1,6 +1,6 @@
 //! The assembled send-side bandwidth estimator.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use rpav_rtp::packet::unwrap_seq;
 use rpav_rtp::twcc::TwccFeedback;
@@ -86,12 +86,82 @@ impl AckedBitrate {
     }
 }
 
+/// Outstanding sent packets, keyed by unwrapped transport sequence.
+///
+/// Transport sequences are handed out consecutively, so a deque indexed by
+/// `seq - base` replaces the old `BTreeMap`: insert is a push at the back,
+/// lookup is an offset, and removal tombstones the slot (the front pops
+/// forward over tombstones). All operations on the per-packet send path
+/// are O(1) with no tree nodes to allocate.
+#[derive(Debug, Default)]
+struct SentHistory {
+    base: u64,
+    slots: VecDeque<Option<(SimTime, usize)>>,
+}
+
+impl SentHistory {
+    fn insert(&mut self, seq: u64, value: (SimTime, usize)) {
+        if self.slots.is_empty() {
+            self.base = seq;
+            self.slots.push_back(Some(value));
+            return;
+        }
+        if seq < self.base {
+            // Older than everything retained (already GC'd): drop, exactly
+            // as a map insert followed by the age-based GC would.
+            return;
+        }
+        let idx = (seq - self.base) as usize;
+        while self.slots.len() <= idx {
+            self.slots.push_back(None);
+        }
+        self.slots[idx] = Some(value);
+    }
+
+    fn get(&self, seq: u64) -> Option<(SimTime, usize)> {
+        let idx = seq.checked_sub(self.base)? as usize;
+        self.slots.get(idx).copied().flatten()
+    }
+
+    fn remove(&mut self, seq: u64) {
+        if let Some(idx) = seq.checked_sub(self.base) {
+            if let Some(slot) = self.slots.get_mut(idx as usize) {
+                *slot = None;
+            }
+        }
+        self.pop_tombstones();
+    }
+
+    /// The oldest live entry, if any.
+    fn front(&self) -> Option<(u64, SimTime)> {
+        debug_assert!(self.slots.front().is_none_or(Option::is_some));
+        self.slots
+            .front()
+            .copied()
+            .flatten()
+            .map(|(t, _)| (self.base, t))
+    }
+
+    fn pop_front(&mut self) {
+        self.slots.pop_front();
+        self.base += 1;
+        self.pop_tombstones();
+    }
+
+    fn pop_tombstones(&mut self) {
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
 /// Send-side GCC bandwidth estimator.
 #[derive(Debug)]
 pub struct SendSideBwe {
     config: GccConfig,
     /// Outstanding sent packets keyed by unwrapped transport sequence.
-    sent: BTreeMap<u64, (SimTime, usize)>,
+    sent: SentHistory,
     last_sent_unwrapped: Option<u64>,
     last_fb_unwrapped: Option<u64>,
     inter_arrival: InterArrival,
@@ -121,7 +191,7 @@ impl SendSideBwe {
     pub fn new(config: GccConfig) -> Self {
         SendSideBwe {
             config,
-            sent: BTreeMap::new(),
+            sent: SentHistory::default(),
             last_sent_unwrapped: None,
             last_fb_unwrapped: None,
             inter_arrival: InterArrival::new(),
@@ -154,9 +224,9 @@ impl SendSideBwe {
         self.sent.insert(unwrapped, (now, size));
         // GC: drop history older than 10 s (feedback will never come).
         let cutoff = now - SimDuration::from_secs(10);
-        while let Some((&k, &(t, _))) = self.sent.iter().next() {
+        while let Some((_, t)) = self.sent.front() {
             if t < cutoff {
-                self.sent.remove(&k);
+                self.sent.pop_front();
             } else {
                 break;
             }
@@ -188,7 +258,7 @@ impl SendSideBwe {
         let mut last_state = self.detector.state();
         for (i, arrival) in feedback.arrivals.iter().enumerate() {
             let seq = base_unwrapped + i as u64;
-            let Some(&(send_time, size)) = self.sent.get(&seq) else {
+            let Some((send_time, size)) = self.sent.get(seq) else {
                 continue;
             };
             total += 1;
@@ -209,7 +279,7 @@ impl SendSideBwe {
                     }
                 }
             }
-            self.sent.remove(&seq);
+            self.sent.remove(seq);
         }
 
         // Under guard, report the acked bitrate as unknown (app-limited):

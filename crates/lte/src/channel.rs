@@ -1,7 +1,11 @@
 //! Radio channel: path loss, LoS/NLoS, correlated shadowing, RSRP, SINR,
 //! and the SINR → uplink-throughput mapping.
-
-use std::collections::HashMap;
+//!
+//! The stateful processes ([`ShadowingField`], [`TemporalFading`]) and the
+//! geometry tables ([`GeometrySoa`]) are laid out as dense structure-of-
+//! arrays indexed by cell slot (`CellId.0`, plus one trailing slot for the
+//! cross-site common shadowing process): the radio tick walks contiguous
+//! `f64` arrays instead of chasing `HashMap` entries. See DESIGN.md §15.
 
 use rpav_sim::{SimDuration, SimRng, SimTime};
 use rpav_uav::Position;
@@ -109,10 +113,16 @@ pub fn blended_path_loss_db(params: &ChannelParams, d3d_m: f64, p_los: f64) -> f
 }
 
 /// Per-cell spatially correlated shadowing (Gudmundson/AR-1 over distance
-/// travelled).
+/// travelled), stored as dense per-slot arrays. Slots are cell indices
+/// (`CellId.0`); the caller reserves extra slots for pseudo-processes such
+/// as the cross-site common shadowing. The AR(1) arithmetic is exactly the
+/// historical per-`HashMap`-entry recurrence — only the storage changed —
+/// so sampled sequences are bit-identical.
 #[derive(Debug)]
 pub struct ShadowingField {
-    states: HashMap<CellId, (f64, Position)>,
+    values: Vec<f64>,
+    last: Vec<Position>,
+    init: Vec<bool>,
     corr_dist_m: f64,
 }
 
@@ -120,32 +130,42 @@ impl ShadowingField {
     /// Create an empty field with the given decorrelation distance.
     pub fn new(corr_dist_m: f64) -> Self {
         ShadowingField {
-            states: HashMap::new(),
+            values: Vec::new(),
+            last: Vec::new(),
+            init: Vec::new(),
             corr_dist_m,
         }
     }
 
-    /// Sample the shadowing value (dB) for `cell` at `pos`, evolving the
-    /// per-cell AR(1) state by the distance moved since the last sample.
-    pub fn sample(&mut self, cell: CellId, pos: &Position, sigma_db: f64, rng: &mut SimRng) -> f64 {
-        match self.states.get_mut(&cell) {
-            None => {
-                let v = rng.normal(0.0, sigma_db);
-                self.states.insert(cell, (v, *pos));
-                v
-            }
-            Some((v, last)) => {
-                let moved = pos.distance(last);
-                if moved <= 0.0 {
-                    return *v;
-                }
-                let rho = (-moved / self.corr_dist_m).exp();
-                let innov = rng.normal(0.0, sigma_db * (1.0 - rho * rho).sqrt());
-                *v = rho * *v + innov;
-                *last = *pos;
-                *v
-            }
+    fn grow_to(&mut self, slot: usize) {
+        if slot >= self.values.len() {
+            self.values.resize(slot + 1, 0.0);
+            self.last.resize(slot + 1, Position::ground(0.0, 0.0));
+            self.init.resize(slot + 1, false);
         }
+    }
+
+    /// Sample the shadowing value (dB) for `slot` at `pos`, evolving the
+    /// per-slot AR(1) state by the distance moved since the last sample.
+    pub fn sample(&mut self, slot: usize, pos: &Position, sigma_db: f64, rng: &mut SimRng) -> f64 {
+        self.grow_to(slot);
+        if !self.init[slot] {
+            let v = rng.normal(0.0, sigma_db);
+            self.values[slot] = v;
+            self.last[slot] = *pos;
+            self.init[slot] = true;
+            return v;
+        }
+        let moved = pos.distance(&self.last[slot]);
+        if moved <= 0.0 {
+            return self.values[slot];
+        }
+        let rho = (-moved / self.corr_dist_m).exp();
+        let innov = rng.normal(0.0, sigma_db * (1.0 - rho * rho).sqrt());
+        let v = rho * self.values[slot] + innov;
+        self.values[slot] = v;
+        self.last[slot] = *pos;
+        v
     }
 }
 
@@ -157,7 +177,9 @@ impl ShadowingField {
 /// through, which deepen with altitude (§4.1).
 #[derive(Debug)]
 pub struct TemporalFading {
-    states: HashMap<CellId, (f64, SimTime)>,
+    values: Vec<f64>,
+    last: Vec<SimTime>,
+    init: Vec<bool>,
     tau: SimDuration,
 }
 
@@ -165,32 +187,42 @@ impl TemporalFading {
     /// Create a fading field with correlation time `tau`.
     pub fn new(tau: SimDuration) -> Self {
         TemporalFading {
-            states: HashMap::new(),
+            values: Vec::new(),
+            last: Vec::new(),
+            init: Vec::new(),
             tau,
         }
     }
 
-    /// Sample the fading value (dB) for `cell` at `now` with the given
-    /// stationary standard deviation.
-    pub fn sample(&mut self, cell: CellId, now: SimTime, sigma_db: f64, rng: &mut SimRng) -> f64 {
-        match self.states.get_mut(&cell) {
-            None => {
-                let v = rng.normal(0.0, sigma_db);
-                self.states.insert(cell, (v, now));
-                v
-            }
-            Some((v, last)) => {
-                let dt = now.saturating_since(*last);
-                if dt.is_zero() {
-                    return *v;
-                }
-                let rho = (-dt.as_secs_f64() / self.tau.as_secs_f64()).exp();
-                let innov = rng.normal(0.0, sigma_db * (1.0 - rho * rho).sqrt());
-                *v = rho * *v + innov;
-                *last = now;
-                *v
-            }
+    fn grow_to(&mut self, slot: usize) {
+        if slot >= self.values.len() {
+            self.values.resize(slot + 1, 0.0);
+            self.last.resize(slot + 1, SimTime::ZERO);
+            self.init.resize(slot + 1, false);
         }
+    }
+
+    /// Sample the fading value (dB) for `slot` at `now` with the given
+    /// stationary standard deviation.
+    pub fn sample(&mut self, slot: usize, now: SimTime, sigma_db: f64, rng: &mut SimRng) -> f64 {
+        self.grow_to(slot);
+        if !self.init[slot] {
+            let v = rng.normal(0.0, sigma_db);
+            self.values[slot] = v;
+            self.last[slot] = now;
+            self.init[slot] = true;
+            return v;
+        }
+        let dt = now.saturating_since(self.last[slot]);
+        if dt.is_zero() {
+            return self.values[slot];
+        }
+        let rho = (-dt.as_secs_f64() / self.tau.as_secs_f64()).exp();
+        let innov = rng.normal(0.0, sigma_db * (1.0 - rho * rho).sqrt());
+        let v = rho * self.values[slot] + innov;
+        self.values[slot] = v;
+        self.last[slot] = now;
+        v
     }
 }
 
@@ -242,6 +274,38 @@ pub fn mean_rsrp_dbm(params: &ChannelParams, cell: &Cell, pos: &Position) -> f64
     cell_geometry(params, cell, pos).mean_rsrp_dbm
 }
 
+/// Structure-of-arrays geometry table for a whole deployment at one UE
+/// position: three contiguous `f64` arrays index-aligned with the cells.
+/// The radio tick reads `mean[i]` / `sigma[i]` in a tight loop instead of
+/// pulling 24-byte structs through the cache.
+#[derive(Debug, Default)]
+pub struct GeometrySoa {
+    /// Received power (dBm) excluding shadowing/fading, per cell.
+    pub mean_rsrp_dbm: Vec<f64>,
+    /// LoS probability, per cell.
+    pub p_los: Vec<f64>,
+    /// Blended shadowing standard deviation (dB), per cell.
+    pub sigma_db: Vec<f64>,
+}
+
+impl GeometrySoa {
+    /// Recompute the table for `cells` at `pos`, reusing the arrays.
+    pub fn fill(&mut self, params: &ChannelParams, cells: &[Cell], pos: &Position) {
+        self.mean_rsrp_dbm.clear();
+        self.p_los.clear();
+        self.sigma_db.clear();
+        self.mean_rsrp_dbm.reserve(cells.len());
+        self.p_los.reserve(cells.len());
+        self.sigma_db.reserve(cells.len());
+        for cell in cells {
+            let g = cell_geometry(params, cell, pos);
+            self.mean_rsrp_dbm.push(g.mean_rsrp_dbm);
+            self.p_los.push(g.p_los);
+            self.sigma_db.push(g.sigma_db);
+        }
+    }
+}
+
 /// Convert dBm to milliwatts.
 pub fn dbm_to_mw(dbm: f64) -> f64 {
     10f64.powf(dbm / 10.0)
@@ -252,12 +316,15 @@ pub fn mw_to_dbm(mw: f64) -> f64 {
     10.0 * mw.max(1e-30).log10()
 }
 
-/// SINR (dB) of the serving cell given all cells' received powers (dBm).
-pub fn sinr_db(params: &ChannelParams, serving: CellId, rsrp_dbm: &[(CellId, f64)]) -> f64 {
+/// SINR (dB) of the serving cell given all cells' received powers (dBm),
+/// indexed by cell slot. The interference sum runs over one contiguous
+/// `f64` slice; the serving term is skipped by index, preserving the
+/// historical accumulation order exactly.
+pub fn sinr_db(params: &ChannelParams, serving: usize, rsrp_dbm: &[f64]) -> f64 {
     let mut signal_mw = 0.0;
     let mut interf_mw = 0.0;
-    for (id, dbm) in rsrp_dbm {
-        if *id == serving {
+    for (idx, dbm) in rsrp_dbm.iter().enumerate() {
+        if idx == serving {
             signal_mw = dbm_to_mw(*dbm);
         } else {
             interf_mw += dbm_to_mw(*dbm);
@@ -283,6 +350,48 @@ pub fn harq_delay(sinr_db: f64) -> SimDuration {
     // (RLC re-segmentation territory).
     let ms = 5.0 * 2f64.powf((10.0 - sinr_db) / 2.5);
     SimDuration::from_secs_f64(ms.min(350.0) / 1e3)
+}
+
+/// Exact-bit memo in front of [`harq_delay`]: a small direct-mapped table
+/// keyed by the raw bit pattern of the SINR. A hit returns the previously
+/// computed duration for the *identical* input, so results are trivially
+/// bit-identical to calling [`harq_delay`] directly (the equivalence suite
+/// checks the whole pipeline against the un-memoized reference tick). The
+/// win is on hovering/steady segments where the SINR repeats exactly.
+#[derive(Debug)]
+pub struct HarqMemo {
+    entries: Vec<(u64, SimDuration)>,
+}
+
+/// Direct-mapped memo size (power of two).
+const HARQ_MEMO_SLOTS: usize = 256;
+
+impl Default for HarqMemo {
+    fn default() -> Self {
+        HarqMemo {
+            // NaN bits never come in (SINR is finite), so they mark empty.
+            entries: vec![(f64::NAN.to_bits(), SimDuration::ZERO); HARQ_MEMO_SLOTS],
+        }
+    }
+}
+
+impl HarqMemo {
+    /// [`harq_delay`] through the memo.
+    pub fn delay(&mut self, sinr_db: f64) -> SimDuration {
+        if sinr_db >= 10.0 {
+            return SimDuration::ZERO;
+        }
+        let bits = sinr_db.to_bits();
+        let slot =
+            (bits.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as usize & (HARQ_MEMO_SLOTS - 1);
+        let (key, cached) = self.entries[slot];
+        if key == bits {
+            return cached;
+        }
+        let d = harq_delay(sinr_db);
+        self.entries[slot] = (bits, d);
+        d
+    }
 }
 
 /// Attenuated-Shannon mapping from SINR to achievable uplink throughput.
@@ -368,7 +477,7 @@ mod tests {
         let p = params();
         let mut field = ShadowingField::new(p.shadow_corr_dist_m);
         let mut rng = RngSet::new(5).stream("shadow");
-        let c = CellId(0);
+        let c = 0;
         let mut pos = Position::ground(0.0, 0.0);
         let first = field.sample(c, &pos, 7.0, &mut rng);
         // Tiny steps: values move slowly.
@@ -391,7 +500,7 @@ mod tests {
         let p = params();
         let mut field = ShadowingField::new(p.shadow_corr_dist_m);
         let mut rng = RngSet::new(6).stream("shadow");
-        let c = CellId(1);
+        let c = 1;
         let mut vals = Vec::new();
         for i in 0..20_000 {
             // Move a full decorrelation distance each step: i.i.d. samples.
@@ -423,10 +532,10 @@ mod tests {
     #[test]
     fn sinr_decreases_with_interference() {
         let p = params();
-        let powers_clean = vec![(CellId(0), -70.0)];
-        let powers_busy = vec![(CellId(0), -70.0), (CellId(1), -75.0), (CellId(2), -80.0)];
-        let clean = sinr_db(&p, CellId(0), &powers_clean);
-        let busy = sinr_db(&p, CellId(0), &powers_busy);
+        let powers_clean = vec![-70.0];
+        let powers_busy = vec![-70.0, -75.0, -80.0];
+        let clean = sinr_db(&p, 0, &powers_clean);
+        let busy = sinr_db(&p, 0, &powers_busy);
         assert!(clean > busy);
         // Noise-limited case: SINR ≈ SNR.
         assert!((clean - (-70.0 - p.noise_dbm)).abs() < 0.5);

@@ -19,8 +19,6 @@
 //! below the re-establishment threshold before any A3 event fires; RLF
 //! re-establishment always draws from the tail distribution.
 
-use std::collections::HashMap;
-
 use rpav_sim::{SimDuration, SimRng, SimTime};
 
 use crate::cell::CellId;
@@ -115,14 +113,23 @@ impl Default for HandoverParams {
 }
 
 /// The UE-side mobility state machine.
+///
+/// Measurement state is dense: `filtered[i]` / `a3_since[i]` belong to
+/// `CellId(i)` (cell ids are dense deployment indices), so the per-tick L3
+/// filter and A3 scan walk contiguous arrays. `NAN` marks a never-measured
+/// cell in `filtered`; the arithmetic applied to measured cells is exactly
+/// the historical `HashMap` version, so filtered sequences are bit-identical
+/// (dense index order can differ from hash order only on exact f64 ties in
+/// the best-neighbour argmax).
 #[derive(Debug)]
 pub struct HandoverEngine {
     params: HandoverParams,
     serving: CellId,
-    filtered: HashMap<CellId, f64>,
+    filtered: Vec<f64>,
     /// Per-neighbour entry times of the A3 condition (3GPP runs one
-    /// time-to-trigger timer per measured neighbour).
-    a3_since: HashMap<CellId, SimTime>,
+    /// time-to-trigger timer per measured neighbour). `None` = condition
+    /// not currently met.
+    a3_since: Vec<Option<SimTime>>,
     /// Handover in preparation: (target, execution start).
     preparing: Option<(CellId, SimTime)>,
     /// Execution window of an in-flight handover.
@@ -139,8 +146,8 @@ impl HandoverEngine {
         HandoverEngine {
             params,
             serving: initial_serving,
-            filtered: HashMap::new(),
-            a3_since: HashMap::new(),
+            filtered: Vec::new(),
+            a3_since: Vec::new(),
             preparing: None,
             executing: None,
             rlf_since: None,
@@ -157,7 +164,10 @@ impl HandoverEngine {
 
     /// L3-filtered RSRP of the serving cell, if measured yet.
     pub fn serving_rsrp_dbm(&self) -> Option<f64> {
-        self.filtered.get(&self.serving).copied()
+        self.filtered
+            .get(self.serving.0 as usize)
+            .copied()
+            .filter(|v| !v.is_nan())
     }
 
     /// True while a handover is executing (the radio link is interrupted).
@@ -192,18 +202,27 @@ impl HandoverEngine {
         SimDuration::from_secs_f64(ms.min(self.params.het_max_ms) / 1e3)
     }
 
-    /// Feed one measurement snapshot (instantaneous RSRP per cell, dBm) at
-    /// time `now`. Returns a handover event at the tick where execution
-    /// begins.
+    /// Feed one measurement snapshot (instantaneous RSRP per cell, dBm,
+    /// indexed by cell id) at time `now`. Returns a handover event at the
+    /// tick where execution begins.
     pub fn on_measurement(
         &mut self,
         now: SimTime,
-        rsrp_dbm: &[(CellId, f64)],
+        rsrp_dbm: &[f64],
         airborne: bool,
     ) -> Option<HandoverEvent> {
-        // L3 filtering.
-        for (id, v) in rsrp_dbm {
-            let e = self.filtered.entry(*id).or_insert(*v);
+        if self.filtered.len() < rsrp_dbm.len() {
+            self.filtered.resize(rsrp_dbm.len(), f64::NAN);
+            self.a3_since.resize(rsrp_dbm.len(), None);
+        }
+
+        // L3 filtering: seed a never-measured cell with its first sample
+        // (then apply the same EMA step — exactly the old `or_insert`
+        // semantics), EMA thereafter.
+        for (e, v) in self.filtered.iter_mut().zip(rsrp_dbm) {
+            if e.is_nan() {
+                *e = *v;
+            }
             *e = (1.0 - self.params.l3_alpha) * *e + self.params.l3_alpha * *v;
         }
 
@@ -213,15 +232,15 @@ impl HandoverEngine {
                 self.serving = ev.to;
                 self.executing = None;
                 self.rlf_since = None;
-                self.a3_since.clear();
+                self.a3_since.fill(None);
             } else {
                 return None; // still interrupted; no evaluation
             }
         }
 
-        let serving_f = match self.filtered.get(&self.serving) {
-            Some(v) => *v,
-            None => return None,
+        let serving_f = match self.filtered.get(self.serving.0 as usize) {
+            Some(v) if !v.is_nan() => *v,
+            _ => return None,
         };
 
         // A prepared handover executes when the network-side preparation
@@ -238,7 +257,7 @@ impl HandoverEngine {
                     kind: HandoverKind::A3,
                 };
                 self.executing = Some(ev);
-                self.a3_since.clear();
+                self.a3_since.fill(None);
                 self.total_handovers += 1;
                 return Some(ev);
             }
@@ -267,20 +286,21 @@ impl HandoverEngine {
 
         // A3 evaluation with one time-to-trigger timer per neighbour.
         let threshold = serving_f + self.params.hysteresis_db;
+        let serving_idx = self.serving.0 as usize;
         let mut expired_best: Option<(CellId, f64)> = None;
-        for (id, level) in &self.filtered {
-            if *id == self.serving {
+        for (idx, level) in self.filtered.iter().enumerate() {
+            if idx == serving_idx || level.is_nan() {
                 continue;
             }
             if *level > threshold {
-                let since = *self.a3_since.entry(*id).or_insert(now);
+                let since = *self.a3_since[idx].get_or_insert(now);
                 if now.saturating_since(since) >= self.params.time_to_trigger
                     && expired_best.map(|(_, l)| *level > l).unwrap_or(true)
                 {
-                    expired_best = Some((*id, *level));
+                    expired_best = Some((CellId(idx as u32), *level));
                 }
             } else {
-                self.a3_since.remove(id);
+                self.a3_since[idx] = None;
             }
         }
         if let Some((target, _)) = expired_best {
@@ -301,10 +321,12 @@ impl HandoverEngine {
     }
 
     fn best_other_cell(&self) -> Option<(CellId, f64)> {
+        let serving_idx = self.serving.0 as usize;
         self.filtered
             .iter()
-            .filter(|(id, _)| **id != self.serving)
-            .map(|(id, v)| (*id, *v))
+            .enumerate()
+            .filter(|(idx, v)| *idx != serving_idx && !v.is_nan())
+            .map(|(idx, v)| (CellId(idx as u32), *v))
             .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
@@ -326,7 +348,7 @@ mod tests {
     fn no_handover_while_serving_is_strong() {
         let mut e = engine(HandoverParams::default());
         for i in 0..100 {
-            let ev = e.on_measurement(tick_ms(i), &[(CellId(0), -80.0), (CellId(1), -90.0)], false);
+            let ev = e.on_measurement(tick_ms(i), &[-80.0, -90.0], false);
             assert!(ev.is_none());
         }
         assert_eq!(e.serving(), CellId(0));
@@ -340,9 +362,7 @@ mod tests {
         // TTT (256 ms = 3 ticks at 100 ms).
         let mut fired_at = None;
         for i in 0..50 {
-            if let Some(ev) =
-                e.on_measurement(tick_ms(i), &[(CellId(0), -95.0), (CellId(1), -80.0)], false)
-            {
+            if let Some(ev) = e.on_measurement(tick_ms(i), &[-95.0, -80.0], false) {
                 fired_at = Some((i, ev));
                 break;
             }
@@ -361,11 +381,7 @@ mod tests {
         let mut ev = None;
         let mut i = 0;
         while ev.is_none() {
-            ev = e.on_measurement(
-                tick_ms(i),
-                &[(CellId(0), -100.0), (CellId(1), -80.0)],
-                false,
-            );
+            ev = e.on_measurement(tick_ms(i), &[-100.0, -80.0], false);
             i += 1;
         }
         let ev = ev.expect("a 20 dB A3 margin must trigger a handover");
@@ -377,7 +393,7 @@ mod tests {
         }
         // After completion (next measurement): switched.
         let after = ev.complete_at + SimDuration::from_millis(100);
-        e.on_measurement(after, &[(CellId(0), -100.0), (CellId(1), -80.0)], false);
+        e.on_measurement(after, &[-100.0, -80.0], false);
         assert_eq!(e.serving(), CellId(1));
         assert!(!e.in_execution(after + SimDuration::from_millis(1)));
     }
@@ -390,7 +406,7 @@ mod tests {
         });
         // Neighbour only 2 dB above: never fires.
         for i in 0..100 {
-            let ev = e.on_measurement(tick_ms(i), &[(CellId(0), -90.0), (CellId(1), -88.0)], false);
+            let ev = e.on_measurement(tick_ms(i), &[-90.0, -88.0], false);
             assert!(ev.is_none());
         }
     }
@@ -407,13 +423,13 @@ mod tests {
         });
         for i in 0..200 {
             let neigh = if i % 3 < 2 { -80.0 } else { -95.0 };
-            let ev = e.on_measurement(tick_ms(i), &[(CellId(0), -90.0), (CellId(1), neigh)], false);
+            let ev = e.on_measurement(tick_ms(i), &[-90.0, neigh], false);
             assert!(ev.is_none(), "fired at tick {i}");
         }
         // Control: sustained condition does fire.
         let mut fired = false;
         for i in 200..220 {
-            if e.on_measurement(tick_ms(i), &[(CellId(0), -90.0), (CellId(1), -80.0)], false)
+            if e.on_measurement(tick_ms(i), &[-90.0, -80.0], false)
                 .is_some()
             {
                 fired = true;
@@ -430,11 +446,7 @@ mod tests {
         // A3 to fire first (both below serving + hysteresis).
         let mut ev = None;
         for i in 0..100 {
-            if let Some(x) = e.on_measurement(
-                tick_ms(i),
-                &[(CellId(0), -130.0), (CellId(1), -129.0)],
-                true,
-            ) {
+            if let Some(x) = e.on_measurement(tick_ms(i), &[-130.0, -129.0], true) {
                 ev = Some(x);
                 break;
             }
@@ -461,7 +473,7 @@ mod tests {
             } else {
                 (-110.0, -70.0)
             };
-            if let Some(ev) = e.on_measurement(t, &[(CellId(0), a), (CellId(1), b)], false) {
+            if let Some(ev) = e.on_measurement(t, &[a, b], false) {
                 hets.push(ev.het().as_millis_f64());
                 toggle = !toggle;
                 t = ev.complete_at;
@@ -493,7 +505,7 @@ mod tests {
                 } else {
                     (-110.0, -70.0)
                 };
-                if let Some(ev) = e.on_measurement(t, &[(CellId(0), a), (CellId(1), b)], airborne) {
+                if let Some(ev) = e.on_measurement(t, &[a, b], airborne) {
                     total += 1;
                     if ev.het() > SimDuration::from_millis(100) {
                         outliers += 1;

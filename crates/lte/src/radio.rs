@@ -6,7 +6,7 @@ use rpav_sim::{RngSet, SimDuration, SimTime};
 use rpav_uav::Position;
 
 use crate::cell::{CellId, Deployment};
-use crate::channel::{self, CellGeometry, ChannelParams, ShadowingField, TemporalFading};
+use crate::channel::{self, ChannelParams, GeometrySoa, HarqMemo, ShadowingField, TemporalFading};
 use crate::handover::{HandoverEngine, HandoverEvent, HandoverKind};
 use crate::profiles::{Environment, NetworkProfile};
 
@@ -92,10 +92,6 @@ impl RadioSample {
 /// Detection threshold below which a cell is invisible to the UE (dBm).
 const DETECTION_THRESHOLD_DBM: f64 = -85.0;
 
-/// Pseudo-cell id carrying the cross-site common shadowing process (unit
-/// variance; scaled per cell by its sigma).
-const COMMON_SHADOW_ID: CellId = CellId(u32::MAX);
-
 /// The full radio model: deployment + channel processes + handover engine.
 #[derive(Debug)]
 pub struct RadioModel {
@@ -109,16 +105,20 @@ pub struct RadioModel {
     /// Completion time of the most recent handover (drives the post-HO
     /// throughput ramp).
     last_ho_complete: Option<SimTime>,
-    /// Scratch buffer reused every tick.
-    rsrp_scratch: Vec<(CellId, f64)>,
+    /// Dense per-cell RSRP scratch (dBm), index-aligned with the
+    /// deployment, reused every tick: the measurement loop, SINR sum and
+    /// visibility count all stream one contiguous `f64` slice.
+    rsrp_scratch: Vec<f64>,
     /// Deterministic per-cell geometry (mean RSRP, LoS probability,
-    /// shadowing sigma) for the position it was computed at. Geometry is a
-    /// pure function of position, so while the UE hovers (every waypoint
-    /// hold in the paper flight) the transcendental per-cell math is paid
-    /// once instead of once per radio tick. Entries are index-aligned with
-    /// `deployment.cells`.
-    geometry_cache: Vec<CellGeometry>,
+    /// shadowing sigma) for the position it was computed at, as
+    /// structure-of-arrays. Geometry is a pure function of position, so
+    /// while the UE hovers (every waypoint hold in the paper flight) the
+    /// transcendental per-cell math is paid once instead of once per radio
+    /// tick. Arrays are index-aligned with `deployment.cells`.
+    geometry: GeometrySoa,
     geometry_pos: Option<Position>,
+    /// Exact-bit memo over the HARQ-delay `powf` (bit-identical results).
+    harq: HarqMemo,
 }
 
 impl RadioModel {
@@ -156,8 +156,9 @@ impl RadioModel {
             distinct_cells: distinct,
             last_ho_complete: None,
             rsrp_scratch: Vec::new(),
-            geometry_cache: Vec::new(),
+            geometry: GeometrySoa::default(),
             geometry_pos: None,
+            harq: HarqMemo::default(),
         }
     }
 
@@ -196,36 +197,40 @@ impl RadioModel {
         let corr = (self.profile.channel.shadow_site_correlation
             * (1.0 - (pos.z / 100.0).clamp(0.0, 1.0)))
         .clamp(0.0, 1.0);
+        // Cell ids are dense deployment indices, so the channel processes
+        // are slot-indexed arrays: slot `i` is `CellId(i)`, and one extra
+        // trailing slot carries the cross-site common process (unit
+        // variance; scaled per cell by its sigma).
+        let n_cells = self.deployment.cells.len();
         let common_unit = self
             .shadowing
-            .sample(COMMON_SHADOW_ID, pos, 1.0, &mut self.fading_rng);
+            .sample(n_cells, pos, 1.0, &mut self.fading_rng);
         if self.geometry_pos != Some(*pos) {
-            self.geometry_cache.clear();
-            self.geometry_cache.extend(
-                self.deployment
-                    .cells
-                    .iter()
-                    .map(|cell| channel::cell_geometry(&self.profile.channel, cell, pos)),
-            );
+            self.geometry
+                .fill(&self.profile.channel, &self.deployment.cells, pos);
             self.geometry_pos = Some(*pos);
         }
+        // Temporally-correlated fading, deepening with altitude: the
+        // aerial channel sweeps through second-scale multipath fades
+        // that persist across the TTT window and flip cell rankings.
+        let fading_sigma = self.profile.channel.fast_fading_sigma_db
+            * (1.0 + 2.5 * (pos.z / 120.0).clamp(0.0, 1.0));
+        let corr_sqrt = corr.sqrt();
+        let rem_sqrt = (1.0 - corr).sqrt();
         self.rsrp_scratch.clear();
-        for (cell, geo) in self.deployment.cells.iter().zip(&self.geometry_cache) {
-            let mean = geo.mean_rsrp_dbm;
-            let sigma = geo.sigma_db;
-            let own = self
-                .shadowing
-                .sample(cell.id, pos, sigma, &mut self.fading_rng);
-            let shadow = sigma * corr.sqrt() * common_unit + (1.0 - corr).sqrt() * own;
-            // Temporally-correlated fading, deepening with altitude: the
-            // aerial channel sweeps through second-scale multipath fades
-            // that persist across the TTT window and flip cell rankings.
-            let fading_sigma = self.profile.channel.fast_fading_sigma_db
-                * (1.0 + 2.5 * (pos.z / 120.0).clamp(0.0, 1.0));
+        self.rsrp_scratch.reserve(n_cells);
+        // One fused pass in deployment (= index) order: the RNG draw order
+        // per cell — own shadowing, then fading — is the historical one,
+        // so the streams stay bit-identical.
+        for i in 0..n_cells {
+            let mean = self.geometry.mean_rsrp_dbm[i];
+            let sigma = self.geometry.sigma_db[i];
+            let own = self.shadowing.sample(i, pos, sigma, &mut self.fading_rng);
+            let shadow = sigma * corr_sqrt * common_unit + rem_sqrt * own;
             let fading = self
                 .fading
-                .sample(cell.id, now, fading_sigma, &mut self.fading_rng);
-            self.rsrp_scratch.push((cell.id, mean + shadow + fading));
+                .sample(i, now, fading_sigma, &mut self.fading_rng);
+            self.rsrp_scratch.push(mean + shadow + fading);
         }
 
         let handover = self
@@ -243,11 +248,14 @@ impl RadioModel {
 
         let rsrp_dbm = self
             .rsrp_scratch
-            .iter()
-            .find(|(id, _)| *id == serving)
-            .map(|(_, v)| *v)
+            .get(serving.0 as usize)
+            .copied()
             .unwrap_or(f64::NEG_INFINITY);
-        let sinr_db = channel::sinr_db(&self.profile.channel, serving, &self.rsrp_scratch);
+        let sinr_db = channel::sinr_db(
+            &self.profile.channel,
+            serving.0 as usize,
+            &self.rsrp_scratch,
+        );
         // After a handover completes, uplink throughput ramps back over
         // ≈1 s while the UE re-synchronises with the target cell (CQI
         // reporting, power control, scheduling-grant history all restart).
@@ -273,7 +281,7 @@ impl RadioModel {
         let cells_visible = self
             .rsrp_scratch
             .iter()
-            .filter(|(_, v)| *v > DETECTION_THRESHOLD_DBM)
+            .filter(|v| **v > DETECTION_THRESHOLD_DBM)
             .count();
 
         // Urban high-altitude loss events (§4.2.1): small extra loss
@@ -297,7 +305,7 @@ impl RadioModel {
             in_handover,
             cells_visible,
             extra_loss_prob,
-            retx_delay: channel::harq_delay(sinr_db),
+            retx_delay: self.harq.delay(sinr_db),
         }
     }
 

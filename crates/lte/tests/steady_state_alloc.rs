@@ -1,0 +1,68 @@
+//! Steady-state allocation discipline of the radio tick.
+//!
+//! Every per-tick buffer in the radio model — the dense RSRP scratch, the
+//! geometry structure-of-arrays, the shadowing/fading slot arrays, the
+//! handover engine's filtered/TTT vectors — is grown once and then reused
+//! across handover epochs. This test pins that down: after a warm-up
+//! period the radio tick must perform *zero* heap allocations, measured
+//! with the shared counting allocator.
+
+use rpav_lte::profiles::{Environment, NetworkProfile, Operator};
+use rpav_lte::radio::RadioModel;
+use rpav_sim::{RngSet, SimTime};
+use rpav_uav::Position;
+
+#[global_allocator]
+static GLOBAL: rpav_sim::alloc::CountingAlloc = rpav_sim::alloc::CountingAlloc;
+
+/// Position on a closed loop that climbs and descends, crossing several
+/// cell borders per lap so handovers (and their state resets) happen both
+/// during warm-up and during the measured window.
+fn loop_pos(i: u64) -> Position {
+    let theta = (i % 600) as f64 / 600.0 * std::f64::consts::TAU;
+    Position::new(
+        400.0 * theta.cos(),
+        400.0 * theta.sin(),
+        40.0 + 30.0 * (2.0 * theta).sin(),
+    )
+}
+
+#[test]
+fn radio_step_steady_state_allocates_nothing() {
+    let profile = NetworkProfile::new(Environment::Urban, Operator::P1);
+    let rngs = RngSet::new(0xA110C);
+    let mut model = RadioModel::new(&profile, &rngs, 0);
+
+    // Warm-up: several full laps, so every scratch vector has reached its
+    // steady-state capacity and the distinct-cell set has stabilised.
+    let mut t = SimTime::ZERO;
+    let mut i = 0u64;
+    let mut handovers_warm = 0usize;
+    while i < 3_000 {
+        let s = model.step(t, &loop_pos(i));
+        handovers_warm += s.handover.is_some() as usize;
+        t += model.tick();
+        i += 1;
+    }
+    assert!(
+        handovers_warm > 0,
+        "warm-up must cross cell borders for the test to mean anything"
+    );
+
+    // Measured window: more laps over the same ground. Zero allocations —
+    // not "few": any growth here is a per-tick buffer that escaped reuse.
+    let before = rpav_sim::alloc::events();
+    let mut handovers_measured = 0usize;
+    while i < 6_000 {
+        let s = model.step(t, &loop_pos(i));
+        handovers_measured += s.handover.is_some() as usize;
+        t += model.tick();
+        i += 1;
+    }
+    let allocs = rpav_sim::alloc::events() - before;
+    assert_eq!(
+        allocs, 0,
+        "steady-state radio ticks allocated {allocs} times \
+         ({handovers_measured} handovers in window)"
+    );
+}

@@ -40,32 +40,18 @@ impl Hasher for SeqHasher {
 
 type SeqSet = HashSet<u64, BuildHasherDefault<SeqHasher>>;
 
-/// One buffered packet, ordered by (playout time, unwrapped seq) — the
-/// same lexicographic order the original `BTreeMap` keying released in.
-/// Unwrapped seqs are unique in the queue (duplicates are rejected on
-/// push), so the order is total and pops are deterministic.
-#[derive(Debug)]
-struct QueuedPacket {
+/// Heap key for one buffered packet, ordered by (playout time, unwrapped
+/// seq) — the same lexicographic order the original `BTreeMap` keying
+/// released in. Unwrapped seqs are unique in the queue (duplicates are
+/// rejected on push), so the order is total before the slot index is ever
+/// compared and pops are deterministic. The packet itself lives in a side
+/// slab (`slot` indexes it): heap sifts move a 24-byte key instead of a
+/// whole `RtpPacket`.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct QueuedKey {
     playout: SimTime,
     unwrapped: u64,
-    packet: RtpPacket,
-}
-
-impl PartialEq for QueuedPacket {
-    fn eq(&self, other: &Self) -> bool {
-        (self.playout, self.unwrapped) == (other.playout, other.unwrapped)
-    }
-}
-impl Eq for QueuedPacket {}
-impl PartialOrd for QueuedPacket {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedPacket {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.playout, self.unwrapped).cmp(&(other.playout, other.unwrapped))
-    }
+    slot: u32,
 }
 
 /// Jitter buffer configuration.
@@ -108,10 +94,15 @@ pub struct JitterBuffer {
     config: JitterConfig,
     /// Media timestamp ↔ wall-clock anchor from the first packet.
     base: Option<(u32, SimTime)>,
-    /// Buffered packets, min-first on (playout time, unwrapped seq). The
-    /// heap's backing storage is reused across pops, so steady-state
+    /// Buffered packet keys, min-first on (playout time, unwrapped seq).
+    /// The heap's backing storage is reused across pops, so steady-state
     /// buffering allocates nothing.
-    queue: BinaryHeap<Reverse<QueuedPacket>>,
+    queue: BinaryHeap<Reverse<QueuedKey>>,
+    /// Packet storage indexed by `QueuedKey::slot`; `free` lists vacated
+    /// slots for reuse so the slab stops growing once the buffer reaches
+    /// its steady-state depth.
+    slab: Vec<Option<RtpPacket>>,
+    free: Vec<u32>,
     /// Unwrapped seqs currently buffered — O(1) duplicate detection
     /// (previously an O(n) scan of the queue keys per arriving packet).
     buffered: SeqSet,
@@ -128,6 +119,8 @@ impl JitterBuffer {
             config,
             base: None,
             queue: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
             buffered: SeqSet::default(),
             last_unwrapped: None,
             delivered_max: None,
@@ -210,10 +203,20 @@ impl JitterBuffer {
             playout
         };
         self.buffered.insert(unwrapped);
-        self.queue.push(Reverse(QueuedPacket {
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = Some(packet);
+                i
+            }
+            None => {
+                self.slab.push(Some(packet));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.queue.push(Reverse(QueuedKey {
             playout,
             unwrapped,
-            packet,
+            slot,
         }));
     }
 
@@ -230,7 +233,11 @@ impl JitterBuffer {
                 .map(|d| d.max(q.unwrapped))
                 .unwrap_or(q.unwrapped),
         );
-        Some((q.playout, q.packet))
+        let packet = self.slab[q.slot as usize]
+            .take()
+            .expect("queued slot holds a packet");
+        self.free.push(q.slot);
+        Some((q.playout, packet))
     }
 
     /// Earliest pending playout instant.
@@ -242,6 +249,8 @@ impl JitterBuffer {
     pub fn clear(&mut self) -> usize {
         let n = self.queue.len();
         self.queue.clear();
+        self.slab.clear();
+        self.free.clear();
         self.buffered.clear();
         n
     }

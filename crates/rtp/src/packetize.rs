@@ -6,7 +6,7 @@
 //! the same information content, machine-readable without computer vision
 //! (see DESIGN.md substitutions).
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use rpav_sim::SimTime;
 use std::collections::BTreeMap;
 
@@ -42,19 +42,29 @@ pub const MAX_PAYLOAD: usize = 1_200;
 /// Decode the per-packet metadata header from an RTP payload. Total: any
 /// byte string yields a value or a typed [`ParseError`] — public so the
 /// fuzz suite can hammer it directly.
-pub fn decode_meta(mut payload: Bytes) -> Result<(FrameMeta, u16, u16), ParseError> {
+pub fn decode_meta(payload: Bytes) -> Result<(FrameMeta, u16, u16), ParseError> {
+    decode_meta_slice(&payload)
+}
+
+/// [`decode_meta`] over a borrowed slice — the receive hot path reads the
+/// metadata in place instead of cloning a `Bytes` handle (two refcount
+/// round-trips per media packet) just to look at 25 bytes.
+pub fn decode_meta_slice(payload: &[u8]) -> Result<(FrameMeta, u16, u16), ParseError> {
     if payload.len() < META_LEN {
         return Err(ParseError::Truncated {
             needed: META_LEN,
             have: payload.len(),
         });
     }
-    let frame_number = payload.get_u64();
-    let encode_time = SimTime::from_micros(payload.get_u64());
-    let keyframe = payload.get_u8() != 0;
-    let frame_bytes = payload.get_u32();
-    let frag_index = payload.get_u16();
-    let frag_count = payload.get_u16();
+    let be_u64 = |i: usize| u64::from_be_bytes(payload[i..i + 8].try_into().expect("8 bytes"));
+    let be_u32 = |i: usize| u32::from_be_bytes(payload[i..i + 4].try_into().expect("4 bytes"));
+    let be_u16 = |i: usize| u16::from_be_bytes(payload[i..i + 2].try_into().expect("2 bytes"));
+    let frame_number = be_u64(0);
+    let encode_time = SimTime::from_micros(be_u64(8));
+    let keyframe = payload[16] != 0;
+    let frame_bytes = be_u32(17);
+    let frag_index = be_u16(21);
+    let frag_count = be_u16(23);
     if frag_count == 0 {
         return Err(ParseError::Malformed {
             reason: "zero fragment count",
@@ -107,12 +117,28 @@ impl Packetizer {
     /// Split one encoded frame into RTP packets. `capture_time` drives the
     /// 90 kHz RTP timestamp.
     pub fn packetize(&mut self, meta: FrameMeta, capture_time: SimTime) -> Vec<RtpPacket> {
+        let mut out = Vec::new();
+        self.packetize_into(meta, capture_time, &mut out);
+        out
+    }
+
+    /// Drain-style variant of [`packetize`](Self::packetize): clears `out`
+    /// and fills it, so a per-frame scratch vector keeps its capacity. The
+    /// packet payloads still share one freshly allocated wire buffer (they
+    /// are handed to the network and outlive the call).
+    pub fn packetize_into(
+        &mut self,
+        meta: FrameMeta,
+        capture_time: SimTime,
+        out: &mut Vec<RtpPacket>,
+    ) {
+        out.clear();
         let total = meta.frame_bytes as usize;
         let budget = MAX_PAYLOAD - META_LEN;
         let count = total.div_ceil(budget).max(1);
         let ts = ((capture_time.as_micros() as u128 * VIDEO_CLOCK_HZ as u128 / 1_000_000) as u64
             & 0xffff_ffff) as u32;
-        let mut out = Vec::with_capacity(count);
+        out.reserve(count);
         let hdr = header_len(self.with_twcc);
         // Header, metadata and stand-in bitstream for the WHOLE frame go
         // into ONE buffer: each packet's payload and cached wire image are
@@ -179,7 +205,6 @@ impl Packetizer {
                 wire: Some(frame_wire.slice(start..end)),
             });
         }
-        out
     }
 }
 
@@ -254,7 +279,7 @@ impl Depacketizer {
         }
         self.last_seq_unwrapped = Some(self.last_seq_unwrapped.unwrap_or(unwrapped).max(unwrapped));
 
-        let Ok((meta, _idx, count)) = decode_meta(packet.payload.clone()) else {
+        let Ok((meta, _idx, count)) = decode_meta_slice(&packet.payload) else {
             self.malformed_payloads += 1;
             return;
         };
@@ -290,27 +315,36 @@ impl Depacketizer {
     /// frames older than `flush_before` (the player gave up waiting).
     /// Frames come out in frame-number order.
     pub fn drain(&mut self, flush_before: u64) -> Vec<ReassembledFrame> {
+        let mut out = Vec::new();
+        self.drain_into(flush_before, &mut out);
+        out
+    }
+
+    /// [`drain`](Self::drain) into a caller-owned buffer: `out` is cleared
+    /// and refilled, so a driver that polls every tick can reuse one
+    /// allocation for the whole run.
+    pub fn drain_into(&mut self, flush_before: u64, out: &mut Vec<ReassembledFrame>) {
+        out.clear();
         // Fast path: nothing to release. The driver polls every tick but
-        // frames complete at frame cadence, so this almost always returns
-        // the empty `Vec` — which does not allocate.
+        // frames complete at frame cadence, so this almost always leaves
+        // `out` untouched.
         if !self
             .pending
             .iter()
             .any(|(k, f)| *k < flush_before || f.is_complete())
         {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
-        let keys: Vec<u64> = self.pending.keys().copied().collect();
-        for k in keys {
-            let complete = self.pending[&k].is_complete();
-            if complete || k < flush_before {
-                if let Some(frame) = self.pending.remove(&k) {
-                    out.push(frame);
-                }
+        // `pending` is a BTreeMap, so this walks keys in ascending frame
+        // order — `retain` visits in key order and no sort is needed.
+        self.pending.retain(|k, f| {
+            if f.is_complete() || *k < flush_before {
+                out.push(f.clone());
+                false
+            } else {
+                true
             }
-        }
-        out.sort_by_key(|f| f.meta.frame_number);
+        });
         if let Some(last) = out.last() {
             self.highest_drained = Some(
                 self.highest_drained
@@ -318,7 +352,6 @@ impl Depacketizer {
                     .max(last.meta.frame_number),
             );
         }
-        out
     }
 
     /// Number of frames still waiting for fragments.

@@ -62,6 +62,15 @@ fn decode_ts(raw: u32) -> SimTime {
 }
 
 impl Rfc8888Packet {
+    /// An empty packet, for use as a reusable `parse_into` / `build_into`
+    /// scratch.
+    pub fn empty() -> Rfc8888Packet {
+        Rfc8888Packet {
+            report_ts: SimTime::ZERO,
+            reports: Vec::new(),
+        }
+    }
+
     /// Arrival time of report `i`, if received.
     pub fn arrival_time(&self, i: usize) -> Option<SimTime> {
         let r = self.reports.get(i)?;
@@ -100,7 +109,16 @@ impl Rfc8888Packet {
 
     /// Parse from RTCP wire format. Total: returns a typed [`ParseError`]
     /// on anything that is not a well-formed CCFB packet.
-    pub fn parse(mut data: Bytes) -> Result<Rfc8888Packet, ParseError> {
+    pub fn parse(data: Bytes) -> Result<Rfc8888Packet, ParseError> {
+        let mut pkt = Rfc8888Packet::empty();
+        Self::parse_into(data, &mut pkt)?;
+        Ok(pkt)
+    }
+
+    /// [`parse`](Self::parse) into a reusable packet value: `out`'s
+    /// report vector keeps its capacity across feedback rounds. On error
+    /// `out` is unspecified (the caller re-parses or discards).
+    pub fn parse_into(mut data: Bytes, out: &mut Rfc8888Packet) -> Result<(), ParseError> {
         if data.len() < 20 {
             return Err(ParseError::Truncated {
                 needed: 20,
@@ -129,24 +147,29 @@ impl Rfc8888Packet {
                 have: data.len(),
             });
         }
-        let mut blocks = Vec::with_capacity(n);
-        for _ in 0..n {
-            blocks.push(data.get_u16());
-        }
-        if n % 2 == 1 {
-            data.advance(2);
-        }
-        let report_ts = decode_ts(data.get_u32());
-        let reports = blocks
-            .iter()
-            .enumerate()
-            .map(|(i, blk)| Rfc8888Report {
+        // Single pass over the wire: peek the trailing timestamp first,
+        // then decode metric blocks straight into the report vector — no
+        // intermediate block buffer.
+        let buf = &data[..];
+        let ts_off = 2 * n + if n % 2 == 1 { 2 } else { 0 };
+        let report_ts = decode_ts(u32::from_be_bytes([
+            buf[ts_off],
+            buf[ts_off + 1],
+            buf[ts_off + 2],
+            buf[ts_off + 3],
+        ]));
+        out.reports.clear();
+        out.reports.reserve(n);
+        for i in 0..n {
+            let blk = u16::from_be_bytes([buf[2 * i], buf[2 * i + 1]]);
+            out.reports.push(Rfc8888Report {
                 seq: begin.wrapping_add(i as u16),
                 received: blk >> 15 == 1,
                 ato: SimDuration::from_secs_f64((blk & 0x1fff) as f64 / 1024.0),
-            })
-            .collect();
-        Ok(Rfc8888Packet { report_ts, reports })
+            });
+        }
+        out.report_ts = report_ts;
+        Ok(())
     }
 }
 
@@ -187,10 +210,21 @@ impl Rfc8888Builder {
     /// Build the feedback packet for the current instant, if anything has
     /// been received yet.
     pub fn build(&mut self, now: SimTime) -> Option<Rfc8888Packet> {
-        let highest = self.highest?;
+        let mut pkt = Rfc8888Packet::empty();
+        self.build_into(now, &mut pkt).then_some(pkt)
+    }
+
+    /// [`build`](Self::build) into a reusable packet value (the report
+    /// vector keeps its capacity). Returns `false` — leaving `out`
+    /// untouched — when nothing has been received yet.
+    pub fn build_into(&mut self, now: SimTime, out: &mut Rfc8888Packet) -> bool {
+        let Some(highest) = self.highest else {
+            return false;
+        };
         let begin = highest.saturating_sub(self.max_reports as u64 - 1);
-        let reports = (begin..=highest)
-            .map(|s| match self.arrivals.get(s) {
+        out.reports.clear();
+        out.reports
+            .extend((begin..=highest).map(|s| match self.arrivals.get(s) {
                 Some(t) => Rfc8888Report {
                     seq: (s & 0xffff) as u16,
                     received: true,
@@ -201,16 +235,13 @@ impl Rfc8888Builder {
                     received: false,
                     ato: SimDuration::ZERO,
                 },
-            })
-            .collect();
+            }));
+        out.report_ts = now;
         // Garbage-collect everything before the span; it can never be
         // reported again (this is precisely the information loss §4.2.1
         // analyses).
         self.arrivals.evict_below(begin);
-        Some(Rfc8888Packet {
-            report_ts: now,
-            reports,
-        })
+        true
     }
 }
 

@@ -16,7 +16,7 @@
 //! loss storm cannot starve fresh media (the same idiom as the GCC pacer's
 //! `1.5×`-target bucket, pointed the other way).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use rpav_sim::SimTime;
 
@@ -65,10 +65,15 @@ impl Default for RtxConfig {
 #[derive(Debug)]
 pub struct RtxSender {
     config: RtxConfig,
-    /// Sent packets keyed by media sequence number.
-    history: BTreeMap<u16, RtpPacket>,
-    /// Insertion order for ring eviction.
-    order: VecDeque<u16>,
+    /// Sent packets as a dense ring: slot `i` holds sequence
+    /// `base_seq + i`. Media sequences are handed out consecutively, so
+    /// the ring replaces the former `BTreeMap` (whose node churn cost an
+    /// allocation every few recorded packets) with index arithmetic; the
+    /// deque storage is grown once and reused for the whole run.
+    history: VecDeque<Option<RtpPacket>>,
+    base_seq: u16,
+    /// Live (non-hole) entries in `history`.
+    live: usize,
     /// Spendable repair bytes.
     budget_bytes: f64,
     last_refill: SimTime,
@@ -80,8 +85,9 @@ impl RtxSender {
     pub fn new(config: RtxConfig) -> Self {
         RtxSender {
             config,
-            history: BTreeMap::new(),
-            order: VecDeque::with_capacity(config.history),
+            history: VecDeque::with_capacity(config.history),
+            base_seq: 0,
+            live: 0,
             // Start with a full bucket so early losses are repairable.
             budget_bytes: config.budget_cap_bytes,
             last_refill: SimTime::ZERO,
@@ -96,7 +102,7 @@ impl RtxSender {
 
     /// Packets currently held in the history ring.
     pub fn history_len(&self) -> usize {
-        self.history.len()
+        self.live
     }
 
     /// Remember an outgoing media packet for possible retransmission.
@@ -104,17 +110,37 @@ impl RtxSender {
         if self.config.history == 0 {
             return;
         }
-        if self
-            .history
-            .insert(packet.sequence, packet.clone())
-            .is_none()
-        {
-            self.order.push_back(packet.sequence);
+        if self.history.is_empty() {
+            self.base_seq = packet.sequence;
         }
-        while self.order.len() > self.config.history {
-            if let Some(old) = self.order.pop_front() {
-                self.history.remove(&old);
+        let offset = packet.sequence.wrapping_sub(self.base_seq) as usize;
+        if let Some(slot) = self.history.get_mut(offset) {
+            if slot.replace(packet.clone()).is_none() {
+                self.live += 1;
             }
+        } else if offset <= usize::from(u16::MAX) / 2 {
+            // At (the common case) or ahead of the ring end: pad any gap
+            // with holes, then append.
+            while self.history.len() < offset {
+                self.history.push_back(None);
+            }
+            self.history.push_back(Some(packet.clone()));
+            self.live += 1;
+        } else {
+            // Behind the ring start: re-anchor by padding the front.
+            let behind = self.base_seq.wrapping_sub(packet.sequence) as usize;
+            for _ in 0..behind {
+                self.history.push_front(None);
+            }
+            self.base_seq = packet.sequence;
+            self.history[0] = Some(packet.clone());
+            self.live += 1;
+        }
+        while self.history.len() > self.config.history {
+            if self.history.pop_front().flatten().is_some() {
+                self.live -= 1;
+            }
+            self.base_seq = self.base_seq.wrapping_add(1);
         }
     }
 
@@ -135,7 +161,8 @@ impl RtxSender {
         let mut out = Vec::new();
         for &seq in &nack.lost {
             self.stats.seqs_requested += 1;
-            let Some(pkt) = self.history.get(&seq) else {
+            let offset = seq.wrapping_sub(self.base_seq) as usize;
+            let Some(pkt) = self.history.get(offset).and_then(|s| s.as_ref()) else {
                 self.stats.not_in_history += 1;
                 continue;
             };

@@ -43,7 +43,27 @@ pub struct TwccFeedback {
     pub arrivals: Vec<Option<SimDuration>>,
 }
 
+thread_local! {
+    /// Per-thread status/delta scratch shared by [`TwccFeedback::serialize`]
+    /// and [`TwccFeedback::parse_into`]: the symbol and tick vectors are
+    /// pure intermediates, so one warm pair per thread serves every
+    /// feedback round without touching the allocator (DESIGN.md §15.3).
+    static TWCC_SCRATCH: std::cell::RefCell<(Vec<Status>, Vec<i32>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
 impl TwccFeedback {
+    /// An empty feedback value, for use as a reusable `parse_into` /
+    /// `build_feedback_into` scratch.
+    pub fn empty() -> TwccFeedback {
+        TwccFeedback {
+            base_seq: 0,
+            fb_count: 0,
+            reference_time_64ms: 0,
+            arrivals: Vec::new(),
+        }
+    }
+
     /// Absolute arrival time of covered packet `i`, if it was received.
     pub fn arrival_time(&self, i: usize) -> Option<SimTime> {
         let off = self.arrivals.get(i).copied().flatten()?;
@@ -58,12 +78,19 @@ impl TwccFeedback {
 
     /// Serialise to RTCP wire format.
     pub fn serialize(&self) -> Bytes {
-        // Build statuses and deltas.
-        let mut statuses = Vec::with_capacity(self.arrivals.len());
-        let mut deltas: Vec<i32> = Vec::new(); // in 250 µs ticks
-                                               // `prev` tracks the *quantised* reconstruction the decoder will
-                                               // accumulate, so per-delta rounding errors cancel instead of
-                                               // drifting (libwebrtc does the same).
+        TWCC_SCRATCH.with(|scratch| {
+            let (statuses, deltas) = &mut *scratch.borrow_mut();
+            self.serialize_with(statuses, deltas)
+        })
+    }
+
+    fn serialize_with(&self, statuses: &mut Vec<Status>, deltas: &mut Vec<i32>) -> Bytes {
+        // Build statuses and deltas (in 250 µs ticks).
+        statuses.clear();
+        deltas.clear();
+        // `prev` tracks the *quantised* reconstruction the decoder will
+        // accumulate, so per-delta rounding errors cancel instead of
+        // drifting (libwebrtc does the same).
         let mut prev = SimTime::from_micros(self.reference_time_64ms as u64 * 64_000);
         for a in &self.arrivals {
             match a {
@@ -135,7 +162,7 @@ impl TwccFeedback {
 
         // Receive deltas.
         let mut di = 0;
-        for s in &statuses {
+        for s in statuses.iter() {
             match s {
                 Status::NotReceived => {}
                 Status::SmallDelta => {
@@ -160,7 +187,16 @@ impl TwccFeedback {
 
     /// Parse from RTCP wire format. Total: returns a typed [`ParseError`]
     /// on anything that is not a well-formed TWCC feedback packet.
-    pub fn parse(mut data: Bytes) -> Result<TwccFeedback, ParseError> {
+    pub fn parse(data: Bytes) -> Result<TwccFeedback, ParseError> {
+        let mut fb = TwccFeedback::empty();
+        Self::parse_into(data, &mut fb)?;
+        Ok(fb)
+    }
+
+    /// [`parse`](Self::parse) into a reusable feedback value: `out`'s
+    /// arrival vector keeps its capacity across feedback rounds. On error
+    /// `out` is unspecified (the caller re-parses or discards).
+    pub fn parse_into(mut data: Bytes, out: &mut TwccFeedback) -> Result<(), ParseError> {
         if data.len() < 20 {
             return Err(ParseError::Truncated {
                 needed: 20,
@@ -186,9 +222,33 @@ impl TwccFeedback {
         let word = data.get_u32();
         let reference_time_64ms = word >> 8;
         let fb_count = (word & 0xff) as u8;
+        TWCC_SCRATCH.with(|scratch| {
+            let statuses = &mut scratch.borrow_mut().0;
+            Self::parse_body(
+                data,
+                out,
+                base_seq,
+                count,
+                reference_time_64ms,
+                fb_count,
+                statuses,
+            )
+        })
+    }
 
+    #[allow(clippy::too_many_arguments)]
+    fn parse_body(
+        mut data: Bytes,
+        out: &mut TwccFeedback,
+        base_seq: u16,
+        count: usize,
+        reference_time_64ms: u32,
+        fb_count: u8,
+        statuses: &mut Vec<Status>,
+    ) -> Result<(), ParseError> {
         // Status chunks.
-        let mut statuses = Vec::with_capacity(count);
+        statuses.clear();
+        statuses.reserve(count);
         while statuses.len() < count {
             if data.len() < 2 {
                 return Err(ParseError::Truncated {
@@ -249,10 +309,12 @@ impl TwccFeedback {
         }
 
         // Deltas → arrival offsets.
-        let mut arrivals = Vec::with_capacity(count);
+        let arrivals = &mut out.arrivals;
+        arrivals.clear();
+        arrivals.reserve(count);
         let ref_time = SimTime::from_micros(reference_time_64ms as u64 * 64_000);
         let mut prev = ref_time;
-        for s in &statuses {
+        for s in statuses.iter() {
             match s {
                 Status::NotReceived => arrivals.push(None),
                 Status::SmallDelta => {
@@ -282,12 +344,10 @@ impl TwccFeedback {
                 }
             }
         }
-        Ok(TwccFeedback {
-            base_seq,
-            fb_count,
-            reference_time_64ms,
-            arrivals,
-        })
+        out.base_seq = base_seq;
+        out.fb_count = fb_count;
+        out.reference_time_64ms = reference_time_64ms;
+        Ok(())
     }
 }
 
@@ -325,29 +385,42 @@ impl TwccRecorder {
     /// Build a feedback packet covering everything received since the last
     /// one. Returns `None` when there is nothing new to report.
     pub fn build_feedback(&mut self) -> Option<TwccFeedback> {
-        let last = self.last_unwrapped?;
+        let mut fb = TwccFeedback::empty();
+        self.build_feedback_into(&mut fb).then_some(fb)
+    }
+
+    /// [`build_feedback`](Self::build_feedback) into a reusable feedback
+    /// value (the arrival vector keeps its capacity). Returns `false` —
+    /// leaving `out` untouched — when there is nothing new to report.
+    pub fn build_feedback_into(&mut self, out: &mut TwccFeedback) -> bool {
+        let Some(last) = self.last_unwrapped else {
+            return false;
+        };
         if last < self.next_base {
-            return None;
+            return false;
         }
         let base = self.next_base;
         let count = (last - base + 1).min(u16::MAX as u64 - 1) as usize;
-        let first_arrival = (base..base + count as u64).find_map(|s| self.arrivals.get(s))?;
+        let Some(first_arrival) = (base..base + count as u64).find_map(|s| self.arrivals.get(s))
+        else {
+            return false;
+        };
         let reference_time_64ms = (first_arrival.as_micros() / 64_000) as u32;
         let ref_time = SimTime::from_micros(reference_time_64ms as u64 * 64_000);
-        let arrivals = (base..base + count as u64)
-            .map(|s| self.arrivals.get(s).map(|t| t.saturating_since(ref_time)))
-            .collect();
-        let fb = TwccFeedback {
-            base_seq: (base & 0xffff) as u16,
-            fb_count: self.fb_count,
-            reference_time_64ms,
-            arrivals,
-        };
+        out.arrivals.clear();
+        out.arrivals.reserve(count);
+        out.arrivals.extend(
+            (base..base + count as u64)
+                .map(|s| self.arrivals.get(s).map(|t| t.saturating_since(ref_time))),
+        );
+        out.base_seq = (base & 0xffff) as u16;
+        out.fb_count = self.fb_count;
+        out.reference_time_64ms = reference_time_64ms;
         self.fb_count = self.fb_count.wrapping_add(1);
         self.next_base = base + count as u64;
         // Garbage-collect reported arrivals.
         self.arrivals.evict_below(self.next_base);
-        Some(fb)
+        true
     }
 }
 

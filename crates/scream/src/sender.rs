@@ -96,7 +96,16 @@ impl InFlightWindow {
     /// Acknowledge `seq`: returns its (send time, size) the first time,
     /// `None` for unknown or already-removed sequences.
     fn remove(&mut self, seq: u64) -> Option<(SimTime, usize)> {
-        let i = self.q.binary_search_by(|&(s, ..)| s.cmp(&seq)).ok()?;
+        // Sequences are handed out consecutively, so the window is almost
+        // always gap-free and `seq - front` indexes the entry directly;
+        // the binary search only backs this up if a gap ever appears.
+        let &(front_seq, ..) = self.q.front()?;
+        let guess = seq.checked_sub(front_seq)? as usize;
+        let i = if self.q.get(guess).is_some_and(|&(s, ..)| s == seq) {
+            guess
+        } else {
+            self.q.binary_search_by(|&(s, ..)| s.cmp(&seq)).ok()?
+        };
         let (_, sent, size, acked) = &mut self.q[i];
         if *acked {
             return None;
@@ -292,8 +301,14 @@ impl ScreamSender {
     /// breaker: if the queue is too deep, it is discarded wholesale —
     /// sequence numbers already assigned to those packets simply never
     /// appear on the wire (the receiver sees a jump).
-    pub fn enqueue(&mut self, now: SimTime, packets: Vec<RtpPacket>) {
-        for p in packets {
+    pub fn enqueue(&mut self, now: SimTime, mut packets: Vec<RtpPacket>) {
+        self.enqueue_drain(now, &mut packets);
+    }
+
+    /// Drain-style variant of [`enqueue`](Self::enqueue): consumes the
+    /// packets but leaves the vector's capacity with the caller for reuse.
+    pub fn enqueue_drain(&mut self, now: SimTime, packets: &mut Vec<RtpPacket>) {
+        for p in packets.drain(..) {
             self.queue_bytes += p.wire_size();
             self.queue.push_back(p);
         }

@@ -1,0 +1,81 @@
+//! Counting global allocator — shared instrumentation for perf gates.
+//!
+//! One forwarding allocator serves every consumer that wants allocation
+//! telemetry: `rpavd` reports live/peak heap bytes on `GET /metrics`,
+//! `perf_matrix` gates allocation *events* per packet, and the
+//! steady-state tests assert that hot loops stop allocating once warm.
+//! A binary opts in with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: rpav_sim::alloc::CountingAlloc = rpav_sim::alloc::CountingAlloc;
+//! ```
+//!
+//! Binaries that don't register it simply read zeros — the counters are
+//! process-wide statics, not tied to an instance.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Forwarding allocator that tracks live bytes, peak bytes, and the total
+/// number of allocation events (alloc + alloc_zeroed + realloc).
+pub struct CountingAlloc;
+
+fn on_alloc(size: usize) {
+    EVENTS.fetch_add(1, Ordering::Relaxed);
+    let now = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(now, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Live heap bytes (0 unless [`CountingAlloc`] is the global allocator).
+pub fn current_bytes() -> usize {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// High-water heap bytes since process start.
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Total allocation events (alloc, alloc_zeroed, realloc) since process
+/// start. The perf harness diffs this around a sweep to compute
+/// allocs/packet.
+pub fn events() -> u64 {
+    EVENTS.load(Ordering::Relaxed)
+}

@@ -15,6 +15,11 @@
 //!   the congestion controllers: declares starvation when the feedback path
 //!   goes dark, decays a rate cap toward a floor, and meters the ramp back
 //!   once feedback resumes.
+//! * [`arena`] — the per-thread slab of recycled byte-buffer storage that
+//!   the vendored `bytes` shim (and with it every wire serializer) draws
+//!   from, driving steady-state allocations on the packet paths to ~0.
+//! * [`alloc`] — the shared counting global allocator behind the daemon's
+//!   memory telemetry and the perf harness's allocs/packet gate.
 //!
 //! The design follows the event-driven, poll-based idiom of `smoltcp`:
 //! components are plain structs advanced by explicit calls carrying the
@@ -33,6 +38,8 @@
 //! assert_eq!((t, ev), (SimTime::from_millis(5), "a"));
 //! ```
 
+pub mod alloc;
+pub mod arena;
 pub mod event;
 pub mod rng;
 pub mod time;

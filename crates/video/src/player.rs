@@ -175,6 +175,15 @@ impl Player {
     /// `now`.
     pub fn poll(&mut self, now: SimTime) -> Vec<PlayedFrame> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// [`poll`](Self::poll) into a caller-owned buffer: `out` is cleared
+    /// and refilled, so the per-tick driver reuses one allocation instead
+    /// of building a fresh `Vec` for every displayed frame.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<PlayedFrame>) {
+        out.clear();
         loop {
             // Is a display slot open?
             let due = match self.next_display {
@@ -244,7 +253,6 @@ impl Player {
                 }
             }
         }
-        out
     }
 
     fn record_gap(&mut self, display_at: SimTime) {

@@ -100,6 +100,61 @@ fn scripted_fault_cells_are_bit_identical() {
     }
 }
 
+/// Bonded multipath with both repair layers armed (NACK/RTX plus
+/// Reed-Solomon FEC) — a config for `n` legs and the full repair stack.
+fn bonded_config(n_legs: usize, seed: u64) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .environment(Environment::Urban)
+        .mobility(Mobility::Air)
+        .cc(CcMode::Gcc)
+        .seed(seed)
+        .hold_secs(1)
+        .ground_sweeps(1)
+        .n_legs(n_legs)
+        .fec_cap(0.25)
+        .repair(true)
+        .build()
+}
+
+/// The multipath driver keeps its fixed tick under both scheduler modes,
+/// so the cross-scheduler contract for a bonded cell is that
+/// [`Cell::execute_with`] produces the *same* canonical bytes whether the
+/// engine resolved the reference oracle or the adaptive scheduler — and
+/// that repeated runs reproduce exactly. These cells pin that for the
+/// configs the alloc work touched hardest: bonded N=2 and 4-leg striping
+/// with RTX repair and RS FEC both on.
+fn assert_bonded_bit_identical(n_legs: usize, seed: u64, label: &str) {
+    let spec =
+        MatrixSpec::new(bonded_config(n_legs, seed)).multipath_schemes([MultipathScheme::Bonded]);
+    let cells = spec.expand();
+    assert_eq!(cells.len(), 1, "{label}: expected a single expanded cell");
+    let cell = &cells[0];
+    let adaptive = cell.execute_with(false).to_bytes();
+    let reference = cell.execute_with(true).to_bytes();
+    assert!(
+        adaptive == reference,
+        "{label}: bonded cell diverged between the adaptive scheduler \
+         and the reference oracle ({} vs {} canonical bytes)",
+        adaptive.len(),
+        reference.len()
+    );
+    let again = cell.execute_with(false).to_bytes();
+    assert!(
+        adaptive == again,
+        "{label}: bonded cell is not reproducible byte-for-byte"
+    );
+}
+
+#[test]
+fn bonded_two_leg_repair_fec_is_bit_identical() {
+    assert_bonded_bit_identical(2, 0xE0_0005, "bonded/n=2/repair+fec");
+}
+
+#[test]
+fn bonded_four_leg_repair_fec_is_bit_identical() {
+    assert_bonded_bit_identical(4, 0xE0_0006, "bonded/n=4/repair+fec");
+}
+
 #[test]
 fn failover_scheme_stays_deterministic_under_script() {
     // The multipath driver is unchanged by the adaptive scheduler (it

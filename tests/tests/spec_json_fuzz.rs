@@ -197,6 +197,11 @@ fn random_spec(rng: &mut SimRng) -> CampaignSpec {
             } else {
                 None
             },
+            batch: if rng.chance(0.5) {
+                Some(rng.uniform_u64(1, 8) as usize)
+            } else {
+                None
+            },
             cache_dir: if rng.chance(0.5) {
                 Some(std::path::PathBuf::from(format!(
                     "target/fuzz-cache-{}",

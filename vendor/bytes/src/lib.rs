@@ -1,4 +1,4 @@
-//! Vendored, dependency-free subset of the [`bytes`] crate.
+//! Vendored subset of the [`bytes`] crate, backed by the `rpav_sim` arena.
 //!
 //! The build container has no registry access, so the workspace vendors the
 //! small slice of the `bytes` API it actually uses: cheaply-cloneable
@@ -7,18 +7,49 @@
 //! crate for this subset (panics on out-of-bounds reads, `split_to`
 //! advancing the cursor, `freeze` being O(1) conceptually).
 //!
+//! Unlike the real crate, backing storage is recycled: [`BytesMut`] draws
+//! uniquely-owned `Arc<Vec<u8>>` blocks from [`rpav_sim::arena`], and the
+//! last [`Bytes`] / [`BytesMut`] owner of a block returns it — refcount
+//! box and capacity together — to the per-thread slab on drop. Steady
+//! state, serializing a packet therefore touches the system allocator
+//! zero times. Contents are never reused (acquired blocks are cleared),
+//! so recycling cannot perturb simulation results.
+//!
 //! [`bytes`]: https://docs.rs/bytes
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
+use rpav_sim::arena;
+
 /// A cheaply cloneable, contiguous, immutable slice of memory.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes {
+            data: arena::empty(),
+            start: 0,
+            end: 0,
+        }
+    }
+}
+
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        // Last owner of a real storage block: hand it back to the slab.
+        // `get_mut` is the uniqueness check (strong == 1, no weaks); the
+        // shared per-thread empty placeholder never satisfies it.
+        if self.data.capacity() != 0 && Arc::get_mut(&mut self.data).is_some() {
+            arena::recycle(std::mem::replace(&mut self.data, arena::empty()));
+        }
+    }
 }
 
 impl Bytes {
@@ -27,17 +58,20 @@ impl Bytes {
         Bytes::default()
     }
 
-    /// Create from a static slice (copies; the shim has no zero-copy path).
+    /// Create from a static slice (copies into a pooled block; the shim
+    /// has no zero-copy path).
     pub fn from_static(s: &'static [u8]) -> Self {
-        Bytes::from(s.to_vec())
+        Bytes::from(s)
     }
 
     /// Number of bytes remaining.
+    #[inline]
     pub fn len(&self) -> usize {
         self.end - self.start
     }
 
     /// Whether no bytes remain.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.start == self.end
     }
@@ -46,6 +80,7 @@ impl Bytes {
     ///
     /// # Panics
     /// Panics if `at > self.len()`.
+    #[inline]
     pub fn split_to(&mut self, at: usize) -> Bytes {
         assert!(at <= self.len(), "split_to out of bounds");
         let head = Bytes {
@@ -82,6 +117,7 @@ impl Bytes {
         }
     }
 
+    #[inline]
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
@@ -100,18 +136,28 @@ impl From<Vec<u8>> for Bytes {
 
 impl From<&[u8]> for Bytes {
     fn from(s: &[u8]) -> Self {
-        Bytes::from(s.to_vec())
+        let mut data = arena::acquire(s.len());
+        Arc::get_mut(&mut data)
+            .expect("freshly acquired block is unique")
+            .extend_from_slice(s);
+        Bytes {
+            data,
+            start: 0,
+            end: s.len(),
+        }
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
         self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
         self.as_slice()
     }
@@ -150,66 +196,145 @@ impl std::hash::Hash for Bytes {
 }
 
 /// A growable byte buffer for building wire formats.
-#[derive(Clone, Default, Debug, PartialEq, Eq)]
+///
+/// Backed by a pooled arena block: at construction the block's vector is
+/// moved *out* of its refcount shell so every write is a plain `Vec`
+/// operation (no atomics on the write path), and [`BytesMut::freeze`]
+/// moves it back in — a true O(1) hand-over with no copy and no
+/// allocation. A dropped builder returns block and shell to the slab.
 pub struct BytesMut {
-    data: Vec<u8>,
+    /// The buffer being built. Held directly (not through the shell) so
+    /// the append path compiles to the same code as a bare `Vec<u8>`.
+    vec: Vec<u8>,
+    /// The uniquely-owned refcount shell the vector came from, waiting
+    /// to receive it back at `freeze`. `None` for builders created
+    /// without pooled storage (`BytesMut::new`).
+    shell: Option<Arc<Vec<u8>>>,
 }
 
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut::new()
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> Self {
+        let mut b = BytesMut::with_capacity(self.len());
+        b.vec.extend_from_slice(&self.vec);
+        b
+    }
+}
+
+impl Drop for BytesMut {
+    fn drop(&mut self) {
+        // Reunite vector and shell, then recycle the pair.
+        if let Some(mut shell) = self.shell.take() {
+            *Arc::get_mut(&mut shell).expect("builder shell is unique") =
+                std::mem::take(&mut self.vec);
+            arena::recycle(shell);
+        }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("BytesMut").field(&&self[..]).finish()
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self.vec == other.vec
+    }
+}
+
+impl Eq for BytesMut {}
+
 impl BytesMut {
-    /// Create an empty buffer.
+    /// Create an empty buffer. No pooled storage is acquired; the first
+    /// `freeze` of a non-empty buffer mints a fresh shell (which is then
+    /// recycled like any other block).
     pub fn new() -> Self {
-        BytesMut::default()
+        BytesMut {
+            vec: Vec::new(),
+            shell: None,
+        }
     }
 
-    /// Create an empty buffer with reserved capacity.
+    /// Create an empty buffer with reserved capacity (pooled).
     pub fn with_capacity(cap: usize) -> Self {
+        let mut shell = arena::acquire(cap);
+        let vec = std::mem::take(Arc::get_mut(&mut shell).expect("acquired block is unique"));
         BytesMut {
-            data: Vec::with_capacity(cap),
+            vec,
+            shell: Some(shell),
         }
     }
 
     /// Current length in bytes.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.vec.len()
     }
 
     /// Whether the buffer is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.vec.is_empty()
     }
 
     /// Resize to `new_len`, filling with `value` when growing.
+    #[inline]
     pub fn resize(&mut self, new_len: usize, value: u8) {
-        self.data.resize(new_len, value);
+        self.vec.resize(new_len, value);
     }
 
     /// Append a slice.
+    #[inline]
     pub fn extend_from_slice(&mut self, s: &[u8]) {
-        self.data.extend_from_slice(s);
+        self.vec.extend_from_slice(s);
     }
 
-    /// Convert into an immutable [`Bytes`].
-    pub fn freeze(self) -> Bytes {
-        Bytes::from(self.data)
+    /// Convert into an immutable [`Bytes`] — O(1), the block moves over.
+    pub fn freeze(mut self) -> Bytes {
+        let end = self.vec.len();
+        let vec = std::mem::take(&mut self.vec);
+        let data = match self.shell.take() {
+            Some(mut shell) => {
+                *Arc::get_mut(&mut shell).expect("builder shell is unique") = vec;
+                shell
+            }
+            // Built via `BytesMut::new`: mint a shell for it.
+            None => Arc::new(vec),
+        };
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
     }
 }
 
 impl Deref for BytesMut {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.vec
     }
 }
 
 impl DerefMut for BytesMut {
+    #[inline]
     fn deref_mut(&mut self) -> &mut [u8] {
-        &mut self.data
+        &mut self.vec
     }
 }
 
 impl AsRef<[u8]> for BytesMut {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        &self.vec
     }
 }
 
@@ -285,14 +410,17 @@ pub trait Buf {
 }
 
 impl Buf for Bytes {
+    #[inline]
     fn remaining(&self) -> usize {
         self.len()
     }
 
+    #[inline]
     fn chunk(&self) -> &[u8] {
         self.as_slice()
     }
 
+    #[inline]
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance out of bounds");
         self.start += cnt;
@@ -347,8 +475,9 @@ pub trait BufMut {
 }
 
 impl BufMut for BytesMut {
+    #[inline]
     fn put_slice(&mut self, s: &[u8]) {
-        self.data.extend_from_slice(s);
+        self.vec.extend_from_slice(s);
     }
 }
 
@@ -386,6 +515,45 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert_eq!(b.len(), 1024);
+    }
+
+    #[test]
+    fn freeze_moves_storage_without_copy() {
+        let mut b = BytesMut::with_capacity(64);
+        b.extend_from_slice(b"hello");
+        let ptr = b.as_ref().as_ptr();
+        let frozen = b.freeze();
+        assert_eq!(frozen.as_ref().as_ptr(), ptr, "freeze must not copy");
+        assert_eq!(&frozen[..], b"hello");
+    }
+
+    #[test]
+    fn dropped_buffers_recycle_their_storage() {
+        // Warm the slab, remember the block, and check the next builder
+        // gets the same storage back.
+        let mut b = BytesMut::with_capacity(512);
+        b.extend_from_slice(b"warmup");
+        let ptr = b.as_ref().as_ptr();
+        drop(b.freeze()); // sole owner drops → block returns to the slab
+        let again = BytesMut::with_capacity(256);
+        assert_eq!(
+            again.vec.as_ptr(),
+            ptr,
+            "storage must be recycled through the arena"
+        );
+        assert!(again.is_empty(), "recycled storage is cleared");
+    }
+
+    #[test]
+    fn clones_pin_storage_until_the_last_owner_drops() {
+        let mut b = BytesMut::with_capacity(64);
+        b.extend_from_slice(&[1, 2, 3, 4]);
+        let a = b.freeze();
+        let c = a.clone();
+        let tail = c.slice(2..);
+        drop(a);
+        drop(c);
+        assert_eq!(&tail[..], &[3, 4], "slices keep the block alive");
     }
 
     #[test]
